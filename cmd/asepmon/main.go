@@ -1,0 +1,65 @@
+// Command asepmon demonstrates the Gatekeeper-style ASEP monitor
+// [WRV+04] correlated with GhostBuster's cross-view diff: it baselines a
+// machine's auto-start hooks, simulates a day of activity including a
+// benign install and a rootkit infection, and prints the triaged change
+// report — new visible hooks are "review", new hidden hooks are
+// CRITICAL.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ghostbuster/internal/gatekeeper"
+	"ghostbuster/internal/ghostware"
+	"ghostbuster/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "asepmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	m, err := workload.NewPaperMachine(workload.SmallProfile())
+	if err != nil {
+		return err
+	}
+	fmt.Println("taking ASEP baseline...")
+	baseline, err := gatekeeper.Take(m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline: %d auto-start hooks\n\n", len(baseline.Hooks))
+
+	fmt.Println("a day passes: the user installs a legitimate updater...")
+	if err := m.Reg.SetString(`HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Run`,
+		"AcmeUpdater", `C:\Program Files\Acme\update.exe`); err != nil {
+		return err
+	}
+	if err := m.RunChurn(60); err != nil {
+		return err
+	}
+	fmt.Println("...and Hacker Defender sneaks in.")
+	if err := ghostware.NewHackerDefender().Install(m); err != nil {
+		return err
+	}
+
+	report, err := gatekeeper.Check(m, baseline)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nASEP monitor report (%d changes):\n", len(report.Changes))
+	for _, c := range report.Changes {
+		fmt.Println("  " + c.String())
+	}
+	critical := report.HiddenAdditions()
+	if len(critical) > 0 {
+		fmt.Printf("\nVERDICT: %d CRITICAL hidden auto-start hooks — machine compromised\n", len(critical))
+		os.Exit(2)
+	}
+	fmt.Println("\nVERDICT: changes are visible; review as routine software churn")
+	return nil
+}

@@ -1,0 +1,240 @@
+// Command ghostbuster is the interactive face of the reproduction: it
+// builds a simulated Windows machine, optionally infects it with any of
+// the paper's ghostware corpus, and runs the inside-the-box GhostBuster
+// scans, printing the cross-view diff report.
+//
+// Usage:
+//
+//	ghostbuster -list-ghostware
+//	ghostbuster -infect "Hacker Defender 1.0" -scan all -advanced
+//	ghostbuster -infect FU -scan procs            # shows the normal-mode miss
+//	ghostbuster -infect FU -scan procs -advanced  # and the advanced-mode catch
+//	ghostbuster -infect Vanquish -inject          # scan from inside every process
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/ghostware"
+	"ghostbuster/internal/injection"
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/vtime"
+	"ghostbuster/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ghostbuster:", err)
+		os.Exit(1)
+	}
+}
+
+// corpus returns fresh instances of every installable program by name.
+func corpus() map[string]ghostware.Ghostware {
+	out := map[string]ghostware.Ghostware{}
+	for _, g := range corpusOrdered() {
+		out[strings.ToUpper(g.Name())] = g
+	}
+	return out
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ghostbuster", flag.ContinueOnError)
+	listGW := fs.Bool("list-ghostware", false, "list the installable ghostware corpus and exit")
+	infect := fs.String("infect", "", "install the named ghostware before scanning")
+	scan := fs.String("scan", "all", "what to scan: files|aseps|procs|mods|drivers|all")
+	advanced := fs.Bool("advanced", false, "use the CID-table traversal for the process low-level scan (catches DKOM)")
+	inject := fs.Bool("inject", false, "run the scans from inside every process (the §5 DLL-injection extension)")
+	jsonOut := fs.Bool("json", false, "emit reports as JSON instead of text")
+	verbose := fs.Bool("v", false, "print every finding, not just the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *listGW {
+		for _, g := range corpusOrdered() {
+			fmt.Printf("  %-24s %-28s hides: %s\n", g.Name(), g.Class(), hideSummary(g))
+		}
+		return nil
+	}
+
+	p := workload.SmallProfile()
+	fmt.Printf("building machine %q (%s, %.0f GB used, %d MHz)...\n", p.Name, p.Kind, p.DiskUsedGB, p.CPUMHz)
+	m, err := workload.NewPaperMachine(p)
+	if err != nil {
+		return err
+	}
+	// Content the commercial hiders protect, so every corpus entry works.
+	for _, f := range []string{`C:\Private\diary.txt`, `C:\Shared\docs.txt`} {
+		if err := m.DropFile(f, []byte("user data")); err != nil {
+			return err
+		}
+	}
+
+	if *infect != "" {
+		g, ok := corpus()[strings.ToUpper(*infect)]
+		if !ok {
+			return fmt.Errorf("unknown ghostware %q (try -list-ghostware)", *infect)
+		}
+		fmt.Printf("installing %s (%s)...\n", g.Name(), g.Class())
+		if err := g.Install(m); err != nil {
+			return err
+		}
+		if fu, ok := g.(*ghostware.FU); ok {
+			// FU needs a victim: hide its own helper process.
+			if _, err := m.StartProcess("fuvictim.exe", `C:\fu\fuvictim.exe`); err != nil {
+				return err
+			}
+			if err := fu.HideByName(m, "fuvictim.exe"); err != nil {
+				return err
+			}
+			fmt.Println("ran: fu -ph <pid of fuvictim.exe>")
+		}
+	}
+
+	if *inject {
+		return runInjected(m, *verbose)
+	}
+	return runPlain(m, *scan, *advanced, *verbose, *jsonOut)
+}
+
+func runPlain(m *machine.Machine, scan string, advanced, verbose, jsonOut bool) error {
+	d := core.NewDetector(m)
+	d.Advanced = advanced
+	var reports []*core.Report
+	runScan := func(name string, f func() (*core.Report, error)) error {
+		r, err := f()
+		if err != nil {
+			return fmt.Errorf("%s scan: %w", name, err)
+		}
+		reports = append(reports, r)
+		return nil
+	}
+	switch scan {
+	case "files":
+		if err := runScan("file", d.ScanFiles); err != nil {
+			return err
+		}
+	case "aseps":
+		if err := runScan("ASEP", d.ScanASEPs); err != nil {
+			return err
+		}
+	case "procs":
+		if err := runScan("process", d.ScanProcesses); err != nil {
+			return err
+		}
+	case "mods":
+		if err := runScan("module", d.ScanModules); err != nil {
+			return err
+		}
+	case "drivers":
+		if err := runScan("driver", d.ScanDrivers); err != nil {
+			return err
+		}
+	case "all":
+		all, err := d.ScanAll()
+		if err != nil {
+			return err
+		}
+		reports = all
+		if err := runScan("driver", d.ScanDrivers); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown scan kind %q", scan)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+		for _, r := range reports {
+			if r.Infected() {
+				os.Exit(2)
+			}
+		}
+		return nil
+	}
+	infected := false
+	for _, r := range reports {
+		fmt.Println(r.Summary())
+		fmt.Printf("           scan time: %s\n", vtime.String(r.Elapsed))
+		if r.MassHiding != nil {
+			fmt.Println("           " + r.MassHiding.String())
+		}
+		if verbose || len(r.Hidden) <= 10 {
+			for _, f := range r.Hidden {
+				fmt.Printf("    HIDDEN %s  (%s)\n", strings.ReplaceAll(f.Display, "\x00", `\0`), f.Detail)
+			}
+		} else {
+			fmt.Printf("    (%d hidden entries; rerun with -v to list)\n", len(r.Hidden))
+		}
+		if r.Infected() {
+			infected = true
+		}
+	}
+	if infected {
+		fmt.Println("\nVERDICT: machine is INFECTED with resource-hiding software")
+		os.Exit(2)
+	}
+	fmt.Println("\nVERDICT: no hidden resources detected")
+	return nil
+}
+
+func runInjected(m *machine.Machine, verbose bool) error {
+	fmt.Println("injecting GhostBuster DLL into every running process...")
+	files, err := injection.ScanFilesEverywhere(m)
+	if err != nil {
+		return err
+	}
+	procs, err := injection.ScanProcsEverywhere(m)
+	if err != nil {
+		return err
+	}
+	union := append(append([]core.Finding(nil), files.Union...), procs.Union...)
+	for _, pp := range append(files.PerProc, procs.PerProc...) {
+		fmt.Printf("  via %-20s %d hidden\n", pp.Process, len(pp.Hidden))
+		if verbose {
+			for _, f := range pp.Hidden {
+				fmt.Printf("      HIDDEN %s\n", f.Display)
+			}
+		}
+	}
+	if len(union) > 0 {
+		fmt.Printf("\nVERDICT: INFECTED — %d hidden resources across all identities\n", len(union))
+		os.Exit(2)
+	}
+	fmt.Println("\nVERDICT: no hidden resources detected from any process identity")
+	return nil
+}
+
+func corpusOrdered() []ghostware.Ghostware {
+	return append(ghostware.Fig3Corpus(), ghostware.NewBerbew(), ghostware.NewFU(),
+		ghostware.NewWin32NameGhost(), ghostware.NewRegNullGhost(),
+		ghostware.NewADSGhost(), ghostware.NewDriverHider(),
+		ghostware.NewTargeted(ghostware.HideFromUtilities),
+		ghostware.NewDecoy([]string{`C:\Shared`}))
+}
+
+func hideSummary(g ghostware.Ghostware) string {
+	var parts []string
+	if n := len(g.HiddenFiles()); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d files", n))
+	}
+	if n := len(g.HiddenASEPs()); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d ASEP hooks", n))
+	}
+	if n := len(g.HiddenProcs()); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d processes", n))
+	}
+	if len(parts) == 0 {
+		return "configured at runtime"
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestListGhostware(t *testing.T) {
+	if err := run([]string{"-list-ghostware"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanMachineScan(t *testing.T) {
+	// A clean machine never reaches the infected os.Exit path.
+	if err := run([]string{"-scan", "procs"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownGhostwareErrors(t *testing.T) {
+	if err := run([]string{"-infect", "NotARootkit"}); err == nil {
+		t.Fatal("unknown ghostware should error")
+	}
+}
+
+func TestUnknownScanKindErrors(t *testing.T) {
+	if err := run([]string{"-scan", "bogus"}); err == nil {
+		t.Fatal("unknown scan kind should error")
+	}
+}
+
+func TestCorpusIsComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, g := range corpusOrdered() {
+		names[g.Name()] = true
+	}
+	for _, want := range []string{
+		"Urbin", "Mersting", "Vanquish", "Aphex", "Hacker Defender 1.0",
+		"ProBot SE", "Hide Files 3.3", "Hide Folders XP", "Advanced Hide Folders",
+		"File & Folder Protector", "Berbew", "FU",
+		"Win32NameGhost", "RegNullGhost", "ADSGhost", "DriverHider", "Targeted", "Decoy",
+	} {
+		if !names[want] {
+			t.Errorf("corpus missing %s", want)
+		}
+	}
+}

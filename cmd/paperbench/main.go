@@ -1,0 +1,68 @@
+// Command paperbench regenerates every table and figure from the
+// paper's evaluation on simulated machines and prints them with
+// paper-vs-measured notes.
+//
+// Usage:
+//
+//	paperbench            # run the full matrix
+//	paperbench -list      # list experiment ids
+//	paperbench -exp fig3  # run one experiment (figN or a named exp)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ghostbuster/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	exp := fs.String("exp", "", "run a single experiment by id (e.g. fig3, scantime, linux)")
+	fig := fs.Int("fig", 0, "run a single figure by number (2-6)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Description)
+		}
+		return nil
+	}
+	id := *exp
+	if *fig != 0 {
+		id = fmt.Sprintf("fig%d", *fig)
+	}
+	if id != "" {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", id)
+		}
+		return runOne(e)
+	}
+	fmt.Println("Strider GhostBuster reproduction — full evaluation matrix")
+	for _, e := range experiments.All() {
+		if err := runOne(e); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+func runOne(e experiments.Experiment) error {
+	table, err := e.Run()
+	if err != nil {
+		return err
+	}
+	table.Render(os.Stdout)
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleExperimentByID(t *testing.T) {
+	if err := run([]string{"-exp", "regfp"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleFigureByNumber(t *testing.T) {
+	if err := run([]string{"-fig", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperimentErrors(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}

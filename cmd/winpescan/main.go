@@ -1,0 +1,97 @@
+// Command winpescan demonstrates the outside-the-box solution: it
+// builds an (optionally infected) machine, takes the inside high-level
+// scans, boots the simulated WinPE CD, scans the disk and hives from the
+// clean environment, and prints the cross-view diff with the standard
+// noise filters applied.
+//
+// Usage:
+//
+//	winpescan                        # clean machine: expect only churn noise
+//	winpescan -infect "Vanquish"     # expect the rootkit's hidden files
+//	winpescan -ccm                   # enable the CCM service (the 7-FP machine)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/ghostware"
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/vtime"
+	"ghostbuster/internal/winpe"
+	"ghostbuster/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "winpescan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("winpescan", flag.ContinueOnError)
+	infect := fs.String("infect", "", "install the named ghostware before scanning")
+	ccm := fs.Bool("ccm", false, "enable the CCM agent (reproduces the noisy machine)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := workload.SmallProfile()
+	if *ccm {
+		p.Churn = append(p.Churn, machine.ChurnCCM)
+	}
+	m, err := workload.NewPaperMachine(p)
+	if err != nil {
+		return err
+	}
+	if err := m.DropFile(`C:\Private\diary.txt`, []byte("user data")); err != nil {
+		return err
+	}
+	if *infect != "" {
+		var target ghostware.Ghostware
+		for _, g := range ghostware.Fig3Corpus() {
+			if strings.EqualFold(g.Name(), *infect) {
+				target = g
+			}
+		}
+		if target == nil {
+			return fmt.Errorf("unknown ghostware %q (one of the Figure 3 corpus)", *infect)
+		}
+		fmt.Printf("installing %s...\n", target.Name())
+		if err := target.Install(m); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("taking inside-the-box high-level scans...")
+	fmt.Println("shutting down and booting the WinPE CD (1.5-3 minutes)...")
+	fileReport, err := winpe.OutsideFileCheck(m, core.DiffOptions{})
+	if err != nil {
+		return err
+	}
+	asepReport, err := winpe.OutsideASEPCheck(m, core.DiffOptions{})
+	if err != nil {
+		return err
+	}
+
+	for _, r := range []*core.Report{fileReport, asepReport} {
+		fmt.Println(r.Summary())
+		fmt.Printf("           total virtual time: %s\n", vtime.String(r.Elapsed))
+		for _, f := range r.Hidden {
+			fmt.Printf("    HIDDEN %s\n", f.Display)
+		}
+		for _, f := range r.Noise {
+			fmt.Printf("    noise  %s  [%s]\n", f.Display, f.Reason)
+		}
+	}
+	if fileReport.Infected() || asepReport.Infected() {
+		fmt.Println("\nVERDICT: machine is INFECTED")
+		os.Exit(2)
+	}
+	fmt.Println("\nVERDICT: clean (reboot churn classified as noise)")
+	return nil
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestCleanOutsideScan(t *testing.T) {
+	// A clean machine: churn is classified as noise, verdict is clean,
+	// and run returns without hitting the infected exit path.
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownGhostwareErrors(t *testing.T) {
+	if err := run([]string{"-infect", "NotReal"}); err == nil {
+		t.Fatal("unknown ghostware should error")
+	}
+}

@@ -1,0 +1,95 @@
+// Forensics tour: the detection surfaces beyond the paper's four
+// resource types — alternate data streams, driver-list hiding,
+// AskStrider's recent-change shortlist, and deleted-file recovery — on
+// one machine attacked three different ways.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ghostbuster/internal/askstrider"
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/ghostware"
+	"ghostbuster/internal/workload"
+)
+
+func main() {
+	m, err := workload.NewPaperMachine(workload.SmallProfile())
+	if err != nil {
+		log.Fatal(err)
+	}
+	since := m.Now()
+	m.Clock.Advance(1)
+
+	// Attack 1: payload tucked into alternate data streams of an
+	// innocent file — no hook installed anywhere.
+	if err := ghostware.NewADSGhost().Install(m); err != nil {
+		log.Fatal(err)
+	}
+	// Attack 2: a rootkit that hides its driver from the driver list.
+	if err := ghostware.NewDriverHider().Install(m); err != nil {
+		log.Fatal(err)
+	}
+	// Attack 3: a dropper that deleted itself after running — but first
+	// it started a (visible) worker process from a freshly written file.
+	if err := m.DropFile(`C:\tmp\dropper.exe`, []byte("MZ installer")); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.DropFile(`C:\WINDOWS\system32\worker.exe`, []byte("MZ worker")); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.StartProcess("worker.exe", `C:\WINDOWS\system32\worker.exe`); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.RemoveFile(`C:\tmp\dropper.exe`); err != nil {
+		log.Fatal(err)
+	}
+
+	d := core.NewDetector(m)
+
+	fmt.Println("== file diff (catches the ADS payload and the hidden driver file) ==")
+	files, err := d.ScanFiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range files.Hidden {
+		kind := "file"
+		if strings.Contains(f.ID[2:], ":") { // a colon past the drive prefix marks a stream
+			kind = "ADS "
+		}
+		fmt.Printf("  HIDDEN %s %s\n", kind, f.Display)
+	}
+
+	fmt.Println("\n== driver diff (catches the driver-list filtering) ==")
+	drivers, err := d.ScanDrivers()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range drivers.Hidden {
+		fmt.Printf("  HIDDEN DRIVER %s\n", f.Display)
+	}
+
+	fmt.Println("\n== AskStrider (what changed lately?) ==")
+	as, err := askstrider.Run(m, since)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, it := range as.Recent {
+		fmt.Printf("  recent %-8s %s\n", it.Kind, it.Display)
+	}
+
+	fmt.Println("\n== deleted-file forensics (what ran and erased itself?) ==")
+	deleted, err := core.ScanDeletedFiles(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, df := range deleted {
+		fmt.Printf("  stale MFT record %d: %s (%d bytes)\n", df.Record, df.Name, df.Size)
+	}
+
+	if files.Infected() && drivers.Infected() && len(deleted) > 0 {
+		fmt.Println("\nall three attacks left evidence; none survived the combined sweep")
+	}
+}

@@ -1,0 +1,3 @@
+module ghostbuster
+
+go 1.22

@@ -1,0 +1,90 @@
+package askstrider
+
+import (
+	"strings"
+	"testing"
+
+	"ghostbuster/internal/ghostware"
+	"ghostbuster/internal/machine"
+)
+
+func smallMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	p := machine.DefaultProfile()
+	p.DiskUsedGB = 1
+	p.Churn = nil
+	m, err := machine.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCleanMachineNothingRecent(t *testing.T) {
+	m := smallMachine(t)
+	// Reference time after the machine was built: nothing is "recent".
+	since := m.Now() + 1
+	r, err := Run(m, since)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Items) == 0 {
+		t.Fatal("no items enumerated")
+	}
+	if len(r.Recent) != 0 {
+		t.Errorf("recent on idle machine: %+v", r.Recent)
+	}
+}
+
+// TestHackerDefenderRevealedByUnhiddenDriver reproduces the §4 remark:
+// the rootkit hides its files and process, but its freshly installed
+// driver stays on the driver list — and AskStrider flags it as recent.
+func TestHackerDefenderRevealedByUnhiddenDriver(t *testing.T) {
+	m := smallMachine(t)
+	since := m.Now() // everything from now on is "recent"
+	m.Clock.Advance(1)
+	if err := ghostware.NewHackerDefender().Install(m); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(m, since)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hidden process must NOT be in the report (AskStrider sees only
+	// the API view).
+	for _, it := range r.Items {
+		if strings.Contains(strings.ToUpper(it.Display), "HXDEF100.EXE") {
+			t.Errorf("hidden process leaked into AskStrider: %+v", it)
+		}
+	}
+	// But the unhidden driver is, and it is recent.
+	hits := r.FindRecent("hxdefdrv.sys")
+	if len(hits) != 1 || hits[0].Kind != "driver" {
+		t.Fatalf("driver hits = %+v", hits)
+	}
+}
+
+// TestRecentFlagsNewSoftware: a freshly installed (non-hiding) program's
+// process and image show up as recent — AskStrider's everyday use.
+func TestRecentFlagsNewSoftware(t *testing.T) {
+	m := smallMachine(t)
+	since := m.Now()
+	m.Clock.Advance(1)
+	if err := m.DropFile(`C:\Program Files\newapp\newapp.exe`, []byte("MZ new")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StartProcess("newapp.exe", `C:\Program Files\newapp\newapp.exe`); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(m, since)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.FindRecent("newapp.exe")) == 0 {
+		t.Errorf("new software not flagged; recent = %+v", r.Recent)
+	}
+	// Pre-existing system binaries are not recent.
+	if len(r.FindRecent("kernel32.dll")) != 0 {
+		t.Error("old system DLL flagged as recent")
+	}
+}

@@ -1,0 +1,127 @@
+// Package avscanner models a signature-based on-demand anti-virus
+// scanner (the paper's eTrust / InocIT.exe). It enumerates files through
+// the normal Win32 APIs — which is exactly why a resource-hiding rootkit
+// defeats it even when its signatures are current: files that are never
+// enumerated are never scanned (§5).
+//
+// Combined with the injection package this reproduces the paper's
+// dilemma demo: hide from InocIT.exe and the injected GhostBuster diff
+// flags you; show yourself and the signature engine flags you.
+package avscanner
+
+import (
+	"bytes"
+	"fmt"
+
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/winapi"
+)
+
+// Signature is one known-bad content pattern.
+type Signature struct {
+	Name    string
+	Pattern []byte
+}
+
+// Detection is one signature match.
+type Detection struct {
+	Path      string
+	Signature string
+}
+
+// DefaultSignatures knows the corpus malware that drops recognizable
+// content.
+func DefaultSignatures() []Signature {
+	return []Signature{
+		{Name: "Win32/HackerDefender", Pattern: []byte("hxdef")},
+		{Name: "Win32/Vanquish", Pattern: []byte("vanquish")},
+		{Name: "Win32/Berbew", Pattern: []byte("berbew")},
+		{Name: "Win32/AFXRootkit", Pattern: []byte("afx")},
+		{Name: "Win32/Urbin", Pattern: []byte("trojan Urbin")},
+	}
+}
+
+// Scanner is an installed AV product.
+type Scanner struct {
+	ProcessName string // the scanning process identity (InocIT.exe)
+	Signatures  []Signature
+}
+
+// New installs the scanner's process on the machine and returns it.
+func New(m *machine.Machine, sigs []Signature) (*Scanner, error) {
+	const proc = "InocIT.exe"
+	if _, err := m.Kern.PidByName(proc); err != nil {
+		if _, err := m.StartProcess(proc, `C:\Program Files\eTrust\InocIT.exe`); err != nil {
+			return nil, fmt.Errorf("avscanner: starting %s: %w", proc, err)
+		}
+	}
+	return &Scanner{ProcessName: proc, Signatures: sigs}, nil
+}
+
+// OnDemandScan walks the filesystem through the Win32 API (as the
+// scanner process) and matches file contents against the signatures.
+// Files hidden from the enumeration are silently missed — that is the
+// point.
+func (s *Scanner) OnDemandScan(m *machine.Machine) ([]Detection, error) {
+	call, err := m.CallAs(s.ProcessName)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := m.API.WalkTreeWin32(call, machine.Drive)
+	if err != nil {
+		return nil, err
+	}
+	var out []Detection
+	for _, e := range entries {
+		if e.Dir {
+			continue
+		}
+		det, err := s.scanOne(m, e)
+		if err != nil {
+			continue // unreadable file: skip, keep scanning
+		}
+		out = append(out, det...)
+	}
+	return out, nil
+}
+
+// ScanPaths scans specific files (e.g. the paths GhostBuster's diff just
+// exposed) against the signatures, reading below the API layer so hiding
+// cannot block the read.
+func (s *Scanner) ScanPaths(m *machine.Machine, paths []string) ([]Detection, error) {
+	var out []Detection
+	for _, p := range paths {
+		vp, err := machine.VolumePath(p)
+		if err != nil {
+			continue
+		}
+		data, err := m.Disk.ReadFile(vp)
+		if err != nil {
+			continue
+		}
+		for _, sig := range s.Signatures {
+			if bytes.Contains(bytes.ToUpper(data), bytes.ToUpper(sig.Pattern)) {
+				out = append(out, Detection{Path: p, Signature: sig.Name})
+			}
+		}
+	}
+	return out, nil
+}
+
+func (s *Scanner) scanOne(m *machine.Machine, e winapi.DirEntry) ([]Detection, error) {
+	vp, err := machine.VolumePath(e.Path)
+	if err != nil {
+		return nil, err
+	}
+	data, err := m.Disk.ReadFile(vp)
+	if err != nil {
+		return nil, err
+	}
+	var out []Detection
+	for _, sig := range s.Signatures {
+		if bytes.Contains(bytes.ToUpper(data), bytes.ToUpper(sig.Pattern)) {
+			out = append(out, Detection{Path: e.Path, Signature: sig.Name})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package avscanner
+
+import (
+	"strings"
+	"testing"
+
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/ghostware"
+	"ghostbuster/internal/machine"
+)
+
+func avMachine(t *testing.T) (*machine.Machine, *Scanner) {
+	t.Helper()
+	p := machine.DefaultProfile()
+	p.DiskUsedGB = 1
+	p.Churn = nil
+	m, err := machine.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(m, DefaultSignatures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, s
+}
+
+func TestCleanMachineNoDetections(t *testing.T) {
+	m, s := avMachine(t)
+	dets, err := s.OnDemandScan(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 0 {
+		t.Errorf("detections on clean machine: %+v", dets)
+	}
+}
+
+func TestSignatureScanFindsUnhiddenMalware(t *testing.T) {
+	m, s := avMachine(t)
+	// Drop Hacker Defender files WITHOUT activating the rootkit: the
+	// signatures catch them.
+	if err := m.DropFile(`C:\drop\hxdef100.exe`, []byte("MZ hxdef payload")); err != nil {
+		t.Fatal(err)
+	}
+	dets, err := s.OnDemandScan(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 || dets[0].Signature != "Win32/HackerDefender" {
+		t.Errorf("detections = %+v", dets)
+	}
+}
+
+// TestHidingDefeatsSignatureScan reproduces the §5 observation: "The
+// scanner could not detect Hacker Defender, even though it did have the
+// known-bad signatures."
+func TestHidingDefeatsSignatureScan(t *testing.T) {
+	m, s := avMachine(t)
+	if err := ghostware.NewHackerDefender().Install(m); err != nil {
+		t.Fatal(err)
+	}
+	dets, err := s.OnDemandScan(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dets {
+		if d.Signature == "Win32/HackerDefender" {
+			t.Errorf("signature scan should be blinded by hiding: %+v", d)
+		}
+	}
+}
+
+// TestInjectedGhostBusterRestoresDetection: running the cross-view diff
+// *as InocIT.exe* exposes the hidden files, whose paths the signature
+// engine then confirms — the paper's injection demo.
+func TestInjectedGhostBusterRestoresDetection(t *testing.T) {
+	m, s := avMachine(t)
+	if err := ghostware.NewHackerDefender().Install(m); err != nil {
+		t.Fatal(err)
+	}
+	d := core.NewDetector(m)
+	d.AsProcess = s.ProcessName
+	r, err := d.ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hidden) == 0 {
+		t.Fatal("injected diff found nothing")
+	}
+	var paths []string
+	for _, f := range r.Hidden {
+		paths = append(paths, f.Display)
+	}
+	dets, err := s.ScanPaths(m, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, det := range dets {
+		if det.Signature == "Win32/HackerDefender" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("signatures should confirm the exposed files: %+v", dets)
+	}
+}
+
+// TestDilemma: if the rootkit exempts InocIT.exe from hiding (to evade
+// the injected GhostBuster), the plain signature scan catches it.
+func TestDilemma(t *testing.T) {
+	m, s := avMachine(t)
+	if err := ghostware.NewHackerDefenderExempting([]string{s.ProcessName}).Install(m); err != nil {
+		t.Fatal(err)
+	}
+	// Horn 1: the injected GhostBuster diff (as InocIT.exe) sees nothing
+	// hidden — InocIT sees the truth.
+	d := core.NewDetector(m)
+	d.AsProcess = s.ProcessName
+	r, err := d.ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hidden) != 0 {
+		t.Errorf("exempted scanner should see no hiding: %+v", r.Hidden)
+	}
+	// Horn 2: but then the signature scan works.
+	dets, err := s.OnDemandScan(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, det := range dets {
+		if det.Signature == "Win32/HackerDefender" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("signature scan should now catch the visible rootkit")
+	}
+	// Other processes still experience the hiding.
+	d.AsProcess = "explorer.exe"
+	r, err = d.ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hidden) == 0 {
+		t.Error("hiding should still apply to non-exempt processes")
+	}
+	for _, f := range r.Hidden {
+		if !strings.Contains(f.ID, "HXDEF") {
+			t.Errorf("unexpected finding %s", f.ID)
+		}
+	}
+}

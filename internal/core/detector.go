@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/winapi"
+)
+
+// Detector is the inside-the-box GhostBuster tool: it runs paired
+// high/low scans for each resource type on one machine and diffs them.
+type Detector struct {
+	M *machine.Machine
+	// Advanced selects the CID-table traversal for the process low scan
+	// (needed against DKOM rootkits like FU; paper §4).
+	Advanced bool
+	// AsProcess overrides the identity the high-level scans run under
+	// (default explorer.exe). The §5 DLL-injection extension runs the
+	// same scans as every process in turn.
+	AsProcess string
+	// Diff tuning (noise filters apply to outside scans; inside scans
+	// are expected to be clean).
+	Opts DiffOptions
+}
+
+// NewDetector builds a detector with default settings on m: inside-the-
+// box scans with only the baseline noise filters (benign ADS markers).
+func NewDetector(m *machine.Machine) *Detector {
+	return &Detector{M: m, Opts: DiffOptions{NoiseFilters: BaselineNoiseFilters()}}
+}
+
+func (d *Detector) call() (*winapi.Call, error) {
+	name := d.AsProcess
+	if name == "" {
+		return d.M.SystemCall(), nil
+	}
+	return d.M.CallAs(name)
+}
+
+// ScanFiles runs the inside-the-box hidden-file detection (§2).
+func (d *Detector) ScanFiles() (*Report, error) {
+	call, err := d.call()
+	if err != nil {
+		return nil, err
+	}
+	high, err := ScanFilesHigh(d.M, call)
+	if err != nil {
+		return nil, err
+	}
+	low, err := ScanFilesLow(d.M)
+	if err != nil {
+		return nil, err
+	}
+	return Diff(high, low, d.Opts)
+}
+
+// ScanASEPs runs the inside-the-box hidden-Registry detection (§3).
+func (d *Detector) ScanASEPs() (*Report, error) {
+	call, err := d.call()
+	if err != nil {
+		return nil, err
+	}
+	high, err := ScanASEPHigh(d.M, call)
+	if err != nil {
+		return nil, err
+	}
+	low, err := ScanASEPLow(d.M)
+	if err != nil {
+		return nil, err
+	}
+	return Diff(high, low, d.Opts)
+}
+
+// ScanProcesses runs the inside-the-box hidden-process detection (§4).
+func (d *Detector) ScanProcesses() (*Report, error) {
+	call, err := d.call()
+	if err != nil {
+		return nil, err
+	}
+	high, err := ScanProcsHigh(d.M, call)
+	if err != nil {
+		return nil, err
+	}
+	low, err := ScanProcsLow(d.M, d.Advanced)
+	if err != nil {
+		return nil, err
+	}
+	return Diff(high, low, d.Opts)
+}
+
+// ScanModules runs the inside-the-box hidden-module detection (§4). The
+// pid set comes from the kernel truth so hidden processes' modules are
+// covered.
+func (d *Detector) ScanModules() (*Report, error) {
+	call, err := d.call()
+	if err != nil {
+		return nil, err
+	}
+	pids, err := TruthPids(d.M)
+	if err != nil {
+		return nil, err
+	}
+	high, err := ScanModsHigh(d.M, call, pids)
+	if err != nil {
+		return nil, err
+	}
+	low, err := ScanModsLow(d.M, pids)
+	if err != nil {
+		return nil, err
+	}
+	return Diff(high, low, d.Opts)
+}
+
+// ScanAll runs all four detections and returns the reports in the
+// paper's order: files, ASEP hooks, processes, modules.
+func (d *Detector) ScanAll() ([]*Report, error) {
+	type step struct {
+		name string
+		run  func() (*Report, error)
+	}
+	steps := []step{
+		{"files", d.ScanFiles},
+		{"ASEPs", d.ScanASEPs},
+		{"processes", d.ScanProcesses},
+		{"modules", d.ScanModules},
+	}
+	out := make([]*Report, 0, len(steps))
+	for _, s := range steps {
+		r, err := s.run()
+		if err != nil {
+			return nil, fmt.Errorf("core: %s scan: %w", s.name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

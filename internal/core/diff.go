@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// DefaultMassHidingThreshold is the hidden-entry count above which a
+// report flags a mass-hiding anomaly.
+const DefaultMassHidingThreshold = 100
+
+// DiffOptions tunes the cross-view comparison.
+type DiffOptions struct {
+	// NoiseFilters classify hidden-side findings as known-benign churn.
+	NoiseFilters []NoiseFilter
+	// MassHidingThreshold overrides DefaultMassHidingThreshold; zero
+	// keeps the default, negative disables the anomaly check.
+	MassHidingThreshold int
+}
+
+// Diff compares a high-level (possibly lied-to) snapshot with a
+// low-level or outside (truth) snapshot of the same resource kind.
+// Entries present only in the truth view are hidden resources.
+func Diff(high, low *Snapshot, opts DiffOptions) (*Report, error) {
+	if high.Kind != low.Kind {
+		return nil, fmt.Errorf("core: diffing %v against %v", high.Kind, low.Kind)
+	}
+	threshold := opts.MassHidingThreshold
+	if threshold == 0 {
+		threshold = DefaultMassHidingThreshold
+	}
+	r := &Report{Kind: high.Kind, HighView: high.View, LowView: low.View}
+	for id, e := range low.Entries {
+		if _, visible := high.Entries[id]; visible {
+			continue
+		}
+		f := Finding{Kind: low.Kind, ID: id, Display: e.Display, Detail: e.Detail}
+		if reason, benign := matchNoise(opts.NoiseFilters, f); benign {
+			f.Noise = true
+			f.Reason = reason
+			r.Noise = append(r.Noise, f)
+			continue
+		}
+		r.Hidden = append(r.Hidden, f)
+	}
+	for id, e := range high.Entries {
+		if _, present := low.Entries[id]; !present {
+			r.Phantom = append(r.Phantom, Finding{Kind: high.Kind, ID: id, Display: e.Display, Detail: e.Detail})
+		}
+	}
+	sortFindings(r.Hidden)
+	sortFindings(r.Noise)
+	sortFindings(r.Phantom)
+	r.Elapsed = high.Elapsed + low.Elapsed + time.Duration(high.Len()+low.Len())*costDiffPerEntry
+	if threshold > 0 && len(r.Hidden) > threshold {
+		r.MassHiding = &MassHidingAnomaly{HiddenCount: len(r.Hidden), Threshold: threshold}
+	}
+	return r, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].ID < fs[j].ID })
+}

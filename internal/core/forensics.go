@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/ntfs"
+	"ghostbuster/internal/vtime"
+	"ghostbuster/internal/winapi"
+)
+
+// This file holds the detection surfaces beyond the paper's four
+// resource types: loaded-driver diffing and deleted-file forensics.
+
+// ScanDriversHigh lists loaded drivers through the (hookable) API chain.
+func ScanDriversHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
+	sw := vtime.NewStopwatch(m.Clock)
+	snap := newSnapshot(KindDrivers, ViewWin32Inside)
+	drvs, err := m.API.EnumDriversWin32(call)
+	if err != nil {
+		return nil, fmt.Errorf("core: high-level driver scan: %w", err)
+	}
+	for _, d := range drvs {
+		snap.add(Entry{ID: fileID(d.Path), Display: d.Path, Detail: fmt.Sprintf("base %#x", d.Base)})
+	}
+	m.Clock.ChargeOps(int64(len(drvs)), costPerModule)
+	snap.Taken = m.Clock.Now()
+	snap.Elapsed = sw.Elapsed()
+	return snap, nil
+}
+
+// ScanDriversLow walks the kernel's loaded-module list directly.
+func ScanDriversLow(m *machine.Machine) (*Snapshot, error) {
+	sw := vtime.NewStopwatch(m.Clock)
+	snap := newSnapshot(KindDrivers, ViewKernelAPL)
+	drvs, err := m.Kern.Drivers()
+	if err != nil {
+		return nil, fmt.Errorf("core: low-level driver scan: %w", err)
+	}
+	for _, d := range drvs {
+		snap.add(Entry{ID: fileID(d.Path), Display: d.Path, Detail: fmt.Sprintf("base %#x", d.Base)})
+	}
+	m.Clock.ChargeOps(int64(len(drvs)), costPerModule)
+	snap.Taken = m.Clock.Now()
+	snap.Elapsed = sw.Elapsed()
+	return snap, nil
+}
+
+// ScanDrivers diffs the driver views, exposing rootkits that filter the
+// driver-enumeration API (a natural next step for Hacker Defender-style
+// rootkits once AskStrider made the visible driver a liability, §4).
+func (d *Detector) ScanDrivers() (*Report, error) {
+	call, err := d.call()
+	if err != nil {
+		return nil, err
+	}
+	high, err := ScanDriversHigh(d.M, call)
+	if err != nil {
+		return nil, err
+	}
+	low, err := ScanDriversLow(d.M)
+	if err != nil {
+		return nil, err
+	}
+	return Diff(high, low, d.Opts)
+}
+
+// DeletedFile is one stale MFT record recovered forensically.
+type DeletedFile struct {
+	Name   string
+	Record uint32
+	Size   uint64
+}
+
+// ScanDeletedFiles lists files whose MFT records were freed but not yet
+// reused — the residue left when ghostware deletes itself (or when an
+// operator removes it). The paper's removal story ends with file
+// deletion; this extension proves post-hoc what was removed.
+func ScanDeletedFiles(m *machine.Machine) ([]DeletedFile, error) {
+	entries, err := ntfs.ScanDeleted(m.Disk.Device())
+	if err != nil {
+		return nil, fmt.Errorf("core: deleted-file scan: %w", err)
+	}
+	out := make([]DeletedFile, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, DeletedFile{Name: e.Name, Record: e.Record, Size: e.Size})
+	}
+	m.Clock.ChargeOps(int64(len(entries)), costPerRepFileLow)
+	return out, nil
+}

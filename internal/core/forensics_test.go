@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ghostbuster/internal/winapi"
+)
+
+func TestDriverDiffCleanMachine(t *testing.T) {
+	m := mustMachine(t)
+	r, err := NewDetector(m).ScanDrivers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Infected() || len(r.Phantom) != 0 {
+		t.Errorf("clean driver diff: %+v / %+v", r.Hidden, r.Phantom)
+	}
+}
+
+func TestDriverDiffExposesHiddenDriver(t *testing.T) {
+	m := mustMachine(t)
+	if _, err := m.Kern.LoadDriver(`C:\WINDOWS\system32\drivers\stealth.sys`); err != nil {
+		t.Fatal(err)
+	}
+	m.API.Install(winapi.NewDriverHideHook("stealth", winapi.LevelNtdll, "driver filter", nil,
+		func(call *winapi.Call, d winapi.ModEntry) bool {
+			return strings.Contains(strings.ToUpper(d.Path), "STEALTH.SYS")
+		}))
+	r, err := NewDetector(m).ScanDrivers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hidden) != 1 || !strings.Contains(r.Hidden[0].ID, "STEALTH.SYS") {
+		t.Fatalf("hidden drivers = %+v", r.Hidden)
+	}
+}
+
+func TestADSExposedByFileDiff(t *testing.T) {
+	m := mustMachine(t)
+	if err := m.DropFile(`C:\notes.txt`, []byte("innocent")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Disk.CreateStream(`\notes.txt`, "payload.exe", []byte("MZ evil")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewDetector(m).ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hidden) != 1 || r.Hidden[0].ID != `C:\NOTES.TXT:PAYLOAD.EXE` {
+		t.Fatalf("hidden = %+v", r.Hidden)
+	}
+}
+
+func TestBenignZoneIdentifierIsNoiseNotFinding(t *testing.T) {
+	m := mustMachine(t)
+	if err := m.DropFile(`C:\download.zip`, []byte("PK")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Disk.CreateStream(`\download.zip`, "Zone.Identifier", []byte("[ZoneTransfer]")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewDetector(m).ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hidden) != 0 {
+		t.Errorf("zone marker flagged as hidden: %+v", r.Hidden)
+	}
+	if len(r.Noise) != 1 || r.Noise[0].Reason != "Zone.Identifier stream" {
+		t.Errorf("noise = %+v", r.Noise)
+	}
+}
+
+func TestDeletedFileForensics(t *testing.T) {
+	m := mustMachine(t)
+	if err := m.DropFile(`C:\hxdef\hxdef100.exe`, []byte("MZ")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveFile(`C:\hxdef\hxdef100.exe`); err != nil {
+		t.Fatal(err)
+	}
+	deleted, err := ScanDeletedFiles(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range deleted {
+		if d.Name == "hxdef100.exe" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("removed rootkit file not recoverable; deleted = %+v", deleted)
+	}
+}

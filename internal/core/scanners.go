@@ -1,0 +1,441 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ghostbuster/internal/hive"
+	"ghostbuster/internal/kernel"
+	"ghostbuster/internal/kmem"
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/ntfs"
+	"ghostbuster/internal/registry"
+	"ghostbuster/internal/vtime"
+	"ghostbuster/internal/winapi"
+)
+
+// Cost constants for the virtual-time model, calibrated so that the
+// paper's reported ranges fall out of its machine profiles: high-level
+// file scans are seek-bound (~4 ms per represented file), low-level MFT
+// reads are sequential, full-hive parsing is CPU-bound per key, and
+// process scans cost per process. See EXPERIMENTS.md for the mapping.
+const (
+	costPerRepFileHigh = 4 * time.Millisecond
+	costPerRepFileLow  = 50 * time.Microsecond
+	costPerRepKeyParse = 200 * time.Microsecond
+	costPerRepKeyHigh  = 400 * time.Microsecond
+	costPerProcess     = 40 * time.Millisecond
+	costPerModule      = 2 * time.Millisecond
+	costDiffPerEntry   = 1 * time.Microsecond
+)
+
+// fileID canonicalizes a full path for diffing.
+func fileID(path string) string { return strings.ToUpper(path) }
+
+// --- file scans -----------------------------------------------------------
+
+// ScanFilesHigh performs the inside-the-box high-level file scan: the
+// equivalent of "dir /s /b" issued by the given process through the
+// FindFirst(Next)File chain.
+func ScanFilesHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
+	sw := vtime.NewStopwatch(m.Clock)
+	snap := newSnapshot(KindFiles, ViewWin32Inside)
+	entries, err := m.API.WalkTreeWin32(call, machine.Drive)
+	if err != nil {
+		return nil, fmt.Errorf("core: high-level file scan: %w", err)
+	}
+	for _, e := range entries {
+		snap.add(Entry{
+			ID:      fileID(e.Path),
+			Display: e.Path,
+			Detail:  fmt.Sprintf("%d bytes", e.Size),
+		})
+	}
+	m.Clock.ChargeOps(int64(float64(len(entries))*m.Profile.RepFileFactor()), costPerRepFileHigh)
+	snap.Taken = m.Clock.Now()
+	snap.Elapsed = sw.Elapsed()
+	return snap, nil
+}
+
+// ScanFilesLow performs the inside-the-box low-level file scan: parse
+// the live device bytes (the Master File Table) directly, bypassing
+// every API layer.
+func ScanFilesLow(m *machine.Machine) (*Snapshot, error) {
+	sw := vtime.NewStopwatch(m.Clock)
+	snap, err := scanImage(m.Disk.Device(), ViewRawMFT)
+	if err != nil {
+		return nil, err
+	}
+	chargeLowFileScan(m, snap.Len())
+	snap.Taken = m.Clock.Now()
+	snap.Elapsed = sw.Elapsed()
+	return snap, nil
+}
+
+func chargeLowFileScan(m *machine.Machine, entries int) {
+	repBytes := int64(float64(entries)*m.Profile.RepFileFactor()) * ntfs.RecordSize
+	mbps := m.Profile.DiskMBps
+	if mbps <= 0 {
+		mbps = 30
+	}
+	m.Clock.ChargeBytes(repBytes, int64(mbps)<<20)
+	m.Clock.ChargeOps(int64(float64(entries)*m.Profile.RepFileFactor()), costPerRepFileLow)
+}
+
+// scanImage raw-parses a disk image into a file snapshot, labeling it
+// with the given view. Used by the inside low-level scan, the WinPE
+// outside scan, and the VM host scan.
+func scanImage(image []byte, view View) (*Snapshot, error) {
+	snap := newSnapshot(KindFiles, view)
+	raw, _, err := ntfs.RawScan(image)
+	if err != nil {
+		return nil, fmt.Errorf("core: raw MFT scan: %w", err)
+	}
+	for _, e := range raw {
+		full := machine.FullPath(e.Path)
+		detail := fmt.Sprintf("%d bytes, MFT record %d", e.Size, e.Record)
+		if e.Orphan {
+			detail += " (orphaned parent chain)"
+		}
+		snap.add(Entry{ID: fileID(full), Display: full, Detail: detail})
+	}
+	return snap, nil
+}
+
+// ScanFilesImage is the outside-the-box file scan over a disk image
+// obtained from a clean environment (WinPE boot or a powered-down VM's
+// virtual disk).
+func ScanFilesImage(image []byte, view View, clock *vtime.Clock, p machine.Profile) (*Snapshot, error) {
+	sw := vtime.NewStopwatch(clock)
+	snap, err := scanImage(image, view)
+	if err != nil {
+		return nil, err
+	}
+	repBytes := int64(float64(snap.Len())*p.RepFileFactor()) * ntfs.RecordSize
+	mbps := p.DiskMBps
+	if mbps <= 0 {
+		mbps = 30
+	}
+	clock.ChargeBytes(repBytes, int64(mbps)<<20)
+	snap.Taken = clock.Now()
+	snap.Elapsed = sw.Elapsed()
+	return snap, nil
+}
+
+// --- ASEP hook scans ----------------------------------------------------------
+
+// ScanASEPHigh collects ASEP hooks through the Win32 Registry chain
+// (what RegEdit shows).
+func ScanASEPHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
+	sw := vtime.NewStopwatch(m.Clock)
+	snap := newSnapshot(KindASEPHooks, ViewWin32Inside)
+	q := func(keyPath string) (registry.KeyView, error) {
+		ks, err := m.API.QueryKeyWin32(call, keyPath)
+		if err != nil {
+			return registry.KeyView{}, err
+		}
+		return keySnapshotToView(ks), nil
+	}
+	hooks, err := registry.CollectHooks(q, registry.StandardASEPs())
+	if err != nil {
+		return nil, fmt.Errorf("core: high-level ASEP scan: %w", err)
+	}
+	for _, h := range hooks {
+		snap.add(Entry{ID: h.ID(), Display: h.String(), Detail: h.ASEP})
+	}
+	m.Clock.ChargeOps(int64(float64(len(hooks))*m.Profile.RepRegFactor()),
+		time.Duration(float64(costPerRepKeyHigh)*m.Profile.CPUScale()))
+	snap.Taken = m.Clock.Now()
+	snap.Elapsed = sw.Elapsed()
+	return snap, nil
+}
+
+func keySnapshotToView(ks winapi.KeySnapshot) registry.KeyView {
+	view := registry.KeyView{Subkeys: ks.Subkeys}
+	for _, v := range ks.Values {
+		view.Values = append(view.Values, registry.ValueView{
+			Name: v.Name,
+			Data: win32DataString(v),
+		})
+	}
+	return view
+}
+
+// win32DataString renders value data under Win32 semantics: REG_SZ and
+// REG_EXPAND_SZ strings terminate at the first NUL. Raw hive parsing
+// reads the full counted data instead — the asymmetry behind the
+// paper's one Registry false positive (§3: corrupted AppInit_DLLs data
+// "did not show up in RegEdit, but appeared in the raw hive parsing").
+func win32DataString(v winapi.KeyValue) string {
+	s := hive.Value{Name: v.Name, Type: v.Type, Data: v.Data}.String()
+	if v.Type == hive.RegSZ || v.Type == hive.RegExpandSZ {
+		if i := strings.IndexByte(s, 0); i >= 0 {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// ScanASEPLow collects ASEP hooks by copying each mounted hive file and
+// parsing it directly — "truth approximation" (paper §3), since
+// sufficiently privileged ghostware could interfere with the copy.
+func ScanASEPLow(m *machine.Machine) (*Snapshot, error) {
+	sw := vtime.NewStopwatch(m.Clock)
+	images := map[string][]byte{}
+	totalParsedKeys := 0
+	for _, root := range m.Reg.Roots() {
+		h, ok := m.Reg.HiveAt(root)
+		if !ok {
+			continue
+		}
+		images[root] = h.Snapshot()
+	}
+	snap, parsed, err := scanASEPImages(images, ViewRawHive)
+	if err != nil {
+		return nil, err
+	}
+	totalParsedKeys += parsed
+	// The low-level pass walks every cell of every hive; parsing is
+	// CPU-bound, so the charge scales with the machine's CPU speed.
+	perKey := time.Duration(float64(costPerRepKeyParse) * m.Profile.CPUScale())
+	m.Clock.ChargeOps(int64(float64(totalParsedKeys)*m.Profile.RepRegFactor()), perKey)
+	snap.Taken = m.Clock.Now()
+	snap.Elapsed = sw.Elapsed()
+	return snap, nil
+}
+
+// scanASEPImages parses hive images (root path -> file bytes) and
+// collects ASEP hooks from the recovered trees. Used by the inside
+// low-level scan and by the WinPE outside scan (which mounts the same
+// files under a clean OS).
+func scanASEPImages(images map[string][]byte, view View) (*Snapshot, int, error) {
+	snap := newSnapshot(KindASEPHooks, view)
+	parsedKeys := 0
+	// Recover each hive tree into a path-indexed map.
+	type parsedHive struct {
+		keys map[string]registry.KeyView // upper-cased hive-relative path
+	}
+	trees := map[string]parsedHive{} // upper-cased root
+	for root, img := range images {
+		raw, stats, err := hive.Parse(img)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: parsing hive %s: %w", root, err)
+		}
+		parsedKeys += stats.KeysParsed
+		ph := parsedHive{keys: map[string]registry.KeyView{}}
+		for _, k := range raw {
+			view := registry.KeyView{}
+			for _, v := range k.Values {
+				view.Values = append(view.Values, registry.ValueView{Name: v.Name, Data: v.String()})
+			}
+			ph.keys[strings.ToUpper(k.Path)] = view
+		}
+		// Fill in subkey lists from the path structure.
+		for path := range ph.keys {
+			if path == "" {
+				continue
+			}
+			parent := ""
+			name := path
+			if i := strings.LastIndexByte(path, '\\'); i >= 0 {
+				parent, name = path[:i], path[i+1:]
+			}
+			pv := ph.keys[parent]
+			pv.Subkeys = append(pv.Subkeys, name)
+			ph.keys[parent] = pv
+		}
+		for _, kv := range ph.keys {
+			sort.Strings(kv.Subkeys)
+		}
+		trees[strings.ToUpper(root)] = ph
+	}
+	q := func(keyPath string) (registry.KeyView, error) {
+		up := strings.ToUpper(keyPath)
+		for root, ph := range trees {
+			if up == root {
+				return ph.keys[""], nil
+			}
+			if strings.HasPrefix(up, root+`\`) {
+				rel := up[len(root)+1:]
+				if kv, ok := ph.keys[rel]; ok {
+					return kv, nil
+				}
+				return registry.KeyView{}, fmt.Errorf("core: key %s not in parsed hive", keyPath)
+			}
+		}
+		return registry.KeyView{}, fmt.Errorf("core: no hive image covers %s", keyPath)
+	}
+	hooks, err := registry.CollectHooks(q, registry.StandardASEPs())
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, h := range hooks {
+		snap.add(Entry{ID: h.ID(), Display: h.String(), Detail: h.ASEP})
+	}
+	return snap, parsedKeys, nil
+}
+
+// ScanASEPImages is the outside-the-box ASEP scan over hive files read
+// from the system drive under a clean OS.
+func ScanASEPImages(images map[string][]byte, view View, clock *vtime.Clock, p machine.Profile) (*Snapshot, error) {
+	sw := vtime.NewStopwatch(clock)
+	snap, parsed, err := scanASEPImages(images, view)
+	if err != nil {
+		return nil, err
+	}
+	clock.ChargeOps(int64(float64(parsed)*p.RepRegFactor()), costPerRepKeyParse)
+	snap.Taken = clock.Now()
+	snap.Elapsed = sw.Elapsed()
+	return snap, nil
+}
+
+// --- process scans --------------------------------------------------------------
+
+func procID(pid uint64, name string) string {
+	return fmt.Sprintf("PID %d: %s", pid, strings.ToUpper(name))
+}
+
+// ScanProcsHigh lists processes through the full API chain (what Task
+// Manager and tlist see).
+func ScanProcsHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
+	sw := vtime.NewStopwatch(m.Clock)
+	snap := newSnapshot(KindProcesses, ViewWin32Inside)
+	procs, err := m.API.EnumProcessesWin32(call)
+	if err != nil {
+		return nil, fmt.Errorf("core: high-level process scan: %w", err)
+	}
+	for _, p := range procs {
+		snap.add(Entry{ID: procID(p.Pid, p.Name), Display: fmt.Sprintf("%s (pid %d)", p.Name, p.Pid), Detail: p.Path})
+	}
+	m.Clock.ChargeOps(int64(len(procs)), costPerProcess/8)
+	snap.Taken = m.Clock.Now()
+	snap.Elapsed = sw.Elapsed()
+	return snap, nil
+}
+
+// ScanProcsLow traverses kernel structures directly via a driver. In
+// normal mode it walks the Active Process List (sufficient for
+// API-intercepting ghostware); in advanced mode it walks the CID table,
+// which also exposes DKOM-hidden processes.
+func ScanProcsLow(m *machine.Machine, advanced bool) (*Snapshot, error) {
+	sw := vtime.NewStopwatch(m.Clock)
+	view := ViewKernelAPL
+	walker := kernel.WalkActiveProcessList
+	if advanced {
+		view = ViewKernelCID
+		walker = kernel.WalkCidProcesses
+	}
+	snap := newSnapshot(KindProcesses, view)
+	procs, err := walker(m.Kern.Mem, m.Kern.Layout())
+	if err != nil {
+		return nil, fmt.Errorf("core: low-level process scan: %w", err)
+	}
+	for _, p := range procs {
+		if p.Exited {
+			continue
+		}
+		snap.add(Entry{ID: procID(p.Pid, p.Name), Display: fmt.Sprintf("%s (pid %d)", p.Name, p.Pid), Detail: p.ImagePath})
+	}
+	m.Clock.ChargeOps(int64(len(procs)), costPerProcess)
+	snap.Taken = m.Clock.Now()
+	snap.Elapsed = sw.Elapsed()
+	return snap, nil
+}
+
+// ScanProcsFromDump applies the same traversal to a crash-dump memory
+// image (the paper's outside-the-box scan for volatile state).
+func ScanProcsFromDump(mem kmem.Reader, layout kernel.Layout, advanced bool) (*Snapshot, error) {
+	view := ViewCrashDump
+	walker := kernel.WalkActiveProcessList
+	if advanced {
+		walker = kernel.WalkCidProcesses
+	}
+	snap := newSnapshot(KindProcesses, view)
+	procs, err := walker(mem, layout)
+	if err != nil {
+		return nil, fmt.Errorf("core: crash-dump process scan: %w", err)
+	}
+	for _, p := range procs {
+		if p.Exited {
+			continue
+		}
+		snap.add(Entry{ID: procID(p.Pid, p.Name), Display: fmt.Sprintf("%s (pid %d)", p.Name, p.Pid), Detail: p.ImagePath})
+	}
+	return snap, nil
+}
+
+// --- module scans ----------------------------------------------------------------
+
+func modID(pid uint64, path string) string {
+	return fmt.Sprintf("PID %d: %s", pid, strings.ToUpper(path))
+}
+
+// ScanModsHigh enumerates the modules of every process on the given pid
+// list through the API chain.
+func ScanModsHigh(m *machine.Machine, call *winapi.Call, pids []uint64) (*Snapshot, error) {
+	sw := vtime.NewStopwatch(m.Clock)
+	snap := newSnapshot(KindModules, ViewWin32Inside)
+	total := 0
+	for _, pid := range pids {
+		mods, err := m.API.EnumModulesWin32(call, pid)
+		if err != nil {
+			continue // process may have exited mid-scan
+		}
+		for _, mod := range mods {
+			snap.add(Entry{ID: modID(pid, mod.Path), Display: fmt.Sprintf("pid %d: %s", pid, mod.Path), Detail: fmt.Sprintf("base %#x", mod.Base)})
+			total++
+		}
+	}
+	m.Clock.ChargeOps(int64(total), costPerModule)
+	snap.Taken = m.Clock.Now()
+	snap.Elapsed = sw.Elapsed()
+	return snap, nil
+}
+
+// ScanModsLow extracts the module truth for the same pids from the
+// kernel's VAD image lists.
+func ScanModsLow(m *machine.Machine, pids []uint64) (*Snapshot, error) {
+	sw := vtime.NewStopwatch(m.Clock)
+	snap := newSnapshot(KindModules, ViewKernelVAD)
+	total := 0
+	for _, pid := range pids {
+		mods, err := m.Kern.ModulesTruth(pid)
+		if err != nil {
+			continue
+		}
+		for _, mod := range mods {
+			snap.add(Entry{ID: modID(pid, mod.Path), Display: fmt.Sprintf("pid %d: %s", pid, mod.Path), Detail: fmt.Sprintf("base %#x", mod.Base)})
+			total++
+		}
+	}
+	m.Clock.ChargeOps(int64(total), costPerModule)
+	snap.Taken = m.Clock.Now()
+	snap.Elapsed = sw.Elapsed()
+	return snap, nil
+}
+
+// NewModuleSnapshot creates an empty module snapshot for external
+// builders (the crash-dump module scan assembles one from dump walks).
+func NewModuleSnapshot(view View) *Snapshot { return newSnapshot(KindModules, view) }
+
+// AddModuleEntry records one module occurrence in a module snapshot.
+func AddModuleEntry(s *Snapshot, pid uint64, path string, base uint64) {
+	s.add(Entry{ID: modID(pid, path), Display: fmt.Sprintf("pid %d: %s", pid, path), Detail: fmt.Sprintf("base %#x", base)})
+}
+
+// TruthPids returns the pid set from the advanced (CID) view — the pid
+// list GhostBuster feeds to the module scans so that modules of hidden
+// processes are covered too.
+func TruthPids(m *machine.Machine) ([]uint64, error) {
+	procs, err := m.Kern.ProcessesAdvanced()
+	if err != nil {
+		return nil, err
+	}
+	pids := make([]uint64, 0, len(procs))
+	for _, p := range procs {
+		pids = append(pids, p.Pid)
+	}
+	return pids, nil
+}

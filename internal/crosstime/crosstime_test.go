@@ -1,0 +1,211 @@
+package crosstime
+
+import (
+	"strings"
+	"testing"
+
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/ghostware"
+	"ghostbuster/internal/machine"
+)
+
+func churnMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	p := machine.DefaultProfile()
+	p.DiskUsedGB = 1
+	m, err := machine.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNoChangesOnIdleMachine(t *testing.T) {
+	p := machine.DefaultProfile()
+	p.DiskUsedGB = 1
+	p.Churn = nil
+	m, err := machine.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp1, err := TakeCheckpoint(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := TakeCheckpoint(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Compare(cp1, cp2); r.Total() != 0 {
+		t.Errorf("idle machine changed: %+v", r)
+	}
+}
+
+func TestDetectsAddRemoveModify(t *testing.T) {
+	p := machine.DefaultProfile()
+	p.DiskUsedGB = 1
+	p.Churn = nil
+	m, err := machine.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DropFile(`C:\doomed.txt`, []byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DropFile(`C:\stable.txt`, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	cp1, err := TakeCheckpoint(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DropFile(`C:\new.txt`, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveFile(`C:\doomed.txt`); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DropFile(`C:\stable.txt`, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := TakeCheckpoint(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Compare(cp1, cp2)
+	if len(r.Added) != 1 || !strings.Contains(r.Added[0].Path, "NEW.TXT") {
+		t.Errorf("added = %+v", r.Added)
+	}
+	if len(r.Removed) != 1 || !strings.Contains(r.Removed[0].Path, "DOOMED.TXT") {
+		t.Errorf("removed = %+v", r.Removed)
+	}
+	if len(r.Modified) != 1 || !strings.Contains(r.Modified[0].Path, "STABLE.TXT") {
+		t.Errorf("modified = %+v", r.Modified)
+	}
+}
+
+func TestContentChangeWithSameSizeDetected(t *testing.T) {
+	p := machine.DefaultProfile()
+	p.DiskUsedGB = 1
+	p.Churn = nil
+	m, err := machine.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DropFile(`C:\bin.dat`, []byte("AAAA")); err != nil {
+		t.Fatal(err)
+	}
+	cp1, err := TakeCheckpoint(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same size, same declared mtime semantics — content differs.
+	if err := m.DropFile(`C:\bin.dat`, []byte("AAAB")); err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := TakeCheckpoint(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Compare(cp1, cp2)
+	if len(r.Modified) != 1 {
+		t.Errorf("content hash should catch same-size change: %+v", r)
+	}
+}
+
+// TestCrossTimeVsCrossViewFalsePositiveBurden is the paper's §1
+// contrast: a day of normal churn makes the cross-time diff noisy while
+// the cross-view diff stays at zero.
+func TestCrossTimeVsCrossViewFalsePositiveBurden(t *testing.T) {
+	m := churnMachine(t)
+	cp1, err := TakeCheckpoint(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunChurn(8 * 60); err != nil { // a working day
+		t.Fatal(err)
+	}
+	cp2, err := TakeCheckpoint(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeDiff := Compare(cp1, cp2)
+	if timeDiff.Total() < 10 {
+		t.Errorf("cross-time diff on a churny day = %d changes, expected many", timeDiff.Total())
+	}
+	viewReport, err := core.NewDetector(m).ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viewReport.Hidden) != 0 {
+		t.Errorf("cross-view diff should be zero on the same machine: %+v", viewReport.Hidden)
+	}
+}
+
+// TestCrossTimeCatchesNonHidingMalware: the flip side — cross-time
+// catches malware that does NOT hide, which cross-view by design ignores.
+func TestCrossTimeCatchesNonHidingMalware(t *testing.T) {
+	p := machine.DefaultProfile()
+	p.DiskUsedGB = 1
+	p.Churn = nil
+	m, err := machine.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp1, err := TakeCheckpoint(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A non-hiding backdoor: drops a file, hides nothing.
+	if err := m.DropFile(`C:\WINDOWS\system32\openbackdoor.exe`, []byte("MZ visible")); err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := TakeCheckpoint(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Compare(cp1, cp2)
+	if len(r.Added) != 1 {
+		t.Errorf("cross-time should flag the new binary: %+v", r.Added)
+	}
+	viewReport, err := core.NewDetector(m).ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viewReport.Hidden) != 0 {
+		t.Error("cross-view targets only hiding; a visible backdoor is out of scope")
+	}
+}
+
+// TestCheckpointSeesHiddenFiles: because the checkpoint reads the raw
+// MFT, hidden malware files appear as cross-time additions too.
+func TestCheckpointSeesHiddenFiles(t *testing.T) {
+	p := machine.DefaultProfile()
+	p.DiskUsedGB = 1
+	p.Churn = nil
+	m, err := machine.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp1, err := TakeCheckpoint(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ghostware.NewVanquish().Install(m); err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := TakeCheckpoint(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Compare(cp1, cp2)
+	hidden := 0
+	for _, c := range r.Added {
+		if strings.Contains(c.Path, "VANQUISH") {
+			hidden++
+		}
+	}
+	if hidden != 3 {
+		t.Errorf("cross-time additions include %d vanquish files, want 3", hidden)
+	}
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ghostbuster/internal/avscanner"
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/ghostware"
+	"ghostbuster/internal/injection"
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/vmscan"
+	"ghostbuster/internal/vtime"
+)
+
+// Targeting regenerates the §5 targeting experiments: ghostware that
+// scopes its hiding defeats a plain GhostBuster.exe; the DLL-injection
+// extension (every process becomes a GhostBuster) restores detection;
+// and the injected-into-InocIT.exe combination creates the detection
+// dilemma.
+func Targeting() (*Table, error) {
+	t := &Table{ID: "targeting", Title: "Targeted hiding vs the DLL-injection extension",
+		Header: []string{"Scenario", "Plain GhostBuster.exe", "Injected sweep", "Signature AV"}}
+
+	// Scenario 1: hide only from OS utilities.
+	m1, err := labMachine()
+	if err != nil {
+		return nil, err
+	}
+	if err := ghostware.NewTargeted(ghostware.HideFromUtilities).Install(m1); err != nil {
+		return nil, err
+	}
+	if _, err := m1.StartProcess("ghostbuster.exe", `C:\tools\ghostbuster.exe`); err != nil {
+		return nil, err
+	}
+	if _, err := m1.StartProcess("taskmgr.exe", `C:\WINDOWS\system32\taskmgr.exe`); err != nil {
+		return nil, err
+	}
+	plain := scanAs(m1, "ghostbuster.exe")
+	swept, err := injection.ScanFilesEverywhere(m1)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("hides only from Task Manager/tlist/Explorer", verdict(plain > 0), verdict(swept.Infected()), "-")
+
+	// Scenario 2: hide from everything except ghostbuster.exe.
+	m2, err := labMachine()
+	if err != nil {
+		return nil, err
+	}
+	if err := ghostware.NewTargeted(ghostware.HideExceptGhostBuster).Install(m2); err != nil {
+		return nil, err
+	}
+	if _, err := m2.StartProcess("ghostbuster.exe", `C:\tools\ghostbuster.exe`); err != nil {
+		return nil, err
+	}
+	plain = scanAs(m2, "ghostbuster.exe")
+	swept, err = injection.ScanFilesEverywhere(m2)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("hides from everything except ghostbuster.exe", verdict(plain > 0), verdict(swept.Infected()), "-")
+
+	// Scenario 3: the InocIT demo. Hacker Defender hides from everything
+	// including the AV scanner: signatures blind, injected diff catches.
+	m3, err := labMachine()
+	if err != nil {
+		return nil, err
+	}
+	av3, err := avscanner.New(m3, avscanner.DefaultSignatures())
+	if err != nil {
+		return nil, err
+	}
+	if err := ghostware.NewHackerDefender().Install(m3); err != nil {
+		return nil, err
+	}
+	sigDets, err := av3.OnDemandScan(m3)
+	if err != nil {
+		return nil, err
+	}
+	injected := scanAs(m3, av3.ProcessName)
+	t.AddRow("Hacker Defender, eTrust signatures current", "-", verdict(injected > 0), verdict(len(sigDets) > 0))
+
+	// Scenario 4: the other horn — HD exempts InocIT.exe from hiding.
+	m4, err := labMachine()
+	if err != nil {
+		return nil, err
+	}
+	av4, err := avscanner.New(m4, avscanner.DefaultSignatures())
+	if err != nil {
+		return nil, err
+	}
+	if err := ghostware.NewHackerDefenderExempting([]string{av4.ProcessName}).Install(m4); err != nil {
+		return nil, err
+	}
+	sigDets, err = av4.OnDemandScan(m4)
+	if err != nil {
+		return nil, err
+	}
+	injected = scanAs(m4, av4.ProcessName)
+	t.AddRow("Hacker Defender shows itself to InocIT.exe", "-", verdict(injected > 0), verdict(len(sigDets) > 0))
+	t.AddNote("paper: 'they will be detected by GhostBuster if they hide from InocIT.exe and by the eTrust signatures if they do not hide'")
+	return t, nil
+}
+
+// scanAs runs the hidden-file detection under the given process
+// identity and returns the hidden count (panics propagate as 0-row
+// errors upstream; experiments treat scan failure as fatal).
+func scanAs(m *machine.Machine, proc string) int {
+	d := core.NewDetector(m)
+	d.AsProcess = proc
+	r, err := d.ScanFiles()
+	if err != nil {
+		return -1
+	}
+	return len(r.Hidden)
+}
+
+// Decoy regenerates the §5 mass-hiding attack: hiding thousands of
+// innocent files buries the payload in triage noise, but the hidden
+// count itself is the anomaly signal.
+func DecoyAnomaly() (*Table, error) {
+	t := &Table{ID: "decoy", Title: "Mass-hiding decoy attack",
+		Header: []string{"Scenario", "Hidden entries", "Anomaly raised", "Payload in findings"}}
+	m, err := labMachine()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 300; i++ {
+		if err := m.DropFile(fmt.Sprintf(`C:\Shared\docs\file%04d.txt`, i), []byte("innocent")); err != nil {
+			return nil, err
+		}
+	}
+	if err := ghostware.NewDecoy([]string{`C:\Shared`}).Install(m); err != nil {
+		return nil, err
+	}
+	r, err := core.NewDetector(m).ScanFiles()
+	if err != nil {
+		return nil, err
+	}
+	payload := false
+	for _, f := range r.Hidden {
+		if f.ID == `C:\WINDOWS\SYSTEM32\DCYSVC.EXE` {
+			payload = true
+		}
+	}
+	t.AddRow("300 innocent files + payload hidden",
+		fmt.Sprintf("%d", len(r.Hidden)),
+		verdict(r.MassHiding != nil),
+		verdict(payload))
+	t.AddNote("paper: 'the existence of a large number of hidden files is a serious anomaly' — detection survives even when per-file triage does not")
+	return t, nil
+}
+
+// VMScan regenerates the §5 VM demonstration: guest scan, power down,
+// host scan of the released virtual disk; all hidden files revealed with
+// zero false positives.
+func VMScan() (*Table, error) {
+	t := &Table{ID: "vm", Title: "VM-based outside-the-box scan",
+		Header: []string{"Guest", "Hidden found", "False positives", "Wall time"}}
+	for _, infected := range []bool{false, true} {
+		guest, err := labMachine()
+		if err != nil {
+			return nil, err
+		}
+		want := 0
+		label := "clean guest"
+		if infected {
+			hd := ghostware.NewHackerDefender()
+			if err := hd.Install(guest); err != nil {
+				return nil, err
+			}
+			want = len(hd.HiddenFiles())
+			label = "Hacker Defender-infected guest"
+		}
+		sw := vtime.NewStopwatch(guest.Clock)
+		r, err := vmscan.Check(guest, core.DiffOptions{})
+		if err != nil {
+			return nil, err
+		}
+		match := ""
+		if len(r.Hidden) != want {
+			match = fmt.Sprintf(" (want %d!)", want)
+		}
+		t.AddRow(label, fmt.Sprintf("%d%s", len(r.Hidden), match),
+			fmt.Sprintf("%d", len(r.Noise)),
+			vtime.String(sw.Elapsed()))
+	}
+	t.AddNote("paper: 'a diff of the two scans revealed all the hidden files and contained zero false positive because the two scans were performed on exactly the same drive image'")
+	return t, nil
+}
+
+func verdict(detected bool) string {
+	if detected {
+		return "DETECTED"
+	}
+	return "missed"
+}

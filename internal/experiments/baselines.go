@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/crosstime"
+	"ghostbuster/internal/ghostware"
+	"ghostbuster/internal/hookdetect"
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/vtime"
+	"ghostbuster/internal/winapi"
+	"ghostbuster/internal/workload"
+)
+
+// HDLifecycle regenerates the §6 end-to-end story: "we were able to
+// deterministically detect [Hacker Defender's] presence within 5 seconds
+// through hidden-process detection, locate its hidden auto-start
+// Registry keys within one minute, remove the keys to disable the
+// malware, and reboot the machine to delete the now-visible files."
+func HDLifecycle() (*Table, error) {
+	t := &Table{ID: "hdlifecycle", Title: "Hacker Defender detect / disable / remove timeline",
+		Header: []string{"Step", "Virtual elapsed", "Outcome", "Paper budget"}}
+	m, err := labMachine()
+	if err != nil {
+		return nil, err
+	}
+	hd := ghostware.NewHackerDefender()
+	if err := hd.Install(m); err != nil {
+		return nil, err
+	}
+	d := core.NewDetector(m)
+
+	// Step 1: hidden-process detection within 5 seconds.
+	sw := vtime.NewStopwatch(m.Clock)
+	procs, err := d.ScanProcesses()
+	if err != nil {
+		return nil, err
+	}
+	procTime := sw.Elapsed()
+	outcome := "no infection?"
+	if len(procs.Hidden) > 0 {
+		outcome = "infection detected: " + procs.Hidden[0].Display
+	}
+	t.AddRow("1. hidden-process scan", vtime.String(procTime), outcome, "<= 5s")
+	if procTime.Seconds() > 5 {
+		t.AddNote("WARNING: process detection exceeded the 5-second budget")
+	}
+
+	// Step 2: locate hidden ASEP keys within one minute.
+	sw = vtime.NewStopwatch(m.Clock)
+	aseps, err := d.ScanASEPs()
+	if err != nil {
+		return nil, err
+	}
+	asepTime := sw.Elapsed()
+	keys := make([]string, 0, len(aseps.Hidden))
+	for _, f := range aseps.Hidden {
+		keys = append(keys, f.Display)
+	}
+	t.AddRow("2. hidden-ASEP scan", vtime.String(asepTime), fmt.Sprintf("%d hidden keys located", len(keys)), "<= 1min")
+	if asepTime.Seconds() > 60 {
+		t.AddNote("WARNING: ASEP location exceeded the one-minute budget")
+	}
+
+	// Step 3: remove the keys to disable the malware.
+	for _, spec := range hd.HiddenASEPs() {
+		if err := m.Reg.DeleteKeyTree(spec); err != nil {
+			return nil, err
+		}
+	}
+	t.AddRow("3. delete hidden service keys", vtime.String(0), fmt.Sprintf("%d keys removed", len(hd.HiddenASEPs())), "-")
+
+	// Step 4: reboot — the rootkit cannot restart.
+	sw = vtime.NewStopwatch(m.Clock)
+	if err := m.Reboot(); err != nil {
+		return nil, err
+	}
+	after, err := d.ScanFiles()
+	if err != nil {
+		return nil, err
+	}
+	visible := 0
+	call := m.SystemCall()
+	for _, f := range hd.HiddenFiles() {
+		if entries, err := m.API.EnumDirWin32(call, parentDir(f)); err == nil {
+			for _, e := range entries {
+				if strings.EqualFold(e.Path, f) {
+					visible++
+				}
+			}
+		}
+	}
+	t.AddRow("4. reboot", vtime.String(sw.Elapsed()),
+		fmt.Sprintf("hidden diff now %d; %d/%d rootkit files visible", len(after.Hidden), visible, len(hd.HiddenFiles())), "-")
+
+	// Step 5: delete the now-visible files.
+	files := hd.HiddenFiles()
+	removed := 0
+	for i := len(files) - 1; i >= 0; i-- {
+		if err := m.RemoveFile(files[i]); err == nil {
+			removed++
+		}
+	}
+	final, err := d.ScanFiles()
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("5. delete files, final scan", vtime.String(0),
+		fmt.Sprintf("%d files deleted, final hidden count %d", removed, len(final.Hidden)), "machine clean")
+	return t, nil
+}
+
+func parentDir(path string) string {
+	if i := strings.LastIndexByte(path, '\\'); i > 2 {
+		return path[:i]
+	}
+	return machine.Drive
+}
+
+// CrossTimeComparison regenerates the §1 contrast: on the same churny
+// machine over the same day, the Tripwire-style cross-time diff reports
+// dozens of legitimate changes to triage while the cross-view diff
+// reports zero — and on an infected machine, both find the malware but
+// only cross-view isolates it.
+func CrossTimeComparison() (*Table, error) {
+	t := &Table{ID: "crosstime", Title: "Cross-view vs cross-time diff",
+		Header: []string{"Scenario", "Cross-time changes", "Cross-view hidden", "Triage burden"}}
+
+	p := workload.SmallProfile()
+	m, err := machine.New(p)
+	if err != nil {
+		return nil, err
+	}
+	cp1, err := crosstime.TakeCheckpoint(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.RunChurn(8 * 60); err != nil {
+		return nil, err
+	}
+	cp2, err := crosstime.TakeCheckpoint(m)
+	if err != nil {
+		return nil, err
+	}
+	timeReport := crosstime.Compare(cp1, cp2)
+	viewReport, err := core.NewDetector(m).ScanFiles()
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("clean machine, one working day",
+		fmt.Sprintf("%d", timeReport.Total()),
+		fmt.Sprintf("%d", len(viewReport.Hidden)),
+		"cross-time: every change needs manual review")
+
+	// Infected day.
+	if err := ghostware.NewVanquish().Install(m); err != nil {
+		return nil, err
+	}
+	if err := m.RunChurn(60); err != nil {
+		return nil, err
+	}
+	cp3, err := crosstime.TakeCheckpoint(m)
+	if err != nil {
+		return nil, err
+	}
+	timeReport = crosstime.Compare(cp2, cp3)
+	viewReport, err = core.NewDetector(m).ScanFiles()
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("same machine after Vanquish infection",
+		fmt.Sprintf("%d (malware mixed with churn)", timeReport.Total()),
+		fmt.Sprintf("%d (all malware)", len(viewReport.Hidden)),
+		"cross-view isolates the hiding files exactly")
+	t.AddNote("paper §1: cross-time is broader but 'typically includes a significant number of false positives stemming from legitimate changes'; cross-view 'usually has zero or very few false positives because legitimate programs rarely hide'")
+	return t, nil
+}
+
+// HookDetectComparison regenerates the §1 critique of the
+// hiding-mechanism approach: hook detection misses non-hook hiders and
+// false-alarms on benign detours; cross-view does neither.
+func HookDetectComparison() (*Table, error) {
+	t := &Table{ID: "hookdetect", Title: "Hook-detection baseline vs cross-view diff",
+		Header: []string{"Adversary / software", "Hook alerts", "Cross-view hidden", "Hook-detector verdict"}}
+
+	type scenario struct {
+		name    string
+		install func(m *machine.Machine) error
+		benign  bool
+	}
+	scenarios := []scenario{
+		{"Hacker Defender (ntdll detours)", func(m *machine.Machine) error {
+			return ghostware.NewHackerDefender().Install(m)
+		}, false},
+		{"Hide Folders XP (filter driver)", func(m *machine.Machine) error {
+			if err := m.DropFile(`C:\Private\x.doc`, []byte("d")); err != nil {
+				return err
+			}
+			return ghostware.NewHideFoldersXP(ghostware.DefaultHiderTargets).Install(m)
+		}, false},
+		{"FU (DKOM, no hook at all)", func(m *machine.Machine) error {
+			fu := ghostware.NewFU()
+			if err := fu.Install(m); err != nil {
+				return err
+			}
+			if _, err := m.StartProcess("quiet.exe", `C:\q.exe`); err != nil {
+				return err
+			}
+			return fu.HideByName(m, "quiet.exe")
+		}, false},
+		{"Win32 name tricks (no hook)", func(m *machine.Machine) error {
+			return ghostware.NewWin32NameGhost().Install(m)
+		}, false},
+		{"fault-tolerance wrapper (benign detour)", func(m *machine.Machine) error {
+			m.API.Install(winapi.NewPassthroughFileHook("ft-wrapper", winapi.LevelUserCode, "in-memory patch"))
+			return nil
+		}, true},
+	}
+	for _, sc := range scenarios {
+		m, err := labMachine()
+		if err != nil {
+			return nil, err
+		}
+		if err := sc.install(m); err != nil {
+			return nil, err
+		}
+		alerts := hookdetect.Scan(m)
+		d := core.NewDetector(m)
+		d.Advanced = true
+		files, err := d.ScanFiles()
+		if err != nil {
+			return nil, err
+		}
+		procs, err := d.ScanProcesses()
+		if err != nil {
+			return nil, err
+		}
+		hidden := len(files.Hidden) + len(procs.Hidden)
+		verdictStr := "correct"
+		if sc.benign && len(alerts) > 0 {
+			verdictStr = "FALSE POSITIVE"
+		}
+		if !sc.benign && len(alerts) == 0 && hidden > 0 {
+			verdictStr = "FALSE NEGATIVE"
+		}
+		t.AddRow(sc.name, fmt.Sprintf("%d", len(alerts)), fmt.Sprintf("%d", hidden), verdictStr)
+	}
+	t.AddNote("paper §1: the mechanism-targeting approach 'cannot catch ghostware programs that do not use the targeted mechanism' and 'may catch as false positives legitimate uses of API interceptions'")
+	return t, nil
+}

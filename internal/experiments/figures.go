@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/ghostware"
+	"ghostbuster/internal/winapi"
+)
+
+// Fig2Taxonomy regenerates Figure 2: how each of the 10 file-hiding
+// programs intercepts the file-query call path. The level column is
+// introspected from the hooks each program actually installs.
+func Fig2Taxonomy() (*Table, error) {
+	t := &Table{ID: "fig2", Title: "How ghostware programs hide files",
+		Header: []string{"Ghostware", "Class", "Interception level", "Technique"}}
+	for _, g := range ghostware.Fig3Corpus() {
+		m, err := labMachine()
+		if err != nil {
+			return nil, err
+		}
+		if err := g.Install(m); err != nil {
+			return nil, fmt.Errorf("installing %s: %w", g.Name(), err)
+		}
+		// Verify declared techniques against the live hook stack.
+		installed := map[string]bool{}
+		for _, h := range m.API.Hooks() {
+			if h.API == winapi.APIFileEnum {
+				installed[h.Level.String()] = true
+			}
+		}
+		for _, tech := range g.Techniques() {
+			if tech.API != winapi.APIFileEnum {
+				continue
+			}
+			level := tech.Level.String()
+			if tech.Level != winapi.LevelNone && !installed[level] {
+				return nil, fmt.Errorf("%s declares %s but did not install it", g.Name(), level)
+			}
+			t.AddRow(g.Name(), g.Class(), level, tech.Label)
+		}
+	}
+	t.AddNote("paper: six techniques from per-process IAT patching down to file-system filter drivers; all levels appear above")
+	return t, nil
+}
+
+// Fig3HiddenFiles regenerates Figure 3: for each program, a fresh
+// machine is infected and the inside-the-box cross-view file diff lists
+// exactly the program's hidden files.
+func Fig3HiddenFiles() (*Table, error) {
+	t := &Table{ID: "fig3", Title: "GhostBuster hidden-file detection",
+		Header: []string{"Ghostware", "Hidden files detected", "Examples", "Match"}}
+	for _, g := range ghostware.Fig3Corpus() {
+		m, err := labMachine()
+		if err != nil {
+			return nil, err
+		}
+		if err := g.Install(m); err != nil {
+			return nil, err
+		}
+		r, err := core.NewDetector(m).ScanFiles()
+		if err != nil {
+			return nil, err
+		}
+		examples := make([]string, 0, 2)
+		for _, f := range r.Hidden {
+			if len(examples) < 2 {
+				examples = append(examples, f.Display)
+			}
+		}
+		match := "OK"
+		if len(r.Hidden) < len(g.HiddenFiles()) {
+			match = fmt.Sprintf("MISSING %d", len(g.HiddenFiles())-len(r.Hidden))
+		}
+		t.AddRow(g.Name(), fmt.Sprintf("%d", len(r.Hidden)), strings.Join(examples, ", "), match)
+	}
+	t.AddNote("paper: 1 (Urbin), 1 (Mersting), 3+ (Vanquish), prefix-matched (Aphex), 3+ (Hacker Defender), 4 (ProBot SE), user-selected (file hiders)")
+	return t, nil
+}
+
+// Fig4HiddenASEPs regenerates Figure 4: hidden auto-start hooks per
+// program.
+func Fig4HiddenASEPs() (*Table, error) {
+	t := &Table{ID: "fig4", Title: "GhostBuster hidden ASEP hook detection",
+		Header: []string{"Ghostware", "Hidden ASEP hooks detected", "Match"}}
+	for _, g := range ghostware.Fig4Corpus() {
+		m, err := labMachine()
+		if err != nil {
+			return nil, err
+		}
+		if err := g.Install(m); err != nil {
+			return nil, err
+		}
+		r, err := core.NewDetector(m).ScanASEPs()
+		if err != nil {
+			return nil, err
+		}
+		var hooks []string
+		for _, f := range r.Hidden {
+			hooks = append(hooks, f.Display)
+		}
+		match := "OK"
+		if len(r.Hidden) != len(g.HiddenASEPs()) {
+			match = fmt.Sprintf("got %d want %d", len(r.Hidden), len(g.HiddenASEPs()))
+		}
+		t.AddRow(g.Name(), strings.Join(hooks, " ; "), match)
+	}
+	t.AddNote("paper: AppInit_DLLs (Urbin, Mersting), two service keys (Hacker Defender), service key (Vanquish), two services + Run (ProBot SE), Run (Aphex)")
+	return t, nil
+}
+
+// Fig5ProcTaxonomy regenerates Figure 5: process-hiding techniques.
+func Fig5ProcTaxonomy() (*Table, error) {
+	t := &Table{ID: "fig5", Title: "How ghostware programs hide processes",
+		Header: []string{"Ghostware", "Interception level", "Technique"}}
+	for _, g := range ghostware.Fig6Corpus() {
+		for _, tech := range g.Techniques() {
+			if tech.API != winapi.APIProcEnum && tech.API != winapi.APIModEnum {
+				continue
+			}
+			t.AddRow(g.Name(), tech.Level.String(), tech.Label)
+		}
+	}
+	t.AddNote("paper: IAT (Aphex), in-memory jmp (Hacker Defender, Berbew), DKOM (FU), PEB blanking (Vanquish, modules)")
+	return t, nil
+}
+
+// Fig6HiddenProcs regenerates Figure 6: hidden processes and modules per
+// program, including FU's advanced-mode requirement.
+func Fig6HiddenProcs() (*Table, error) {
+	t := &Table{ID: "fig6", Title: "GhostBuster hidden process/module detection",
+		Header: []string{"Ghostware", "Normal mode (APL truth)", "Advanced mode (CID truth)", "Hidden modules"}}
+
+	apiHiders := []ghostware.Ghostware{ghostware.NewAphex(), ghostware.NewHackerDefender(), ghostware.NewBerbew()}
+	for _, g := range apiHiders {
+		m, err := labMachine()
+		if err != nil {
+			return nil, err
+		}
+		if err := g.Install(m); err != nil {
+			return nil, err
+		}
+		d := core.NewDetector(m)
+		normal, err := d.ScanProcesses()
+		if err != nil {
+			return nil, err
+		}
+		d.Advanced = true
+		advanced, err := d.ScanProcesses()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(g.Name(), summarizeProcs(normal), summarizeProcs(advanced), "-")
+	}
+
+	// FU: detectable only in advanced mode.
+	m, err := labMachine()
+	if err != nil {
+		return nil, err
+	}
+	fu := ghostware.NewFU()
+	if err := fu.Install(m); err != nil {
+		return nil, err
+	}
+	if _, err := m.StartProcess("backdoor.exe", `C:\fu\backdoor.exe`); err != nil {
+		return nil, err
+	}
+	if err := fu.HideByName(m, "backdoor.exe"); err != nil {
+		return nil, err
+	}
+	d := core.NewDetector(m)
+	normal, err := d.ScanProcesses()
+	if err != nil {
+		return nil, err
+	}
+	d.Advanced = true
+	advanced, err := d.ScanProcesses()
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("FU (fu -ph)", summarizeProcs(normal)+" (DKOM evades APL)", summarizeProcs(advanced), "-")
+
+	// Vanquish: module hiding.
+	m2, err := labMachine()
+	if err != nil {
+		return nil, err
+	}
+	if err := ghostware.NewVanquish().Install(m2); err != nil {
+		return nil, err
+	}
+	mods, err := core.NewDetector(m2).ScanModules()
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("Vanquish", "-", "-", fmt.Sprintf("vanquish.dll hidden in %d processes", len(mods.Hidden)))
+
+	t.AddNote("paper: Aphex/Hacker Defender/Berbew detected with Active Process List as truth; FU only in advanced mode; vanquish.dll reported once per injected process")
+	return t, nil
+}
+
+func summarizeProcs(r *core.Report) string {
+	if len(r.Hidden) == 0 {
+		return "none"
+	}
+	names := make([]string, 0, len(r.Hidden))
+	for _, f := range r.Hidden {
+		names = append(names, f.Display)
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,169 @@
+// Package fleet implements the enterprise deployment story (§1:
+// "corporate IT organizations can remotely deploy the solution on a
+// large number of desktops without requiring user cooperation"; §5: the
+// Remote Installation Service network boot that automates outside-the-
+// box scans). A Manager owns a set of hosts and runs inside sweeps —
+// fast, daily — and outside sweeps — the RIS netboot flow — collecting
+// machine-readable results.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/winpe"
+)
+
+// Host is one managed desktop.
+type Host struct {
+	Name string
+	M    *machine.Machine
+}
+
+// HostResult is the scan outcome for one host.
+type HostResult struct {
+	Host     string         `json:"host"`
+	Kind     string         `json:"kind"` // "inside" or "outside"
+	Reports  []*core.Report `json:"reports"`
+	Infected bool           `json:"infected"`
+	Hidden   int            `json:"hiddenCount"`
+	Elapsed  time.Duration  `json:"elapsedNs"` // virtual time on the host
+	Err      string         `json:"error,omitempty"`
+}
+
+// Manager coordinates scans across hosts.
+type Manager struct {
+	hosts []*Host
+}
+
+// NewManager returns an empty fleet.
+func NewManager() *Manager { return &Manager{} }
+
+// Add enrolls a host.
+func (mgr *Manager) Add(name string, m *machine.Machine) {
+	mgr.hosts = append(mgr.hosts, &Host{Name: name, M: m})
+	sort.Slice(mgr.hosts, func(i, j int) bool { return mgr.hosts[i].Name < mgr.hosts[j].Name })
+}
+
+// Hosts returns the enrolled host names.
+func (mgr *Manager) Hosts() []string {
+	out := make([]string, len(mgr.hosts))
+	for i, h := range mgr.hosts {
+		out[i] = h.Name
+	}
+	return out
+}
+
+// InsideSweep runs the inside-the-box detection (all four paper resource
+// types, advanced process mode) on every host. Hosts keep running; this
+// is the "scan their machines daily" mode.
+func (mgr *Manager) InsideSweep() []HostResult {
+	results := make([]HostResult, 0, len(mgr.hosts))
+	for _, h := range mgr.hosts {
+		res := HostResult{Host: h.Name, Kind: "inside"}
+		start := h.M.Clock.Now()
+		d := core.NewDetector(h.M)
+		d.Advanced = true
+		reports, err := d.ScanAll()
+		if err != nil {
+			res.Err = err.Error()
+		} else {
+			res.Reports = reports
+			for _, r := range reports {
+				res.Hidden += len(r.Hidden)
+			}
+			res.Infected = res.Hidden > 0
+		}
+		res.Elapsed = h.M.Clock.Now() - start
+		results = append(results, res)
+	}
+	return results
+}
+
+// ParallelInsideSweep runs the inside sweep with one worker per host.
+// Each simulated machine is single-threaded, but distinct machines are
+// independent, so the management console fans out across the fleet the
+// way a real deployment does. Results come back in host order.
+func (mgr *Manager) ParallelInsideSweep() []HostResult {
+	results := make([]HostResult, len(mgr.hosts))
+	var wg sync.WaitGroup
+	for i, h := range mgr.hosts {
+		i, h := i, h
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := HostResult{Host: h.Name, Kind: "inside"}
+			start := h.M.Clock.Now()
+			d := core.NewDetector(h.M)
+			d.Advanced = true
+			reports, err := d.ScanAll()
+			if err != nil {
+				res.Err = err.Error()
+			} else {
+				res.Reports = reports
+				for _, r := range reports {
+					res.Hidden += len(r.Hidden)
+				}
+				res.Infected = res.Hidden > 0
+			}
+			res.Elapsed = h.M.Clock.Now() - start
+			results[i] = res
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// OutsideSweep runs the RIS-automated outside-the-box file check on
+// every host: each machine reboots into the network boot image, is
+// scanned clean, and reboots back into service.
+func (mgr *Manager) OutsideSweep() []HostResult {
+	results := make([]HostResult, 0, len(mgr.hosts))
+	for _, h := range mgr.hosts {
+		res := HostResult{Host: h.Name, Kind: "outside"}
+		start := h.M.Clock.Now()
+		report, err := winpe.OutsideFileCheck(h.M, core.DiffOptions{})
+		if err != nil {
+			res.Err = err.Error()
+		} else {
+			res.Reports = []*core.Report{report}
+			res.Hidden = len(report.Hidden)
+			res.Infected = report.Infected()
+		}
+		res.Elapsed = h.M.Clock.Now() - start
+		results = append(results, res)
+	}
+	return results
+}
+
+// Summary aggregates sweep results.
+type Summary struct {
+	Hosts    int      `json:"hosts"`
+	Infected []string `json:"infected"`
+	Errors   []string `json:"errors,omitempty"`
+}
+
+// Summarize builds the fleet-level verdict.
+func Summarize(results []HostResult) Summary {
+	s := Summary{Hosts: len(results)}
+	for _, r := range results {
+		if r.Err != "" {
+			s.Errors = append(s.Errors, fmt.Sprintf("%s: %s", r.Host, r.Err))
+			continue
+		}
+		if r.Infected {
+			s.Infected = append(s.Infected, r.Host)
+		}
+	}
+	return s
+}
+
+// MarshalResults renders results as JSON for the management console.
+func MarshalResults(results []HostResult) ([]byte, error) {
+	return json.MarshalIndent(results, "", "  ")
+}

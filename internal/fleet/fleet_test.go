@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ghostbuster/internal/ghostware"
+	"ghostbuster/internal/machine"
+)
+
+func buildFleet(t *testing.T, n int, infect map[int]ghostware.Ghostware) *Manager {
+	t.Helper()
+	mgr := NewManager()
+	for i := 0; i < n; i++ {
+		p := machine.DefaultProfile()
+		p.DiskUsedGB = 1
+		p.Churn = nil
+		p.Seed = int64(i + 1)
+		m, err := machine.New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, ok := infect[i]; ok {
+			if err := g.Install(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mgr.Add(hostName(i), m)
+	}
+	return mgr
+}
+
+func hostName(i int) string { return "host-" + string(rune('a'+i)) }
+
+func TestInsideSweepClassifiesFleet(t *testing.T) {
+	mgr := buildFleet(t, 4, map[int]ghostware.Ghostware{
+		1: ghostware.NewHackerDefender(),
+		3: ghostware.NewUrbin(),
+	})
+	results := mgr.InsideSweep()
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	s := Summarize(results)
+	if s.Hosts != 4 || len(s.Errors) != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	want := map[string]bool{hostName(1): true, hostName(3): true}
+	if len(s.Infected) != 2 {
+		t.Fatalf("infected = %v", s.Infected)
+	}
+	for _, h := range s.Infected {
+		if !want[h] {
+			t.Errorf("false positive host %s", h)
+		}
+	}
+	for _, r := range results {
+		if r.Elapsed <= 0 {
+			t.Errorf("host %s consumed no virtual time", r.Host)
+		}
+	}
+}
+
+func TestOutsideSweepRebootsHostsBack(t *testing.T) {
+	mgr := buildFleet(t, 2, map[int]ghostware.Ghostware{0: ghostware.NewVanquish()})
+	results := mgr.OutsideSweep()
+	s := Summarize(results)
+	if len(s.Infected) != 1 || s.Infected[0] != hostName(0) {
+		t.Fatalf("infected = %v", s.Infected)
+	}
+	// Every host is back in service after the netboot scan.
+	for i := 0; i < 2; i++ {
+		m := mgrHost(t, mgr, hostName(i))
+		if _, err := m.Pid("explorer.exe"); err != nil {
+			t.Errorf("%s not rebooted: %v", hostName(i), err)
+		}
+	}
+}
+
+func mgrHost(t *testing.T, mgr *Manager, name string) *machine.Machine {
+	t.Helper()
+	for _, h := range mgr.hosts {
+		if h.Name == name {
+			return h.M
+		}
+	}
+	t.Fatalf("no host %s", name)
+	return nil
+}
+
+func TestMarshalResultsIsValidJSON(t *testing.T) {
+	mgr := buildFleet(t, 2, map[int]ghostware.Ghostware{1: ghostware.NewBerbew()})
+	results := mgr.InsideSweep()
+	data, err := MarshalResults(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []HostResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(back) != 2 {
+		t.Errorf("round trip lost hosts: %d", len(back))
+	}
+	if !strings.Contains(string(data), `"infected": true`) {
+		t.Error("JSON missing infection flag")
+	}
+}
+
+// TestParallelSweepMatchesSequential: the fan-out must produce exactly
+// the sequential results (machines are independent; determinism holds).
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	build := func() *Manager {
+		return buildFleet(t, 5, map[int]ghostware.Ghostware{
+			1: ghostware.NewHackerDefender(),
+			4: ghostware.NewVanquish(),
+		})
+	}
+	seq := build().InsideSweep()
+	par := build().ParallelInsideSweep()
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Host != par[i].Host || seq[i].Infected != par[i].Infected || seq[i].Hidden != par[i].Hidden {
+			t.Errorf("host %s: seq {inf %v hid %d} vs par {inf %v hid %d}",
+				seq[i].Host, seq[i].Infected, seq[i].Hidden, par[i].Infected, par[i].Hidden)
+		}
+	}
+}

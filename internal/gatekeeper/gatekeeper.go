@@ -1,0 +1,153 @@
+// Package gatekeeper models the companion system the paper builds on
+// [WRV+04] ("Gatekeeper: Monitoring Auto-Start Extensibility Points
+// (ASEPs) for Spyware Management"): a cross-TIME monitor over the ASEP
+// catalog. It baselines the machine's auto-start hooks and reports any
+// additions or removals — catching hiding and non-hiding auto-start
+// malware alike, at the cost of flagging every legitimate install too.
+//
+// Combined with GhostBuster the two compose: Gatekeeper says *a hook was
+// added*; the cross-view diff says *and it is being hidden* — the
+// highest-severity signal a monitor can produce.
+package gatekeeper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/registry"
+)
+
+// Baseline is a point-in-time record of every ASEP hook (taken from the
+// truth — raw hive parse — so hiding cannot poison the baseline).
+type Baseline struct {
+	Hooks map[string]string // hook ID -> rendered form
+}
+
+// Take records the current ASEP hook population.
+func Take(m *machine.Machine) (*Baseline, error) {
+	hooks, err := collectTruth(m)
+	if err != nil {
+		return nil, err
+	}
+	b := &Baseline{Hooks: map[string]string{}}
+	for _, h := range hooks {
+		b.Hooks[h.ID()] = h.String()
+	}
+	return b, nil
+}
+
+func collectTruth(m *machine.Machine) ([]registry.Hook, error) {
+	q := func(keyPath string) (registry.KeyView, error) {
+		subs, err := m.Reg.EnumKeys(keyPath)
+		if err != nil {
+			return registry.KeyView{}, err
+		}
+		vals, err := m.Reg.EnumValues(keyPath)
+		if err != nil {
+			return registry.KeyView{}, err
+		}
+		view := registry.KeyView{Subkeys: subs}
+		for _, v := range vals {
+			view.Values = append(view.Values, registry.ValueView{Name: v.Name, Data: v.String()})
+		}
+		return view, nil
+	}
+	return registry.CollectHooks(q, registry.StandardASEPs())
+}
+
+// Change is one ASEP population difference.
+type Change struct {
+	ID      string
+	Display string
+	Added   bool // false = removed
+	// Hidden is set when the added hook is also invisible to the Win32
+	// view — a hiding auto-start hook, the worst case.
+	Hidden bool
+}
+
+// Report is a Gatekeeper monitoring result.
+type Report struct {
+	Changes []Change
+}
+
+// AddedHooks returns only the additions.
+func (r *Report) AddedHooks() []Change {
+	var out []Change
+	for _, c := range r.Changes {
+		if c.Added {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// HiddenAdditions returns additions that are also hidden from the API
+// view — the GhostBuster-correlated high-severity subset.
+func (r *Report) HiddenAdditions() []Change {
+	var out []Change
+	for _, c := range r.Changes {
+		if c.Added && c.Hidden {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Check compares the current hook population against the baseline and
+// correlates additions with the cross-view diff.
+func Check(m *machine.Machine, baseline *Baseline) (*Report, error) {
+	current, err := collectTruth(m)
+	if err != nil {
+		return nil, err
+	}
+	// Which hooks are hidden right now?
+	hiddenIDs := map[string]bool{}
+	asepReport, err := core.NewDetector(m).ScanASEPs()
+	if err != nil {
+		return nil, fmt.Errorf("gatekeeper: correlating with cross-view diff: %w", err)
+	}
+	for _, f := range asepReport.Hidden {
+		hiddenIDs[f.ID] = true
+	}
+
+	r := &Report{}
+	seen := map[string]bool{}
+	for _, h := range current {
+		id := h.ID()
+		seen[id] = true
+		if _, existed := baseline.Hooks[id]; !existed {
+			r.Changes = append(r.Changes, Change{ID: id, Display: h.String(), Added: true, Hidden: hiddenIDs[id]})
+		}
+	}
+	for id, display := range baseline.Hooks {
+		if !seen[id] {
+			r.Changes = append(r.Changes, Change{ID: id, Display: display, Added: false})
+		}
+	}
+	sort.Slice(r.Changes, func(i, j int) bool { return r.Changes[i].ID < r.Changes[j].ID })
+	return r, nil
+}
+
+// Severity classifies a change for triage.
+func (c Change) Severity() string {
+	switch {
+	case c.Added && c.Hidden:
+		return "CRITICAL (new auto-start hook, actively hidden)"
+	case c.Added:
+		return "review (new auto-start hook)"
+	default:
+		return "info (hook removed)"
+	}
+}
+
+// String renders the change.
+func (c Change) String() string {
+	verb := "added"
+	if !c.Added {
+		verb = "removed"
+	}
+	return fmt.Sprintf("%s: %s [%s]", verb, strings.ReplaceAll(c.Display, "\x00", `\0`), c.Severity())
+}

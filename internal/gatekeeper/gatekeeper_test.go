@@ -1,0 +1,125 @@
+package gatekeeper
+
+import (
+	"strings"
+	"testing"
+
+	"ghostbuster/internal/ghostware"
+	"ghostbuster/internal/machine"
+)
+
+func smallMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	p := machine.DefaultProfile()
+	p.DiskUsedGB = 1
+	p.Churn = nil
+	m, err := machine.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNoChangesOnIdleMachine(t *testing.T) {
+	m := smallMachine(t)
+	b, err := Take(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Check(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Changes) != 0 {
+		t.Errorf("idle machine changes: %+v", r.Changes)
+	}
+}
+
+func TestBenignInstallFlaggedForReview(t *testing.T) {
+	m := smallMachine(t)
+	b, err := Take(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A legitimate updater registers a visible Run hook.
+	if err := m.Reg.SetString(`HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Run`,
+		"AcmeUpdater", `C:\Program Files\Acme\update.exe`); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Check(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := r.AddedHooks()
+	if len(added) != 1 || added[0].Hidden {
+		t.Fatalf("added = %+v", added)
+	}
+	if !strings.Contains(added[0].Severity(), "review") {
+		t.Errorf("severity = %s", added[0].Severity())
+	}
+	if len(r.HiddenAdditions()) != 0 {
+		t.Error("visible hook must not be critical")
+	}
+}
+
+// TestHidingRootkitIsCritical: a Hacker Defender install adds hooks AND
+// hides them — Gatekeeper + GhostBuster correlation marks them CRITICAL.
+func TestHidingRootkitIsCritical(t *testing.T) {
+	m := smallMachine(t)
+	b, err := Take(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ghostware.NewHackerDefender().Install(m); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Check(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	critical := r.HiddenAdditions()
+	if len(critical) != 2 {
+		t.Fatalf("critical additions = %+v", critical)
+	}
+	for _, c := range critical {
+		if !strings.Contains(c.Severity(), "CRITICAL") {
+			t.Errorf("severity = %s", c.Severity())
+		}
+		if !strings.Contains(c.ID, "HACKERDEFENDER") {
+			t.Errorf("unexpected critical hook %s", c.ID)
+		}
+	}
+}
+
+func TestRemovalReported(t *testing.T) {
+	m := smallMachine(t)
+	hd := ghostware.NewHackerDefender()
+	if err := hd.Install(m); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Take(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range hd.HiddenASEPs() {
+		if err := m.Reg.DeleteKeyTree(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := Check(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := 0
+	for _, c := range r.Changes {
+		if !c.Added {
+			removed++
+			if !strings.Contains(c.Severity(), "info") {
+				t.Errorf("removal severity = %s", c.Severity())
+			}
+		}
+	}
+	if removed != 2 {
+		t.Errorf("removals = %d, want 2", removed)
+	}
+}

@@ -1,0 +1,190 @@
+package ghostware
+
+import (
+	"strings"
+
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/winapi"
+)
+
+// --- ProBot SE [ZP] ---------------------------------------------------------------
+//
+// Commercial key-logger. Hijacks kernel-mode file- and Registry-query
+// APIs by modifying their Service Dispatch Table entries (Figure 2).
+// Installs four randomly named files (an exe, a dll and two drivers) and
+// three ASEP hooks (two services and one Run entry), all hidden
+// (Figures 3, 4).
+
+// ProBotSE is the ProBot SE key-logger.
+type ProBotSE struct {
+	hider
+	base string // random base name chosen at install
+}
+
+// NewProBotSE constructs the key-logger model.
+func NewProBotSE() *ProBotSE {
+	return &ProBotSE{hider: hider{
+		name: "ProBot SE", class: "commercial key-logger",
+		techniques: []Technique{
+			{API: winapi.APIFileEnum, Level: winapi.LevelSSDT, Label: "Service Dispatch Table entry for file-query APIs"},
+			{API: winapi.APIRegQuery, Level: winapi.LevelSSDT, Label: "Service Dispatch Table entry for Registry-query APIs"},
+		},
+	}}
+}
+
+// Base returns the random base name chosen at install.
+func (g *ProBotSE) Base() string { return g.base }
+
+// Install drops the four random-named files, sets three hidden ASEP
+// hooks, and activates the SSDT hooks.
+func (g *ProBotSE) Install(m *machine.Machine) error {
+	g.base = randName(m)
+	exe := `C:\WINDOWS\system32\` + g.base + `.exe`
+	dll := `C:\WINDOWS\system32\` + g.base + `.dll`
+	drv1 := `C:\WINDOWS\system32\drivers\` + g.base + `f.sys`
+	drv2 := `C:\WINDOWS\system32\drivers\` + g.base + `k.sys` // keyboard driver
+	g.hiddenFiles = []string{exe, dll, drv1, drv2}
+	svc1 := `HKLM\SYSTEM\CurrentControlSet\Services\` + g.base + `f`
+	svc2 := `HKLM\SYSTEM\CurrentControlSet\Services\` + g.base + `k`
+	g.hiddenASEPs = []string{
+		svc1, svc2,
+		`HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Run|` + g.base,
+	}
+	base := g.base
+	act := func(m *machine.Machine) error {
+		if _, err := m.StartProcess(base+".exe", exe); err != nil {
+			return err
+		}
+		m.API.Install(winapi.NewFileHideHook(g.name, winapi.LevelSSDT,
+			"SSDT file-query hook", nil,
+			func(call *winapi.Call, e winapi.DirEntry) bool { return pathMatches(e.Path, base) }))
+		m.API.Install(winapi.NewRegHideHook(g.name, winapi.LevelSSDT,
+			"SSDT Registry-query hook", nil,
+			func(call *winapi.Call, keyPath, subkey string) bool {
+				return strings.HasSuffix(strings.ToUpper(keyPath), `\SERVICES`) && strings.HasPrefix(strings.ToUpper(subkey), strings.ToUpper(base))
+			},
+			func(call *winapi.Call, keyPath, valueName string) bool {
+				return strings.HasSuffix(strings.ToUpper(keyPath), `\RUN`) && strings.EqualFold(valueName, base)
+			}))
+		return nil
+	}
+	if err := dropAndRegister(m, exe, "MZ probot", act); err != nil {
+		return err
+	}
+	for _, f := range []string{dll, drv1, drv2} {
+		if err := m.DropFile(f, []byte("MZ probot component")); err != nil {
+			return err
+		}
+	}
+	if _, err := serviceHook(m, g.base+"f", `System32\drivers\`+g.base+`f.sys`); err != nil {
+		return err
+	}
+	if _, err := serviceHook(m, g.base+"k", g.base+`k.sys`); err != nil {
+		return err
+	}
+	if _, err := runHook(m, g.base, exe); err != nil {
+		return err
+	}
+	return act(m)
+}
+
+// --- Commercial file hiders [ZHF, ZHO, ZAH, ZF] --------------------------------------
+//
+// Hide Files 3.3, Hide Folders XP, Advanced Hide Folders, and File &
+// Folder Protector all insert a filter driver into the file-system stack
+// and hide whatever folders and files the user selects (Figure 2). The
+// filter can scope its behaviour per process by examining the IRP's
+// originating process — File & Folder Protector exempts its own manager
+// UI, which this model reproduces.
+
+// FileHider is one of the four commercial file-hiding products.
+type FileHider struct {
+	hider
+	product   string // short install name
+	targets   []string
+	exemptExe string // process that still sees the hidden files
+}
+
+func newFileHider(displayName, product string, targets []string, exemptOwnUI bool) *FileHider {
+	g := &FileHider{
+		hider: hider{
+			name: displayName, class: "commercial file hider",
+			techniques: []Technique{
+				{API: winapi.APIFileEnum, Level: winapi.LevelFilter, Label: "file-system filter driver [IFS]"},
+			},
+			hiddenFiles: append([]string(nil), targets...),
+		},
+		product: product,
+		targets: targets,
+	}
+	if exemptOwnUI {
+		g.exemptExe = product + ".exe"
+	}
+	return g
+}
+
+// NewHideFiles constructs Hide Files 3.3 hiding the given paths.
+func NewHideFiles(targets []string) *FileHider {
+	return newFileHider("Hide Files 3.3", "hidefiles", targets, false)
+}
+
+// NewHideFoldersXP constructs Hide Folders XP.
+func NewHideFoldersXP(targets []string) *FileHider {
+	return newFileHider("Hide Folders XP", "hfxp", targets, false)
+}
+
+// NewAdvancedHideFolders constructs Advanced Hide Folders.
+func NewAdvancedHideFolders(targets []string) *FileHider {
+	return newFileHider("Advanced Hide Folders", "ahf", targets, false)
+}
+
+// NewFileFolderProtector constructs File & Folder Protector, which
+// exempts its own manager process from the filtering.
+func NewFileFolderProtector(targets []string) *FileHider {
+	return newFileHider("File & Folder Protector", "ffp", targets, true)
+}
+
+// ExemptProcess returns the image name that bypasses the filter ("" if
+// none).
+func (g *FileHider) ExemptProcess() string { return g.exemptExe }
+
+// Install drops the product's (visible) program files, registers its
+// filter-driver service, and activates the filter.
+func (g *FileHider) Install(m *machine.Machine) error {
+	dir := `C:\Program Files\` + g.product
+	ui := dir + `\` + g.product + `.exe`
+	drv := dir + `\` + g.product + `flt.sys`
+	targets := g.targets
+	exempt := g.exemptExe
+	appliesTo := func(p winapi.Proc) bool {
+		return exempt == "" || !strings.EqualFold(p.Name, exempt)
+	}
+	act := func(m *machine.Machine) error {
+		if _, err := m.Kern.LoadDriver(drv); err != nil {
+			return err
+		}
+		m.API.Install(winapi.NewFileHideHook(g.name, winapi.LevelFilter,
+			"filter driver (IRP-scoped)", appliesTo,
+			func(call *winapi.Call, e winapi.DirEntry) bool {
+				up := strings.ToUpper(e.Path)
+				for _, t := range targets {
+					tu := strings.ToUpper(t)
+					if up == tu || strings.HasPrefix(up, tu+`\`) {
+						return true
+					}
+				}
+				return false
+			}))
+		return nil
+	}
+	if err := dropAndRegister(m, drv, "MZ filter", act); err != nil {
+		return err
+	}
+	if err := m.DropFile(ui, []byte("MZ manager UI")); err != nil {
+		return err
+	}
+	if _, err := serviceHook(m, g.product+"flt", drv); err != nil {
+		return err
+	}
+	return act(m)
+}

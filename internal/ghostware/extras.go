@@ -1,0 +1,312 @@
+package ghostware
+
+import (
+	"fmt"
+	"strings"
+
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/winapi"
+)
+
+// --- pure name-trick hiders (no interception at all) --------------------------------
+
+// Win32NameGhost hides files by exploiting the gap between what NTFS
+// stores and what the Win32 API can address (§2): trailing dots and
+// spaces, reserved device names, over-long paths. It installs no hook
+// anywhere — hook detectors are structurally blind to it.
+type Win32NameGhost struct{ hider }
+
+// NewWin32NameGhost constructs the name-trick hider.
+func NewWin32NameGhost() *Win32NameGhost {
+	return &Win32NameGhost{hider{
+		name: "Win32NameGhost", class: "name-trick hider",
+		techniques: []Technique{
+			{API: winapi.APIFileEnum, Level: winapi.LevelNone, Label: "filenames NTFS stores but Win32 cannot address"},
+		},
+		hiddenFiles: []string{
+			`C:\WINDOWS\system32\wincfg.`,
+			`C:\WINDOWS\system32\update `,
+			`C:\WINDOWS\system32\NUL.sys`,
+			`C:\WINDOWS\system32\COM7`,
+		},
+	}}
+}
+
+// Install creates the Win32-hostile files through low-level (native)
+// file APIs.
+func (g *Win32NameGhost) Install(m *machine.Machine) error {
+	for _, p := range g.hiddenFiles {
+		if err := m.DropFile(p, []byte("MZ hidden by naming")); err != nil {
+			return fmt.Errorf("ghostware: win32 name trick %q: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// RegNullGhost hides Registry ASEP hooks with embedded-NUL and over-long
+// value names created through the Native API (§3). No hook installed.
+type RegNullGhost struct{ hider }
+
+// NewRegNullGhost constructs the Registry name-trick hider.
+func NewRegNullGhost() *RegNullGhost {
+	return &RegNullGhost{hider{
+		name: "RegNullGhost", class: "name-trick hider",
+		techniques: []Technique{
+			{API: winapi.APIRegQuery, Level: winapi.LevelNone, Label: "embedded-NUL and over-long counted-string names"},
+		},
+		hiddenFiles: []string{`C:\WINDOWS\system32\nulsvc.exe`},
+		hiddenASEPs: []string{
+			`HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Run|nulsvc` + "\x00" + `driver`,
+			`HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Run|` + strings.Repeat("A", 260),
+		},
+	}}
+}
+
+// Install creates the NUL-embedded and over-long Run values via the
+// Native API (counted strings) plus their visible payload file.
+func (g *RegNullGhost) Install(m *machine.Machine) error {
+	exe := g.hiddenFiles[0]
+	if err := m.DropFile(exe, []byte("MZ nulsvc")); err != nil {
+		return err
+	}
+	run := `HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Run`
+	if err := m.Reg.SetString(run, "nulsvc\x00driver", exe); err != nil {
+		return err
+	}
+	return m.Reg.SetString(run, strings.Repeat("A", 260), exe)
+}
+
+// --- §5 adversaries ---------------------------------------------------------------
+
+// TargetMode selects how a targeting ghostware scopes its hiding.
+type TargetMode int
+
+// Targeting strategies from §5.
+const (
+	// HideFromUtilities hides only from the common OS utilities (Task
+	// Manager, tlist, Explorer, cmd). A GhostBuster EXE running as its
+	// own process never experiences the lie, so the plain tool misses it.
+	HideFromUtilities TargetMode = iota + 1
+	// HideExceptGhostBuster hides from every process except one named
+	// ghostbuster.exe — the direct anti-GhostBuster attack.
+	HideExceptGhostBuster
+)
+
+// Targeted is the §5 targeting ghostware.
+type Targeted struct {
+	hider
+	mode TargetMode
+}
+
+// TargetedPayload is the file the targeting ghostware hides.
+const TargetedPayload = `C:\tgt\secret-payload.exe`
+
+// NewTargeted constructs a targeting ghostware with the given scope.
+func NewTargeted(mode TargetMode) *Targeted {
+	label := "scoped filter: hides only from OS utilities"
+	if mode == HideExceptGhostBuster {
+		label = "scoped filter: hides from everything except ghostbuster.exe"
+	}
+	return &Targeted{
+		hider: hider{
+			name: "Targeted", class: "targeting ghostware (§5)",
+			techniques: []Technique{
+				{API: winapi.APIFileEnum, Level: winapi.LevelFilter, Label: label},
+				{API: winapi.APIProcEnum, Level: winapi.LevelFilter, Label: label},
+			},
+			hiddenFiles: []string{TargetedPayload},
+			hiddenProcs: []string{"secret-payload.exe"},
+		},
+		mode: mode,
+	}
+}
+
+var utilityNames = map[string]bool{
+	"TASKMGR.EXE": true, "TLIST.EXE": true, "EXPLORER.EXE": true, "CMD.EXE": true, "REGEDIT.EXE": true,
+}
+
+// Install drops the payload, starts its process, and installs the
+// scoped hiding.
+func (g *Targeted) Install(m *machine.Machine) error {
+	mode := g.mode
+	appliesTo := func(p winapi.Proc) bool {
+		switch mode {
+		case HideFromUtilities:
+			return utilityNames[strings.ToUpper(p.Name)]
+		case HideExceptGhostBuster:
+			return !strings.EqualFold(p.Name, "ghostbuster.exe")
+		default:
+			return true
+		}
+	}
+	act := func(m *machine.Machine) error {
+		if _, err := m.StartProcess("secret-payload.exe", TargetedPayload); err != nil {
+			return err
+		}
+		m.API.Install(winapi.NewFileHideHook(g.name, winapi.LevelFilter, "scoped filter", appliesTo,
+			func(call *winapi.Call, e winapi.DirEntry) bool { return pathMatches(e.Path, "secret-payload") }))
+		m.API.Install(winapi.NewProcHideHook(g.name, winapi.LevelFilter, "scoped filter", appliesTo,
+			func(call *winapi.Call, p winapi.ProcEntry) bool {
+				return strings.EqualFold(p.Name, "secret-payload.exe")
+			}))
+		return nil
+	}
+	if err := dropAndRegister(m, TargetedPayload, "MZ payload", act); err != nil {
+		return err
+	}
+	if _, err := runHook(m, "tgt", TargetedPayload); err != nil {
+		return err
+	}
+	return act(m)
+}
+
+// Decoy is the §5 mass-hiding attacker: it hides a large number of
+// innocent files together with its own, to bury the real payload in
+// triage noise. The *count* of hidden files then becomes the signal.
+type Decoy struct {
+	hider
+	prefixes []string
+}
+
+// DecoyPayload is the decoy attacker's real payload.
+const DecoyPayload = `C:\WINDOWS\system32\dcysvc.exe`
+
+// NewDecoy constructs the decoy attacker; it will hide everything under
+// the given path prefixes in addition to its own payload.
+func NewDecoy(prefixes []string) *Decoy {
+	return &Decoy{
+		hider: hider{
+			name: "Decoy", class: "mass-hiding attacker (§5)",
+			techniques: []Technique{
+				{API: winapi.APIFileEnum, Level: winapi.LevelSSDT, Label: "hides innocent files en masse plus its payload"},
+			},
+			hiddenFiles: []string{DecoyPayload},
+		},
+		prefixes: prefixes,
+	}
+}
+
+// Install drops the payload and hides it along with all decoy prefixes.
+func (g *Decoy) Install(m *machine.Machine) error {
+	prefixes := g.prefixes
+	act := func(m *machine.Machine) error {
+		m.API.Install(winapi.NewFileHideHook(g.name, winapi.LevelSSDT, "mass hide", nil,
+			func(call *winapi.Call, e winapi.DirEntry) bool {
+				if pathMatches(e.Path, "dcysvc") {
+					return true
+				}
+				up := strings.ToUpper(e.Path)
+				for _, p := range prefixes {
+					pu := strings.ToUpper(p)
+					if up == pu || strings.HasPrefix(up, pu+`\`) {
+						return true
+					}
+				}
+				return false
+			}))
+		return nil
+	}
+	if err := dropAndRegister(m, DecoyPayload, "MZ decoy", act); err != nil {
+		return err
+	}
+	if _, err := runHook(m, "dcysvc", DecoyPayload); err != nil {
+		return err
+	}
+	return act(m)
+}
+
+// --- corpus listings ------------------------------------------------------------------
+
+// DefaultHiderTargets is the user-selected content the commercial file
+// hiders protect in the experiments.
+var DefaultHiderTargets = []string{`C:\Private`}
+
+// Fig3Corpus returns the 10 file-hiding programs of Figure 3 in the
+// paper's order. Fresh instances each call: install each on a fresh
+// machine.
+func Fig3Corpus() []Ghostware {
+	return []Ghostware{
+		NewUrbin(),
+		NewMersting(),
+		NewVanquish(),
+		NewAphex(),
+		NewHackerDefender(),
+		NewProBotSE(),
+		NewHideFiles(DefaultHiderTargets),
+		NewHideFoldersXP(DefaultHiderTargets),
+		NewAdvancedHideFolders(DefaultHiderTargets),
+		NewFileFolderProtector(DefaultHiderTargets),
+	}
+}
+
+// Fig4Corpus returns the 6 Registry-hiding programs of Figure 4.
+func Fig4Corpus() []Ghostware {
+	return []Ghostware{
+		NewUrbin(),
+		NewMersting(),
+		NewHackerDefender(),
+		NewVanquish(),
+		NewProBotSE(),
+		NewAphex(),
+	}
+}
+
+// Fig6Corpus returns the process/module-hiding programs of Figure 6.
+// FU needs a hide target after install; the harness drives that.
+func Fig6Corpus() []Ghostware {
+	return []Ghostware{
+		NewAphex(),
+		NewHackerDefender(),
+		NewBerbew(),
+		NewFU(),
+		NewVanquish(),
+	}
+}
+
+// DriverHider is the natural escalation the paper's §4 anticipates: once
+// tools like AskStrider flag an unhidden driver, the next rootkit
+// generation filters the driver-enumeration API too. The kernel's
+// loaded-module list still holds the truth, so the driver cross-view
+// diff exposes it.
+type DriverHider struct{ hider }
+
+// DriverHiderPath is the rootkit's driver image.
+const DriverHiderPath = `C:\WINDOWS\system32\drivers\stlthdrv.sys`
+
+// NewDriverHider constructs the driver-hiding rootkit.
+func NewDriverHider() *DriverHider {
+	return &DriverHider{hider{
+		name: "DriverHider", class: "driver-hiding rootkit (extension)",
+		techniques: []Technique{
+			{API: winapi.APIDriverEnum, Level: winapi.LevelNtdll, Label: "filters EnumDeviceDrivers results"},
+			{API: winapi.APIFileEnum, Level: winapi.LevelNtdll, Label: "hides its driver file"},
+		},
+		hiddenFiles: []string{DriverHiderPath},
+	}}
+}
+
+// Install drops and loads the driver, then hides it from both the driver
+// list and the filesystem view.
+func (g *DriverHider) Install(m *machine.Machine) error {
+	act := func(m *machine.Machine) error {
+		if _, err := m.Kern.LoadDriver(DriverHiderPath); err != nil {
+			return err
+		}
+		m.API.Install(winapi.NewDriverHideHook(g.name, winapi.LevelNtdll, "driver list filter", nil,
+			func(call *winapi.Call, d winapi.ModEntry) bool {
+				return pathMatches(d.Path, "stlthdrv")
+			}))
+		m.API.Install(winapi.NewFileHideHook(g.name, winapi.LevelNtdll, "file filter", nil,
+			func(call *winapi.Call, e winapi.DirEntry) bool {
+				return pathMatches(e.Path, "stlthdrv")
+			}))
+		return nil
+	}
+	if err := dropAndRegister(m, DriverHiderPath, "MZ stlthdrv", act); err != nil {
+		return err
+	}
+	if _, err := serviceHook(m, "stlthdrv", `system32\drivers\stlthdrv.sys`); err != nil {
+		return err
+	}
+	return act(m)
+}

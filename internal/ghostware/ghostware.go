@@ -1,0 +1,141 @@
+// Package ghostware implements behavioural models of the 12 real-world
+// stealth programs the paper evaluates (Figures 3, 4 and 6), plus the
+// §5 adversaries (targeted hiding, mass-hiding decoys) and the pure
+// name-trick hiders (§2 Win32 restrictions, §3 embedded-NUL names).
+//
+// Each program installs exactly what its real counterpart did: the same
+// dropped files, the same ASEP hooks, and an interception at the same
+// level of the API call path. GhostBuster never special-cases any of
+// them — uniform detection of this diverse corpus is the paper's central
+// claim.
+package ghostware
+
+import (
+	"fmt"
+	"strings"
+
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/winapi"
+)
+
+// Technique describes one interception a program performs, for the
+// Figure 2 / Figure 5 taxonomy.
+type Technique struct {
+	API   winapi.API
+	Level winapi.Level
+	Label string
+}
+
+// Ghostware is one installable stealth program.
+type Ghostware interface {
+	// Name is the program's name as the paper uses it.
+	Name() string
+	// Class is "rootkit/trojan", "key-logger", "commercial file hider"...
+	Class() string
+	// Techniques lists the interceptions the program performs.
+	Techniques() []Technique
+	// Install drops files, sets ASEP hooks, registers the boot
+	// activation, and activates immediately (the program is running
+	// after Install returns).
+	Install(m *machine.Machine) error
+	// HiddenFiles returns the full paths of files the program hides
+	// (ground truth for the Figure 3 experiment).
+	HiddenFiles() []string
+	// HiddenASEPs returns the key paths of ASEP hooks the program hides
+	// (ground truth for Figure 4). Entries are "KEY" or "KEY|VALUE".
+	HiddenASEPs() []string
+	// HiddenProcs returns image names of processes the program hides
+	// (ground truth for Figure 6).
+	HiddenProcs() []string
+}
+
+// hider is the common implementation scaffold.
+type hider struct {
+	name        string
+	class       string
+	techniques  []Technique
+	hiddenFiles []string
+	hiddenASEPs []string
+	hiddenProcs []string
+}
+
+func (h *hider) Name() string            { return h.name }
+func (h *hider) Class() string           { return h.class }
+func (h *hider) Techniques() []Technique { return append([]Technique(nil), h.techniques...) }
+func (h *hider) HiddenFiles() []string   { return append([]string(nil), h.hiddenFiles...) }
+func (h *hider) HiddenASEPs() []string   { return append([]string(nil), h.hiddenASEPs...) }
+func (h *hider) HiddenProcs() []string   { return append([]string(nil), h.hiddenProcs...) }
+
+// pathMatches reports whether a full path's base name contains the
+// (case-insensitive) fragment — the match rule most of the corpus uses.
+func pathMatches(path, fragment string) bool {
+	return strings.Contains(strings.ToUpper(baseName(path)), strings.ToUpper(fragment))
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '\\'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// randName generates a deterministic pseudo-random 8-letter name using
+// the machine's seeded RNG (ProBot SE and Berbew install under random
+// names).
+func randName(m *machine.Machine) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	b := make([]byte, 8)
+	for i := range b {
+		b[i] = letters[m.Rand.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// dropAndRegister drops an executable image and registers its boot
+// activation.
+func dropAndRegister(m *machine.Machine, path string, payload string, act machine.Activation) error {
+	if err := m.DropFile(path, []byte(payload)); err != nil {
+		return fmt.Errorf("ghostware: dropping %s: %w", path, err)
+	}
+	m.RegisterImage(path, act)
+	return nil
+}
+
+// serviceHook creates a Services ASEP entry.
+func serviceHook(m *machine.Machine, svcName, imagePath string) (string, error) {
+	key := `HKLM\SYSTEM\CurrentControlSet\Services\` + svcName
+	if err := m.Reg.CreateKey(key); err != nil {
+		return "", err
+	}
+	if err := m.Reg.SetString(key, "ImagePath", imagePath); err != nil {
+		return "", err
+	}
+	return key, nil
+}
+
+// runHook creates a Run-key ASEP entry.
+func runHook(m *machine.Machine, valueName, command string) (string, error) {
+	key := `HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Run`
+	if err := m.Reg.SetString(key, valueName, command); err != nil {
+		return "", err
+	}
+	return key, nil
+}
+
+// appInitHook appends a DLL to AppInit_DLLs.
+func appInitHook(m *machine.Machine, dll string) (string, error) {
+	key := `HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion\Windows`
+	cur, err := m.Reg.GetValue(key, "AppInit_DLLs")
+	if err != nil {
+		return "", err
+	}
+	data := cur.String()
+	if data != "" {
+		data += " "
+	}
+	data += dll
+	if err := m.Reg.SetString(key, "AppInit_DLLs", data); err != nil {
+		return "", err
+	}
+	return key, nil
+}

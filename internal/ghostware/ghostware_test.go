@@ -1,0 +1,781 @@
+package ghostware
+
+import (
+	"strings"
+	"testing"
+
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/machine"
+)
+
+func smallProfile() machine.Profile {
+	p := machine.DefaultProfile()
+	p.DiskUsedGB = 1
+	p.Churn = nil
+	return p
+}
+
+// freshVictim builds a machine with the user content the commercial
+// hiders protect.
+func freshVictim(t *testing.T) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(smallProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{`C:\Private\diary.txt`, `C:\Private\taxes.xls`} {
+		if err := m.DropFile(f, []byte("user data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// hiddenIDs runs the file diff and returns the hidden IDs.
+func hiddenFileIDs(t *testing.T, m *machine.Machine) map[string]bool {
+	t.Helper()
+	r, err := core.NewDetector(m).ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	for _, f := range r.Hidden {
+		out[f.ID] = true
+	}
+	return out
+}
+
+// TestFig3EachProgramsHiddenFilesDetected reproduces Figure 3: for each
+// of the 10 file-hiding programs, every ground-truth hidden file shows
+// up in the cross-view diff, with zero extra findings beyond the
+// program's own hidden set.
+func TestFig3EachProgramsHiddenFilesDetected(t *testing.T) {
+	for _, g := range Fig3Corpus() {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			m := freshVictim(t)
+			if err := g.Install(m); err != nil {
+				t.Fatalf("install: %v", err)
+			}
+			hidden := hiddenFileIDs(t, m)
+			want := expandHiddenFiles(m, g)
+			if len(want) == 0 {
+				t.Fatalf("program declares no hidden files")
+			}
+			for _, path := range want {
+				id := strings.ToUpper(path)
+				if !hidden[id] {
+					t.Errorf("hidden file %s not detected (findings: %v)", path, keys(hidden))
+				}
+			}
+			// Every finding must be attributable: either a declared hidden
+			// file or inside a hidden directory subtree.
+			for id := range hidden {
+				if !attributable(id, want) {
+					t.Errorf("unattributed finding %s", id)
+				}
+			}
+		})
+	}
+}
+
+// expandHiddenFiles returns the declared hidden files plus, for hidden
+// directories, their contained files.
+func expandHiddenFiles(m *machine.Machine, g Ghostware) []string {
+	var out []string
+	for _, p := range g.HiddenFiles() {
+		out = append(out, p)
+		vp, err := machine.VolumePath(p)
+		if err != nil {
+			continue
+		}
+		infos, err := m.Disk.ReadDir(vp)
+		if err != nil {
+			continue // not a directory
+		}
+		for _, inf := range infos {
+			out = append(out, p+`\`+inf.Name)
+		}
+	}
+	return out
+}
+
+func attributable(id string, want []string) bool {
+	for _, w := range want {
+		wu := strings.ToUpper(w)
+		if id == wu || strings.HasPrefix(id, wu+`\`) {
+			return true
+		}
+	}
+	return false
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestFig4EachProgramsHiddenHooksDetected reproduces Figure 4.
+func TestFig4EachProgramsHiddenHooksDetected(t *testing.T) {
+	for _, g := range Fig4Corpus() {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			m := freshVictim(t)
+			if err := g.Install(m); err != nil {
+				t.Fatalf("install: %v", err)
+			}
+			r, err := core.NewDetector(m).ScanASEPs()
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := map[string]bool{}
+			for _, f := range r.Hidden {
+				found[f.ID] = true
+			}
+			want := g.HiddenASEPs()
+			if len(want) == 0 {
+				t.Fatal("program declares no hidden ASEPs")
+			}
+			for _, spec := range want {
+				if !hookDetected(found, spec) {
+					t.Errorf("hidden ASEP %q not detected (findings: %v)", printableSpec(spec), keys(found))
+				}
+			}
+			if len(found) != len(want) {
+				t.Errorf("found %d hidden hooks, want %d: %v", len(found), len(want), keys(found))
+			}
+		})
+	}
+}
+
+// hookDetected matches a ground-truth spec ("KEY" or "KEY|VALUE")
+// against finding IDs ("KEY -> VALUE", upper-cased).
+func hookDetected(found map[string]bool, spec string) bool {
+	keyPart := spec
+	valPart := ""
+	if i := strings.IndexByte(spec, '|'); i >= 0 {
+		keyPart, valPart = spec[:i], spec[i+1:]
+	}
+	for id := range found {
+		if !strings.HasPrefix(id, strings.ToUpper(keyPart)) {
+			continue
+		}
+		if valPart == "" || strings.HasSuffix(id, strings.ToUpper(valPart)) {
+			return true
+		}
+	}
+	return false
+}
+
+func printableSpec(s string) string { return strings.ReplaceAll(s, "\x00", `\0`) }
+
+// TestFig6ProcessAndModuleHiding reproduces Figure 6: Aphex, Hacker
+// Defender and Berbew are caught with the Active Process List as truth;
+// FU needs advanced mode; Vanquish's hidden module is caught by the
+// module diff.
+func TestFig6ProcessAndModuleHiding(t *testing.T) {
+	apiHiders := []Ghostware{NewAphex(), NewHackerDefender(), NewBerbew()}
+	for _, g := range apiHiders {
+		g := g
+		t.Run(g.Name()+"/normal-mode", func(t *testing.T) {
+			m := freshVictim(t)
+			if err := g.Install(m); err != nil {
+				t.Fatal(err)
+			}
+			d := core.NewDetector(m)
+			r, err := d.ScanProcesses()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantProcs := g.HiddenProcs()
+			if len(r.Hidden) != len(wantProcs) {
+				t.Fatalf("hidden procs = %+v, want %d", r.Hidden, len(wantProcs))
+			}
+			for _, name := range wantProcs {
+				ok := false
+				for _, f := range r.Hidden {
+					if strings.Contains(f.ID, strings.ToUpper(name)) {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Errorf("hidden process %s not detected", name)
+				}
+			}
+		})
+	}
+
+	t.Run("FU/advanced-mode-required", func(t *testing.T) {
+		m := freshVictim(t)
+		fu := NewFU()
+		if err := fu.Install(m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.StartProcess("backdoor.exe", `C:\fu\backdoor.exe`); err != nil {
+			t.Fatal(err)
+		}
+		if err := fu.HideByName(m, "backdoor.exe"); err != nil {
+			t.Fatal(err)
+		}
+		d := core.NewDetector(m)
+		r, err := d.ScanProcesses()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Hidden) != 0 {
+			t.Errorf("normal mode should miss FU (APL is only a truth approximation): %+v", r.Hidden)
+		}
+		d.Advanced = true
+		r, err = d.ScanProcesses()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Hidden) != 1 || !strings.Contains(r.Hidden[0].ID, "BACKDOOR.EXE") {
+			t.Fatalf("advanced mode hidden = %+v", r.Hidden)
+		}
+	})
+
+	t.Run("Vanquish/hidden-module", func(t *testing.T) {
+		m := freshVictim(t)
+		if err := NewVanquish().Install(m); err != nil {
+			t.Fatal(err)
+		}
+		r, err := core.NewDetector(m).ScanModules()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Hidden) < 2 {
+			t.Fatalf("vanquish.dll should be hidden inside many processes, got %d", len(r.Hidden))
+		}
+		for _, f := range r.Hidden {
+			if !strings.Contains(f.ID, "VANQUISH.DLL") {
+				t.Errorf("unexpected hidden module %s", f.ID)
+			}
+		}
+	})
+}
+
+// TestHackerDefenderDriverVisibleToDriverEnum: AskStrider can spot a
+// Hacker Defender infection via its unhidden driver (§4).
+func TestHackerDefenderDriverVisible(t *testing.T) {
+	m := freshVictim(t)
+	if err := NewHackerDefender().Install(m); err != nil {
+		t.Fatal(err)
+	}
+	drvs, err := m.API.EnumDriversWin32(m.SystemCall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range drvs {
+		if strings.Contains(strings.ToUpper(d.Path), "HXDEFDRV.SYS") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("hxdefdrv.sys should remain visible in the driver list")
+	}
+}
+
+// TestNameTrickGhostsDetectedWithoutHooks: the Win32-restriction and
+// NUL-name hiders install no hook, yet the cross-view diff finds them.
+func TestNameTrickGhostsDetected(t *testing.T) {
+	m := freshVictim(t)
+	if err := NewWin32NameGhost().Install(m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.API.Hooks()) != 0 {
+		t.Fatal("name-trick ghost must not install hooks")
+	}
+	hidden := hiddenFileIDs(t, m)
+	if len(hidden) != 4 {
+		t.Errorf("hidden = %v, want the 4 hostile names", keys(hidden))
+	}
+
+	m2 := freshVictim(t)
+	if err := NewRegNullGhost().Install(m2); err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.NewDetector(m2).ScanASEPs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hidden) != 2 {
+		t.Errorf("hidden reg hooks = %+v, want NUL-name and overlong-name", r.Hidden)
+	}
+}
+
+// TestFileHiderScopesItsOwnUI: File & Folder Protector's manager still
+// sees the protected files (IRP-based process scoping).
+func TestFileHiderScopesItsOwnUI(t *testing.T) {
+	m := freshVictim(t)
+	g := NewFileFolderProtector(DefaultHiderTargets)
+	if err := g.Install(m); err != nil {
+		t.Fatal(err)
+	}
+	// Regular processes cannot see the protected folder.
+	entries, err := m.API.EnumDirWin32(m.SystemCall(), `C:`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.EqualFold(e.Name, "Private") {
+			t.Error("protected folder visible to explorer.exe")
+		}
+	}
+	// The manager UI process sees it.
+	if _, err := m.StartProcess(g.ExemptProcess(), `C:\Program Files\ffp\ffp.exe`); err != nil {
+		t.Fatal(err)
+	}
+	uiCall, err := m.CallAs(g.ExemptProcess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err = m.API.EnumDirWin32(uiCall, `C:`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for _, e := range entries {
+		if strings.EqualFold(e.Name, "Private") {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("manager UI should be exempt from its own filter")
+	}
+}
+
+// TestTargetedGhostEvadesPlainToolOnly (§5): a ghostware hiding only
+// from utilities is invisible to them but a GhostBuster running as its
+// own process sees the truth in the high-level scan too — so the plain
+// diff misses it. Scanning *as* a utility process exposes it.
+func TestTargetedGhostEvadesPlainToolOnly(t *testing.T) {
+	m := freshVictim(t)
+	if err := NewTargeted(HideFromUtilities).Install(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StartProcess("ghostbuster.exe", `C:\tools\ghostbuster.exe`); err != nil {
+		t.Fatal(err)
+	}
+	d := core.NewDetector(m)
+	d.AsProcess = "ghostbuster.exe"
+	r, err := d.ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hidden) != 0 {
+		t.Errorf("plain GhostBuster should not experience the hiding: %+v", r.Hidden)
+	}
+	// The DLL-injection countermeasure scans from inside taskmgr.exe.
+	if _, err := m.StartProcess("taskmgr.exe", `C:\WINDOWS\system32\taskmgr.exe`); err != nil {
+		t.Fatal(err)
+	}
+	d.AsProcess = "taskmgr.exe"
+	r, err = d.ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hidden) != 1 || !strings.Contains(r.Hidden[0].ID, "SECRET-PAYLOAD") {
+		t.Errorf("scan-as-taskmgr hidden = %+v", r.Hidden)
+	}
+}
+
+// TestAntiGhostBusterTargeting (§5): hiding from everything except
+// ghostbuster.exe defeats the plain tool but not the injected scans.
+func TestAntiGhostBusterTargeting(t *testing.T) {
+	m := freshVictim(t)
+	if err := NewTargeted(HideExceptGhostBuster).Install(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StartProcess("ghostbuster.exe", `C:\tools\ghostbuster.exe`); err != nil {
+		t.Fatal(err)
+	}
+	d := core.NewDetector(m)
+	d.AsProcess = "ghostbuster.exe"
+	r, err := d.ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hidden) != 0 {
+		t.Errorf("anti-GhostBuster targeting should evade the plain tool: %+v", r.Hidden)
+	}
+	d.AsProcess = "explorer.exe"
+	r, err = d.ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hidden) != 1 {
+		t.Errorf("injected scan should catch it: %+v", r.Hidden)
+	}
+}
+
+// TestDecoyTriggersMassHidingAnomaly (§5).
+func TestDecoyTriggersMassHidingAnomaly(t *testing.T) {
+	m := freshVictim(t)
+	for i := 0; i < 150; i++ {
+		if err := m.DropFile(`C:\Shared\doc`+itoa(i)+`.txt`, []byte("innocent")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := NewDecoy([]string{`C:\Shared`}).Install(m); err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.NewDetector(m).ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MassHiding == nil {
+		t.Fatalf("mass-hiding anomaly not raised (%d hidden)", len(r.Hidden))
+	}
+	// The real payload is in there too.
+	found := false
+	for _, f := range r.Hidden {
+		if strings.Contains(f.ID, "DCYSVC") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("decoy payload missing from findings")
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+// TestPersistenceAcrossReboot: ghostware with intact ASEP hooks
+// reinstalls its hiding at every boot; deleting the hidden keys disables
+// it (the paper's removal flow, §3/§6).
+func TestPersistenceAcrossReboot(t *testing.T) {
+	m := freshVictim(t)
+	hd := NewHackerDefender()
+	if err := hd.Install(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	// Still hiding after reboot.
+	r, err := core.NewDetector(m).ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hidden) == 0 {
+		t.Fatal("hooks did not reinstall across reboot")
+	}
+	// Remove the (now known) ASEP keys and reboot: the rootkit is dead
+	// and its files become visible.
+	for _, key := range hd.HiddenASEPs() {
+		if err := m.Reg.DeleteKeyTree(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	r, err = core.NewDetector(m).ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hidden) != 0 {
+		t.Errorf("after hook removal + reboot, still hidden: %+v", r.Hidden)
+	}
+	// Files are visible and can be deleted now.
+	call := m.SystemCall()
+	entries, err := m.API.EnumDirWin32(call, HackerDefenderDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Errorf("hxdef files should be visible now: %+v", entries)
+	}
+	// Files first, then the (now empty) directory.
+	files := hd.HiddenFiles()
+	for i := len(files) - 1; i >= 0; i-- {
+		if err := m.RemoveFile(files[i]); err != nil {
+			t.Errorf("removing %s: %v", files[i], err)
+		}
+	}
+}
+
+// TestRandomNamesAreDeterministicPerSeed: ProBot/Berbew random names
+// reproduce across identical machines (bench stability).
+func TestRandomNamesAreDeterministicPerSeed(t *testing.T) {
+	m1 := freshVictim(t)
+	m2 := freshVictim(t)
+	p1 := NewProBotSE()
+	p2 := NewProBotSE()
+	if err := p1.Install(m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Install(m2); err != nil {
+		t.Fatal(err)
+	}
+	if p1.Base() == "" || p1.Base() != p2.Base() {
+		t.Errorf("random bases differ across identical seeds: %q vs %q", p1.Base(), p2.Base())
+	}
+}
+
+// TestTechniqueTaxonomyCoversFig2: the corpus spans all six file-hiding
+// technique levels of Figure 2.
+func TestTechniqueTaxonomyCoversFig2(t *testing.T) {
+	levels := map[string]bool{}
+	for _, g := range Fig3Corpus() {
+		for _, tech := range g.Techniques() {
+			if tech.API == "FileEnum" {
+				levels[tech.Level.String()] = true
+			}
+		}
+	}
+	// IAT, user-code (two variants share a level), ntdll, SSDT, filter.
+	if len(levels) < 5 {
+		t.Errorf("file-hiding levels covered = %v", levels)
+	}
+}
+
+// TestADSGhostDetectedOnlyByRawScan: the ADS hider installs no hook yet
+// the file diff exposes its streams (§6 future work implemented).
+func TestADSGhostDetected(t *testing.T) {
+	m := freshVictim(t)
+	g := NewADSGhost()
+	if err := g.Install(m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.API.Hooks()) != 0 {
+		t.Fatal("ADS ghost must not install hooks")
+	}
+	r, err := core.NewDetector(m).ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hidden) != len(g.HiddenFiles()) {
+		t.Fatalf("hidden = %+v, want %d streams", r.Hidden, len(g.HiddenFiles()))
+	}
+	for _, f := range r.Hidden {
+		if !strings.Contains(f.ID, ":") {
+			t.Errorf("non-stream finding %s", f.ID)
+		}
+	}
+	// The carrier file itself is visible and innocent.
+	call := m.SystemCall()
+	entries, err := m.API.EnumDirWin32(call, `C:\WINDOWS\system32`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for _, e := range entries {
+		if strings.EqualFold(e.Name, "calc-host.txt") {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("carrier file should be visible")
+	}
+}
+
+// TestDriverHiderDetectedByDriverDiff: the escalated rootkit that
+// filters driver enumeration is exposed by the driver cross-view diff
+// and by the file diff.
+func TestDriverHiderDetected(t *testing.T) {
+	m := freshVictim(t)
+	if err := NewDriverHider().Install(m); err != nil {
+		t.Fatal(err)
+	}
+	// Invisible in the API driver list.
+	drvs, err := m.API.EnumDriversWin32(m.SystemCall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range drvs {
+		if strings.Contains(strings.ToUpper(d.Path), "STLTHDRV") {
+			t.Error("driver visible through the API")
+		}
+	}
+	d := core.NewDetector(m)
+	r, err := d.ScanDrivers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hidden) != 1 || !strings.Contains(r.Hidden[0].ID, "STLTHDRV.SYS") {
+		t.Fatalf("driver diff hidden = %+v", r.Hidden)
+	}
+	files, err := d.ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files.Hidden) != 1 {
+		t.Errorf("file diff hidden = %+v", files.Hidden)
+	}
+}
+
+// TestADSGhostSurvivesRebootViaVisibleHook: its Run hook is visible (the
+// stealth is in the filesystem), and the stream persists across reboot.
+func TestADSGhostPersistence(t *testing.T) {
+	m := freshVictim(t)
+	g := NewADSGhost()
+	if err := g.Install(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	vp, err := machine.VolumePath(g.HostFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.Disk.ReadStream(vp, "payload.exe")
+	if err != nil || !strings.Contains(string(data), "ads payload") {
+		t.Errorf("stream after reboot = %q err %v", data, err)
+	}
+}
+
+// TestVanquishInjectsNewProcesses: the rootkit watches process creation
+// and injects its DLL into processes started after infection.
+func TestVanquishInjectsNewProcesses(t *testing.T) {
+	m := freshVictim(t)
+	if err := NewVanquish().Install(m); err != nil {
+		t.Fatal(err)
+	}
+	before, err := core.NewDetector(m).ScanModules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StartProcess("notepad.exe", `C:\WINDOWS\notepad.exe`); err != nil {
+		t.Fatal(err)
+	}
+	after, err := core.NewDetector(m).ScanModules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Hidden) != len(before.Hidden)+1 {
+		t.Errorf("hidden modules %d -> %d, want +1 for the new process", len(before.Hidden), len(after.Hidden))
+	}
+}
+
+// TestCoInfection: several rootkits with different techniques on ONE
+// machine — the detector must attribute every hidden resource without
+// the hooks interfering with each other (hook stacks compose).
+func TestCoInfection(t *testing.T) {
+	m := freshVictim(t)
+	urbin := NewUrbin()
+	hd := NewHackerDefender()
+	fu := NewFU()
+	for _, g := range []Ghostware{urbin, hd, fu} {
+		if err := g.Install(m); err != nil {
+			t.Fatalf("install %s: %v", g.Name(), err)
+		}
+	}
+	if _, err := m.StartProcess("loot.exe", `C:\loot.exe`); err != nil {
+		t.Fatal(err)
+	}
+	if err := fu.HideByName(m, "loot.exe"); err != nil {
+		t.Fatal(err)
+	}
+
+	d := core.NewDetector(m)
+	d.Advanced = true
+
+	files, err := d.ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFiles := len(urbin.HiddenFiles()) + len(hd.HiddenFiles())
+	if len(files.Hidden) != wantFiles {
+		t.Errorf("hidden files = %d, want %d: %+v", len(files.Hidden), wantFiles, files.Hidden)
+	}
+
+	aseps, err := d.ScanASEPs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantASEPs := len(urbin.HiddenASEPs()) + len(hd.HiddenASEPs())
+	if len(aseps.Hidden) != wantASEPs {
+		t.Errorf("hidden ASEPs = %d, want %d: %+v", len(aseps.Hidden), wantASEPs, aseps.Hidden)
+	}
+
+	procs, err := d.ScanProcesses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hxdef100.exe (API-hidden) + loot.exe (DKOM-hidden).
+	if len(procs.Hidden) != 2 {
+		t.Errorf("hidden procs = %+v", procs.Hidden)
+	}
+	// And removal of everything still works: delete all hidden hooks,
+	// reboot, and the machine scans clean for ASEPs/files from those two.
+	for _, spec := range append(urbin.HiddenASEPs(), hd.HiddenASEPs()...) {
+		key := spec
+		if i := strings.IndexByte(spec, '|'); i >= 0 {
+			key = spec[:i]
+			if err := m.Reg.DeleteValue(key, spec[i+1:]); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := m.Reg.DeleteKeyTree(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// FU's (visible) service hook too.
+	if err := m.Reg.DeleteKeyTree(`HKLM\SYSTEM\CurrentControlSet\Services\msdirectx`); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := d.ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range after {
+		if r.Infected() {
+			t.Errorf("after removal+reboot, %s still hidden: %+v", r.Kind, r.Hidden)
+		}
+	}
+}
+
+// TestWeekLongSoakZeroInsideFPs: a simulated week of churn and nightly
+// reboots must never produce an inside-the-box false positive (run
+// without -short).
+func TestWeekLongSoakZeroInsideFPs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	p := smallProfile()
+	p.Churn = []machine.ChurnKind{machine.ChurnAVLogger, machine.ChurnPrefetch, machine.ChurnSystemRestore, machine.ChurnBrowserTemp}
+	m, err := machine.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.NewDetector(m)
+	d.Advanced = true
+	for day := 0; day < 7; day++ {
+		if err := m.RunChurn(8 * 60); err != nil {
+			t.Fatal(err)
+		}
+		reports, err := d.ScanAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range reports {
+			if r.Infected() {
+				t.Fatalf("day %d: %s false positives: %+v", day, r.Kind, r.Hidden)
+			}
+		}
+		if err := m.Reboot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package ghostware
+
+import (
+	"bufio"
+	"strings"
+)
+
+// Hacker Defender is configured through hxdef100.ini: the [Hidden Table]
+// section lists name patterns (with trailing '*' wildcards) for the
+// files and processes to hide. The real rootkit re-reads this file at
+// startup, so editing the ini changes what disappears after the next
+// boot — behaviour this model reproduces: the Install method writes the
+// ini and every activation parses it back from disk.
+
+// ParseHxdefIni extracts the hide patterns from an hxdef100.ini. A
+// pattern like "hxdef*" matches any name containing the prefix before
+// the wildcard; a bare name matches as a fragment. Lines outside
+// [Hidden Table], comments (#, ;) and blanks are ignored.
+func ParseHxdefIni(data []byte) []string {
+	var patterns []string
+	inTable := false
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			inTable = strings.EqualFold(line, "[Hidden Table]")
+			continue
+		}
+		if !inTable {
+			continue
+		}
+		patterns = append(patterns, strings.TrimSuffix(line, "*"))
+	}
+	return patterns
+}
+
+// BuildHxdefIni renders an ini for the given patterns.
+func BuildHxdefIni(patterns []string) []byte {
+	var sb strings.Builder
+	sb.WriteString("# Hacker Defender configuration\n[Hidden Table]\n")
+	for _, p := range patterns {
+		sb.WriteString(p)
+		sb.WriteString("*\n")
+	}
+	sb.WriteString("\n[Startup Run]\n")
+	return []byte(sb.String())
+}

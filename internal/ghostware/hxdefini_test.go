@@ -1,0 +1,91 @@
+package ghostware
+
+import (
+	"strings"
+	"testing"
+
+	"ghostbuster/internal/core"
+)
+
+func TestParseHxdefIni(t *testing.T) {
+	ini := []byte(`# comment
+[Hidden Table]
+hxdef*
+secret.doc
+; another comment
+
+[Startup Run]
+notpattern.exe
+`)
+	got := ParseHxdefIni(ini)
+	if len(got) != 2 || got[0] != "hxdef" || got[1] != "secret.doc" {
+		t.Errorf("patterns = %v", got)
+	}
+	if got := ParseHxdefIni(nil); len(got) != 0 {
+		t.Errorf("empty ini = %v", got)
+	}
+}
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	patterns := []string{"hxdef", "rk"}
+	got := ParseHxdefIni(BuildHxdefIni(patterns))
+	if len(got) != len(patterns) {
+		t.Fatalf("round trip = %v", got)
+	}
+	for i := range patterns {
+		if got[i] != patterns[i] {
+			t.Errorf("pattern %d = %q", i, got[i])
+		}
+	}
+}
+
+// TestEditedIniChangesHidingAfterReboot: the rootkit re-reads its config
+// at startup, so adding a pattern to the (hidden) ini extends the hiding
+// on the next boot — the behaviour the paper describes for Hacker
+// Defender's "patterns specified in hxdef100.ini".
+func TestEditedIniChangesHidingAfterReboot(t *testing.T) {
+	m := freshVictim(t)
+	hd := NewHackerDefender()
+	if err := hd.Install(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DropFile(`C:\loot\stolen.doc`, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Initially the loot is visible.
+	call := m.SystemCall()
+	entries, err := m.API.EnumDirWin32(call, `C:\loot`)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("loot should be visible: %v %v", entries, err)
+	}
+	// The operator edits the ini (below the API layer — it is hidden
+	// from Win32 anyway) and reboots.
+	if err := m.Disk.WriteFile(`\hxdef\hxdef100.ini`, BuildHxdefIni([]string{"hxdef", "stolen"}), m.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	call = m.SystemCall()
+	entries, err = m.API.EnumDirWin32(call, `C:\loot`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("stolen.doc should now be hidden: %+v", entries)
+	}
+	// And GhostBuster finds the extended hide set.
+	r, err := core.NewDetector(m).ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range r.Hidden {
+		if strings.Contains(f.ID, "STOLEN.DOC") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("extended hiding not detected: %+v", r.Hidden)
+	}
+}

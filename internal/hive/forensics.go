@@ -1,0 +1,98 @@
+package hive
+
+import "encoding/binary"
+
+// Deleted-cell forensics: DeleteKey and DeleteValue mark cells free but
+// leave their contents in place until the allocator reuses them — just
+// like real hives. Scanning the free cells for intact nk/vk signatures
+// recovers recently deleted keys and values, e.g. the auto-start hooks a
+// rootkit removed to cover its tracks after the operator started
+// investigating.
+
+// DeletedKey is one recoverable deleted key cell.
+type DeletedKey struct {
+	Name   string
+	Offset uint32
+}
+
+// DeletedValue is one recoverable deleted value cell.
+type DeletedValue struct {
+	Name   string
+	Type   uint32
+	Offset uint32
+}
+
+// DeletedEntries holds the residue recovered from a hive image.
+type DeletedEntries struct {
+	Keys   []DeletedKey
+	Values []DeletedValue
+}
+
+// ScanDeleted walks every free cell of a hive image and recovers intact
+// nk and vk records.
+func ScanDeleted(image []byte) (*DeletedEntries, error) {
+	if _, err := Open(image); err != nil {
+		return nil, err
+	}
+	out := &DeletedEntries{}
+	for binStart := headerSize; binStart+binSize <= len(image); binStart += binSize {
+		if string(image[binStart:binStart+4]) != "hbin" {
+			continue
+		}
+		pos := binStart + binHdrSize
+		end := binStart + binSize
+		for pos+4 <= end {
+			size := int32(binary.LittleEndian.Uint32(image[pos:]))
+			if size == 0 {
+				break
+			}
+			n := int(size)
+			free := n > 0
+			if n < 0 {
+				n = -n
+			}
+			if n < 8 || pos+n > end {
+				break // corrupt cell chain; stop walking this bin
+			}
+			if free {
+				recoverCell(image[pos+4:pos+n], uint32(pos-headerSize), out)
+			}
+			pos += n
+		}
+	}
+	return out, nil
+}
+
+// recoverCell inspects one free cell's payload for an intact record.
+func recoverCell(p []byte, off uint32, out *DeletedEntries) {
+	if len(p) < 4 {
+		return
+	}
+	switch string(p[:2]) {
+	case "nk":
+		if len(p) < nkNameOff {
+			return
+		}
+		n := int(binary.LittleEndian.Uint16(p[nkNameLenOff:]))
+		if n == 0 || nkNameOff+2*n > len(p) {
+			return
+		}
+		out.Keys = append(out.Keys, DeletedKey{
+			Name:   decodeUTF16(p[nkNameOff : nkNameOff+2*n]),
+			Offset: off,
+		})
+	case "vk":
+		if len(p) < vkNameOff {
+			return
+		}
+		n := int(binary.LittleEndian.Uint16(p[vkNameLenOff:]))
+		if n == 0 || vkNameOff+2*n > len(p) {
+			return
+		}
+		out.Values = append(out.Values, DeletedValue{
+			Name:   decodeUTF16(p[vkNameOff : vkNameOff+2*n]),
+			Type:   binary.LittleEndian.Uint32(p[vkTypeOff:]),
+			Offset: off,
+		})
+	}
+}

@@ -1,0 +1,279 @@
+// Package hive implements a binary Windows-Registry hive file format
+// modeled on regf: a 512-byte header followed by 4 KiB "hbin" blocks
+// containing size-prefixed cells — nk (key), vk (value), lf (subkey
+// list), value-list and data cells. Names are stored as *counted* UTF-16
+// strings, which is what makes the embedded-NUL hiding trick from the
+// paper possible: the Win32 API layer treats names as NUL-terminated and
+// so cannot see or open keys whose stored names contain NULs, while the
+// raw parser (and the Native API layer) read the full counted string.
+//
+// The hive buffer *is* the backing file: the configuration manager
+// mutates it in place, copying it yields the file a low-level scanner
+// parses, and mounting it under a clean OS reads the same bytes.
+package hive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"unicode/utf16"
+)
+
+// Registry value types (the Windows REG_* codes).
+const (
+	RegNone     = 0
+	RegSZ       = 1
+	RegExpandSZ = 2
+	RegBinary   = 3
+	RegDword    = 4
+	RegMultiSZ  = 7
+)
+
+const (
+	headerSize = 512
+	binSize    = 4096
+	binHdrSize = 16
+
+	invalidOffset = 0xFFFFFFFF
+
+	hdrSeq1Off   = 4
+	hdrSeq2Off   = 8
+	hdrRootOff   = 36
+	hdrLengthOff = 40
+	hdrNameOff   = 48
+	hdrNameCap   = 64
+)
+
+var (
+	// ErrNotFound reports a missing key or value.
+	ErrNotFound = errors.New("hive: not found")
+	// ErrExists reports a create over an existing key.
+	ErrExists = errors.New("hive: already exists")
+	// ErrCorrupt reports an unparseable structure.
+	ErrCorrupt = errors.New("hive: corrupt structure")
+	// ErrNotEmpty reports deletion of a key with subkeys.
+	ErrNotEmpty = errors.New("hive: key has subkeys")
+)
+
+// Value is one name/typed-data pair under a key.
+type Value struct {
+	Name string
+	Type uint32
+	Data []byte
+}
+
+// String interprets the value data as a Registry string (UTF-16LE).
+func (v Value) String() string {
+	if v.Type == RegSZ || v.Type == RegExpandSZ {
+		return decodeUTF16(v.Data)
+	}
+	return string(v.Data)
+}
+
+// StringValue builds a REG_SZ value.
+func StringValue(name, data string) Value {
+	return Value{Name: name, Type: RegSZ, Data: encodeUTF16(data)}
+}
+
+// DwordValue builds a REG_DWORD value.
+func DwordValue(name string, data uint32) Value {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, data)
+	return Value{Name: name, Type: RegDword, Data: b}
+}
+
+// Dword interprets the value data as a 32-bit integer.
+func (v Value) Dword() uint32 {
+	if len(v.Data) < 4 {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(v.Data)
+}
+
+// Hive is a loaded hive. The zero value is not usable; call New or Open.
+type Hive struct {
+	buf  []byte
+	name string
+}
+
+// New creates an empty hive with a root key.
+func New(name string) *Hive {
+	h := &Hive{buf: make([]byte, headerSize), name: name}
+	copy(h.buf, "regf")
+	nameBytes := encodeUTF16(name)
+	if len(nameBytes) > hdrNameCap {
+		nameBytes = nameBytes[:hdrNameCap]
+	}
+	copy(h.buf[hdrNameOff:], nameBytes)
+	root := h.writeNK(nkRecord{parent: invalidOffset, subkeyList: invalidOffset, valueList: invalidOffset, name: name})
+	binary.LittleEndian.PutUint32(h.buf[hdrRootOff:], root)
+	h.commit()
+	return h
+}
+
+// Open loads an existing hive image. The image is used in place (no
+// copy), matching how the OS maps the backing file.
+func Open(buf []byte) (*Hive, error) {
+	if len(buf) < headerSize || string(buf[:4]) != "regf" {
+		return nil, fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	seq1 := binary.LittleEndian.Uint32(buf[hdrSeq1Off:])
+	seq2 := binary.LittleEndian.Uint32(buf[hdrSeq2Off:])
+	if seq1 != seq2 {
+		return nil, fmt.Errorf("%w: torn write (seq %d != %d)", ErrCorrupt, seq1, seq2)
+	}
+	h := &Hive{buf: buf}
+	h.name = decodeUTF16First(buf[hdrNameOff : hdrNameOff+hdrNameCap])
+	root := binary.LittleEndian.Uint32(buf[hdrRootOff:])
+	if _, err := h.readNK(root); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Name returns the hive's display name.
+func (h *Hive) Name() string { return h.name }
+
+// Bytes returns the live backing bytes (the hive file contents).
+func (h *Hive) Bytes() []byte { return h.buf }
+
+// Snapshot copies the hive file, as GhostBuster's low-level scan does
+// before parsing ("our low-level scan copies and parses each hive file").
+func (h *Hive) Snapshot() []byte {
+	out := make([]byte, len(h.buf))
+	copy(out, h.buf)
+	return out
+}
+
+// RootOffset returns the root nk cell offset.
+func (h *Hive) RootOffset() uint32 {
+	return binary.LittleEndian.Uint32(h.buf[hdrRootOff:])
+}
+
+// commit bumps both sequence numbers, marking a consistent state.
+func (h *Hive) commit() {
+	seq := binary.LittleEndian.Uint32(h.buf[hdrSeq1Off:]) + 1
+	binary.LittleEndian.PutUint32(h.buf[hdrSeq1Off:], seq)
+	binary.LittleEndian.PutUint32(h.buf[hdrSeq2Off:], seq)
+	binary.LittleEndian.PutUint32(h.buf[hdrLengthOff:], uint32(len(h.buf)-headerSize))
+}
+
+// --- cell allocator ------------------------------------------------------
+//
+// Offsets are relative to the end of the header (the start of the first
+// hbin), as in regf. A cell starts with an int32 size covering the whole
+// cell including the size field: negative means allocated.
+
+func (h *Hive) cellPayload(off uint32) ([]byte, error) {
+	pos := int(off) + headerSize
+	if off == invalidOffset || pos+4 > len(h.buf) {
+		return nil, fmt.Errorf("%w: cell offset %#x out of range", ErrCorrupt, off)
+	}
+	size := int32(binary.LittleEndian.Uint32(h.buf[pos:]))
+	if size >= 0 {
+		return nil, fmt.Errorf("%w: cell %#x is free", ErrCorrupt, off)
+	}
+	n := int(-size)
+	if n < 4 || pos+n > len(h.buf) {
+		return nil, fmt.Errorf("%w: cell %#x size %d", ErrCorrupt, off, n)
+	}
+	return h.buf[pos+4 : pos+n], nil
+}
+
+// alloc finds or creates a free cell with at least payload bytes and
+// marks it allocated, returning its offset.
+func (h *Hive) alloc(payload int) uint32 {
+	need := (payload + 4 + 7) &^ 7
+	// First fit over existing bins.
+	for binStart := headerSize; binStart+binSize <= len(h.buf); binStart += binSize {
+		pos := binStart + binHdrSize
+		end := binStart + binSize
+		for pos+4 <= end {
+			size := int32(binary.LittleEndian.Uint32(h.buf[pos:]))
+			if size == 0 {
+				break // rest of bin never used
+			}
+			n := int(size)
+			if n < 0 {
+				n = -n
+			}
+			if size > 0 && n >= need {
+				h.carve(pos, n, need)
+				return uint32(pos - headerSize)
+			}
+			pos += n
+		}
+	}
+	// Append a new bin (or several for oversized cells).
+	bins := 1
+	for bins*binSize-binHdrSize < need {
+		bins++
+	}
+	binStart := len(h.buf)
+	h.buf = append(h.buf, make([]byte, bins*binSize)...)
+	copy(h.buf[binStart:], "hbin")
+	binary.LittleEndian.PutUint32(h.buf[binStart+4:], uint32(binStart-headerSize))
+	binary.LittleEndian.PutUint32(h.buf[binStart+8:], uint32(bins*binSize))
+	pos := binStart + binHdrSize
+	h.carve(pos, bins*binSize-binHdrSize, need)
+	return uint32(pos - headerSize)
+}
+
+// carve allocates need bytes at pos out of a free region of total bytes,
+// leaving the remainder as a free cell.
+func (h *Hive) carve(pos, total, need int) {
+	rest := total - need
+	if rest >= 16 {
+		binary.LittleEndian.PutUint32(h.buf[pos:], uint32(int32(-need)))
+		binary.LittleEndian.PutUint32(h.buf[pos+need:], uint32(int32(rest)))
+	} else {
+		binary.LittleEndian.PutUint32(h.buf[pos:], uint32(int32(-total)))
+		need = total
+	}
+	// Zero the payload so stale data never leaks into new cells.
+	for i := pos + 4; i < pos+need; i++ {
+		h.buf[i] = 0
+	}
+}
+
+// free releases a cell. The cell contents remain until reused — deleted
+// keys leave residue, as in real hives.
+func (h *Hive) free(off uint32) {
+	pos := int(off) + headerSize
+	if off == invalidOffset || pos+4 > len(h.buf) {
+		return
+	}
+	size := int32(binary.LittleEndian.Uint32(h.buf[pos:]))
+	if size < 0 {
+		binary.LittleEndian.PutUint32(h.buf[pos:], uint32(-size))
+	}
+}
+
+// --- UTF-16 helpers -------------------------------------------------------
+
+func encodeUTF16(s string) []byte {
+	u := utf16.Encode([]rune(s))
+	b := make([]byte, 2*len(u))
+	for i, c := range u {
+		binary.LittleEndian.PutUint16(b[2*i:], c)
+	}
+	return b
+}
+
+func decodeUTF16(b []byte) string {
+	u := make([]uint16, len(b)/2)
+	for i := range u {
+		u[i] = binary.LittleEndian.Uint16(b[2*i:])
+	}
+	return string(utf16.Decode(u))
+}
+
+// decodeUTF16First reads up to the first NUL (for the header name field).
+func decodeUTF16First(b []byte) string {
+	s := decodeUTF16(b)
+	if i := strings.IndexByte(s, 0); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

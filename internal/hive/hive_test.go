@@ -1,0 +1,437 @@
+package hive
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHiveHasRoot(t *testing.T) {
+	h := New("SYSTEM")
+	if h.Name() != "SYSTEM" {
+		t.Errorf("Name = %q", h.Name())
+	}
+	keys, err := h.EnumKeys("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Errorf("fresh hive has %d subkeys", len(keys))
+	}
+}
+
+func TestCreateAndEnumKeys(t *testing.T) {
+	h := New("SOFTWARE")
+	paths := []string{
+		`Microsoft\Windows\CurrentVersion\Run`,
+		`Microsoft\Windows\CurrentVersion\Explorer`,
+		`Vendor\App`,
+	}
+	for _, p := range paths {
+		if err := h.CreateKey(p); err != nil {
+			t.Fatalf("CreateKey(%s): %v", p, err)
+		}
+	}
+	top, err := h.EnumKeys("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0] != "Microsoft" || top[1] != "Vendor" {
+		t.Errorf("top keys = %v", top)
+	}
+	cv, err := h.EnumKeys(`Microsoft\Windows\CurrentVersion`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv) != 2 {
+		t.Errorf("CurrentVersion subkeys = %v", cv)
+	}
+	if !h.KeyExists(`MICROSOFT\windows\CURRENTVERSION\run`) {
+		t.Error("key lookup should be case-insensitive")
+	}
+}
+
+func TestCreateKeyIdempotent(t *testing.T) {
+	h := New("X")
+	if err := h.CreateKey(`a\b`); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CreateKey(`a\b`); err != nil {
+		t.Fatalf("re-creating an existing key should succeed: %v", err)
+	}
+	keys, err := h.EnumKeys("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 {
+		t.Errorf("duplicate create made %d keys", len(keys))
+	}
+}
+
+func TestSetGetValueRoundTrip(t *testing.T) {
+	h := New("SOFTWARE")
+	if err := h.CreateKey(`Run`); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Value{
+		StringValue("Updater", `C:\Program Files\updater.exe`),
+		DwordValue("Enabled", 1),
+		{Name: "Blob", Type: RegBinary, Data: bytes.Repeat([]byte{0xAB}, 300)},
+		{Name: "Tiny", Type: RegBinary, Data: []byte{1, 2, 3}}, // inline
+		{Name: "Empty", Type: RegBinary, Data: nil},
+	}
+	for _, v := range cases {
+		if err := h.SetValue("Run", v); err != nil {
+			t.Fatalf("SetValue(%s): %v", v.Name, err)
+		}
+	}
+	for _, want := range cases {
+		got, err := h.GetValue("Run", want.Name)
+		if err != nil {
+			t.Fatalf("GetValue(%s): %v", want.Name, err)
+		}
+		if got.Type != want.Type || !bytes.Equal(got.Data, want.Data) {
+			t.Errorf("value %s round trip: got type %d data %v", want.Name, got.Type, got.Data)
+		}
+	}
+	if v, _ := h.GetValue("Run", "Updater"); v.String() != `C:\Program Files\updater.exe` {
+		t.Errorf("String() = %q", v.String())
+	}
+	if v, _ := h.GetValue("Run", "Enabled"); v.Dword() != 1 {
+		t.Errorf("Dword() = %d", v.Dword())
+	}
+}
+
+func TestSetValueReplaces(t *testing.T) {
+	h := New("S")
+	if err := h.CreateKey("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetString("k", "v", "first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetString("k", "V", "second"); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := h.EnumValues("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 {
+		t.Fatalf("replace produced %d values", len(vals))
+	}
+	if vals[0].String() != "second" {
+		t.Errorf("value = %q", vals[0].String())
+	}
+}
+
+func TestDeleteValue(t *testing.T) {
+	h := New("S")
+	if err := h.CreateKey("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetString("k", "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetString("k", "b", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DeleteValue("k", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.GetValue("k", "a"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted value lookup = %v", err)
+	}
+	vals, _ := h.EnumValues("k")
+	if len(vals) != 1 || vals[0].Name != "b" {
+		t.Errorf("remaining values = %v", vals)
+	}
+	if err := h.DeleteValue("k", "nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleting missing value = %v", err)
+	}
+}
+
+func TestDeleteKeyAndTree(t *testing.T) {
+	h := New("S")
+	if err := h.CreateKey(`svc\drv\params`); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetString(`svc\drv`, "ImagePath", "x.sys"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DeleteKey("svc"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("DeleteKey on non-empty = %v", err)
+	}
+	if err := h.DeleteKeyTree("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if h.KeyExists("svc") {
+		t.Error("svc should be gone")
+	}
+	if err := h.DeleteKey(""); err == nil {
+		t.Error("deleting root should fail")
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	h := New("SYSTEM")
+	if err := h.CreateKey(`CurrentControlSet\Services\Tcpip`); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetString(`CurrentControlSet\Services\Tcpip`, "ImagePath", `drivers\tcpip.sys`); err != nil {
+		t.Fatal(err)
+	}
+	img := h.Snapshot()
+	h2, err := Open(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Name() != "SYSTEM" {
+		t.Errorf("reopened name = %q", h2.Name())
+	}
+	v, err := h2.GetValue(`CurrentControlSet\Services\Tcpip`, "ImagePath")
+	if err != nil || v.String() != `drivers\tcpip.sys` {
+		t.Errorf("reopened value = %q, err %v", v.String(), err)
+	}
+	// Mutating the reopened hive must work (allocator over parsed image).
+	if err := h2.CreateKey(`CurrentControlSet\Services\NewSvc`); err != nil {
+		t.Errorf("create on reopened hive: %v", err)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	if _, err := Open([]byte("not a hive")); err == nil {
+		t.Error("garbage should not open")
+	}
+	if _, err := Open(nil); err == nil {
+		t.Error("nil should not open")
+	}
+	h := New("X")
+	img := h.Snapshot()
+	img[hdrSeq1Off]++ // torn write
+	if _, err := Open(img); err == nil {
+		t.Error("mismatched sequence numbers should be rejected")
+	}
+}
+
+func TestEmbeddedNULNames(t *testing.T) {
+	// The Native-API hiding trick: names with embedded NULs are legal in
+	// the hive's counted-string world.
+	h := New("S")
+	if err := h.CreateKey("Run"); err != nil {
+		t.Fatal(err)
+	}
+	hidden := "evil\x00visible-part-never-seen"
+	if err := h.SetString("Run", hidden, "malware.exe"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.GetValue("Run", hidden)
+	if err != nil {
+		t.Fatalf("counted-string lookup failed: %v", err)
+	}
+	if v.String() != "malware.exe" {
+		t.Errorf("data = %q", v.String())
+	}
+	// A lookup by the truncated name must NOT match: they are different
+	// counted strings.
+	if _, err := h.GetValue("Run", "evil"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("truncated name lookup = %v, want ErrNotFound", err)
+	}
+	// The raw parser sees the full counted name.
+	raw, _, err := Parse(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, k := range raw {
+		for _, rv := range k.Values {
+			if rv.Name == hidden {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("raw parse should surface the NUL-embedded value name")
+	}
+}
+
+func TestParseSeesAllKeysAndValues(t *testing.T) {
+	h := New("SOFTWARE")
+	want := map[string][]string{
+		`Microsoft\Windows\CurrentVersion\Run`:        {"Updater", "Sync"},
+		`Microsoft\Windows NT\CurrentVersion\Windows`: {"AppInit_DLLs"},
+		`Classes\CLSID`: nil,
+		`Microsoft\Windows\CurrentVersion\Explorer\BHO`: {"WebHelper"},
+	}
+	for k, vals := range want {
+		if err := h.CreateKey(k); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vals {
+			if err := h.SetString(k, v, "data-"+v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	raw, stats, err := Parse(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.KeysParsed == 0 || stats.BytesRead == 0 {
+		t.Error("stats not populated")
+	}
+	got := map[string][]string{}
+	for _, k := range raw {
+		var names []string
+		for _, v := range k.Values {
+			names = append(names, v.Name)
+		}
+		got[strings.ToUpper(k.Path)] = names
+	}
+	for k, vals := range want {
+		gv, ok := got[strings.ToUpper(k)]
+		if !ok {
+			t.Errorf("Parse missing key %s", k)
+			continue
+		}
+		if len(gv) != len(vals) {
+			t.Errorf("key %s: got values %v, want %v", k, gv, vals)
+		}
+	}
+}
+
+func TestParseKeyTargeted(t *testing.T) {
+	h := New("SYSTEM")
+	if err := h.CreateKey(`CurrentControlSet\Services\hxdef`); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetString(`CurrentControlSet\Services\hxdef`, "ImagePath", "hxdef100.exe"); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := ParseKey(h.Snapshot(), `CurrentControlSet\Services\hxdef`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0].String() != "hxdef100.exe" {
+		t.Errorf("ParseKey = %v", vals)
+	}
+	if _, err := ParseKey(h.Snapshot(), `No\Such\Key`); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing key = %v", err)
+	}
+}
+
+func TestCellReuseAfterDelete(t *testing.T) {
+	h := New("S")
+	if err := h.CreateKey("k"); err != nil {
+		t.Fatal(err)
+	}
+	big := strings.Repeat("z", 600)
+	for i := 0; i < 40; i++ {
+		if err := h.SetString("k", fmt.Sprintf("v%d", i), big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size1 := len(h.Bytes())
+	for i := 0; i < 40; i++ {
+		if err := h.DeleteValue("k", fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if err := h.SetString("k", fmt.Sprintf("w%d", i), big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size2 := len(h.Bytes())
+	if size2 > size1+2*binSize {
+		t.Errorf("allocator not reusing freed cells: %d -> %d bytes", size1, size2)
+	}
+}
+
+func TestManyKeysStress(t *testing.T) {
+	h := New("SOFTWARE")
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf(`Vendor%d\App\Settings`, i%30)
+		if err := h.CreateKey(k); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.SetString(k, fmt.Sprintf("opt%d", i), "val"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, stats, err := Parse(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ValuesParsed != 300 {
+		t.Errorf("ValuesParsed = %d, want 300", stats.ValuesParsed)
+	}
+	if len(raw) != 1+30*3 {
+		t.Errorf("keys parsed = %d, want 91", len(raw))
+	}
+}
+
+// Property: any set of distinct value names written under a key is
+// exactly what EnumValues and the raw parser return.
+func TestQuickValueSetMatchesParse(t *testing.T) {
+	f := func(names []string, payload []byte) bool {
+		h := New("Q")
+		if err := h.CreateKey("k"); err != nil {
+			return false
+		}
+		want := map[string]bool{}
+		for i, n := range names {
+			if i >= 12 {
+				break
+			}
+			n = strings.ReplaceAll(n, "\\", "_")
+			// Truncate by runes and round-trip through UTF-16 so the name
+			// is exactly representable in the on-disk encoding.
+			if r := []rune(n); len(r) > 30 {
+				n = string(r[:30])
+			}
+			n = decodeUTF16(encodeUTF16(n))
+			if n == "" {
+				n = fmt.Sprintf("empty%d", i)
+			}
+			dup := false
+			for w := range want {
+				if keyEqual(w, n) {
+					dup = true
+				}
+			}
+			if dup {
+				continue
+			}
+			if err := h.SetValue("k", Value{Name: n, Type: RegBinary, Data: payload}); err != nil {
+				return false
+			}
+			want[n] = true
+		}
+		vals, err := h.EnumValues("k")
+		if err != nil || len(vals) != len(want) {
+			return false
+		}
+		for _, v := range vals {
+			if !want[v.Name] || !bytes.Equal(v.Data, payload) {
+				return false
+			}
+		}
+		raw, _, err := Parse(h.Snapshot())
+		if err != nil {
+			return false
+		}
+		for _, k := range raw {
+			if k.Path == "k" && len(k.Values) != len(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,527 @@
+package hive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// nkRecord is the parsed form of a key cell.
+type nkRecord struct {
+	parent     uint32
+	subkeyN    uint32
+	subkeyList uint32
+	valueN     uint32
+	valueList  uint32
+	name       string
+}
+
+const (
+	nkParentOff     = 4
+	nkSubkeyNOff    = 8
+	nkSubkeyListOff = 12
+	nkValueNOff     = 16
+	nkValueListOff  = 20
+	nkNameLenOff    = 24
+	nkNameOff       = 28
+)
+
+func (h *Hive) writeNK(rec nkRecord) uint32 {
+	name := encodeUTF16(rec.name)
+	off := h.alloc(nkNameOff + len(name))
+	p, _ := h.cellPayload(off)
+	copy(p, "nk")
+	binary.LittleEndian.PutUint32(p[nkParentOff:], rec.parent)
+	binary.LittleEndian.PutUint32(p[nkSubkeyNOff:], rec.subkeyN)
+	binary.LittleEndian.PutUint32(p[nkSubkeyListOff:], rec.subkeyList)
+	binary.LittleEndian.PutUint32(p[nkValueNOff:], rec.valueN)
+	binary.LittleEndian.PutUint32(p[nkValueListOff:], rec.valueList)
+	binary.LittleEndian.PutUint16(p[nkNameLenOff:], uint16(len(name)/2))
+	copy(p[nkNameOff:], name)
+	return off
+}
+
+func (h *Hive) readNK(off uint32) (nkRecord, error) {
+	var rec nkRecord
+	p, err := h.cellPayload(off)
+	if err != nil {
+		return rec, err
+	}
+	if len(p) < nkNameOff || string(p[:2]) != "nk" {
+		return rec, fmt.Errorf("%w: cell %#x is not nk", ErrCorrupt, off)
+	}
+	rec.parent = binary.LittleEndian.Uint32(p[nkParentOff:])
+	rec.subkeyN = binary.LittleEndian.Uint32(p[nkSubkeyNOff:])
+	rec.subkeyList = binary.LittleEndian.Uint32(p[nkSubkeyListOff:])
+	rec.valueN = binary.LittleEndian.Uint32(p[nkValueNOff:])
+	rec.valueList = binary.LittleEndian.Uint32(p[nkValueListOff:])
+	n := int(binary.LittleEndian.Uint16(p[nkNameLenOff:]))
+	if nkNameOff+2*n > len(p) {
+		return rec, fmt.Errorf("%w: nk name overruns cell %#x", ErrCorrupt, off)
+	}
+	rec.name = decodeUTF16(p[nkNameOff : nkNameOff+2*n])
+	return rec, nil
+}
+
+// setNKField updates one u32 field of an nk cell in place.
+func (h *Hive) setNKField(off uint32, fieldOff int, v uint32) error {
+	p, err := h.cellPayload(off)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(p[fieldOff:], v)
+	return nil
+}
+
+// --- subkey lists (lf cells) ----------------------------------------------
+
+func (h *Hive) readList(off uint32, sig string, count int) ([]uint32, error) {
+	if off == invalidOffset || count == 0 {
+		return nil, nil
+	}
+	p, err := h.cellPayload(off)
+	if err != nil {
+		return nil, err
+	}
+	base := 0
+	if sig != "" {
+		if len(p) < 4 || string(p[:2]) != sig {
+			return nil, fmt.Errorf("%w: cell %#x is not %s", ErrCorrupt, off, sig)
+		}
+		count = int(binary.LittleEndian.Uint16(p[2:]))
+		base = 4
+	}
+	if base+4*count > len(p) {
+		return nil, fmt.Errorf("%w: list %#x overruns cell", ErrCorrupt, off)
+	}
+	out := make([]uint32, count)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(p[base+4*i:])
+	}
+	return out, nil
+}
+
+func (h *Hive) writeLF(entries []uint32) uint32 {
+	off := h.alloc(4 + 4*len(entries))
+	p, _ := h.cellPayload(off)
+	copy(p, "lf")
+	binary.LittleEndian.PutUint16(p[2:], uint16(len(entries)))
+	for i, e := range entries {
+		binary.LittleEndian.PutUint32(p[4+4*i:], e)
+	}
+	return off
+}
+
+func (h *Hive) writeValueList(entries []uint32) uint32 {
+	off := h.alloc(4 * len(entries))
+	p, _ := h.cellPayload(off)
+	for i, e := range entries {
+		binary.LittleEndian.PutUint32(p[4*i:], e)
+	}
+	return off
+}
+
+// --- vk cells ----------------------------------------------------------------
+
+const (
+	vkNameLenOff = 2
+	vkDataLenOff = 4
+	vkDataOff    = 8
+	vkTypeOff    = 12
+	vkNameOff    = 16
+
+	vkInlineFlag = 0x80000000
+)
+
+func (h *Hive) writeVK(v Value) uint32 {
+	name := encodeUTF16(v.Name)
+	off := h.alloc(vkNameOff + len(name))
+	p, _ := h.cellPayload(off)
+	copy(p, "vk")
+	binary.LittleEndian.PutUint16(p[vkNameLenOff:], uint16(len(name)/2))
+	binary.LittleEndian.PutUint32(p[vkTypeOff:], v.Type)
+	copy(p[vkNameOff:], name)
+	if len(v.Data) <= 4 {
+		binary.LittleEndian.PutUint32(p[vkDataLenOff:], uint32(len(v.Data))|vkInlineFlag)
+		var inline [4]byte
+		copy(inline[:], v.Data)
+		copy(p[vkDataOff:], inline[:])
+		return off
+	}
+	dataOff := h.alloc(len(v.Data))
+	// Re-fetch: alloc may have grown the buffer and moved it.
+	p, _ = h.cellPayload(off)
+	dp, _ := h.cellPayload(dataOff)
+	copy(dp, v.Data)
+	binary.LittleEndian.PutUint32(p[vkDataLenOff:], uint32(len(v.Data)))
+	binary.LittleEndian.PutUint32(p[vkDataOff:], dataOff)
+	return off
+}
+
+func (h *Hive) readVK(off uint32) (Value, uint32, error) {
+	var v Value
+	p, err := h.cellPayload(off)
+	if err != nil {
+		return v, invalidOffset, err
+	}
+	if len(p) < vkNameOff || string(p[:2]) != "vk" {
+		return v, invalidOffset, fmt.Errorf("%w: cell %#x is not vk", ErrCorrupt, off)
+	}
+	n := int(binary.LittleEndian.Uint16(p[vkNameLenOff:]))
+	if vkNameOff+2*n > len(p) {
+		return v, invalidOffset, fmt.Errorf("%w: vk name overruns cell %#x", ErrCorrupt, off)
+	}
+	v.Name = decodeUTF16(p[vkNameOff : vkNameOff+2*n])
+	v.Type = binary.LittleEndian.Uint32(p[vkTypeOff:])
+	dataLen := binary.LittleEndian.Uint32(p[vkDataLenOff:])
+	if dataLen&vkInlineFlag != 0 {
+		n := int(dataLen &^ vkInlineFlag)
+		if n > 4 {
+			return v, invalidOffset, fmt.Errorf("%w: inline data length %d", ErrCorrupt, n)
+		}
+		v.Data = append([]byte(nil), p[vkDataOff:vkDataOff+n]...)
+		return v, invalidOffset, nil
+	}
+	dataOff := binary.LittleEndian.Uint32(p[vkDataOff:])
+	dp, err := h.cellPayload(dataOff)
+	if err != nil {
+		return v, invalidOffset, err
+	}
+	if int(dataLen) > len(dp) {
+		return v, invalidOffset, fmt.Errorf("%w: vk data overruns cell %#x", ErrCorrupt, dataOff)
+	}
+	v.Data = append([]byte(nil), dp[:dataLen]...)
+	return v, dataOff, nil
+}
+
+// --- path-level operations ---------------------------------------------------
+
+// SplitKeyPath splits a backslash-separated key path into components.
+func SplitKeyPath(path string) []string {
+	path = strings.Trim(path, "\\")
+	if path == "" {
+		return nil
+	}
+	return strings.Split(path, "\\")
+}
+
+// keyEqual compares key names with full counted-string, case-insensitive
+// semantics (the configuration manager's comparison).
+func keyEqual(a, b string) bool { return strings.EqualFold(a, b) }
+
+// lookupChild returns the offset of the named child of the nk at off.
+func (h *Hive) lookupChild(off uint32, name string) (uint32, error) {
+	rec, err := h.readNK(off)
+	if err != nil {
+		return 0, err
+	}
+	subs, err := h.readList(rec.subkeyList, "lf", int(rec.subkeyN))
+	if err != nil {
+		return 0, err
+	}
+	for _, s := range subs {
+		child, err := h.readNK(s)
+		if err != nil {
+			return 0, err
+		}
+		if keyEqual(child.name, name) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: key %q", ErrNotFound, printable(name))
+}
+
+// resolveKey walks path from the root.
+func (h *Hive) resolveKey(path string) (uint32, error) {
+	cur := h.RootOffset()
+	for _, comp := range SplitKeyPath(path) {
+		next, err := h.lookupChild(cur, comp)
+		if err != nil {
+			return 0, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// KeyExists reports whether the key path resolves.
+func (h *Hive) KeyExists(path string) bool {
+	_, err := h.resolveKey(path)
+	return err == nil
+}
+
+// CreateKey creates the key path, making intermediate keys as needed.
+func (h *Hive) CreateKey(path string) error {
+	cur := h.RootOffset()
+	for _, comp := range SplitKeyPath(path) {
+		next, err := h.lookupChild(cur, comp)
+		if err == nil {
+			cur = next
+			continue
+		}
+		rec, err := h.readNK(cur)
+		if err != nil {
+			return err
+		}
+		child := h.writeNK(nkRecord{parent: cur, subkeyList: invalidOffset, valueList: invalidOffset, name: comp})
+		subs, err := h.readList(rec.subkeyList, "lf", int(rec.subkeyN))
+		if err != nil {
+			return err
+		}
+		subs = append(subs, child)
+		newList := h.writeLF(subs)
+		h.free(rec.subkeyList)
+		if err := h.setNKField(cur, nkSubkeyListOff, newList); err != nil {
+			return err
+		}
+		if err := h.setNKField(cur, nkSubkeyNOff, uint32(len(subs))); err != nil {
+			return err
+		}
+		cur = child
+	}
+	h.commit()
+	return nil
+}
+
+// EnumKeys returns the names of the subkeys of path, sorted.
+func (h *Hive) EnumKeys(path string) ([]string, error) {
+	off, err := h.resolveKey(path)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := h.readNK(off)
+	if err != nil {
+		return nil, err
+	}
+	subs, err := h.readList(rec.subkeyList, "lf", int(rec.subkeyN))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(subs))
+	for _, s := range subs {
+		child, err := h.readNK(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, child.name)
+	}
+	sort.Slice(out, func(i, j int) bool { return strings.ToUpper(out[i]) < strings.ToUpper(out[j]) })
+	return out, nil
+}
+
+// EnumValues returns all values of the key at path, sorted by name.
+func (h *Hive) EnumValues(path string) ([]Value, error) {
+	off, err := h.resolveKey(path)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := h.readNK(off)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := h.readList(rec.valueList, "", int(rec.valueN))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Value, 0, len(vals))
+	for _, voff := range vals {
+		v, _, err := h.readVK(voff)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return strings.ToUpper(out[i].Name) < strings.ToUpper(out[j].Name) })
+	return out, nil
+}
+
+// GetValue returns the named value of the key at path. Name comparison
+// uses full counted-string semantics.
+func (h *Hive) GetValue(path, name string) (Value, error) {
+	vals, err := h.EnumValues(path)
+	if err != nil {
+		return Value{}, err
+	}
+	for _, v := range vals {
+		if keyEqual(v.Name, name) {
+			return v, nil
+		}
+	}
+	return Value{}, fmt.Errorf("%w: value %q under %q", ErrNotFound, printable(name), path)
+}
+
+// SetValue creates or replaces a value under the key at path.
+func (h *Hive) SetValue(path string, v Value) error {
+	off, err := h.resolveKey(path)
+	if err != nil {
+		return err
+	}
+	rec, err := h.readNK(off)
+	if err != nil {
+		return err
+	}
+	vals, err := h.readList(rec.valueList, "", int(rec.valueN))
+	if err != nil {
+		return err
+	}
+	newVK := h.writeVK(v)
+	replaced := false
+	for i, voff := range vals {
+		old, dataOff, err := h.readVK(voff)
+		if err != nil {
+			return err
+		}
+		if keyEqual(old.Name, v.Name) {
+			h.free(voff)
+			if dataOff != invalidOffset {
+				h.free(dataOff)
+			}
+			vals[i] = newVK
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		vals = append(vals, newVK)
+	}
+	newList := h.writeValueList(vals)
+	h.free(rec.valueList)
+	if err := h.setNKField(off, nkValueListOff, newList); err != nil {
+		return err
+	}
+	if err := h.setNKField(off, nkValueNOff, uint32(len(vals))); err != nil {
+		return err
+	}
+	h.commit()
+	return nil
+}
+
+// SetString is shorthand for SetValue with a REG_SZ value.
+func (h *Hive) SetString(path, name, data string) error {
+	return h.SetValue(path, StringValue(name, data))
+}
+
+// DeleteValue removes the named value from the key at path.
+func (h *Hive) DeleteValue(path, name string) error {
+	off, err := h.resolveKey(path)
+	if err != nil {
+		return err
+	}
+	rec, err := h.readNK(off)
+	if err != nil {
+		return err
+	}
+	vals, err := h.readList(rec.valueList, "", int(rec.valueN))
+	if err != nil {
+		return err
+	}
+	for i, voff := range vals {
+		old, dataOff, err := h.readVK(voff)
+		if err != nil {
+			return err
+		}
+		if !keyEqual(old.Name, name) {
+			continue
+		}
+		h.free(voff)
+		if dataOff != invalidOffset {
+			h.free(dataOff)
+		}
+		vals = append(vals[:i], vals[i+1:]...)
+		newList := invalidOffset
+		if len(vals) > 0 {
+			newList = int(h.writeValueList(vals))
+		}
+		h.free(rec.valueList)
+		if err := h.setNKField(off, nkValueListOff, uint32(newList)); err != nil {
+			return err
+		}
+		if err := h.setNKField(off, nkValueNOff, uint32(len(vals))); err != nil {
+			return err
+		}
+		h.commit()
+		return nil
+	}
+	return fmt.Errorf("%w: value %q under %q", ErrNotFound, printable(name), path)
+}
+
+// DeleteKey removes an empty key.
+func (h *Hive) DeleteKey(path string) error {
+	comps := SplitKeyPath(path)
+	if len(comps) == 0 {
+		return fmt.Errorf("hive: cannot delete the root key")
+	}
+	off, err := h.resolveKey(path)
+	if err != nil {
+		return err
+	}
+	rec, err := h.readNK(off)
+	if err != nil {
+		return err
+	}
+	if rec.subkeyN > 0 {
+		return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+	}
+	// Free values.
+	vals, err := h.readList(rec.valueList, "", int(rec.valueN))
+	if err != nil {
+		return err
+	}
+	for _, voff := range vals {
+		_, dataOff, err := h.readVK(voff)
+		if err == nil && dataOff != invalidOffset {
+			h.free(dataOff)
+		}
+		h.free(voff)
+	}
+	h.free(rec.valueList)
+	// Unlink from parent.
+	parentRec, err := h.readNK(rec.parent)
+	if err != nil {
+		return err
+	}
+	subs, err := h.readList(parentRec.subkeyList, "lf", int(parentRec.subkeyN))
+	if err != nil {
+		return err
+	}
+	for i, s := range subs {
+		if s == off {
+			subs = append(subs[:i], subs[i+1:]...)
+			break
+		}
+	}
+	newList := invalidOffset
+	if len(subs) > 0 {
+		newList = int(h.writeLF(subs))
+	}
+	h.free(parentRec.subkeyList)
+	if err := h.setNKField(rec.parent, nkSubkeyListOff, uint32(newList)); err != nil {
+		return err
+	}
+	if err := h.setNKField(rec.parent, nkSubkeyNOff, uint32(len(subs))); err != nil {
+		return err
+	}
+	h.free(off)
+	h.commit()
+	return nil
+}
+
+// DeleteKeyTree removes a key and all its descendants.
+func (h *Hive) DeleteKeyTree(path string) error {
+	subs, err := h.EnumKeys(path)
+	if err != nil {
+		return err
+	}
+	for _, s := range subs {
+		if err := h.DeleteKeyTree(path + "\\" + s); err != nil {
+			return err
+		}
+	}
+	return h.DeleteKey(path)
+}
+
+// printable makes embedded NULs visible in error messages.
+func printable(s string) string {
+	return strings.ReplaceAll(s, "\x00", "\\0")
+}

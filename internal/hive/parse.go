@@ -1,0 +1,103 @@
+package hive
+
+import "fmt"
+
+// RawKey is one key recovered by raw-parsing a hive image: its full path
+// from the hive root and its values. This is GhostBuster's low-level
+// Registry view — it bypasses every API layer by reading the backing
+// file directly.
+type RawKey struct {
+	Path   string // backslash-joined, not including the root name
+	Values []Value
+}
+
+// ParseStats reports the work a raw parse performed.
+type ParseStats struct {
+	KeysParsed   int
+	ValuesParsed int
+	BytesRead    int64
+}
+
+// Parse walks an entire hive image and returns every key with its
+// values. Individual corrupt subtrees are skipped rather than aborting
+// the scan, since the tool must survive hostile hives.
+func Parse(image []byte) ([]RawKey, ParseStats, error) {
+	var stats ParseStats
+	h, err := Open(image)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.BytesRead = int64(len(image))
+	var out []RawKey
+	var walk func(off uint32, path string, depth int)
+	walk = func(off uint32, path string, depth int) {
+		if depth > 128 {
+			return
+		}
+		rec, err := h.readNK(off)
+		if err != nil {
+			return
+		}
+		stats.KeysParsed++
+		var values []Value
+		vals, err := h.readList(rec.valueList, "", int(rec.valueN))
+		if err == nil {
+			for _, voff := range vals {
+				v, _, err := h.readVK(voff)
+				if err != nil {
+					continue
+				}
+				stats.ValuesParsed++
+				values = append(values, v)
+			}
+		}
+		out = append(out, RawKey{Path: path, Values: values})
+		subs, err := h.readList(rec.subkeyList, "lf", int(rec.subkeyN))
+		if err != nil {
+			return
+		}
+		for _, s := range subs {
+			child, err := h.readNK(s)
+			if err != nil {
+				continue
+			}
+			childPath := child.name
+			if path != "" {
+				childPath = path + "\\" + child.name
+			}
+			walk(s, childPath, depth+1)
+		}
+	}
+	walk(h.RootOffset(), "", 0)
+	return out, stats, nil
+}
+
+// ParseKey raw-parses a single key path from an image, returning its
+// values; used for targeted low-level reads (e.g. one ASEP key).
+func ParseKey(image []byte, path string) ([]Value, error) {
+	h, err := Open(image)
+	if err != nil {
+		return nil, err
+	}
+	off, err := h.resolveKey(path)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := h.readNK(off)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := h.readList(rec.valueList, "", int(rec.valueN))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Value, 0, len(vals))
+	for _, voff := range vals {
+		v, _, err := h.readVK(voff)
+		if err != nil {
+			return nil, fmt.Errorf("hive: parsing value under %s: %w", path, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

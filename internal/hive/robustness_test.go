@@ -1,0 +1,164 @@
+package hive
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func buildPopulatedHive(t *testing.T) []byte {
+	t.Helper()
+	h := New("SOFTWARE")
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf(`Vendor%d\App\Settings`, i%8)
+		if err := h.CreateKey(key); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.SetString(key, fmt.Sprintf("opt%d", i), "value"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h.Snapshot()
+}
+
+// TestParseSurvivesRandomCorruption: hostile hives must never panic the
+// raw parser — the paper's low-level scan runs against disks an attacker
+// controls.
+func TestParseSurvivesRandomCorruption(t *testing.T) {
+	base := buildPopulatedHive(t)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		img := append([]byte(nil), base...)
+		for i := 0; i < 1+rng.Intn(64); i++ {
+			img[rng.Intn(len(img))] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: Parse panicked: %v", trial, r)
+				}
+			}()
+			_, _, _ = Parse(img)
+			_, _ = ParseKey(img, `Vendor1\App\Settings`)
+		}()
+	}
+}
+
+// TestParseSurvivesTruncation: arbitrary truncation must not panic.
+func TestParseSurvivesTruncation(t *testing.T) {
+	base := buildPopulatedHive(t)
+	for cut := 0; cut < len(base); cut += 97 {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("cut %d: panicked: %v", cut, r)
+				}
+			}()
+			_, _, _ = Parse(base[:cut])
+		}()
+	}
+}
+
+// TestOpenedCorruptHiveOperationsDoNotPanic: even if a damaged hive
+// opens, subsequent operations must fail gracefully.
+func TestOpenedCorruptHiveOperationsDoNotPanic(t *testing.T) {
+	base := buildPopulatedHive(t)
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 100; trial++ {
+		img := append([]byte(nil), base...)
+		// Corrupt only the cell area, keeping the header valid so Open
+		// succeeds and the damage surfaces during operations.
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			img[headerSize+rng.Intn(len(img)-headerSize)] ^= 0xFF
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: operation panicked: %v", trial, r)
+				}
+			}()
+			h, err := Open(img)
+			if err != nil {
+				return
+			}
+			_, _ = h.EnumKeys("")
+			_, _ = h.EnumValues(`Vendor1\App\Settings`)
+			_ = h.CreateKey(`New\Key`)
+			_ = h.SetString(`New\Key`, "v", "d")
+		}()
+	}
+}
+
+func TestScanDeletedRecoversRemovedKeyAndValue(t *testing.T) {
+	h := New("SYSTEM")
+	if err := h.CreateKey(`Services\EvilSvc`); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetString(`Services\EvilSvc`, "ImagePath", "evil.sys"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DeleteKeyTree(`Services\EvilSvc`); err != nil {
+		t.Fatal(err)
+	}
+	residue, err := ScanDeleted(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyFound, valFound := false, false
+	for _, k := range residue.Keys {
+		if k.Name == "EvilSvc" {
+			keyFound = true
+		}
+	}
+	for _, v := range residue.Values {
+		if v.Name == "ImagePath" {
+			valFound = true
+		}
+	}
+	if !keyFound || !valFound {
+		t.Errorf("residue = %+v (key %v, value %v)", residue, keyFound, valFound)
+	}
+}
+
+func TestScanDeletedEmptyOnFreshHive(t *testing.T) {
+	h := New("X")
+	if err := h.CreateKey("live"); err != nil {
+		t.Fatal(err)
+	}
+	residue, err := ScanDeleted(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(residue.Keys) != 0 || len(residue.Values) != 0 {
+		t.Errorf("fresh hive residue = %+v", residue)
+	}
+}
+
+func TestScanDeletedSurvivesCorruption(t *testing.T) {
+	h := New("X")
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if err := h.CreateKey(k); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.DeleteKey(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := h.Snapshot()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		img := append([]byte(nil), base...)
+		for i := 0; i < 1+rng.Intn(32); i++ {
+			img[rng.Intn(len(img))] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: ScanDeleted panicked: %v", trial, r)
+				}
+			}()
+			_, _ = ScanDeleted(img)
+		}()
+	}
+}

@@ -1,0 +1,82 @@
+// Package hookdetect implements the paper's "first approach" baseline
+// (§1): detect the hiding *mechanism* by scanning for API interceptions
+// (VICE [YV04], ApiHookCheck [YK] style) — compare IAT entries, in-memory
+// API prologues and Service Dispatch Table entries against known-good
+// state and flag deviations.
+//
+// The paper names its two structural weaknesses, both reproduced here:
+//
+//   - false positives: legitimate software also installs detours
+//     (in-memory patching, fault-tolerance wrappers, AV shims);
+//   - false negatives: ghostware that hides without those hooks —
+//     filter drivers (standard OS extension points), DKOM, PEB blanking,
+//     and pure name tricks — shows no deviation at all.
+package hookdetect
+
+import (
+	"fmt"
+	"sort"
+
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/winapi"
+)
+
+// Alert is one detected API interception.
+type Alert struct {
+	API       winapi.API
+	Level     winapi.Level
+	Module    string // attribution recovered from the patched code
+	Technique string
+}
+
+// String renders the alert the way hook checkers print them.
+func (a Alert) String() string {
+	return fmt.Sprintf("%s intercepted at %s by %s (%s)", a.API, a.Level, a.Module, a.Technique)
+}
+
+// Scan inspects the machine's API stack for interceptions at the levels
+// a hook checker can audit: IAT entries, user-mode API code, ntdll code
+// and the SSDT. Filter drivers and Registry callbacks attach through
+// supported OS extension interfaces and are indistinguishable from
+// legitimate drivers, so they are NOT flagged — exactly the blind spot
+// the paper describes. Techniques that install no hook at all (DKOM,
+// name tricks) are invisible by construction.
+func Scan(m *machine.Machine) []Alert {
+	var out []Alert
+	for _, h := range m.API.Hooks() {
+		switch h.Level {
+		case winapi.LevelIAT, winapi.LevelUserCode, winapi.LevelNtdll, winapi.LevelSSDT:
+			out = append(out, Alert{API: h.API, Level: h.Level, Module: h.Owner, Technique: h.Technique})
+		default:
+			// LevelFilter / LevelNone: structurally legitimate or absent.
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Module != out[j].Module {
+			return out[i].Module < out[j].Module
+		}
+		return out[i].API < out[j].API
+	})
+	return out
+}
+
+// Verdict classifies a scan outcome against ground truth for the
+// comparison benchmarks.
+type Verdict struct {
+	Alerts        []Alert
+	TruePositive  bool // an actual hider was flagged
+	FalsePositive bool // a benign hook was flagged
+}
+
+// Assess labels each alert using the known benign-owner set.
+func Assess(alerts []Alert, benignOwners map[string]bool) Verdict {
+	v := Verdict{Alerts: alerts}
+	for _, a := range alerts {
+		if benignOwners[a.Module] {
+			v.FalsePositive = true
+		} else {
+			v.TruePositive = true
+		}
+	}
+	return v
+}

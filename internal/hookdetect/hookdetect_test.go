@@ -1,0 +1,157 @@
+package hookdetect
+
+import (
+	"testing"
+
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/ghostware"
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/winapi"
+)
+
+func smallMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	p := machine.DefaultProfile()
+	p.DiskUsedGB = 1
+	p.Churn = nil
+	m, err := machine.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCleanMachineNoAlerts(t *testing.T) {
+	m := smallMachine(t)
+	if alerts := Scan(m); len(alerts) != 0 {
+		t.Errorf("alerts on clean machine: %+v", alerts)
+	}
+}
+
+func TestDetectsClassicAPIHookers(t *testing.T) {
+	cases := []struct {
+		name    string
+		install func(m *machine.Machine) error
+	}{
+		{"Urbin/IAT", func(m *machine.Machine) error { return ghostware.NewUrbin().Install(m) }},
+		{"HackerDefender/ntdll", func(m *machine.Machine) error { return ghostware.NewHackerDefender().Install(m) }},
+		{"ProBot/SSDT", func(m *machine.Machine) error { return ghostware.NewProBotSE().Install(m) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := smallMachine(t)
+			if err := tc.install(m); err != nil {
+				t.Fatal(err)
+			}
+			if alerts := Scan(m); len(alerts) == 0 {
+				t.Error("hook checker should flag classic API interception")
+			}
+		})
+	}
+}
+
+// TestFalseNegatives reproduces the paper's first disadvantage of the
+// hook-detection approach: it "cannot catch ghostware programs that do
+// not use the targeted mechanism". All three of these hide successfully
+// (cross-view diff finds them) yet produce zero hook alerts.
+func TestFalseNegatives(t *testing.T) {
+	cases := []struct {
+		name    string
+		install func(m *machine.Machine) error
+		check   func(t *testing.T, m *machine.Machine)
+	}{
+		{
+			"commercial filter driver",
+			func(m *machine.Machine) error {
+				for _, f := range []string{`C:\Private\a.doc`} {
+					if err := m.DropFile(f, []byte("d")); err != nil {
+						return err
+					}
+				}
+				return ghostware.NewHideFoldersXP(ghostware.DefaultHiderTargets).Install(m)
+			},
+			func(t *testing.T, m *machine.Machine) {
+				r, err := core.NewDetector(m).ScanFiles()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(r.Hidden) == 0 {
+					t.Error("cross-view should still find the hidden folder")
+				}
+			},
+		},
+		{
+			"FU DKOM",
+			func(m *machine.Machine) error {
+				fu := ghostware.NewFU()
+				if err := fu.Install(m); err != nil {
+					return err
+				}
+				if _, err := m.StartProcess("quiet.exe", `C:\q.exe`); err != nil {
+					return err
+				}
+				return fu.HideByName(m, "quiet.exe")
+			},
+			func(t *testing.T, m *machine.Machine) {
+				d := core.NewDetector(m)
+				d.Advanced = true
+				r, err := d.ScanProcesses()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(r.Hidden) != 1 {
+					t.Errorf("cross-view advanced mode should find the DKOM process: %+v", r.Hidden)
+				}
+			},
+		},
+		{
+			"Win32 name tricks",
+			func(m *machine.Machine) error { return ghostware.NewWin32NameGhost().Install(m) },
+			func(t *testing.T, m *machine.Machine) {
+				r, err := core.NewDetector(m).ScanFiles()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(r.Hidden) != 4 {
+					t.Errorf("cross-view should find the name-trick files: %+v", r.Hidden)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := smallMachine(t)
+			if err := tc.install(m); err != nil {
+				t.Fatal(err)
+			}
+			if alerts := Scan(m); len(alerts) != 0 {
+				t.Errorf("hook checker should be blind here, got %+v", alerts)
+			}
+			tc.check(t, m)
+		})
+	}
+}
+
+// TestFalsePositiveOnLegitimateDetour reproduces the second
+// disadvantage: "it may catch as false positives legitimate uses of API
+// interceptions for in-memory software patching, fault-tolerance
+// wrappers, etc." — while the cross-view diff ignores the passthrough.
+func TestFalsePositiveOnLegitimateDetour(t *testing.T) {
+	m := smallMachine(t)
+	m.API.Install(winapi.NewPassthroughFileHook("ft-wrapper", winapi.LevelUserCode, "fault-tolerance wrapper"))
+	alerts := Scan(m)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+	v := Assess(alerts, map[string]bool{"ft-wrapper": true})
+	if !v.FalsePositive || v.TruePositive {
+		t.Errorf("verdict = %+v, want pure false positive", v)
+	}
+	r, err := core.NewDetector(m).ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hidden) != 0 {
+		t.Errorf("cross-view must not flag a passthrough hook: %+v", r.Hidden)
+	}
+}

@@ -1,0 +1,95 @@
+// Package injection implements the §5 GhostBuster extension against
+// targeting ghostware: instead of a single GhostBuster.exe (which
+// malware can special-case), a GhostBuster DLL is injected into every
+// running process and the scans-and-diff run from inside each,
+// "essentially turning every process into a GhostBuster". A program
+// that hides from common utilities but not from GhostBuster — or vice
+// versa — is exposed by whichever identity experiences the lie.
+package injection
+
+import (
+	"fmt"
+	"sort"
+
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/machine"
+)
+
+// PerProcessResult records what one injected instance found.
+type PerProcessResult struct {
+	Process string
+	Pid     uint64
+	Hidden  []core.Finding
+}
+
+// Result aggregates the per-process scans.
+type Result struct {
+	Kind    core.ResourceKind
+	PerProc []PerProcessResult
+	// Union is the deduplicated set of hidden findings across all
+	// identities — the overall verdict.
+	Union []core.Finding
+}
+
+// Infected reports whether any injected instance saw hiding.
+func (r *Result) Infected() bool { return len(r.Union) > 0 }
+
+// ScanFilesEverywhere runs the hidden-file detection from inside every
+// running process (truth view, so hidden processes scan too).
+func ScanFilesEverywhere(m *machine.Machine) (*Result, error) {
+	return scanEverywhere(m, core.KindFiles, func(d *core.Detector) (*core.Report, error) { return d.ScanFiles() })
+}
+
+// ScanProcsEverywhere runs the hidden-process detection from inside
+// every running process.
+func ScanProcsEverywhere(m *machine.Machine) (*Result, error) {
+	return scanEverywhere(m, core.KindProcesses, func(d *core.Detector) (*core.Report, error) {
+		d.Advanced = true
+		return d.ScanProcesses()
+	})
+}
+
+// ScanASEPsEverywhere runs the hidden-ASEP detection from inside every
+// running process.
+func ScanASEPsEverywhere(m *machine.Machine) (*Result, error) {
+	return scanEverywhere(m, core.KindASEPHooks, func(d *core.Detector) (*core.Report, error) { return d.ScanASEPs() })
+}
+
+func scanEverywhere(m *machine.Machine, kind core.ResourceKind, scan func(*core.Detector) (*core.Report, error)) (*Result, error) {
+	procs, err := m.Kern.ProcessesAdvanced()
+	if err != nil {
+		return nil, fmt.Errorf("injection: enumerating hosts: %w", err)
+	}
+	res := &Result{Kind: kind}
+	seen := map[string]core.Finding{}
+	scanned := map[string]bool{}
+	for _, p := range procs {
+		if p.Name == "System" || scanned[p.Name] {
+			continue // one instance per image name is enough
+		}
+		scanned[p.Name] = true
+		d := core.NewDetector(m)
+		d.AsProcess = p.Name
+		report, err := scan(d)
+		if err != nil {
+			// A process may exit mid-sweep; skip it.
+			continue
+		}
+		if len(report.Hidden) == 0 {
+			continue
+		}
+		res.PerProc = append(res.PerProc, PerProcessResult{Process: p.Name, Pid: p.Pid, Hidden: report.Hidden})
+		for _, f := range report.Hidden {
+			seen[f.ID] = f
+		}
+	}
+	ids := make([]string, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		res.Union = append(res.Union, seen[id])
+	}
+	return res, nil
+}

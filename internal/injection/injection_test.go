@@ -1,0 +1,132 @@
+package injection
+
+import (
+	"strings"
+	"testing"
+
+	"ghostbuster/internal/ghostware"
+	"ghostbuster/internal/machine"
+)
+
+func smallMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	p := machine.DefaultProfile()
+	p.DiskUsedGB = 1
+	p.Churn = nil
+	m, err := machine.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCleanMachineNoFindingsAnywhere(t *testing.T) {
+	m := smallMachine(t)
+	res, err := ScanFilesEverywhere(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infected() {
+		t.Errorf("clean machine: %+v", res.Union)
+	}
+}
+
+// TestInjectionDefeatsUtilityTargeting (§5): ghostware hiding only from
+// Task Manager evades a plain GhostBuster.exe but not the injected
+// sweep, because one of the identities IS taskmgr.exe.
+func TestInjectionDefeatsUtilityTargeting(t *testing.T) {
+	m := smallMachine(t)
+	if err := ghostware.NewTargeted(ghostware.HideFromUtilities).Install(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StartProcess("taskmgr.exe", `C:\WINDOWS\system32\taskmgr.exe`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ScanFilesEverywhere(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Infected() {
+		t.Fatal("injected sweep missed the targeting ghostware")
+	}
+	foundVia := ""
+	for _, pp := range res.PerProc {
+		for _, f := range pp.Hidden {
+			if strings.Contains(f.ID, "SECRET-PAYLOAD") {
+				foundVia = pp.Process
+			}
+		}
+	}
+	if !strings.EqualFold(foundVia, "taskmgr.exe") && !strings.EqualFold(foundVia, "explorer.exe") &&
+		!strings.EqualFold(foundVia, "cmd.exe") && !strings.EqualFold(foundVia, "regedit.exe") {
+		t.Errorf("payload found via %q, expected one of the targeted utilities", foundVia)
+	}
+}
+
+// TestInjectionDefeatsAntiGhostBusterTargeting (§5): hiding from
+// everything except ghostbuster.exe is exposed by any other identity.
+func TestInjectionDefeatsAntiGhostBusterTargeting(t *testing.T) {
+	m := smallMachine(t)
+	if err := ghostware.NewTargeted(ghostware.HideExceptGhostBuster).Install(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StartProcess("ghostbuster.exe", `C:\tools\ghostbuster.exe`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ScanFilesEverywhere(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Infected() {
+		t.Fatal("injected sweep missed the anti-GhostBuster ghostware")
+	}
+	// And the process-hiding side too.
+	procRes, err := ScanProcsEverywhere(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range procRes.Union {
+		if strings.Contains(f.ID, "SECRET-PAYLOAD.EXE") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hidden process not in union: %+v", procRes.Union)
+	}
+}
+
+// TestUnionDeduplicatesAcrossIdentities: ordinary (unscoped) hiding is
+// seen identically by every identity; the union must not multiply it.
+func TestUnionDeduplicatesAcrossIdentities(t *testing.T) {
+	m := smallMachine(t)
+	hd := ghostware.NewHackerDefender()
+	if err := hd.Install(m); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ScanFilesEverywhere(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Union) != len(hd.HiddenFiles()) {
+		t.Errorf("union = %d findings, want %d", len(res.Union), len(hd.HiddenFiles()))
+	}
+	if len(res.PerProc) < 2 {
+		t.Errorf("expected several identities to see the hiding, got %d", len(res.PerProc))
+	}
+}
+
+// TestASEPSweep: the injected Registry sweep works the same way.
+func TestASEPSweep(t *testing.T) {
+	m := smallMachine(t)
+	if err := ghostware.NewUrbin().Install(m); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ScanASEPsEverywhere(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Union) != 1 || !strings.Contains(res.Union[0].ID, "APPINIT_DLLS") {
+		t.Errorf("union = %+v", res.Union)
+	}
+}

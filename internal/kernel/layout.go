@@ -1,0 +1,297 @@
+// Package kernel simulates the NT kernel's process, thread, module and
+// driver bookkeeping on top of a kmem arena. Object structures are laid
+// out in arena memory with real intrusive LIST_ENTRY links, so that:
+//
+//   - Direct Kernel Object Manipulation (the FU rootkit) is literal
+//     pointer surgery that this package cannot "see through";
+//   - the GhostBuster low-level scan is a traversal of the same bytes;
+//   - a crash dump is a copy of the arena, and the same traversal code
+//     runs against it offline (kmem.Reader abstracts live vs dump).
+//
+// Two kernel data structures track processes, mirroring the paper's
+// normal and advanced low-level scan modes:
+//
+//   - PsActiveProcessHead, the doubly-linked Active Process List. This is
+//     the "truth approximation": it exists to answer enumeration queries
+//     and a process removed from it keeps running.
+//   - the CID handle table (PspCidTable), which maps every process and
+//     thread id to its object. The scheduler needs threads here, so a
+//     process that owns at least one schedulable thread is visible via
+//     this table even after DKOM unlinking.
+package kernel
+
+import (
+	"fmt"
+
+	"ghostbuster/internal/kmem"
+)
+
+// EPROCESS field offsets within an arena allocation.
+const (
+	EprocActiveLinks = 0x00 // LIST_ENTRY on the Active Process List
+	EprocPid         = 0x10 // u64
+	EprocImageName   = 0x18 // 32-byte NUL-padded short name
+	EprocLdrHead     = 0x38 // LIST_ENTRY: head of the PEB module list
+	EprocThreadHead  = 0x48 // LIST_ENTRY: head of the thread list
+	EprocParentPid   = 0x58 // u64
+	EprocFlags       = 0x60 // u64, bit 0 = exited
+	EprocImagePath   = 0x68 // u64 pointer to a string cell (full path)
+	EprocVadHead     = 0x70 // LIST_ENTRY: head of the VAD image list
+	EprocSize        = 0x80
+
+	eprocNameCap = 32
+)
+
+// ETHREAD field offsets.
+const (
+	EthreadListEntry = 0x00 // LIST_ENTRY on the owning process's thread list
+	EthreadTid       = 0x10 // u64
+	EthreadOwner     = 0x18 // u64: EPROCESS address
+	EthreadState     = 0x20 // u64
+	EthreadSize      = 0x28
+)
+
+// LDR_DATA_TABLE_ENTRY field offsets (used for both per-process modules
+// and the system driver list).
+const (
+	LdrLinks    = 0x00 // LIST_ENTRY
+	LdrBase     = 0x10 // u64
+	LdrSize     = 0x18 // u64
+	LdrNamePtr  = 0x20 // u64 pointer to a string cell
+	LdrEntrySz  = 0x28
+	flagsExited = 1
+)
+
+// CID table entry layout: fixed-capacity array of 24-byte slots.
+const (
+	cidHdrCapacity = 0x00 // u64
+	cidHdrSize     = 0x10 // header bytes before slots
+	cidSlotID      = 0x00
+	cidSlotObj     = 0x08
+	cidSlotType    = 0x10
+	cidSlotSize    = 24
+
+	// CID object types.
+	CidFree    = 0
+	CidProcess = 1
+	CidThread  = 2
+)
+
+// Layout records the addresses of the kernel's global structures. A
+// crash dump stores it in the dump header so offline analysis can find
+// the lists.
+type Layout struct {
+	ActiveProcessHead uint64
+	LoadedModuleHead  uint64
+	CidTable          uint64
+}
+
+// maxWalk bounds list walks as corruption protection.
+const maxWalk = 1 << 16
+
+// stringCell: u32 byte length followed by the bytes. Stands in for the
+// kernel's UNICODE_STRING. A zeroed length reads as the empty string —
+// which is exactly how Vanquish "blanks out" a module pathname.
+func readStringCell(r kmem.Reader, addr uint64) (string, error) {
+	if addr == 0 {
+		return "", nil
+	}
+	n, err := r.ReadU32(addr)
+	if err != nil {
+		return "", err
+	}
+	if n == 0 {
+		return "", nil
+	}
+	if n > 4096 {
+		return "", fmt.Errorf("kernel: string cell at %#x has absurd length %d", addr, n)
+	}
+	b, err := r.ReadBytes(addr+4, int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// ProcView is one process as seen by a kernel-structure traversal.
+type ProcView struct {
+	Addr      uint64
+	Pid       uint64
+	Name      string
+	ImagePath string
+	ParentPid uint64
+	Exited    bool
+	Threads   int
+}
+
+// ModView is one loaded module (or driver) from an LDR list.
+type ModView struct {
+	Addr uint64
+	Base uint64
+	Size uint64
+	Path string // empty when the name cell has been blanked
+}
+
+// readProc decodes the EPROCESS at addr.
+func readProc(r kmem.Reader, addr uint64) (ProcView, error) {
+	var p ProcView
+	p.Addr = addr
+	var err error
+	if p.Pid, err = r.ReadU64(addr + EprocPid); err != nil {
+		return p, err
+	}
+	if p.Name, err = r.ReadCString(addr+EprocImageName, eprocNameCap); err != nil {
+		return p, err
+	}
+	if p.ParentPid, err = r.ReadU64(addr + EprocParentPid); err != nil {
+		return p, err
+	}
+	flags, err := r.ReadU64(addr + EprocFlags)
+	if err != nil {
+		return p, err
+	}
+	p.Exited = flags&flagsExited != 0
+	pathPtr, err := r.ReadU64(addr + EprocImagePath)
+	if err != nil {
+		return p, err
+	}
+	if p.ImagePath, err = readStringCell(r, pathPtr); err != nil {
+		return p, err
+	}
+	threads, err := kmem.WalkList(r, addr+EprocThreadHead, maxWalk)
+	if err != nil {
+		return p, err
+	}
+	p.Threads = len(threads)
+	return p, nil
+}
+
+// WalkActiveProcessList traverses the Active Process List — the kernel's
+// "truth approximation" for process enumeration. This is GhostBuster's
+// normal-mode low-level scan. FU-style DKOM hides from this walk.
+func WalkActiveProcessList(r kmem.Reader, layout Layout) ([]ProcView, error) {
+	entries, err := kmem.WalkList(r, layout.ActiveProcessHead, maxWalk)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ProcView, 0, len(entries))
+	for _, e := range entries {
+		// The list entry is at offset 0 of EPROCESS, so the entry address
+		// is the object address (CONTAINING_RECORD with zero offset).
+		p, err := readProc(r, e-EprocActiveLinks)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// WalkCidProcesses traverses the CID handle table and returns every
+// process that owns at least one thread — the paper's advanced mode,
+// which "travers[es] another kernel data structure that maintains the
+// process list to support OS functionalities other than responding to
+// enumeration queries". DKOM unlinking does not hide from this walk.
+func WalkCidProcesses(r kmem.Reader, layout Layout) ([]ProcView, error) {
+	capacity, err := r.ReadU64(layout.CidTable + cidHdrCapacity)
+	if err != nil {
+		return nil, err
+	}
+	if capacity > maxWalk {
+		return nil, fmt.Errorf("kernel: CID table capacity %d exceeds sanity bound", capacity)
+	}
+	// Collect thread owners, then all process objects.
+	owners := map[uint64]int{}
+	procAddrs := map[uint64]bool{}
+	for i := uint64(0); i < capacity; i++ {
+		slot := layout.CidTable + cidHdrSize + i*cidSlotSize
+		typ, err := r.ReadU64(slot + cidSlotType)
+		if err != nil {
+			return nil, err
+		}
+		obj, err := r.ReadU64(slot + cidSlotObj)
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case CidThread:
+			owner, err := r.ReadU64(obj + EthreadOwner)
+			if err != nil {
+				return nil, err
+			}
+			owners[owner]++
+		case CidProcess:
+			procAddrs[obj] = true
+		}
+	}
+	out := make([]ProcView, 0, len(owners))
+	for addr := range procAddrs {
+		if owners[addr] == 0 {
+			continue // no schedulable thread: not a live process
+		}
+		p, err := readProc(r, addr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	sortProcs(out)
+	return out, nil
+}
+
+// WalkModuleList reads the LDR list headed at head (a process's module
+// list or the system driver list).
+func WalkModuleList(r kmem.Reader, head uint64) ([]ModView, error) {
+	entries, err := kmem.WalkList(r, head, maxWalk)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ModView, 0, len(entries))
+	for _, e := range entries {
+		m := ModView{Addr: e}
+		if m.Base, err = r.ReadU64(e + LdrBase); err != nil {
+			return nil, err
+		}
+		if m.Size, err = r.ReadU64(e + LdrSize); err != nil {
+			return nil, err
+		}
+		namePtr, err := r.ReadU64(e + LdrNamePtr)
+		if err != nil {
+			return nil, err
+		}
+		if m.Path, err = readStringCell(r, namePtr); err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// WalkDrivers reads the system driver list (PsLoadedModuleList).
+func WalkDrivers(r kmem.Reader, layout Layout) ([]ModView, error) {
+	return WalkModuleList(r, layout.LoadedModuleHead)
+}
+
+// ProcessModules reads the PEB module list of the process whose EPROCESS
+// is at addr. This is the user-memory structure the query APIs consult —
+// the one Vanquish tampers with.
+func ProcessModules(r kmem.Reader, addr uint64) ([]ModView, error) {
+	return WalkModuleList(r, addr+EprocLdrHead)
+}
+
+// ProcessVadImages reads the VAD image list of the process at addr: the
+// kernel's own record of every image mapped into the address space. The
+// loader cannot run an image without a mapping, so this list is the
+// module truth GhostBuster's low-level scan extracts ("the truth of all
+// modules loaded by all processes from a kernel data structure").
+func ProcessVadImages(r kmem.Reader, addr uint64) ([]ModView, error) {
+	return WalkModuleList(r, addr+EprocVadHead)
+}
+
+func sortProcs(ps []ProcView) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Pid < ps[j-1].Pid; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}

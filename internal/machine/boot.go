@@ -1,0 +1,257 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"ghostbuster/internal/hive"
+	"ghostbuster/internal/kernel"
+	"ghostbuster/internal/registry"
+	"ghostbuster/internal/winapi"
+)
+
+// Base processes started at every boot, parent-ordered.
+var bootProcesses = []struct{ name, path string }{
+	{"smss.exe", `C:\WINDOWS\system32\smss.exe`},
+	{"csrss.exe", `C:\WINDOWS\system32\csrss.exe`},
+	{"winlogon.exe", `C:\WINDOWS\system32\winlogon.exe`},
+	{"services.exe", `C:\WINDOWS\system32\services.exe`},
+	{"lsass.exe", `C:\WINDOWS\system32\lsass.exe`},
+	{"svchost.exe", `C:\WINDOWS\system32\svchost.exe`},
+	{"svchost.exe", `C:\WINDOWS\system32\svchost.exe`},
+	{"explorer.exe", `C:\WINDOWS\explorer.exe`},
+}
+
+var systemFiles = []string{
+	`C:\WINDOWS\explorer.exe`,
+	`C:\WINDOWS\system32\ntoskrnl.exe`,
+	`C:\WINDOWS\system32\ntdll.dll`,
+	`C:\WINDOWS\system32\kernel32.dll`,
+	`C:\WINDOWS\system32\user32.dll`,
+	`C:\WINDOWS\system32\advapi32.dll`,
+	`C:\WINDOWS\system32\smss.exe`,
+	`C:\WINDOWS\system32\csrss.exe`,
+	`C:\WINDOWS\system32\winlogon.exe`,
+	`C:\WINDOWS\system32\services.exe`,
+	`C:\WINDOWS\system32\lsass.exe`,
+	`C:\WINDOWS\system32\svchost.exe`,
+	`C:\WINDOWS\system32\cmd.exe`,
+	`C:\WINDOWS\system32\taskmgr.exe`,
+	`C:\WINDOWS\system32\tlist.exe`,
+	`C:\WINDOWS\regedit.exe`,
+	`C:\WINDOWS\notepad.exe`,
+}
+
+var systemDrivers = []string{
+	`C:\WINDOWS\system32\drivers\disk.sys`,
+	`C:\WINDOWS\system32\drivers\ndis.sys`,
+	`C:\WINDOWS\system32\drivers\tcpip.sys`,
+}
+
+var skeletonDirs = []string{
+	`C:\WINDOWS`,
+	`C:\WINDOWS\system32`,
+	`C:\WINDOWS\system32\drivers`,
+	`C:\WINDOWS\system32\config`,
+	`C:\WINDOWS\Prefetch`,
+	`C:\Program Files`,
+	`C:\Program Files\Common Files`,
+	`C:\Documents and Settings\user`,
+	`C:\Documents and Settings\user\Local Settings\Temp`,
+	`C:\Documents and Settings\user\Local Settings\Temporary Internet Files`,
+	`C:\System Volume Information\_restore{B7A4-11D9}`,
+}
+
+// buildSkeleton lays down the stock Windows filesystem and Registry.
+func (m *Machine) buildSkeleton() error {
+	for _, d := range skeletonDirs {
+		if err := m.MkdirAll(d); err != nil {
+			return fmt.Errorf("machine: skeleton dir %s: %w", d, err)
+		}
+	}
+	for _, f := range systemFiles {
+		if err := m.DropFileSized(f, []byte("MZ"), 64<<10); err != nil {
+			return fmt.Errorf("machine: skeleton file %s: %w", f, err)
+		}
+	}
+	for _, f := range systemDrivers {
+		if err := m.DropFileSized(f, []byte("MZ"), 32<<10); err != nil {
+			return err
+		}
+	}
+	// Hive backing files: placeholders whose logical content is the live
+	// hive buffers (the raw Registry scan copies Hive.Snapshot()).
+	for _, f := range []string{
+		`C:\WINDOWS\system32\config\system`,
+		`C:\WINDOWS\system32\config\software`,
+		`C:\Documents and Settings\user\ntuser.dat`,
+	} {
+		if err := m.DropFileSized(f, []byte("regf"), 4<<20); err != nil {
+			return err
+		}
+	}
+	// Stock driver services.
+	for _, drv := range systemDrivers {
+		name := drv[strings.LastIndexByte(drv, '\\')+1:]
+		svc := strings.TrimSuffix(name, ".sys")
+		key := `HKLM\SYSTEM\CurrentControlSet\Services\` + svc
+		if err := m.Reg.CreateKey(key); err != nil {
+			return err
+		}
+		if err := m.Reg.SetString(key, "ImagePath", `system32\drivers\`+name); err != nil {
+			return err
+		}
+		if err := m.Reg.SetValue(key, hive.DwordValue("Start", 1)); err != nil {
+			return err
+		}
+	}
+	// Winlogon defaults.
+	wl := `HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion\Winlogon`
+	if err := m.Reg.SetString(wl, "Shell", "Explorer.exe"); err != nil {
+		return err
+	}
+	return m.Reg.SetString(wl, "Userinit", `C:\WINDOWS\system32\userinit.exe,`)
+}
+
+// BootCount returns how many times the machine has booted.
+func (m *Machine) BootCount() int { return m.bootCount }
+
+// Boot starts the base processes and drivers, fires every ASEP hook
+// (starting registered ghostware — *hidden* hooks still execute: hiding
+// evades detection, not the boot path), and runs boot-time churn.
+func (m *Machine) Boot() error {
+	m.bootCount++
+	for _, p := range bootProcesses {
+		if _, err := m.StartProcess(p.name, p.path); err != nil {
+			return fmt.Errorf("machine: starting %s: %w", p.name, err)
+		}
+	}
+	for _, d := range systemDrivers {
+		if _, err := m.Kern.LoadDriver(d); err != nil {
+			return err
+		}
+	}
+	if err := m.fireASEPs(); err != nil {
+		return err
+	}
+	for _, c := range m.churn {
+		if err := c.onBoot(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fireASEPs executes every hook in the ASEP catalog, reading the truth
+// (the configuration manager directly — the boot path is below any
+// user-mode hiding).
+func (m *Machine) fireASEPs() error {
+	q := func(keyPath string) (registry.KeyView, error) {
+		subs, err := m.Reg.EnumKeys(keyPath)
+		if err != nil {
+			return registry.KeyView{}, err
+		}
+		vals, err := m.Reg.EnumValues(keyPath)
+		if err != nil {
+			return registry.KeyView{}, err
+		}
+		view := registry.KeyView{Subkeys: subs}
+		for _, v := range vals {
+			view.Values = append(view.Values, registry.ValueView{Name: v.Name, Data: v.String()})
+		}
+		return view, nil
+	}
+	hooks, err := registry.CollectHooks(q, registry.StandardASEPs())
+	if err != nil {
+		return err
+	}
+	for _, h := range hooks {
+		// AppInit_DLLs may carry several comma/space separated DLLs.
+		targets := []string{h.Data}
+		if h.ASEP == "AppInit_DLLs" {
+			targets = splitList(h.Data)
+		}
+		for _, tgt := range targets {
+			act, _ := m.activationFor(tgt)
+			if act == nil {
+				continue
+			}
+			if err := act(m); err != nil {
+				return fmt.Errorf("machine: ASEP %s activation: %w", h.String(), err)
+			}
+		}
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	f := strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' })
+	out := make([]string, 0, len(f))
+	for _, x := range f {
+		if x != "" {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Shutdown stops the OS: always-running services flush their state to
+// disk (the paper's outside-the-box false-positive source), then the
+// volatile state — kernel objects and every installed API hook — is
+// discarded.
+func (m *Machine) Shutdown() error {
+	for _, c := range m.churn {
+		if err := c.onShutdown(m); err != nil {
+			return err
+		}
+	}
+	kern, err := kernel.New()
+	if err != nil {
+		return err
+	}
+	m.Kern = kern
+	m.API = winapi.NewStack(m.bases(), m.Clock, m.costModel())
+	m.startNotifiers = nil
+	return nil
+}
+
+// Reboot is Shutdown followed by Boot, charging the profile's reboot
+// time.
+func (m *Machine) Reboot() error {
+	if err := m.Shutdown(); err != nil {
+		return err
+	}
+	m.Clock.Advance(m.Profile.RebootTime)
+	return m.Boot()
+}
+
+// RunChurn advances virtual time by roughly the given number of minutes
+// of normal desktop activity, letting always-running services write
+// their periodic files.
+func (m *Machine) RunChurn(minutes int) error {
+	for i := 0; i < minutes; i++ {
+		m.Clock.Advance(minuteTick)
+		for _, c := range m.churn {
+			if err := c.onTick(m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Pid resolves an image name to the pid of a live process (truth view).
+func (m *Machine) Pid(imageName string) (uint64, error) {
+	return m.Kern.PidByName(imageName)
+}
+
+// SystemCall returns a Call issued from explorer.exe, the default
+// vantage point for user-level scans.
+func (m *Machine) SystemCall() *winapi.Call {
+	call, err := m.CallAs("explorer.exe")
+	if err != nil {
+		// explorer always exists after boot; fall back to a synthetic id.
+		return &winapi.Call{Proc: winapi.Proc{Pid: 0, Name: "explorer.exe"}}
+	}
+	return call
+}

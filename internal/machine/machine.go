@@ -1,0 +1,428 @@
+// Package machine composes the substrates — NTFS volume, Registry,
+// kernel, API stack — into a simulated Windows machine. It owns the
+// lifecycle the paper's experiments need: boot (which executes ASEP
+// hooks, starting ghostware), background service churn (the source of
+// outside-the-box false positives), and reboot (volatile state dies,
+// persistent state survives, ASEPs re-fire).
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"ghostbuster/internal/kernel"
+	"ghostbuster/internal/ntfs"
+	"ghostbuster/internal/registry"
+	"ghostbuster/internal/vtime"
+	"ghostbuster/internal/winapi"
+)
+
+// Drive is the system drive prefix.
+const Drive = "C:"
+
+// ErrBadPath reports a path not under the system drive.
+var ErrBadPath = errors.New("machine: path not under " + Drive)
+
+// Profile describes one of the paper's test machines. Scan-time
+// experiments (§2: 30 s–38 min depending on disk usage and CPU) are
+// reproduced by charging virtual time proportional to these parameters.
+type Profile struct {
+	Name       string
+	Kind       string  // "corporate desktop", "home machine", "laptop", "workstation"
+	DiskGB     float64 // disk capacity
+	DiskUsedGB float64 // used space; drives file population and scan cost
+	CPUMHz     int
+	// FilesPerGB scales how many real MFT records represent 1 GB of
+	// declared usage. Kept modest so the simulation stays in memory; the
+	// virtual-time cost model compensates via RealFilesPerGB.
+	FilesPerGB int
+	// RealFilesPerGB is the file density the profile *represents* (a
+	// typical 2004 desktop held 1000–5000 files per GB). Scanners charge
+	// virtual time for the represented files, so scan durations land in
+	// the paper's ranges even though the simulation stores fewer records.
+	RealFilesPerGB int
+	// RegNoiseKeys is how many synthetic Registry keys workload
+	// population creates; RealRegKeys is the represented total ("hundreds
+	// of thousands of files and Registry entries", §4).
+	RegNoiseKeys int
+	RealRegKeys  int
+	// DiskMBps is sequential read throughput for low-level scans.
+	DiskMBps   int
+	RebootTime time.Duration // WinPE CD boot adds 1.5–3 min (paper §2)
+	Seed       int64
+	Churn      []ChurnKind // always-running services on this machine
+}
+
+// RepFileFactor returns how many represented files each stored MFT
+// record stands for.
+func (p Profile) RepFileFactor() float64 {
+	if p.FilesPerGB <= 0 || p.RealFilesPerGB <= 0 {
+		return 1
+	}
+	return float64(p.RealFilesPerGB) / float64(p.FilesPerGB)
+}
+
+// RepRegFactor returns how many represented Registry keys each stored
+// key stands for.
+func (p Profile) RepRegFactor() float64 {
+	if p.RegNoiseKeys <= 0 || p.RealRegKeys <= 0 {
+		return 1
+	}
+	return float64(p.RealRegKeys) / float64(p.RegNoiseKeys)
+}
+
+// CPUScale returns the slowdown factor relative to the 1.5 GHz baseline.
+func (p Profile) CPUScale() float64 {
+	if p.CPUMHz <= 0 {
+		return 1
+	}
+	return 1500.0 / float64(p.CPUMHz)
+}
+
+// DefaultProfile is a mid-range corporate desktop.
+func DefaultProfile() Profile {
+	return Profile{
+		Name: "desktop-1", Kind: "corporate desktop",
+		DiskGB: 40, DiskUsedGB: 10, CPUMHz: 1500, FilesPerGB: 60,
+		RealFilesPerGB: 1500, RegNoiseKeys: 1200, RealRegKeys: 80000, DiskMBps: 30,
+		RebootTime: 2 * time.Minute, Seed: 1,
+		Churn: []ChurnKind{ChurnAVLogger, ChurnPrefetch, ChurnSystemRestore, ChurnBrowserTemp},
+	}
+}
+
+// Activation is ghostware (or service) code that runs when its image is
+// started: it may create processes, install API hooks, load drivers, or
+// perform DKOM.
+type Activation func(m *Machine) error
+
+// Machine is one simulated Windows box.
+type Machine struct {
+	Profile Profile
+	Clock   *vtime.Clock
+	Disk    *ntfs.Volume
+	Reg     *registry.Registry
+	Kern    *kernel.Kernel
+	API     *winapi.Stack
+	Rand    *rand.Rand
+
+	images    map[string]Activation // upper-cased image path -> activation
+	churn     []*churnState
+	bootCount int
+	// startNotifiers mirror PsSetCreateProcessNotifyRoutine: callbacks
+	// invoked for every newly created process. Rootkits register
+	// injectors here so that processes started after infection get
+	// patched too. Volatile: cleared at shutdown like everything else.
+	startNotifiers []ProcessNotifier
+}
+
+// ProcessNotifier observes (and may tamper with) newly created
+// processes.
+type ProcessNotifier func(m *Machine, pid uint64, name string) error
+
+// New builds a machine with the standard Windows skeleton, boots it
+// (base services start), and returns it. The population is minimal;
+// workload.Populate adds bulk files and Registry noise.
+func New(p Profile) (*Machine, error) {
+	if p.FilesPerGB <= 0 {
+		p.FilesPerGB = 60
+	}
+	clock := &vtime.Clock{}
+	// Size the volume for the profile: records for the populated files
+	// plus generous headroom for churn and ghostware.
+	wantRecords := int(p.DiskUsedGB*float64(p.FilesPerGB)) + 4096
+	dataClusters := wantRecords + 8192
+	vol, err := ntfs.Format(dataClusters, wantRecords)
+	if err != nil {
+		return nil, fmt.Errorf("machine: formatting disk: %w", err)
+	}
+	reg, err := registry.New()
+	if err != nil {
+		return nil, fmt.Errorf("machine: building registry: %w", err)
+	}
+	kern, err := kernel.New()
+	if err != nil {
+		return nil, fmt.Errorf("machine: booting kernel: %w", err)
+	}
+	m := &Machine{
+		Profile: p,
+		Clock:   clock,
+		Disk:    vol,
+		Reg:     reg,
+		Kern:    kern,
+		Rand:    rand.New(rand.NewSource(p.Seed)),
+		images:  map[string]Activation{},
+	}
+	m.API = winapi.NewStack(m.bases(), clock, m.costModel())
+	if err := m.buildSkeleton(); err != nil {
+		return nil, err
+	}
+	for _, kind := range p.Churn {
+		svc, err := newChurn(kind, m)
+		if err != nil {
+			return nil, err
+		}
+		m.churn = append(m.churn, svc)
+	}
+	if err := m.Boot(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// costModel derives per-call API pricing from the CPU speed.
+func (m *Machine) costModel() winapi.CostModel {
+	base := winapi.DefaultCosts()
+	scale := 1500.0 / float64(m.Profile.CPUMHz)
+	return winapi.CostModel{
+		PerAPICall: time.Duration(float64(base.PerAPICall) * scale),
+		PerEntry:   time.Duration(float64(base.PerEntry) * scale),
+	}
+}
+
+// VolumePath converts a full Win32 path ("C:\Windows") to a volume path
+// ("\Windows").
+func VolumePath(full string) (string, error) {
+	if !strings.HasPrefix(strings.ToUpper(full), Drive+`\`) && !strings.EqualFold(full, Drive) {
+		return "", fmt.Errorf("%w: %s", ErrBadPath, full)
+	}
+	return full[len(Drive):], nil
+}
+
+// FullPath converts a volume path to a full Win32 path.
+func FullPath(volPath string) string {
+	if volPath == "" || volPath == `\` {
+		return Drive + `\`
+	}
+	return Drive + volPath
+}
+
+// bases wires the substrate implementations as the bottom of the API
+// chains.
+func (m *Machine) bases() winapi.Bases {
+	return winapi.Bases{
+		FileEnum: func(call *winapi.Call, dir string) ([]winapi.DirEntry, error) {
+			vp, err := VolumePath(dir)
+			if err != nil {
+				return nil, err
+			}
+			infos, err := m.Disk.ReadDir(vp)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]winapi.DirEntry, 0, len(infos))
+			prefix := strings.TrimSuffix(dir, `\`)
+			for _, inf := range infos {
+				out = append(out, winapi.DirEntry{
+					Name: inf.Name, Path: prefix + `\` + inf.Name,
+					Size: inf.Size, Dir: inf.Dir,
+					Created: inf.Created, Modified: inf.Modified, Attrs: inf.Attrs,
+				})
+			}
+			return out, nil
+		},
+		RegQuery: func(call *winapi.Call, keyPath string) (winapi.KeySnapshot, error) {
+			subs, err := m.Reg.EnumKeys(keyPath)
+			if err != nil {
+				return winapi.KeySnapshot{}, err
+			}
+			vals, err := m.Reg.EnumValues(keyPath)
+			if err != nil {
+				return winapi.KeySnapshot{}, err
+			}
+			snap := winapi.KeySnapshot{Subkeys: subs}
+			for _, v := range vals {
+				snap.Values = append(snap.Values, winapi.KeyValue{Name: v.Name, Type: v.Type, Data: v.Data})
+			}
+			return snap, nil
+		},
+		ProcEnum: func(call *winapi.Call) ([]winapi.ProcEntry, error) {
+			procs, err := m.Kern.Processes()
+			if err != nil {
+				return nil, err
+			}
+			out := make([]winapi.ProcEntry, 0, len(procs))
+			for _, p := range procs {
+				out = append(out, winapi.ProcEntry{Pid: p.Pid, Name: p.Name, Path: p.ImagePath, ParentPid: p.ParentPid})
+			}
+			return out, nil
+		},
+		ModEnum: func(call *winapi.Call, pid uint64) ([]winapi.ModEntry, error) {
+			mods, err := m.Kern.Modules(pid)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]winapi.ModEntry, 0, len(mods))
+			for _, mod := range mods {
+				out = append(out, winapi.ModEntry{Base: mod.Base, Size: mod.Size, Path: mod.Path})
+			}
+			return out, nil
+		},
+		DriverEnum: func(call *winapi.Call) ([]winapi.ModEntry, error) {
+			drvs, err := m.Kern.Drivers()
+			if err != nil {
+				return nil, err
+			}
+			out := make([]winapi.ModEntry, 0, len(drvs))
+			for _, d := range drvs {
+				out = append(out, winapi.ModEntry{Base: d.Base, Size: d.Size, Path: d.Path})
+			}
+			return out, nil
+		},
+	}
+}
+
+// Now returns the current virtual time as FILETIME-style ticks for
+// on-disk timestamps.
+func (m *Machine) Now() uint64 { return vtime.FileTime(m.Clock.Now()) }
+
+// --- filesystem convenience (the "admin-privilege" mutation surface) ----------
+
+// MkdirAll creates a directory path (full Win32 path).
+func (m *Machine) MkdirAll(full string) error {
+	vp, err := VolumePath(full)
+	if err != nil {
+		return err
+	}
+	return m.Disk.MkdirAll(vp, m.Now())
+}
+
+// DropFile writes a file (creating parents), as software with admin
+// rights does — directly at the driver level, not through the hook
+// chain.
+func (m *Machine) DropFile(full string, data []byte) error {
+	return m.DropFileSized(full, data, 0)
+}
+
+// DropFileSized writes a file advertising declaredSize bytes.
+func (m *Machine) DropFileSized(full string, data []byte, declaredSize uint64) error {
+	vp, err := VolumePath(full)
+	if err != nil {
+		return err
+	}
+	if dir, _ := splitFull(full); dir != Drive {
+		dvp, err := VolumePath(dir)
+		if err != nil {
+			return err
+		}
+		if err := m.Disk.MkdirAll(dvp, m.Now()); err != nil {
+			return err
+		}
+	}
+	if m.Disk.Exists(vp) {
+		return m.Disk.WriteFile(vp, data, m.Now())
+	}
+	return m.Disk.Create(vp, ntfs.CreateOptions{Data: data, DeclaredSize: declaredSize, Created: m.Now(), Modified: m.Now()})
+}
+
+// AppendFile appends to a file, creating it if needed.
+func (m *Machine) AppendFile(full string, data []byte) error {
+	vp, err := VolumePath(full)
+	if err != nil {
+		return err
+	}
+	return m.Disk.Append(vp, data, m.Now())
+}
+
+// RemoveFile deletes one file or empty directory.
+func (m *Machine) RemoveFile(full string) error {
+	vp, err := VolumePath(full)
+	if err != nil {
+		return err
+	}
+	return m.Disk.Remove(vp)
+}
+
+// FileExists reports whether the path exists on disk (driver view).
+func (m *Machine) FileExists(full string) bool {
+	vp, err := VolumePath(full)
+	if err != nil {
+		return false
+	}
+	return m.Disk.Exists(vp)
+}
+
+func splitFull(full string) (dir, base string) {
+	i := strings.LastIndexByte(full, '\\')
+	if i < 0 {
+		return Drive, full
+	}
+	d := full[:i]
+	if strings.EqualFold(d, Drive) {
+		d = Drive
+	}
+	return d, full[i+1:]
+}
+
+// --- process identity ----------------------------------------------------------
+
+// CallAs builds a Call context for queries issued by the named running
+// process. It resolves the pid via the kernel truth so even hidden
+// processes can issue calls.
+func (m *Machine) CallAs(imageName string) (*winapi.Call, error) {
+	pid, err := m.Kern.PidByName(imageName)
+	if err != nil {
+		return nil, err
+	}
+	return &winapi.Call{Proc: winapi.Proc{Pid: pid, Name: imageName}}, nil
+}
+
+// StartProcess creates a process and fires the process-creation
+// notifiers (so resident rootkits can patch the newcomer).
+func (m *Machine) StartProcess(name, imagePath string) (uint64, error) {
+	pid, err := m.Kern.CreateProcess(name, imagePath, kernel.SystemPid)
+	if err != nil {
+		return 0, err
+	}
+	m.Clock.Advance(20 * time.Millisecond)
+	for _, n := range m.startNotifiers {
+		if err := n(m, pid, name); err != nil {
+			return 0, fmt.Errorf("machine: process notifier: %w", err)
+		}
+	}
+	return pid, nil
+}
+
+// RegisterProcessNotifier installs a process-creation callback (the
+// PsSetCreateProcessNotifyRoutine analog). Like API hooks, notifiers are
+// volatile: they die at shutdown.
+func (m *Machine) RegisterProcessNotifier(n ProcessNotifier) {
+	m.startNotifiers = append(m.startNotifiers, n)
+}
+
+// RegisterImage associates an on-disk image path with the code that runs
+// when the boot sequence (or a Run-key hook) starts it.
+func (m *Machine) RegisterImage(imagePath string, act Activation) {
+	m.images[strings.ToUpper(imagePath)] = act
+}
+
+// activationFor resolves an image path (possibly with arguments or a
+// relative service path) to a registered activation.
+func (m *Machine) activationFor(data string) (Activation, string) {
+	cmd := strings.TrimSpace(data)
+	if cmd == "" {
+		return nil, ""
+	}
+	// Strip arguments: take up to first space unless the path is quoted.
+	if strings.HasPrefix(cmd, `"`) {
+		if end := strings.Index(cmd[1:], `"`); end >= 0 {
+			cmd = cmd[1 : 1+end]
+		}
+	} else if sp := strings.IndexByte(cmd, ' '); sp > 0 {
+		cmd = cmd[:sp]
+	}
+	full := cmd
+	if !strings.HasPrefix(strings.ToUpper(full), Drive) {
+		// Service ImagePath values are often system32-relative.
+		full = Drive + `\WINDOWS\` + strings.TrimPrefix(cmd, `\`)
+	}
+	if act, ok := m.images[strings.ToUpper(full)]; ok {
+		return act, full
+	}
+	if act, ok := m.images[strings.ToUpper(cmd)]; ok {
+		return act, cmd
+	}
+	return nil, full
+}

@@ -1,0 +1,366 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ghostbuster/internal/winapi"
+)
+
+func mustMachine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := New(DefaultProfile())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestBootStartsBaseProcesses(t *testing.T) {
+	m := mustMachine(t)
+	procs, err := m.Kern.Processes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"System": false, "explorer.exe": false, "services.exe": false, "winlogon.exe": false}
+	for _, p := range procs {
+		if _, ok := want[p.Name]; ok {
+			want[p.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("base process %s not running", name)
+		}
+	}
+	drvs, err := m.Kern.Drivers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drvs) != len(systemDrivers) {
+		t.Errorf("drivers = %d, want %d", len(drvs), len(systemDrivers))
+	}
+}
+
+func TestSkeletonVisibleThroughAPI(t *testing.T) {
+	m := mustMachine(t)
+	call := m.SystemCall()
+	entries, err := m.API.EnumDirWin32(call, `C:\WINDOWS\system32`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range entries {
+		if strings.EqualFold(e.Name, "kernel32.dll") {
+			found = true
+			if e.Path != `C:\WINDOWS\system32\kernel32.dll` {
+				t.Errorf("full path = %q", e.Path)
+			}
+		}
+	}
+	if !found {
+		t.Error("kernel32.dll not visible via API")
+	}
+	snap, err := m.API.QueryKeyWin32(call, `HKLM\SYSTEM\CurrentControlSet\Services`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Subkeys) < 3 {
+		t.Errorf("service keys = %v", snap.Subkeys)
+	}
+}
+
+func TestVolumePathConversion(t *testing.T) {
+	vp, err := VolumePath(`C:\WINDOWS\system32`)
+	if err != nil || vp != `\WINDOWS\system32` {
+		t.Errorf("VolumePath = %q err %v", vp, err)
+	}
+	if _, err := VolumePath(`D:\other`); err == nil {
+		t.Error("wrong drive should fail")
+	}
+	if FullPath(`\x`) != `C:\x` || FullPath(``) != `C:\` {
+		t.Error("FullPath broken")
+	}
+}
+
+func TestDropAppendRemove(t *testing.T) {
+	m := mustMachine(t)
+	if err := m.DropFile(`C:\newdir\deep\f.txt`, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if !m.FileExists(`C:\newdir\deep\f.txt`) {
+		t.Error("dropped file missing")
+	}
+	if err := m.AppendFile(`C:\newdir\deep\f.txt`, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.Disk.ReadFile(`\newdir\deep\f.txt`)
+	if err != nil || string(data) != "xy" {
+		t.Errorf("append result = %q err %v", data, err)
+	}
+	if err := m.RemoveFile(`C:\newdir\deep\f.txt`); err != nil {
+		t.Fatal(err)
+	}
+	if m.FileExists(`C:\newdir\deep\f.txt`) {
+		t.Error("file should be removed")
+	}
+}
+
+func TestASEPActivationRunsAtBoot(t *testing.T) {
+	m := mustMachine(t)
+	started := 0
+	m.RegisterImage(`C:\evil\mal.exe`, func(m *Machine) error {
+		started++
+		_, err := m.StartProcess("mal.exe", `C:\evil\mal.exe`)
+		return err
+	})
+	if err := m.Reg.SetString(`HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Run`, "mal", `C:\evil\mal.exe -s`); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	if started != 1 {
+		t.Errorf("activation ran %d times, want 1", started)
+	}
+	if _, err := m.Pid("mal.exe"); err != nil {
+		t.Errorf("mal.exe not running after reboot: %v", err)
+	}
+	// Removing the ASEP hook disables the malware across reboot — the
+	// paper's removal story.
+	if err := m.Reg.DeleteValue(`HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Run`, "mal"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	if started != 1 {
+		t.Errorf("activation ran %d times after hook removal, want still 1", started)
+	}
+	if _, err := m.Pid("mal.exe"); err == nil {
+		t.Error("mal.exe should not run after its hook was deleted")
+	}
+}
+
+func TestServiceASEPActivation(t *testing.T) {
+	m := mustMachine(t)
+	ran := false
+	m.RegisterImage(`C:\WINDOWS\hxdef100.exe`, func(m *Machine) error {
+		ran = true
+		return nil
+	})
+	key := `HKLM\SYSTEM\CurrentControlSet\Services\HackerDefender100`
+	if err := m.Reg.CreateKey(key); err != nil {
+		t.Fatal(err)
+	}
+	// Service paths are often system32-relative; activationFor resolves.
+	if err := m.Reg.SetString(key, "ImagePath", `hxdef100.exe`); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("service activation did not run")
+	}
+}
+
+func TestRebootClearsVolatileState(t *testing.T) {
+	m := mustMachine(t)
+	m.API.Install(winapi.NewFileHideHook("mal", winapi.LevelSSDT, "test", nil,
+		func(*winapi.Call, winapi.DirEntry) bool { return true }))
+	if _, err := m.StartProcess("transient.exe", `C:\t.exe`); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.API.Hooks()) != 0 {
+		t.Errorf("hooks survived reboot: %v", m.API.Hooks())
+	}
+	if _, err := m.Pid("transient.exe"); err == nil {
+		t.Error("transient process survived reboot")
+	}
+	if m.BootCount() != 2 {
+		t.Errorf("BootCount = %d", m.BootCount())
+	}
+	// Persistent state survives.
+	if !m.FileExists(`C:\WINDOWS\system32\kernel32.dll`) {
+		t.Error("disk state lost across reboot")
+	}
+}
+
+func TestRebootAdvancesClock(t *testing.T) {
+	m := mustMachine(t)
+	before := m.Clock.Now()
+	if err := m.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Clock.Now()-before < m.Profile.RebootTime {
+		t.Errorf("reboot advanced only %v", m.Clock.Now()-before)
+	}
+}
+
+func TestShutdownChurnCreatesNewFiles(t *testing.T) {
+	m := mustMachine(t)
+	before := m.Disk.FileCount()
+	if err := m.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Disk.FileCount()
+	// Default profile: AV log rotation + SR change log = 2 new files.
+	if after-before != 2 {
+		t.Errorf("shutdown created %d files, want 2", after-before)
+	}
+}
+
+func TestCCMChurnCreatesMore(t *testing.T) {
+	p := DefaultProfile()
+	p.Churn = append(p.Churn, ChurnCCM)
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Disk.FileCount()
+	if err := m.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Disk.FileCount() - before; got != 7 {
+		t.Errorf("CCM machine shutdown created %d files, want 7", got)
+	}
+	// Disabling CCM drops it back to 2 (the paper's experiment).
+	if err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	m.DisableChurn(ChurnCCM)
+	before = m.Disk.FileCount()
+	if err := m.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Disk.FileCount() - before; got != 2 {
+		t.Errorf("after disabling CCM, shutdown created %d files, want 2", got)
+	}
+}
+
+func TestRunChurnWritesPeriodically(t *testing.T) {
+	m := mustMachine(t)
+	before := m.Clock.Now()
+	if err := m.RunChurn(30); err != nil {
+		t.Fatal(err)
+	}
+	if m.Clock.Now()-before != 30*minuteTick {
+		t.Errorf("churn advanced %v", m.Clock.Now()-before)
+	}
+	// Browser temp files appear over time.
+	entries, err := m.Disk.ReadDir(`\Documents and Settings\user\Local Settings\Temporary Internet Files`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Error("no browser temp churn")
+	}
+}
+
+func TestCallAsResolvesRunningProcess(t *testing.T) {
+	m := mustMachine(t)
+	call, err := m.CallAs("explorer.exe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if call.Proc.Name != "explorer.exe" || call.Proc.Pid == 0 {
+		t.Errorf("call = %+v", call)
+	}
+	if _, err := m.CallAs("nonexistent.exe"); err == nil {
+		t.Error("CallAs on missing process should fail")
+	}
+}
+
+// TestActivationCommandParsing: ASEP hook data comes in several shapes —
+// bare paths, quoted paths with arguments, system32-relative service
+// paths — and all must resolve to the registered image.
+func TestActivationCommandParsing(t *testing.T) {
+	cases := []struct {
+		image string // registered image path
+		data  string // ASEP hook data
+	}{
+		{`C:\Program Files\App One\app.exe`, `"C:\Program Files\App One\app.exe" -tray -s`},
+		{`C:\simple\app.exe`, `C:\simple\app.exe`},
+		{`C:\args\app.exe`, `C:\args\app.exe -service`},
+		{`C:\WINDOWS\system32\drivers\drv.sys`, `system32\drivers\drv.sys`},
+	}
+	for _, tc := range cases {
+		m := mustMachine(t)
+		ran := 0
+		m.RegisterImage(tc.image, func(m *Machine) error {
+			ran++
+			return nil
+		})
+		if err := m.Reg.SetString(`HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Run`, "tc", tc.data); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Reboot(); err != nil {
+			t.Fatal(err)
+		}
+		if ran != 1 {
+			t.Errorf("data %q: activation ran %d times, want 1", tc.data, ran)
+		}
+	}
+}
+
+// TestUnregisteredASEPDataIsIgnored: hooks pointing at binaries with no
+// registered behaviour (benign or missing software) must not break boot.
+func TestUnregisteredASEPDataIsIgnored(t *testing.T) {
+	m := mustMachine(t)
+	if err := m.Reg.SetString(`HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Run`, "ghostentry", `C:\gone\nothere.exe`); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reboot(); err != nil {
+		t.Errorf("boot with dangling hook failed: %v", err)
+	}
+}
+
+// TestAppInitMultipleDLLs: AppInit_DLLs can carry several entries.
+func TestAppInitMultipleDLLs(t *testing.T) {
+	m := mustMachine(t)
+	ranA, ranB := 0, 0
+	m.RegisterImage(`C:\WINDOWS\a.dll`, func(m *Machine) error { ranA++; return nil })
+	m.RegisterImage(`C:\WINDOWS\b.dll`, func(m *Machine) error { ranB++; return nil })
+	key := `HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion\Windows`
+	if err := m.Reg.SetString(key, "AppInit_DLLs", `C:\WINDOWS\a.dll C:\WINDOWS\b.dll`); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	if ranA != 1 || ranB != 1 {
+		t.Errorf("AppInit activations = %d/%d, want 1/1", ranA, ranB)
+	}
+}
+
+// TestLargeMachineStress builds a big populated volume end to end; run
+// without -short.
+func TestLargeMachineStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	p := DefaultProfile()
+	p.DiskUsedGB = 40
+	p.FilesPerGB = 60 // 2400 records
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := m.DropFile(fmt.Sprintf(`C:\bulk\dir%02d\f%04d.dat`, i%50, i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := m.API.WalkTreeWin32(m.SystemCall(), Drive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 2000 {
+		t.Errorf("walk = %d entries", len(entries))
+	}
+}

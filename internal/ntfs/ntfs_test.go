@@ -1,0 +1,715 @@
+package ntfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustFormat(t *testing.T) *Volume {
+	t.Helper()
+	v, err := Format(512, 256)
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	return v
+}
+
+func TestFormatAndBootSector(t *testing.T) {
+	v := mustFormat(t)
+	geo, err := decodeBoot(v.Device())
+	if err != nil {
+		t.Fatalf("decodeBoot: %v", err)
+	}
+	if geo.MFTRecords != 256 {
+		t.Errorf("MFTRecords = %d, want 256", geo.MFTRecords)
+	}
+	if geo.MFTStart == 0 || geo.BitmapStart == 0 {
+		t.Errorf("geometry regions unset: %+v", geo)
+	}
+	// Metadata clusters must be marked allocated.
+	for c := uint64(0); c < geo.MFTStart; c++ {
+		if !v.getBit(c) {
+			t.Errorf("cluster %d should be allocated", c)
+		}
+	}
+}
+
+func TestCreateStatReadDir(t *testing.T) {
+	v := mustFormat(t)
+	if err := v.MkdirAll(`\windows\system32`, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Create(`\windows\system32\kernel32.dll`, CreateOptions{Data: []byte("MZcode"), Created: 5, Modified: 7}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := v.Stat(`\windows\system32\kernel32.dll`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "kernel32.dll" || info.Size != 6 || info.Dir {
+		t.Errorf("Stat = %+v", info)
+	}
+	if info.Created != 5 || info.Modified != 7 {
+		t.Errorf("timestamps = %d/%d, want 5/7", info.Created, info.Modified)
+	}
+	list, err := v.ReadDir(`\windows\system32`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Name != "kernel32.dll" {
+		t.Errorf("ReadDir = %+v", list)
+	}
+}
+
+func TestCaseInsensitiveLookup(t *testing.T) {
+	v := mustFormat(t)
+	if err := v.Create(`\File.TXT`, CreateOptions{Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Stat(`\FILE.txt`); err != nil {
+		t.Errorf("case-insensitive Stat failed: %v", err)
+	}
+	if err := v.Create(`\file.txt`, CreateOptions{}); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate differing only in case should be ErrExists, got %v", err)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	v := mustFormat(t)
+	if _, err := v.Stat(`\nope`); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Stat missing = %v, want ErrNotFound", err)
+	}
+	if err := v.Create(`\a\b\c`, CreateOptions{}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Create under missing parent = %v", err)
+	}
+	if err := v.Create(`\f`, CreateOptions{Data: []byte("d")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ReadDir(`\f`); !errors.Is(err, ErrNotDir) {
+		t.Errorf("ReadDir on file = %v, want ErrNotDir", err)
+	}
+	if _, err := v.ReadFile(`\`); !errors.Is(err, ErrIsDir) {
+		t.Errorf("ReadFile on root = %v, want ErrIsDir", err)
+	}
+	if err := v.Create(`\`+strings.Repeat("x", MaxNameLen+1), CreateOptions{}); !errors.Is(err, ErrNameTooLong) {
+		t.Errorf("overlong name = %v, want ErrNameTooLong", err)
+	}
+	if err := v.MkdirAll(`\d1\d2`, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Create(`\d1\d2\x`, CreateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Remove(`\d1\d2`); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("Remove non-empty dir = %v, want ErrNotEmpty", err)
+	}
+}
+
+func TestResidentAndNonResidentData(t *testing.T) {
+	v := mustFormat(t)
+	small := []byte("small resident payload")
+	if err := v.Create(`\small.bin`, CreateOptions{Data: small}); err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{0xAB}, 3*ClusterSize+123)
+	if err := v.Create(`\big.bin`, CreateOptions{Data: big}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ReadFile(`\small.bin`)
+	if err != nil || !bytes.Equal(got, small) {
+		t.Errorf("small round trip failed: %v", err)
+	}
+	got, err = v.ReadFile(`\big.bin`)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Errorf("big round trip failed: err=%v equal=%v", err, bytes.Equal(got, big))
+	}
+	// The big file must really be non-resident on disk.
+	num, err := v.resolve(`\big.bin`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := v.readRecord(num)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rec.attr(AttrData)
+	if a == nil || !a.NonResident {
+		t.Error("3-cluster file should have a non-resident $DATA attribute")
+	}
+	if a.RealSize != uint64(len(big)) {
+		t.Errorf("RealSize = %d, want %d", a.RealSize, len(big))
+	}
+}
+
+func TestWriteFileGrowAndShrink(t *testing.T) {
+	v := mustFormat(t)
+	if err := v.Create(`\f.log`, CreateOptions{Data: []byte("start")}); err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{1}, 2*ClusterSize)
+	if err := v.WriteFile(`\f.log`, big, 50); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ReadFile(`\f.log`)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("grow round trip failed: %v", err)
+	}
+	if err := v.WriteFile(`\f.log`, []byte("tiny"), 60); err != nil {
+		t.Fatal(err)
+	}
+	got, err = v.ReadFile(`\f.log`)
+	if err != nil || string(got) != "tiny" {
+		t.Fatalf("shrink round trip: %q err=%v", got, err)
+	}
+	info, err := v.Stat(`\f.log`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 4 || info.Modified != 60 {
+		t.Errorf("after shrink Stat = %+v", info)
+	}
+}
+
+func TestAppendCreatesAndExtends(t *testing.T) {
+	v := mustFormat(t)
+	if err := v.Append(`\svc.log`, []byte("line1\n"), 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Append(`\svc.log`, []byte("line2\n"), 20); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ReadFile(`\svc.log`)
+	if err != nil || string(got) != "line1\nline2\n" {
+		t.Errorf("Append result = %q, err=%v", got, err)
+	}
+}
+
+func TestRemoveFreesClustersForReuse(t *testing.T) {
+	v, err := Format(8, 64) // tiny data area
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{7}, 5*ClusterSize)
+	if err := v.Create(`\a`, CreateOptions{Data: big}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Create(`\b`, CreateOptions{Data: big}); !errors.Is(err, ErrVolumeFull) {
+		t.Fatalf("second big file should exhaust clusters, got %v", err)
+	}
+	if err := v.Remove(`\a`); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Create(`\b`, CreateOptions{Data: big}); err != nil {
+		t.Errorf("create after remove should reuse clusters: %v", err)
+	}
+}
+
+func TestRemoveLeavesStaleRecord(t *testing.T) {
+	v := mustFormat(t)
+	if err := v.Create(`\ghost.txt`, CreateOptions{Data: []byte("boo")}); err != nil {
+		t.Fatal(err)
+	}
+	num, err := v.resolve(`\ghost.txt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recBefore, err := v.readRecord(num)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Remove(`\ghost.txt`); err != nil {
+		t.Fatal(err)
+	}
+	deleted, err := ScanDeleted(v.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range deleted {
+		if d.Name == "ghost.txt" {
+			found = true
+			if d.Seq != recBefore.Seq+1 {
+				t.Errorf("stale seq = %d, want %d", d.Seq, recBefore.Seq+1)
+			}
+		}
+	}
+	if !found {
+		t.Error("deleted file should leave a recoverable stale record")
+	}
+}
+
+func TestRemoveAll(t *testing.T) {
+	v := mustFormat(t)
+	if err := v.MkdirAll(`\tree\deep\deeper`, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := v.Create(fmt.Sprintf(`\tree\deep\f%d`, i), CreateOptions{Data: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.RemoveAll(`\tree`); err != nil {
+		t.Fatal(err)
+	}
+	if v.Exists(`\tree`) {
+		t.Error("tree should be gone")
+	}
+}
+
+func TestRawScanSeesEverything(t *testing.T) {
+	v := mustFormat(t)
+	paths := []string{
+		`\windows`, `\windows\system32`, `\windows\system32\hxdef100.exe`,
+		`\windows\vanquish.dll`, `\data`, `\data\report.doc`,
+	}
+	for _, p := range paths {
+		isDir := !strings.Contains(p[strings.LastIndex(p, `\`):], ".")
+		if isDir {
+			if err := v.MkdirAll(p, 1); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := v.Create(p, CreateOptions{Data: []byte("d"), Created: 1, Modified: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	entries, stats, err := RawScan(v.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RecordsParsed == 0 || stats.BytesRead == 0 {
+		t.Error("scan stats not populated")
+	}
+	got := map[string]bool{}
+	for _, e := range entries {
+		got[strings.ToUpper(e.Path)] = true
+	}
+	for _, p := range paths {
+		if !got[strings.ToUpper(p)] {
+			t.Errorf("RawScan missing %s (got %d entries)", p, len(entries))
+		}
+	}
+}
+
+// TestRawScanMatchesDriverView is the core cross-view invariant on a
+// clean volume: the raw byte parse and the driver index agree exactly.
+func TestRawScanMatchesDriverView(t *testing.T) {
+	v := mustFormat(t)
+	if err := v.MkdirAll(`\a\b\c`, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := v.Create(fmt.Sprintf(`\a\b\file%02d.dat`, i), CreateOptions{Data: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, _, err := RawScan(v.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rawPaths []string
+	for _, e := range raw {
+		rawPaths = append(rawPaths, strings.ToUpper(e.Path))
+	}
+	var driverPaths []string
+	var walk func(dir string)
+	walk = func(dir string) {
+		list, err := v.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inf := range list {
+			p := dir + `\` + inf.Name
+			if dir == `\` {
+				p = `\` + inf.Name
+			}
+			driverPaths = append(driverPaths, strings.ToUpper(p))
+			if inf.Dir {
+				walk(p)
+			}
+		}
+	}
+	walk(`\`)
+	sort.Strings(rawPaths)
+	sort.Strings(driverPaths)
+	if len(rawPaths) != len(driverPaths) {
+		t.Fatalf("raw %d entries, driver %d", len(rawPaths), len(driverPaths))
+	}
+	for i := range rawPaths {
+		if rawPaths[i] != driverPaths[i] {
+			t.Errorf("view mismatch at %d: raw %s driver %s", i, rawPaths[i], driverPaths[i])
+		}
+	}
+}
+
+func TestMountRebuildsIndex(t *testing.T) {
+	v := mustFormat(t)
+	if err := v.MkdirAll(`\x\y`, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Create(`\x\y\z.txt`, CreateOptions{Data: []byte("persist")}); err != nil {
+		t.Fatal(err)
+	}
+	img := v.SnapshotImage()
+	v2, err := Mount(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := v2.ReadFile(`\x\y\z.txt`)
+	if err != nil || string(data) != "persist" {
+		t.Errorf("remounted read = %q, err=%v", data, err)
+	}
+	if v2.FileCount() != v.FileCount() {
+		t.Errorf("FileCount after mount = %d, want %d", v2.FileCount(), v.FileCount())
+	}
+	// Mutations on the remounted volume must work too.
+	if err := v2.Create(`\x\new.txt`, CreateOptions{Data: []byte("n")}); err != nil {
+		t.Errorf("create on remounted volume: %v", err)
+	}
+}
+
+func TestDeclaredSizeAdvertisedButNotStored(t *testing.T) {
+	v := mustFormat(t)
+	if err := v.Create(`\huge.vhd`, CreateOptions{Data: []byte("hdr"), DeclaredSize: 1 << 30}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := v.Stat(`\huge.vhd`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 1<<30 {
+		t.Errorf("declared size = %d, want 1GiB", info.Size)
+	}
+	if v.UsedBytes() < 1<<30 {
+		t.Errorf("UsedBytes = %d, should include declared size", v.UsedBytes())
+	}
+	data, err := v.ReadFile(`\huge.vhd`)
+	if err != nil || string(data) != "hdr" {
+		t.Errorf("stored data = %q", data)
+	}
+}
+
+func TestNamesNTFSAllowsButWin32Restricts(t *testing.T) {
+	// NTFS itself must happily store the names the Win32 layer will later
+	// refuse — that asymmetry is a hiding technique in the paper (§2).
+	v := mustFormat(t)
+	weird := []string{`\trailing.`, `\trailing `, `\CON`, `\NUL.txt`, `\sp ace.`}
+	for _, p := range weird {
+		if err := v.Create(p, CreateOptions{Data: []byte("w")}); err != nil {
+			t.Errorf("NTFS should accept %q: %v", p, err)
+		}
+	}
+	raw, _, err := RawScan(v.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range raw {
+		for _, p := range weird {
+			if `\`+e.Name == p {
+				found++
+			}
+		}
+	}
+	if found != len(weird) {
+		t.Errorf("raw scan found %d/%d Win32-hostile names", found, len(weird))
+	}
+}
+
+func TestOrphanRecordsSurfaceInRawScan(t *testing.T) {
+	v := mustFormat(t)
+	if err := v.MkdirAll(`\dir`, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Create(`\dir\stranded.txt`, CreateOptions{Data: []byte("s")}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the parent linkage on disk: point the file at a bogus record.
+	num, err := v.resolve(`\dir\stranded.txt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := v.readRecord(num)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := rec.FileName()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn.ParentRef = FileRef(200, 9) // unused record
+	rec.attr(AttrFileName).Content = encodeFileName(fn)
+	if err := v.writeRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	raw, _, err := RawScan(v.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *RawEntry
+	for i := range raw {
+		if raw[i].Name == "stranded.txt" {
+			hit = &raw[i]
+		}
+	}
+	if hit == nil {
+		t.Fatal("orphaned record should still appear in raw scan")
+	}
+	if !hit.Orphan || !strings.HasPrefix(hit.Path, orphanPrefix) {
+		t.Errorf("orphan entry = %+v", hit)
+	}
+}
+
+func TestRunlistRoundTripProperty(t *testing.T) {
+	f := func(starts []uint32, counts []uint8) bool {
+		n := len(starts)
+		if len(counts) < n {
+			n = len(counts)
+		}
+		if n > 16 {
+			n = 16
+		}
+		runs := make([]Extent, 0, n)
+		for i := 0; i < n; i++ {
+			runs = append(runs, Extent{Start: uint64(starts[i]), Count: uint64(counts[i]%63) + 1})
+		}
+		enc := encodeRunlist(runs)
+		dec, used, err := decodeRunlist(enc)
+		if err != nil || used != len(enc) || len(dec) != len(runs) {
+			return false
+		}
+		for i := range runs {
+			if dec[i] != runs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordEncodeDecodeProperty(t *testing.T) {
+	f := func(name string, data []byte, created, modified uint64, attrs uint32, dir bool) bool {
+		runes := []rune(name)
+		if len(runes) > 40 {
+			runes = runes[:40]
+		}
+		clean := make([]rune, 0, len(runes))
+		for _, r := range runes {
+			if r != '\\' && r != 0 && r != utf16ReplacementGuard {
+				clean = append(clean, r)
+			}
+		}
+		if len(clean) == 0 {
+			clean = []rune("x")
+		}
+		if len(data) > 200 {
+			data = data[:200]
+		}
+		rec := &Record{
+			Num: 42, Seq: 3, InUse: true, Dir: dir,
+			Attrs: []Attribute{
+				{Type: AttrStandardInformation, Content: encodeStandardInformation(StandardInformation{Created: created, Modified: modified, FileAttrs: attrs})},
+				{Type: AttrFileName, Content: encodeFileName(FileName{ParentRef: FileRef(5, 1), RealSize: uint64(len(data)), Namespace: 1, Name: string(clean)})},
+				{Type: AttrData, Content: data},
+			},
+		}
+		b, err := rec.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeRecord(b, 42)
+		if err != nil || !got.InUse || got.Dir != dir || got.Seq != 3 {
+			return false
+		}
+		fn, err := got.FileName()
+		if err != nil || fn.Name != string(clean) {
+			return false
+		}
+		si, err := got.StandardInformation()
+		if err != nil || si.Created != created || si.Modified != modified || si.FileAttrs != attrs {
+			return false
+		}
+		return bytes.Equal(got.attr(AttrData).Content, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// utf16ReplacementGuard excludes runes that do not survive UTF-16
+// round-tripping (unpaired surrogates map to U+FFFD).
+const utf16ReplacementGuard = '�'
+
+func TestMFTExhaustion(t *testing.T) {
+	v, err := Format(64, 10) // 4 usable user records (6..9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	created := 0
+	for i := 0; i < 10; i++ {
+		lastErr = v.Create(fmt.Sprintf(`\f%d`, i), CreateOptions{})
+		if lastErr != nil {
+			break
+		}
+		created++
+	}
+	if created != 4 {
+		t.Errorf("created %d records, want 4", created)
+	}
+	if !errors.Is(lastErr, ErrVolumeFull) {
+		t.Errorf("exhaustion error = %v", lastErr)
+	}
+	// Freeing one record makes room again.
+	if err := v.Remove(`\f0`); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Create(`\again`, CreateOptions{}); err != nil {
+		t.Errorf("create after record free: %v", err)
+	}
+}
+
+func TestRawScanRejectsGarbageImage(t *testing.T) {
+	if _, _, err := RawScan(make([]byte, 4096)); err == nil {
+		t.Error("garbage image should not parse")
+	}
+	if _, _, err := RawScan(nil); err == nil {
+		t.Error("nil image should not parse")
+	}
+}
+
+func TestADSRoundTrip(t *testing.T) {
+	v := mustFormat(t)
+	if err := v.Create(`\host.txt`, CreateOptions{Data: []byte("innocent")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.CreateStream(`\host.txt`, "payload", []byte("MZ evil")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := v.ReadStream(`\host.txt`, "PAYLOAD")
+	if err != nil || string(data) != "MZ evil" {
+		t.Errorf("stream read = %q err %v", data, err)
+	}
+	// The main stream is untouched.
+	main, err := v.ReadFile(`\host.txt`)
+	if err != nil || string(main) != "innocent" {
+		t.Errorf("main stream = %q err %v", main, err)
+	}
+	streams, err := v.ListStreams(`\host.txt`)
+	if err != nil || len(streams) != 1 || streams[0].Name != "payload" {
+		t.Errorf("ListStreams = %+v err %v", streams, err)
+	}
+	// Replacing a stream does not duplicate it.
+	if err := v.CreateStream(`\host.txt`, "payload", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	streams, _ = v.ListStreams(`\host.txt`)
+	if len(streams) != 1 {
+		t.Errorf("replace duplicated the stream: %+v", streams)
+	}
+	if err := v.RemoveStream(`\host.txt`, "payload"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ReadStream(`\host.txt`, "payload"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("removed stream read = %v", err)
+	}
+	if err := v.RemoveStream(`\host.txt`, "nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("removing missing stream = %v", err)
+	}
+}
+
+func TestADSInvisibleToReadDirButInRawScan(t *testing.T) {
+	v := mustFormat(t)
+	if err := v.Create(`\doc.txt`, CreateOptions{Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.CreateStream(`\doc.txt`, "hidden.exe", []byte("MZ")); err != nil {
+		t.Fatal(err)
+	}
+	// Directory enumeration never mentions the stream.
+	list, err := v.ReadDir(`\`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inf := range list {
+		if strings.Contains(inf.Name, ":") {
+			t.Errorf("stream leaked into ReadDir: %s", inf.Name)
+		}
+	}
+	// The raw MFT scan surfaces it as file:stream.
+	raw, _, err := RawScan(v.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range raw {
+		if e.Stream && e.Path == `\doc.txt:hidden.exe` {
+			found = true
+			if e.Size != 2 {
+				t.Errorf("stream size = %d", e.Size)
+			}
+		}
+	}
+	if !found {
+		t.Error("raw scan missed the alternate data stream")
+	}
+}
+
+func TestADSWriteFilePreservesStreams(t *testing.T) {
+	v := mustFormat(t)
+	if err := v.Create(`\f.txt`, CreateOptions{Data: []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.CreateStream(`\f.txt`, "s", []byte("stream")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WriteFile(`\f.txt`, []byte("v2 much longer content"), 9); err != nil {
+		t.Fatal(err)
+	}
+	data, err := v.ReadStream(`\f.txt`, "s")
+	if err != nil || string(data) != "stream" {
+		t.Errorf("stream lost after WriteFile: %q err %v", data, err)
+	}
+}
+
+func TestADSSurvivesMount(t *testing.T) {
+	v := mustFormat(t)
+	if err := v.Create(`\f.txt`, CreateOptions{Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.CreateStream(`\f.txt`, "p", []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Mount(v.SnapshotImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := v2.ReadStream(`\f.txt`, "p")
+	if err != nil || string(data) != "persisted" {
+		t.Errorf("stream after mount = %q err %v", data, err)
+	}
+}
+
+func TestStreamNameValidation(t *testing.T) {
+	v := mustFormat(t)
+	if err := v.Create(`\f`, CreateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", `a\b`, "a:b"} {
+		if err := v.CreateStream(`\f`, bad, nil); err == nil {
+			t.Errorf("stream name %q should be rejected", bad)
+		}
+	}
+	if err := v.CreateStream(`\`, "s", nil); !errors.Is(err, ErrIsDir) {
+		t.Errorf("stream on directory = %v", err)
+	}
+}

@@ -1,0 +1,300 @@
+package ntfs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Record is the parsed form of one MFT FILE record.
+type Record struct {
+	Num   uint32
+	Seq   uint16
+	InUse bool
+	Dir   bool
+	Attrs []Attribute
+}
+
+// Attribute is one typed attribute within a FILE record. Resident
+// attributes carry Content; non-resident attributes carry a cluster
+// runlist and the real (byte) size of the stream. A non-empty Name on a
+// $DATA attribute makes it an Alternate Data Stream (ADS) — invisible to
+// ordinary directory enumeration, which is exactly why stealth software
+// hides payloads there (paper §6 lists ADS as future work; this
+// implementation covers it).
+type Attribute struct {
+	Type        uint32
+	Name        string
+	NonResident bool
+	Content     []byte
+	Runs        []Extent
+	RealSize    uint64
+}
+
+// StandardInformation is the decoded $STANDARD_INFORMATION content.
+type StandardInformation struct {
+	Created   uint64 // FILETIME-style 100ns ticks of virtual time
+	Modified  uint64
+	FileAttrs uint32
+}
+
+// FileName is the decoded $FILE_NAME content.
+type FileName struct {
+	ParentRef uint64 // (seq << 48) | parent record number
+	RealSize  uint64 // size the directory entry advertises
+	Namespace byte
+	Name      string
+}
+
+// FileRef packs a record number and sequence into a 64-bit file
+// reference, as NTFS does.
+func FileRef(num uint32, seq uint16) uint64 {
+	return uint64(seq)<<48 | uint64(num)
+}
+
+// SplitRef unpacks a file reference.
+func SplitRef(ref uint64) (num uint32, seq uint16) {
+	return uint32(ref & 0xFFFFFFFFFFFF), uint16(ref >> 48)
+}
+
+func encodeStandardInformation(si StandardInformation) []byte {
+	b := make([]byte, 24)
+	binary.LittleEndian.PutUint64(b[0:], si.Created)
+	binary.LittleEndian.PutUint64(b[8:], si.Modified)
+	binary.LittleEndian.PutUint32(b[16:], si.FileAttrs)
+	return b
+}
+
+func decodeStandardInformation(b []byte) (StandardInformation, error) {
+	var si StandardInformation
+	if len(b) < 24 {
+		return si, fmt.Errorf("%w: short $STANDARD_INFORMATION", ErrCorrupt)
+	}
+	si.Created = binary.LittleEndian.Uint64(b[0:])
+	si.Modified = binary.LittleEndian.Uint64(b[8:])
+	si.FileAttrs = binary.LittleEndian.Uint32(b[16:])
+	return si, nil
+}
+
+func encodeFileName(fn FileName) []byte {
+	name := encodeUTF16(fn.Name)
+	b := make([]byte, 20+len(name))
+	binary.LittleEndian.PutUint64(b[0:], fn.ParentRef)
+	binary.LittleEndian.PutUint64(b[8:], fn.RealSize)
+	binary.LittleEndian.PutUint16(b[16:], uint16(len(name)/2))
+	b[18] = fn.Namespace
+	copy(b[20:], name)
+	return b
+}
+
+func decodeFileName(b []byte) (FileName, error) {
+	var fn FileName
+	if len(b) < 20 {
+		return fn, fmt.Errorf("%w: short $FILE_NAME", ErrCorrupt)
+	}
+	fn.ParentRef = binary.LittleEndian.Uint64(b[0:])
+	fn.RealSize = binary.LittleEndian.Uint64(b[8:])
+	n := int(binary.LittleEndian.Uint16(b[16:]))
+	fn.Namespace = b[18]
+	if 20+2*n > len(b) {
+		return fn, fmt.Errorf("%w: $FILE_NAME name overruns attribute", ErrCorrupt)
+	}
+	fn.Name = decodeUTF16(b[20 : 20+2*n])
+	return fn, nil
+}
+
+const (
+	recHdrSize     = 24
+	attrResHdr     = 16
+	attrNonResHdr  = 24
+	recSeqOff      = 4
+	recLinksOff    = 6
+	recFirstAttOff = 8
+	recFlagsOff    = 10
+	recUsedOff     = 12
+	recAllocOff    = 16
+	recNumOff      = 20
+)
+
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// encodedSize returns the bytes a record would occupy, so callers can
+// check the RecordSize budget before committing a mutation.
+func (r *Record) encodedSize() int {
+	n := recHdrSize
+	for _, a := range r.Attrs {
+		name := len(encodeUTF16(a.Name))
+		if a.NonResident {
+			n += align8(attrNonResHdr + name + len(encodeRunlist(a.Runs)))
+		} else {
+			n += align8(attrResHdr + name + len(a.Content))
+		}
+	}
+	return n + 8 // terminator
+}
+
+// Encode serializes the record into a RecordSize-byte buffer.
+func (r *Record) Encode() ([]byte, error) {
+	if sz := r.encodedSize(); sz > RecordSize {
+		return nil, fmt.Errorf("%w: record %d needs %d bytes", ErrVolumeFull, r.Num, sz)
+	}
+	b := make([]byte, RecordSize)
+	copy(b, "FILE")
+	binary.LittleEndian.PutUint16(b[recSeqOff:], r.Seq)
+	binary.LittleEndian.PutUint16(b[recLinksOff:], 1)
+	binary.LittleEndian.PutUint16(b[recFirstAttOff:], recHdrSize)
+	var flags uint16
+	if r.InUse {
+		flags |= flagInUse
+	}
+	if r.Dir {
+		flags |= flagDirectory
+	}
+	binary.LittleEndian.PutUint16(b[recFlagsOff:], flags)
+	binary.LittleEndian.PutUint32(b[recAllocOff:], RecordSize)
+	binary.LittleEndian.PutUint32(b[recNumOff:], r.Num)
+
+	off := recHdrSize
+	for _, a := range r.Attrs {
+		binary.LittleEndian.PutUint32(b[off:], a.Type)
+		name := encodeUTF16(a.Name)
+		if len(name)/2 > 255 {
+			return nil, fmt.Errorf("%w: attribute name %q too long", ErrCorrupt, a.Name)
+		}
+		b[off+9] = byte(len(name) / 2)
+		if a.NonResident {
+			rl := encodeRunlist(a.Runs)
+			recLen := align8(attrNonResHdr + len(name) + len(rl))
+			binary.LittleEndian.PutUint32(b[off+4:], uint32(recLen))
+			b[off+8] = 1
+			binary.LittleEndian.PutUint32(b[off+12:], uint32(len(rl)))
+			binary.LittleEndian.PutUint64(b[off+16:], a.RealSize)
+			copy(b[off+attrNonResHdr:], name)
+			copy(b[off+attrNonResHdr+len(name):], rl)
+			off += recLen
+		} else {
+			recLen := align8(attrResHdr + len(name) + len(a.Content))
+			binary.LittleEndian.PutUint32(b[off+4:], uint32(recLen))
+			binary.LittleEndian.PutUint32(b[off+12:], uint32(len(a.Content)))
+			copy(b[off+attrResHdr:], name)
+			copy(b[off+attrResHdr+len(name):], a.Content)
+			off += recLen
+		}
+	}
+	binary.LittleEndian.PutUint32(b[off:], attrEnd)
+	binary.LittleEndian.PutUint32(b[recUsedOff:], uint32(off+8))
+	return b, nil
+}
+
+// DecodeRecord parses one RecordSize-byte FILE record. Records that were
+// never written (all zero) decode as not-in-use with no attributes.
+func DecodeRecord(b []byte, num uint32) (*Record, error) {
+	if len(b) < RecordSize {
+		return nil, fmt.Errorf("%w: short record %d", ErrCorrupt, num)
+	}
+	r := &Record{Num: num}
+	if string(b[0:4]) != "FILE" {
+		// Unused slot: all zeros is normal; anything else is corruption.
+		for _, c := range b[:recHdrSize] {
+			if c != 0 {
+				return nil, fmt.Errorf("%w: record %d has bad magic", ErrCorrupt, num)
+			}
+		}
+		return r, nil
+	}
+	r.Seq = binary.LittleEndian.Uint16(b[recSeqOff:])
+	flags := binary.LittleEndian.Uint16(b[recFlagsOff:])
+	r.InUse = flags&flagInUse != 0
+	r.Dir = flags&flagDirectory != 0
+	used := int(binary.LittleEndian.Uint32(b[recUsedOff:]))
+	if used > RecordSize {
+		return nil, fmt.Errorf("%w: record %d used size %d", ErrCorrupt, num, used)
+	}
+	off := int(binary.LittleEndian.Uint16(b[recFirstAttOff:]))
+	for {
+		if off+4 > RecordSize {
+			return nil, fmt.Errorf("%w: record %d attribute overrun", ErrCorrupt, num)
+		}
+		typ := binary.LittleEndian.Uint32(b[off:])
+		if typ == attrEnd {
+			break
+		}
+		if off+attrResHdr > RecordSize {
+			return nil, fmt.Errorf("%w: record %d attribute header overrun", ErrCorrupt, num)
+		}
+		recLen := int(binary.LittleEndian.Uint32(b[off+4:]))
+		if recLen < attrResHdr || off+recLen > RecordSize {
+			return nil, fmt.Errorf("%w: record %d attribute length %d", ErrCorrupt, num, recLen)
+		}
+		a := Attribute{Type: typ, NonResident: b[off+8] == 1}
+		nameBytes := 2 * int(b[off+9])
+		if a.NonResident {
+			if recLen < attrNonResHdr+nameBytes {
+				return nil, fmt.Errorf("%w: record %d non-resident attr too short", ErrCorrupt, num)
+			}
+			rlLen := int(binary.LittleEndian.Uint32(b[off+12:]))
+			a.RealSize = binary.LittleEndian.Uint64(b[off+16:])
+			a.Name = decodeUTF16(b[off+attrNonResHdr : off+attrNonResHdr+nameBytes])
+			rlStart := off + attrNonResHdr + nameBytes
+			if attrNonResHdr+nameBytes+rlLen > recLen {
+				return nil, fmt.Errorf("%w: record %d runlist overrun", ErrCorrupt, num)
+			}
+			runs, _, err := decodeRunlist(b[rlStart : rlStart+rlLen])
+			if err != nil {
+				return nil, err
+			}
+			a.Runs = runs
+		} else {
+			cl := int(binary.LittleEndian.Uint32(b[off+12:]))
+			if attrResHdr+nameBytes+cl > recLen {
+				return nil, fmt.Errorf("%w: record %d content overrun", ErrCorrupt, num)
+			}
+			a.Name = decodeUTF16(b[off+attrResHdr : off+attrResHdr+nameBytes])
+			start := off + attrResHdr + nameBytes
+			a.Content = append([]byte(nil), b[start:start+cl]...)
+		}
+		r.Attrs = append(r.Attrs, a)
+		off += recLen
+	}
+	return r, nil
+}
+
+// attr returns the first *unnamed* attribute of the given type, or nil.
+// For $DATA that is the file's main stream; alternate data streams are
+// the named instances (see NamedStreams).
+func (r *Record) attr(typ uint32) *Attribute {
+	for i := range r.Attrs {
+		if r.Attrs[i].Type == typ && r.Attrs[i].Name == "" {
+			return &r.Attrs[i]
+		}
+	}
+	return nil
+}
+
+// NamedStreams returns the record's alternate data streams.
+func (r *Record) NamedStreams() []Attribute {
+	var out []Attribute
+	for _, a := range r.Attrs {
+		if a.Type == AttrData && a.Name != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// StandardInformation decodes the record's $STANDARD_INFORMATION.
+func (r *Record) StandardInformation() (StandardInformation, error) {
+	a := r.attr(AttrStandardInformation)
+	if a == nil {
+		return StandardInformation{}, fmt.Errorf("%w: record %d missing $STANDARD_INFORMATION", ErrCorrupt, r.Num)
+	}
+	return decodeStandardInformation(a.Content)
+}
+
+// FileName decodes the record's $FILE_NAME.
+func (r *Record) FileName() (FileName, error) {
+	a := r.attr(AttrFileName)
+	if a == nil {
+		return FileName{}, fmt.Errorf("%w: record %d missing $FILE_NAME", ErrCorrupt, r.Num)
+	}
+	return decodeFileName(a.Content)
+}

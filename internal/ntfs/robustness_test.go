@@ -1,0 +1,97 @@
+package ntfs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildPopulatedImage returns a volume image with a realistic tree.
+func buildPopulatedImage(t *testing.T) []byte {
+	t.Helper()
+	v := mustFormat(t)
+	if err := v.MkdirAll(`\windows\system32`, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		name := `\windows\system32\f` + string(rune('a'+i%26)) + ".dll"
+		if i%7 == 0 {
+			name = `\windows\f` + string(rune('a'+i%26))
+		}
+		if v.Exists(name) {
+			continue
+		}
+		if err := v.Create(name, CreateOptions{Data: []byte("MZ")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.CreateStream(`\windows\system32\fa.dll`, "s", []byte("ads")); err != nil {
+		t.Fatal(err)
+	}
+	return v.SnapshotImage()
+}
+
+// TestRawScanSurvivesRandomCorruption: a hostile disk must never panic
+// the scanner; it may return an error or a partial result, but it must
+// return. (Ghostware with disk access could corrupt structures
+// specifically to crash the scanner.)
+func TestRawScanSurvivesRandomCorruption(t *testing.T) {
+	base := buildPopulatedImage(t)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		img := append([]byte(nil), base...)
+		// Flip a burst of random bytes.
+		for i := 0; i < 1+rng.Intn(64); i++ {
+			img[rng.Intn(len(img))] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: RawScan panicked: %v", trial, r)
+				}
+			}()
+			_, _, _ = RawScan(img)
+			_, _ = ScanDeleted(img)
+		}()
+	}
+}
+
+// TestRawScanSurvivesTruncation: every possible truncation point.
+func TestRawScanSurvivesTruncation(t *testing.T) {
+	base := buildPopulatedImage(t)
+	for _, cut := range []int{0, 1, BytesPerSector - 1, BytesPerSector, ClusterSize, len(base) / 2, len(base) - 1} {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("cut %d: panicked: %v", cut, r)
+				}
+			}()
+			_, _, _ = RawScan(base[:cut])
+		}()
+	}
+}
+
+// TestMountSurvivesCorruption: mounting a damaged image must error or
+// succeed, never panic, and a successful mount must stay usable.
+func TestMountSurvivesCorruption(t *testing.T) {
+	base := buildPopulatedImage(t)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		img := append([]byte(nil), base...)
+		for i := 0; i < 1+rng.Intn(16); i++ {
+			img[rng.Intn(len(img))] ^= 1 << uint(rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: Mount panicked: %v", trial, r)
+				}
+			}()
+			v, err := Mount(img)
+			if err != nil {
+				return
+			}
+			_, _ = v.ReadDir(`\`)
+			_ = v.Exists(`\windows`)
+		}()
+	}
+}

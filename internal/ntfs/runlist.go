@@ -1,0 +1,98 @@
+package ntfs
+
+import "fmt"
+
+// Extent is one contiguous run of clusters.
+type Extent struct {
+	Start uint64 // first LCN
+	Count uint64 // clusters
+}
+
+// encodeRunlist serializes extents in the NTFS runlist encoding: each run
+// is a header byte whose low nibble gives the byte width of the length
+// field and whose high nibble gives the byte width of the signed LCN
+// delta field, followed by those fields little-endian. A zero header byte
+// terminates the list.
+func encodeRunlist(runs []Extent) []byte {
+	var out []byte
+	prev := int64(0)
+	for _, r := range runs {
+		lenBytes := intWidth(int64(r.Count))
+		delta := int64(r.Start) - prev
+		offBytes := intWidth(delta)
+		out = append(out, byte(offBytes<<4|lenBytes))
+		out = appendLE(out, int64(r.Count), lenBytes)
+		out = appendLE(out, delta, offBytes)
+		prev = int64(r.Start)
+	}
+	return append(out, 0)
+}
+
+// decodeRunlist parses a runlist, returning the extents and the number of
+// bytes consumed (including the terminator).
+func decodeRunlist(b []byte) ([]Extent, int, error) {
+	var runs []Extent
+	prev := int64(0)
+	i := 0
+	for {
+		if i >= len(b) {
+			return nil, 0, fmt.Errorf("%w: unterminated runlist", ErrCorrupt)
+		}
+		hdr := b[i]
+		i++
+		if hdr == 0 {
+			return runs, i, nil
+		}
+		lenBytes := int(hdr & 0xF)
+		offBytes := int(hdr >> 4)
+		if lenBytes == 0 || lenBytes > 8 || offBytes > 8 || i+lenBytes+offBytes > len(b) {
+			return nil, 0, fmt.Errorf("%w: bad runlist header %#x", ErrCorrupt, hdr)
+		}
+		count := readUnsignedLE(b[i : i+lenBytes])
+		i += lenBytes
+		delta := readSignedLE(b[i : i+offBytes])
+		i += offBytes
+		start := prev + delta
+		if start < 0 || count == 0 {
+			return nil, 0, fmt.Errorf("%w: negative LCN or empty run", ErrCorrupt)
+		}
+		runs = append(runs, Extent{Start: uint64(start), Count: count})
+		prev = start
+	}
+}
+
+// intWidth returns the minimum number of bytes needed to represent v as a
+// little-endian signed integer.
+func intWidth(v int64) int {
+	for n := 1; n < 8; n++ {
+		limit := int64(1) << uint(8*n-1)
+		if v >= -limit && v < limit {
+			return n
+		}
+	}
+	return 8
+}
+
+func appendLE(out []byte, v int64, n int) []byte {
+	for i := 0; i < n; i++ {
+		out = append(out, byte(v>>(8*i)))
+	}
+	return out
+}
+
+func readUnsignedLE(b []byte) uint64 {
+	var v uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func readSignedLE(b []byte) int64 {
+	v := readUnsignedLE(b)
+	bits := uint(8 * len(b))
+	if bits < 64 && v&(1<<(bits-1)) != 0 {
+		v |= ^uint64(0) << bits // sign-extend
+	}
+	return int64(v)
+}

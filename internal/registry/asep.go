@@ -1,0 +1,180 @@
+package registry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ASEPKind distinguishes how hooks attach at a location.
+type ASEPKind int
+
+// ASEP attachment shapes.
+const (
+	// ASEPValues: each value under the key is one hook (Run keys).
+	ASEPValues ASEPKind = iota + 1
+	// ASEPSubkeys: each subkey is one hook, its launch target read from
+	// a well-known value (Services → ImagePath, BHO → InprocServer32).
+	ASEPSubkeys
+	// ASEPNamedValue: a single well-known value whose data is the hook
+	// (AppInit_DLLs, Winlogon Shell/Userinit).
+	ASEPNamedValue
+)
+
+// ASEP describes one Auto-Start Extensibility Point [WRV+04].
+type ASEP struct {
+	Name        string
+	KeyPath     string
+	Kind        ASEPKind
+	ValueName   string // for ASEPNamedValue
+	TargetValue string // for ASEPSubkeys: value naming the started image
+	Description string
+}
+
+// StandardASEPs returns the catalog GhostBuster scans — the Registry
+// locations the paper names (§3) plus the common Winlogon points.
+func StandardASEPs() []ASEP {
+	return []ASEP{
+		{
+			Name:        "Services",
+			KeyPath:     `HKLM\SYSTEM\CurrentControlSet\Services`,
+			Kind:        ASEPSubkeys,
+			TargetValue: "ImagePath",
+			Description: "auto-starting drivers and services",
+		},
+		{
+			Name:        "Run",
+			KeyPath:     `HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Run`,
+			Kind:        ASEPValues,
+			Description: "auto-starting processes",
+		},
+		{
+			Name:        "RunOnce",
+			KeyPath:     `HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\RunOnce`,
+			Kind:        ASEPValues,
+			Description: "single-shot auto-start",
+		},
+		{
+			Name:        "UserRun",
+			KeyPath:     `HKU\.DEFAULT\Software\Microsoft\Windows\CurrentVersion\Run`,
+			Kind:        ASEPValues,
+			Description: "per-user auto-starting processes",
+		},
+		{
+			Name:        "AppInit_DLLs",
+			KeyPath:     `HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion\Windows`,
+			Kind:        ASEPNamedValue,
+			ValueName:   "AppInit_DLLs",
+			Description: "DLLs loaded into every process that loads User32.dll [AID]",
+		},
+		{
+			Name:        "WinlogonShell",
+			KeyPath:     `HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion\Winlogon`,
+			Kind:        ASEPNamedValue,
+			ValueName:   "Shell",
+			Description: "shell replacement",
+		},
+		{
+			Name:        "WinlogonUserinit",
+			KeyPath:     `HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion\Winlogon`,
+			Kind:        ASEPNamedValue,
+			ValueName:   "Userinit",
+			Description: "logon initialization program",
+		},
+		{
+			Name:        "BHO",
+			KeyPath:     `HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Explorer\Browser Helper Objects`,
+			Kind:        ASEPSubkeys,
+			TargetValue: "DllPath",
+			Description: "DLLs auto-loaded into Internet Explorer",
+		},
+	}
+}
+
+// Hook is one concrete ASEP hook: a Registry entry that causes code to
+// run automatically. Its identity (ID) is what cross-view diffs compare.
+type Hook struct {
+	ASEP      string // catalog entry name
+	KeyPath   string // full key holding the hook
+	ValueName string // value naming/launching the hooked code ("" for key-only)
+	Data      string // launch target (image path, DLL list, command line)
+}
+
+// ID returns the canonical identity used in diffs: key path plus value
+// name, upper-cased. Embedded NULs are preserved — two names differing
+// only past a NUL are different hooks.
+func (h Hook) ID() string {
+	return strings.ToUpper(h.KeyPath) + " -> " + strings.ToUpper(h.ValueName)
+}
+
+// String renders the hook the way Figure 4 prints them.
+func (h Hook) String() string {
+	name := strings.ReplaceAll(h.ValueName, "\x00", `\0`)
+	if h.Data != "" {
+		return fmt.Sprintf("%s\\%s -> %s", h.KeyPath, name, h.Data)
+	}
+	return fmt.Sprintf("%s\\%s", h.KeyPath, name)
+}
+
+// KeyView is a point-in-time view of one key, as some scanner sees it.
+type KeyView struct {
+	Subkeys []string
+	Values  []ValueView
+}
+
+// ValueView is one value as some scanner sees it.
+type ValueView struct {
+	Name string
+	Data string
+}
+
+// QueryFunc answers "what does this key contain?" from a particular
+// vantage point: the Win32 chain (high level), the Native chain, a raw
+// hive parse (low level), or a WinPE mount (outside). CollectHooks is
+// agnostic to which.
+type QueryFunc func(keyPath string) (KeyView, error)
+
+// CollectHooks walks the ASEP catalog through q and returns every hook
+// visible from that vantage point. Missing catalog keys are skipped (a
+// stock machine may not have every ASEP populated).
+func CollectHooks(q QueryFunc, catalog []ASEP) ([]Hook, error) {
+	var out []Hook
+	for _, a := range catalog {
+		view, err := q(a.KeyPath)
+		if err != nil {
+			continue // key absent from this view
+		}
+		switch a.Kind {
+		case ASEPValues:
+			for _, v := range view.Values {
+				out = append(out, Hook{ASEP: a.Name, KeyPath: a.KeyPath, ValueName: v.Name, Data: v.Data})
+			}
+		case ASEPSubkeys:
+			for _, sub := range view.Subkeys {
+				subPath := a.KeyPath + `\` + sub
+				subView, err := q(subPath)
+				if err != nil {
+					// The subkey was listed but cannot be opened — count
+					// the key itself as a hook with unknown target.
+					out = append(out, Hook{ASEP: a.Name, KeyPath: subPath})
+					continue
+				}
+				data := ""
+				for _, v := range subView.Values {
+					if strings.EqualFold(v.Name, a.TargetValue) {
+						data = v.Data
+					}
+				}
+				out = append(out, Hook{ASEP: a.Name, KeyPath: subPath, ValueName: a.TargetValue, Data: data})
+			}
+		case ASEPNamedValue:
+			for _, v := range view.Values {
+				if strings.EqualFold(v.Name, a.ValueName) && v.Data != "" {
+					out = append(out, Hook{ASEP: a.Name, KeyPath: a.KeyPath, ValueName: v.Name, Data: v.Data})
+				}
+			}
+		default:
+			return nil, fmt.Errorf("registry: unknown ASEP kind %d", a.Kind)
+		}
+	}
+	return out, nil
+}

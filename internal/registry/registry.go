@@ -1,0 +1,187 @@
+// Package registry provides the Windows Registry façade over hive files:
+// root-to-hive mounting and full-path operations (the configuration
+// manager role), plus the Auto-Start Extensibility Point (ASEP) catalog
+// that GhostBuster's Registry scans target.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ghostbuster/internal/hive"
+)
+
+// Standard hive mount points.
+const (
+	RootSoftware = `HKLM\SOFTWARE`
+	RootSystem   = `HKLM\SYSTEM`
+	RootUser     = `HKU\.DEFAULT` // stands in for the per-user ntuser.dat hive
+)
+
+// ErrNoHive reports a path that does not fall under any mounted hive.
+var ErrNoHive = errors.New("registry: path not under a mounted hive")
+
+// Registry is a set of mounted hives addressed by full key paths such as
+// "HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Run".
+type Registry struct {
+	mounts map[string]*hive.Hive // upper-cased root -> hive
+	roots  []string              // display-cased, sorted long-to-short for matching
+}
+
+// New creates a registry with the three standard hives mounted and the
+// well-known key skeleton created.
+func New() (*Registry, error) {
+	r := &Registry{mounts: map[string]*hive.Hive{}}
+	r.Mount(RootSoftware, hive.New("SOFTWARE"))
+	r.Mount(RootSystem, hive.New("SYSTEM"))
+	r.Mount(RootUser, hive.New("NTUSER.DAT"))
+	skeleton := []string{
+		`HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Run`,
+		`HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\RunOnce`,
+		`HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Explorer\Browser Helper Objects`,
+		`HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion\Windows`,
+		`HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion\Winlogon`,
+		`HKLM\SYSTEM\CurrentControlSet\Services`,
+		`HKLM\SYSTEM\CurrentControlSet\Control`,
+		`HKU\.DEFAULT\Software\Microsoft\Windows\CurrentVersion\Run`,
+	}
+	for _, k := range skeleton {
+		if err := r.CreateKey(k); err != nil {
+			return nil, err
+		}
+	}
+	// AppInit_DLLs exists (empty) on a stock system.
+	if err := r.SetValue(`HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion\Windows`, hive.StringValue("AppInit_DLLs", "")); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Mount attaches a hive at root, replacing any previous mount.
+func (r *Registry) Mount(root string, h *hive.Hive) {
+	key := strings.ToUpper(root)
+	if _, exists := r.mounts[key]; !exists {
+		r.roots = append(r.roots, root)
+		sort.Slice(r.roots, func(i, j int) bool { return len(r.roots[i]) > len(r.roots[j]) })
+	}
+	r.mounts[key] = h
+}
+
+// Unmount detaches the hive at root.
+func (r *Registry) Unmount(root string) {
+	key := strings.ToUpper(root)
+	delete(r.mounts, key)
+	for i, existing := range r.roots {
+		if strings.ToUpper(existing) == key {
+			r.roots = append(r.roots[:i], r.roots[i+1:]...)
+			return
+		}
+	}
+}
+
+// Roots returns the mounted root paths.
+func (r *Registry) Roots() []string {
+	return append([]string(nil), r.roots...)
+}
+
+// HiveAt returns the hive mounted at root.
+func (r *Registry) HiveAt(root string) (*hive.Hive, bool) {
+	h, ok := r.mounts[strings.ToUpper(root)]
+	return h, ok
+}
+
+// Resolve splits a full key path into its mounted hive and the
+// hive-relative subpath.
+func (r *Registry) Resolve(keyPath string) (*hive.Hive, string, error) {
+	up := strings.ToUpper(keyPath)
+	for _, root := range r.roots {
+		upRoot := strings.ToUpper(root)
+		if up == upRoot {
+			return r.mounts[upRoot], "", nil
+		}
+		if strings.HasPrefix(up, upRoot+`\`) {
+			return r.mounts[upRoot], keyPath[len(root)+1:], nil
+		}
+	}
+	return nil, "", fmt.Errorf("%w: %s", ErrNoHive, keyPath)
+}
+
+// CreateKey creates a key (and intermediates) at a full path.
+func (r *Registry) CreateKey(keyPath string) error {
+	h, sub, err := r.Resolve(keyPath)
+	if err != nil {
+		return err
+	}
+	return h.CreateKey(sub)
+}
+
+// KeyExists reports whether the full key path resolves.
+func (r *Registry) KeyExists(keyPath string) bool {
+	h, sub, err := r.Resolve(keyPath)
+	if err != nil {
+		return false
+	}
+	return h.KeyExists(sub)
+}
+
+// SetValue sets a value at a full key path.
+func (r *Registry) SetValue(keyPath string, v hive.Value) error {
+	h, sub, err := r.Resolve(keyPath)
+	if err != nil {
+		return err
+	}
+	return h.SetValue(sub, v)
+}
+
+// SetString sets a REG_SZ value at a full key path.
+func (r *Registry) SetString(keyPath, name, data string) error {
+	return r.SetValue(keyPath, hive.StringValue(name, data))
+}
+
+// GetValue reads a value at a full key path.
+func (r *Registry) GetValue(keyPath, name string) (hive.Value, error) {
+	h, sub, err := r.Resolve(keyPath)
+	if err != nil {
+		return hive.Value{}, err
+	}
+	return h.GetValue(sub, name)
+}
+
+// DeleteValue removes a value at a full key path.
+func (r *Registry) DeleteValue(keyPath, name string) error {
+	h, sub, err := r.Resolve(keyPath)
+	if err != nil {
+		return err
+	}
+	return h.DeleteValue(sub, name)
+}
+
+// DeleteKeyTree removes a key and its descendants at a full path.
+func (r *Registry) DeleteKeyTree(keyPath string) error {
+	h, sub, err := r.Resolve(keyPath)
+	if err != nil {
+		return err
+	}
+	return h.DeleteKeyTree(sub)
+}
+
+// EnumKeys lists subkey names at a full path. This is the configuration
+// manager's direct answer — the base of the hookable chain.
+func (r *Registry) EnumKeys(keyPath string) ([]string, error) {
+	h, sub, err := r.Resolve(keyPath)
+	if err != nil {
+		return nil, err
+	}
+	return h.EnumKeys(sub)
+}
+
+// EnumValues lists values at a full path.
+func (r *Registry) EnumValues(keyPath string) ([]hive.Value, error) {
+	h, sub, err := r.Resolve(keyPath)
+	if err != nil {
+		return nil, err
+	}
+	return h.EnumValues(sub)
+}

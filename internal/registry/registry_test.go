@@ -1,0 +1,219 @@
+package registry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ghostbuster/internal/hive"
+)
+
+func mustRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r, err := New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return r
+}
+
+func TestStandardSkeleton(t *testing.T) {
+	r := mustRegistry(t)
+	wantKeys := []string{
+		`HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Run`,
+		`HKLM\SYSTEM\CurrentControlSet\Services`,
+		`HKU\.DEFAULT\Software\Microsoft\Windows\CurrentVersion\Run`,
+	}
+	for _, k := range wantKeys {
+		if !r.KeyExists(k) {
+			t.Errorf("missing skeleton key %s", k)
+		}
+	}
+	v, err := r.GetValue(`HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion\Windows`, "AppInit_DLLs")
+	if err != nil || v.String() != "" {
+		t.Errorf("AppInit_DLLs = %q, err %v", v.String(), err)
+	}
+}
+
+func TestResolveMatchesLongestRoot(t *testing.T) {
+	r := mustRegistry(t)
+	h, sub, err := r.Resolve(`HKLM\SOFTWARE\Microsoft`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() != "SOFTWARE" || sub != "Microsoft" {
+		t.Errorf("Resolve = %s %q", h.Name(), sub)
+	}
+	h, sub, err = r.Resolve(`hklm\system\CurrentControlSet`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() != "SYSTEM" || sub != "CurrentControlSet" {
+		t.Errorf("case-insensitive Resolve = %s %q", h.Name(), sub)
+	}
+	if _, _, err := r.Resolve(`HKCR\clsid`); !errors.Is(err, ErrNoHive) {
+		t.Errorf("unmounted root = %v", err)
+	}
+}
+
+func TestFullPathOperations(t *testing.T) {
+	r := mustRegistry(t)
+	key := `HKLM\SYSTEM\CurrentControlSet\Services\HackerDefender100`
+	if err := r.CreateKey(key); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetString(key, "ImagePath", `C:\hxdef\hxdef100.exe`); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.GetValue(key, "imagepath")
+	if err != nil || v.String() != `C:\hxdef\hxdef100.exe` {
+		t.Errorf("GetValue = %q err %v", v.String(), err)
+	}
+	keys, err := r.EnumKeys(`HKLM\SYSTEM\CurrentControlSet\Services`)
+	if err != nil || len(keys) != 1 {
+		t.Errorf("EnumKeys = %v err %v", keys, err)
+	}
+	if err := r.DeleteValue(key, "ImagePath"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DeleteKeyTree(key); err != nil {
+		t.Fatal(err)
+	}
+	if r.KeyExists(key) {
+		t.Error("key should be gone")
+	}
+}
+
+func TestMountUnmount(t *testing.T) {
+	r := mustRegistry(t)
+	extra := hive.New("MOUNTED")
+	r.Mount(`HKLM\MOUNTED`, extra)
+	if err := r.CreateKey(`HKLM\MOUNTED\sub`); err != nil {
+		t.Fatal(err)
+	}
+	if !r.KeyExists(`HKLM\MOUNTED\sub`) {
+		t.Error("mounted hive not reachable")
+	}
+	r.Unmount(`HKLM\MOUNTED`)
+	if r.KeyExists(`HKLM\MOUNTED\sub`) {
+		t.Error("unmounted hive still reachable")
+	}
+	if len(r.Roots()) != 3 {
+		t.Errorf("roots = %v", r.Roots())
+	}
+}
+
+// regQuery adapts a Registry directly to a QueryFunc (an unhooked,
+// configuration-manager-level vantage point for tests).
+func regQuery(r *Registry) QueryFunc {
+	return func(keyPath string) (KeyView, error) {
+		subs, err := r.EnumKeys(keyPath)
+		if err != nil {
+			return KeyView{}, err
+		}
+		vals, err := r.EnumValues(keyPath)
+		if err != nil {
+			return KeyView{}, err
+		}
+		view := KeyView{Subkeys: subs}
+		for _, v := range vals {
+			view.Values = append(view.Values, ValueView{Name: v.Name, Data: v.String()})
+		}
+		return view, nil
+	}
+}
+
+func TestCollectHooksAllKinds(t *testing.T) {
+	r := mustRegistry(t)
+	// Service hook (subkey kind).
+	svc := `HKLM\SYSTEM\CurrentControlSet\Services\Vanquish`
+	if err := r.CreateKey(svc); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetString(svc, "ImagePath", `C:\WINDOWS\vanquish.exe`); err != nil {
+		t.Fatal(err)
+	}
+	// Run hook (values kind).
+	if err := r.SetString(`HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Run`, "probot", `C:\WINDOWS\system32\pb.exe`); err != nil {
+		t.Fatal(err)
+	}
+	// AppInit hook (named value kind).
+	if err := r.SetString(`HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion\Windows`, "AppInit_DLLs", "msvsres.dll"); err != nil {
+		t.Fatal(err)
+	}
+	hooks, err := CollectHooks(regQuery(r), StandardASEPs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byASEP := map[string][]Hook{}
+	for _, h := range hooks {
+		byASEP[h.ASEP] = append(byASEP[h.ASEP], h)
+	}
+	if len(byASEP["Services"]) != 1 || byASEP["Services"][0].Data != `C:\WINDOWS\vanquish.exe` {
+		t.Errorf("Services hooks = %+v", byASEP["Services"])
+	}
+	if len(byASEP["Run"]) != 1 || byASEP["Run"][0].ValueName != "probot" {
+		t.Errorf("Run hooks = %+v", byASEP["Run"])
+	}
+	if len(byASEP["AppInit_DLLs"]) != 1 || byASEP["AppInit_DLLs"][0].Data != "msvsres.dll" {
+		t.Errorf("AppInit hooks = %+v", byASEP["AppInit_DLLs"])
+	}
+	// Empty AppInit_DLLs must NOT count as a hook (stock machines have
+	// the empty value).
+	if err := r.SetString(`HKLM\SOFTWARE\Microsoft\Windows NT\CurrentVersion\Windows`, "AppInit_DLLs", ""); err != nil {
+		t.Fatal(err)
+	}
+	hooks, err = CollectHooks(regQuery(r), StandardASEPs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hooks {
+		if h.ASEP == "AppInit_DLLs" {
+			t.Error("empty AppInit_DLLs should not be a hook")
+		}
+	}
+}
+
+func TestCollectHooksSkipsMissingKeys(t *testing.T) {
+	r := mustRegistry(t)
+	if err := r.DeleteKeyTree(`HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\RunOnce`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CollectHooks(regQuery(r), StandardASEPs()); err != nil {
+		t.Errorf("missing catalog key should be skipped, got %v", err)
+	}
+}
+
+func TestHookIDAndString(t *testing.T) {
+	h := Hook{ASEP: "Run", KeyPath: `HKLM\SOFTWARE\...\Run`, ValueName: "evil\x00hidden", Data: "evil.exe"}
+	if !strings.Contains(h.String(), `\0`) {
+		t.Errorf("String should escape NULs: %q", h.String())
+	}
+	h2 := h
+	h2.ValueName = "evil"
+	if h.ID() == h2.ID() {
+		t.Error("NUL-differing names must have distinct IDs")
+	}
+	if h.ID() != strings.ToUpper(h.ID()) {
+		t.Error("ID should be case-folded")
+	}
+}
+
+func TestUnopenableSubkeyStillCountsAsHook(t *testing.T) {
+	// A service subkey that is listed but cannot be opened (e.g. the
+	// ghostware filters the open) must still surface as a hook.
+	q := func(keyPath string) (KeyView, error) {
+		if strings.HasSuffix(keyPath, "Services") {
+			return KeyView{Subkeys: []string{"Locked"}}, nil
+		}
+		return KeyView{}, errors.New("access denied")
+	}
+	catalog := []ASEP{{Name: "Services", KeyPath: `HKLM\SYSTEM\CurrentControlSet\Services`, Kind: ASEPSubkeys, TargetValue: "ImagePath"}}
+	hooks, err := CollectHooks(q, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hooks) != 1 || !strings.HasSuffix(hooks[0].KeyPath, "Locked") {
+		t.Errorf("hooks = %+v", hooks)
+	}
+}

@@ -1,0 +1,88 @@
+package unixfs
+
+import (
+	"sort"
+	"strings"
+)
+
+// This file implements the two classic Unix detection baselines the
+// paper cites: the "ls vs echo *" comparison [B99] and a
+// chkrootkit-style known-path checker [YC].
+
+// EchoGlob models the shell built-in `echo *` expansion: the shell reads
+// the directory itself through the getdents syscall — it never executes
+// /bin/ls. Comparing its output with ls output detects a *trojanized
+// ls* (T0rnkit), because the two programs disagree; but an LKM rootkit
+// hooks the syscall both programs share, so the comparison stays silent
+// (the paper's point: you must compare across *levels*, not across
+// *programs at the same level*).
+func (m *Machine) EchoGlob(dir string) ([]string, error) {
+	entries, err := m.Getdents(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(entries))
+	prefix := strings.TrimSuffix(dir, "/")
+	for _, e := range entries {
+		out = append(out, prefix+"/"+e.Name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// LsVsEcho runs the [B99] check over one directory: entries `echo *`
+// sees that `ls` does not.
+func (m *Machine) LsVsEcho(dir string) ([]string, error) {
+	glob, err := m.EchoGlob(dir)
+	if err != nil {
+		return nil, err
+	}
+	// ls on a single directory (non-recursive): same pipeline LS uses.
+	entries, err := m.Getdents(dir)
+	if err != nil {
+		return nil, err
+	}
+	if m.lsTrojan != nil {
+		entries = m.lsTrojan(m, dir, entries)
+	}
+	lsSet := map[string]bool{}
+	prefix := strings.TrimSuffix(dir, "/")
+	for _, e := range entries {
+		lsSet[prefix+"/"+e.Name] = true
+	}
+	var hidden []string
+	for _, p := range glob {
+		if !lsSet[p] {
+			hidden = append(hidden, p)
+		}
+	}
+	return hidden, nil
+}
+
+// KnownRootkitPaths are the filesystem locations a chkrootkit-style
+// scanner probes for known rootkits. Probing is a *targeted lookup*, not
+// an enumeration — which matters: getdents hooks filter listings, but a
+// direct lookup of an exact path still succeeds on most LKM rootkits
+// (they rarely hook every path-resolution syscall).
+var KnownRootkitPaths = []string{
+	"/usr/src/.puta",     // T0rnkit
+	"/usr/lib/.darkside", // Darkside
+	"/sbin/superkit",     // Superkit
+	"/usr/lib/.syn",      // Synapsis
+	"/dev/ptyp",          // generic
+	"/usr/share/.zk",     // generic
+}
+
+// ChkrootkitScan probes the known paths and returns hits. Like the real
+// tool, it only knows rootkits someone has already catalogued — a new
+// rootkit with fresh paths is invisible to it, while the cross-view diff
+// needs no signatures at all.
+func (m *Machine) ChkrootkitScan() []string {
+	var hits []string
+	for _, p := range KnownRootkitPaths {
+		if m.FS.Exists(p) {
+			hits = append(hits, p)
+		}
+	}
+	return hits
+}

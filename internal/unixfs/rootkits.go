@@ -1,0 +1,121 @@
+package unixfs
+
+import "strings"
+
+// This file models the Unix rootkits of §5: Darkside 0.2.3 (FreeBSD),
+// Superkit and Synapsis (Linux LKM), and T0rnkit (trojanized binaries).
+
+// Rootkit describes one installed Unix rootkit and its ground truth.
+type Rootkit struct {
+	Name        string
+	Kind        string // "LKM" or "trojan binaries"
+	HiddenPaths []string
+}
+
+func hideByFragment(owner, fragment string) GetdentsFilter {
+	return GetdentsFilter{
+		Owner: owner,
+		Filter: func(dir string, entries []Dirent) []Dirent {
+			out := entries[:0:0]
+			for _, e := range entries {
+				if strings.Contains(strings.ToLower(e.Name), strings.ToLower(fragment)) {
+					continue
+				}
+				out = append(out, e)
+			}
+			return out
+		},
+	}
+}
+
+// InstallDarkside installs Darkside 0.2.3 for FreeBSD: an LKM hooking
+// getdents to hide its ".darkside" tree.
+func InstallDarkside(m *Machine) (*Rootkit, error) {
+	paths := []string{
+		"/usr/lib/.darkside",
+		"/usr/lib/.darkside/ds",
+		"/usr/lib/.darkside/ds.conf",
+	}
+	if err := m.FS.MkdirAll(paths[0]); err != nil {
+		return nil, err
+	}
+	for _, p := range paths[1:] {
+		if err := m.FS.WriteFile(p, []byte("darkside")); err != nil {
+			return nil, err
+		}
+	}
+	m.InstallLKM(hideByFragment("Darkside", ".darkside"))
+	return &Rootkit{Name: "Darkside 0.2.3", Kind: "LKM", HiddenPaths: paths}, nil
+}
+
+// InstallSuperkit installs the Superkit Linux rootkit: LKM getdents
+// hook hiding its "superkit" files.
+func InstallSuperkit(m *Machine) (*Rootkit, error) {
+	paths := []string{
+		"/sbin/superkit",
+		"/usr/lib/superkit.ko",
+		"/var/superkit.log",
+	}
+	for _, p := range paths {
+		if err := m.FS.WriteFile(p, []byte("superkit")); err != nil {
+			return nil, err
+		}
+	}
+	m.InstallLKM(hideByFragment("Superkit", "superkit"))
+	return &Rootkit{Name: "Superkit", Kind: "LKM", HiddenPaths: paths}, nil
+}
+
+// InstallSynapsis installs the Synapsis Linux rootkit: LKM getdents
+// hook hiding its ".syn" dotfiles.
+func InstallSynapsis(m *Machine) (*Rootkit, error) {
+	paths := []string{
+		"/usr/lib/.syn",
+		"/usr/lib/.syn/synapsis",
+		"/usr/lib/.syn/net",
+	}
+	if err := m.FS.MkdirAll(paths[0]); err != nil {
+		return nil, err
+	}
+	for _, p := range paths[1:] {
+		if err := m.FS.WriteFile(p, []byte("synapsis")); err != nil {
+			return nil, err
+		}
+	}
+	m.InstallLKM(hideByFragment("Synapsis", ".syn"))
+	return &Rootkit{Name: "Synapsis", Kind: "LKM", HiddenPaths: paths}, nil
+}
+
+// InstallT0rnkit installs the T0rnkit rootkit, which "replaces OS
+// utility programs with trojanized versions": the kernel stays clean,
+// but /bin/ls itself filters out the rootkit's files.
+func InstallT0rnkit(m *Machine) (*Rootkit, error) {
+	paths := []string{
+		"/usr/src/.puta",
+		"/usr/src/.puta/t0rns",
+		"/usr/src/.puta/t0rnsb",
+		"/usr/src/.puta/t0rnp",
+	}
+	if err := m.FS.MkdirAll(paths[0]); err != nil {
+		return nil, err
+	}
+	for _, p := range paths[1:] {
+		if err := m.FS.WriteFile(p, []byte("t0rn")); err != nil {
+			return nil, err
+		}
+	}
+	trojan := func(m *Machine, dir string, entries []Dirent) []Dirent {
+		out := entries[:0:0]
+		for _, e := range entries {
+			low := strings.ToLower(e.Name)
+			if strings.Contains(low, ".puta") || strings.Contains(low, "t0rn") {
+				continue
+			}
+			out = append(out, e)
+		}
+		return out
+	}
+	if err := m.TrojanizeLS([]byte("ELF trojaned ls (t0rn)"), trojan); err != nil {
+		return nil, err
+	}
+	return &Rootkit{Name: "T0rnkit", Kind: "trojan binaries", HiddenPaths: paths}, nil
+}

@@ -1,0 +1,400 @@
+// Package unixfs implements the §5 Linux/Unix side of the paper: a
+// simple inode filesystem, a hookable getdents syscall (what LKM
+// rootkits intercept), a replaceable /bin/ls (what T0rnkit trojanizes),
+// always-running daemons (the false-positive source), and the clean
+// bootable-CD scan. The same cross-view diff catches Darkside, Superkit,
+// Synapsis and T0rnkit.
+package unixfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ghostbuster/internal/vtime"
+)
+
+// ErrNotFound reports a missing path.
+var ErrNotFound = errors.New("unixfs: not found")
+
+// ErrNotDir reports a non-directory path component.
+var ErrNotDir = errors.New("unixfs: not a directory")
+
+type inode struct {
+	name     string
+	dir      bool
+	data     []byte
+	children map[string]*inode
+}
+
+// FS is the in-memory Unix filesystem. The inode tree is the truth.
+type FS struct {
+	root *inode
+}
+
+// NewFS returns an empty filesystem.
+func NewFS() *FS {
+	return &FS{root: &inode{name: "/", dir: true, children: map[string]*inode{}}}
+}
+
+func splitPath(path string) []string {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return nil
+	}
+	return strings.Split(path, "/")
+}
+
+func (f *FS) lookup(path string) (*inode, error) {
+	cur := f.root
+	for _, comp := range splitPath(path) {
+		if !cur.dir {
+			return nil, fmt.Errorf("%w: %s", ErrNotDir, path)
+		}
+		next, ok := cur.children[comp]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// MkdirAll creates a directory and parents.
+func (f *FS) MkdirAll(path string) error {
+	cur := f.root
+	for _, comp := range splitPath(path) {
+		next, ok := cur.children[comp]
+		if !ok {
+			next = &inode{name: comp, dir: true, children: map[string]*inode{}}
+			cur.children[comp] = next
+		}
+		if !next.dir {
+			return fmt.Errorf("%w: %s", ErrNotDir, path)
+		}
+		cur = next
+	}
+	return nil
+}
+
+// WriteFile creates or replaces a file, creating parents.
+func (f *FS) WriteFile(path string, data []byte) error {
+	comps := splitPath(path)
+	if len(comps) == 0 {
+		return fmt.Errorf("%w: empty path", ErrNotFound)
+	}
+	dir := "/" + strings.Join(comps[:len(comps)-1], "/")
+	if err := f.MkdirAll(dir); err != nil {
+		return err
+	}
+	parent, err := f.lookup(dir)
+	if err != nil {
+		return err
+	}
+	name := comps[len(comps)-1]
+	node, ok := parent.children[name]
+	if !ok {
+		node = &inode{name: name}
+		parent.children[name] = node
+	}
+	if node.dir {
+		return fmt.Errorf("unixfs: %s is a directory", path)
+	}
+	node.data = append([]byte(nil), data...)
+	return nil
+}
+
+// Append appends to a file (creating it if needed).
+func (f *FS) Append(path string, data []byte) error {
+	node, err := f.lookup(path)
+	if err != nil {
+		return f.WriteFile(path, data)
+	}
+	node.data = append(node.data, data...)
+	return nil
+}
+
+// ReadFile returns file contents.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	node, err := f.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if node.dir {
+		return nil, fmt.Errorf("unixfs: %s is a directory", path)
+	}
+	return append([]byte(nil), node.data...), nil
+}
+
+// Remove deletes a file or empty directory.
+func (f *FS) Remove(path string) error {
+	comps := splitPath(path)
+	if len(comps) == 0 {
+		return fmt.Errorf("unixfs: cannot remove /")
+	}
+	parent, err := f.lookup("/" + strings.Join(comps[:len(comps)-1], "/"))
+	if err != nil {
+		return err
+	}
+	name := comps[len(comps)-1]
+	node, ok := parent.children[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if node.dir && len(node.children) > 0 {
+		return fmt.Errorf("unixfs: %s not empty", path)
+	}
+	delete(parent.children, name)
+	return nil
+}
+
+// Exists reports whether the path resolves.
+func (f *FS) Exists(path string) bool {
+	_, err := f.lookup(path)
+	return err == nil
+}
+
+// Dirent is one directory entry as returned by getdents.
+type Dirent struct {
+	Name string
+	Dir  bool
+	Size int
+}
+
+// readDirRaw lists a directory straight from the inodes (the kernel's
+// own view, below the syscall table).
+func (f *FS) readDirRaw(path string) ([]Dirent, error) {
+	node, err := f.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if !node.dir {
+		return nil, fmt.Errorf("%w: %s", ErrNotDir, path)
+	}
+	out := make([]Dirent, 0, len(node.children))
+	for _, c := range node.children {
+		out = append(out, Dirent{Name: c.name, Dir: c.dir, Size: len(c.data)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Walk lists every path in the tree directly from the inodes — the
+// clean-CD truth.
+func (f *FS) Walk() []string {
+	var out []string
+	var rec func(node *inode, prefix string)
+	rec = func(node *inode, prefix string) {
+		names := make([]string, 0, len(node.children))
+		for n := range node.children {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			c := node.children[n]
+			p := prefix + "/" + n
+			out = append(out, p)
+			if c.dir {
+				rec(c, p)
+			}
+		}
+	}
+	rec(f.root, "")
+	return out
+}
+
+// GetdentsFilter is an LKM-installed syscall-table hook: it sees each
+// getdents result and may remove entries.
+type GetdentsFilter struct {
+	Owner  string
+	Filter func(dir string, entries []Dirent) []Dirent
+}
+
+// LSBinary is the /bin/ls implementation. T0rnkit replaces it with a
+// trojan that filters its *own* output (the kernel stays clean).
+type LSBinary func(m *Machine, dir string, entries []Dirent) []Dirent
+
+// Machine is one Unix host.
+type Machine struct {
+	OS    string // "Linux" or "FreeBSD"
+	FS    *FS
+	Clock *vtime.Clock
+
+	lkmHooks []GetdentsFilter
+	lsTrojan LSBinary // nil = genuine ls
+	daemons  []string // daemon names, for FP bookkeeping
+	shutdown int      // shutdown counter for unique flush names
+}
+
+// NewMachine builds a host with the standard tree and daemons.
+func NewMachine(osName string) (*Machine, error) {
+	m := &Machine{OS: osName, FS: NewFS(), Clock: &vtime.Clock{}, daemons: []string{"ftpd", "syslogd"}}
+	base := []string{"/bin", "/sbin", "/etc", "/usr/bin", "/usr/lib", "/var/log", "/var/run", "/tmp", "/home/user"}
+	for _, d := range base {
+		if err := m.FS.MkdirAll(d); err != nil {
+			return nil, err
+		}
+	}
+	files := map[string]string{
+		"/bin/ls":           "ELF genuine ls",
+		"/bin/ps":           "ELF genuine ps",
+		"/bin/sh":           "ELF sh",
+		"/etc/passwd":       "root:x:0:0",
+		"/etc/inetd.conf":   "ftp stream tcp",
+		"/var/log/messages": "boot ok\n",
+		"/usr/bin/find":     "ELF find",
+	}
+	for p, c := range files {
+		if err := m.FS.WriteFile(p, []byte(c)); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// InstallLKM loads a kernel module that hooks the getdents syscall.
+func (m *Machine) InstallLKM(hook GetdentsFilter) { m.lkmHooks = append(m.lkmHooks, hook) }
+
+// LKMCount returns how many syscall hooks are loaded.
+func (m *Machine) LKMCount() int { return len(m.lkmHooks) }
+
+// TrojanizeLS replaces /bin/ls with a trojan implementation.
+func (m *Machine) TrojanizeLS(binary []byte, impl LSBinary) error {
+	if err := m.FS.WriteFile("/bin/ls", binary); err != nil {
+		return err
+	}
+	m.lsTrojan = impl
+	return nil
+}
+
+// Getdents is the syscall: kernel view filtered through the LKM hooks.
+func (m *Machine) Getdents(dir string) ([]Dirent, error) {
+	entries, err := m.FS.readDirRaw(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range m.lkmHooks {
+		entries = h.Filter(dir, entries)
+	}
+	m.Clock.ChargeOps(int64(len(entries))+1, 30*time.Microsecond)
+	return entries, nil
+}
+
+// LS runs the installed /bin/ls recursively over root and returns full
+// paths — the inside-the-box high-level scan ("we used the 'ls' command
+// to scan all mounted partitions").
+func (m *Machine) LS(root string) ([]string, error) {
+	var out []string
+	var rec func(dir string) error
+	rec = func(dir string) error {
+		entries, err := m.Getdents(dir)
+		if err != nil {
+			return err
+		}
+		if m.lsTrojan != nil {
+			entries = m.lsTrojan(m, dir, entries)
+		}
+		prefix := strings.TrimSuffix(dir, "/")
+		for _, e := range entries {
+			p := prefix + "/" + e.Name
+			out = append(out, p)
+			if e.Dir {
+				if err := rec(p); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := rec(root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunDaemons simulates ticks of daemon activity (log appends, the
+// occasional temp file).
+func (m *Machine) RunDaemons(ticks int) error {
+	for i := 0; i < ticks; i++ {
+		m.Clock.Advance(time.Minute)
+		if err := m.FS.Append("/var/log/messages", []byte("tick\n")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShutdownFlush is what daemons write while the host goes down for the
+// CD boot — the paper's Unix false positives ("mostly temporary files
+// and log files generated by system daemons such as FTP"): up to 4 new
+// files.
+func (m *Machine) ShutdownFlush() error {
+	m.shutdown++
+	writes := []string{
+		fmt.Sprintf("/var/log/xferlog.%d", m.shutdown),
+		fmt.Sprintf("/tmp/ftp%04d.tmp", m.shutdown),
+		fmt.Sprintf("/var/run/syslogd.%d.pid", m.shutdown),
+	}
+	for _, p := range writes {
+		if err := m.FS.WriteFile(p, []byte("flush")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CleanBootScan is the outside-the-box scan: boot the same ls command
+// from a clean, bootable CD distribution — genuine binary, clean kernel,
+// so it reads the inodes directly.
+func (m *Machine) CleanBootScan() []string {
+	m.Clock.Advance(90 * time.Second) // CD boot
+	return m.FS.Walk()
+}
+
+// Diff returns paths present in outside but missing from inside — the
+// hidden files.
+func Diff(inside, outside []string) []string {
+	seen := make(map[string]bool, len(inside))
+	for _, p := range inside {
+		seen[p] = true
+	}
+	var hidden []string
+	for _, p := range outside {
+		if !seen[p] {
+			hidden = append(hidden, p)
+		}
+	}
+	sort.Strings(hidden)
+	return hidden
+}
+
+// OutsideCheck runs the full §5 Unix flow: inside ls scan, shutdown
+// (daemon flush), CD boot, clean scan, diff. It returns the hidden
+// paths and the benign false positives, classified by the same "mostly
+// temporary files and log files" rule the paper applied by hand.
+func (m *Machine) OutsideCheck() (hidden, falsePositives []string, err error) {
+	inside, err := m.LS("/")
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.ShutdownFlush(); err != nil {
+		return nil, nil, err
+	}
+	outside := m.CleanBootScan()
+	for _, p := range Diff(inside, outside) {
+		if isDaemonChurn(p) {
+			falsePositives = append(falsePositives, p)
+		} else {
+			hidden = append(hidden, p)
+		}
+	}
+	return hidden, falsePositives, nil
+}
+
+func isDaemonChurn(path string) bool {
+	return strings.HasPrefix(path, "/tmp/") ||
+		strings.HasPrefix(path, "/var/log/") ||
+		strings.HasPrefix(path, "/var/run/")
+}

@@ -1,0 +1,81 @@
+// Package vtime provides a deterministic virtual clock.
+//
+// Every component of the simulated machine charges virtual time for the
+// work it performs (disk reads, API round trips, reboots). Scan durations
+// reported by the benchmarks are therefore reproducible and depend only on
+// the workload, never on the host. This mirrors how the paper reports
+// scan times as a function of disk usage and machine profile.
+package vtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual clock. The zero value starts at virtual time zero.
+// Clock is not safe for concurrent use; the simulated machine is
+// single-threaded by design (the paper's scans are sequential).
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current virtual time as an offset from boot.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Negative d is ignored: virtual
+// time never runs backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// ChargeBytes advances the clock by the time needed to transfer n bytes at
+// the given throughput (bytes per second). A zero or negative throughput
+// charges nothing.
+func (c *Clock) ChargeBytes(n int64, bytesPerSecond int64) {
+	if n <= 0 || bytesPerSecond <= 0 {
+		return
+	}
+	c.Advance(time.Duration(n * int64(time.Second) / bytesPerSecond))
+}
+
+// ChargeOps advances the clock by n operations at the given cost each.
+func (c *Clock) ChargeOps(n int64, costPerOp time.Duration) {
+	if n <= 0 || costPerOp <= 0 {
+		return
+	}
+	c.Advance(time.Duration(n) * costPerOp)
+}
+
+// Stopwatch measures elapsed virtual time between Start and Elapsed.
+type Stopwatch struct {
+	clock *Clock
+	start time.Duration
+}
+
+// NewStopwatch returns a stopwatch that reads from clock and starts now.
+func NewStopwatch(clock *Clock) *Stopwatch {
+	return &Stopwatch{clock: clock, start: clock.Now()}
+}
+
+// Elapsed returns virtual time elapsed since the stopwatch was created.
+func (s *Stopwatch) Elapsed() time.Duration { return s.clock.Now() - s.start }
+
+// FileTime converts a virtual time to the 64-bit timestamp format stored
+// in on-disk structures (100 ns ticks, like Windows FILETIME).
+func FileTime(t time.Duration) uint64 { return uint64(t / 100) }
+
+// String formats a duration the way the experiment reports print it.
+func String(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return d.String()
+	case d < time.Second:
+		return d.Round(time.Millisecond).String()
+	case d < time.Minute:
+		return d.Round(10 * time.Millisecond).String()
+	default:
+		return fmt.Sprintf("%dm%ds", int(d.Minutes()), int(d.Seconds())%60)
+	}
+}

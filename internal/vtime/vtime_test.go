@@ -1,0 +1,104 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAdvanceMonotonic(t *testing.T) {
+	var c Clock
+	c.Advance(5 * time.Second)
+	if c.Now() != 5*time.Second {
+		t.Errorf("Now = %v", c.Now())
+	}
+	c.Advance(-time.Hour)
+	if c.Now() != 5*time.Second {
+		t.Error("negative advance must be ignored")
+	}
+	c.Advance(0)
+	if c.Now() != 5*time.Second {
+		t.Error("zero advance must be a no-op")
+	}
+}
+
+func TestChargeBytes(t *testing.T) {
+	var c Clock
+	c.ChargeBytes(50<<20, 25<<20) // 50 MB at 25 MB/s
+	if c.Now() != 2*time.Second {
+		t.Errorf("50MB @ 25MB/s = %v, want 2s", c.Now())
+	}
+	before := c.Now()
+	c.ChargeBytes(-1, 25<<20)
+	c.ChargeBytes(100, 0)
+	if c.Now() != before {
+		t.Error("degenerate charges must be no-ops")
+	}
+}
+
+func TestChargeOps(t *testing.T) {
+	var c Clock
+	c.ChargeOps(1000, 3*time.Millisecond)
+	if c.Now() != 3*time.Second {
+		t.Errorf("1000 ops @ 3ms = %v", c.Now())
+	}
+	c.ChargeOps(0, time.Second)
+	c.ChargeOps(5, 0)
+	if c.Now() != 3*time.Second {
+		t.Error("degenerate op charges must be no-ops")
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	var c Clock
+	c.Advance(time.Minute)
+	sw := NewStopwatch(&c)
+	c.Advance(90 * time.Second)
+	if sw.Elapsed() != 90*time.Second {
+		t.Errorf("Elapsed = %v", sw.Elapsed())
+	}
+}
+
+func TestFileTime(t *testing.T) {
+	if FileTime(time.Second) != 10_000_000 {
+		t.Errorf("FileTime(1s) = %d, want 1e7 (100ns ticks)", FileTime(time.Second))
+	}
+	if FileTime(0) != 0 {
+		t.Error("FileTime(0) != 0")
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{500 * time.Microsecond, "500µs"},
+		{250 * time.Millisecond, "250ms"},
+		{5400 * time.Millisecond, "5.4s"},
+		{150 * time.Second, "2m30s"},
+		{3900 * time.Second, "65m0s"},
+	}
+	for _, tc := range cases {
+		if got := String(tc.d); got != tc.want {
+			t.Errorf("String(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+// Property: any sequence of non-negative advances sums exactly.
+func TestQuickAdvanceSums(t *testing.T) {
+	f := func(steps []uint16) bool {
+		var c Clock
+		var want time.Duration
+		for _, s := range steps {
+			d := time.Duration(s) * time.Millisecond
+			c.Advance(d)
+			want += d
+		}
+		return c.Now() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+package winapi
+
+// This file provides the hook constructors ghostware implementations
+// use. Almost all real resource hiding is "interception and filtering":
+// call the next layer, then remove the to-be-hidden entries from the
+// returned result set. The constructors capture that pattern; bespoke
+// hooks (e.g. result *rewriting*) can still be built from raw Hook
+// values.
+
+// NewFileHideHook builds a file-enumeration filter at the given level
+// that drops entries for which hide returns true.
+func NewFileHideHook(owner string, level Level, technique string, appliesTo func(Proc) bool, hide func(call *Call, e DirEntry) bool) *Hook {
+	return &Hook{
+		Owner: owner, API: APIFileEnum, Level: level, Technique: technique, AppliesTo: appliesTo,
+		WrapFileEnum: func(next FileEnumHandler) FileEnumHandler {
+			return func(call *Call, dir string) ([]DirEntry, error) {
+				entries, err := next(call, dir)
+				if err != nil {
+					return nil, err
+				}
+				out := entries[:0:0]
+				for _, e := range entries {
+					if !hide(call, e) {
+						out = append(out, e)
+					}
+				}
+				return out, nil
+			}
+		},
+	}
+}
+
+// NewRegHideHook builds a Registry-query filter that drops subkeys and
+// values for which the respective predicate returns true. Either
+// predicate may be nil.
+func NewRegHideHook(owner string, level Level, technique string, appliesTo func(Proc) bool,
+	hideSubkey func(call *Call, keyPath, subkey string) bool,
+	hideValue func(call *Call, keyPath, valueName string) bool) *Hook {
+	return &Hook{
+		Owner: owner, API: APIRegQuery, Level: level, Technique: technique, AppliesTo: appliesTo,
+		WrapRegQuery: func(next RegQueryHandler) RegQueryHandler {
+			return func(call *Call, keyPath string) (KeySnapshot, error) {
+				snap, err := next(call, keyPath)
+				if err != nil {
+					return KeySnapshot{}, err
+				}
+				out := KeySnapshot{}
+				for _, k := range snap.Subkeys {
+					if hideSubkey != nil && hideSubkey(call, keyPath, k) {
+						continue
+					}
+					out.Subkeys = append(out.Subkeys, k)
+				}
+				for _, v := range snap.Values {
+					if hideValue != nil && hideValue(call, keyPath, v.Name) {
+						continue
+					}
+					out.Values = append(out.Values, v)
+				}
+				return out, nil
+			}
+		},
+	}
+}
+
+// NewProcHideHook builds a process-enumeration filter.
+func NewProcHideHook(owner string, level Level, technique string, appliesTo func(Proc) bool, hide func(call *Call, p ProcEntry) bool) *Hook {
+	return &Hook{
+		Owner: owner, API: APIProcEnum, Level: level, Technique: technique, AppliesTo: appliesTo,
+		WrapProcEnum: func(next ProcEnumHandler) ProcEnumHandler {
+			return func(call *Call) ([]ProcEntry, error) {
+				procs, err := next(call)
+				if err != nil {
+					return nil, err
+				}
+				out := procs[:0:0]
+				for _, p := range procs {
+					if !hide(call, p) {
+						out = append(out, p)
+					}
+				}
+				return out, nil
+			}
+		},
+	}
+}
+
+// NewModHideHook builds a module-enumeration filter.
+func NewModHideHook(owner string, level Level, technique string, appliesTo func(Proc) bool, hide func(call *Call, m ModEntry) bool) *Hook {
+	return &Hook{
+		Owner: owner, API: APIModEnum, Level: level, Technique: technique, AppliesTo: appliesTo,
+		WrapModEnum: func(next ModEnumHandler) ModEnumHandler {
+			return func(call *Call, pid uint64) ([]ModEntry, error) {
+				mods, err := next(call, pid)
+				if err != nil {
+					return nil, err
+				}
+				out := mods[:0:0]
+				for _, m := range mods {
+					if !hide(call, m) {
+						out = append(out, m)
+					}
+				}
+				return out, nil
+			}
+		},
+	}
+}
+
+// NewDriverHideHook builds a driver-enumeration filter.
+func NewDriverHideHook(owner string, level Level, technique string, appliesTo func(Proc) bool, hide func(call *Call, m ModEntry) bool) *Hook {
+	return &Hook{
+		Owner: owner, API: APIDriverEnum, Level: level, Technique: technique, AppliesTo: appliesTo,
+		WrapDriverEnum: func(next DriverEnumHandler) DriverEnumHandler {
+			return func(call *Call) ([]ModEntry, error) {
+				mods, err := next(call)
+				if err != nil {
+					return nil, err
+				}
+				out := mods[:0:0]
+				for _, m := range mods {
+					if !hide(call, m) {
+						out = append(out, m)
+					}
+				}
+				return out, nil
+			}
+		},
+	}
+}
+
+// NewPassthroughFileHook builds a hook that observes but does not
+// filter. Legitimate software (in-memory patchers, fault-tolerance
+// wrappers, AV real-time shims) installs hooks like this; they are the
+// false positives of hook-detection-based scanners (paper §1).
+func NewPassthroughFileHook(owner string, level Level, technique string) *Hook {
+	return &Hook{
+		Owner: owner, API: APIFileEnum, Level: level, Technique: technique,
+		WrapFileEnum: func(next FileEnumHandler) FileEnumHandler {
+			return func(call *Call, dir string) ([]DirEntry, error) {
+				return next(call, dir)
+			}
+		},
+	}
+}

@@ -1,0 +1,299 @@
+package winapi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"ghostbuster/internal/vtime"
+)
+
+// ErrNoBase reports a query on a chain whose base was never wired.
+var ErrNoBase = errors.New("winapi: chain has no base implementation")
+
+// CostModel prices API traffic in virtual time. The defaults are rough
+// desktop-era figures; machine profiles override them.
+type CostModel struct {
+	PerAPICall time.Duration // fixed cost per query call
+	PerEntry   time.Duration // marginal cost per returned entry
+}
+
+// DefaultCosts returns the baseline cost model.
+func DefaultCosts() CostModel {
+	return CostModel{PerAPICall: 50 * time.Microsecond, PerEntry: 2 * time.Microsecond}
+}
+
+// Stack is the API stack of one running OS instance: the installed hooks
+// plus the base implementations.
+type Stack struct {
+	bases   Bases
+	hooks   []*Hook
+	nextSeq int
+	clock   *vtime.Clock
+	costs   CostModel
+}
+
+// NewStack builds a clean API stack over the given bases. The clock may
+// be nil (no time accounting).
+func NewStack(bases Bases, clock *vtime.Clock, costs CostModel) *Stack {
+	return &Stack{bases: bases, clock: clock, costs: costs}
+}
+
+// Install adds a hook to the stack. Hooks at the same level stack in
+// install order (later installs sit closer to the caller, like filter
+// drivers attaching on top of a device stack).
+func (s *Stack) Install(h *Hook) {
+	h.installSeq = s.nextSeq
+	s.nextSeq++
+	s.hooks = append(s.hooks, h)
+}
+
+// Uninstall removes every hook owned by owner and returns the count.
+func (s *Stack) Uninstall(owner string) int {
+	kept := s.hooks[:0]
+	removed := 0
+	for _, h := range s.hooks {
+		if h.Owner == owner {
+			removed++
+			continue
+		}
+		kept = append(kept, h)
+	}
+	s.hooks = kept
+	return removed
+}
+
+// Hooks returns descriptions of all installed hooks (for the taxonomy
+// figures and the hook-detection baseline).
+func (s *Stack) Hooks() []HookInfo {
+	out := make([]HookInfo, 0, len(s.hooks))
+	for _, h := range s.hooks {
+		out = append(out, HookInfo{Owner: h.Owner, API: h.API, Level: h.Level, Technique: h.Technique})
+	}
+	return out
+}
+
+// chainHooks returns the hooks applicable to one call on one API,
+// ordered innermost-first for wrapping: deepest level first, and within
+// a level, earliest install first (so later installs end up outermost).
+func (s *Stack) chainHooks(api API, entry Level, call *Call) []*Hook {
+	var hooks []*Hook
+	for _, h := range s.hooks {
+		if h.API != api {
+			continue
+		}
+		if h.Level < entry {
+			continue // the caller entered below this hook's level
+		}
+		if h.AppliesTo != nil && !h.AppliesTo(call.Proc) {
+			continue
+		}
+		hooks = append(hooks, h)
+	}
+	sort.SliceStable(hooks, func(i, j int) bool {
+		if hooks[i].Level != hooks[j].Level {
+			return hooks[i].Level > hooks[j].Level
+		}
+		return hooks[i].installSeq < hooks[j].installSeq
+	})
+	return hooks
+}
+
+func (s *Stack) charge(entries int) {
+	if s.clock == nil {
+		return
+	}
+	s.clock.Advance(s.costs.PerAPICall)
+	s.clock.ChargeOps(int64(entries), s.costs.PerEntry)
+}
+
+// --- file enumeration --------------------------------------------------------
+
+// enumDir dispatches a directory enumeration entering the chain at the
+// given level.
+func (s *Stack) enumDir(call *Call, dir string, entry Level) ([]DirEntry, error) {
+	if s.bases.FileEnum == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoBase, APIFileEnum)
+	}
+	handler := s.bases.FileEnum
+	for _, h := range s.chainHooks(APIFileEnum, entry, call) {
+		if h.WrapFileEnum != nil {
+			handler = h.WrapFileEnum(handler)
+		}
+	}
+	out, err := handler(call, dir)
+	s.charge(len(out))
+	return out, err
+}
+
+// EnumDirWin32 lists a directory the way a Win32 program (or "dir /s
+// /b") sees it: through the full hook chain, with Win32 filename
+// restrictions applied at the API boundary. Files NTFS stores but Win32
+// cannot address simply do not appear.
+func (s *Stack) EnumDirWin32(call *Call, dir string) ([]DirEntry, error) {
+	raw, err := s.enumDir(call, dir, LevelIAT)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DirEntry, 0, len(raw))
+	for _, e := range raw {
+		if Win32Visible(e.Path, e.Name) {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// EnumDirNative lists a directory via the Native API (direct
+// NtQueryDirectoryFile), skipping IAT and user-mode code hooks and Win32
+// name restrictions. Tools like the paper's low-level utilities — or
+// rootkit user-mode components — use this entry.
+func (s *Stack) EnumDirNative(call *Call, dir string) ([]DirEntry, error) {
+	return s.enumDir(call, dir, LevelNtdll)
+}
+
+// WalkTreeWin32 implements "dir /s /b": a recursive Win32 enumeration.
+// Recursion happens through the same hooked chain, so a directory hidden
+// at any level hides its whole subtree, and Win32 path-length limits
+// prune descent just as they do for the real command.
+func (s *Stack) WalkTreeWin32(call *Call, root string) ([]DirEntry, error) {
+	var out []DirEntry
+	var walk func(dir string) error
+	walk = func(dir string) error {
+		entries, err := s.EnumDirWin32(call, dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			out = append(out, e)
+			if e.Dir && len(e.Path) <= MaxPath {
+				if err := walk(e.Path); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// --- Registry ----------------------------------------------------------------
+
+func (s *Stack) queryKey(call *Call, keyPath string, entry Level) (KeySnapshot, error) {
+	if s.bases.RegQuery == nil {
+		return KeySnapshot{}, fmt.Errorf("%w: %s", ErrNoBase, APIRegQuery)
+	}
+	handler := s.bases.RegQuery
+	for _, h := range s.chainHooks(APIRegQuery, entry, call) {
+		if h.WrapRegQuery != nil {
+			handler = h.WrapRegQuery(handler)
+		}
+	}
+	out, err := handler(call, keyPath)
+	s.charge(len(out.Subkeys) + len(out.Values))
+	return out, err
+}
+
+// QueryKeyWin32 reads a key the way RegEdit and the Win32 Registry APIs
+// do: through the full chain, with NUL-terminated string semantics —
+// names containing embedded NULs, and names exceeding the Win32 editor
+// limit, are invisible.
+func (s *Stack) QueryKeyWin32(call *Call, keyPath string) (KeySnapshot, error) {
+	raw, err := s.queryKey(call, keyPath, LevelIAT)
+	if err != nil {
+		return KeySnapshot{}, err
+	}
+	out := KeySnapshot{}
+	for _, k := range raw.Subkeys {
+		if Win32NameVisible(k) {
+			out.Subkeys = append(out.Subkeys, k)
+		}
+	}
+	for _, v := range raw.Values {
+		if Win32NameVisible(v.Name) {
+			out.Values = append(out.Values, v)
+		}
+	}
+	return out, nil
+}
+
+// QueryKeyNative reads a key via the Native API: counted-string
+// semantics, entering at the ntdll level.
+func (s *Stack) QueryKeyNative(call *Call, keyPath string) (KeySnapshot, error) {
+	return s.queryKey(call, keyPath, LevelNtdll)
+}
+
+// --- processes and modules ----------------------------------------------------
+
+func (s *Stack) enumProcs(call *Call, entry Level) ([]ProcEntry, error) {
+	if s.bases.ProcEnum == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoBase, APIProcEnum)
+	}
+	handler := s.bases.ProcEnum
+	for _, h := range s.chainHooks(APIProcEnum, entry, call) {
+		if h.WrapProcEnum != nil {
+			handler = h.WrapProcEnum(handler)
+		}
+	}
+	out, err := handler(call)
+	s.charge(len(out))
+	return out, err
+}
+
+// EnumProcessesWin32 lists processes as Task Manager / tlist do
+// (Process32First→NtQuerySystemInformation through the full chain).
+func (s *Stack) EnumProcessesWin32(call *Call) ([]ProcEntry, error) {
+	return s.enumProcs(call, LevelIAT)
+}
+
+// EnumProcessesNative lists processes entering at ntdll.
+func (s *Stack) EnumProcessesNative(call *Call) ([]ProcEntry, error) {
+	return s.enumProcs(call, LevelNtdll)
+}
+
+// EnumModulesWin32 lists the modules of pid through the full chain.
+// Entries whose pathname has been blanked in the PEB are invisible, as
+// the calling chain keys on pathnames.
+func (s *Stack) EnumModulesWin32(call *Call, pid uint64) ([]ModEntry, error) {
+	if s.bases.ModEnum == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoBase, APIModEnum)
+	}
+	handler := s.bases.ModEnum
+	for _, h := range s.chainHooks(APIModEnum, LevelIAT, call) {
+		if h.WrapModEnum != nil {
+			handler = h.WrapModEnum(handler)
+		}
+	}
+	raw, err := handler(call, pid)
+	s.charge(len(raw))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ModEntry, 0, len(raw))
+	for _, m := range raw {
+		if m.Path != "" {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// EnumDriversWin32 lists loaded drivers through the chain.
+func (s *Stack) EnumDriversWin32(call *Call) ([]ModEntry, error) {
+	if s.bases.DriverEnum == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoBase, APIDriverEnum)
+	}
+	handler := s.bases.DriverEnum
+	for _, h := range s.chainHooks(APIDriverEnum, LevelIAT, call) {
+		if h.WrapDriverEnum != nil {
+			handler = h.WrapDriverEnum(handler)
+		}
+	}
+	out, err := handler(call)
+	s.charge(len(out))
+	return out, err
+}

@@ -1,0 +1,367 @@
+package winapi
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ghostbuster/internal/vtime"
+)
+
+// fakeFS is a trivial base: a map from directory to entries.
+type fakeFS map[string][]DirEntry
+
+func (f fakeFS) handler(call *Call, dir string) ([]DirEntry, error) {
+	return append([]DirEntry(nil), f[strings.ToUpper(dir)]...), nil
+}
+
+func file(dir, name string) DirEntry {
+	p := dir + `\` + name
+	if strings.HasSuffix(dir, `\`) {
+		p = dir + name
+	}
+	return DirEntry{Name: name, Path: p}
+}
+
+func dirEnt(dir, name string) DirEntry {
+	e := file(dir, name)
+	e.Dir = true
+	return e
+}
+
+func newTestStack(fs fakeFS, clock *vtime.Clock) *Stack {
+	return NewStack(Bases{
+		FileEnum: fs.handler,
+		RegQuery: func(call *Call, keyPath string) (KeySnapshot, error) {
+			return KeySnapshot{
+				Subkeys: []string{"Normal", "With\x00Null", strings.Repeat("L", 300)},
+				Values:  []KeyValue{{Name: "ok"}, {Name: "bad\x00name"}},
+			}, nil
+		},
+		ProcEnum: func(call *Call) ([]ProcEntry, error) {
+			return []ProcEntry{{Pid: 4, Name: "System"}, {Pid: 100, Name: "evil.exe"}, {Pid: 104, Name: "taskmgr.exe"}}, nil
+		},
+		ModEnum: func(call *Call, pid uint64) ([]ModEntry, error) {
+			return []ModEntry{{Path: `C:\a.exe`}, {Path: ""}, {Path: `C:\b.dll`}}, nil
+		},
+		DriverEnum: func(call *Call) ([]ModEntry, error) {
+			return []ModEntry{{Path: `C:\drv.sys`}}, nil
+		},
+	}, clock, DefaultCosts())
+}
+
+var testCall = &Call{Proc: Proc{Pid: 200, Name: "scanner.exe"}}
+
+func namesOf(entries []DirEntry) []string {
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+func TestCleanChainReturnsBase(t *testing.T) {
+	fs := fakeFS{`C:`: {file(`C:`, "a.txt"), file(`C:`, "b.txt")}}
+	s := newTestStack(fs, nil)
+	got, err := s.EnumDirWin32(testCall, `C:`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("entries = %v", namesOf(got))
+	}
+}
+
+func TestHideHookFiltersAtEveryLevel(t *testing.T) {
+	for _, level := range []Level{LevelIAT, LevelUserCode, LevelNtdll, LevelSSDT, LevelFilter} {
+		fs := fakeFS{`C:`: {file(`C:`, "visible.txt"), file(`C:`, "hxdef100.exe")}}
+		s := newTestStack(fs, nil)
+		s.Install(NewFileHideHook("hxdef", level, "test", nil, func(call *Call, e DirEntry) bool {
+			return strings.HasPrefix(e.Name, "hxdef")
+		}))
+		got, err := s.EnumDirWin32(testCall, `C:`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0].Name != "visible.txt" {
+			t.Errorf("level %v: entries = %v", level, namesOf(got))
+		}
+	}
+}
+
+func TestNativeEntrySkipsUserModeHooks(t *testing.T) {
+	fs := fakeFS{`C:`: {file(`C:`, "secret.txt")}}
+	s := newTestStack(fs, nil)
+	// IAT-level and user-code-level hooks (Urbin/Vanquish style) do not
+	// intercept a caller that enters at ntdll directly.
+	s.Install(NewFileHideHook("urbin", LevelIAT, "IAT", nil, func(*Call, DirEntry) bool { return true }))
+	s.Install(NewFileHideHook("vanquish", LevelUserCode, "inline", nil, func(*Call, DirEntry) bool { return true }))
+	win32, err := s.EnumDirWin32(testCall, `C:`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(win32) != 0 {
+		t.Errorf("Win32 view should be empty, got %v", namesOf(win32))
+	}
+	native, err := s.EnumDirNative(testCall, `C:`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(native) != 1 {
+		t.Errorf("native view should bypass user-mode hooks, got %v", namesOf(native))
+	}
+	// But an SSDT hook catches even native callers.
+	s.Install(NewFileHideHook("probot", LevelSSDT, "SSDT", nil, func(*Call, DirEntry) bool { return true }))
+	native, err = s.EnumDirNative(testCall, `C:`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(native) != 0 {
+		t.Errorf("SSDT hook must intercept native callers, got %v", namesOf(native))
+	}
+}
+
+func TestAppliesToScopesHook(t *testing.T) {
+	fs := fakeFS{`C:`: {file(`C:`, "target.txt")}}
+	s := newTestStack(fs, nil)
+	// Targeted hiding: hide only from Task Manager (paper §5).
+	s.Install(NewFileHideHook("targeted", LevelFilter, "scoped filter driver",
+		func(p Proc) bool { return strings.EqualFold(p.Name, "taskmgr.exe") },
+		func(*Call, DirEntry) bool { return true }))
+	fromScanner, err := s.EnumDirWin32(testCall, `C:`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromScanner) != 1 {
+		t.Errorf("scanner should see the file, got %v", namesOf(fromScanner))
+	}
+	fromTaskmgr, err := s.EnumDirWin32(&Call{Proc: Proc{Pid: 104, Name: "taskmgr.exe"}}, `C:`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromTaskmgr) != 0 {
+		t.Errorf("taskmgr should see nothing, got %v", namesOf(fromTaskmgr))
+	}
+}
+
+func TestUninstallRemovesHooks(t *testing.T) {
+	fs := fakeFS{`C:`: {file(`C:`, "f.txt")}}
+	s := newTestStack(fs, nil)
+	s.Install(NewFileHideHook("mal", LevelSSDT, "t", nil, func(*Call, DirEntry) bool { return true }))
+	s.Install(NewProcHideHook("mal", LevelNtdll, "t", nil, func(*Call, ProcEntry) bool { return true }))
+	if n := s.Uninstall("mal"); n != 2 {
+		t.Errorf("Uninstall removed %d, want 2", n)
+	}
+	got, err := s.EnumDirWin32(testCall, `C:`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("after uninstall entries = %v", namesOf(got))
+	}
+	if len(s.Hooks()) != 0 {
+		t.Errorf("Hooks() = %v", s.Hooks())
+	}
+}
+
+func TestWin32NameRestrictionsHideEntries(t *testing.T) {
+	fs := fakeFS{`C:`: {
+		file(`C:`, "normal.txt"),
+		file(`C:`, "trailingdot."),
+		file(`C:`, "trailingspace "),
+		file(`C:`, "NUL.txt"),
+		file(`C:`, "COM1"),
+		file(`C:`, "with\x00nul"),
+		file(`C:`, "que?stion"),
+	}}
+	s := newTestStack(fs, nil)
+	win32, err := s.EnumDirWin32(testCall, `C:`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(win32) != 1 || win32[0].Name != "normal.txt" {
+		t.Errorf("Win32 view = %v", namesOf(win32))
+	}
+	native, err := s.EnumDirNative(testCall, `C:`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(native) != 7 {
+		t.Errorf("native view = %v", namesOf(native))
+	}
+}
+
+func TestWalkTreeRecursesAndPrunes(t *testing.T) {
+	longName := strings.Repeat("d", 250)
+	fs := fakeFS{
+		`C:`:                              {dirEnt(`C:`, "sub"), file(`C:`, "top.txt"), dirEnt(`C:`, longName)},
+		`C:\SUB`:                          {file(`C:\sub`, "inner.txt"), dirEnt(`C:\sub`, "deep")},
+		`C:\SUB\DEEP`:                     {file(`C:\sub\deep`, "bottom.txt")},
+		strings.ToUpper(`C:\` + longName): {file(`C:\`+longName, "unreachable.txt")},
+	}
+	s := newTestStack(fs, nil)
+	got, err := s.WalkTreeWin32(testCall, `C:`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := namesOf(got)
+	want := map[string]bool{"sub": true, "top.txt": true, longName: true, "inner.txt": true, "deep": true, "bottom.txt": true}
+	if len(got) != len(want) {
+		t.Errorf("walk = %v", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected entry %q (long-path subtree should be pruned)", n)
+		}
+	}
+}
+
+func TestHiddenDirectoryHidesSubtree(t *testing.T) {
+	fs := fakeFS{
+		`C:`:       {dirEnt(`C:`, "hxdef"), file(`C:`, "ok.txt")},
+		`C:\HXDEF`: {file(`C:\hxdef`, "hxdef100.exe")},
+	}
+	s := newTestStack(fs, nil)
+	s.Install(NewFileHideHook("hxdef", LevelNtdll, "inline", nil, func(call *Call, e DirEntry) bool {
+		return strings.HasPrefix(strings.ToLower(e.Name), "hxdef")
+	}))
+	got, err := s.WalkTreeWin32(testCall, `C:`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "ok.txt" {
+		t.Errorf("walk through hidden dir = %v", namesOf(got))
+	}
+}
+
+func TestRegistryWin32SemanticsHideNulAndLongNames(t *testing.T) {
+	s := newTestStack(fakeFS{}, nil)
+	win32, err := s.QueryKeyWin32(testCall, `HKLM\SOFTWARE\Test`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(win32.Subkeys) != 1 || win32.Subkeys[0] != "Normal" {
+		t.Errorf("Win32 subkeys = %q", win32.Subkeys)
+	}
+	if len(win32.Values) != 1 || win32.Values[0].Name != "ok" {
+		t.Errorf("Win32 values = %v", win32.Values)
+	}
+	native, err := s.QueryKeyNative(testCall, `HKLM\SOFTWARE\Test`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(native.Subkeys) != 3 || len(native.Values) != 2 {
+		t.Errorf("native view = %+v", native)
+	}
+}
+
+func TestRegHideHookFiltersValues(t *testing.T) {
+	s := newTestStack(fakeFS{}, nil)
+	s.Install(NewRegHideHook("urbin", LevelUserCode, "IAT RegEnumValue", nil,
+		nil,
+		func(call *Call, keyPath, name string) bool { return name == "ok" }))
+	got, err := s.QueryKeyWin32(testCall, `HKLM\X`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Values) != 0 {
+		t.Errorf("values = %v", got.Values)
+	}
+	if len(got.Subkeys) != 1 {
+		t.Errorf("subkeys should be untouched: %q", got.Subkeys)
+	}
+}
+
+func TestProcAndModChains(t *testing.T) {
+	s := newTestStack(fakeFS{}, nil)
+	s.Install(NewProcHideHook("berbew", LevelNtdll, "jmp", nil, func(call *Call, p ProcEntry) bool {
+		return p.Name == "evil.exe"
+	}))
+	procs, err := s.EnumProcessesWin32(testCall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 2 {
+		t.Errorf("procs = %+v", procs)
+	}
+	mods, err := s.EnumModulesWin32(testCall, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The blank-path PEB entry must not surface.
+	if len(mods) != 2 {
+		t.Errorf("mods = %+v", mods)
+	}
+	drv, err := s.EnumDriversWin32(testCall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drv) != 1 {
+		t.Errorf("drivers = %+v", drv)
+	}
+}
+
+func TestHookOrderingOutermostIsIAT(t *testing.T) {
+	// An SSDT-level hook rewrites names to upper case; an IAT-level hook
+	// then drops anything upper-cased. If ordering were wrong the IAT
+	// hook would see lower-case names and drop nothing.
+	fs := fakeFS{`C:`: {file(`C:`, "mixed.txt")}}
+	s := newTestStack(fs, nil)
+	s.Install(&Hook{
+		Owner: "rewriter", API: APIFileEnum, Level: LevelSSDT, Technique: "rewrite",
+		WrapFileEnum: func(next FileEnumHandler) FileEnumHandler {
+			return func(call *Call, dir string) ([]DirEntry, error) {
+				entries, err := next(call, dir)
+				if err != nil {
+					return nil, err
+				}
+				for i := range entries {
+					entries[i].Name = strings.ToUpper(entries[i].Name)
+				}
+				return entries, nil
+			}
+		},
+	})
+	s.Install(NewFileHideHook("dropper", LevelIAT, "drop upper", nil, func(call *Call, e DirEntry) bool {
+		return e.Name == strings.ToUpper(e.Name)
+	}))
+	got, err := s.EnumDirWin32(testCall, `C:`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("IAT hook should run after (outside) SSDT hook; got %v", namesOf(got))
+	}
+}
+
+func TestClockChargesPerCallAndEntry(t *testing.T) {
+	var clock vtime.Clock
+	fs := fakeFS{`C:`: {file(`C:`, "a"), file(`C:`, "b"), file(`C:`, "c")}}
+	s := newTestStack(fs, &clock)
+	if _, err := s.EnumDirWin32(testCall, `C:`); err != nil {
+		t.Fatal(err)
+	}
+	want := 50*time.Microsecond + 3*2*time.Microsecond
+	if clock.Now() != want {
+		t.Errorf("clock = %v, want %v", clock.Now(), want)
+	}
+}
+
+func TestNoBaseErrors(t *testing.T) {
+	s := NewStack(Bases{}, nil, DefaultCosts())
+	if _, err := s.EnumDirWin32(testCall, `C:`); err == nil {
+		t.Error("missing base should error")
+	}
+	if _, err := s.QueryKeyWin32(testCall, `HKLM`); err == nil {
+		t.Error("missing reg base should error")
+	}
+	if _, err := s.EnumProcessesWin32(testCall); err == nil {
+		t.Error("missing proc base should error")
+	}
+	if _, err := s.EnumModulesWin32(testCall, 4); err == nil {
+		t.Error("missing mod base should error")
+	}
+	if _, err := s.EnumDriversWin32(testCall); err == nil {
+		t.Error("missing driver base should error")
+	}
+}

@@ -1,0 +1,178 @@
+// Package winapi models the layered Windows API call paths that
+// ghostware intercepts. A query from a user-mode program traverses, in
+// order:
+//
+//	IAT entry → user-mode DLL code (kernel32/advapi32) → ntdll code →
+//	syscall dispatch (SSDT) → kernel filter (FS filter driver stack or
+//	Registry callbacks) → base implementation (FS driver / configuration
+//	manager / kernel structures)
+//
+// Each traversal point is a hookable slot. Ghostware installs hooks at
+// the level matching its real-world technique (Figures 2 and 5 of the
+// paper); GhostBuster's high-level scans enter at the top of the chain
+// and therefore observe "the lie", while its low-level scans bypass the
+// chain entirely and observe "the truth".
+package winapi
+
+// Level identifies where in the call path a hook sits. Lower values are
+// closer to the calling program (outermost).
+type Level int
+
+// LevelNone marks techniques that install no hook at all: direct data
+// manipulation (DKOM, PEB blanking) or pure name tricks. Hook-detection
+// scanners are structurally blind to these.
+const LevelNone Level = 0
+
+// Hook levels, outermost first.
+const (
+	LevelIAT      Level = iota + 1 // per-process Import Address Table entry
+	LevelUserCode                  // inline detour in kernel32/advapi32 in-memory code
+	LevelNtdll                     // inline detour in ntdll in-memory code
+	LevelSSDT                      // Service Dispatch Table entry
+	LevelFilter                    // FS filter driver / Registry callback
+)
+
+// String names the level the way the paper's Figure 2 does.
+func (l Level) String() string {
+	switch l {
+	case LevelNone:
+		return "direct data manipulation (no hook)"
+	case LevelIAT:
+		return "IAT hook"
+	case LevelUserCode:
+		return "inline user-mode API detour"
+	case LevelNtdll:
+		return "inline ntdll detour"
+	case LevelSSDT:
+		return "Service Dispatch Table hook"
+	case LevelFilter:
+		return "filter driver / kernel callback"
+	default:
+		return "unknown level"
+	}
+}
+
+// API identifies a hookable query chain.
+type API string
+
+// The query chains GhostBuster exercises.
+const (
+	APIFileEnum   API = "FileEnum"   // FindFirst(Next)File → NtQueryDirectoryFile
+	APIRegQuery   API = "RegQuery"   // RegEnum{Key,Value} → NtEnumerateKey
+	APIProcEnum   API = "ProcEnum"   // Process32First → NtQuerySystemInformation
+	APIModEnum    API = "ModEnum"    // Module32First → NtQueryInformationProcess
+	APIDriverEnum API = "DriverEnum" // EnumDeviceDrivers
+)
+
+// Proc is the identity of the process issuing a query; hooks use it to
+// scope their behaviour (e.g. hide only from Task Manager, or from
+// everything except the ghostware's own process).
+type Proc struct {
+	Pid  uint64
+	Name string
+}
+
+// Call carries per-query context down the chain, playing the role of the
+// IRP: filter drivers "examin[e] the IRP ... to determine the
+// originating process".
+type Call struct {
+	Proc Proc
+	API  API
+}
+
+// DirEntry is one file-enumeration result.
+type DirEntry struct {
+	Name     string
+	Path     string // full path including drive prefix
+	Size     uint64
+	Dir      bool
+	Created  uint64
+	Modified uint64
+	Attrs    uint32
+}
+
+// KeySnapshot is one Registry-key query result: the key's subkey names
+// and its values.
+type KeySnapshot struct {
+	Subkeys []string
+	Values  []KeyValue
+}
+
+// KeyValue is one Registry value as returned by a query.
+type KeyValue struct {
+	Name string
+	Type uint32
+	Data []byte
+}
+
+// ProcEntry is one process-enumeration result.
+type ProcEntry struct {
+	Pid       uint64
+	Name      string
+	Path      string
+	ParentPid uint64
+}
+
+// ModEntry is one module- or driver-enumeration result.
+type ModEntry struct {
+	Base uint64
+	Size uint64
+	Path string
+}
+
+// Handler signatures for each chain.
+type (
+	// FileEnumHandler lists one directory (non-recursive).
+	FileEnumHandler func(call *Call, dir string) ([]DirEntry, error)
+	// RegQueryHandler reads one key's subkeys and values.
+	RegQueryHandler func(call *Call, keyPath string) (KeySnapshot, error)
+	// ProcEnumHandler lists processes.
+	ProcEnumHandler func(call *Call) ([]ProcEntry, error)
+	// ModEnumHandler lists the modules of the target pid.
+	ModEnumHandler func(call *Call, pid uint64) ([]ModEntry, error)
+	// DriverEnumHandler lists loaded drivers.
+	DriverEnumHandler func(call *Call) ([]ModEntry, error)
+)
+
+// Bases are the bottom-of-chain implementations, wired up by the machine
+// package: the filesystem driver, the configuration manager, and the
+// kernel's structure readers.
+type Bases struct {
+	FileEnum   FileEnumHandler
+	RegQuery   RegQueryHandler
+	ProcEnum   ProcEnumHandler
+	ModEnum    ModEnumHandler
+	DriverEnum DriverEnumHandler
+}
+
+// Hook is one installed interception. Exactly one Wrap* field should be
+// set, matching API. AppliesTo lets a hook scope itself to particular
+// calling processes: per-process code patching (a rootkit that injects
+// into every process evaluates to true for all), targeted hiding (true
+// only for Task Manager), or GhostBuster-evasion (false for
+// ghostbuster.exe). A nil AppliesTo applies to every caller.
+type Hook struct {
+	Owner     string // ghostware (or legitimate software) name
+	API       API
+	Level     Level
+	Technique string // human-readable technique label for the taxonomy
+	AppliesTo func(p Proc) bool
+
+	WrapFileEnum   func(next FileEnumHandler) FileEnumHandler
+	WrapRegQuery   func(next RegQueryHandler) RegQueryHandler
+	WrapProcEnum   func(next ProcEnumHandler) ProcEnumHandler
+	WrapModEnum    func(next ModEnumHandler) ModEnumHandler
+	WrapDriverEnum func(next DriverEnumHandler) DriverEnumHandler
+
+	installSeq int
+}
+
+// HookInfo is the introspectable description of an installed hook, used
+// by the hook-detection baseline (the paper's "first approach") and by
+// the Figure 2 / Figure 5 taxonomy reports.
+type HookInfo struct {
+	Owner     string
+	API       API
+	Level     Level
+	Technique string
+}

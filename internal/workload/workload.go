@@ -1,0 +1,134 @@
+// Package workload synthesizes the paper's evaluation machines: the 8
+// hosts of §2 (4 corporate desktops, 3 home machines, 1 laptop, spanning
+// 5–34 GB of disk usage and 550 MHz–2.2 GHz, plus the dual-proc 3 GHz
+// workstation with 95 GB used), and the population generators that fill
+// a machine with files and Registry noise so scans have realistic work.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"ghostbuster/internal/hive"
+	"ghostbuster/internal/machine"
+)
+
+// PaperMachines returns profiles for the paper's test fleet. Disk and
+// CPU figures are drawn from the ranges the paper reports; per-machine
+// specifics are synthetic.
+func PaperMachines() []machine.Profile {
+	base := func(name, kind string, usedGB float64, mhz int, churn []machine.ChurnKind) machine.Profile {
+		return machine.Profile{
+			Name: name, Kind: kind,
+			DiskGB: usedGB * 2, DiskUsedGB: usedGB, CPUMHz: mhz,
+			FilesPerGB: 30, RealFilesPerGB: 1500,
+			RegNoiseKeys: 800, RealRegKeys: 80000, DiskMBps: 25,
+			RebootTime: 2 * time.Minute, Seed: int64(len(name)) * 7919,
+			Churn: churn,
+		}
+	}
+	std := []machine.ChurnKind{machine.ChurnAVLogger, machine.ChurnPrefetch, machine.ChurnSystemRestore, machine.ChurnBrowserTemp}
+	withCCM := append(append([]machine.ChurnKind(nil), std...), machine.ChurnCCM)
+	profiles := []machine.Profile{
+		base("corp-1", "corporate desktop", 12, 2200, std),
+		base("corp-2", "corporate desktop", 18, 1800, std),
+		base("corp-3", "corporate desktop", 26, 2000, std),
+		base("corp-4", "corporate desktop", 34, 1500, withCCM), // the 7-FP machine
+		base("home-1", "home machine", 5, 550, std),
+		base("home-2", "home machine", 8, 800, std),
+		base("home-3", "home machine", 14, 1200, std),
+		base("laptop", "laptop", 10, 1000, std),
+	}
+	// The 8th machine in the paper's timing discussion: a dual-proc
+	// 3 GHz workstation with 95 GB of 111 GB used (38-minute scan).
+	ws := base("workstation", "dual-proc workstation", 95, 3000, std)
+	ws.DiskGB = 111
+	ws.RealFilesPerGB = 4000 // developer box: far denser file population
+	ws.RealRegKeys = 150000
+	profiles = append(profiles, ws)
+	return profiles
+}
+
+// SmallProfile returns a fast profile for tests and examples.
+func SmallProfile() machine.Profile {
+	p := machine.DefaultProfile()
+	p.DiskUsedGB = 1
+	p.RegNoiseKeys = 100
+	return p
+}
+
+// NewPaperMachine builds and populates one of the paper's machines.
+func NewPaperMachine(p machine.Profile) (*machine.Machine, error) {
+	m, err := machine.New(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := Populate(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+var populationDirs = []string{
+	`C:\Program Files`,
+	`C:\WINDOWS\system32`,
+	`C:\Documents and Settings\user\My Documents`,
+	`C:\Documents and Settings\user\Application Data`,
+	`C:\data`,
+}
+
+var fileExts = []string{".dll", ".exe", ".dat", ".txt", ".doc", ".ini", ".log", ".xml", ".htm", ".jpg"}
+
+// Populate fills the machine's disk and Registry according to its
+// profile: DiskUsedGB*FilesPerGB files across a realistic directory
+// layout (declared sizes sum to the profile's disk usage) and
+// RegNoiseKeys Registry keys.
+func Populate(m *machine.Machine) error {
+	p := m.Profile
+	targetFiles := int(p.DiskUsedGB * float64(p.FilesPerGB))
+	existing := m.Disk.FileCount()
+	toCreate := targetFiles - existing
+	if toCreate < 0 {
+		toCreate = 0
+	}
+	var avgSize uint64
+	if toCreate > 0 {
+		avgSize = uint64(p.DiskUsedGB * float64(1<<30) / float64(toCreate))
+	}
+	rng := m.Rand
+	for i := 0; i < toCreate; i++ {
+		dir := populationDirs[rng.Intn(len(populationDirs))]
+		// Two levels of subdirectories keep directory fan-out realistic.
+		sub := fmt.Sprintf(`%s\app%02d\part%d`, dir, rng.Intn(40), rng.Intn(4))
+		name := fmt.Sprintf("file%06d%s", i, fileExts[rng.Intn(len(fileExts))])
+		size := avgSize/2 + uint64(rng.Int63n(int64(avgSize)+1))
+		if err := m.DropFileSized(sub+`\`+name, []byte("data"), size); err != nil {
+			return fmt.Errorf("workload: populating %s: %w", name, err)
+		}
+	}
+	// Registry noise: vendor settings trees plus benign ASEP entries
+	// (they appear identically in both views, so they are diff-neutral).
+	for i := 0; i < p.RegNoiseKeys; i++ {
+		key := fmt.Sprintf(`HKLM\SOFTWARE\Vendor%02d\App%d\Settings%d`, rng.Intn(50), rng.Intn(8), i%4)
+		if err := m.Reg.CreateKey(key); err != nil {
+			return err
+		}
+		if err := m.Reg.SetValue(key, hive.DwordValue(fmt.Sprintf("opt%d", i%7), uint32(i))); err != nil {
+			return err
+		}
+	}
+	for _, svc := range []string{"Spooler", "Themes", "AudioSrv", "wuauserv"} {
+		key := `HKLM\SYSTEM\CurrentControlSet\Services\` + svc
+		if err := m.Reg.CreateKey(key); err != nil {
+			return err
+		}
+		if err := m.Reg.SetString(key, "ImagePath", `C:\WINDOWS\system32\svchost.exe -k `+svc); err != nil {
+			return err
+		}
+	}
+	if err := m.Reg.SetString(`HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Run`,
+		"SoundTray", `C:\WINDOWS\system32\soundtray.exe`); err != nil {
+		return err
+	}
+	return nil
+}

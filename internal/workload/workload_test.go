@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"testing"
+
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/ghostware"
+)
+
+func TestPaperMachinesMatchReportedRanges(t *testing.T) {
+	profiles := PaperMachines()
+	if len(profiles) != 9 {
+		t.Fatalf("profiles = %d, want 8 + workstation", len(profiles))
+	}
+	kinds := map[string]int{}
+	for _, p := range profiles[:8] {
+		kinds[p.Kind]++
+		if p.DiskUsedGB < 5 || p.DiskUsedGB > 34 {
+			t.Errorf("%s: disk usage %g GB outside the paper's 5-34 range", p.Name, p.DiskUsedGB)
+		}
+		if p.CPUMHz < 550 || p.CPUMHz > 2200 {
+			t.Errorf("%s: CPU %d MHz outside 550-2200", p.Name, p.CPUMHz)
+		}
+	}
+	if kinds["corporate desktop"] != 4 || kinds["home machine"] != 3 || kinds["laptop"] != 1 {
+		t.Errorf("fleet mix = %v, want 4 corporate + 3 home + 1 laptop", kinds)
+	}
+	ws := profiles[8]
+	if ws.DiskUsedGB != 95 || ws.DiskGB != 111 || ws.CPUMHz != 3000 {
+		t.Errorf("workstation = %+v", ws)
+	}
+}
+
+func TestPopulateCreatesTargetPopulation(t *testing.T) {
+	p := SmallProfile()
+	p.Churn = nil
+	m, err := NewPaperMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(p.DiskUsedGB * float64(p.FilesPerGB))
+	if got := m.Disk.FileCount(); got < want {
+		t.Errorf("file count = %d, want at least %d", got, want)
+	}
+	// Declared usage should land near the profile's disk usage.
+	used := float64(m.Disk.UsedBytes()) / float64(1<<30)
+	if used < p.DiskUsedGB*0.4 || used > p.DiskUsedGB*2.5 {
+		t.Errorf("declared usage = %.2f GB, profile says %.2f GB", used, p.DiskUsedGB)
+	}
+}
+
+func TestPopulatedMachineScansClean(t *testing.T) {
+	p := SmallProfile()
+	p.Churn = nil
+	m, err := NewPaperMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.NewDetector(m)
+	d.Advanced = true
+	reports, err := d.ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.Infected() {
+			t.Errorf("populated clean machine: %s hidden = %+v", r.Kind, r.Hidden[:capInt(3, len(r.Hidden))])
+		}
+	}
+}
+
+func TestPopulatedMachineDetectsMalware(t *testing.T) {
+	p := SmallProfile()
+	p.Churn = nil
+	m, err := NewPaperMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd := ghostware.NewHackerDefender()
+	if err := hd.Install(m); err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.NewDetector(m).ScanFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hidden) != len(hd.HiddenFiles()) {
+		t.Errorf("hidden = %d, want %d", len(r.Hidden), len(hd.HiddenFiles()))
+	}
+}
+
+// TestScanTimeShapeAcrossFleet: scan time must grow with disk usage and
+// the workstation must dominate everything (the paper's 38-minute
+// outlier). Using reduced populations keeps the test fast while the
+// virtual-time model preserves the shape.
+func TestScanTimeShapeAcrossFleet(t *testing.T) {
+	profiles := PaperMachines()
+	pick := map[string]bool{"home-1": true, "corp-4": true, "workstation": true}
+	elapsed := map[string]float64{}
+	for _, p := range profiles {
+		if !pick[p.Name] {
+			continue
+		}
+		p.FilesPerGB = 10 // lighter population, same represented density
+		m, err := NewPaperMachine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		high, err := core.ScanFilesHigh(m, m.SystemCall())
+		if err != nil {
+			t.Fatal(err)
+		}
+		low, err := core.ScanFilesLow(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed[p.Name] = (high.Elapsed + low.Elapsed).Seconds()
+	}
+	if !(elapsed["home-1"] < elapsed["corp-4"] && elapsed["corp-4"] < elapsed["workstation"]) {
+		t.Errorf("scan-time ordering broken: %v", elapsed)
+	}
+	// Paper shape: small machines in the 30s-7min band, workstation far
+	// beyond it.
+	if elapsed["home-1"] < 10 || elapsed["corp-4"] > 600 {
+		t.Errorf("small-machine scan times out of band: %v", elapsed)
+	}
+	if elapsed["workstation"] < 600 {
+		t.Errorf("workstation should be a many-minute outlier: %v", elapsed)
+	}
+}
+
+func capInt(limit, n int) int {
+	if n < limit {
+		return n
+	}
+	return limit
+}
