@@ -8,10 +8,12 @@
 package main
 
 import (
+	"fmt"
 	"testing"
 
 	"ghostbuster/internal/core"
 	"ghostbuster/internal/experiments"
+	"ghostbuster/internal/fleet"
 	"ghostbuster/internal/ghostware"
 	"ghostbuster/internal/hive"
 	"ghostbuster/internal/machine"
@@ -246,6 +248,103 @@ func BenchmarkMachineBuild(b *testing.B) {
 		}
 	}
 }
+
+// --- incremental scanning & fleet scheduler benchmarks ---------------------
+
+// BenchmarkInsideSweep measures one full inside-the-box detection sweep
+// (all four resource types, advanced mode), cold vs warm. Cold drops the
+// generation-tracked cache every iteration, so every sweep reparses the
+// full MFT image and every hive; warm keeps it, so repeat sweeps of the
+// unchanged disk charge only generation verify passes. The warm/cold
+// wall-clock ratio is the payoff of the incremental layer.
+func BenchmarkInsideSweep(b *testing.B) {
+	run := func(warm bool) func(*testing.B) {
+		return func(b *testing.B) {
+			// A real boot volume's MFT carries far more records than live
+			// files (slack from deletions and preallocation), and the
+			// truth-side scan must decode all of them. The default test
+			// headroom (4096 records) understates that, so size the MFT
+			// like a modest real disk.
+			p := workload.SmallProfile()
+			p.Churn = nil
+			p.MFTHeadroom = 32768
+			m, err := workload.NewPaperMachine(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d := core.NewCachedDetector(m)
+			d.Advanced = true
+			if _, err := d.ScanAll(); err != nil { // prime the cache
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !warm {
+					d.Cache.Invalidate()
+				}
+				reports, err := d.ScanAll()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(reports) != 4 {
+					b.Fatalf("reports = %d", len(reports))
+				}
+			}
+		}
+	}
+	b.Run("cold", run(false))
+	b.Run("warm", run(true))
+}
+
+// benchFleet builds n minimal hosts (tiny format headroom, no churn, no
+// population) so fleet-scale scheduler benchmarks stay in memory.
+func benchFleet(b *testing.B, n int) *fleet.Manager {
+	b.Helper()
+	mgr := fleet.NewManager()
+	for i := 0; i < n; i++ {
+		p := machine.DefaultProfile()
+		p.DiskUsedGB = 0.05
+		p.Churn = nil
+		p.Seed = int64(i + 1)
+		p.MFTHeadroom = 64
+		p.ClusterHeadroom = 64
+		m, err := machine.New(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgr.Add(fmt.Sprintf("host-%04d", i), m)
+	}
+	return mgr
+}
+
+// benchFleetSweep measures a bounded parallel inside sweep across n
+// hosts. The scheduler runs a fixed worker pool regardless of n, and
+// per-host caches make repeat sweeps incremental — together this is the
+// fleet-scale hot path.
+func benchFleetSweep(b *testing.B, hosts int) {
+	mgr := benchFleet(b, hosts)
+	mgr.ParallelInsideSweep() // prime host caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := mgr.ParallelInsideSweep()
+		if len(results) != hosts {
+			b.Fatalf("results = %d", len(results))
+		}
+		for _, r := range results {
+			if r.Err != "" {
+				b.Fatalf("%s: %s", r.Host, r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkFleetInsideSweep100 sweeps a 100-host fleet.
+func BenchmarkFleetInsideSweep100(b *testing.B) { benchFleetSweep(b, 100) }
+
+// BenchmarkFleetInsideSweep1000 sweeps a 1000-host fleet.
+func BenchmarkFleetInsideSweep1000(b *testing.B) { benchFleetSweep(b, 1000) }
 
 // BenchmarkRaceWindow regenerates the scan-ordering race ablation.
 func BenchmarkRaceWindow(b *testing.B) { benchExperiment(b, "race") }

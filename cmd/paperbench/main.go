@@ -7,6 +7,9 @@
 //	paperbench            # run the full matrix
 //	paperbench -list      # list experiment ids
 //	paperbench -exp fig3  # run one experiment (figN or a named exp)
+//	paperbench -sweepbench -out BENCH_sweep.json
+//	                      # time cold-vs-warm inside sweeps and a fleet
+//	                      # sweep; write machine-readable JSON
 package main
 
 import (
@@ -29,8 +32,15 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	exp := fs.String("exp", "", "run a single experiment by id (e.g. fig3, scantime, linux)")
 	fig := fs.Int("fig", 0, "run a single figure by number (2-6)")
+	sweepbench := fs.Bool("sweepbench", false, "benchmark cold-vs-warm sweeps and the fleet scheduler, write JSON")
+	out := fs.String("out", "BENCH_sweep.json", "output path for -sweepbench")
+	reps := fs.Int("reps", 5, "repetitions per -sweepbench timing")
+	hosts := fs.Int("hosts", 100, "fleet size for the -sweepbench fleet timing")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sweepbench {
+		return runSweepBench(*out, *reps, *hosts)
 	}
 	if *list {
 		for _, e := range experiments.All() {

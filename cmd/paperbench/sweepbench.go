@@ -1,0 +1,115 @@
+// Sweep benchmark mode: machine-readable wall-clock timings for the
+// incremental-scanning layer (cold vs warm inside sweeps) and the
+// bounded fleet scheduler, written as JSON for tooling to track.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/fleet"
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/workload"
+)
+
+// sweepBenchResult is the schema of BENCH_sweep.json.
+type sweepBenchResult struct {
+	// Single-host inside sweep, wall-clock, averaged over Reps.
+	Reps          int     `json:"reps"`
+	MFTRecords    int     `json:"mftRecords"`
+	ColdSweepNs   int64   `json:"coldSweepNs"`
+	WarmSweepNs   int64   `json:"warmSweepNs"`
+	WarmSpeedup   float64 `json:"warmSpeedup"`
+	ColdVirtualNs int64   `json:"coldVirtualNs"`
+	WarmVirtualNs int64   `json:"warmVirtualNs"`
+	// Fleet warm sweeps through the bounded scheduler.
+	FleetHosts       int   `json:"fleetHosts"`
+	FleetParallelism int   `json:"fleetParallelism"`
+	FleetSweepNs     int64 `json:"fleetSweepNs"`
+}
+
+// runSweepBench measures cold-vs-warm single-host sweeps plus one fleet
+// sweep and writes the JSON report to out.
+func runSweepBench(out string, reps, hosts int) error {
+	p := workload.SmallProfile()
+	p.Churn = nil
+	p.MFTHeadroom = 32768 // size the MFT like a modest real disk
+	m, err := workload.NewPaperMachine(p)
+	if err != nil {
+		return err
+	}
+	d := core.NewCachedDetector(m)
+	d.Advanced = true
+	if _, err := d.ScanAll(); err != nil { // prime cache + page warmup
+		return err
+	}
+
+	res := sweepBenchResult{Reps: reps, MFTRecords: int(m.Disk.Geometry().MFTRecords)}
+	sweep := func(cold bool) (wall, virtual int64, err error) {
+		for i := 0; i < reps; i++ {
+			if cold {
+				d.Cache.Invalidate()
+			}
+			vStart := m.Clock.Now()
+			wStart := time.Now()
+			if _, err := d.ScanAll(); err != nil {
+				return 0, 0, err
+			}
+			wall += int64(time.Since(wStart))
+			virtual += int64(m.Clock.Now() - vStart)
+		}
+		return wall / int64(reps), virtual / int64(reps), nil
+	}
+	if res.ColdSweepNs, res.ColdVirtualNs, err = sweep(true); err != nil {
+		return err
+	}
+	if res.WarmSweepNs, res.WarmVirtualNs, err = sweep(false); err != nil {
+		return err
+	}
+	if res.WarmSweepNs > 0 {
+		res.WarmSpeedup = float64(res.ColdSweepNs) / float64(res.WarmSweepNs)
+	}
+
+	mgr := fleet.NewManager()
+	for i := 0; i < hosts; i++ {
+		fp := machine.DefaultProfile()
+		fp.DiskUsedGB = 0.05
+		fp.Churn = nil
+		fp.Seed = int64(i + 1)
+		fp.MFTHeadroom = 64
+		fp.ClusterHeadroom = 64
+		fm, err := machine.New(fp)
+		if err != nil {
+			return err
+		}
+		mgr.Add(fmt.Sprintf("host-%04d", i), fm)
+	}
+	mgr.ParallelInsideSweep() // prime per-host caches
+	res.FleetHosts = hosts
+	res.FleetParallelism = runtime.GOMAXPROCS(0)
+	start := time.Now()
+	results := mgr.ParallelInsideSweep()
+	res.FleetSweepNs = int64(time.Since(start))
+	for _, r := range results {
+		if r.Err != "" {
+			return fmt.Errorf("fleet sweep: %s: %s", r.Host, r.Err)
+		}
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("sweep bench: cold %v, warm %v (%.1fx), fleet(%d hosts) %v -> %s\n",
+		time.Duration(res.ColdSweepNs), time.Duration(res.WarmSweepNs), res.WarmSpeedup,
+		hosts, time.Duration(res.FleetSweepNs), out)
+	return nil
+}

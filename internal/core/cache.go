@@ -1,0 +1,143 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/ntfs"
+	"ghostbuster/internal/vtime"
+)
+
+// Cache-hit verify costs for the virtual-time model. A hit does not
+// reread the MFT or the hive files; it rereads the boot sector / hive
+// headers and the mutation generation counters and compares them to the
+// cached keys. That is a couple of random reads plus a handful of
+// comparisons, charged as a flat verify pass per source (see DESIGN.md,
+// "Incremental cross-view scanning").
+const (
+	costCacheVerifyDisk = 2 * time.Millisecond
+	costCacheVerifyHive = 500 * time.Microsecond
+)
+
+// ScanCache memoizes the parsed low-level snapshots of one machine's
+// byte-level truth sources, keyed on their mutation generations. The
+// sweep loop of a fleet deployment runs daily on mostly idle desktops;
+// when nothing changed on disk since the last sweep, re-parsing the
+// full MFT image and re-copying every Registry hive is pure waste. The
+// cache turns those repeat parses into generation checks.
+//
+// Safety argument: every mutation path to the underlying bytes bumps a
+// generation counter — ntfs.Volume mutators (create/write/remove/ADS
+// ops), hive commits, Registry mount-table changes, and the
+// machine.WriteDeviceBytes hook for direct device writes. A generation
+// mismatch always forces a full reparse, so a file or ASEP hook hidden
+// after a cached sweep is re-discovered on the next sweep; a stale
+// snapshot can never mask it. The cache only ever serves the low-level
+// (truth) side: high-level scans go through the hookable API chain and
+// are re-run every sweep, so newly installed interception is still
+// caught even when the disk bytes are unchanged.
+//
+// A ScanCache is owned by a single machine and, like the machine, is
+// not safe for concurrent use.
+type ScanCache struct {
+	m *machine.Machine
+
+	files    *Snapshot
+	filesGen uint64
+
+	aseps    *Snapshot
+	asepsKey string
+
+	hits, misses int
+}
+
+// NewScanCache returns an empty cache bound to m.
+func NewScanCache(m *machine.Machine) *ScanCache { return &ScanCache{m: m} }
+
+// Stats reports cache effectiveness counters.
+type CacheStats struct {
+	Hits, Misses int
+}
+
+// Stats returns hit/miss counters accumulated since construction.
+func (c *ScanCache) Stats() CacheStats { return CacheStats{Hits: c.hits, Misses: c.misses} }
+
+// Invalidate drops all cached snapshots; the next scans reparse fully.
+func (c *ScanCache) Invalidate() {
+	c.files = nil
+	c.aseps = nil
+}
+
+// hitSnapshot stamps a cached snapshot for the current virtual time. The
+// entry map is shared with the cached copy — snapshots are never mutated
+// after construction, only diffed.
+func hitSnapshot(cached *Snapshot, clock *vtime.Clock, elapsed time.Duration) *Snapshot {
+	snap := *cached
+	snap.Taken = clock.Now()
+	snap.Elapsed = elapsed
+	return &snap
+}
+
+// ScanFilesLow is the cached variant of core.ScanFilesLow: it returns
+// the memoized raw-MFT snapshot when the volume generation is unchanged,
+// charging only the verify pass.
+func (c *ScanCache) ScanFilesLow() (*Snapshot, error) {
+	gen := c.m.Disk.Generation()
+	if c.files != nil && c.filesGen == gen {
+		c.hits++
+		sw := vtime.NewStopwatch(c.m.Clock)
+		c.m.Clock.ChargeBytes(ntfs.BytesPerSector, diskBytesPerSecond(c.m.Profile))
+		c.m.Clock.ChargeOps(1, costCacheVerifyDisk)
+		return hitSnapshot(c.files, c.m.Clock, sw.Elapsed()), nil
+	}
+	c.misses++
+	snap, err := ScanFilesLow(c.m)
+	if err != nil {
+		return nil, err
+	}
+	c.files = snap
+	c.filesGen = gen
+	return snap, nil
+}
+
+// ScanASEPLow is the cached variant of core.ScanASEPLow, keyed on the
+// Registry mount table and every mounted hive's generation.
+func (c *ScanCache) ScanASEPLow() (*Snapshot, error) {
+	key := regCacheKey(c.m)
+	if c.aseps != nil && c.asepsKey == key {
+		c.hits++
+		sw := vtime.NewStopwatch(c.m.Clock)
+		c.m.Clock.ChargeOps(int64(len(c.m.Reg.Roots())), costCacheVerifyHive)
+		return hitSnapshot(c.aseps, c.m.Clock, sw.Elapsed()), nil
+	}
+	c.misses++
+	snap, err := ScanASEPLow(c.m)
+	if err != nil {
+		return nil, err
+	}
+	c.aseps = snap
+	c.asepsKey = key
+	return snap, nil
+}
+
+// regCacheKey folds the mount-table generation and each mounted hive's
+// root and generation into one comparable key. A plain sum would be
+// ambiguous (unmounting a gen-1 hive bumps the mount generation by one,
+// netting zero); the explicit tuple is collision-free.
+func regCacheKey(m *machine.Machine) string {
+	var b strings.Builder
+	b.WriteString(strconv.FormatUint(m.Reg.Generation(), 10))
+	for _, root := range m.Reg.Roots() {
+		h, ok := m.Reg.HiveAt(root)
+		if !ok {
+			continue
+		}
+		b.WriteByte('|')
+		b.WriteString(root)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatUint(h.Generation(), 10))
+	}
+	return b.String()
+}

@@ -21,12 +21,40 @@ type Detector struct {
 	// Diff tuning (noise filters apply to outside scans; inside scans
 	// are expected to be clean).
 	Opts DiffOptions
+	// Cache, when set, memoizes the low-level (truth-side) parses across
+	// repeated sweeps, keyed on the truth sources' mutation generations.
+	// The high-level scans are never cached: they must re-traverse the
+	// hookable API chain every sweep. Must be a cache built on M.
+	Cache *ScanCache
 }
 
 // NewDetector builds a detector with default settings on m: inside-the-
 // box scans with only the baseline noise filters (benign ADS markers).
 func NewDetector(m *machine.Machine) *Detector {
 	return &Detector{M: m, Opts: DiffOptions{NoiseFilters: BaselineNoiseFilters()}}
+}
+
+// NewCachedDetector builds a detector like NewDetector but with an
+// incremental-scan cache attached — the configuration a fleet's daily
+// sweep loop uses.
+func NewCachedDetector(m *machine.Machine) *Detector {
+	d := NewDetector(m)
+	d.Cache = NewScanCache(m)
+	return d
+}
+
+func (d *Detector) lowFiles() (*Snapshot, error) {
+	if d.Cache != nil {
+		return d.Cache.ScanFilesLow()
+	}
+	return ScanFilesLow(d.M)
+}
+
+func (d *Detector) lowASEPs() (*Snapshot, error) {
+	if d.Cache != nil {
+		return d.Cache.ScanASEPLow()
+	}
+	return ScanASEPLow(d.M)
 }
 
 func (d *Detector) call() (*winapi.Call, error) {
@@ -47,7 +75,7 @@ func (d *Detector) ScanFiles() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	low, err := ScanFilesLow(d.M)
+	low, err := d.lowFiles()
 	if err != nil {
 		return nil, err
 	}
@@ -64,7 +92,7 @@ func (d *Detector) ScanASEPs() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	low, err := ScanASEPLow(d.M)
+	low, err := d.lowASEPs()
 	if err != nil {
 		return nil, err
 	}

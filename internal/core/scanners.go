@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -46,11 +47,12 @@ func ScanFilesHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: high-level file scan: %w", err)
 	}
+	snap.grow(len(entries))
 	for _, e := range entries {
 		snap.add(Entry{
 			ID:      fileID(e.Path),
 			Display: e.Path,
-			Detail:  fmt.Sprintf("%d bytes", e.Size),
+			Detail:  strconv.FormatUint(e.Size, 10) + " bytes",
 		})
 	}
 	m.Clock.ChargeOps(int64(float64(len(entries))*m.Profile.RepFileFactor()), costPerRepFileHigh)
@@ -75,13 +77,26 @@ func ScanFilesLow(m *machine.Machine) (*Snapshot, error) {
 }
 
 func chargeLowFileScan(m *machine.Machine, entries int) {
-	repBytes := int64(float64(entries)*m.Profile.RepFileFactor()) * ntfs.RecordSize
-	mbps := m.Profile.DiskMBps
+	chargeRawMFTRead(m.Clock, m.Profile, entries)
+	m.Clock.ChargeOps(int64(float64(entries)*m.Profile.RepFileFactor()), costPerRepFileLow)
+}
+
+// diskBytesPerSecond returns the profile's sequential read throughput in
+// bytes per second, with the 30 MB/s fallback for unset profiles.
+func diskBytesPerSecond(p machine.Profile) int64 {
+	mbps := p.DiskMBps
 	if mbps <= 0 {
 		mbps = 30
 	}
-	m.Clock.ChargeBytes(repBytes, int64(mbps)<<20)
-	m.Clock.ChargeOps(int64(float64(entries)*m.Profile.RepFileFactor()), costPerRepFileLow)
+	return int64(mbps) << 20
+}
+
+// chargeRawMFTRead charges the sequential device read a raw MFT parse of
+// the given entry count performs under profile p. Shared by the inside
+// low-level scan and the outside image scans.
+func chargeRawMFTRead(clock *vtime.Clock, p machine.Profile, entries int) {
+	repBytes := int64(float64(entries)*p.RepFileFactor()) * ntfs.RecordSize
+	clock.ChargeBytes(repBytes, diskBytesPerSecond(p))
 }
 
 // scanImage raw-parses a disk image into a file snapshot, labeling it
@@ -93,9 +108,10 @@ func scanImage(image []byte, view View) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: raw MFT scan: %w", err)
 	}
+	snap.grow(len(raw))
 	for _, e := range raw {
 		full := machine.FullPath(e.Path)
-		detail := fmt.Sprintf("%d bytes, MFT record %d", e.Size, e.Record)
+		detail := strconv.FormatUint(e.Size, 10) + " bytes, MFT record " + strconv.FormatUint(uint64(e.Record), 10)
 		if e.Orphan {
 			detail += " (orphaned parent chain)"
 		}
@@ -113,12 +129,7 @@ func ScanFilesImage(image []byte, view View, clock *vtime.Clock, p machine.Profi
 	if err != nil {
 		return nil, err
 	}
-	repBytes := int64(float64(snap.Len())*p.RepFileFactor()) * ntfs.RecordSize
-	mbps := p.DiskMBps
-	if mbps <= 0 {
-		mbps = 30
-	}
-	clock.ChargeBytes(repBytes, int64(mbps)<<20)
+	chargeRawMFTRead(clock, p, snap.Len())
 	snap.Taken = clock.Now()
 	snap.Elapsed = sw.Elapsed()
 	return snap, nil

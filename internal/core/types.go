@@ -82,6 +82,15 @@ func newSnapshot(kind ResourceKind, view View) *Snapshot {
 
 func (s *Snapshot) add(e Entry) { s.Entries[e.ID] = e }
 
+// grow preallocates the entry map for n expected entries. Called by
+// scanners that know the result size up front, before the add loop, so
+// the hot path avoids incremental map rehashing.
+func (s *Snapshot) grow(n int) {
+	if len(s.Entries) == 0 && n > 0 {
+		s.Entries = make(map[string]Entry, n)
+	}
+}
+
 // Len returns the entry count.
 func (s *Snapshot) Len() int { return len(s.Entries) }
 

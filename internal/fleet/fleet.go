@@ -5,11 +5,18 @@
 // box scans). A Manager owns a set of hosts and runs inside sweeps —
 // fast, daily — and outside sweeps — the RIS netboot flow — collecting
 // machine-readable results.
+//
+// Sweeps run through a bounded worker-pool scheduler: a 10k-host sweep
+// costs a fixed number of goroutines (the configured parallelism), not
+// one per host. Each host carries an incremental-scan cache, so the
+// daily re-sweep of an unchanged desktop charges only generation-check
+// verify passes instead of a full MFT and hive reparse.
 package fleet
 
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -23,12 +30,17 @@ import (
 type Host struct {
 	Name string
 	M    *machine.Machine
+
+	// cache memoizes the host's low-level parses across sweeps. It is
+	// only touched by the worker scanning this host; the scheduler never
+	// hands one host to two workers at once.
+	cache *core.ScanCache
 }
 
 // HostResult is the scan outcome for one host.
 type HostResult struct {
 	Host     string         `json:"host"`
-	Kind     string         `json:"kind"` // "inside" or "outside"
+	Kind     SweepKind      `json:"kind"` // "inside" or "outside"
 	Reports  []*core.Report `json:"reports"`
 	Infected bool           `json:"infected"`
 	Hidden   int            `json:"hiddenCount"`
@@ -36,9 +48,21 @@ type HostResult struct {
 	Err      string         `json:"error,omitempty"`
 }
 
+// SweepKind selects which detection flow a sweep runs on every host.
+type SweepKind string
+
+// The two deployment flows of the paper.
+const (
+	SweepInside  SweepKind = "inside"  // daily in-service cross-view scan
+	SweepOutside SweepKind = "outside" // RIS netboot clean-OS scan
+)
+
 // Manager coordinates scans across hosts.
 type Manager struct {
 	hosts []*Host
+	// Parallelism bounds the scheduler's worker pool for the parallel
+	// sweeps. Zero or negative means runtime.GOMAXPROCS(0).
+	Parallelism int
 }
 
 // NewManager returns an empty fleet.
@@ -46,7 +70,7 @@ func NewManager() *Manager { return &Manager{} }
 
 // Add enrolls a host.
 func (mgr *Manager) Add(name string, m *machine.Machine) {
-	mgr.hosts = append(mgr.hosts, &Host{Name: name, M: m})
+	mgr.hosts = append(mgr.hosts, &Host{Name: name, M: m, cache: core.NewScanCache(m)})
 	sort.Slice(mgr.hosts, func(i, j int) bool { return mgr.hosts[i].Name < mgr.hosts[j].Name })
 }
 
@@ -59,86 +83,163 @@ func (mgr *Manager) Hosts() []string {
 	return out
 }
 
-// InsideSweep runs the inside-the-box detection (all four paper resource
-// types, advanced process mode) on every host. Hosts keep running; this
-// is the "scan their machines daily" mode.
-func (mgr *Manager) InsideSweep() []HostResult {
-	results := make([]HostResult, 0, len(mgr.hosts))
-	for _, h := range mgr.hosts {
-		res := HostResult{Host: h.Name, Kind: "inside"}
-		start := h.M.Clock.Now()
-		d := core.NewDetector(h.M)
-		d.Advanced = true
-		reports, err := d.ScanAll()
-		if err != nil {
-			res.Err = err.Error()
-		} else {
-			res.Reports = reports
-			for _, r := range reports {
-				res.Hidden += len(r.Hidden)
-			}
-			res.Infected = res.Hidden > 0
-		}
-		res.Elapsed = h.M.Clock.Now() - start
-		results = append(results, res)
-	}
-	return results
+// --- per-host scan bodies -------------------------------------------------
+
+// insideScan runs the inside-the-box detection (all four paper resource
+// types, advanced process mode) on one host, reusing the host's scan
+// cache for the truth-side parses.
+func (h *Host) insideScan() HostResult {
+	res := HostResult{Host: h.Name, Kind: SweepInside}
+	start := h.M.Clock.Now()
+	d := core.NewDetector(h.M)
+	d.Advanced = true
+	d.Cache = h.cache
+	reports, err := d.ScanAll()
+	h.finish(&res, reports, err, start)
+	return res
 }
 
-// ParallelInsideSweep runs the inside sweep with one worker per host.
-// Each simulated machine is single-threaded, but distinct machines are
-// independent, so the management console fans out across the fleet the
-// way a real deployment does. Results come back in host order.
-func (mgr *Manager) ParallelInsideSweep() []HostResult {
-	results := make([]HostResult, len(mgr.hosts))
+// outsideScan runs the RIS-automated outside-the-box file check on one
+// host: the machine reboots into the network boot image, is scanned
+// clean, and reboots back into service.
+func (h *Host) outsideScan() HostResult {
+	res := HostResult{Host: h.Name, Kind: SweepOutside}
+	start := h.M.Clock.Now()
+	report, err := winpe.OutsideFileCheck(h.M, core.DiffOptions{})
+	var reports []*core.Report
+	if report != nil {
+		reports = []*core.Report{report}
+	}
+	h.finish(&res, reports, err, start)
+	return res
+}
+
+// finish fills the shared result fields from a scan outcome.
+func (h *Host) finish(res *HostResult, reports []*core.Report, err error, start time.Duration) {
+	if err != nil {
+		res.Err = err.Error()
+	} else {
+		res.Reports = reports
+		for _, r := range reports {
+			res.Hidden += len(r.Hidden)
+		}
+		res.Infected = res.Hidden > 0
+	}
+	res.Elapsed = h.M.Clock.Now() - start
+}
+
+func (h *Host) scan(kind SweepKind) HostResult {
+	if kind == SweepOutside {
+		return h.outsideScan()
+	}
+	return h.insideScan()
+}
+
+// --- bounded scheduler ----------------------------------------------------
+
+type indexedResult struct {
+	i int
+	r HostResult
+}
+
+// schedule fans scan out over the fleet with at most `workers`
+// goroutines and streams completions. This is the single scan loop every
+// sweep flavor goes through: the sequential sweeps run it with one
+// worker, the parallel sweeps with the configured bound. A panicking
+// host scan is captured as that host's error instead of tearing down the
+// whole sweep.
+func (mgr *Manager) schedule(workers int, scan func(*Host) HostResult) <-chan indexedResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(mgr.hosts) {
+		workers = len(mgr.hosts)
+	}
+	jobs := make(chan int)
+	out := make(chan indexedResult)
 	var wg sync.WaitGroup
-	for i, h := range mgr.hosts {
-		i, h := i, h
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res := HostResult{Host: h.Name, Kind: "inside"}
-			start := h.M.Clock.Now()
-			d := core.NewDetector(h.M)
-			d.Advanced = true
-			reports, err := d.ScanAll()
-			if err != nil {
-				res.Err = err.Error()
-			} else {
-				res.Reports = reports
-				for _, r := range reports {
-					res.Hidden += len(r.Hidden)
-				}
-				res.Infected = res.Hidden > 0
+			for i := range jobs {
+				out <- indexedResult{i: i, r: capturedScan(mgr.hosts[i], scan)}
 			}
-			res.Elapsed = h.M.Clock.Now() - start
-			results[i] = res
 		}()
 	}
-	wg.Wait()
+	go func() {
+		for i := range mgr.hosts {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// capturedScan runs one host scan, converting a panic into a per-host
+// error result.
+func capturedScan(h *Host, scan func(*Host) HostResult) (res HostResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = HostResult{Host: h.Name, Err: fmt.Sprintf("scan panic: %v", p)}
+		}
+	}()
+	return scan(h)
+}
+
+// Sweep runs the given sweep kind over every host with at most `workers`
+// concurrent host scans (0 means runtime.GOMAXPROCS(0)) and returns the
+// results in host order.
+func (mgr *Manager) Sweep(kind SweepKind, workers int) []HostResult {
+	results := make([]HostResult, len(mgr.hosts))
+	for ir := range mgr.schedule(workers, func(h *Host) HostResult { return h.scan(kind) }) {
+		results[ir.i] = ir.r
+	}
 	return results
 }
 
-// OutsideSweep runs the RIS-automated outside-the-box file check on
-// every host: each machine reboots into the network boot image, is
-// scanned clean, and reboots back into service.
-func (mgr *Manager) OutsideSweep() []HostResult {
-	results := make([]HostResult, 0, len(mgr.hosts))
-	for _, h := range mgr.hosts {
-		res := HostResult{Host: h.Name, Kind: "outside"}
-		start := h.M.Clock.Now()
-		report, err := winpe.OutsideFileCheck(h.M, core.DiffOptions{})
-		if err != nil {
-			res.Err = err.Error()
-		} else {
-			res.Reports = []*core.Report{report}
-			res.Hidden = len(report.Hidden)
-			res.Infected = report.Infected()
+// SweepStream is Sweep without the ordering barrier: results arrive on
+// the returned channel as hosts complete, so a management console can
+// act on early completions while a large fleet is still scanning. The
+// channel closes after the last host.
+func (mgr *Manager) SweepStream(kind SweepKind, workers int) <-chan HostResult {
+	out := make(chan HostResult)
+	go func() {
+		for ir := range mgr.schedule(workers, func(h *Host) HostResult { return h.scan(kind) }) {
+			out <- ir.r
 		}
-		res.Elapsed = h.M.Clock.Now() - start
-		results = append(results, res)
-	}
-	return results
+		close(out)
+	}()
+	return out
+}
+
+// InsideSweep runs the inside-the-box detection on every host, one at a
+// time. Hosts keep running; this is the "scan their machines daily"
+// mode.
+func (mgr *Manager) InsideSweep() []HostResult { return mgr.Sweep(SweepInside, 1) }
+
+// ParallelInsideSweep runs the inside sweep through the bounded
+// scheduler at the manager's configured parallelism. Each simulated
+// machine is single-threaded, but distinct machines are independent, so
+// the management console fans out across the fleet the way a real
+// deployment does — at fixed goroutine cost. Results come back in host
+// order.
+func (mgr *Manager) ParallelInsideSweep() []HostResult {
+	return mgr.Sweep(SweepInside, mgr.Parallelism)
+}
+
+// OutsideSweep runs the RIS-automated outside-the-box file check on
+// every host, one at a time.
+func (mgr *Manager) OutsideSweep() []HostResult { return mgr.Sweep(SweepOutside, 1) }
+
+// ParallelOutsideSweep runs the outside sweep through the bounded
+// scheduler at the manager's configured parallelism.
+func (mgr *Manager) ParallelOutsideSweep() []HostResult {
+	return mgr.Sweep(SweepOutside, mgr.Parallelism)
 }
 
 // Summary aggregates sweep results.

@@ -2,8 +2,11 @@ package fleet
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"ghostbuster/internal/ghostware"
 	"ghostbuster/internal/machine"
@@ -109,7 +112,8 @@ func TestMarshalResultsIsValidJSON(t *testing.T) {
 }
 
 // TestParallelSweepMatchesSequential: the fan-out must produce exactly
-// the sequential results (machines are independent; determinism holds).
+// the sequential results (machines are independent; determinism holds)
+// at every scheduler bound the acceptance matrix names.
 func TestParallelSweepMatchesSequential(t *testing.T) {
 	build := func() *Manager {
 		return buildFleet(t, 5, map[int]ghostware.Ghostware{
@@ -118,14 +122,168 @@ func TestParallelSweepMatchesSequential(t *testing.T) {
 		})
 	}
 	seq := build().InsideSweep()
-	par := build().ParallelInsideSweep()
-	if len(seq) != len(par) {
-		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	for _, workers := range []int{1, 4, 64} {
+		mgr := build()
+		mgr.Parallelism = workers
+		par := mgr.ParallelInsideSweep()
+		if len(seq) != len(par) {
+			t.Fatalf("workers=%d: result counts differ: %d vs %d", workers, len(seq), len(par))
+		}
+		for i := range seq {
+			if seq[i].Host != par[i].Host || seq[i].Infected != par[i].Infected || seq[i].Hidden != par[i].Hidden {
+				t.Errorf("workers=%d host %s: seq {inf %v hid %d} vs par {inf %v hid %d}",
+					workers, seq[i].Host, seq[i].Infected, seq[i].Hidden, par[i].Infected, par[i].Hidden)
+			}
+		}
 	}
+}
+
+// tinyFleet builds n minimal hosts cheaply (small format headroom, no
+// population) for scheduler-focused tests.
+func tinyFleet(t testing.TB, n int) *Manager {
+	t.Helper()
+	mgr := NewManager()
+	for i := 0; i < n; i++ {
+		p := machine.DefaultProfile()
+		p.DiskUsedGB = 0.05
+		p.Churn = nil
+		p.Seed = int64(i + 1)
+		p.MFTHeadroom = 64
+		p.ClusterHeadroom = 64
+		m, err := machine.New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr.Add(fmt.Sprintf("host-%03d", i), m)
+	}
+	return mgr
+}
+
+// TestSchedulerBoundsConcurrency: at parallelism k, no more than k host
+// scans may ever be in flight, regardless of fleet size.
+func TestSchedulerBoundsConcurrency(t *testing.T) {
+	mgr := tinyFleet(t, 16)
+	const workers = 3
+	var inFlight, peak int32
+	for ir := range mgr.schedule(workers, func(h *Host) HostResult {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			old := atomic.LoadInt32(&peak)
+			if cur <= old || atomic.CompareAndSwapInt32(&peak, old, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&inFlight, -1)
+		return HostResult{Host: h.Name}
+	}) {
+		_ = ir
+	}
+	if p := atomic.LoadInt32(&peak); p > workers {
+		t.Fatalf("concurrency peaked at %d, bound is %d", p, workers)
+	}
+	if p := atomic.LoadInt32(&peak); p == 0 {
+		t.Fatal("no scan ever ran")
+	}
+}
+
+// TestSchedulerCapturesPanics: one exploding host must not take down the
+// sweep; it becomes that host's error result.
+func TestSchedulerCapturesPanics(t *testing.T) {
+	mgr := tinyFleet(t, 4)
+	n := 0
+	var failed string
+	for ir := range mgr.schedule(2, func(h *Host) HostResult {
+		if h.Name == "host-002" {
+			panic("disk on fire")
+		}
+		return HostResult{Host: h.Name}
+	}) {
+		n++
+		if ir.r.Err != "" {
+			failed = ir.r.Host + ": " + ir.r.Err
+		}
+	}
+	if n != 4 {
+		t.Fatalf("sweep lost results: %d of 4", n)
+	}
+	if !strings.Contains(failed, "host-002") || !strings.Contains(failed, "disk on fire") {
+		t.Fatalf("panic not captured per-host: %q", failed)
+	}
+}
+
+// TestSweepStreamDeliversAllHosts: the streaming variant yields every
+// host exactly once and closes.
+func TestSweepStreamDeliversAllHosts(t *testing.T) {
+	mgr := buildFleet(t, 3, map[int]ghostware.Ghostware{2: ghostware.NewVanquish()})
+	seen := map[string]int{}
+	infected := 0
+	for r := range mgr.SweepStream(SweepInside, 4) {
+		seen[r.Host]++
+		if r.Infected {
+			infected++
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("stream delivered %d hosts, want 3", len(seen))
+	}
+	for h, n := range seen {
+		if n != 1 {
+			t.Errorf("host %s delivered %d times", h, n)
+		}
+	}
+	if infected != 1 {
+		t.Errorf("infected = %d, want 1", infected)
+	}
+}
+
+// TestWarmSweepCostsLessVirtualTime: the second inside sweep of an
+// unchanged fleet replaces the MFT and hive reparses with verify
+// passes. The high-level API scans still re-run at full (dominant,
+// seek-bound) virtual cost — the cache must charge strictly less, never
+// more, and the verdicts must not drift.
+func TestWarmSweepCostsLessVirtualTime(t *testing.T) {
+	mgr := buildFleet(t, 3, map[int]ghostware.Ghostware{1: ghostware.NewHackerDefender()})
+	cold := mgr.InsideSweep()
+	warm := mgr.InsideSweep()
+	for i := range cold {
+		if warm[i].Infected != cold[i].Infected || warm[i].Hidden != cold[i].Hidden {
+			t.Errorf("host %s verdict drifted between sweeps", cold[i].Host)
+		}
+		if warm[i].Elapsed >= cold[i].Elapsed {
+			t.Errorf("host %s: warm sweep %v vs cold %v — cache not engaged",
+				cold[i].Host, warm[i].Elapsed, cold[i].Elapsed)
+		}
+	}
+}
+
+// TestEmptyFleetSweeps: scheduling over zero hosts terminates cleanly.
+func TestEmptyFleetSweeps(t *testing.T) {
+	mgr := NewManager()
+	if got := mgr.ParallelInsideSweep(); len(got) != 0 {
+		t.Fatalf("results = %v", got)
+	}
+	if got := mgr.OutsideSweep(); len(got) != 0 {
+		t.Fatalf("results = %v", got)
+	}
+}
+
+// TestParallelOutsideSweepMatchesSequential: the outside flow goes
+// through the same scheduler.
+func TestParallelOutsideSweepMatchesSequential(t *testing.T) {
+	build := func() *Manager {
+		return buildFleet(t, 3, map[int]ghostware.Ghostware{0: ghostware.NewVanquish()})
+	}
+	seq := build().OutsideSweep()
+	mgr := build()
+	mgr.Parallelism = 4
+	par := mgr.ParallelOutsideSweep()
 	for i := range seq {
-		if seq[i].Host != par[i].Host || seq[i].Infected != par[i].Infected || seq[i].Hidden != par[i].Hidden {
-			t.Errorf("host %s: seq {inf %v hid %d} vs par {inf %v hid %d}",
-				seq[i].Host, seq[i].Infected, seq[i].Hidden, par[i].Infected, par[i].Hidden)
+		if seq[i].Host != par[i].Host || seq[i].Infected != par[i].Infected {
+			t.Errorf("host %s: seq inf=%v vs par inf=%v", seq[i].Host, seq[i].Infected, par[i].Infected)
+		}
+		if par[i].Kind != SweepOutside {
+			t.Errorf("host %s: kind = %q", par[i].Host, par[i].Kind)
 		}
 	}
 }

@@ -95,6 +95,7 @@ func (v Value) Dword() uint32 {
 type Hive struct {
 	buf  []byte
 	name string
+	gen  uint64 // mutation generation, see Generation
 }
 
 // New creates an empty hive with a root key.
@@ -151,8 +152,16 @@ func (h *Hive) RootOffset() uint32 {
 	return binary.LittleEndian.Uint32(h.buf[hdrRootOff:])
 }
 
+// Generation returns the hive's mutation generation: the number of
+// commits since the hive was loaded. Every mutator ends with a commit,
+// so incremental scanners can key hive-parse caches on this value; it
+// increases whenever the backing bytes may have changed and never
+// stays flat across a change.
+func (h *Hive) Generation() uint64 { return h.gen }
+
 // commit bumps both sequence numbers, marking a consistent state.
 func (h *Hive) commit() {
+	h.gen++
 	seq := binary.LittleEndian.Uint32(h.buf[hdrSeq1Off:]) + 1
 	binary.LittleEndian.PutUint32(h.buf[hdrSeq1Off:], seq)
 	binary.LittleEndian.PutUint32(h.buf[hdrSeq2Off:], seq)

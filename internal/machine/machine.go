@@ -54,6 +54,12 @@ type Profile struct {
 	RebootTime time.Duration // WinPE CD boot adds 1.5–3 min (paper §2)
 	Seed       int64
 	Churn      []ChurnKind // always-running services on this machine
+	// MFTHeadroom and ClusterHeadroom override the format-time slack
+	// added on top of the populated file count (MFT records and data
+	// clusters respectively). Zero keeps the generous defaults; fleet
+	// benchmarks use small values to build thousands of tiny hosts.
+	MFTHeadroom     int
+	ClusterHeadroom int
 }
 
 // RepFileFactor returns how many represented files each stored MFT
@@ -131,9 +137,16 @@ func New(p Profile) (*Machine, error) {
 	}
 	clock := &vtime.Clock{}
 	// Size the volume for the profile: records for the populated files
-	// plus generous headroom for churn and ghostware.
-	wantRecords := int(p.DiskUsedGB*float64(p.FilesPerGB)) + 4096
-	dataClusters := wantRecords + 8192
+	// plus headroom for churn and ghostware.
+	recHead, clusHead := p.MFTHeadroom, p.ClusterHeadroom
+	if recHead <= 0 {
+		recHead = 4096
+	}
+	if clusHead <= 0 {
+		clusHead = 8192
+	}
+	wantRecords := int(p.DiskUsedGB*float64(p.FilesPerGB)) + recHead
+	dataClusters := wantRecords + clusHead
 	vol, err := ntfs.Format(dataClusters, wantRecords)
 	if err != nil {
 		return nil, fmt.Errorf("machine: formatting disk: %w", err)
@@ -333,6 +346,25 @@ func (m *Machine) RemoveFile(full string) error {
 		return err
 	}
 	return m.Disk.Remove(vp)
+}
+
+// WriteDeviceBytes patches raw device bytes at the given offset — the
+// lowest mutation surface the simulation offers, used by ghostware that
+// edits on-disk structures behind the filesystem driver's back (the way
+// a kernel rootkit issues IRPs straight to the disk class driver). It
+// deliberately bypasses the Volume index, but it still bumps the
+// volume's mutation generation: in this simulation the device is only
+// reachable through the machine, so every byte-level write is visible
+// to the incremental-scan cache and can never be masked by a stale
+// parse.
+func (m *Machine) WriteDeviceBytes(off int, data []byte) error {
+	dev := m.Disk.Device()
+	if off < 0 || off+len(data) > len(dev) {
+		return fmt.Errorf("machine: device write [%d, %d) outside device of %d bytes", off, off+len(data), len(dev))
+	}
+	copy(dev[off:], data)
+	m.Disk.BumpGeneration()
+	return nil
 }
 
 // FileExists reports whether the path exists on disk (driver view).

@@ -22,6 +22,7 @@ type StreamInfo struct {
 // file. Stream data is stored resident for simplicity; typical ADS
 // payloads are small executables or scripts.
 func (v *Volume) CreateStream(path, stream string, data []byte) error {
+	v.gen++
 	if stream == "" || strings.ContainsAny(stream, `\:`) {
 		return fmt.Errorf("%w: bad stream name %q", ErrNameTooLong, stream)
 	}
@@ -78,6 +79,7 @@ func (v *Volume) ReadStream(path, stream string) ([]byte, error) {
 
 // RemoveStream deletes a named stream.
 func (v *Volume) RemoveStream(path, stream string) error {
+	v.gen++
 	num, err := v.resolve(path)
 	if err != nil {
 		return err

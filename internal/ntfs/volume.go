@@ -44,6 +44,7 @@ type Volume struct {
 	nodes     map[uint32]*node
 	freeRec   uint32 // search hint
 	usedBytes int64  // advertised bytes in use (directory sizes excluded)
+	gen       uint64 // mutation generation, see Generation
 }
 
 // Format creates a fresh volume with capacity for the given number of
@@ -162,6 +163,17 @@ func Mount(dev []byte) (*Volume, error) {
 // Device returns the live device bytes. Inside-the-box low-level scans
 // read these directly (GhostBuster parses them with RawScan).
 func (v *Volume) Device() []byte { return v.dev }
+
+// Generation returns the volume's mutation generation. Every operation
+// that can change the device bytes bumps it, conservatively: a bump may
+// happen even when the bytes end up unchanged (a failed create still
+// counts), but bytes never change without a bump. Incremental scanners
+// key parse caches on this value. Callers that write the device bytes
+// directly (bypassing the Volume mutators) must call BumpGeneration.
+func (v *Volume) Generation() uint64 { return v.gen }
+
+// BumpGeneration records an out-of-band mutation of the device bytes.
+func (v *Volume) BumpGeneration() { v.gen++ }
 
 // SnapshotImage returns a copy of the device, as the WinPE / VM outside
 // scans would obtain by reading the physical disk.
@@ -332,6 +344,7 @@ func splitDirBase(path string) (dir, base string) {
 
 // Create makes a file or directory at path. The parent must exist.
 func (v *Volume) Create(path string, opt CreateOptions) error {
+	v.gen++
 	dir, base := splitDirBase(path)
 	if base == "" {
 		return fmt.Errorf("%w: empty path", ErrNotFound)
@@ -436,6 +449,7 @@ func (v *Volume) MkdirAll(path string, created uint64) error {
 
 // WriteFile replaces the data of an existing file.
 func (v *Volume) WriteFile(path string, data []byte, modified uint64) error {
+	v.gen++
 	num, err := v.resolve(path)
 	if err != nil {
 		return err
@@ -533,6 +547,7 @@ func (v *Volume) ReadFile(path string) ([]byte, error) {
 // cleared and its sequence number bumped, leaving a stale record behind
 // exactly as NTFS does.
 func (v *Volume) Remove(path string) error {
+	v.gen++
 	num, err := v.resolve(path)
 	if err != nil {
 		return err
@@ -650,6 +665,7 @@ func (v *Volume) ReadDir(path string) ([]Info, error) {
 // SetAttrs updates the DOS attribute bits of a file (used to model
 // hidden/system attribute tricks).
 func (v *Volume) SetAttrs(path string, attrs uint32, modified uint64) error {
+	v.gen++
 	num, err := v.resolve(path)
 	if err != nil {
 		return err

@@ -28,6 +28,7 @@ var ErrNoHive = errors.New("registry: path not under a mounted hive")
 type Registry struct {
 	mounts map[string]*hive.Hive // upper-cased root -> hive
 	roots  []string              // display-cased, sorted long-to-short for matching
+	gen    uint64                // mount-table generation, see Generation
 }
 
 // New creates a registry with the three standard hives mounted and the
@@ -59,8 +60,15 @@ func New() (*Registry, error) {
 	return r, nil
 }
 
+// Generation returns the mount-table generation: bumped whenever a hive
+// is mounted or unmounted. Combined with the per-hive generations it
+// lets incremental scanners detect any change to the Registry's backing
+// bytes, including swapping a whole hive for a different one.
+func (r *Registry) Generation() uint64 { return r.gen }
+
 // Mount attaches a hive at root, replacing any previous mount.
 func (r *Registry) Mount(root string, h *hive.Hive) {
+	r.gen++
 	key := strings.ToUpper(root)
 	if _, exists := r.mounts[key]; !exists {
 		r.roots = append(r.roots, root)
@@ -71,6 +79,7 @@ func (r *Registry) Mount(root string, h *hive.Hive) {
 
 // Unmount detaches the hive at root.
 func (r *Registry) Unmount(root string) {
+	r.gen++
 	key := strings.ToUpper(root)
 	delete(r.mounts, key)
 	for i, existing := range r.roots {

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Full local gate: vet, build, and the whole test suite under the race
+# detector (the fleet scheduler is the main concurrency surface).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK"
