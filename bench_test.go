@@ -297,6 +297,40 @@ func BenchmarkInsideSweep(b *testing.B) {
 	b.Run("warm", run(true))
 }
 
+// BenchmarkScanAllParallel measures the intra-host fan-out: one cold
+// inside sweep (cache dropped every iteration, so both truth sides
+// reparse) at 1, 2, and 4 lanes. The lanes split the eight scan units
+// across goroutines; the 4-lane wall-clock should come in well under
+// half of sequential on a multi-core host.
+func BenchmarkScanAllParallel(b *testing.B) {
+	for _, lanes := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("lanes-%d", lanes), func(b *testing.B) {
+			p := workload.SmallProfile()
+			p.Churn = nil
+			p.MFTHeadroom = 32768
+			m, err := workload.NewPaperMachine(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d := core.NewCachedDetector(m)
+			d.Advanced = true
+			d.Parallelism = lanes
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Cache.Invalidate()
+				reports, err := d.ScanAll()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(reports) != 4 {
+					b.Fatalf("reports = %d", len(reports))
+				}
+			}
+		})
+	}
+}
+
 // benchFleet builds n minimal hosts (tiny format headroom, no churn, no
 // population) so fleet-scale scheduler benchmarks stay in memory.
 func benchFleet(b *testing.B, n int) *fleet.Manager {

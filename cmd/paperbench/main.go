@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ghostbuster/internal/experiments"
 )
@@ -36,8 +38,35 @@ func run(args []string) error {
 	out := fs.String("out", "BENCH_sweep.json", "output path for -sweepbench")
 	reps := fs.Int("reps", 5, "repetitions per -sweepbench timing")
 	hosts := fs.Int("hosts", 100, "fleet size for the -sweepbench fleet timing")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench: memprofile:", err)
+			}
+		}()
 	}
 	if *sweepbench {
 		return runSweepBench(*out, *reps, *hosts)

@@ -30,6 +30,19 @@ type sweepBenchResult struct {
 	FleetHosts       int   `json:"fleetHosts"`
 	FleetParallelism int   `json:"fleetParallelism"`
 	FleetSweepNs     int64 `json:"fleetSweepNs"`
+	// Parallel intra-host sweeps: one cold sweep timed at each lane
+	// count, with the wall-clock speedup over the 1-lane run. On a
+	// single-core host the speedups hover around 1x; the lanes only pay
+	// off with real hardware parallelism.
+	Parallel []parallelSweepResult `json:"parallel"`
+}
+
+// parallelSweepResult is one lane-count entry of the parallel section.
+type parallelSweepResult struct {
+	Lanes       int     `json:"lanes"`
+	ColdSweepNs int64   `json:"coldSweepNs"`
+	VirtualNs   int64   `json:"coldVirtualNs"`
+	Speedup     float64 `json:"speedup"` // vs the 1-lane cold sweep
 }
 
 // runSweepBench measures cold-vs-warm single-host sweeps plus one fleet
@@ -74,6 +87,29 @@ func runSweepBench(out string, reps, hosts int) error {
 		res.WarmSpeedup = float64(res.ColdSweepNs) / float64(res.WarmSweepNs)
 	}
 
+	for _, lanes := range []int{1, 2, 4} {
+		d.Parallelism = lanes
+		var wall, virtual int64
+		for i := 0; i < reps; i++ {
+			d.Cache.Invalidate()
+			vStart := m.Clock.Now()
+			wStart := time.Now()
+			if _, err := d.ScanAll(); err != nil {
+				return err
+			}
+			wall += int64(time.Since(wStart))
+			virtual += int64(m.Clock.Now() - vStart)
+		}
+		pr := parallelSweepResult{Lanes: lanes, ColdSweepNs: wall / int64(reps), VirtualNs: virtual / int64(reps)}
+		if base := res.Parallel; len(base) > 0 && pr.ColdSweepNs > 0 {
+			pr.Speedup = float64(base[0].ColdSweepNs) / float64(pr.ColdSweepNs)
+		} else {
+			pr.Speedup = 1
+		}
+		res.Parallel = append(res.Parallel, pr)
+	}
+	d.Parallelism = 0
+
 	mgr := fleet.NewManager()
 	for i := 0; i < hosts; i++ {
 		fp := machine.DefaultProfile()
@@ -111,5 +147,8 @@ func runSweepBench(out string, reps, hosts int) error {
 	fmt.Printf("sweep bench: cold %v, warm %v (%.1fx), fleet(%d hosts) %v -> %s\n",
 		time.Duration(res.ColdSweepNs), time.Duration(res.WarmSweepNs), res.WarmSpeedup,
 		hosts, time.Duration(res.FleetSweepNs), out)
+	for _, pr := range res.Parallel {
+		fmt.Printf("  parallel lanes=%d: cold %v (%.2fx)\n", pr.Lanes, time.Duration(pr.ColdSweepNs), pr.Speedup)
+	}
 	return nil
 }

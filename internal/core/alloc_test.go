@@ -1,0 +1,67 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// The hot-path helpers were rewritten to stop paying fmt.Sprintf /
+// unconditional strings.ToUpper per entry; these assertions pin the
+// allocation behavior so a regression shows up as a test failure, not
+// just a slower benchmark.
+
+func TestFileIDAllocs(t *testing.T) {
+	canonical := `C:\WINDOWS\SYSTEM32\NTOSKRNL.EXE`
+	if got := testing.AllocsPerRun(100, func() {
+		if fileID(canonical) != canonical {
+			t.Fatal("canonical path must round-trip")
+		}
+	}); got != 0 {
+		t.Errorf("fileID(canonical) allocs = %v, want 0", got)
+	}
+	lower := `C:\windows\system32\drivers\etc\hosts`
+	want := strings.ToUpper(lower)
+	if got := testing.AllocsPerRun(100, func() {
+		if fileID(lower) != want {
+			t.Fatal("upcase mismatch")
+		}
+	}); got > 2 {
+		t.Errorf("fileID(lowercase) allocs = %v, want <= 2", got)
+	}
+}
+
+func TestProcIDAllocs(t *testing.T) {
+	if procID(4321, "lsass.exe") != "PID 4321: LSASS.EXE" {
+		t.Fatalf("procID = %q", procID(4321, "lsass.exe"))
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		_ = procID(4321, "lsass.exe")
+	}); got > 2 {
+		t.Errorf("procID allocs = %v, want <= 2 (scratch buffer + string)", got)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		_ = modID(4321, `C:\WINDOWS\system32\ntdll.dll`)
+	}); got > 2 {
+		t.Errorf("modID allocs = %v, want <= 2", got)
+	}
+}
+
+// TestDiffInnerLoopAllocs bounds the diff of two identical snapshots —
+// the every-sweep clean case. The loop itself must not allocate; the
+// budget covers only the Report and its bookkeeping.
+func TestDiffInnerLoopAllocs(t *testing.T) {
+	snap := newSnapshot(KindFiles, ViewWin32Inside)
+	snap.grow(512)
+	for i := 0; i < 512; i++ {
+		path := `C:\FILES\FILE` + string(rune('A'+i%26)) + `.DAT`
+		snap.add(Entry{ID: fileID(path), Display: path, Detail: "1 bytes"})
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		r, err := Diff(snap, snap, DiffOptions{})
+		if err != nil || r.Infected() {
+			t.Fatal("diff of identical snapshots must be clean")
+		}
+	}); got > 3 {
+		t.Errorf("clean diff allocs = %v, want <= 3", got)
+	}
+}

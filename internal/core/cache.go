@@ -3,6 +3,8 @@ package core
 import (
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ghostbuster/internal/machine"
@@ -39,18 +41,24 @@ const (
 // are re-run every sweep, so newly installed interception is still
 // caught even when the disk bytes are unchanged.
 //
-// A ScanCache is owned by a single machine and, like the machine, is
-// not safe for concurrent use.
+// A ScanCache is owned by a single machine and is safe for concurrent
+// use: a parallel sweep's file and ASEP lanes each take their own lock,
+// so the two truth sources never serialize against each other. The
+// generation key is always read before the parse, so a mutation racing
+// a miss can only make the cached copy stale-keyed (forcing a reparse
+// next sweep), never mask a change.
 type ScanCache struct {
 	m *machine.Machine
 
+	filesMu  sync.Mutex
 	files    *Snapshot
 	filesGen uint64
 
+	asepsMu  sync.Mutex
 	aseps    *Snapshot
 	asepsKey string
 
-	hits, misses int
+	hits, misses atomic.Int64
 }
 
 // NewScanCache returns an empty cache bound to m.
@@ -62,12 +70,18 @@ type CacheStats struct {
 }
 
 // Stats returns hit/miss counters accumulated since construction.
-func (c *ScanCache) Stats() CacheStats { return CacheStats{Hits: c.hits, Misses: c.misses} }
+func (c *ScanCache) Stats() CacheStats {
+	return CacheStats{Hits: int(c.hits.Load()), Misses: int(c.misses.Load())}
+}
 
 // Invalidate drops all cached snapshots; the next scans reparse fully.
 func (c *ScanCache) Invalidate() {
+	c.filesMu.Lock()
 	c.files = nil
+	c.filesMu.Unlock()
+	c.asepsMu.Lock()
 	c.aseps = nil
+	c.asepsMu.Unlock()
 }
 
 // hitSnapshot stamps a cached snapshot for the current virtual time. The
@@ -84,16 +98,22 @@ func hitSnapshot(cached *Snapshot, clock *vtime.Clock, elapsed time.Duration) *S
 // the memoized raw-MFT snapshot when the volume generation is unchanged,
 // charging only the verify pass.
 func (c *ScanCache) ScanFilesLow() (*Snapshot, error) {
+	return c.scanFilesLowOn(c.m.Clock, 1)
+}
+
+func (c *ScanCache) scanFilesLowOn(clk *vtime.Clock, workers int) (*Snapshot, error) {
+	c.filesMu.Lock()
+	defer c.filesMu.Unlock()
 	gen := c.m.Disk.Generation()
 	if c.files != nil && c.filesGen == gen {
-		c.hits++
-		sw := vtime.NewStopwatch(c.m.Clock)
-		c.m.Clock.ChargeBytes(ntfs.BytesPerSector, diskBytesPerSecond(c.m.Profile))
-		c.m.Clock.ChargeOps(1, costCacheVerifyDisk)
-		return hitSnapshot(c.files, c.m.Clock, sw.Elapsed()), nil
+		c.hits.Add(1)
+		sw := vtime.NewStopwatch(clk)
+		clk.ChargeBytes(ntfs.BytesPerSector, diskBytesPerSecond(c.m.Profile))
+		clk.ChargeOps(1, costCacheVerifyDisk)
+		return hitSnapshot(c.files, clk, sw.Elapsed()), nil
 	}
-	c.misses++
-	snap, err := ScanFilesLow(c.m)
+	c.misses.Add(1)
+	snap, err := scanFilesLowOn(c.m, clk, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -105,15 +125,21 @@ func (c *ScanCache) ScanFilesLow() (*Snapshot, error) {
 // ScanASEPLow is the cached variant of core.ScanASEPLow, keyed on the
 // Registry mount table and every mounted hive's generation.
 func (c *ScanCache) ScanASEPLow() (*Snapshot, error) {
+	return c.scanASEPLowOn(c.m.Clock)
+}
+
+func (c *ScanCache) scanASEPLowOn(clk *vtime.Clock) (*Snapshot, error) {
+	c.asepsMu.Lock()
+	defer c.asepsMu.Unlock()
 	key := regCacheKey(c.m)
 	if c.aseps != nil && c.asepsKey == key {
-		c.hits++
-		sw := vtime.NewStopwatch(c.m.Clock)
-		c.m.Clock.ChargeOps(int64(len(c.m.Reg.Roots())), costCacheVerifyHive)
-		return hitSnapshot(c.aseps, c.m.Clock, sw.Elapsed()), nil
+		c.hits.Add(1)
+		sw := vtime.NewStopwatch(clk)
+		clk.ChargeOps(int64(len(c.m.Reg.Roots())), costCacheVerifyHive)
+		return hitSnapshot(c.aseps, clk, sw.Elapsed()), nil
 	}
-	c.misses++
-	snap, err := ScanASEPLow(c.m)
+	c.misses.Add(1)
+	snap, err := scanASEPLowOn(c.m, clk)
 	if err != nil {
 		return nil, err
 	}

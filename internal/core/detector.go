@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"ghostbuster/internal/machine"
+	"ghostbuster/internal/vtime"
 	"ghostbuster/internal/winapi"
 )
 
@@ -26,6 +28,13 @@ type Detector struct {
 	// The high-level scans are never cached: they must re-traverse the
 	// hookable API chain every sweep. Must be a cache built on M.
 	Cache *ScanCache
+	// Parallelism bounds how many scan units of one ScanAll sweep run
+	// concurrently. A sweep has eight units (the high/low pair of each of
+	// the four resource detections); values above eight are clamped.
+	// Zero or one keeps the sequential path. Reports are byte-identical
+	// either way: units are statically assigned to virtual-time lanes, so
+	// per-scan charges never depend on goroutine interleaving.
+	Parallelism int
 }
 
 // NewDetector builds a detector with default settings on m: inside-the-
@@ -44,17 +53,25 @@ func NewCachedDetector(m *machine.Machine) *Detector {
 }
 
 func (d *Detector) lowFiles() (*Snapshot, error) {
+	return d.lowFilesOn(d.M.Clock, 1)
+}
+
+func (d *Detector) lowFilesOn(clk *vtime.Clock, workers int) (*Snapshot, error) {
 	if d.Cache != nil {
-		return d.Cache.ScanFilesLow()
+		return d.Cache.scanFilesLowOn(clk, workers)
 	}
-	return ScanFilesLow(d.M)
+	return scanFilesLowOn(d.M, clk, workers)
 }
 
 func (d *Detector) lowASEPs() (*Snapshot, error) {
+	return d.lowASEPsOn(d.M.Clock)
+}
+
+func (d *Detector) lowASEPsOn(clk *vtime.Clock) (*Snapshot, error) {
 	if d.Cache != nil {
-		return d.Cache.ScanASEPLow()
+		return d.Cache.scanASEPLowOn(clk)
 	}
-	return ScanASEPLow(d.M)
+	return scanASEPLowOn(d.M, clk)
 }
 
 func (d *Detector) call() (*winapi.Call, error) {
@@ -63,6 +80,18 @@ func (d *Detector) call() (*winapi.Call, error) {
 		return d.M.SystemCall(), nil
 	}
 	return d.M.CallAs(name)
+}
+
+// callOn builds a fresh call whose API traffic charges the given lane
+// clock instead of the machine clock.
+func (d *Detector) callOn(clk *vtime.Clock) (*winapi.Call, error) {
+	call, err := d.call()
+	if err != nil {
+		return nil, err
+	}
+	laned := *call
+	laned.Clock = clk
+	return &laned, nil
 }
 
 // ScanFiles runs the inside-the-box hidden-file detection (§2).
@@ -140,8 +169,17 @@ func (d *Detector) ScanModules() (*Report, error) {
 }
 
 // ScanAll runs all four detections and returns the reports in the
-// paper's order: files, ASEP hooks, processes, modules.
+// paper's order: files, ASEP hooks, processes, modules. With
+// Parallelism > 1, the eight scan units fan out across that many
+// goroutines (clamped to eight); see scanAllParallel.
 func (d *Detector) ScanAll() ([]*Report, error) {
+	if d.Parallelism > 1 {
+		lanes := d.Parallelism
+		if lanes > numScanUnits {
+			lanes = numScanUnits
+		}
+		return d.scanAllParallel(lanes)
+	}
 	type step struct {
 		name string
 		run  func() (*Report, error)
@@ -157,6 +195,91 @@ func (d *Detector) ScanAll() ([]*Report, error) {
 		r, err := s.run()
 		if err != nil {
 			return nil, fmt.Errorf("core: %s scan: %w", s.name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// numScanUnits is the number of independent scan units in one sweep:
+// the high and low scan of each of the four resource detections.
+const numScanUnits = 8
+
+// scanAllParallel is the fan-out sweep. The eight scan units are
+// statically assigned round-robin to `lanes` virtual-time lanes
+// (unit j runs on lane j mod lanes); each lane is one goroutine running
+// its units in order and charging the lane's clock, so every unit's
+// virtual cost and Elapsed are identical to the sequential path — the
+// assignment never depends on goroutine scheduling. Joining the region
+// advances the machine clock by the longest lane, which is exactly the
+// wall-clock a set of concurrent scanners would have cost.
+func (d *Detector) scanAllParallel(lanes int) ([]*Report, error) {
+	// The truth pid list feeds both module units; compute it once, as the
+	// sequential ScanModules does.
+	pids, err := TruthPids(d.M)
+	if err != nil {
+		return nil, fmt.Errorf("core: modules scan: %w", err)
+	}
+	highUnit := func(scan func(*machine.Machine, *winapi.Call) (*Snapshot, error)) func(*vtime.Clock) (*Snapshot, error) {
+		return func(clk *vtime.Clock) (*Snapshot, error) {
+			call, err := d.callOn(clk)
+			if err != nil {
+				return nil, err
+			}
+			return scan(d.M, call)
+		}
+	}
+	// Units in the paper's report order, high before low within each pair.
+	// The raw-MFT unit dominates a cold sweep, so it additionally shards
+	// its record decode across the same bound (the other lanes' units are
+	// small and finish early, freeing cores for the decode shards).
+	units := [numScanUnits]func(*vtime.Clock) (*Snapshot, error){
+		highUnit(ScanFilesHigh),
+		func(clk *vtime.Clock) (*Snapshot, error) { return d.lowFilesOn(clk, lanes) },
+		highUnit(ScanASEPHigh),
+		d.lowASEPsOn,
+		highUnit(ScanProcsHigh),
+		func(clk *vtime.Clock) (*Snapshot, error) { return scanProcsLowOn(d.M, d.Advanced, clk) },
+		func(clk *vtime.Clock) (*Snapshot, error) {
+			call, err := d.callOn(clk)
+			if err != nil {
+				return nil, err
+			}
+			return ScanModsHigh(d.M, call, pids)
+		},
+		func(clk *vtime.Clock) (*Snapshot, error) { return scanModsLowOn(d.M, pids, clk) },
+	}
+	var (
+		snaps  [numScanUnits]*Snapshot
+		errs   [numScanUnits]error
+		region = d.M.Clock.Fork(lanes)
+		wg     sync.WaitGroup
+	)
+	for lane := 0; lane < lanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			clk := region.Lane(lane)
+			for u := lane; u < numScanUnits; u += lanes {
+				snaps[u], errs[u] = units[u](clk)
+			}
+		}(lane)
+	}
+	wg.Wait()
+	region.Join()
+	names := [4]string{"files", "ASEPs", "processes", "modules"}
+	out := make([]*Report, 0, len(names))
+	for i, name := range names {
+		high, low := snaps[2*i], snaps[2*i+1]
+		if errs[2*i] != nil {
+			return nil, fmt.Errorf("core: %s scan: %w", name, errs[2*i])
+		}
+		if errs[2*i+1] != nil {
+			return nil, fmt.Errorf("core: %s scan: %w", name, errs[2*i+1])
+		}
+		r, err := Diff(high, low, d.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s scan: %w", name, err)
 		}
 		out = append(out, r)
 	}

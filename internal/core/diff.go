@@ -30,7 +30,10 @@ func Diff(high, low *Snapshot, opts DiffOptions) (*Report, error) {
 	if threshold == 0 {
 		threshold = DefaultMassHidingThreshold
 	}
-	r := &Report{Kind: high.Kind, HighView: high.View, LowView: low.View}
+	r := &Report{
+		Kind: high.Kind, HighView: high.View, LowView: low.View,
+		HighSkipped: high.Skipped, LowSkipped: low.Skipped,
+	}
 	for id, e := range low.Entries {
 		if _, visible := high.Entries[id]; visible {
 			continue
@@ -60,5 +63,8 @@ func Diff(high, low *Snapshot, opts DiffOptions) (*Report, error) {
 }
 
 func sortFindings(fs []Finding) {
+	if len(fs) < 2 {
+		return // skip the sort.Slice closure allocation for the common clean case
+	}
 	sort.Slice(fs, func(i, j int) bool { return fs[i].ID < fs[j].ID })
 }

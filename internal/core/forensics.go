@@ -77,7 +77,12 @@ type DeletedFile struct {
 // operator removes it). The paper's removal story ends with file
 // deletion; this extension proves post-hoc what was removed.
 func ScanDeletedFiles(m *machine.Machine) ([]DeletedFile, error) {
-	entries, err := ntfs.ScanDeleted(m.Disk.Device())
+	var entries []ntfs.DeletedEntry
+	err := m.Disk.WithDevice(func(dev []byte) error {
+		var err error
+		entries, err = ntfs.ScanDeleted(dev)
+		return err
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: deleted-file scan: %w", err)
 	}

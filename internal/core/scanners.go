@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"time"
+	"unicode/utf8"
 
 	"ghostbuster/internal/hive"
 	"ghostbuster/internal/kernel"
@@ -32,8 +33,88 @@ const (
 	costDiffPerEntry   = 1 * time.Microsecond
 )
 
-// fileID canonicalizes a full path for diffing.
-func fileID(path string) string { return strings.ToUpper(path) }
+// clockFor returns the clock a scan charges: the call's lane clock when
+// one is set (parallel sweeps), otherwise the machine clock.
+func clockFor(m *machine.Machine, call *winapi.Call) *vtime.Clock {
+	if call != nil && call.Clock != nil {
+		return call.Clock
+	}
+	return m.Clock
+}
+
+// upperAppend appends s uppercased to b. ASCII bytes upcase in place;
+// any non-ASCII input falls back to strings.ToUpper for full Unicode
+// semantics (rare for Windows paths, so the fallback allocation does
+// not matter).
+func upperAppend(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return append(b, strings.ToUpper(s)...)
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		b = append(b, c)
+	}
+	return b
+}
+
+// fileID canonicalizes a full path for diffing. Scanned paths are
+// usually already canonical, so the common case returns the input
+// without allocating (strings.ToUpper here used to dominate snapshot
+// allocations on large file scans).
+func fileID(path string) string {
+	for i := 0; i < len(path); i++ {
+		c := path[i]
+		if c >= utf8.RuneSelf {
+			return strings.ToUpper(path)
+		}
+		if 'a' <= c && c <= 'z' {
+			b := make([]byte, 0, len(path))
+			b = append(b, path[:i]...)
+			return string(upperAppend(b, path[i:]))
+		}
+	}
+	return path
+}
+
+// pidUpperID builds the "PID <n>: <UPPER>" diff identity without the
+// fmt.Sprintf round trip the per-entry hot path used to pay.
+func pidUpperID(pid uint64, s string) string {
+	b := make([]byte, 0, 26+len(s))
+	b = append(b, "PID "...)
+	b = strconv.AppendUint(b, pid, 10)
+	b = append(b, ':', ' ')
+	return string(upperAppend(b, s))
+}
+
+func procDisplay(name string, pid uint64) string {
+	b := make([]byte, 0, len(name)+27)
+	b = append(b, name...)
+	b = append(b, " (pid "...)
+	b = strconv.AppendUint(b, pid, 10)
+	b = append(b, ')')
+	return string(b)
+}
+
+func modDisplay(pid uint64, path string) string {
+	b := make([]byte, 0, 26+len(path))
+	b = append(b, "pid "...)
+	b = strconv.AppendUint(b, pid, 10)
+	b = append(b, ':', ' ')
+	b = append(b, path...)
+	return string(b)
+}
+
+func baseDetail(base uint64) string {
+	b := make([]byte, 0, 23)
+	b = append(b, "base 0x"...)
+	b = strconv.AppendUint(b, base, 16)
+	return string(b)
+}
 
 // --- file scans -----------------------------------------------------------
 
@@ -41,7 +122,8 @@ func fileID(path string) string { return strings.ToUpper(path) }
 // equivalent of "dir /s /b" issued by the given process through the
 // FindFirst(Next)File chain.
 func ScanFilesHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
-	sw := vtime.NewStopwatch(m.Clock)
+	clk := clockFor(m, call)
+	sw := vtime.NewStopwatch(clk)
 	snap := newSnapshot(KindFiles, ViewWin32Inside)
 	entries, err := m.API.WalkTreeWin32(call, machine.Drive)
 	if err != nil {
@@ -55,8 +137,8 @@ func ScanFilesHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
 			Detail:  strconv.FormatUint(e.Size, 10) + " bytes",
 		})
 	}
-	m.Clock.ChargeOps(int64(float64(len(entries))*m.Profile.RepFileFactor()), costPerRepFileHigh)
-	snap.Taken = m.Clock.Now()
+	clk.ChargeOps(int64(float64(len(entries))*m.Profile.RepFileFactor()), costPerRepFileHigh)
+	snap.Taken = clk.Now()
 	snap.Elapsed = sw.Elapsed()
 	return snap, nil
 }
@@ -65,20 +147,34 @@ func ScanFilesHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
 // the live device bytes (the Master File Table) directly, bypassing
 // every API layer.
 func ScanFilesLow(m *machine.Machine) (*Snapshot, error) {
-	sw := vtime.NewStopwatch(m.Clock)
-	snap, err := scanImage(m.Disk.Device(), ViewRawMFT)
+	return scanFilesLowOn(m, m.Clock, 1)
+}
+
+// scanFilesLowOn is ScanFilesLow charging an explicit clock (a parallel
+// sweep lane). The raw parse holds the volume's read lock, so it sees a
+// consistent device image even while mutators run on other goroutines.
+// workers shards the MFT record decode (see ntfs.RawScanParallel); the
+// snapshot and its virtual-time charges are identical for any count.
+func scanFilesLowOn(m *machine.Machine, clk *vtime.Clock, workers int) (*Snapshot, error) {
+	sw := vtime.NewStopwatch(clk)
+	var snap *Snapshot
+	err := m.Disk.WithDevice(func(dev []byte) error {
+		var err error
+		snap, err = scanImageWorkers(dev, ViewRawMFT, workers)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	chargeLowFileScan(m, snap.Len())
-	snap.Taken = m.Clock.Now()
+	chargeLowFileScan(m, clk, snap.Len())
+	snap.Taken = clk.Now()
 	snap.Elapsed = sw.Elapsed()
 	return snap, nil
 }
 
-func chargeLowFileScan(m *machine.Machine, entries int) {
-	chargeRawMFTRead(m.Clock, m.Profile, entries)
-	m.Clock.ChargeOps(int64(float64(entries)*m.Profile.RepFileFactor()), costPerRepFileLow)
+func chargeLowFileScan(m *machine.Machine, clk *vtime.Clock, entries int) {
+	chargeRawMFTRead(clk, m.Profile, entries)
+	clk.ChargeOps(int64(float64(entries)*m.Profile.RepFileFactor()), costPerRepFileLow)
 }
 
 // diskBytesPerSecond returns the profile's sequential read throughput in
@@ -103,8 +199,12 @@ func chargeRawMFTRead(clock *vtime.Clock, p machine.Profile, entries int) {
 // with the given view. Used by the inside low-level scan, the WinPE
 // outside scan, and the VM host scan.
 func scanImage(image []byte, view View) (*Snapshot, error) {
+	return scanImageWorkers(image, view, 1)
+}
+
+func scanImageWorkers(image []byte, view View, workers int) (*Snapshot, error) {
 	snap := newSnapshot(KindFiles, view)
-	raw, _, err := ntfs.RawScan(image)
+	raw, _, err := ntfs.RawScanParallel(image, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: raw MFT scan: %w", err)
 	}
@@ -140,7 +240,8 @@ func ScanFilesImage(image []byte, view View, clock *vtime.Clock, p machine.Profi
 // ScanASEPHigh collects ASEP hooks through the Win32 Registry chain
 // (what RegEdit shows).
 func ScanASEPHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
-	sw := vtime.NewStopwatch(m.Clock)
+	clk := clockFor(m, call)
+	sw := vtime.NewStopwatch(clk)
 	snap := newSnapshot(KindASEPHooks, ViewWin32Inside)
 	q := func(keyPath string) (registry.KeyView, error) {
 		ks, err := m.API.QueryKeyWin32(call, keyPath)
@@ -153,12 +254,13 @@ func ScanASEPHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: high-level ASEP scan: %w", err)
 	}
+	snap.grow(len(hooks))
 	for _, h := range hooks {
 		snap.add(Entry{ID: h.ID(), Display: h.String(), Detail: h.ASEP})
 	}
-	m.Clock.ChargeOps(int64(float64(len(hooks))*m.Profile.RepRegFactor()),
+	clk.ChargeOps(int64(float64(len(hooks))*m.Profile.RepRegFactor()),
 		time.Duration(float64(costPerRepKeyHigh)*m.Profile.CPUScale()))
-	snap.Taken = m.Clock.Now()
+	snap.Taken = clk.Now()
 	snap.Elapsed = sw.Elapsed()
 	return snap, nil
 }
@@ -193,7 +295,14 @@ func win32DataString(v winapi.KeyValue) string {
 // parsing it directly — "truth approximation" (paper §3), since
 // sufficiently privileged ghostware could interfere with the copy.
 func ScanASEPLow(m *machine.Machine) (*Snapshot, error) {
-	sw := vtime.NewStopwatch(m.Clock)
+	return scanASEPLowOn(m, m.Clock)
+}
+
+// scanASEPLowOn is ScanASEPLow charging an explicit clock. Each hive is
+// snapshot-copied under its own lock, so the offline parse is immune to
+// concurrent Registry commits.
+func scanASEPLowOn(m *machine.Machine, clk *vtime.Clock) (*Snapshot, error) {
+	sw := vtime.NewStopwatch(clk)
 	images := map[string][]byte{}
 	totalParsedKeys := 0
 	for _, root := range m.Reg.Roots() {
@@ -211,8 +320,8 @@ func ScanASEPLow(m *machine.Machine) (*Snapshot, error) {
 	// The low-level pass walks every cell of every hive; parsing is
 	// CPU-bound, so the charge scales with the machine's CPU speed.
 	perKey := time.Duration(float64(costPerRepKeyParse) * m.Profile.CPUScale())
-	m.Clock.ChargeOps(int64(float64(totalParsedKeys)*m.Profile.RepRegFactor()), perKey)
-	snap.Taken = m.Clock.Now()
+	clk.ChargeOps(int64(float64(totalParsedKeys)*m.Profile.RepRegFactor()), perKey)
+	snap.Taken = clk.Now()
 	snap.Elapsed = sw.Elapsed()
 	return snap, nil
 }
@@ -235,15 +344,33 @@ func scanASEPImages(images map[string][]byte, view View) (*Snapshot, int, error)
 			return nil, 0, fmt.Errorf("core: parsing hive %s: %w", root, err)
 		}
 		parsedKeys += stats.KeysParsed
-		ph := parsedHive{keys: map[string]registry.KeyView{}}
+		ph := parsedHive{keys: make(map[string]registry.KeyView, len(raw)+1)}
+		totalValues := 0
 		for _, k := range raw {
-			view := registry.KeyView{}
+			totalValues += len(k.Values)
+		}
+		// One value slab for the whole hive; each key's Values is a
+		// capacity-clipped window into it, so building the tree costs one
+		// allocation instead of one per value.
+		slab := make([]registry.ValueView, 0, totalValues)
+		for _, k := range raw {
+			lo := len(slab)
 			for _, v := range k.Values {
-				view.Values = append(view.Values, registry.ValueView{Name: v.Name, Data: v.String()})
+				slab = append(slab, registry.ValueView{Name: v.Name, Data: v.String()})
+			}
+			view := registry.KeyView{}
+			if len(slab) > lo {
+				view.Values = slab[lo:len(slab):len(slab)]
 			}
 			ph.keys[strings.ToUpper(k.Path)] = view
 		}
-		// Fill in subkey lists from the path structure.
+		// Fill in subkey lists from the path structure: collect
+		// (parent, name) edges, sort once, then write each parent's
+		// fully-built subkey list with a single map store — the previous
+		// per-path read-modify-write re-hashed every parent once per child
+		// and re-sorted every key.
+		type edge struct{ parent, name string }
+		edges := make([]edge, 0, len(ph.keys))
 		for path := range ph.keys {
 			if path == "" {
 				continue
@@ -253,12 +380,30 @@ func scanASEPImages(images map[string][]byte, view View) (*Snapshot, int, error)
 			if i := strings.LastIndexByte(path, '\\'); i >= 0 {
 				parent, name = path[:i], path[i+1:]
 			}
-			pv := ph.keys[parent]
-			pv.Subkeys = append(pv.Subkeys, name)
-			ph.keys[parent] = pv
+			edges = append(edges, edge{parent, name})
 		}
-		for _, kv := range ph.keys {
-			sort.Strings(kv.Subkeys)
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].parent != edges[j].parent {
+				return edges[i].parent < edges[j].parent
+			}
+			return edges[i].name < edges[j].name
+		})
+		names := make([]string, 0, len(edges))
+		for _, e := range edges {
+			names = append(names, e.name)
+		}
+		for lo := 0; lo < len(edges); {
+			hi := lo + 1
+			for hi < len(edges) && edges[hi].parent == edges[lo].parent {
+				hi++
+			}
+			// Parents that only exist as path prefixes (no cell of their
+			// own) are synthesized here, exactly as the map read on a
+			// missing key used to do.
+			pv := ph.keys[edges[lo].parent]
+			pv.Subkeys = names[lo:hi:hi]
+			ph.keys[edges[lo].parent] = pv
+			lo = hi
 		}
 		trees[strings.ToUpper(root)] = ph
 	}
@@ -304,24 +449,24 @@ func ScanASEPImages(images map[string][]byte, view View, clock *vtime.Clock, p m
 
 // --- process scans --------------------------------------------------------------
 
-func procID(pid uint64, name string) string {
-	return fmt.Sprintf("PID %d: %s", pid, strings.ToUpper(name))
-}
+func procID(pid uint64, name string) string { return pidUpperID(pid, name) }
 
 // ScanProcsHigh lists processes through the full API chain (what Task
 // Manager and tlist see).
 func ScanProcsHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
-	sw := vtime.NewStopwatch(m.Clock)
+	clk := clockFor(m, call)
+	sw := vtime.NewStopwatch(clk)
 	snap := newSnapshot(KindProcesses, ViewWin32Inside)
 	procs, err := m.API.EnumProcessesWin32(call)
 	if err != nil {
 		return nil, fmt.Errorf("core: high-level process scan: %w", err)
 	}
+	snap.grow(len(procs))
 	for _, p := range procs {
-		snap.add(Entry{ID: procID(p.Pid, p.Name), Display: fmt.Sprintf("%s (pid %d)", p.Name, p.Pid), Detail: p.Path})
+		snap.add(Entry{ID: procID(p.Pid, p.Name), Display: procDisplay(p.Name, p.Pid), Detail: p.Path})
 	}
-	m.Clock.ChargeOps(int64(len(procs)), costPerProcess/8)
-	snap.Taken = m.Clock.Now()
+	clk.ChargeOps(int64(len(procs)), costPerProcess/8)
+	snap.Taken = clk.Now()
 	snap.Elapsed = sw.Elapsed()
 	return snap, nil
 }
@@ -331,7 +476,11 @@ func ScanProcsHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
 // API-intercepting ghostware); in advanced mode it walks the CID table,
 // which also exposes DKOM-hidden processes.
 func ScanProcsLow(m *machine.Machine, advanced bool) (*Snapshot, error) {
-	sw := vtime.NewStopwatch(m.Clock)
+	return scanProcsLowOn(m, advanced, m.Clock)
+}
+
+func scanProcsLowOn(m *machine.Machine, advanced bool, clk *vtime.Clock) (*Snapshot, error) {
+	sw := vtime.NewStopwatch(clk)
 	view := ViewKernelAPL
 	walker := kernel.WalkActiveProcessList
 	if advanced {
@@ -343,14 +492,15 @@ func ScanProcsLow(m *machine.Machine, advanced bool) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: low-level process scan: %w", err)
 	}
+	snap.grow(len(procs))
 	for _, p := range procs {
 		if p.Exited {
 			continue
 		}
-		snap.add(Entry{ID: procID(p.Pid, p.Name), Display: fmt.Sprintf("%s (pid %d)", p.Name, p.Pid), Detail: p.ImagePath})
+		snap.add(Entry{ID: procID(p.Pid, p.Name), Display: procDisplay(p.Name, p.Pid), Detail: p.ImagePath})
 	}
-	m.Clock.ChargeOps(int64(len(procs)), costPerProcess)
-	snap.Taken = m.Clock.Now()
+	clk.ChargeOps(int64(len(procs)), costPerProcess)
+	snap.Taken = clk.Now()
 	snap.Elapsed = sw.Elapsed()
 	return snap, nil
 }
@@ -372,57 +522,66 @@ func ScanProcsFromDump(mem kmem.Reader, layout kernel.Layout, advanced bool) (*S
 		if p.Exited {
 			continue
 		}
-		snap.add(Entry{ID: procID(p.Pid, p.Name), Display: fmt.Sprintf("%s (pid %d)", p.Name, p.Pid), Detail: p.ImagePath})
+		snap.add(Entry{ID: procID(p.Pid, p.Name), Display: procDisplay(p.Name, p.Pid), Detail: p.ImagePath})
 	}
 	return snap, nil
 }
 
 // --- module scans ----------------------------------------------------------------
 
-func modID(pid uint64, path string) string {
-	return fmt.Sprintf("PID %d: %s", pid, strings.ToUpper(path))
-}
+func modID(pid uint64, path string) string { return pidUpperID(pid, path) }
 
 // ScanModsHigh enumerates the modules of every process on the given pid
-// list through the API chain.
+// list through the API chain. Pids whose enumeration fails (the process
+// may have exited mid-scan) are skipped and counted in snap.Skipped, so
+// a sweep that lost half its processes is distinguishable from a clean
+// one.
 func ScanModsHigh(m *machine.Machine, call *winapi.Call, pids []uint64) (*Snapshot, error) {
-	sw := vtime.NewStopwatch(m.Clock)
+	clk := clockFor(m, call)
+	sw := vtime.NewStopwatch(clk)
 	snap := newSnapshot(KindModules, ViewWin32Inside)
 	total := 0
 	for _, pid := range pids {
 		mods, err := m.API.EnumModulesWin32(call, pid)
 		if err != nil {
-			continue // process may have exited mid-scan
+			snap.Skipped++
+			continue
 		}
 		for _, mod := range mods {
-			snap.add(Entry{ID: modID(pid, mod.Path), Display: fmt.Sprintf("pid %d: %s", pid, mod.Path), Detail: fmt.Sprintf("base %#x", mod.Base)})
+			snap.add(Entry{ID: modID(pid, mod.Path), Display: modDisplay(pid, mod.Path), Detail: baseDetail(mod.Base)})
 			total++
 		}
 	}
-	m.Clock.ChargeOps(int64(total), costPerModule)
-	snap.Taken = m.Clock.Now()
+	clk.ChargeOps(int64(total), costPerModule)
+	snap.Taken = clk.Now()
 	snap.Elapsed = sw.Elapsed()
 	return snap, nil
 }
 
 // ScanModsLow extracts the module truth for the same pids from the
-// kernel's VAD image lists.
+// kernel's VAD image lists. Unreadable pids are skipped and counted,
+// mirroring ScanModsHigh.
 func ScanModsLow(m *machine.Machine, pids []uint64) (*Snapshot, error) {
-	sw := vtime.NewStopwatch(m.Clock)
+	return scanModsLowOn(m, pids, m.Clock)
+}
+
+func scanModsLowOn(m *machine.Machine, pids []uint64, clk *vtime.Clock) (*Snapshot, error) {
+	sw := vtime.NewStopwatch(clk)
 	snap := newSnapshot(KindModules, ViewKernelVAD)
 	total := 0
 	for _, pid := range pids {
 		mods, err := m.Kern.ModulesTruth(pid)
 		if err != nil {
+			snap.Skipped++
 			continue
 		}
 		for _, mod := range mods {
-			snap.add(Entry{ID: modID(pid, mod.Path), Display: fmt.Sprintf("pid %d: %s", pid, mod.Path), Detail: fmt.Sprintf("base %#x", mod.Base)})
+			snap.add(Entry{ID: modID(pid, mod.Path), Display: modDisplay(pid, mod.Path), Detail: baseDetail(mod.Base)})
 			total++
 		}
 	}
-	m.Clock.ChargeOps(int64(total), costPerModule)
-	snap.Taken = m.Clock.Now()
+	clk.ChargeOps(int64(total), costPerModule)
+	snap.Taken = clk.Now()
 	snap.Elapsed = sw.Elapsed()
 	return snap, nil
 }
@@ -433,7 +592,7 @@ func NewModuleSnapshot(view View) *Snapshot { return newSnapshot(KindModules, vi
 
 // AddModuleEntry records one module occurrence in a module snapshot.
 func AddModuleEntry(s *Snapshot, pid uint64, path string, base uint64) {
-	s.add(Entry{ID: modID(pid, path), Display: fmt.Sprintf("pid %d: %s", pid, path), Detail: fmt.Sprintf("base %#x", base)})
+	s.add(Entry{ID: modID(pid, path), Display: modDisplay(pid, path), Detail: baseDetail(base)})
 }
 
 // TruthPids returns the pid set from the advanced (CID) view — the pid

@@ -74,6 +74,10 @@ type Snapshot struct {
 	Taken   time.Duration // virtual time when the scan completed
 	Entries map[string]Entry
 	Elapsed time.Duration `json:"elapsedNs"` // virtual time the scan consumed
+	// Skipped counts scan targets the pass could not read (e.g. pids
+	// whose process exited mid-scan). A snapshot that skipped half its
+	// targets must not be mistaken for a clean one.
+	Skipped int `json:"skipped,omitempty"`
 }
 
 func newSnapshot(kind ResourceKind, view View) *Snapshot {
@@ -121,6 +125,11 @@ type Report struct {
 	// Usually empty; a transient file deleted between the two scans (the
 	// paper's race window), or active anti-scanner deception.
 	Phantom []Finding `json:"phantom,omitempty"`
+	// HighSkipped/LowSkipped propagate the snapshots' skipped-target
+	// counts (see Snapshot.Skipped), so partial coverage is visible in
+	// the report itself.
+	HighSkipped int `json:"highSkipped,omitempty"`
+	LowSkipped  int `json:"lowSkipped,omitempty"`
 	// Elapsed is total virtual scan+diff time.
 	Elapsed time.Duration `json:"elapsedNs"`
 	// MassHiding is set when the hidden count is itself an anomaly (the
@@ -152,6 +161,9 @@ func (r *Report) Summary() string {
 	noise := ""
 	if len(r.Noise) > 0 {
 		noise = fmt.Sprintf(", %d known-benign", len(r.Noise))
+	}
+	if n := r.HighSkipped + r.LowSkipped; n > 0 {
+		noise += fmt.Sprintf(", %d targets skipped", n)
 	}
 	return fmt.Sprintf("%-10s %s vs %s: %s%s", r.Kind, r.HighView, r.LowView, verdict, noise)
 }

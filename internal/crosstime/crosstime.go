@@ -34,7 +34,12 @@ type Checkpoint struct {
 // Tripwire, it assumes the system is trustworthy at baseline time; it
 // reads the raw MFT so the snapshot itself is hiding-proof.
 func TakeCheckpoint(m *machine.Machine) (*Checkpoint, error) {
-	raw, _, err := ntfs.RawScan(m.Disk.Device())
+	var raw []ntfs.RawEntry
+	err := m.Disk.WithDevice(func(dev []byte) error {
+		var err error
+		raw, _, err = ntfs.RawScan(dev)
+		return err
+	})
 	if err != nil {
 		return nil, fmt.Errorf("crosstime: checkpoint scan: %w", err)
 	}

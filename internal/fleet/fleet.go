@@ -63,6 +63,10 @@ type Manager struct {
 	// Parallelism bounds the scheduler's worker pool for the parallel
 	// sweeps. Zero or negative means runtime.GOMAXPROCS(0).
 	Parallelism int
+	// HostParallelism is the intra-host fan-out: each inside scan runs
+	// its eight scan units across this many lanes (core.Detector
+	// Parallelism). Zero or one keeps per-host scans sequential.
+	HostParallelism int
 }
 
 // NewManager returns an empty fleet.
@@ -88,12 +92,13 @@ func (mgr *Manager) Hosts() []string {
 // insideScan runs the inside-the-box detection (all four paper resource
 // types, advanced process mode) on one host, reusing the host's scan
 // cache for the truth-side parses.
-func (h *Host) insideScan() HostResult {
+func (h *Host) insideScan(parallelism int) HostResult {
 	res := HostResult{Host: h.Name, Kind: SweepInside}
 	start := h.M.Clock.Now()
 	d := core.NewDetector(h.M)
 	d.Advanced = true
 	d.Cache = h.cache
+	d.Parallelism = parallelism
 	reports, err := d.ScanAll()
 	h.finish(&res, reports, err, start)
 	return res
@@ -128,11 +133,11 @@ func (h *Host) finish(res *HostResult, reports []*core.Report, err error, start 
 	res.Elapsed = h.M.Clock.Now() - start
 }
 
-func (h *Host) scan(kind SweepKind) HostResult {
+func (h *Host) scan(kind SweepKind, hostParallelism int) HostResult {
 	if kind == SweepOutside {
 		return h.outsideScan()
 	}
-	return h.insideScan()
+	return h.insideScan(hostParallelism)
 }
 
 // --- bounded scheduler ----------------------------------------------------
@@ -196,7 +201,7 @@ func capturedScan(h *Host, scan func(*Host) HostResult) (res HostResult) {
 // results in host order.
 func (mgr *Manager) Sweep(kind SweepKind, workers int) []HostResult {
 	results := make([]HostResult, len(mgr.hosts))
-	for ir := range mgr.schedule(workers, func(h *Host) HostResult { return h.scan(kind) }) {
+	for ir := range mgr.schedule(workers, func(h *Host) HostResult { return h.scan(kind, mgr.HostParallelism) }) {
 		results[ir.i] = ir.r
 	}
 	return results
@@ -209,7 +214,7 @@ func (mgr *Manager) Sweep(kind SweepKind, workers int) []HostResult {
 func (mgr *Manager) SweepStream(kind SweepKind, workers int) <-chan HostResult {
 	out := make(chan HostResult)
 	go func() {
-		for ir := range mgr.schedule(workers, func(h *Host) HostResult { return h.scan(kind) }) {
+		for ir := range mgr.schedule(workers, func(h *Host) HostResult { return h.scan(kind, mgr.HostParallelism) }) {
 			out <- ir.r
 		}
 		close(out)

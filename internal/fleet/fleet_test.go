@@ -287,3 +287,28 @@ func TestParallelOutsideSweepMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+// TestHostParallelismSweepMatchesSequential pins the intra-host fan-out
+// plumbing: a sweep with HostParallelism set must classify the fleet
+// exactly like the per-host sequential sweep.
+func TestHostParallelismSweepMatchesSequential(t *testing.T) {
+	infections := map[int]ghostware.Ghostware{1: ghostware.NewHackerDefender()}
+	want := Summarize(buildFleet(t, 3, infections).InsideSweep())
+
+	mgr := buildFleet(t, 3, infections)
+	mgr.Parallelism = 2
+	mgr.HostParallelism = 4
+	results := mgr.ParallelInsideSweep()
+	got := Summarize(results)
+	if len(got.Errors) != 0 {
+		t.Fatalf("errors = %v", got.Errors)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("parallel-host summary %+v != sequential %+v", got, want)
+	}
+	for _, r := range results {
+		if len(r.Reports) != 4 {
+			t.Errorf("%s: reports = %d", r.Host, len(r.Reports))
+		}
+	}
+}

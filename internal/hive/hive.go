@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"unicode/utf16"
 )
 
@@ -92,7 +93,12 @@ func (v Value) Dword() uint32 {
 }
 
 // Hive is a loaded hive. The zero value is not usable; call New or Open.
+//
+// A read-write lock makes key reads (EnumKeys, GetValue, Snapshot) safe
+// against concurrent mutators. Bytes returns the live buffer without
+// synchronization; concurrent low-level scans must copy via Snapshot.
 type Hive struct {
+	mu   sync.RWMutex
 	buf  []byte
 	name string
 	gen  uint64 // mutation generation, see Generation
@@ -136,12 +142,16 @@ func Open(buf []byte) (*Hive, error) {
 // Name returns the hive's display name.
 func (h *Hive) Name() string { return h.name }
 
-// Bytes returns the live backing bytes (the hive file contents).
+// Bytes returns the live backing bytes (the hive file contents). The
+// slice is not synchronized with mutators; concurrent scanners must use
+// Snapshot instead.
 func (h *Hive) Bytes() []byte { return h.buf }
 
 // Snapshot copies the hive file, as GhostBuster's low-level scan does
 // before parsing ("our low-level scan copies and parses each hive file").
 func (h *Hive) Snapshot() []byte {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	out := make([]byte, len(h.buf))
 	copy(out, h.buf)
 	return out
@@ -149,6 +159,12 @@ func (h *Hive) Snapshot() []byte {
 
 // RootOffset returns the root nk cell offset.
 func (h *Hive) RootOffset() uint32 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.rootOffset()
+}
+
+func (h *Hive) rootOffset() uint32 {
 	return binary.LittleEndian.Uint32(h.buf[hdrRootOff:])
 }
 
@@ -157,7 +173,11 @@ func (h *Hive) RootOffset() uint32 {
 // so incremental scanners can key hive-parse caches on this value; it
 // increases whenever the backing bytes may have changed and never
 // stays flat across a change.
-func (h *Hive) Generation() uint64 { return h.gen }
+func (h *Hive) Generation() uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.gen
+}
 
 // commit bumps both sequence numbers, marking a consistent state.
 func (h *Hive) commit() {

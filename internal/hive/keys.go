@@ -234,7 +234,7 @@ func (h *Hive) lookupChild(off uint32, name string) (uint32, error) {
 
 // resolveKey walks path from the root.
 func (h *Hive) resolveKey(path string) (uint32, error) {
-	cur := h.RootOffset()
+	cur := h.rootOffset()
 	for _, comp := range SplitKeyPath(path) {
 		next, err := h.lookupChild(cur, comp)
 		if err != nil {
@@ -247,13 +247,17 @@ func (h *Hive) resolveKey(path string) (uint32, error) {
 
 // KeyExists reports whether the key path resolves.
 func (h *Hive) KeyExists(path string) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	_, err := h.resolveKey(path)
 	return err == nil
 }
 
 // CreateKey creates the key path, making intermediate keys as needed.
 func (h *Hive) CreateKey(path string) error {
-	cur := h.RootOffset()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cur := h.rootOffset()
 	for _, comp := range SplitKeyPath(path) {
 		next, err := h.lookupChild(cur, comp)
 		if err == nil {
@@ -286,6 +290,12 @@ func (h *Hive) CreateKey(path string) error {
 
 // EnumKeys returns the names of the subkeys of path, sorted.
 func (h *Hive) EnumKeys(path string) ([]string, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.enumKeys(path)
+}
+
+func (h *Hive) enumKeys(path string) ([]string, error) {
 	off, err := h.resolveKey(path)
 	if err != nil {
 		return nil, err
@@ -312,6 +322,12 @@ func (h *Hive) EnumKeys(path string) ([]string, error) {
 
 // EnumValues returns all values of the key at path, sorted by name.
 func (h *Hive) EnumValues(path string) ([]Value, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.enumValues(path)
+}
+
+func (h *Hive) enumValues(path string) ([]Value, error) {
 	off, err := h.resolveKey(path)
 	if err != nil {
 		return nil, err
@@ -339,7 +355,9 @@ func (h *Hive) EnumValues(path string) ([]Value, error) {
 // GetValue returns the named value of the key at path. Name comparison
 // uses full counted-string semantics.
 func (h *Hive) GetValue(path, name string) (Value, error) {
-	vals, err := h.EnumValues(path)
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	vals, err := h.enumValues(path)
 	if err != nil {
 		return Value{}, err
 	}
@@ -353,6 +371,8 @@ func (h *Hive) GetValue(path, name string) (Value, error) {
 
 // SetValue creates or replaces a value under the key at path.
 func (h *Hive) SetValue(path string, v Value) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	off, err := h.resolveKey(path)
 	if err != nil {
 		return err
@@ -404,6 +424,8 @@ func (h *Hive) SetString(path, name, data string) error {
 
 // DeleteValue removes the named value from the key at path.
 func (h *Hive) DeleteValue(path, name string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	off, err := h.resolveKey(path)
 	if err != nil {
 		return err
@@ -448,6 +470,12 @@ func (h *Hive) DeleteValue(path, name string) error {
 
 // DeleteKey removes an empty key.
 func (h *Hive) DeleteKey(path string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.deleteKey(path)
+}
+
+func (h *Hive) deleteKey(path string) error {
 	comps := SplitKeyPath(path)
 	if len(comps) == 0 {
 		return fmt.Errorf("hive: cannot delete the root key")
@@ -509,16 +537,22 @@ func (h *Hive) DeleteKey(path string) error {
 
 // DeleteKeyTree removes a key and all its descendants.
 func (h *Hive) DeleteKeyTree(path string) error {
-	subs, err := h.EnumKeys(path)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.deleteKeyTree(path)
+}
+
+func (h *Hive) deleteKeyTree(path string) error {
+	subs, err := h.enumKeys(path)
 	if err != nil {
 		return err
 	}
 	for _, s := range subs {
-		if err := h.DeleteKeyTree(path + "\\" + s); err != nil {
+		if err := h.deleteKeyTree(path + "\\" + s); err != nil {
 			return err
 		}
 	}
-	return h.DeleteKey(path)
+	return h.deleteKey(path)
 }
 
 // printable makes embedded NULs visible in error messages.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"ghostbuster/internal/kmem"
 )
@@ -24,8 +25,13 @@ var ErrNoSuchModule = errors.New("kernel: no such module")
 // exit, module load, driver load. Truth about what exists lives in the
 // arena; the maps here are only an id convenience index (the CID table
 // in arena memory is the authoritative id mapping).
+//
+// Mutators serialize on an internal lock so id allocation and compound
+// structure updates stay consistent; readers go straight to the arena,
+// whose per-access locking makes concurrent traversal memory-safe.
 type Kernel struct {
 	Mem     *kmem.Arena
+	mu      sync.Mutex // guards mutators and the id allocators below
 	layout  Layout
 	nextPid uint64
 	nextTid uint64
@@ -48,7 +54,7 @@ func New() (*Kernel, error) {
 	if err := a.WriteU64(k.layout.CidTable+cidHdrCapacity, cidCapacity); err != nil {
 		return nil, err
 	}
-	if _, err := k.CreateProcess("System", "", 0); err != nil {
+	if _, err := k.createProcess("System", "", 0); err != nil {
 		return nil, err
 	}
 	return k, nil
@@ -137,6 +143,12 @@ func (k *Kernel) EprocessByPid(pid uint64) (uint64, error) {
 // thread and the standard module list (its own image, ntdll, kernel32).
 // It returns the new pid.
 func (k *Kernel) CreateProcess(name, imagePath string, parent uint64) (uint64, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.createProcess(name, imagePath, parent)
+}
+
+func (k *Kernel) createProcess(name, imagePath string, parent uint64) (uint64, error) {
 	pid := k.nextPid
 	k.nextPid += 4 // NT pids are multiples of 4
 	eproc := k.Mem.Alloc(EprocSize)
@@ -171,15 +183,15 @@ func (k *Kernel) CreateProcess(name, imagePath string, parent uint64) (uint64, e
 	if err := k.cidInsert(pid, eproc, CidProcess); err != nil {
 		return 0, err
 	}
-	if _, err := k.CreateThread(pid); err != nil {
+	if _, err := k.createThread(pid); err != nil {
 		return 0, err
 	}
 	if imagePath != "" {
-		if _, err := k.LoadModule(pid, imagePath); err != nil {
+		if _, err := k.loadModule(pid, imagePath); err != nil {
 			return 0, err
 		}
 		for _, dll := range []string{`C:\WINDOWS\system32\ntdll.dll`, `C:\WINDOWS\system32\kernel32.dll`} {
-			if _, err := k.LoadModule(pid, dll); err != nil {
+			if _, err := k.loadModule(pid, dll); err != nil {
 				return 0, err
 			}
 		}
@@ -189,6 +201,12 @@ func (k *Kernel) CreateProcess(name, imagePath string, parent uint64) (uint64, e
 
 // CreateThread adds a schedulable thread to an existing process.
 func (k *Kernel) CreateThread(pid uint64) (uint64, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.createThread(pid)
+}
+
+func (k *Kernel) createThread(pid uint64) (uint64, error) {
 	eproc, err := k.EprocessByPid(pid)
 	if err != nil {
 		return 0, err
@@ -215,6 +233,8 @@ func (k *Kernel) CreateThread(pid uint64) (uint64, error) {
 // the thread list, and the EPROCESS is unlinked and marked exited. The
 // object memory itself remains in the arena (kernel pool residue).
 func (k *Kernel) ExitProcess(pid uint64) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	if pid == SystemPid {
 		return fmt.Errorf("kernel: refusing to exit the System process")
 	}
@@ -255,6 +275,12 @@ func (k *Kernel) ExitProcess(pid uint64) error {
 // image list (the kernel's truth). Each entry owns its own name cell, so
 // blanking one does not affect the other. Returns the LDR entry address.
 func (k *Kernel) LoadModule(pid uint64, path string) (uint64, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.loadModule(pid, path)
+}
+
+func (k *Kernel) loadModule(pid uint64, path string) (uint64, error) {
 	eproc, err := k.EprocessByPid(pid)
 	if err != nil {
 		return 0, err
@@ -309,6 +335,8 @@ func (k *Kernel) ModulesTruth(pid uint64) ([]ModView, error) {
 
 // LoadDriver appends a driver to the system module list.
 func (k *Kernel) LoadDriver(path string) (uint64, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	entry := k.Mem.Alloc(LdrEntrySz)
 	base := k.nextVA
 	k.nextVA += 0x100000
@@ -333,6 +361,8 @@ func (k *Kernel) LoadDriver(path string) (uint64, error) {
 
 // UnloadDriver removes the driver whose path ends with name.
 func (k *Kernel) UnloadDriver(name string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	mods, err := WalkDrivers(k.Mem, k.layout)
 	if err != nil {
 		return err

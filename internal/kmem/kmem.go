@@ -12,6 +12,7 @@ package kmem
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // Base is the virtual address at which the arena begins. It mimics the
@@ -34,7 +35,14 @@ func (e *ErrBadAddress) Error() string {
 
 // Arena is a growable kernel address space with a bump allocator.
 // The zero value is not usable; call New.
+//
+// Individual accesses are guarded by a read-write lock so concurrent
+// scanners can traverse structures while the kernel (or a DKOM rootkit)
+// mutates them. Only single accesses are atomic — a multi-word update
+// such as a LIST_ENTRY unlink can be observed half-done, which is the
+// same race window a real kernel walker faces.
 type Arena struct {
+	mu   sync.RWMutex
 	mem  []byte
 	next uint64 // next free offset
 }
@@ -48,6 +56,8 @@ func New() *Arena {
 
 // Alloc reserves size bytes (8-byte aligned) and returns their address.
 func (a *Arena) Alloc(size int) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if size <= 0 {
 		size = 8
 	}
@@ -61,7 +71,11 @@ func (a *Arena) Alloc(size int) uint64 {
 }
 
 // Size returns the number of bytes currently allocated.
-func (a *Arena) Size() int { return int(a.next) }
+func (a *Arena) Size() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return int(a.next)
+}
 
 func (a *Arena) offset(addr uint64, size int) (uint64, error) {
 	if addr < Base {
@@ -76,6 +90,8 @@ func (a *Arena) offset(addr uint64, size int) (uint64, error) {
 
 // ReadU64 reads a 64-bit little-endian value at addr.
 func (a *Arena) ReadU64(addr uint64) (uint64, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	off, err := a.offset(addr, 8)
 	if err != nil {
 		return 0, err
@@ -85,6 +101,8 @@ func (a *Arena) ReadU64(addr uint64) (uint64, error) {
 
 // WriteU64 writes a 64-bit little-endian value at addr.
 func (a *Arena) WriteU64(addr, v uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	off, err := a.offset(addr, 8)
 	if err != nil {
 		return err
@@ -95,6 +113,8 @@ func (a *Arena) WriteU64(addr, v uint64) error {
 
 // ReadU32 reads a 32-bit little-endian value at addr.
 func (a *Arena) ReadU32(addr uint64) (uint32, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	off, err := a.offset(addr, 4)
 	if err != nil {
 		return 0, err
@@ -104,6 +124,8 @@ func (a *Arena) ReadU32(addr uint64) (uint32, error) {
 
 // WriteU32 writes a 32-bit little-endian value at addr.
 func (a *Arena) WriteU32(addr uint64, v uint32) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	off, err := a.offset(addr, 4)
 	if err != nil {
 		return err
@@ -114,6 +136,8 @@ func (a *Arena) WriteU32(addr uint64, v uint32) error {
 
 // ReadBytes copies n bytes starting at addr.
 func (a *Arena) ReadBytes(addr uint64, n int) ([]byte, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	off, err := a.offset(addr, n)
 	if err != nil {
 		return nil, err
@@ -125,6 +149,8 @@ func (a *Arena) ReadBytes(addr uint64, n int) ([]byte, error) {
 
 // WriteBytes stores b starting at addr.
 func (a *Arena) WriteBytes(addr uint64, b []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	off, err := a.offset(addr, len(b))
 	if err != nil {
 		return err
@@ -159,6 +185,8 @@ func (a *Arena) WriteCString(addr uint64, s string, maxLen int) error {
 // writer embeds this image in the dump file; offline analysis then
 // resolves addresses as Base+offset exactly like a debugger.
 func (a *Arena) Snapshot() []byte {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	out := make([]byte, a.next)
 	copy(out, a.mem[:a.next])
 	return out
@@ -167,6 +195,8 @@ func (a *Arena) Snapshot() []byte {
 // Restore overwrites the arena contents from a snapshot. Used by the VM
 // extension to clone guest kernel state.
 func (a *Arena) Restore(img []byte) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.mem = make([]byte, len(img))
 	copy(a.mem, img)
 	a.next = uint64(len(img))

@@ -358,13 +358,7 @@ func (m *Machine) RemoveFile(full string) error {
 // to the incremental-scan cache and can never be masked by a stale
 // parse.
 func (m *Machine) WriteDeviceBytes(off int, data []byte) error {
-	dev := m.Disk.Device()
-	if off < 0 || off+len(data) > len(dev) {
-		return fmt.Errorf("machine: device write [%d, %d) outside device of %d bytes", off, off+len(data), len(dev))
-	}
-	copy(dev[off:], data)
-	m.Disk.BumpGeneration()
-	return nil
+	return m.Disk.PatchDevice(off, data)
 }
 
 // FileExists reports whether the path exists on disk (driver view).

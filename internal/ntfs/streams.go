@@ -22,6 +22,8 @@ type StreamInfo struct {
 // file. Stream data is stored resident for simplicity; typical ADS
 // payloads are small executables or scripts.
 func (v *Volume) CreateStream(path, stream string, data []byte) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	v.gen++
 	if stream == "" || strings.ContainsAny(stream, `\:`) {
 		return fmt.Errorf("%w: bad stream name %q", ErrNameTooLong, stream)
@@ -53,6 +55,8 @@ func (v *Volume) CreateStream(path, stream string, data []byte) error {
 
 // ReadStream returns the contents of a named stream.
 func (v *Volume) ReadStream(path, stream string) ([]byte, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	num, err := v.resolve(path)
 	if err != nil {
 		return nil, err
@@ -79,6 +83,8 @@ func (v *Volume) ReadStream(path, stream string) ([]byte, error) {
 
 // RemoveStream deletes a named stream.
 func (v *Volume) RemoveStream(path, stream string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	v.gen++
 	num, err := v.resolve(path)
 	if err != nil {
@@ -111,6 +117,8 @@ func (v *Volume) RemoveStream(path, stream string) error {
 // is a *targeted* query: nothing in the directory-enumeration call path
 // ever invokes it, so stream existence stays invisible to "dir /s /b".
 func (v *Volume) ListStreams(path string) ([]StreamInfo, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	num, err := v.resolve(path)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Info describes one file or directory as seen by the filesystem driver.
@@ -38,7 +39,14 @@ type node struct {
 // Volume is a mounted NTFS-like volume. The device bytes are the truth;
 // the node index is the filesystem driver's view, rebuilt from the bytes
 // at mount time and kept in sync by mutations.
+//
+// A read-write lock makes the volume safe for concurrent readers
+// (ReadDir, Stat, ReadFile, WithDevice raw parses) against serialized
+// mutators. Device returns the live bytes without synchronization and is
+// for single-threaded use only; concurrent raw reads go through
+// WithDevice and out-of-band writes through PatchDevice.
 type Volume struct {
+	mu        sync.RWMutex
 	dev       []byte
 	geo       Geometry
 	nodes     map[uint32]*node
@@ -161,8 +169,35 @@ func Mount(dev []byte) (*Volume, error) {
 }
 
 // Device returns the live device bytes. Inside-the-box low-level scans
-// read these directly (GhostBuster parses them with RawScan).
+// read these directly (GhostBuster parses them with RawScan). The
+// returned slice is not synchronized with mutators; concurrent readers
+// must use WithDevice instead.
 func (v *Volume) Device() []byte { return v.dev }
+
+// WithDevice runs f over the device bytes while holding the volume's
+// read lock, so a raw parse sees a consistent image even while other
+// goroutines mutate the volume. f must not retain the slice or call
+// volume mutators (that would self-deadlock).
+func (v *Volume) WithDevice(f func(dev []byte) error) error {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return f(v.dev)
+}
+
+// PatchDevice overwrites device bytes at off, bypassing the filesystem
+// driver — the direct-disk-write trick ghostware uses to dodge the
+// driver stack. The write is serialized against other volume operations
+// and bumps the mutation generation.
+func (v *Volume) PatchDevice(off int, data []byte) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if off < 0 || off+len(data) > len(v.dev) {
+		return fmt.Errorf("%w: device write [%d,%d) outside device of %d bytes", ErrCorrupt, off, off+len(data), len(v.dev))
+	}
+	copy(v.dev[off:], data)
+	v.gen++
+	return nil
+}
 
 // Generation returns the volume's mutation generation. Every operation
 // that can change the device bytes bumps it, conservatively: a bump may
@@ -170,14 +205,24 @@ func (v *Volume) Device() []byte { return v.dev }
 // counts), but bytes never change without a bump. Incremental scanners
 // key parse caches on this value. Callers that write the device bytes
 // directly (bypassing the Volume mutators) must call BumpGeneration.
-func (v *Volume) Generation() uint64 { return v.gen }
+func (v *Volume) Generation() uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.gen
+}
 
 // BumpGeneration records an out-of-band mutation of the device bytes.
-func (v *Volume) BumpGeneration() { v.gen++ }
+func (v *Volume) BumpGeneration() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.gen++
+}
 
 // SnapshotImage returns a copy of the device, as the WinPE / VM outside
 // scans would obtain by reading the physical disk.
 func (v *Volume) SnapshotImage() []byte {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	out := make([]byte, len(v.dev))
 	copy(out, v.dev)
 	return out
@@ -187,10 +232,16 @@ func (v *Volume) SnapshotImage() []byte {
 func (v *Volume) Geometry() Geometry { return v.geo }
 
 // UsedBytes returns the advertised bytes in use by user files.
-func (v *Volume) UsedBytes() int64 { return v.usedBytes }
+func (v *Volume) UsedBytes() int64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.usedBytes
+}
 
 // FileCount returns the number of in-use user records (files + dirs).
 func (v *Volume) FileCount() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	n := 0
 	for rec := range v.nodes {
 		if rec >= firstUserRec {
@@ -344,6 +395,12 @@ func splitDirBase(path string) (dir, base string) {
 
 // Create makes a file or directory at path. The parent must exist.
 func (v *Volume) Create(path string, opt CreateOptions) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.create(path, opt)
+}
+
+func (v *Volume) create(path string, opt CreateOptions) error {
 	v.gen++
 	dir, base := splitDirBase(path)
 	if base == "" {
@@ -435,11 +492,13 @@ func (v *Volume) buildDataAttr(rec *Record, data []byte) (Attribute, error) {
 
 // MkdirAll creates a directory and any missing parents.
 func (v *Volume) MkdirAll(path string, created uint64) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	comps := SplitPath(path)
 	cur := ""
 	for _, c := range comps {
 		cur += "\\" + c
-		err := v.Create(cur, CreateOptions{Dir: true, Created: created, Modified: created})
+		err := v.create(cur, CreateOptions{Dir: true, Created: created, Modified: created})
 		if err != nil && !strings.Contains(err.Error(), ErrExists.Error()) {
 			return err
 		}
@@ -449,6 +508,12 @@ func (v *Volume) MkdirAll(path string, created uint64) error {
 
 // WriteFile replaces the data of an existing file.
 func (v *Volume) WriteFile(path string, data []byte, modified uint64) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.writeFile(path, data, modified)
+}
+
+func (v *Volume) writeFile(path string, data []byte, modified uint64) error {
 	v.gen++
 	num, err := v.resolve(path)
 	if err != nil {
@@ -505,18 +570,26 @@ func (v *Volume) WriteFile(path string, data []byte, modified uint64) error {
 
 // Append appends data to an existing file (creating it if absent).
 func (v *Volume) Append(path string, data []byte, modified uint64) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if _, err := v.resolve(path); err != nil {
-		return v.Create(path, CreateOptions{Data: data, Created: modified, Modified: modified})
+		return v.create(path, CreateOptions{Data: data, Created: modified, Modified: modified})
 	}
-	old, err := v.ReadFile(path)
+	old, err := v.readFile(path)
 	if err != nil {
 		return err
 	}
-	return v.WriteFile(path, append(old, data...), modified)
+	return v.writeFile(path, append(old, data...), modified)
 }
 
 // ReadFile returns the stored data of a file.
 func (v *Volume) ReadFile(path string) ([]byte, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.readFile(path)
+}
+
+func (v *Volume) readFile(path string) ([]byte, error) {
 	num, err := v.resolve(path)
 	if err != nil {
 		return nil, err
@@ -547,6 +620,12 @@ func (v *Volume) ReadFile(path string) ([]byte, error) {
 // cleared and its sequence number bumped, leaving a stale record behind
 // exactly as NTFS does.
 func (v *Volume) Remove(path string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.remove(path)
+}
+
+func (v *Volume) remove(path string) error {
 	v.gen++
 	num, err := v.resolve(path)
 	if err != nil {
@@ -583,6 +662,12 @@ func (v *Volume) Remove(path string) error {
 
 // RemoveAll removes path and all descendants.
 func (v *Volume) RemoveAll(path string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.removeAll(path)
+}
+
+func (v *Volume) removeAll(path string) error {
 	num, err := v.resolve(path)
 	if err != nil {
 		return err
@@ -594,12 +679,12 @@ func (v *Volume) RemoveAll(path string) error {
 			names = append(names, path+"\\"+v.nodes[child].name)
 		}
 		for _, c := range names {
-			if err := v.RemoveAll(c); err != nil {
+			if err := v.removeAll(c); err != nil {
 				return err
 			}
 		}
 	}
-	return v.Remove(path)
+	return v.remove(path)
 }
 
 // --- driver-level queries ---------------------------------------------------
@@ -625,6 +710,8 @@ func (v *Volume) infoFor(num uint32) (Info, error) {
 
 // Stat returns metadata for path.
 func (v *Volume) Stat(path string) (Info, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	num, err := v.resolve(path)
 	if err != nil {
 		return Info{}, err
@@ -634,6 +721,8 @@ func (v *Volume) Stat(path string) (Info, error) {
 
 // Exists reports whether path resolves.
 func (v *Volume) Exists(path string) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	_, err := v.resolve(path)
 	return err == nil
 }
@@ -642,6 +731,8 @@ func (v *Volume) Exists(path string) bool {
 // filesystem driver's answer to an enumeration IRP — the base of the
 // hookable call chain.
 func (v *Volume) ReadDir(path string) ([]Info, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	num, err := v.resolve(path)
 	if err != nil {
 		return nil, err
@@ -665,6 +756,8 @@ func (v *Volume) ReadDir(path string) ([]Info, error) {
 // SetAttrs updates the DOS attribute bits of a file (used to model
 // hidden/system attribute tricks).
 func (v *Volume) SetAttrs(path string, attrs uint32, modified uint64) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	v.gen++
 	num, err := v.resolve(path)
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"ghostbuster/internal/hive"
 )
@@ -25,7 +26,12 @@ var ErrNoHive = errors.New("registry: path not under a mounted hive")
 
 // Registry is a set of mounted hives addressed by full key paths such as
 // "HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Run".
+//
+// The mount table is guarded by a read-write lock; per-key operations
+// additionally synchronize on the resolved hive's own lock, so scans may
+// read concurrently with ghostware committing Registry changes.
 type Registry struct {
+	mu     sync.RWMutex
 	mounts map[string]*hive.Hive // upper-cased root -> hive
 	roots  []string              // display-cased, sorted long-to-short for matching
 	gen    uint64                // mount-table generation, see Generation
@@ -64,10 +70,16 @@ func New() (*Registry, error) {
 // is mounted or unmounted. Combined with the per-hive generations it
 // lets incremental scanners detect any change to the Registry's backing
 // bytes, including swapping a whole hive for a different one.
-func (r *Registry) Generation() uint64 { return r.gen }
+func (r *Registry) Generation() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen
+}
 
 // Mount attaches a hive at root, replacing any previous mount.
 func (r *Registry) Mount(root string, h *hive.Hive) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.gen++
 	key := strings.ToUpper(root)
 	if _, exists := r.mounts[key]; !exists {
@@ -79,6 +91,8 @@ func (r *Registry) Mount(root string, h *hive.Hive) {
 
 // Unmount detaches the hive at root.
 func (r *Registry) Unmount(root string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.gen++
 	key := strings.ToUpper(root)
 	delete(r.mounts, key)
@@ -92,11 +106,15 @@ func (r *Registry) Unmount(root string) {
 
 // Roots returns the mounted root paths.
 func (r *Registry) Roots() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return append([]string(nil), r.roots...)
 }
 
 // HiveAt returns the hive mounted at root.
 func (r *Registry) HiveAt(root string) (*hive.Hive, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	h, ok := r.mounts[strings.ToUpper(root)]
 	return h, ok
 }
@@ -104,6 +122,8 @@ func (r *Registry) HiveAt(root string) (*hive.Hive, bool) {
 // Resolve splits a full key path into its mounted hive and the
 // hive-relative subpath.
 func (r *Registry) Resolve(keyPath string) (*hive.Hive, string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	up := strings.ToUpper(keyPath)
 	for _, root := range r.roots {
 		upRoot := strings.ToUpper(root)

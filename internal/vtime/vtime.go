@@ -5,28 +5,42 @@
 // reported by the benchmarks are therefore reproducible and depend only on
 // the workload, never on the host. This mirrors how the paper reports
 // scan times as a function of disk usage and machine profile.
+//
+// Scans that run concurrently model time with lanes: Fork splits a clock
+// into n lanes that each charge independently, and Join advances the
+// parent by the longest lane — the wall-clock a set of parallel scanners
+// would have taken is the maximum of their individual durations.
 package vtime
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
 // Clock is a virtual clock. The zero value starts at virtual time zero.
-// Clock is not safe for concurrent use; the simulated machine is
-// single-threaded by design (the paper's scans are sequential).
+// All methods are safe for concurrent use, so parallel scan lanes may
+// charge a shared clock; determinism is preserved as long as the total
+// work charged does not depend on goroutine interleaving.
 type Clock struct {
+	mu  sync.Mutex
 	now time.Duration
 }
 
 // Now returns the current virtual time as an offset from boot.
-func (c *Clock) Now() time.Duration { return c.now }
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
 
 // Advance moves the clock forward by d. Negative d is ignored: virtual
 // time never runs backwards.
 func (c *Clock) Advance(d time.Duration) {
 	if d > 0 {
+		c.mu.Lock()
 		c.now += d
+		c.mu.Unlock()
 	}
 }
 
@@ -46,6 +60,53 @@ func (c *Clock) ChargeOps(n int64, costPerOp time.Duration) {
 		return
 	}
 	c.Advance(time.Duration(n) * costPerOp)
+}
+
+// Region is a parallel region of virtual time: n lanes forked from a
+// parent clock. Each lane is an independent Clock starting at the
+// parent's fork time; the work charged to different lanes overlaps
+// rather than accumulating. Join collapses the region back into the
+// parent by advancing it by the longest lane.
+type Region struct {
+	parent *Clock
+	start  time.Duration
+	lanes  []*Clock
+}
+
+// Fork opens a parallel region with n lanes (at least one). The parent
+// clock is not advanced until Join.
+func (c *Clock) Fork(n int) *Region {
+	if n < 1 {
+		n = 1
+	}
+	start := c.Now()
+	lanes := make([]*Clock, n)
+	for i := range lanes {
+		lanes[i] = &Clock{now: start}
+	}
+	return &Region{parent: c, start: start, lanes: lanes}
+}
+
+// Lanes returns the number of lanes in the region.
+func (r *Region) Lanes() int { return len(r.lanes) }
+
+// Lane returns lane i's clock. Work running on that lane charges it like
+// any other clock (including nested Fork for sub-regions).
+func (r *Region) Lane(i int) *Clock { return r.lanes[i] }
+
+// Join closes the region: the parent clock advances by the elapsed time
+// of the longest lane, and that elapsed time is returned. Virtual time
+// spent on shorter lanes is shadowed, which is exactly the wall-clock
+// behavior of independent scanners running concurrently.
+func (r *Region) Join() time.Duration {
+	var longest time.Duration
+	for _, l := range r.lanes {
+		if e := l.Now() - r.start; e > longest {
+			longest = e
+		}
+	}
+	r.parent.Advance(longest)
+	return longest
 }
 
 // Stopwatch measures elapsed virtual time between Start and Elapsed.

@@ -1,6 +1,7 @@
 package vtime
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -83,6 +84,88 @@ func TestStringFormats(t *testing.T) {
 		if got := String(tc.d); got != tc.want {
 			t.Errorf("String(%v) = %q, want %q", tc.d, got, tc.want)
 		}
+	}
+}
+
+func TestForkJoinMaxOfLanes(t *testing.T) {
+	var c Clock
+	c.Advance(10 * time.Second)
+	r := c.Fork(3)
+	if r.Lanes() != 3 {
+		t.Fatalf("Lanes = %d, want 3", r.Lanes())
+	}
+	r.Lane(0).Advance(2 * time.Second)
+	r.Lane(1).Advance(7 * time.Second)
+	// Lane 2 charges nothing.
+	if got := r.Join(); got != 7*time.Second {
+		t.Errorf("Join = %v, want max lane 7s", got)
+	}
+	if c.Now() != 17*time.Second {
+		t.Errorf("parent after Join = %v, want 17s", c.Now())
+	}
+}
+
+func TestForkLanesStartAtParentNow(t *testing.T) {
+	var c Clock
+	c.Advance(time.Minute)
+	r := c.Fork(2)
+	if r.Lane(0).Now() != time.Minute || r.Lane(1).Now() != time.Minute {
+		t.Error("lanes must start at the parent's fork time")
+	}
+	// A stopwatch on a lane sees only that lane's charges.
+	sw := NewStopwatch(r.Lane(1))
+	r.Lane(0).Advance(time.Hour)
+	r.Lane(1).Advance(3 * time.Second)
+	if sw.Elapsed() != 3*time.Second {
+		t.Errorf("lane stopwatch Elapsed = %v, want 3s", sw.Elapsed())
+	}
+}
+
+func TestForkClampsToOneLane(t *testing.T) {
+	var c Clock
+	if got := c.Fork(0).Lanes(); got != 1 {
+		t.Errorf("Fork(0) lanes = %d, want 1", got)
+	}
+	if got := c.Fork(-5).Lanes(); got != 1 {
+		t.Errorf("Fork(-5) lanes = %d, want 1", got)
+	}
+}
+
+func TestNestedRegions(t *testing.T) {
+	var c Clock
+	outer := c.Fork(2)
+	outer.Lane(0).Advance(time.Second)
+	inner := outer.Lane(1).Fork(2)
+	inner.Lane(0).Advance(4 * time.Second)
+	inner.Lane(1).Advance(2 * time.Second)
+	if got := inner.Join(); got != 4*time.Second {
+		t.Errorf("inner Join = %v, want 4s", got)
+	}
+	if got := outer.Join(); got != 4*time.Second {
+		t.Errorf("outer Join = %v, want 4s", got)
+	}
+	if c.Now() != 4*time.Second {
+		t.Errorf("root after joins = %v, want 4s", c.Now())
+	}
+}
+
+// Concurrent charging must be safe and lose no time (run with -race).
+func TestConcurrentAdvance(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	const workers, steps = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < steps; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if want := time.Duration(workers*steps) * time.Microsecond; c.Now() != want {
+		t.Errorf("Now = %v, want %v", c.Now(), want)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"ghostbuster/internal/vtime"
@@ -25,8 +26,10 @@ func DefaultCosts() CostModel {
 }
 
 // Stack is the API stack of one running OS instance: the installed hooks
-// plus the base implementations.
+// plus the base implementations. Queries may run concurrently with hook
+// installs/uninstalls; the hook table is guarded by a read-write lock.
 type Stack struct {
+	mu      sync.RWMutex
 	bases   Bases
 	hooks   []*Hook
 	nextSeq int
@@ -44,6 +47,8 @@ func NewStack(bases Bases, clock *vtime.Clock, costs CostModel) *Stack {
 // install order (later installs sit closer to the caller, like filter
 // drivers attaching on top of a device stack).
 func (s *Stack) Install(h *Hook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	h.installSeq = s.nextSeq
 	s.nextSeq++
 	s.hooks = append(s.hooks, h)
@@ -51,6 +56,8 @@ func (s *Stack) Install(h *Hook) {
 
 // Uninstall removes every hook owned by owner and returns the count.
 func (s *Stack) Uninstall(owner string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	kept := s.hooks[:0]
 	removed := 0
 	for _, h := range s.hooks {
@@ -67,6 +74,8 @@ func (s *Stack) Uninstall(owner string) int {
 // Hooks returns descriptions of all installed hooks (for the taxonomy
 // figures and the hook-detection baseline).
 func (s *Stack) Hooks() []HookInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]HookInfo, 0, len(s.hooks))
 	for _, h := range s.hooks {
 		out = append(out, HookInfo{Owner: h.Owner, API: h.API, Level: h.Level, Technique: h.Technique})
@@ -78,6 +87,8 @@ func (s *Stack) Hooks() []HookInfo {
 // ordered innermost-first for wrapping: deepest level first, and within
 // a level, earliest install first (so later installs end up outermost).
 func (s *Stack) chainHooks(api API, entry Level, call *Call) []*Hook {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var hooks []*Hook
 	for _, h := range s.hooks {
 		if h.API != api {
@@ -100,12 +111,18 @@ func (s *Stack) chainHooks(api API, entry Level, call *Call) []*Hook {
 	return hooks
 }
 
-func (s *Stack) charge(entries int) {
-	if s.clock == nil {
+// charge bills the call's API traffic: to the call's lane clock when one
+// is set, otherwise to the stack's machine clock.
+func (s *Stack) charge(call *Call, entries int) {
+	clock := s.clock
+	if call != nil && call.Clock != nil {
+		clock = call.Clock
+	}
+	if clock == nil {
 		return
 	}
-	s.clock.Advance(s.costs.PerAPICall)
-	s.clock.ChargeOps(int64(entries), s.costs.PerEntry)
+	clock.Advance(s.costs.PerAPICall)
+	clock.ChargeOps(int64(entries), s.costs.PerEntry)
 }
 
 // --- file enumeration --------------------------------------------------------
@@ -123,7 +140,7 @@ func (s *Stack) enumDir(call *Call, dir string, entry Level) ([]DirEntry, error)
 		}
 	}
 	out, err := handler(call, dir)
-	s.charge(len(out))
+	s.charge(call, len(out))
 	return out, err
 }
 
@@ -194,7 +211,7 @@ func (s *Stack) queryKey(call *Call, keyPath string, entry Level) (KeySnapshot, 
 		}
 	}
 	out, err := handler(call, keyPath)
-	s.charge(len(out.Subkeys) + len(out.Values))
+	s.charge(call, len(out.Subkeys)+len(out.Values))
 	return out, err
 }
 
@@ -240,7 +257,7 @@ func (s *Stack) enumProcs(call *Call, entry Level) ([]ProcEntry, error) {
 		}
 	}
 	out, err := handler(call)
-	s.charge(len(out))
+	s.charge(call, len(out))
 	return out, err
 }
 
@@ -269,7 +286,7 @@ func (s *Stack) EnumModulesWin32(call *Call, pid uint64) ([]ModEntry, error) {
 		}
 	}
 	raw, err := handler(call, pid)
-	s.charge(len(raw))
+	s.charge(call, len(raw))
 	if err != nil {
 		return nil, err
 	}
@@ -294,6 +311,6 @@ func (s *Stack) EnumDriversWin32(call *Call) ([]ModEntry, error) {
 		}
 	}
 	out, err := handler(call)
-	s.charge(len(out))
+	s.charge(call, len(out))
 	return out, err
 }

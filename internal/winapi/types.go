@@ -14,6 +14,8 @@
 // chain entirely and observe "the truth".
 package winapi
 
+import "ghostbuster/internal/vtime"
+
 // Level identifies where in the call path a hook sits. Lower values are
 // closer to the calling program (outermost).
 type Level int
@@ -75,9 +77,14 @@ type Proc struct {
 // Call carries per-query context down the chain, playing the role of the
 // IRP: filter drivers "examin[e] the IRP ... to determine the
 // originating process".
+//
+// Clock, when non-nil, receives the virtual-time charges for the call
+// instead of the stack's machine clock. Parallel scan lanes set it so
+// each lane accumulates only its own API traffic.
 type Call struct {
-	Proc Proc
-	API  API
+	Proc  Proc
+	API   API
+	Clock *vtime.Clock
 }
 
 // DirEntry is one file-enumeration result.
