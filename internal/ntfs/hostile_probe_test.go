@@ -1,0 +1,14 @@
+package ntfs
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestHostileMFTRecords(t *testing.T) {
+	dev := FormatImage(64)
+	// forge a huge MFTRecords in the boot sector
+	binary.LittleEndian.PutUint64(dev[56:], 1<<62)
+	_, _, err := RawScan(dev)
+	t.Logf("err=%v", err)
+}
