@@ -34,13 +34,11 @@ func main() {
 	}
 }
 
-// corpus returns fresh instances of every installable program by name.
-func corpus() map[string]ghostware.Ghostware {
-	out := map[string]ghostware.Ghostware{}
-	for _, g := range corpusOrdered() {
-		out[strings.ToUpper(g.Name())] = g
-	}
-	return out
+// catalogOrdered lists every installable program: the paper's 12-sample
+// corpus followed by the extension adversaries, all from the shared
+// ghostware catalog.
+func catalogOrdered() []ghostware.CatalogEntry {
+	return append(ghostware.Catalog(), ghostware.Extensions()...)
 }
 
 func run(args []string) error {
@@ -57,8 +55,8 @@ func run(args []string) error {
 	}
 
 	if *listGW {
-		for _, g := range corpusOrdered() {
-			fmt.Printf("  %-24s %-28s hides: %s\n", g.Name(), g.Class(), hideSummary(g))
+		for _, e := range catalogOrdered() {
+			fmt.Printf("  %-24s %-28s hides: %s\n", e.Name, e.Class, hideSummary(e.New()))
 		}
 		return nil
 	}
@@ -77,23 +75,20 @@ func run(args []string) error {
 	}
 
 	if *infect != "" {
-		g, ok := corpus()[strings.ToUpper(*infect)]
+		e, ok := ghostware.Lookup(*infect)
 		if !ok {
 			return fmt.Errorf("unknown ghostware %q (try -list-ghostware)", *infect)
 		}
+		g := e.New()
 		fmt.Printf("installing %s (%s)...\n", g.Name(), g.Class())
 		if err := g.Install(m); err != nil {
 			return err
 		}
-		if fu, ok := g.(*ghostware.FU); ok {
-			// FU needs a victim: hide its own helper process.
-			if _, err := m.StartProcess("fuvictim.exe", `C:\fu\fuvictim.exe`); err != nil {
+		if e.Arm != nil {
+			if err := e.Arm(m, g); err != nil {
 				return err
 			}
-			if err := fu.HideByName(m, "fuvictim.exe"); err != nil {
-				return err
-			}
-			fmt.Println("ran: fu -ph <pid of fuvictim.exe>")
+			fmt.Printf("armed %s (post-install step)\n", g.Name())
 		}
 	}
 
@@ -212,14 +207,6 @@ func runInjected(m *machine.Machine, verbose bool) error {
 	}
 	fmt.Println("\nVERDICT: no hidden resources detected from any process identity")
 	return nil
-}
-
-func corpusOrdered() []ghostware.Ghostware {
-	return append(ghostware.Fig3Corpus(), ghostware.NewBerbew(), ghostware.NewFU(),
-		ghostware.NewWin32NameGhost(), ghostware.NewRegNullGhost(),
-		ghostware.NewADSGhost(), ghostware.NewDriverHider(),
-		ghostware.NewTargeted(ghostware.HideFromUtilities),
-		ghostware.NewDecoy([]string{`C:\Shared`}))
 }
 
 func hideSummary(g ghostware.Ghostware) string {

@@ -29,8 +29,8 @@ func TestUnknownScanKindErrors(t *testing.T) {
 
 func TestCorpusIsComplete(t *testing.T) {
 	names := map[string]bool{}
-	for _, g := range corpusOrdered() {
-		names[g.Name()] = true
+	for _, e := range catalogOrdered() {
+		names[e.Name] = true
 	}
 	for _, want := range []string{
 		"Urbin", "Mersting", "Vanquish", "Aphex", "Hacker Defender 1.0",

@@ -1,0 +1,116 @@
+// Command ghostfuzz drives the adversarial ghostware fuzzer: it
+// generates composed hiding techniques, installs each on a randomized
+// machine, runs every detection configuration, and checks the
+// differential oracle's invariants. Output is deterministic JSON — the
+// same seed and count yield byte-identical bytes, run after run.
+//
+// Usage:
+//
+//	ghostfuzz -seed 1 -n 200                  # fuzz 200 cases
+//	ghostfuzz -seed 1 -n 5000 -budget 2m      # bounded batch
+//	ghostfuzz -replay 'ghostfuzz-v1 seed=7 atoms=ads/1/all'
+//	ghostfuzz -replay @testdata/ghostfuzz/corpus/1a2b3c4d.spec
+//	ghostfuzz -corpus testdata/ghostfuzz/corpus -n 500   # record shrunk repros
+//	ghostfuzz -fleet 16 -lanes 4              # fuzz across a fleet sweep
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ghostbuster/internal/ghostfuzz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ghostfuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("ghostfuzz", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "base seed; case i derives from it deterministically")
+	n := fs.Int("n", 100, "number of generated cases")
+	budget := fs.Duration("budget", 0, "wall-clock budget; 0 means unlimited")
+	replay := fs.String("replay", "", "replay one spec line (or @file containing one) instead of generating")
+	corpus := fs.String("corpus", "", "directory to write shrunk failure specs into")
+	fleetN := fs.Int("fleet", 0, "fuzz across a fleet sweep with this many hosts instead of single cases")
+	lanes := fs.Int("lanes", 1, "per-host scan lanes in fleet mode")
+	workers := fs.Int("workers", 4, "fleet scheduler worker pool size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+
+	if *replay != "" {
+		line := *replay
+		if rest, ok := strings.CutPrefix(line, "@"); ok {
+			data, err := os.ReadFile(rest)
+			if err != nil {
+				return err
+			}
+			line = firstSpecLine(string(data))
+		}
+		violations, err := ghostfuzz.Replay(line, nil)
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(map[string]any{"spec": line, "violations": violations}); err != nil {
+			return err
+		}
+		if len(violations) > 0 {
+			os.Exit(2)
+		}
+		return nil
+	}
+
+	if *fleetN > 0 {
+		summary, err := ghostfuzz.RunFleet(ghostfuzz.FleetOptions{
+			Seed: *seed, Hosts: *fleetN,
+			Parallelism: *workers, HostParallelism: *lanes,
+		})
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(summary); err != nil {
+			return err
+		}
+		if len(summary.Violations) > 0 {
+			os.Exit(2)
+		}
+		return nil
+	}
+
+	summary, err := ghostfuzz.Run(ghostfuzz.Options{
+		Seed: *seed, N: *n, Budget: time.Duration(*budget), CorpusDir: *corpus,
+	})
+	if err != nil {
+		return err
+	}
+	if err := enc.Encode(summary); err != nil {
+		return err
+	}
+	if len(summary.Failures) > 0 {
+		os.Exit(2)
+	}
+	return nil
+}
+
+// firstSpecLine returns the first non-comment, non-blank line of a
+// corpus file.
+func firstSpecLine(data string) string {
+	for _, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" && !strings.HasPrefix(line, "#") {
+			return line
+		}
+	}
+	return ""
+}

@@ -1,0 +1,76 @@
+package ghostfuzz
+
+import (
+	"fmt"
+	"strings"
+
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/ghostware"
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/workload"
+)
+
+// Expectation is the ground truth the oracle checks reports against:
+// exactly these artifacts, and nothing else, must surface as hidden.
+type Expectation struct {
+	// Files holds exact uppercase finding IDs (full paths; ADS entries
+	// as PATH:STREAM).
+	Files []string
+	// ASEPs holds ground-truth hook specs, "KEY" or "KEY|VALUE",
+	// matched the way the ghostware table tests match them.
+	ASEPs []string
+	// Procs holds hidden process image names (finding IDs end with
+	// ": NAME" uppercased).
+	Procs []string
+	// Mods holds uppercase DLL base names (finding IDs contain them).
+	Mods []string
+	// MassHiding is whether file reports must flag the §5 anomaly.
+	MassHiding bool
+}
+
+// Case is one built fuzz case: a populated machine infected with the
+// spec's composite ghostware, plus what the detectors must find.
+type Case struct {
+	Spec   CaseSpec
+	M      *machine.Machine
+	G      *ghostware.Composite
+	Expect Expectation
+}
+
+// Build realizes a spec: derive the machine profile from the seed,
+// populate it, install the composed ghostware, run a little live churn,
+// and precompute the expectation. Deterministic for a given spec.
+func Build(spec CaseSpec) (*Case, error) {
+	m, err := workload.NewPaperMachine(workload.FuzzProfile(spec.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("ghostfuzz: building machine: %w", err)
+	}
+	g := ghostware.NewComposite(fmt.Sprintf("s%d", uint64(spec.Seed)%100000), spec.Atoms)
+	if err := g.Install(m); err != nil {
+		return nil, fmt.Errorf("ghostfuzz: installing %s: %w", spec, err)
+	}
+	// A few minutes of live service churn between infection and scan,
+	// as on a real in-service host.
+	if err := m.RunChurn(5); err != nil {
+		return nil, fmt.Errorf("ghostfuzz: churn: %w", err)
+	}
+	return &Case{Spec: spec, M: m, G: g, Expect: expectationFor(g)}, nil
+}
+
+func expectationFor(g *ghostware.Composite) Expectation {
+	var e Expectation
+	for _, f := range g.HiddenFiles() {
+		e.Files = append(e.Files, strings.ToUpper(f))
+	}
+	e.ASEPs = g.HiddenASEPs()
+	e.Procs = g.HiddenProcs()
+	e.Mods = g.HiddenModules()
+	e.MassHiding = len(e.Files) > core.DefaultMassHidingThreshold
+	return e
+}
+
+// HiddenTotal is the non-noise hidden finding count an inside sweep
+// must report: one finding per planted artifact.
+func (e Expectation) HiddenTotal() int {
+	return len(e.Files) + len(e.ASEPs) + len(e.Procs) + len(e.Mods)
+}

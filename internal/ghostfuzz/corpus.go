@@ -1,0 +1,81 @@
+package ghostfuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The corpus directory holds one file per shrunk failure, each a single
+// spec line (plus optional "#" comment lines). go test replays every
+// entry forever; a fixed bug stays fixed.
+
+// specFileName derives a stable corpus filename from the spec line
+// (FNV-1a), so re-finding the same minimized failure is idempotent.
+func specFileName(line string) string {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(line); i++ {
+		h ^= uint32(line[i])
+		h *= prime32
+	}
+	return fmt.Sprintf("%08x.spec", h)
+}
+
+// WriteSpec records a shrunk failing spec in the corpus directory,
+// annotated with the violation it reproduces. Returns the file path.
+func WriteSpec(dir string, spec CaseSpec, v Violation) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("ghostfuzz: corpus dir: %w", err)
+	}
+	line := spec.String()
+	path := filepath.Join(dir, specFileName(line))
+	content := fmt.Sprintf("# %s\n%s\n", v, line)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return "", fmt.Errorf("ghostfuzz: writing corpus spec: %w", err)
+	}
+	return path, nil
+}
+
+// LoadCorpus reads every *.spec file under dir (sorted by name, for a
+// stable replay order). A missing directory is an empty corpus.
+func LoadCorpus(dir string) ([]CaseSpec, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ghostfuzz: reading corpus: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".spec") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var specs []CaseSpec
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			spec, err := ParseSpec(line)
+			if err != nil {
+				return nil, fmt.Errorf("ghostfuzz: corpus %s: %w", name, err)
+			}
+			specs = append(specs, spec)
+		}
+	}
+	return specs, nil
+}

@@ -1,0 +1,73 @@
+package ghostfuzz
+
+import (
+	"math/rand"
+
+	"ghostbuster/internal/ghostware"
+	"ghostbuster/internal/winapi"
+)
+
+// CaseSeed derives the seed for case index i of a run from the run's
+// base seed (splitmix64-style mixing, so adjacent indices land far
+// apart in seed space).
+func CaseSeed(base int64, i int) int64 {
+	z := uint64(base) + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+var hookLevels = []winapi.Level{
+	winapi.LevelIAT, winapi.LevelUserCode, winapi.LevelNtdll,
+	winapi.LevelSSDT, winapi.LevelFilter,
+}
+
+var atomKinds = []ghostware.AtomKind{
+	ghostware.AtomFileHide, ghostware.AtomWin32Name, ghostware.AtomADS,
+	ghostware.AtomRegHide, ghostware.AtomRegNul, ghostware.AtomProcHide,
+	ghostware.AtomProcDKOM, ghostware.AtomModHide, ghostware.AtomDecoy,
+}
+
+// Generate composes a random adversary for the given case seed: 1–4
+// atoms drawn from the full technique lattice, hooked atoms at a random
+// interception level and occasionally §5-scoped, the decoy atom with a
+// count that sometimes crosses the mass-hiding threshold. The result is
+// a pure function of seed.
+func Generate(seed int64) CaseSpec {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(4)
+	spec := CaseSpec{Seed: seed}
+	for i := 0; i < n; i++ {
+		kind := atomKinds[rng.Intn(len(atomKinds))]
+		a := ghostware.Atom{Kind: kind}
+		switch kind {
+		case ghostware.AtomFileHide, ghostware.AtomWin32Name:
+			a.Count = 1 + rng.Intn(3)
+		case ghostware.AtomADS, ghostware.AtomRegNul, ghostware.AtomModHide:
+			a.Count = 1 + rng.Intn(2)
+		case ghostware.AtomRegHide:
+			a.Count = 1 + rng.Intn(4)
+		case ghostware.AtomProcHide:
+			a.Count = 1 + rng.Intn(2)
+		case ghostware.AtomProcDKOM:
+			a.Count = 1
+		case ghostware.AtomDecoy:
+			// 5–124 innocents: above ~95 the atom alone (innocents + dir
+			// + payload) crosses the default mass-hiding threshold, so
+			// both sides of that anomaly check get exercised.
+			a.Count = 5 + rng.Intn(120)
+		}
+		if kind.Hooked() {
+			a.Level = hookLevels[rng.Intn(len(hookLevels))]
+			switch rng.Intn(10) {
+			case 0:
+				a.Scope = ghostware.ScopeUtilities
+			case 1:
+				a.Scope = ghostware.ScopeExcept
+				a.ExemptName = "inocit.exe"
+			}
+		}
+		spec.Atoms = append(spec.Atoms, a)
+	}
+	return spec
+}

@@ -1,0 +1,389 @@
+package ghostfuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/crashdump"
+	"ghostbuster/internal/winpe"
+)
+
+// The oracle's invariant names, stable so shrinking can match on them.
+const (
+	// InvCoverage: a planted artifact is missing from the report of a
+	// mode the paper claims catches it.
+	InvCoverage = "coverage"
+	// InvConsistency: a parallel or cached configuration's reports
+	// diverge from the sequential cold-scan reports.
+	InvConsistency = "consistency"
+	// InvInnocent: a finding survived noise filtering that matches no
+	// planted artifact — a false positive.
+	InvInnocent = "innocent"
+	// InvMassHiding: the §5 anomaly flag disagrees with the planted
+	// hidden-file count.
+	InvMassHiding = "mass-hiding"
+	// InvError: a detection mode failed outright (error or captured
+	// panic).
+	InvError = "error"
+)
+
+// Violation is one invariant breach in one detection mode.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	Mode      string `json:"mode"`
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s[%s]: %s", v.Invariant, v.Mode, v.Detail)
+}
+
+// sameFailure reports whether two violations are the same invariant in
+// the same mode — the shrinker's notion of "still the same bug".
+func sameFailure(a, b Violation) bool {
+	return a.Invariant == b.Invariant && a.Mode == b.Mode
+}
+
+// Breaker is the test-only detector saboteur: it drops hidden findings
+// from reports after scanning and before invariant checks, simulating a
+// detector that silently misses a class of artifacts. The acceptance
+// path proves a broken detector produces a shrunk, replayable spec.
+type Breaker struct {
+	// DropHidden returns true to delete a hidden finding from the named
+	// mode's report.
+	DropHidden func(mode string, f core.Finding) bool
+}
+
+// apply returns reports with the breaker's drops applied (deep enough a
+// copy that the originals stay intact). A nil breaker is the identity.
+func (b *Breaker) apply(mode string, reports []*core.Report) []*core.Report {
+	if b == nil || b.DropHidden == nil {
+		return reports
+	}
+	out := make([]*core.Report, len(reports))
+	for i, r := range reports {
+		cp := *r
+		cp.Hidden = nil
+		for _, f := range r.Hidden {
+			if !b.DropHidden(mode, f) {
+				cp.Hidden = append(cp.Hidden, f)
+			}
+		}
+		out[i] = &cp
+	}
+	return out
+}
+
+// The inside-the-box detection configurations the oracle compares. Each
+// builds a fresh detector over the same machine; lanes and caching must
+// not change a single report byte (cached runs modulo virtual elapsed
+// time, which legitimately shrinks on a warm cache).
+type insideMode struct {
+	name        string
+	parallelism int
+	cached      bool
+	// warmup runs ScanAll once before the measured run (warm cache).
+	warmup bool
+	// zeroElapsed compares reports with Elapsed zeroed: cache hits
+	// charge cheaper verify costs, so elapsed differs by design.
+	zeroElapsed bool
+}
+
+var insideModes = []insideMode{
+	{name: "inside-seq"},
+	{name: "inside-par2", parallelism: 2},
+	{name: "inside-par8", parallelism: 8},
+	{name: "inside-cached-cold", cached: true, zeroElapsed: true},
+	{name: "inside-cached-warm", cached: true, warmup: true, zeroElapsed: true},
+}
+
+// RunCase runs every detection configuration against the case and
+// returns all invariant violations (nil means the case passed). The
+// breaker, when non-nil, sabotages reports before checking — used only
+// by tests and the shrinker acceptance path.
+func RunCase(c *Case, b *Breaker) []Violation {
+	var out []Violation
+	report := func(v ...Violation) { out = append(out, v...) }
+
+	// Inside-the-box: sequential is the reference; every other lane and
+	// cache configuration must agree with it.
+	var refReports []*core.Report
+	var refJSON string
+	for _, mode := range insideModes {
+		d := core.NewDetector(c.M)
+		if mode.cached {
+			d = core.NewCachedDetector(c.M)
+		}
+		d.Advanced = true
+		d.Parallelism = mode.parallelism
+		if mode.warmup {
+			if _, err := d.ScanAll(); err != nil {
+				report(Violation{InvError, mode.name, "warmup: " + err.Error()})
+				continue
+			}
+		}
+		reports, err := d.ScanAll()
+		if err != nil {
+			report(Violation{InvError, mode.name, err.Error()})
+			continue
+		}
+		reports = b.apply(mode.name, reports)
+		if refReports == nil {
+			refReports = reports
+			refJSON = canonicalJSON(reports, false)
+			report(checkInside(c, mode.name, reports)...)
+			continue
+		}
+		got := canonicalJSON(reports, mode.zeroElapsed)
+		want := refJSON
+		if mode.zeroElapsed {
+			want = canonicalJSON(refReports, true)
+		}
+		if got != want {
+			report(Violation{InvConsistency, mode.name,
+				fmt.Sprintf("reports diverge from inside-seq: %s", firstDiff(want, got))})
+		}
+	}
+
+	// Outside-the-box volatile state: crash-dump walks, no reboot.
+	if r, err := crashdump.OutsideProcessCheck(c.M, true); err != nil {
+		report(Violation{InvError, "crashdump-procs", err.Error()})
+	} else {
+		r = b.apply("crashdump-procs", []*core.Report{r})[0]
+		report(checkProcs(c, "crashdump-procs", r)...)
+	}
+	if r, err := crashdump.OutsideModuleCheck(c.M); err != nil {
+		report(Violation{InvError, "crashdump-mods", err.Error()})
+	} else {
+		r = b.apply("crashdump-mods", []*core.Report{r})[0]
+		report(checkMods(c, "crashdump-mods", r)...)
+	}
+
+	// Outside-the-box persistent state: WinPE CD boots. These reboot the
+	// machine (churn, ASEP refire), so they run last.
+	if r, err := winpe.OutsideFileCheck(c.M, core.DiffOptions{}); err != nil {
+		report(Violation{InvError, "winpe-files", err.Error()})
+	} else {
+		r = b.apply("winpe-files", []*core.Report{r})[0]
+		report(checkFiles(c, "winpe-files", r)...)
+		report(checkMassHiding(c, "winpe-files", r)...)
+	}
+	if r, err := winpe.OutsideASEPCheck(c.M, core.DiffOptions{}); err != nil {
+		report(Violation{InvError, "winpe-aseps", err.Error()})
+	} else {
+		r = b.apply("winpe-aseps", []*core.Report{r})[0]
+		report(checkASEPs(c, "winpe-aseps", r)...)
+	}
+	return out
+}
+
+// checkInside verifies coverage + innocence for all four inside reports
+// (paper order: files, ASEPs, processes, modules).
+func checkInside(c *Case, mode string, reports []*core.Report) []Violation {
+	if len(reports) != 4 {
+		return []Violation{{InvError, mode, fmt.Sprintf("%d reports, want 4", len(reports))}}
+	}
+	var out []Violation
+	out = append(out, checkFiles(c, mode, reports[0])...)
+	out = append(out, checkMassHiding(c, mode, reports[0])...)
+	out = append(out, checkASEPs(c, mode, reports[1])...)
+	out = append(out, checkProcs(c, mode, reports[2])...)
+	out = append(out, checkMods(c, mode, reports[3])...)
+	return out
+}
+
+func hiddenIDs(r *core.Report) map[string]bool {
+	ids := make(map[string]bool, len(r.Hidden))
+	for _, f := range r.Hidden {
+		ids[f.ID] = true
+	}
+	return ids
+}
+
+// checkFiles: the hidden set must equal the planted file IDs exactly.
+func checkFiles(c *Case, mode string, r *core.Report) []Violation {
+	var out []Violation
+	found := hiddenIDs(r)
+	for _, want := range c.Expect.Files {
+		if !found[want] {
+			out = append(out, Violation{InvCoverage, mode, "hidden file not reported: " + printable(want)})
+			continue
+		}
+		delete(found, want)
+	}
+	for _, id := range sortedKeys(found) {
+		out = append(out, Violation{InvInnocent, mode, "innocent file flagged: " + printable(id)})
+	}
+	return out
+}
+
+// checkASEPs: every planted hook spec matches a finding, every finding
+// matches a planted spec, counts agree.
+func checkASEPs(c *Case, mode string, r *core.Report) []Violation {
+	var out []Violation
+	found := hiddenIDs(r)
+	for _, spec := range c.Expect.ASEPs {
+		if !hookDetected(found, spec) {
+			out = append(out, Violation{InvCoverage, mode, "hidden ASEP not reported: " + printable(spec)})
+		}
+	}
+	for _, id := range sortedKeys(found) {
+		ok := false
+		for _, spec := range c.Expect.ASEPs {
+			if hookMatches(id, spec) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			out = append(out, Violation{InvInnocent, mode, "innocent ASEP flagged: " + printable(id)})
+		}
+	}
+	if len(found) != len(c.Expect.ASEPs) && len(out) == 0 {
+		out = append(out, Violation{InvInnocent, mode,
+			fmt.Sprintf("%d hidden ASEP findings for %d planted hooks", len(found), len(c.Expect.ASEPs))})
+	}
+	return out
+}
+
+// checkProcs: process finding IDs end with ": NAME"; one per planted
+// process.
+func checkProcs(c *Case, mode string, r *core.Report) []Violation {
+	var out []Violation
+	found := hiddenIDs(r)
+	for _, name := range c.Expect.Procs {
+		suffix := ": " + strings.ToUpper(name)
+		matched := ""
+		for id := range found {
+			if strings.HasSuffix(id, suffix) {
+				matched = id
+				break
+			}
+		}
+		if matched == "" {
+			out = append(out, Violation{InvCoverage, mode, "hidden process not reported: " + name})
+			continue
+		}
+		delete(found, matched)
+	}
+	for _, id := range sortedKeys(found) {
+		out = append(out, Violation{InvInnocent, mode, "innocent process flagged: " + id})
+	}
+	return out
+}
+
+// checkMods: module finding IDs contain the hidden DLL base name; one
+// per planted module.
+func checkMods(c *Case, mode string, r *core.Report) []Violation {
+	var out []Violation
+	found := hiddenIDs(r)
+	for _, frag := range c.Expect.Mods {
+		matched := ""
+		for id := range found {
+			if strings.Contains(id, frag) {
+				matched = id
+				break
+			}
+		}
+		if matched == "" {
+			out = append(out, Violation{InvCoverage, mode, "hidden module not reported: " + frag})
+			continue
+		}
+		delete(found, matched)
+	}
+	for _, id := range sortedKeys(found) {
+		out = append(out, Violation{InvInnocent, mode, "innocent module flagged: " + id})
+	}
+	return out
+}
+
+// checkMassHiding: the anomaly flag must match the planted count.
+func checkMassHiding(c *Case, mode string, r *core.Report) []Violation {
+	flagged := r.MassHiding != nil
+	if flagged == c.Expect.MassHiding {
+		return nil
+	}
+	return []Violation{{InvMassHiding, mode,
+		fmt.Sprintf("anomaly flagged=%v with %d planted hidden files (threshold %d)",
+			flagged, len(c.Expect.Files), core.DefaultMassHidingThreshold)}}
+}
+
+// hookDetected matches a ground-truth spec ("KEY" or "KEY|VALUE")
+// against finding IDs ("KEY -> VALUE", upper-cased), the same way the
+// ghostware table tests do.
+func hookDetected(found map[string]bool, spec string) bool {
+	for id := range found {
+		if hookMatches(id, spec) {
+			return true
+		}
+	}
+	return false
+}
+
+func hookMatches(id, spec string) bool {
+	keyPart, valPart := spec, ""
+	if i := strings.IndexByte(spec, '|'); i >= 0 {
+		keyPart, valPart = spec[:i], spec[i+1:]
+	}
+	if !strings.HasPrefix(id, strings.ToUpper(keyPart)) {
+		return false
+	}
+	return valPart == "" || strings.HasSuffix(id, strings.ToUpper(valPart))
+}
+
+// canonicalJSON renders reports for byte comparison; zeroElapsed strips
+// the virtual scan times (cached runs are cheaper by design).
+func canonicalJSON(reports []*core.Report, zeroElapsed bool) string {
+	if zeroElapsed {
+		stripped := make([]*core.Report, len(reports))
+		for i, r := range reports {
+			cp := *r
+			cp.Elapsed = 0
+			stripped[i] = &cp
+		}
+		reports = stripped
+	}
+	data, err := json.Marshal(reports)
+	if err != nil {
+		return "marshal error: " + err.Error()
+	}
+	return string(data)
+}
+
+// firstDiff summarizes where two canonical JSON strings diverge.
+func firstDiff(want, got string) string {
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	i := 0
+	for i < n && want[i] == got[i] {
+		i++
+	}
+	lo := i - 30
+	if lo < 0 {
+		lo = 0
+	}
+	hiW, hiG := i+30, i+30
+	if hiW > len(want) {
+		hiW = len(want)
+	}
+	if hiG > len(got) {
+		hiG = len(got)
+	}
+	return fmt.Sprintf("at byte %d: want ...%s..., got ...%s...", i, want[lo:hiW], got[lo:hiG])
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func printable(s string) string { return strings.ReplaceAll(s, "\x00", `\0`) }

@@ -1,0 +1,116 @@
+package ghostfuzz
+
+import "time"
+
+// Options configures a fuzz run.
+type Options struct {
+	// Seed is the base seed; case i uses CaseSeed(Seed, i).
+	Seed int64
+	// N is how many cases to generate and run.
+	N int
+	// Budget bounds wall-clock time; zero means unlimited. A run that
+	// hits the budget stops early and marks the summary Truncated — it
+	// never affects per-case results, so an un-truncated run's JSON is
+	// identical whatever the budget.
+	Budget time.Duration
+	// Breaker, when set, sabotages reports before invariant checks
+	// (tests only).
+	Breaker *Breaker
+	// CorpusDir, when non-empty, receives a shrunk spec file for every
+	// failure.
+	CorpusDir string
+	// NoShrink skips minimization (failures report the raw spec as
+	// shrunk).
+	NoShrink bool
+}
+
+// Failure is one fuzz case that violated an invariant, with its
+// minimized reproduction.
+type Failure struct {
+	Spec       string      `json:"spec"`
+	Shrunk     string      `json:"shrunk"`
+	Violations []Violation `json:"violations"`
+	CorpusFile string      `json:"corpusFile,omitempty"`
+}
+
+// Summary is a fuzz run's deterministic result: no wall-clock times, so
+// the same seed and N marshal byte-identically run after run.
+type Summary struct {
+	Seed      int64     `json:"seed"`
+	Cases     int       `json:"cases"`
+	Failures  []Failure `json:"failures,omitempty"`
+	Truncated bool      `json:"truncated,omitempty"`
+}
+
+// Run generates and checks N cases. The error return covers harness
+// problems (corpus I/O); detector failures land in Summary.Failures.
+func Run(opts Options) (*Summary, error) {
+	s := &Summary{Seed: opts.Seed}
+	start := time.Now()
+	for i := 0; i < opts.N; i++ {
+		if opts.Budget > 0 && time.Since(start) > opts.Budget {
+			s.Truncated = true
+			break
+		}
+		spec := Generate(CaseSeed(opts.Seed, i))
+		violations := runSpec(spec, opts.Breaker)
+		s.Cases++
+		if len(violations) == 0 {
+			continue
+		}
+		f := Failure{Spec: spec.String(), Violations: violations}
+		shrunk := spec
+		if !opts.NoShrink {
+			shrunk = Shrink(spec, violations[0], opts.Breaker)
+		}
+		f.Shrunk = shrunk.String()
+		if opts.CorpusDir != "" {
+			path, err := WriteSpec(opts.CorpusDir, shrunk, violations[0])
+			if err != nil {
+				return s, err
+			}
+			f.CorpusFile = path
+		}
+		s.Failures = append(s.Failures, f)
+	}
+	return s, nil
+}
+
+// runSpec builds and checks one spec; a build error is itself an
+// invariant violation (the generator must only emit installable specs).
+func runSpec(spec CaseSpec, b *Breaker) []Violation {
+	c, err := Build(spec)
+	if err != nil {
+		return []Violation{{InvError, "build", err.Error()}}
+	}
+	return RunCase(c, b)
+}
+
+// Replay re-runs one spec line and returns its violations; a corpus
+// entry that replays clean means the bug it recorded stays fixed.
+func Replay(line string, b *Breaker) ([]Violation, error) {
+	spec, err := ParseSpec(line)
+	if err != nil {
+		return nil, err
+	}
+	return runSpec(spec, b), nil
+}
+
+// ReplayAll replays every corpus spec under dir and returns violations
+// keyed by spec line.
+func ReplayAll(dir string, b *Breaker) (map[string][]Violation, error) {
+	specs, err := LoadCorpus(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]Violation{}
+	for _, spec := range specs {
+		if vs := runSpec(spec, b); len(vs) > 0 {
+			out[spec.String()] = vs
+		}
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}

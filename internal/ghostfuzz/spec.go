@@ -1,0 +1,180 @@
+// Package ghostfuzz is a seeded, deterministic property-based adversary
+// generator and differential detection oracle for the GhostBuster
+// pipeline. It composes random ghostware from the full technique
+// lattice (hook levels × resource types, plus the hookless name tricks,
+// DKOM, targeting and decoy behaviours), installs each on a randomized
+// workload machine, runs every detection configuration — sequential,
+// parallel lanes, warm and cold cache, crash dump, WinPE — and asserts
+// three invariants: every planted artifact is caught by the mode the
+// paper claims catches it, every configuration agrees byte-for-byte,
+// and zero innocent artifacts are flagged after noise filtering.
+// Failures shrink to a one-line reproducible spec kept as a permanent
+// regression corpus.
+package ghostfuzz
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ghostbuster/internal/ghostware"
+	"ghostbuster/internal/winapi"
+)
+
+// specVersion prefixes every spec line; bump only with a format change.
+const specVersion = "ghostfuzz-v1"
+
+// CaseSpec fully determines one fuzz case: the seed picks the machine
+// profile (and nothing else — artifact names derive from atom indices),
+// the atom list is the composed ghostware. A spec round-trips through
+// its one-line String form, which is the corpus format.
+type CaseSpec struct {
+	Seed  int64
+	Atoms []ghostware.Atom
+}
+
+var levelTokens = map[winapi.Level]string{
+	winapi.LevelNone:     "none",
+	winapi.LevelIAT:      "iat",
+	winapi.LevelUserCode: "user",
+	winapi.LevelNtdll:    "ntdll",
+	winapi.LevelSSDT:     "ssdt",
+	winapi.LevelFilter:   "filter",
+}
+
+var kindTokens = map[string]ghostware.AtomKind{
+	"file": ghostware.AtomFileHide, "win32": ghostware.AtomWin32Name,
+	"ads": ghostware.AtomADS, "reg": ghostware.AtomRegHide,
+	"regnul": ghostware.AtomRegNul, "proc": ghostware.AtomProcHide,
+	"dkom": ghostware.AtomProcDKOM, "mod": ghostware.AtomModHide,
+	"decoy": ghostware.AtomDecoy,
+}
+
+// String renders the one-line corpus form:
+//
+//	ghostfuzz-v1 seed=7 atoms=file@ssdt/2/all;ads/1/all;decoy@filter/120/utils
+//
+// Hooked atoms carry "@level"; every atom carries "/count/scope" with
+// scope one of all, utils, except=<name>.
+func (s CaseSpec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s seed=%d atoms=", specVersion, s.Seed)
+	for i, a := range s.Atoms {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(a.Kind.String())
+		if a.Kind.Hooked() {
+			b.WriteByte('@')
+			b.WriteString(levelTokens[a.Level])
+		}
+		count := a.Count
+		if count <= 0 {
+			count = 1
+		}
+		fmt.Fprintf(&b, "/%d/%s", count, scopeToken(a))
+	}
+	return b.String()
+}
+
+func scopeToken(a ghostware.Atom) string {
+	switch a.Scope {
+	case ghostware.ScopeUtilities:
+		return "utils"
+	case ghostware.ScopeExcept:
+		return "except=" + a.ExemptName
+	default:
+		return "all"
+	}
+}
+
+// ParseSpec parses a one-line spec back into a CaseSpec. It is the
+// inverse of String and rejects anything it would not itself emit.
+func ParseSpec(line string) (CaseSpec, error) {
+	var s CaseSpec
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 3 || fields[0] != specVersion {
+		return s, fmt.Errorf("ghostfuzz: spec must be %q seed=N atoms=...: %q", specVersion, line)
+	}
+	seedStr, ok := strings.CutPrefix(fields[1], "seed=")
+	if !ok {
+		return s, fmt.Errorf("ghostfuzz: missing seed= in %q", line)
+	}
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil {
+		return s, fmt.Errorf("ghostfuzz: bad seed %q: %w", seedStr, err)
+	}
+	s.Seed = seed
+	atomsStr, ok := strings.CutPrefix(fields[2], "atoms=")
+	if !ok {
+		return s, fmt.Errorf("ghostfuzz: missing atoms= in %q", line)
+	}
+	for _, tok := range strings.Split(atomsStr, ";") {
+		a, err := parseAtom(tok)
+		if err != nil {
+			return s, err
+		}
+		s.Atoms = append(s.Atoms, a)
+	}
+	if len(s.Atoms) == 0 {
+		return s, fmt.Errorf("ghostfuzz: spec has no atoms: %q", line)
+	}
+	return s, nil
+}
+
+func parseAtom(tok string) (ghostware.Atom, error) {
+	var a ghostware.Atom
+	parts := strings.Split(tok, "/")
+	if len(parts) != 3 {
+		return a, fmt.Errorf("ghostfuzz: atom %q: want kind[@level]/count/scope", tok)
+	}
+	kindTok, levelTok, hasLevel := parts[0], "", false
+	if i := strings.IndexByte(parts[0], '@'); i >= 0 {
+		kindTok, levelTok, hasLevel = parts[0][:i], parts[0][i+1:], true
+	}
+	kind, ok := kindTokens[kindTok]
+	if !ok {
+		return a, fmt.Errorf("ghostfuzz: unknown atom kind %q", kindTok)
+	}
+	a.Kind = kind
+	if hasLevel {
+		if !kind.Hooked() {
+			return a, fmt.Errorf("ghostfuzz: hookless atom %q cannot take a level", tok)
+		}
+		found := false
+		for lvl, name := range levelTokens {
+			if name == levelTok {
+				a.Level, found = lvl, true
+				break
+			}
+		}
+		if !found {
+			return a, fmt.Errorf("ghostfuzz: unknown hook level %q", levelTok)
+		}
+	} else if kind.Hooked() {
+		return a, fmt.Errorf("ghostfuzz: hooked atom %q needs @level", tok)
+	}
+	count, err := strconv.Atoi(parts[1])
+	if err != nil || count < 1 {
+		return a, fmt.Errorf("ghostfuzz: atom %q: bad count %q", tok, parts[1])
+	}
+	a.Count = count
+	switch {
+	case parts[2] == "all":
+		a.Scope = ghostware.ScopeAll
+	case parts[2] == "utils":
+		a.Scope = ghostware.ScopeUtilities
+	case strings.HasPrefix(parts[2], "except="):
+		a.Scope = ghostware.ScopeExcept
+		a.ExemptName = strings.TrimPrefix(parts[2], "except=")
+		if a.ExemptName == "" {
+			return a, fmt.Errorf("ghostfuzz: atom %q: empty except name", tok)
+		}
+	default:
+		return a, fmt.Errorf("ghostfuzz: atom %q: unknown scope %q", tok, parts[2])
+	}
+	if a.Scope != ghostware.ScopeAll && !kind.Hooked() {
+		return a, fmt.Errorf("ghostfuzz: hookless atom %q cannot be scoped", tok)
+	}
+	return a, nil
+}

@@ -1,0 +1,104 @@
+package ghostware
+
+import (
+	"strings"
+
+	"ghostbuster/internal/machine"
+)
+
+// CatalogEntry describes one installable corpus sample: its identity, a
+// fresh-instance constructor, and (when the sample needs one) the
+// post-install step that arms its hiding. The entry is the single source
+// of truth the figure corpora, the command-line tools, and the ghostfuzz
+// calibration pass all iterate.
+type CatalogEntry struct {
+	// Name is the program's name as the paper uses it (and as -infect
+	// accepts it).
+	Name string
+	// Class mirrors Ghostware.Class for listings that don't want to
+	// construct an instance.
+	Class string
+	// New returns a fresh instance. Every experiment must construct its
+	// own: instances carry per-install state (random names, hidden pids).
+	New func() Ghostware
+	// Arm performs the sample's post-install step, if it has one. FU
+	// drops its driver at install but hides nothing until the operator
+	// runs "fu -ph <pid>"; Arm models that command against a helper
+	// victim process. Nil for samples that are fully armed by Install.
+	Arm func(m *machine.Machine, g Ghostware) error
+	// Extension marks adversaries beyond the paper's 12-sample
+	// evaluation corpus (§5/§6 attackers and natural escalations).
+	Extension bool
+}
+
+// FUVictimImage is the helper process the catalog's FU entry hides (the
+// "fu -ph <pid>" target).
+const FUVictimImage = `C:\fu\fuvictim.exe`
+
+// Catalog returns the paper's 12-sample evaluation corpus (Figures 3, 4
+// and 6) in Figure-3 order followed by the two volatile-only hiders.
+// The per-figure corpora, cmd/ghostbuster's -infect table and the
+// ghostfuzz calibration pass all derive from this list.
+func Catalog() []CatalogEntry {
+	return []CatalogEntry{
+		{Name: "Urbin", Class: "trojan (in the wild)", New: func() Ghostware { return NewUrbin() }},
+		{Name: "Mersting", Class: "trojan (in the wild)", New: func() Ghostware { return NewMersting() }},
+		{Name: "Vanquish", Class: "rootkit", New: func() Ghostware { return NewVanquish() }},
+		{Name: "Aphex", Class: "rootkit", New: func() Ghostware { return NewAphex() }},
+		{Name: "Hacker Defender 1.0", Class: "rootkit", New: func() Ghostware { return NewHackerDefender() }},
+		{Name: "ProBot SE", Class: "commercial key-logger", New: func() Ghostware { return NewProBotSE() }},
+		{Name: "Hide Files 3.3", Class: "commercial file hider", New: func() Ghostware { return NewHideFiles(DefaultHiderTargets) }},
+		{Name: "Hide Folders XP", Class: "commercial file hider", New: func() Ghostware { return NewHideFoldersXP(DefaultHiderTargets) }},
+		{Name: "Advanced Hide Folders", Class: "commercial file hider", New: func() Ghostware { return NewAdvancedHideFolders(DefaultHiderTargets) }},
+		{Name: "File & Folder Protector", Class: "commercial file hider", New: func() Ghostware { return NewFileFolderProtector(DefaultHiderTargets) }},
+		{Name: "Berbew", Class: "backdoor", New: func() Ghostware { return NewBerbew() }},
+		{Name: "FU", Class: "rootkit (DKOM)", New: func() Ghostware { return NewFU() },
+			Arm: func(m *machine.Machine, g Ghostware) error {
+				fu := g.(*FU)
+				if _, err := m.StartProcess("fuvictim.exe", FUVictimImage); err != nil {
+					return err
+				}
+				return fu.HideByName(m, "fuvictim.exe")
+			}},
+	}
+}
+
+// Extensions returns the adversaries beyond the 12-sample corpus: the
+// pure name-trick hiders, the ADS hider, the driver-hiding escalation,
+// and the §5 targeting/decoy attackers.
+func Extensions() []CatalogEntry {
+	ext := func(e CatalogEntry) CatalogEntry { e.Extension = true; return e }
+	return []CatalogEntry{
+		ext(CatalogEntry{Name: "Win32NameGhost", Class: "name-trick hider", New: func() Ghostware { return NewWin32NameGhost() }}),
+		ext(CatalogEntry{Name: "RegNullGhost", Class: "name-trick hider", New: func() Ghostware { return NewRegNullGhost() }}),
+		ext(CatalogEntry{Name: "ADSGhost", Class: "ADS hider (§6 future work)", New: func() Ghostware { return NewADSGhost() }}),
+		ext(CatalogEntry{Name: "DriverHider", Class: "driver-hiding rootkit (extension)", New: func() Ghostware { return NewDriverHider() }}),
+		ext(CatalogEntry{Name: "Targeted", Class: "targeting ghostware (§5)", New: func() Ghostware { return NewTargeted(HideFromUtilities) }}),
+		ext(CatalogEntry{Name: "Decoy", Class: "mass-hiding attacker (§5)", New: func() Ghostware { return NewDecoy([]string{`C:\Shared`}) }}),
+	}
+}
+
+// Lookup finds a catalog or extension entry by (case-insensitive) name.
+func Lookup(name string) (CatalogEntry, bool) {
+	for _, e := range append(Catalog(), Extensions()...) {
+		if strings.EqualFold(e.Name, name) {
+			return e, true
+		}
+	}
+	return CatalogEntry{}, false
+}
+
+// fromCatalog constructs fresh instances of the named samples, in the
+// given order, panicking on a name the catalog does not know (a
+// programming error in a figure listing, caught by the catalog tests).
+func fromCatalog(names ...string) []Ghostware {
+	out := make([]Ghostware, 0, len(names))
+	for _, n := range names {
+		e, ok := Lookup(n)
+		if !ok {
+			panic("ghostware: no catalog entry named " + n)
+		}
+		out = append(out, e.New())
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package ghostware
+
+import "testing"
+
+func TestCatalogIsThePaperCorpus(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 12 {
+		t.Fatalf("catalog entries = %d, want the paper's 12 samples", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, e := range cat {
+		if e.Name == "" || e.New == nil {
+			t.Errorf("incomplete entry: %+v", e)
+			continue
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate catalog name %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Extension {
+			t.Errorf("%s: paper-corpus entry marked Extension", e.Name)
+		}
+		g := e.New()
+		if g.Name() != e.Name {
+			t.Errorf("entry %q constructs ghostware named %q", e.Name, g.Name())
+		}
+		if g.Class() != e.Class {
+			t.Errorf("%s: entry class %q != instance class %q", e.Name, e.Class, g.Class())
+		}
+		// Fresh instances each call: per-install state must not be shared.
+		if e.New() == g {
+			t.Errorf("%s: New returns a shared instance", e.Name)
+		}
+	}
+}
+
+func TestExtensionsAreMarked(t *testing.T) {
+	for _, e := range Extensions() {
+		if !e.Extension {
+			t.Errorf("%s: extension entry not marked", e.Name)
+		}
+		if _, ok := Lookup(e.Name); !ok {
+			t.Errorf("%s: not reachable via Lookup", e.Name)
+		}
+	}
+}
+
+func TestLookupIsCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"fu", "FU", "hacker defender 1.0", "Win32nameGhost"} {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("Lookup(%q) failed", name)
+		}
+	}
+	if _, ok := Lookup("NotARootkit"); ok {
+		t.Error("Lookup accepted an unknown name")
+	}
+}
+
+func TestFigureCorporaDeriveFromCatalog(t *testing.T) {
+	for _, tc := range []struct {
+		figure string
+		got    []Ghostware
+		want   []string
+	}{
+		{"Fig3", Fig3Corpus(), fig3Names},
+		{"Fig4", Fig4Corpus(), fig4Names},
+		{"Fig6", Fig6Corpus(), fig6Names},
+	} {
+		if len(tc.got) != len(tc.want) {
+			t.Errorf("%s: %d samples, want %d", tc.figure, len(tc.got), len(tc.want))
+			continue
+		}
+		for i, g := range tc.got {
+			if g.Name() != tc.want[i] {
+				t.Errorf("%s[%d] = %s, want %s", tc.figure, i, g.Name(), tc.want[i])
+			}
+		}
+	}
+}

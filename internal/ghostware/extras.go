@@ -221,47 +221,31 @@ func (g *Decoy) Install(m *machine.Machine) error {
 // hiders protect in the experiments.
 var DefaultHiderTargets = []string{`C:\Private`}
 
+// The per-figure membership and ordering of the catalog samples, as the
+// paper presents them. The constructors themselves live in Catalog():
+// these lists only select and order.
+var (
+	fig3Names = []string{
+		"Urbin", "Mersting", "Vanquish", "Aphex", "Hacker Defender 1.0",
+		"ProBot SE", "Hide Files 3.3", "Hide Folders XP",
+		"Advanced Hide Folders", "File & Folder Protector",
+	}
+	fig4Names = []string{"Urbin", "Mersting", "Hacker Defender 1.0", "Vanquish", "ProBot SE", "Aphex"}
+	fig6Names = []string{"Aphex", "Hacker Defender 1.0", "Berbew", "FU", "Vanquish"}
+)
+
 // Fig3Corpus returns the 10 file-hiding programs of Figure 3 in the
 // paper's order. Fresh instances each call: install each on a fresh
 // machine.
-func Fig3Corpus() []Ghostware {
-	return []Ghostware{
-		NewUrbin(),
-		NewMersting(),
-		NewVanquish(),
-		NewAphex(),
-		NewHackerDefender(),
-		NewProBotSE(),
-		NewHideFiles(DefaultHiderTargets),
-		NewHideFoldersXP(DefaultHiderTargets),
-		NewAdvancedHideFolders(DefaultHiderTargets),
-		NewFileFolderProtector(DefaultHiderTargets),
-	}
-}
+func Fig3Corpus() []Ghostware { return fromCatalog(fig3Names...) }
 
 // Fig4Corpus returns the 6 Registry-hiding programs of Figure 4.
-func Fig4Corpus() []Ghostware {
-	return []Ghostware{
-		NewUrbin(),
-		NewMersting(),
-		NewHackerDefender(),
-		NewVanquish(),
-		NewProBotSE(),
-		NewAphex(),
-	}
-}
+func Fig4Corpus() []Ghostware { return fromCatalog(fig4Names...) }
 
 // Fig6Corpus returns the process/module-hiding programs of Figure 6.
-// FU needs a hide target after install; the harness drives that.
-func Fig6Corpus() []Ghostware {
-	return []Ghostware{
-		NewAphex(),
-		NewHackerDefender(),
-		NewBerbew(),
-		NewFU(),
-		NewVanquish(),
-	}
-}
+// FU needs a hide target after install; its catalog Arm step (or the
+// harness) drives that.
+func Fig6Corpus() []Ghostware { return fromCatalog(fig6Names...) }
 
 // DriverHider is the natural escalation the paper's §4 anticipates: once
 // tools like AskStrider flag an unhidden driver, the next rootkit

@@ -6,9 +6,14 @@ import (
 )
 
 func TestHostileMFTRecords(t *testing.T) {
-	dev := FormatImage(64)
+	v, err := Format(256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := v.SnapshotImage()
 	// forge a huge MFTRecords in the boot sector
 	binary.LittleEndian.PutUint64(dev[56:], 1<<62)
-	_, _, err := RawScan(dev)
-	t.Logf("err=%v", err)
+	if _, _, err := RawScan(dev); err == nil {
+		t.Fatal("RawScan accepted a boot sector claiming 2^62 MFT records")
+	}
 }

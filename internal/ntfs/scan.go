@@ -64,6 +64,13 @@ func RawScanParallel(image []byte, workers int) ([]RawEntry, RawScanStats, error
 	}
 	stats.BytesRead += BytesPerSector
 
+	// Bound the attacker-controlled counts in uint64 space first: a
+	// forged boot sector claiming 2^62 records would overflow the int
+	// arithmetic below, slip past the range check, and panic makeslice.
+	imgLen := uint64(len(image))
+	if geo.MFTStart > imgLen/ClusterSize || geo.MFTRecords > imgLen/RecordSize {
+		return nil, stats, fmt.Errorf("%w: MFT extends past image", ErrCorrupt)
+	}
 	nRec := int(geo.MFTRecords)
 	mftBase := int(geo.MFTStart) * ClusterSize
 	if mftBase+nRec*RecordSize > len(image) {

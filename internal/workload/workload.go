@@ -23,7 +23,7 @@ func PaperMachines() []machine.Profile {
 			DiskGB: usedGB * 2, DiskUsedGB: usedGB, CPUMHz: mhz,
 			FilesPerGB: 30, RealFilesPerGB: 1500,
 			RegNoiseKeys: 800, RealRegKeys: 80000, DiskMBps: 25,
-			RebootTime: 2 * time.Minute, Seed: int64(len(name)) * 7919,
+			RebootTime: 2 * time.Minute, Seed: ProfileSeed(name),
 			Churn: churn,
 		}
 	}
@@ -49,11 +49,57 @@ func PaperMachines() []machine.Profile {
 	return profiles
 }
 
+// ProfileSeed derives a machine RNG seed from the full profile name
+// with FNV-1a, so every catalog profile gets its own stream. (The old
+// len(name)*7919 scheme handed identical streams to any two same-length
+// names — corp-1 and home-1 populated byte-identically.)
+func ProfileSeed(name string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return int64(h)
+}
+
 // SmallProfile returns a fast profile for tests and examples.
 func SmallProfile() machine.Profile {
 	p := machine.DefaultProfile()
 	p.DiskUsedGB = 1
 	p.RegNoiseKeys = 100
+	return p
+}
+
+// FuzzProfile derives a randomized machine profile for ghostfuzz cases:
+// small enough that a case builds in milliseconds, varied enough (disk
+// usage, CPU speed, Registry noise, churn mix) that detector invariants
+// get exercised across machine shapes. Fully determined by seed.
+func FuzzProfile(seed int64) machine.Profile {
+	p := machine.DefaultProfile()
+	// Cheap splitmix-style mixing; must not consult wall clock or
+	// global RNG so the same seed always yields the same profile.
+	mix := uint64(seed) * 0x9e3779b97f4a7c15
+	mix ^= mix >> 31
+	mix *= 0xbf58476d1ce4e5b9
+	mix ^= mix >> 29
+	p.Name = fmt.Sprintf("fuzz-%d", seed)
+	p.Kind = "ghostfuzz host"
+	p.DiskUsedGB = 0.25 + float64(mix%4)*0.25 // 0.25–1 GB
+	p.DiskGB = p.DiskUsedGB * 2
+	p.CPUMHz = 550 + int(mix>>2%8)*350
+	p.RegNoiseKeys = 40 + int(mix>>5%4)*40
+	p.Churn = []machine.ChurnKind{machine.ChurnAVLogger, machine.ChurnPrefetch, machine.ChurnSystemRestore, machine.ChurnBrowserTemp}
+	if mix>>7%3 == 0 {
+		p.Churn = append(p.Churn, machine.ChurnCCM)
+	}
+	// Small NTFS headroom keeps device images ~14 MB instead of ~50 MB.
+	p.MFTHeadroom = 1024
+	p.ClusterHeadroom = 2048
+	p.Seed = ProfileSeed(p.Name)
 	return p
 }
 

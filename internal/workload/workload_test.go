@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 
 	"ghostbuster/internal/core"
@@ -28,6 +29,46 @@ func TestPaperMachinesMatchReportedRanges(t *testing.T) {
 	ws := profiles[8]
 	if ws.DiskUsedGB != 95 || ws.DiskGB != 111 || ws.CPUMHz != 3000 {
 		t.Errorf("workstation = %+v", ws)
+	}
+}
+
+// TestProfileSeedsDistinct: the old len(name)*7919 scheme gave corp-1
+// and home-1 (same length) identical RNG streams; seeds must now be
+// pairwise distinct across the catalog.
+func TestProfileSeedsDistinct(t *testing.T) {
+	profiles := PaperMachines()
+	seen := map[int64]string{}
+	for _, p := range profiles {
+		if prev, dup := seen[p.Seed]; dup {
+			t.Errorf("profiles %s and %s share seed %d", prev, p.Name, p.Seed)
+		}
+		seen[p.Seed] = p.Name
+	}
+	if ProfileSeed("corp-1") == ProfileSeed("home-1") {
+		t.Error("same-length names still collide")
+	}
+}
+
+// TestFuzzProfileDeterministic: FuzzProfile is a pure function of seed,
+// and different seeds vary the machine shape.
+func TestFuzzProfileDeterministic(t *testing.T) {
+	a, b := FuzzProfile(42), FuzzProfile(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("FuzzProfile(42) not deterministic:\n%+v\n%+v", a, b)
+	}
+	varied := false
+	base := FuzzProfile(0)
+	for s := int64(1); s < 8; s++ {
+		p := FuzzProfile(s)
+		if p.Seed == base.Seed {
+			t.Errorf("FuzzProfile(%d) shares seed with FuzzProfile(0)", s)
+		}
+		if p.DiskUsedGB != base.DiskUsedGB || p.CPUMHz != base.CPUMHz {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("FuzzProfile shape never varies across seeds 0-7")
 	}
 }
 

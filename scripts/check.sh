@@ -13,4 +13,7 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> ghostfuzz smoke (fixed seed, 50 cases)"
+go run ./cmd/ghostfuzz -seed 1 -n 50 > /dev/null
+
 echo "OK"
