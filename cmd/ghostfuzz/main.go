@@ -8,6 +8,7 @@
 //
 //	ghostfuzz -seed 1 -n 200                  # fuzz 200 cases
 //	ghostfuzz -seed 1 -n 5000 -budget 2m      # bounded batch
+//	ghostfuzz -seed 1 -n 50 -faulted          # chaos mode: seeded fault plans
 //	ghostfuzz -replay 'ghostfuzz-v1 seed=7 atoms=ads/1/all'
 //	ghostfuzz -replay @testdata/ghostfuzz/corpus/1a2b3c4d.spec
 //	ghostfuzz -corpus testdata/ghostfuzz/corpus -n 500   # record shrunk repros
@@ -37,6 +38,7 @@ func run(args []string, out *os.File) error {
 	seed := fs.Int64("seed", 1, "base seed; case i derives from it deterministically")
 	n := fs.Int("n", 100, "number of generated cases")
 	budget := fs.Duration("budget", 0, "wall-clock budget; 0 means unlimited")
+	faulted := fs.Bool("faulted", false, "chaos mode: layer seeded fault plans over each case and check degradation invariants")
 	replay := fs.String("replay", "", "replay one spec line (or @file containing one) instead of generating")
 	corpus := fs.String("corpus", "", "directory to write shrunk failure specs into")
 	fleetN := fs.Int("fleet", 0, "fuzz across a fleet sweep with this many hosts instead of single cases")
@@ -90,6 +92,7 @@ func run(args []string, out *os.File) error {
 
 	summary, err := ghostfuzz.Run(ghostfuzz.Options{
 		Seed: *seed, N: *n, Budget: time.Duration(*budget), CorpusDir: *corpus,
+		Faulted: *faulted,
 	})
 	if err != nil {
 		return err

@@ -113,13 +113,30 @@ func (c *ScanCache) scanFilesLowOn(clk *vtime.Clock, workers int) (*Snapshot, er
 		return hitSnapshot(c.files, clk, sw.Elapsed()), nil
 	}
 	c.misses.Add(1)
+	epoch := c.faultEpoch()
 	snap, err := scanFilesLowOn(c.m, clk, workers)
 	if err != nil {
 		return nil, err
 	}
+	if c.faultEpoch() != epoch {
+		// A fault fired during the parse: the snapshot may describe
+		// damaged bytes. Serve it to this sweep (the report carries the
+		// degradation) but never memoize it — a warm cache must not
+		// replay a poisoned parse after the fault clears.
+		return snap, nil
+	}
 	c.files = snap
 	c.filesGen = gen
 	return snap, nil
+}
+
+// faultEpoch samples the machine's fault-injection epoch (zero when no
+// fault layer is armed).
+func (c *ScanCache) faultEpoch() uint64 {
+	if fe := c.m.FaultEpoch; fe != nil {
+		return fe()
+	}
+	return 0
 }
 
 // ScanASEPLow is the cached variant of core.ScanASEPLow, keyed on the
@@ -139,9 +156,15 @@ func (c *ScanCache) scanASEPLowOn(clk *vtime.Clock) (*Snapshot, error) {
 		return hitSnapshot(c.aseps, clk, sw.Elapsed()), nil
 	}
 	c.misses.Add(1)
+	epoch := c.faultEpoch()
 	snap, err := scanASEPLowOn(c.m, clk)
 	if err != nil {
 		return nil, err
+	}
+	if c.faultEpoch() != epoch {
+		// See scanFilesLowOn: a parse that raced a fired fault is served
+		// once but never memoized.
+		return snap, nil
 	}
 	c.aseps = snap
 	c.asepsKey = key

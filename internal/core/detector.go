@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"ghostbuster/internal/machine"
 	"ghostbuster/internal/vtime"
@@ -35,6 +37,20 @@ type Detector struct {
 	// either way: units are statically assigned to virtual-time lanes, so
 	// per-scan charges never depend on goroutine interleaving.
 	Parallelism int
+	// Contain turns on per-scan-unit error containment: a unit that
+	// fails (or panics) no longer aborts ScanAll; its resource pair's
+	// report records the loss in DegradedUnits and carries whatever the
+	// surviving views support. Fleet sweeps and chaos runs set this; the
+	// default (off) preserves strict fail-fast semantics.
+	Contain bool
+	// Deadline, when positive, bounds one ScanAll sweep in virtual time.
+	// Units not yet started when the budget is exhausted are abandoned:
+	// degraded under Contain, an error otherwise.
+	Deadline time.Duration
+	// OnReport, when set, receives each report as soon as it is
+	// assembled. Fleet sweeps use it to retain partial results when a
+	// later unit panics or the host scan is cut short.
+	OnReport func(*Report)
 }
 
 // NewDetector builds a detector with default settings on m: inside-the-
@@ -171,55 +187,49 @@ func (d *Detector) ScanModules() (*Report, error) {
 // ScanAll runs all four detections and returns the reports in the
 // paper's order: files, ASEP hooks, processes, modules. With
 // Parallelism > 1, the eight scan units fan out across that many
-// goroutines (clamped to eight); see scanAllParallel.
+// goroutines (clamped to eight); see scanAllParallel. Reports are
+// byte-identical for any lane count, and — absent faults, deadlines,
+// and panics — identical whether or not Contain is set.
 func (d *Detector) ScanAll() ([]*Report, error) {
+	genStart := d.M.Disk.Generation()
+	sweepStart := d.M.Clock.Now()
 	if d.Parallelism > 1 {
 		lanes := d.Parallelism
 		if lanes > numScanUnits {
 			lanes = numScanUnits
 		}
-		return d.scanAllParallel(lanes)
+		return d.scanAllParallel(lanes, genStart, sweepStart)
 	}
-	type step struct {
-		name string
-		run  func() (*Report, error)
-	}
-	steps := []step{
-		{"files", d.ScanFiles},
-		{"ASEPs", d.ScanASEPs},
-		{"processes", d.ScanProcesses},
-		{"modules", d.ScanModules},
-	}
-	out := make([]*Report, 0, len(steps))
-	for _, s := range steps {
-		r, err := s.run()
-		if err != nil {
-			return nil, fmt.Errorf("core: %s scan: %w", s.name, err)
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return d.scanAllSequential(genStart, sweepStart)
 }
 
 // numScanUnits is the number of independent scan units in one sweep:
 // the high and low scan of each of the four resource detections.
 const numScanUnits = 8
 
-// scanAllParallel is the fan-out sweep. The eight scan units are
-// statically assigned round-robin to `lanes` virtual-time lanes
-// (unit j runs on lane j mod lanes); each lane is one goroutine running
-// its units in order and charging the lane's clock, so every unit's
-// virtual cost and Elapsed are identical to the sequential path — the
-// assignment never depends on goroutine scheduling. Joining the region
-// advances the machine clock by the longest lane, which is exactly the
-// wall-clock a set of concurrent scanners would have cost.
-func (d *Detector) scanAllParallel(lanes int) ([]*Report, error) {
-	// The truth pid list feeds both module units; compute it once, as the
-	// sequential ScanModules does.
-	pids, err := TruthPids(d.M)
-	if err != nil {
-		return nil, fmt.Errorf("core: modules scan: %w", err)
+// pairNames are the resource pairs in the paper's report order; unit
+// 2i is pair i's high scan, unit 2i+1 its low scan.
+var pairNames = [numScanUnits / 2]string{"files", "ASEPs", "processes", "modules"}
+
+// unitName labels unit u for errors and DegradedUnits entries.
+func unitName(u int) string {
+	side := "high"
+	if u%2 == 1 {
+		side = "low"
 	}
+	return pairNames[u/2] + "/" + side
+}
+
+// errDeadline marks units abandoned because the sweep's virtual-time
+// budget ran out before they started.
+var errDeadline = errors.New("core: scan deadline exceeded")
+
+// scanUnits builds the eight unit closures in report order, high before
+// low within each pair. pids resolves the truth pid list both module
+// units share: the parallel path precomputes it before forking (on the
+// machine clock, as before), the sequential path computes it lazily so
+// the call/pids charge order of the original ScanModules is preserved.
+func (d *Detector) scanUnits(workers int, pids func() ([]uint64, error)) [numScanUnits]func(*vtime.Clock) (*Snapshot, error) {
 	highUnit := func(scan func(*machine.Machine, *winapi.Call) (*Snapshot, error)) func(*vtime.Clock) (*Snapshot, error) {
 		return func(clk *vtime.Clock) (*Snapshot, error) {
 			call, err := d.callOn(clk)
@@ -229,13 +239,12 @@ func (d *Detector) scanAllParallel(lanes int) ([]*Report, error) {
 			return scan(d.M, call)
 		}
 	}
-	// Units in the paper's report order, high before low within each pair.
 	// The raw-MFT unit dominates a cold sweep, so it additionally shards
-	// its record decode across the same bound (the other lanes' units are
+	// its record decode across the lane bound (the other lanes' units are
 	// small and finish early, freeing cores for the decode shards).
-	units := [numScanUnits]func(*vtime.Clock) (*Snapshot, error){
+	return [numScanUnits]func(*vtime.Clock) (*Snapshot, error){
 		highUnit(ScanFilesHigh),
-		func(clk *vtime.Clock) (*Snapshot, error) { return d.lowFilesOn(clk, lanes) },
+		func(clk *vtime.Clock) (*Snapshot, error) { return d.lowFilesOn(clk, workers) },
 		highUnit(ScanASEPHigh),
 		d.lowASEPsOn,
 		highUnit(ScanProcsHigh),
@@ -245,10 +254,88 @@ func (d *Detector) scanAllParallel(lanes int) ([]*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			return ScanModsHigh(d.M, call, pids)
+			p, err := pids()
+			if err != nil {
+				return nil, err
+			}
+			return ScanModsHigh(d.M, call, p)
 		},
-		func(clk *vtime.Clock) (*Snapshot, error) { return scanModsLowOn(d.M, pids, clk) },
+		func(clk *vtime.Clock) (*Snapshot, error) {
+			p, err := pids()
+			if err != nil {
+				return nil, err
+			}
+			return scanModsLowOn(d.M, p, clk)
+		},
 	}
+}
+
+// runUnit executes one unit with panic recovery: a panicking scanner
+// becomes a unit error (degrading the pair under Contain) instead of
+// tearing down the whole sweep.
+func runUnit(name string, clk *vtime.Clock, run func(*vtime.Clock) (*Snapshot, error)) (snap *Snapshot, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			snap, err = nil, fmt.Errorf("core: scan unit %s panicked: %v", name, r)
+		}
+	}()
+	return run(clk)
+}
+
+// overDeadline reports whether the sweep's virtual-time budget is spent
+// on the given clock.
+func (d *Detector) overDeadline(clk *vtime.Clock, sweepStart time.Duration) bool {
+	return d.Deadline > 0 && clk.Now()-sweepStart > d.Deadline
+}
+
+// scanAllSequential runs the eight units in order on the machine clock.
+// Without Contain it fails fast — the first unit error aborts the sweep
+// before later units charge any time, exactly as the historical
+// per-resource scan methods did.
+func (d *Detector) scanAllSequential(genStart uint64, sweepStart time.Duration) ([]*Report, error) {
+	var pids []uint64
+	var pidsErr error
+	pidsDone := false
+	pidsOnce := func() ([]uint64, error) {
+		if !pidsDone {
+			pids, pidsErr = TruthPids(d.M)
+			pidsDone = true
+		}
+		return pids, pidsErr
+	}
+	units := d.scanUnits(1, pidsOnce)
+	var snaps [numScanUnits]*Snapshot
+	var errs [numScanUnits]error
+	for u := 0; u < numScanUnits; u++ {
+		if d.overDeadline(d.M.Clock, sweepStart) {
+			errs[u] = errDeadline
+		} else {
+			snaps[u], errs[u] = runUnit(unitName(u), d.M.Clock, units[u])
+		}
+		if errs[u] != nil && !d.Contain {
+			return nil, fmt.Errorf("core: %s scan: %w", pairNames[u/2], errs[u])
+		}
+	}
+	return d.assemble(snaps, errs, genStart)
+}
+
+// scanAllParallel is the fan-out sweep. The eight scan units are
+// statically assigned round-robin to `lanes` virtual-time lanes
+// (unit j runs on lane j mod lanes); each lane is one goroutine running
+// its units in order and charging the lane's clock, so every unit's
+// virtual cost and Elapsed are identical to the sequential path — the
+// assignment never depends on goroutine scheduling. Joining the region
+// advances the machine clock by the longest lane, which is exactly the
+// wall-clock a set of concurrent scanners would have cost.
+func (d *Detector) scanAllParallel(lanes int, genStart uint64, sweepStart time.Duration) ([]*Report, error) {
+	// The truth pid list feeds both module units; compute it once before
+	// forking, as the sequential ScanModules does.
+	pids, pidsErr := TruthPids(d.M)
+	if pidsErr != nil && !d.Contain {
+		return nil, fmt.Errorf("core: modules scan: %w", pidsErr)
+	}
+	pidsOnce := func() ([]uint64, error) { return pids, pidsErr }
+	units := d.scanUnits(lanes, pidsOnce)
 	var (
 		snaps  [numScanUnits]*Snapshot
 		errs   [numScanUnits]error
@@ -261,27 +348,140 @@ func (d *Detector) scanAllParallel(lanes int) ([]*Report, error) {
 			defer wg.Done()
 			clk := region.Lane(lane)
 			for u := lane; u < numScanUnits; u += lanes {
-				snaps[u], errs[u] = units[u](clk)
+				if d.overDeadline(clk, sweepStart) {
+					errs[u] = errDeadline
+					continue
+				}
+				snaps[u], errs[u] = runUnit(unitName(u), clk, units[u])
 			}
 		}(lane)
 	}
 	wg.Wait()
 	region.Join()
-	names := [4]string{"files", "ASEPs", "processes", "modules"}
-	out := make([]*Report, 0, len(names))
-	for i, name := range names {
+	if !d.Contain {
+		for u := 0; u < numScanUnits; u++ {
+			if errs[u] != nil {
+				return nil, fmt.Errorf("core: %s scan: %w", pairNames[u/2], errs[u])
+			}
+		}
+	}
+	return d.assemble(snaps, errs, genStart)
+}
+
+// nominalViews returns the expected (high, low) views of pair i, used
+// to label stub reports whose snapshots never materialized.
+func (d *Detector) nominalViews(pair int) (View, View) {
+	switch pair {
+	case 0:
+		return ViewWin32Inside, ViewRawMFT
+	case 1:
+		return ViewWin32Inside, ViewRawHive
+	case 2:
+		if d.Advanced {
+			return ViewWin32Inside, ViewKernelCID
+		}
+		return ViewWin32Inside, ViewKernelAPL
+	default:
+		return ViewWin32Inside, ViewKernelVAD
+	}
+}
+
+// assemble diffs the unit snapshots into the four reports. Under
+// Contain, pairs with failed units yield degraded reports instead of
+// errors, and a files pair whose disk generation moved mid-sweep is
+// demoted: its findings may be mutation races, not hiding, so they are
+// dropped and the demotion is recorded.
+func (d *Detector) assemble(snaps [numScanUnits]*Snapshot, errs [numScanUnits]error, genStart uint64) ([]*Report, error) {
+	diskMoved := d.Contain && d.M.Disk.Generation() != genStart
+	out := make([]*Report, 0, len(pairNames))
+	for i, name := range pairNames {
 		high, low := snaps[2*i], snaps[2*i+1]
-		if errs[2*i] != nil {
-			return nil, fmt.Errorf("core: %s scan: %w", name, errs[2*i])
+		highErr, lowErr := errs[2*i], errs[2*i+1]
+		var r *Report
+		if highErr == nil && lowErr == nil {
+			var err error
+			r, err = Diff(high, low, d.Opts)
+			if err != nil {
+				if !d.Contain {
+					return nil, fmt.Errorf("core: %s scan: %w", name, err)
+				}
+				r = d.stubReport(i, high, low)
+				r.DegradedUnits = append(r.DegradedUnits, DegradedUnit{
+					Unit: name + "/pair", Fault: err.Error(), Compared: comparedViews(high, low),
+				})
+			}
+		} else {
+			r = d.stubReport(i, high, low)
+			if highErr != nil {
+				r.DegradedUnits = append(r.DegradedUnits, DegradedUnit{
+					Unit: name + "/high", Fault: highErr.Error(), Compared: comparedViews(high, low),
+				})
+			}
+			if lowErr != nil {
+				r.DegradedUnits = append(r.DegradedUnits, DegradedUnit{
+					Unit: name + "/low", Fault: lowErr.Error(), Compared: comparedViews(high, low),
+				})
+			}
 		}
-		if errs[2*i+1] != nil {
-			return nil, fmt.Errorf("core: %s scan: %w", name, errs[2*i+1])
+		if i == 0 && diskMoved && r != nil && len(r.DegradedUnits) == 0 {
+			// The filesystem changed under the sweep: a file created
+			// between the high walk and the raw parse shows up low-only
+			// without being hidden. Cross-view findings from this pair
+			// are unreliable, so drop them and surface the race.
+			r.Hidden, r.Noise, r.Phantom = nil, nil, nil
+			r.MassHiding = nil
+			r.DegradedUnits = append(r.DegradedUnits, DegradedUnit{
+				Unit: "files/pair", Fault: "mid-scan filesystem mutation (device generation changed)",
+				Compared: comparedViews(high, low),
+			})
 		}
-		r, err := Diff(high, low, d.Opts)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s scan: %w", name, err)
+		if d.OnReport != nil {
+			d.OnReport(r)
 		}
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// stubReport builds the degraded report for pair i from whatever
+// snapshots survived.
+func (d *Detector) stubReport(pair int, high, low *Snapshot) *Report {
+	hv, lv := d.nominalViews(pair)
+	r := &Report{Kind: pairKind(pair), HighView: hv, LowView: lv}
+	if high != nil {
+		r.HighView = high.View
+		r.HighSkipped = high.Skipped
+		r.Elapsed += high.Elapsed
+	}
+	if low != nil {
+		r.LowView = low.View
+		r.LowSkipped = low.Skipped
+		r.Elapsed += low.Elapsed
+	}
+	return r
+}
+
+func pairKind(pair int) ResourceKind {
+	switch pair {
+	case 0:
+		return KindFiles
+	case 1:
+		return KindASEPHooks
+	case 2:
+		return KindProcesses
+	default:
+		return KindModules
+	}
+}
+
+// comparedViews lists the views that produced usable snapshots.
+func comparedViews(high, low *Snapshot) []View {
+	var out []View
+	if high != nil {
+		out = append(out, high.View)
+	}
+	if low != nil {
+		out = append(out, low.View)
+	}
+	return out
 }

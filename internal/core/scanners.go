@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -204,12 +205,25 @@ func scanImage(image []byte, view View) (*Snapshot, error) {
 
 func scanImageWorkers(image []byte, view View, workers int) (*Snapshot, error) {
 	snap := newSnapshot(KindFiles, view)
-	raw, _, err := ntfs.RawScanParallel(image, workers)
+	raw, stats, err := ntfs.RawScanParallel(image, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: raw MFT scan: %w", err)
 	}
+	// On a damaged MFT, parent chains may be severed: an entry that looks
+	// orphaned could be an innocent file whose ancestor record was lost.
+	// Its reconstructed \$OrphanFiles path would differ from the
+	// high-level view and surface as a false positive, so a scan that saw
+	// corrupt records drops orphan entries and counts them (plus the
+	// corrupt records themselves) as skipped. On an undamaged MFT, orphan
+	// entries are kept: rootkit orphan-hiding must stay detectable.
+	dropOrphans := stats.CorruptRecords > 0
+	snap.Skipped += stats.CorruptRecords
 	snap.grow(len(raw))
 	for _, e := range raw {
+		if dropOrphans && e.Orphan {
+			snap.Skipped++
+			continue
+		}
 		full := machine.FullPath(e.Path)
 		detail := strconv.FormatUint(e.Size, 10) + " bytes, MFT record " + strconv.FormatUint(uint64(e.Record), 10)
 		if e.Orphan {
@@ -243,14 +257,26 @@ func ScanASEPHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
 	clk := clockFor(m, call)
 	sw := vtime.NewStopwatch(clk)
 	snap := newSnapshot(KindASEPHooks, ViewWin32Inside)
+	// CollectHooks treats a failed query as "key absent from this view"
+	// and keeps going — correct for genuinely missing keys, but an
+	// injected API fault swallowed that way would silently shrink the
+	// high view and fabricate cross-view differences. Capture the
+	// sentinel and fail the whole unit loudly instead.
+	var injected error
 	q := func(keyPath string) (registry.KeyView, error) {
 		ks, err := m.API.QueryKeyWin32(call, keyPath)
 		if err != nil {
+			if injected == nil && errors.Is(err, winapi.ErrInjectedFault) {
+				injected = err
+			}
 			return registry.KeyView{}, err
 		}
 		return keySnapshotToView(ks), nil
 	}
 	hooks, err := registry.CollectHooks(q, registry.StandardASEPs())
+	if err == nil {
+		err = injected
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: high-level ASEP scan: %w", err)
 	}
@@ -488,7 +514,7 @@ func scanProcsLowOn(m *machine.Machine, advanced bool, clk *vtime.Clock) (*Snaps
 		walker = kernel.WalkCidProcesses
 	}
 	snap := newSnapshot(KindProcesses, view)
-	procs, err := walker(m.Kern.Mem, m.Kern.Layout())
+	procs, err := walker(m.Kern.ScanMem(), m.Kern.Layout())
 	if err != nil {
 		return nil, fmt.Errorf("core: low-level process scan: %w", err)
 	}
@@ -544,6 +570,12 @@ func ScanModsHigh(m *machine.Machine, call *winapi.Call, pids []uint64) (*Snapsh
 	for _, pid := range pids {
 		mods, err := m.API.EnumModulesWin32(call, pid)
 		if err != nil {
+			// An injected fault must fail the unit, not shrink the high
+			// view: a silently dropped pid's modules would all surface as
+			// cross-view differences.
+			if errors.Is(err, winapi.ErrInjectedFault) {
+				return nil, fmt.Errorf("core: high-level module scan: %w", err)
+			}
 			snap.Skipped++
 			continue
 		}
@@ -599,7 +631,7 @@ func AddModuleEntry(s *Snapshot, pid uint64, path string, base uint64) {
 // list GhostBuster feeds to the module scans so that modules of hidden
 // processes are covered too.
 func TruthPids(m *machine.Machine) ([]uint64, error) {
-	procs, err := m.Kern.ProcessesAdvanced()
+	procs, err := kernel.WalkCidProcesses(m.Kern.ScanMem(), m.Kern.Layout())
 	if err != nil {
 		return nil, err
 	}

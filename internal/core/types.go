@@ -135,10 +135,31 @@ type Report struct {
 	// MassHiding is set when the hidden count is itself an anomaly (the
 	// paper's §5 decoy-attack defence).
 	MassHiding *MassHidingAnomaly `json:"massHiding,omitempty"`
+	// DegradedUnits lists scan units of this resource pair that failed
+	// or were abandoned (fault, deadline, mid-scan mutation) under
+	// error containment. A report with degraded units carries whatever
+	// findings the surviving views support; absence-of-findings claims
+	// are not trustworthy for the degraded views.
+	DegradedUnits []DegradedUnit `json:"degradedUnits,omitempty"`
+}
+
+// DegradedUnit records one scan unit lost to a fault under containment.
+type DegradedUnit struct {
+	// Unit names the lost unit, e.g. "files/high", "ASEPs/low", or
+	// "files/pair" when the whole comparison was abandoned.
+	Unit string `json:"unit"`
+	// Fault is the failure that degraded the unit.
+	Fault string `json:"fault"`
+	// Compared lists the views that still produced usable snapshots for
+	// this resource, empty when the comparison was lost entirely.
+	Compared []View `json:"compared,omitempty"`
 }
 
 // Infected reports whether any non-noise hidden resources were found.
 func (r *Report) Infected() bool { return len(r.Hidden) > 0 }
+
+// Degraded reports whether any of the pair's scan units was lost.
+func (r *Report) Degraded() bool { return len(r.DegradedUnits) > 0 }
 
 // MassHidingAnomaly flags an implausibly large hidden set: an attacker
 // hiding thousands of innocent files to bury its own (paper §5). The

@@ -38,7 +38,7 @@ type Dump struct {
 // bytes. Virtual time is charged for writing kernel memory to disk
 // (the paper measured 15–45 s).
 func Write(m *machine.Machine) ([]byte, error) {
-	img := m.Kern.Mem.Snapshot()
+	img := m.Kern.DumpImage()
 	layout := m.Kern.Layout()
 	out := make([]byte, headerSize+len(img))
 	copy(out, magic)
@@ -74,7 +74,10 @@ func Parse(dump []byte) (*Dump, error) {
 		return nil, fmt.Errorf("%w: unsupported version", ErrBadDump)
 	}
 	memLen := binary.LittleEndian.Uint64(dump[40:])
-	if headerSize+memLen > uint64(len(dump)) {
+	// Compare against the remaining bytes, never headerSize+memLen: a
+	// tampered length field near 2^64 would overflow that sum past the
+	// bounds check and panic the slice below.
+	if memLen > uint64(len(dump)-headerSize) {
 		return nil, fmt.Errorf("%w: truncated memory image", ErrBadDump)
 	}
 	return &Dump{

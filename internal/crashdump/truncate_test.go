@@ -1,0 +1,90 @@
+package crashdump
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// TestParseShortInputsAtEveryBoundary: every prefix of the header region
+// is rejected as ErrBadDump — no length is short enough to panic.
+func TestParseShortInputsAtEveryBoundary(t *testing.T) {
+	dump, err := Write(smallMachine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < headerSize; n++ {
+		_, err := Parse(dump[:n])
+		if err == nil {
+			t.Fatalf("Parse accepted a %d-byte header fragment", n)
+		}
+		if !errors.Is(err, ErrBadDump) {
+			t.Fatalf("Parse(%d bytes) = %v, want ErrBadDump", n, err)
+		}
+	}
+}
+
+// TestParseTruncatedMemoryImage: a header whose declared image length
+// overruns the file is rejected, including the overflow-bait case where
+// the length field holds a huge value.
+func TestParseTruncatedMemoryImage(t *testing.T) {
+	dump, err := Write(smallMachine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 8, len(dump) - headerSize - 1} {
+		if _, err := Parse(dump[:len(dump)-cut]); !errors.Is(err, ErrBadDump) {
+			t.Errorf("dump missing %d tail bytes: err = %v, want ErrBadDump", cut, err)
+		}
+	}
+	huge := append([]byte(nil), dump...)
+	binary.LittleEndian.PutUint64(huge[40:], ^uint64(0)-headerSize+1)
+	if _, err := Parse(huge); !errors.Is(err, ErrBadDump) {
+		t.Errorf("absurd image length: err = %v, want ErrBadDump", err)
+	}
+}
+
+// TestWalksOnShortImageFailLoudly: a dump whose header is internally
+// consistent but whose memory image stops short of the kernel structures
+// must fail every walk with an error, never a panic or silent truncation
+// of the process list.
+func TestWalksOnShortImageFailLoudly(t *testing.T) {
+	full, err := Write(smallMachine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	memLen := int(binary.LittleEndian.Uint64(full[40:]))
+	short := append([]byte(nil), full[:headerSize+memLen/2]...)
+	binary.LittleEndian.PutUint64(short[40:], uint64(memLen/2))
+	d, err := Parse(short)
+	if err != nil {
+		t.Fatalf("consistent short dump should parse: %v", err)
+	}
+	if _, err := d.Processes(false); err == nil {
+		t.Error("APL walk over a half image returned no error")
+	}
+	if _, err := d.Processes(true); err == nil {
+		t.Error("CID walk over a half image returned no error")
+	}
+	if _, err := d.Drivers(); err == nil {
+		t.Error("driver walk over a half image returned no error")
+	}
+}
+
+// TestParseZeroLengthImage: a header claiming an empty memory image
+// parses, and the walks fail loudly against the empty arena.
+func TestParseZeroLengthImage(t *testing.T) {
+	dump, err := Write(smallMachine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := append([]byte(nil), dump[:headerSize]...)
+	binary.LittleEndian.PutUint64(empty[40:], 0)
+	d, err := Parse(empty)
+	if err != nil {
+		t.Fatalf("zero-image dump should parse: %v", err)
+	}
+	if _, err := d.Processes(false); err == nil {
+		t.Error("walk over an empty image returned no error")
+	}
+}

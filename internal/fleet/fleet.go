@@ -44,8 +44,19 @@ type HostResult struct {
 	Reports  []*core.Report `json:"reports"`
 	Infected bool           `json:"infected"`
 	Hidden   int            `json:"hiddenCount"`
-	Elapsed  time.Duration  `json:"elapsedNs"` // virtual time on the host
+	Elapsed  time.Duration  `json:"elapsedNs"` // virtual time of the final attempt
 	Err      string         `json:"error,omitempty"`
+	// Degraded counts scan units lost to contained faults across the
+	// reports (see core.Report.DegradedUnits).
+	Degraded int `json:"degraded,omitempty"`
+	// Attempts is how many scan attempts this result took; omitted when
+	// the first attempt stood.
+	Attempts int `json:"attempts,omitempty"`
+	// RetryNs is the virtual time consumed by abandoned attempts and
+	// backoff waits. It is kept out of Elapsed so a retried host's scan
+	// cost is not double-charged in benchmark aggregates; the total
+	// virtual cost of the host is Elapsed + RetryNs.
+	RetryNs time.Duration `json:"retryNs,omitempty"`
 }
 
 // SweepKind selects which detection flow a sweep runs on every host.
@@ -67,7 +78,21 @@ type Manager struct {
 	// its eight scan units across this many lanes (core.Detector
 	// Parallelism). Zero or one keeps per-host scans sequential.
 	HostParallelism int
+	// MaxRetries grants each failed or degraded host scan this many
+	// additional attempts within one sweep (transient faults — a torn
+	// read, a mid-scan mutation — often clear on re-scan). Zero retries
+	// nothing.
+	MaxRetries int
+	// RetryBackoff is the virtual-time wait before the first retry,
+	// doubling on each subsequent one; zero means 2s.
+	RetryBackoff time.Duration
+	// HostDeadline bounds each inside scan attempt in virtual time
+	// (core.Detector Deadline); zero means no deadline.
+	HostDeadline time.Duration
 }
+
+// defaultRetryBackoff is the initial retry wait when RetryBackoff is 0.
+const defaultRetryBackoff = 2 * time.Second
 
 // NewManager returns an empty fleet.
 func NewManager() *Manager { return &Manager{} }
@@ -91,15 +116,31 @@ func (mgr *Manager) Hosts() []string {
 
 // insideScan runs the inside-the-box detection (all four paper resource
 // types, advanced process mode) on one host, reusing the host's scan
-// cache for the truth-side parses.
-func (h *Host) insideScan(parallelism int) HostResult {
-	res := HostResult{Host: h.Name, Kind: SweepInside}
+// cache for the truth-side parses. Scan-unit failures are contained:
+// they degrade the affected report instead of failing the host. If the
+// scan panics outside a contained unit, the reports assembled so far are
+// still attached to the result, so a degraded host stays reportable.
+func (h *Host) insideScan(parallelism int, deadline time.Duration) (res HostResult) {
+	res = HostResult{Host: h.Name, Kind: SweepInside}
 	start := h.M.Clock.Now()
+	var partial []*core.Report
+	defer func() {
+		if p := recover(); p != nil {
+			res = HostResult{Host: h.Name, Kind: SweepInside, Err: fmt.Sprintf("scan panic: %v", p)}
+			h.finish(&res, partial, nil, start)
+		}
+	}()
 	d := core.NewDetector(h.M)
 	d.Advanced = true
 	d.Cache = h.cache
 	d.Parallelism = parallelism
+	d.Contain = true
+	d.Deadline = deadline
+	d.OnReport = func(r *core.Report) { partial = append(partial, r) }
 	reports, err := d.ScanAll()
+	if reports == nil {
+		reports = partial
+	}
 	h.finish(&res, reports, err, start)
 	return res
 }
@@ -119,25 +160,53 @@ func (h *Host) outsideScan() HostResult {
 	return res
 }
 
-// finish fills the shared result fields from a scan outcome.
+// finish fills the shared result fields from a scan outcome. Reports
+// are attached even alongside an error, so partial results from a
+// degraded host are never dropped.
 func (h *Host) finish(res *HostResult, reports []*core.Report, err error, start time.Duration) {
+	res.Reports = reports
+	for _, r := range reports {
+		res.Hidden += len(r.Hidden)
+		res.Degraded += len(r.DegradedUnits)
+	}
+	res.Infected = res.Hidden > 0
 	if err != nil {
 		res.Err = err.Error()
-	} else {
-		res.Reports = reports
-		for _, r := range reports {
-			res.Hidden += len(r.Hidden)
-		}
-		res.Infected = res.Hidden > 0
 	}
 	res.Elapsed = h.M.Clock.Now() - start
 }
 
-func (h *Host) scan(kind SweepKind, hostParallelism int) HostResult {
+func (h *Host) scanOnce(kind SweepKind, hostParallelism int, deadline time.Duration) HostResult {
 	if kind == SweepOutside {
 		return h.outsideScan()
 	}
-	return h.insideScan(hostParallelism)
+	return h.insideScan(hostParallelism, deadline)
+}
+
+// runHost scans one host with bounded retry: a failed or degraded
+// attempt is retried after a doubling virtual-time backoff, up to
+// MaxRetries extra attempts. The returned result is the final attempt's;
+// vtime burned by abandoned attempts and backoff waits accumulates in
+// RetryNs so Elapsed never double-charges a host.
+func (mgr *Manager) runHost(h *Host, kind SweepKind) HostResult {
+	backoff := mgr.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	var retryNs time.Duration
+	for attempt := 1; ; attempt++ {
+		res := h.scanOnce(kind, mgr.HostParallelism, mgr.HostDeadline)
+		if (res.Err == "" && res.Degraded == 0) || attempt > mgr.MaxRetries {
+			if attempt > 1 {
+				res.Attempts = attempt
+				res.RetryNs = retryNs
+			}
+			return res
+		}
+		retryNs += res.Elapsed + backoff
+		h.M.Clock.Advance(backoff)
+		backoff *= 2
+	}
 }
 
 // --- bounded scheduler ----------------------------------------------------
@@ -201,7 +270,7 @@ func capturedScan(h *Host, scan func(*Host) HostResult) (res HostResult) {
 // results in host order.
 func (mgr *Manager) Sweep(kind SweepKind, workers int) []HostResult {
 	results := make([]HostResult, len(mgr.hosts))
-	for ir := range mgr.schedule(workers, func(h *Host) HostResult { return h.scan(kind, mgr.HostParallelism) }) {
+	for ir := range mgr.schedule(workers, func(h *Host) HostResult { return mgr.runHost(h, kind) }) {
 		results[ir.i] = ir.r
 	}
 	return results
@@ -214,7 +283,7 @@ func (mgr *Manager) Sweep(kind SweepKind, workers int) []HostResult {
 func (mgr *Manager) SweepStream(kind SweepKind, workers int) <-chan HostResult {
 	out := make(chan HostResult)
 	go func() {
-		for ir := range mgr.schedule(workers, func(h *Host) HostResult { return h.scan(kind, mgr.HostParallelism) }) {
+		for ir := range mgr.schedule(workers, func(h *Host) HostResult { return mgr.runHost(h, kind) }) {
 			out <- ir.r
 		}
 		close(out)

@@ -1,0 +1,188 @@
+package ghostfuzz
+
+import (
+	"fmt"
+	"strings"
+
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/faultinject"
+)
+
+// faultedMode is one chaos configuration: the detector layout the fault
+// plan runs against.
+type faultedMode struct {
+	name        string
+	parallelism int
+	cached      bool
+}
+
+// faultedModes covers the lane counts of the clean differential modes
+// (1, 2, 8) plus the warm-cache path, which additionally proves a fired
+// fault can never poison the scan cache.
+var faultedModes = []faultedMode{
+	{name: "faulted-seq"},
+	{name: "faulted-par2", parallelism: 2},
+	{name: "faulted-par8", parallelism: 8},
+	{name: "faulted-cached", cached: true},
+}
+
+// RunCaseFaulted is the chaos oracle. It realizes the spec once per
+// faulted mode — each mode gets a fresh machine, so fault side effects
+// (a mid-scan dropped file, warmed caches) never leak across modes —
+// and checks the degradation invariants:
+//
+//  1. the scan never fails or panics: faults are contained as
+//     Report.DegradedUnits;
+//  2. no fault ever induces a false positive — every hidden finding
+//     still maps to a planted artifact, damaged or not;
+//  3. a report whose units all survived undamaged keeps full coverage:
+//     every planted artifact is still detected;
+//  4. once the plan is exhausted, the still-armed layer is transparent
+//     (in cached mode this proves the warm cache never serves a
+//     fault-poisoned parse), and after disarming the machine scans
+//     fully clean — no fault leaves permanent damage behind.
+func RunCaseFaulted(spec CaseSpec) []Violation {
+	var out []Violation
+	for _, mode := range faultedModes {
+		out = append(out, runFaultedMode(spec, mode)...)
+	}
+	return out
+}
+
+func runFaultedMode(spec CaseSpec, mode faultedMode) []Violation {
+	c, err := Build(spec)
+	if err != nil {
+		return []Violation{{InvError, mode.name, "build: " + err.Error()}}
+	}
+	inj, err := faultinject.New(c.M, faultinject.Plan{Seed: spec.Seed, Faults: spec.Faults})
+	if err != nil {
+		return []Violation{{InvError, mode.name, "plan: " + err.Error()}}
+	}
+	inj.Arm()
+
+	newDetector := func() *core.Detector {
+		d := core.NewDetector(c.M)
+		if mode.cached {
+			d = core.NewCachedDetector(c.M)
+		}
+		d.Advanced = true
+		d.Parallelism = mode.parallelism
+		d.Contain = true
+		return d
+	}
+
+	var out []Violation
+	d := newDetector()
+
+	// Pass 1: scan under fire. Containment must hold the error at nil;
+	// findings are judged by the lenient degradation checks.
+	reports, err := d.ScanAll()
+	if err != nil {
+		out = append(out, Violation{InvError, mode.name, err.Error()})
+	} else {
+		out = append(out, checkFaulted(c, mode.name, reports)...)
+	}
+
+	// Pass 2: once every planned fault has fired its full count, the
+	// still-armed layer must be transparent — the same detector (and, in
+	// cached mode, the now-warm cache) produces a fully clean scan.
+	if inj.Exhausted() {
+		reports, err := d.ScanAll()
+		if err != nil {
+			out = append(out, Violation{InvError, mode.name + "/exhausted", err.Error()})
+		} else {
+			out = append(out, checkInside(c, mode.name+"/exhausted", reports)...)
+		}
+	}
+
+	// Pass 3: disarmed, a fresh detector scans clean.
+	inj.Disarm()
+	d2 := newDetector()
+	reports, err = d2.ScanAll()
+	if err != nil {
+		out = append(out, Violation{InvError, mode.name + "/disarmed", err.Error()})
+	} else {
+		out = append(out, checkInside(c, mode.name+"/disarmed", reports)...)
+	}
+	return out
+}
+
+// damaged reports whether any unit feeding r was lost or partial: a
+// degraded unit, or skipped targets on either side. Claims of absence
+// ("artifact X was not reported") are not trustworthy for such a report.
+func damaged(r *core.Report) bool {
+	return r.Degraded() || r.HighSkipped > 0 || r.LowSkipped > 0
+}
+
+// checkFaulted applies the degradation invariants to one faulted sweep:
+// innocence is unconditional — a fault must never fabricate a finding —
+// while coverage and the mass-hiding anomaly are only required of
+// reports whose units all survived undamaged.
+func checkFaulted(c *Case, mode string, reports []*core.Report) []Violation {
+	if len(reports) != 4 {
+		return []Violation{{InvError, mode, fmt.Sprintf("%d reports, want 4", len(reports))}}
+	}
+	var out []Violation
+	for i, r := range reports {
+		if !damaged(r) {
+			switch i {
+			case 0:
+				out = append(out, checkFiles(c, mode, r)...)
+				out = append(out, checkMassHiding(c, mode, r)...)
+			case 1:
+				out = append(out, checkASEPs(c, mode, r)...)
+			case 2:
+				out = append(out, checkProcs(c, mode, r)...)
+			case 3:
+				out = append(out, checkMods(c, mode, r)...)
+			}
+			continue
+		}
+		for _, id := range sortedKeys(unmatchedHidden(c, i, r)) {
+			out = append(out, Violation{InvInnocent, mode, "fault-induced false positive: " + printable(id)})
+		}
+	}
+	return out
+}
+
+// unmatchedHidden returns the hidden finding IDs of report index idx
+// (paper order: files, ASEPs, processes, modules) that match no planted
+// artifact — the fault-induced false positives.
+func unmatchedHidden(c *Case, idx int, r *core.Report) map[string]bool {
+	found := hiddenIDs(r)
+	switch idx {
+	case 0:
+		for _, want := range c.Expect.Files {
+			delete(found, want)
+		}
+	case 1:
+		for id := range found {
+			for _, spec := range c.Expect.ASEPs {
+				if hookMatches(id, spec) {
+					delete(found, id)
+					break
+				}
+			}
+		}
+	case 2:
+		for _, name := range c.Expect.Procs {
+			suffix := ": " + strings.ToUpper(name)
+			for id := range found {
+				if strings.HasSuffix(id, suffix) {
+					delete(found, id)
+					break
+				}
+			}
+		}
+	case 3:
+		for _, frag := range c.Expect.Mods {
+			for id := range found {
+				if strings.Contains(id, frag) {
+					delete(found, id)
+					break
+				}
+			}
+		}
+	}
+	return found
+}

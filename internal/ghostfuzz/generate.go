@@ -3,6 +3,7 @@ package ghostfuzz
 import (
 	"math/rand"
 
+	"ghostbuster/internal/faultinject"
 	"ghostbuster/internal/ghostware"
 	"ghostbuster/internal/winapi"
 )
@@ -68,6 +69,49 @@ func Generate(seed int64) CaseSpec {
 			}
 		}
 		spec.Atoms = append(spec.Atoms, a)
+	}
+	return spec
+}
+
+// faultMenu spans the allowed source/kind matrix. maxAfter scales the
+// access offset to each source's traffic in one inside sweep: the raw
+// disk is read once, hives a few times, kernel memory and the API chain
+// hundreds of times.
+var faultMenu = []struct {
+	src      faultinject.Source
+	kind     faultinject.Kind
+	maxAfter int
+}{
+	{faultinject.SourceDisk, faultinject.KindErr, 2},
+	{faultinject.SourceDisk, faultinject.KindTorn, 2},
+	{faultinject.SourceDisk, faultinject.KindFlip, 2},
+	{faultinject.SourceDisk, faultinject.KindMut, 2},
+	{faultinject.SourceHive, faultinject.KindErr, 4},
+	{faultinject.SourceHive, faultinject.KindTorn, 4},
+	{faultinject.SourceHive, faultinject.KindFlip, 4},
+	{faultinject.SourceKmem, faultinject.KindErr, 300},
+	{faultinject.SourceKmem, faultinject.KindTorn, 300},
+	{faultinject.SourceKmem, faultinject.KindFlip, 300},
+	{faultinject.SourceAPI, faultinject.KindErr, 40},
+	{faultinject.SourceAPI, faultinject.KindLag, 40},
+}
+
+// GenerateFaulted composes the same adversary Generate would for this
+// seed and layers a seeded fault plan (1–3 faults across the allowed
+// matrix) on top, so a chaos case differs from its clean twin only by
+// the plan. Pure function of seed.
+func GenerateFaulted(seed int64) CaseSpec {
+	spec := Generate(seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x5fa17))
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		pick := faultMenu[rng.Intn(len(faultMenu))]
+		spec.Faults = append(spec.Faults, faultinject.Fault{
+			Source: pick.src,
+			Kind:   pick.kind,
+			After:  1 + rng.Intn(pick.maxAfter),
+			Count:  1 + rng.Intn(2),
+		})
 	}
 	return spec
 }

@@ -13,8 +13,13 @@ type Options struct {
 	// never affects per-case results, so an un-truncated run's JSON is
 	// identical whatever the budget.
 	Budget time.Duration
+	// Faulted draws each case from GenerateFaulted instead of Generate:
+	// the composed adversary plus a seeded fault plan, judged by the
+	// chaos oracle (RunCaseFaulted) instead of the differential one.
+	Faulted bool
 	// Breaker, when set, sabotages reports before invariant checks
-	// (tests only).
+	// (tests only; ignored by faulted cases, whose sabotage is the fault
+	// plan itself).
 	Breaker *Breaker
 	// CorpusDir, when non-empty, receives a shrunk spec file for every
 	// failure.
@@ -53,6 +58,9 @@ func Run(opts Options) (*Summary, error) {
 			break
 		}
 		spec := Generate(CaseSeed(opts.Seed, i))
+		if opts.Faulted {
+			spec = GenerateFaulted(CaseSeed(opts.Seed, i))
+		}
 		violations := runSpec(spec, opts.Breaker)
 		s.Cases++
 		if len(violations) == 0 {
@@ -78,7 +86,12 @@ func Run(opts Options) (*Summary, error) {
 
 // runSpec builds and checks one spec; a build error is itself an
 // invariant violation (the generator must only emit installable specs).
+// A spec carrying a fault plan routes to the chaos oracle, which builds
+// per mode itself.
 func runSpec(spec CaseSpec, b *Breaker) []Violation {
+	if len(spec.Faults) > 0 {
+		return RunCaseFaulted(spec)
+	}
 	c, err := Build(spec)
 	if err != nil {
 		return []Violation{{InvError, "build", err.Error()}}

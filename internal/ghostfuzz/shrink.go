@@ -8,14 +8,11 @@ import "ghostbuster/internal/ghostware"
 // re-run from scratch, so the result is a spec that still reproduces
 // the target violation on replay. Build errors during shrinking count
 // as "not failing" — the shrinker never trades the target failure for a
-// different one.
+// different one. A chaos spec's fault plan is the failure's environment,
+// not its payload, so it is carried into every candidate unshrunk.
 func Shrink(spec CaseSpec, target Violation, b *Breaker) CaseSpec {
 	fails := func(s CaseSpec) bool {
-		c, err := Build(s)
-		if err != nil {
-			return false
-		}
-		for _, v := range RunCase(c, b) {
+		for _, v := range runSpec(s, b) {
 			if sameFailure(v, target) {
 				return true
 			}
@@ -29,7 +26,7 @@ func Shrink(spec CaseSpec, target Violation, b *Breaker) CaseSpec {
 	for changed := true; changed; {
 		changed = false
 		for i := 0; i < len(cur.Atoms) && len(cur.Atoms) > 1; i++ {
-			cand := CaseSpec{Seed: cur.Seed}
+			cand := CaseSpec{Seed: cur.Seed, Faults: cur.Faults}
 			cand.Atoms = append(cand.Atoms, cur.Atoms[:i]...)
 			cand.Atoms = append(cand.Atoms, cur.Atoms[i+1:]...)
 			if fails(cand) {
@@ -44,7 +41,7 @@ func Shrink(spec CaseSpec, target Violation, b *Breaker) CaseSpec {
 		if cur.Atoms[i].Count <= 1 {
 			continue
 		}
-		cand := CaseSpec{Seed: cur.Seed, Atoms: append([]ghostware.Atom(nil), cur.Atoms...)}
+		cand := CaseSpec{Seed: cur.Seed, Faults: cur.Faults, Atoms: append([]ghostware.Atom(nil), cur.Atoms...)}
 		cand.Atoms[i].Count = 1
 		if fails(cand) {
 			cur = cand

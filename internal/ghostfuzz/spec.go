@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ghostbuster/internal/faultinject"
 	"ghostbuster/internal/ghostware"
 	"ghostbuster/internal/winapi"
 )
@@ -31,6 +32,11 @@ const specVersion = "ghostfuzz-v1"
 type CaseSpec struct {
 	Seed  int64
 	Atoms []ghostware.Atom
+	// Faults, when non-empty, makes this a chaos case: the plan (seeded
+	// with Seed) is armed against the machine and the case is judged by
+	// the degradation oracle (RunCaseFaulted) instead of the differential
+	// one.
+	Faults []faultinject.Fault
 }
 
 var levelTokens = map[winapi.Level]string{
@@ -53,9 +59,11 @@ var kindTokens = map[string]ghostware.AtomKind{
 // String renders the one-line corpus form:
 //
 //	ghostfuzz-v1 seed=7 atoms=file@ssdt/2/all;ads/1/all;decoy@filter/120/utils
+//	ghostfuzz-v1 seed=9 atoms=reg@ntdll/2/all faults=hive:torn@1;api:err@3x2
 //
 // Hooked atoms carry "@level"; every atom carries "/count/scope" with
-// scope one of all, utils, except=<name>.
+// scope one of all, utils, except=<name>. Chaos cases append a fourth
+// "faults=" field in the faultinject plan grammar.
 func (s CaseSpec) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s seed=%d atoms=", specVersion, s.Seed)
@@ -73,6 +81,10 @@ func (s CaseSpec) String() string {
 			count = 1
 		}
 		fmt.Fprintf(&b, "/%d/%s", count, scopeToken(a))
+	}
+	if len(s.Faults) > 0 {
+		b.WriteString(" faults=")
+		b.WriteString(faultinject.FormatFaults(s.Faults))
 	}
 	return b.String()
 }
@@ -93,8 +105,8 @@ func scopeToken(a ghostware.Atom) string {
 func ParseSpec(line string) (CaseSpec, error) {
 	var s CaseSpec
 	fields := strings.Fields(strings.TrimSpace(line))
-	if len(fields) != 3 || fields[0] != specVersion {
-		return s, fmt.Errorf("ghostfuzz: spec must be %q seed=N atoms=...: %q", specVersion, line)
+	if len(fields) < 3 || len(fields) > 4 || fields[0] != specVersion {
+		return s, fmt.Errorf("ghostfuzz: spec must be %q seed=N atoms=... [faults=...]: %q", specVersion, line)
 	}
 	seedStr, ok := strings.CutPrefix(fields[1], "seed=")
 	if !ok {
@@ -118,6 +130,17 @@ func ParseSpec(line string) (CaseSpec, error) {
 	}
 	if len(s.Atoms) == 0 {
 		return s, fmt.Errorf("ghostfuzz: spec has no atoms: %q", line)
+	}
+	if len(fields) == 4 {
+		faultsStr, ok := strings.CutPrefix(fields[3], "faults=")
+		if !ok || faultsStr == "" {
+			return s, fmt.Errorf("ghostfuzz: fourth field must be faults=... in %q", line)
+		}
+		faults, err := faultinject.ParseFaults(faultsStr)
+		if err != nil {
+			return s, err
+		}
+		s.Faults = faults
 	}
 	return s, nil
 }

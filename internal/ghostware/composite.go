@@ -282,10 +282,10 @@ func win32TrickPath(tag string, j int) string {
 	}
 }
 
-func adsHostPath(tag string) string     { return fmt.Sprintf(`%s\%s-host.txt`, compositeDir, tag) }
-func decoyDir(tag string) string       { return `C:\` + tag }
-func decoyPayload(tag string) string   { return fmt.Sprintf(`%s\%spay.exe`, compositeDir, tag) }
-func regNulPayload(tag string) string  { return fmt.Sprintf(`%s\%spay.exe`, compositeDir, tag) }
+func adsHostPath(tag string) string   { return fmt.Sprintf(`%s\%s-host.txt`, compositeDir, tag) }
+func decoyDir(tag string) string      { return `C:\` + tag }
+func decoyPayload(tag string) string  { return fmt.Sprintf(`%s\%spay.exe`, compositeDir, tag) }
+func regNulPayload(tag string) string { return fmt.Sprintf(`%s\%spay.exe`, compositeDir, tag) }
 func regHidePayload(tag string, j int) string {
 	return fmt.Sprintf(`%s\%s%d.exe`, compositeDir, tag, j)
 }

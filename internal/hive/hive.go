@@ -98,10 +98,26 @@ func (v Value) Dword() uint32 {
 // against concurrent mutators. Bytes returns the live buffer without
 // synchronization; concurrent low-level scans must copy via Snapshot.
 type Hive struct {
-	mu   sync.RWMutex
-	buf  []byte
-	name string
-	gen  uint64 // mutation generation, see Generation
+	mu    sync.RWMutex
+	buf   []byte
+	name  string
+	gen   uint64 // mutation generation, see Generation
+	fault SnapshotFault
+}
+
+// SnapshotFault is a fault-injection hook over hive snapshots: it may
+// damage the freshly copied image in place before the raw parser sees
+// it. The live hive is never touched.
+type SnapshotFault interface {
+	CorruptSnapshot(name string, img []byte)
+}
+
+// SetSnapshotFault installs (or, with nil, removes) the snapshot fault
+// hook.
+func (h *Hive) SetSnapshotFault(f SnapshotFault) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fault = f
 }
 
 // New creates an empty hive with a root key.
@@ -130,6 +146,11 @@ func Open(buf []byte) (*Hive, error) {
 	if seq1 != seq2 {
 		return nil, fmt.Errorf("%w: torn write (seq %d != %d)", ErrCorrupt, seq1, seq2)
 	}
+	declared := binary.LittleEndian.Uint32(buf[hdrLengthOff:])
+	if uint64(declared) > uint64(len(buf)-headerSize) {
+		return nil, fmt.Errorf("%w: truncated image (header declares %d data bytes, file has %d)",
+			ErrCorrupt, declared, len(buf)-headerSize)
+	}
 	h := &Hive{buf: buf}
 	h.name = decodeUTF16First(buf[hdrNameOff : hdrNameOff+hdrNameCap])
 	root := binary.LittleEndian.Uint32(buf[hdrRootOff:])
@@ -151,10 +172,35 @@ func (h *Hive) Bytes() []byte { return h.buf }
 // before parsing ("our low-level scan copies and parses each hive file").
 func (h *Hive) Snapshot() []byte {
 	h.mu.RLock()
-	defer h.mu.RUnlock()
 	out := make([]byte, len(h.buf))
 	copy(out, h.buf)
+	fault := h.fault
+	name := h.name
+	h.mu.RUnlock()
+	if fault != nil {
+		fault.CorruptSnapshot(name, out)
+	}
 	return out
+}
+
+// CorruptImageHeader damages a snapshot copy's header for fault
+// injection: mode "magic" zeroes the regf signature, "torn" desyncs the
+// sequence pair (a torn write), "root" points the root cell out of
+// bounds. All three fail loudly in Open rather than silently altering
+// key content.
+func CorruptImageHeader(img []byte, mode string) {
+	if len(img) < headerSize {
+		return
+	}
+	switch mode {
+	case "magic":
+		img[0], img[1], img[2], img[3] = 0, 0, 0, 0
+	case "torn":
+		seq1 := binary.LittleEndian.Uint32(img[hdrSeq1Off:])
+		binary.LittleEndian.PutUint32(img[hdrSeq2Off:], seq1+1)
+	case "root":
+		binary.LittleEndian.PutUint32(img[hdrRootOff:], 0x7FFFFFF0)
+	}
 }
 
 // RootOffset returns the root nk cell offset.

@@ -36,6 +36,56 @@ type Kernel struct {
 	nextPid uint64
 	nextTid uint64
 	nextVA  uint64 // fake image base allocator for modules
+
+	faultMu sync.RWMutex
+	fault   ScanFault
+}
+
+// ScanFault is a fault-injection hook over scanner-facing kernel-memory
+// access: cross-view scan reads (ScanMem) and crash-dump images
+// (DumpImage). The OS's own structure walks use the raw arena and are
+// never faulted — the kernel does not fail against itself.
+type ScanFault interface {
+	// WrapReader interposes on scan reads of kernel memory.
+	WrapReader(r kmem.Reader) kmem.Reader
+	// CorruptDump may return a damaged replacement for a dump image
+	// copy, or nil to leave it clean. It must not modify img in place
+	// beyond returning it.
+	CorruptDump(img []byte) []byte
+}
+
+// SetScanFault installs (or, with nil, removes) the scan fault hook.
+func (k *Kernel) SetScanFault(f ScanFault) {
+	k.faultMu.Lock()
+	defer k.faultMu.Unlock()
+	k.fault = f
+}
+
+func (k *Kernel) scanFault() ScanFault {
+	k.faultMu.RLock()
+	defer k.faultMu.RUnlock()
+	return k.fault
+}
+
+// ScanMem returns the kernel-memory reader cross-view scanners must
+// use: the raw arena, wrapped by the scan fault hook when one is armed.
+func (k *Kernel) ScanMem() kmem.Reader {
+	if f := k.scanFault(); f != nil {
+		return f.WrapReader(k.Mem)
+	}
+	return k.Mem
+}
+
+// DumpImage returns a crash-dump memory image: a snapshot of the arena,
+// passed through the scan fault hook when one is armed.
+func (k *Kernel) DumpImage() []byte {
+	img := k.Mem.Snapshot()
+	if f := k.scanFault(); f != nil {
+		if c := f.CorruptDump(img); c != nil {
+			img = c
+		}
+	}
+	return img
 }
 
 // New boots a kernel: allocates the global lists and the System process.
@@ -330,7 +380,7 @@ func (k *Kernel) ModulesTruth(pid uint64) ([]ModView, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ProcessVadImages(k.Mem, eproc)
+	return ProcessVadImages(k.ScanMem(), eproc)
 }
 
 // LoadDriver appends a driver to the system module list.

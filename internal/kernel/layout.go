@@ -224,6 +224,15 @@ func WalkCidProcesses(r kmem.Reader, layout Layout) ([]ProcView, error) {
 			procAddrs[obj] = true
 		}
 	}
+	// Consistency check: every thread's owner must be a process object in
+	// this same table. A dangling owner means the table bytes are corrupt
+	// (torn write, bad dump, bit damage); trusting the walk would silently
+	// drop the real owner, so fail loudly instead.
+	for owner := range owners {
+		if !procAddrs[owner] {
+			return nil, fmt.Errorf("kernel: CID table inconsistent: thread owner %#x is not a process object", owner)
+		}
+	}
 	out := make([]ProcView, 0, len(owners))
 	for addr := range procAddrs {
 		if owners[addr] == 0 {

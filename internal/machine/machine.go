@@ -114,6 +114,12 @@ type Machine struct {
 	API     *winapi.Stack
 	Rand    *rand.Rand
 
+	// FaultEpoch, when set by a fault-injection layer, returns a counter
+	// that advances whenever an injected fault fires. Cache layers
+	// compare epochs around a parse and refuse to memoize results that
+	// may have consumed damaged bytes.
+	FaultEpoch func() uint64
+
 	images    map[string]Activation // upper-cased image path -> activation
 	churn     []*churnState
 	bootCount int

@@ -33,6 +33,11 @@ const (
 	RecordVolume = 2
 	RecordRoot   = 5 // root directory, as in real NTFS
 	firstUserRec = 6
+
+	// FirstUserRecord is the first MFT record number available to user
+	// files; records below it hold filesystem metadata. Fault layers use
+	// it to target damage at user records only.
+	FirstUserRecord = firstUserRec
 )
 
 // Attribute type codes (the NTFS on-disk values).
@@ -118,6 +123,12 @@ func encodeBoot(dev []byte, geo Geometry) {
 }
 
 // decodeBoot parses the boot sector of a device image.
+// DecodeBootSector parses the boot sector of a device image into its
+// geometry, validating signatures and bounds.
+func DecodeBootSector(dev []byte) (Geometry, error) {
+	return decodeBoot(dev)
+}
+
 func decodeBoot(dev []byte) (Geometry, error) {
 	var geo Geometry
 	if len(dev) < BytesPerSector {

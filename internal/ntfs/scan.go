@@ -29,6 +29,12 @@ type RawEntry struct {
 type RawScanStats struct {
 	RecordsParsed int
 	BytesRead     int64
+	// CorruptRecords counts records that carried data (nonzero magic)
+	// but failed to decode — torn writes, bit flips, hostile bytes.
+	// Free records are blank and do not count. A nonzero value means
+	// parent chains may be severed, so orphan classification of the
+	// surviving records is unreliable.
+	CorruptRecords int
 }
 
 // RawScan parses a device image and returns every in-use user file and
@@ -84,7 +90,11 @@ func RawScanParallel(image []byte, workers int) ([]RawEntry, RawScanStats, error
 			rec, err := DecodeRecord(image[off:off+RecordSize], uint32(i))
 			if err != nil {
 				// A single mangled record should not abort the scan; the
-				// paper's tool must keep going over hostile disks.
+				// paper's tool must keep going over hostile disks. Blank
+				// (free) records are expected; anything else is damage.
+				if image[off] != 0 || image[off+1] != 0 || image[off+2] != 0 || image[off+3] != 0 {
+					st.CorruptRecords++
+				}
 				continue
 			}
 			st.RecordsParsed++
@@ -94,6 +104,7 @@ func RawScanParallel(image []byte, workers int) ([]RawEntry, RawScanStats, error
 			}
 			fn, err := rec.FileName()
 			if err != nil {
+				st.CorruptRecords++
 				continue
 			}
 			si, _ := rec.StandardInformation()
@@ -118,6 +129,7 @@ func RawScanParallel(image []byte, workers int) ([]RawEntry, RawScanStats, error
 		st := decodeRange(0, nRec)
 		stats.RecordsParsed += st.RecordsParsed
 		stats.BytesRead += st.BytesRead
+		stats.CorruptRecords += st.CorruptRecords
 	} else {
 		shardStats := make([]RawScanStats, workers)
 		var wg sync.WaitGroup
@@ -138,6 +150,7 @@ func RawScanParallel(image []byte, workers int) ([]RawEntry, RawScanStats, error
 		for _, st := range shardStats {
 			stats.RecordsParsed += st.RecordsParsed
 			stats.BytesRead += st.BytesRead
+			stats.CorruptRecords += st.CorruptRecords
 		}
 	}
 

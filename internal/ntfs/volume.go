@@ -53,6 +53,7 @@ type Volume struct {
 	freeRec   uint32 // search hint
 	usedBytes int64  // advertised bytes in use (directory sizes excluded)
 	gen       uint64 // mutation generation, see Generation
+	fault     DeviceFault
 }
 
 // Format creates a fresh volume with capacity for the given number of
@@ -174,11 +175,46 @@ func Mount(dev []byte) (*Volume, error) {
 // must use WithDevice instead.
 func (v *Volume) Device() []byte { return v.dev }
 
+// DeviceFault is a fault-injection hook over raw device reads. BeforeRead
+// runs before the volume lock is taken (so it may call volume mutators to
+// model a mid-scan mutation, or fail the read outright); CorruptImage may
+// return a damaged copy of the image for this read — it must never modify
+// the slice it is given, and returns nil to leave the read clean.
+type DeviceFault interface {
+	BeforeRead(op string) error
+	CorruptImage(op string, dev []byte) []byte
+}
+
+// SetDeviceFault installs (or, with nil, removes) the raw-read fault hook.
+func (v *Volume) SetDeviceFault(f DeviceFault) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.fault = f
+}
+
+func (v *Volume) deviceFault() DeviceFault {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.fault
+}
+
 // WithDevice runs f over the device bytes while holding the volume's
 // read lock, so a raw parse sees a consistent image even while other
 // goroutines mutate the volume. f must not retain the slice or call
 // volume mutators (that would self-deadlock).
 func (v *Volume) WithDevice(f func(dev []byte) error) error {
+	if fh := v.deviceFault(); fh != nil {
+		if err := fh.BeforeRead("raw-scan"); err != nil {
+			return err
+		}
+		v.mu.RLock()
+		defer v.mu.RUnlock()
+		dev := v.dev
+		if c := fh.CorruptImage("raw-scan", dev); c != nil {
+			dev = c
+		}
+		return f(dev)
+	}
 	v.mu.RLock()
 	defer v.mu.RUnlock()
 	return f(v.dev)
@@ -219,12 +255,30 @@ func (v *Volume) BumpGeneration() {
 }
 
 // SnapshotImage returns a copy of the device, as the WinPE / VM outside
-// scans would obtain by reading the physical disk.
+// scans would obtain by reading the physical disk. An injected read
+// error here has no error channel, so it zeroes the copy's boot sector:
+// an unreadable disk yields an unparseable image, which downstream
+// parsers reject loudly.
 func (v *Volume) SnapshotImage() []byte {
+	fh := v.deviceFault()
+	var readErr error
+	if fh != nil {
+		readErr = fh.BeforeRead("snapshot")
+	}
 	v.mu.RLock()
-	defer v.mu.RUnlock()
 	out := make([]byte, len(v.dev))
 	copy(out, v.dev)
+	v.mu.RUnlock()
+	if fh != nil {
+		if c := fh.CorruptImage("snapshot", out); c != nil {
+			out = c
+		}
+		if readErr != nil {
+			for i := 0; i < BytesPerSector && i < len(out); i++ {
+				out[i] = 0
+			}
+		}
+	}
 	return out
 }
 

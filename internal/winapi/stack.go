@@ -13,6 +13,18 @@ import (
 // ErrNoBase reports a query on a chain whose base was never wired.
 var ErrNoBase = errors.New("winapi: chain has no base implementation")
 
+// ErrInjectedFault marks API failures fabricated by a fault-injection
+// layer. High-level scanners must treat a call failing with this
+// sentinel as a loud unit failure, never as "entry absent from this
+// view" — silently dropping entries from the high view would turn
+// injected faults into false cross-view differences.
+var ErrInjectedFault = errors.New("winapi: injected fault")
+
+// CallFault is a fault-injection hook that runs at every API entry
+// point before the hook chain. Returning an error fails the call; the
+// hook may instead charge latency to the call's clock and return nil.
+type CallFault func(api API, call *Call) error
+
 // CostModel prices API traffic in virtual time. The defaults are rough
 // desktop-era figures; machine profiles override them.
 type CostModel struct {
@@ -35,6 +47,25 @@ type Stack struct {
 	nextSeq int
 	clock   *vtime.Clock
 	costs   CostModel
+	fault   CallFault
+}
+
+// SetCallFault installs (or, with nil, removes) the call fault hook.
+func (s *Stack) SetCallFault(f CallFault) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fault = f
+}
+
+// callFault runs the fault hook, if armed, for one API entry.
+func (s *Stack) callFault(api API, call *Call) error {
+	s.mu.RLock()
+	f := s.fault
+	s.mu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	return f(api, call)
 }
 
 // NewStack builds a clean API stack over the given bases. The clock may
@@ -133,6 +164,9 @@ func (s *Stack) enumDir(call *Call, dir string, entry Level) ([]DirEntry, error)
 	if s.bases.FileEnum == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoBase, APIFileEnum)
 	}
+	if err := s.callFault(APIFileEnum, call); err != nil {
+		return nil, err
+	}
 	handler := s.bases.FileEnum
 	for _, h := range s.chainHooks(APIFileEnum, entry, call) {
 		if h.WrapFileEnum != nil {
@@ -204,6 +238,9 @@ func (s *Stack) queryKey(call *Call, keyPath string, entry Level) (KeySnapshot, 
 	if s.bases.RegQuery == nil {
 		return KeySnapshot{}, fmt.Errorf("%w: %s", ErrNoBase, APIRegQuery)
 	}
+	if err := s.callFault(APIRegQuery, call); err != nil {
+		return KeySnapshot{}, err
+	}
 	handler := s.bases.RegQuery
 	for _, h := range s.chainHooks(APIRegQuery, entry, call) {
 		if h.WrapRegQuery != nil {
@@ -250,6 +287,9 @@ func (s *Stack) enumProcs(call *Call, entry Level) ([]ProcEntry, error) {
 	if s.bases.ProcEnum == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoBase, APIProcEnum)
 	}
+	if err := s.callFault(APIProcEnum, call); err != nil {
+		return nil, err
+	}
 	handler := s.bases.ProcEnum
 	for _, h := range s.chainHooks(APIProcEnum, entry, call) {
 		if h.WrapProcEnum != nil {
@@ -279,6 +319,9 @@ func (s *Stack) EnumModulesWin32(call *Call, pid uint64) ([]ModEntry, error) {
 	if s.bases.ModEnum == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoBase, APIModEnum)
 	}
+	if err := s.callFault(APIModEnum, call); err != nil {
+		return nil, err
+	}
 	handler := s.bases.ModEnum
 	for _, h := range s.chainHooks(APIModEnum, LevelIAT, call) {
 		if h.WrapModEnum != nil {
@@ -303,6 +346,9 @@ func (s *Stack) EnumModulesWin32(call *Call, pid uint64) ([]ModEntry, error) {
 func (s *Stack) EnumDriversWin32(call *Call) ([]ModEntry, error) {
 	if s.bases.DriverEnum == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoBase, APIDriverEnum)
+	}
+	if err := s.callFault(APIDriverEnum, call); err != nil {
+		return nil, err
 	}
 	handler := s.bases.DriverEnum
 	for _, h := range s.chainHooks(APIDriverEnum, LevelIAT, call) {

@@ -1,6 +1,8 @@
 #!/bin/sh
 # Full local gate: vet, build, and the whole test suite under the race
-# detector (the fleet scheduler is the main concurrency surface).
+# detector (the fleet scheduler is the main concurrency surface), plus
+# the chaos suite, a coverage floor on the core detection packages, and
+# the deterministic ghostfuzz smoke runs.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -13,7 +15,24 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> chaos suite under -race (fault-injection property tests)"
+go test -race -run 'TestChaos|TestEmptyFaultPlanByteIdentity' ./internal/ghostfuzz/
+
+echo "==> coverage floor (>= 70% on the detection core)"
+go test -cover ./internal/core/ ./internal/ntfs/ ./internal/hive/ ./internal/fleet/ |
+	awk '
+		/coverage:/ {
+			pct = $5; sub(/%.*/, "", pct)
+			printf "    %-32s %s%%\n", $2, pct
+			if (pct + 0 < 70) { printf "FAIL: %s coverage %s%% < 70%%\n", $2, pct; bad = 1 }
+		}
+		END { exit bad }
+	'
+
 echo "==> ghostfuzz smoke (fixed seed, 50 cases)"
 go run ./cmd/ghostfuzz -seed 1 -n 50 > /dev/null
+
+echo "==> ghostfuzz chaos smoke (fixed seed, 25 faulted cases)"
+go run ./cmd/ghostfuzz -seed 1 -n 25 -faulted > /dev/null
 
 echo "OK"
