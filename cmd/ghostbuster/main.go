@@ -1,7 +1,9 @@
 // Command ghostbuster is the interactive face of the reproduction: it
 // builds a simulated Windows machine, optionally infects it with any of
 // the paper's ghostware corpus, and runs the inside-the-box GhostBuster
-// scans, printing the cross-view diff report.
+// scans, printing the cross-view diff report. With -fleet it sweeps a
+// whole simulated fleet, optionally journaling every host state
+// transition so an interrupted sweep can be resumed with -resume.
 //
 // Usage:
 //
@@ -10,6 +12,19 @@
 //	ghostbuster -infect FU -scan procs            # shows the normal-mode miss
 //	ghostbuster -infect FU -scan procs -advanced  # and the advanced-mode catch
 //	ghostbuster -infect Vanquish -inject          # scan from inside every process
+//	ghostbuster -fleet 8 -journal sweep.gbj -json # durable fleet sweep
+//	ghostbuster -fleet 8 -journal sweep.gbj -resume
+//	ghostbuster -verify-report report.json        # check tamper evidence
+//
+// Exit codes (stable, for scripted callers):
+//
+//	0  clean — every scan completed, nothing hidden
+//	1  findings — hidden resources detected
+//	2  degraded but clean — no findings, but some scan units or hosts
+//	   were lost (faults, deadlines, quarantine), so absence of findings
+//	   is not proof of absence
+//	3  sweep aborted — the fleet error budget stopped the sweep early
+//	4  usage or runtime error
 package main
 
 import (
@@ -20,6 +35,7 @@ import (
 	"strings"
 
 	"ghostbuster/internal/core"
+	"ghostbuster/internal/fleet"
 	"ghostbuster/internal/ghostware"
 	"ghostbuster/internal/injection"
 	"ghostbuster/internal/machine"
@@ -27,11 +43,23 @@ import (
 	"ghostbuster/internal/workload"
 )
 
+// The exit-code contract. Documented in the package comment and README;
+// scripted callers branch on these.
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitDegraded = 2
+	exitAborted  = 3
+	exitError    = 4
+)
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	code, err := run(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ghostbuster:", err)
-		os.Exit(1)
+		os.Exit(exitError)
 	}
+	os.Exit(code)
 }
 
 // catalogOrdered lists every installable program: the paper's 12-sample
@@ -41,66 +69,97 @@ func catalogOrdered() []ghostware.CatalogEntry {
 	return append(ghostware.Catalog(), ghostware.Extensions()...)
 }
 
-func run(args []string) error {
+func run(args []string) (int, error) {
 	fs := flag.NewFlagSet("ghostbuster", flag.ContinueOnError)
 	listGW := fs.Bool("list-ghostware", false, "list the installable ghostware corpus and exit")
-	infect := fs.String("infect", "", "install the named ghostware before scanning")
+	infect := fs.String("infect", "", "install the named ghostware before scanning (fleet mode: on the first host)")
 	scan := fs.String("scan", "all", "what to scan: files|aseps|procs|mods|drivers|all")
 	advanced := fs.Bool("advanced", false, "use the CID-table traversal for the process low-level scan (catches DKOM)")
 	inject := fs.Bool("inject", false, "run the scans from inside every process (the §5 DLL-injection extension)")
+	contain := fs.Bool("contain", false, "contain per-unit faults as degraded reports instead of failing the scan")
 	jsonOut := fs.Bool("json", false, "emit reports as JSON instead of text")
 	verbose := fs.Bool("v", false, "print every finding, not just the summary")
+	fleetN := fs.Int("fleet", 0, "sweep a simulated fleet of this many hosts instead of one machine")
+	workers := fs.Int("workers", 1, "fleet mode: concurrent host scans")
+	journalPath := fs.String("journal", "", "fleet mode: journal every host state transition to this file")
+	resume := fs.Bool("resume", false, "fleet mode: resume the interrupted sweep recorded in -journal")
+	breaker := fs.Int("breaker", 0, "fleet mode: quarantine a host after this many consecutive failed attempts")
+	abortFraction := fs.Float64("abort-fraction", 0, "fleet mode: abort the sweep when more than this fraction of hosts fail")
+	maxRetries := fs.Int("max-retries", 0, "fleet mode: extra scan attempts per failed or degraded host")
+	verifyReport := fs.String("verify-report", "", "verify a saved fleet report's tamper-evidence chain and exit")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return exitError, err
 	}
 
 	if *listGW {
 		for _, e := range catalogOrdered() {
 			fmt.Printf("  %-24s %-28s hides: %s\n", e.Name, e.Class, hideSummary(e.New()))
 		}
-		return nil
+		return exitClean, nil
+	}
+	if *verifyReport != "" {
+		return runVerifyReport(*verifyReport)
+	}
+	if *resume && *journalPath == "" {
+		return exitError, fmt.Errorf("-resume requires -journal")
+	}
+	if *fleetN > 0 {
+		return runFleet(fleetOptions{
+			hosts: *fleetN, workers: *workers, infect: *infect,
+			journal: *journalPath, resume: *resume,
+			breaker: *breaker, abortFraction: *abortFraction, maxRetries: *maxRetries,
+			jsonOut: *jsonOut,
+		})
 	}
 
 	p := workload.SmallProfile()
 	fmt.Printf("building machine %q (%s, %.0f GB used, %d MHz)...\n", p.Name, p.Kind, p.DiskUsedGB, p.CPUMHz)
 	m, err := workload.NewPaperMachine(p)
 	if err != nil {
-		return err
+		return exitError, err
 	}
 	// Content the commercial hiders protect, so every corpus entry works.
 	for _, f := range []string{`C:\Private\diary.txt`, `C:\Shared\docs.txt`} {
 		if err := m.DropFile(f, []byte("user data")); err != nil {
-			return err
+			return exitError, err
 		}
 	}
 
 	if *infect != "" {
-		e, ok := ghostware.Lookup(*infect)
-		if !ok {
-			return fmt.Errorf("unknown ghostware %q (try -list-ghostware)", *infect)
-		}
-		g := e.New()
-		fmt.Printf("installing %s (%s)...\n", g.Name(), g.Class())
-		if err := g.Install(m); err != nil {
-			return err
-		}
-		if e.Arm != nil {
-			if err := e.Arm(m, g); err != nil {
-				return err
-			}
-			fmt.Printf("armed %s (post-install step)\n", g.Name())
+		if err := installGhostware(m, *infect); err != nil {
+			return exitError, err
 		}
 	}
 
 	if *inject {
 		return runInjected(m, *verbose)
 	}
-	return runPlain(m, *scan, *advanced, *verbose, *jsonOut)
+	return runPlain(m, *scan, *advanced, *contain, *verbose, *jsonOut)
 }
 
-func runPlain(m *machine.Machine, scan string, advanced, verbose, jsonOut bool) error {
+func installGhostware(m *machine.Machine, name string) error {
+	e, ok := ghostware.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown ghostware %q (try -list-ghostware)", name)
+	}
+	g := e.New()
+	fmt.Printf("installing %s (%s)...\n", g.Name(), g.Class())
+	if err := g.Install(m); err != nil {
+		return err
+	}
+	if e.Arm != nil {
+		if err := e.Arm(m, g); err != nil {
+			return err
+		}
+		fmt.Printf("armed %s (post-install step)\n", g.Name())
+	}
+	return nil
+}
+
+func runPlain(m *machine.Machine, scan string, advanced, contain, verbose, jsonOut bool) (int, error) {
 	d := core.NewDetector(m)
 	d.Advanced = advanced
+	d.Contain = contain
 	var reports []*core.Report
 	runScan := func(name string, f func() (*core.Report, error)) error {
 		r, err := f()
@@ -113,50 +172,53 @@ func runPlain(m *machine.Machine, scan string, advanced, verbose, jsonOut bool) 
 	switch scan {
 	case "files":
 		if err := runScan("file", d.ScanFiles); err != nil {
-			return err
+			return exitError, err
 		}
 	case "aseps":
 		if err := runScan("ASEP", d.ScanASEPs); err != nil {
-			return err
+			return exitError, err
 		}
 	case "procs":
 		if err := runScan("process", d.ScanProcesses); err != nil {
-			return err
+			return exitError, err
 		}
 	case "mods":
 		if err := runScan("module", d.ScanModules); err != nil {
-			return err
+			return exitError, err
 		}
 	case "drivers":
 		if err := runScan("driver", d.ScanDrivers); err != nil {
-			return err
+			return exitError, err
 		}
 	case "all":
 		all, err := d.ScanAll()
 		if err != nil {
-			return err
+			return exitError, err
 		}
 		reports = all
 		if err := runScan("driver", d.ScanDrivers); err != nil {
-			return err
+			return exitError, err
 		}
 	default:
-		return fmt.Errorf("unknown scan kind %q", scan)
+		return exitError, fmt.Errorf("unknown scan kind %q", scan)
+	}
+	infected, degraded := false, false
+	for _, r := range reports {
+		if r.Infected() {
+			infected = true
+		}
+		if r.Degraded() {
+			degraded = true
+		}
 	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reports); err != nil {
-			return err
+			return exitError, err
 		}
-		for _, r := range reports {
-			if r.Infected() {
-				os.Exit(2)
-			}
-		}
-		return nil
+		return verdictCode(infected, degraded, false), nil
 	}
-	infected := false
 	for _, r := range reports {
 		fmt.Println(r.Summary())
 		fmt.Printf("           scan time: %s\n", vtime.String(r.Elapsed))
@@ -170,27 +232,20 @@ func runPlain(m *machine.Machine, scan string, advanced, verbose, jsonOut bool) 
 		} else {
 			fmt.Printf("    (%d hidden entries; rerun with -v to list)\n", len(r.Hidden))
 		}
-		if r.Infected() {
-			infected = true
-		}
 	}
-	if infected {
-		fmt.Println("\nVERDICT: machine is INFECTED with resource-hiding software")
-		os.Exit(2)
-	}
-	fmt.Println("\nVERDICT: no hidden resources detected")
-	return nil
+	printVerdict(infected, degraded, false)
+	return verdictCode(infected, degraded, false), nil
 }
 
-func runInjected(m *machine.Machine, verbose bool) error {
+func runInjected(m *machine.Machine, verbose bool) (int, error) {
 	fmt.Println("injecting GhostBuster DLL into every running process...")
 	files, err := injection.ScanFilesEverywhere(m)
 	if err != nil {
-		return err
+		return exitError, err
 	}
 	procs, err := injection.ScanProcsEverywhere(m)
 	if err != nil {
-		return err
+		return exitError, err
 	}
 	union := append(append([]core.Finding(nil), files.Union...), procs.Union...)
 	for _, pp := range append(files.PerProc, procs.PerProc...) {
@@ -203,10 +258,161 @@ func runInjected(m *machine.Machine, verbose bool) error {
 	}
 	if len(union) > 0 {
 		fmt.Printf("\nVERDICT: INFECTED — %d hidden resources across all identities\n", len(union))
-		os.Exit(2)
+		return exitFindings, nil
 	}
 	fmt.Println("\nVERDICT: no hidden resources detected from any process identity")
-	return nil
+	return exitClean, nil
+}
+
+type fleetOptions struct {
+	hosts, workers, breaker, maxRetries int
+	infect, journal                     string
+	resume, jsonOut                     bool
+	abortFraction                       float64
+}
+
+// buildCLIFleet assembles the simulated fleet deterministically: host i
+// is seeded with i+1, so -resume on a new process rebuilds the same
+// hosts the crashed sweep journaled.
+func buildCLIFleet(opts fleetOptions) (*fleet.Manager, error) {
+	mgr := fleet.NewManager()
+	mgr.MaxRetries = opts.maxRetries
+	mgr.BreakerThreshold = opts.breaker
+	mgr.AbortAfterFailureFraction = opts.abortFraction
+	for i := 0; i < opts.hosts; i++ {
+		p := machine.DefaultProfile()
+		p.DiskUsedGB = 1
+		p.Churn = nil
+		p.Seed = int64(i + 1)
+		m, err := machine.New(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range []string{`C:\Private\diary.txt`, `C:\Shared\docs.txt`} {
+			if err := m.DropFile(f, []byte("user data")); err != nil {
+				return nil, err
+			}
+		}
+		if i == 0 && opts.infect != "" {
+			if err := installGhostware(m, opts.infect); err != nil {
+				return nil, err
+			}
+		}
+		mgr.Add(fmt.Sprintf("host-%03d", i), m)
+	}
+	return mgr, nil
+}
+
+func runFleet(opts fleetOptions) (int, error) {
+	mgr, err := buildCLIFleet(opts)
+	if err != nil {
+		return exitError, err
+	}
+	var rep *fleet.Report
+	switch {
+	case opts.resume:
+		fmt.Fprintf(os.Stderr, "resuming journaled sweep from %s...\n", opts.journal)
+		rep, err = mgr.Resume(fleet.SweepInside, opts.workers, opts.journal)
+	case opts.journal != "":
+		fmt.Fprintf(os.Stderr, "sweeping %d hosts (journal: %s)...\n", opts.hosts, opts.journal)
+		rep, err = mgr.SweepJournaled(fleet.SweepInside, opts.workers, opts.journal)
+	default:
+		// Unjournaled sweeps reuse the durable path against a throwaway
+		// journal in the OS temp dir, so every fleet run is sealed.
+		tmp, terr := os.CreateTemp("", "ghostbuster-sweep-*.gbj")
+		if terr != nil {
+			return exitError, terr
+		}
+		tmp.Close()
+		defer os.Remove(tmp.Name())
+		fmt.Fprintf(os.Stderr, "sweeping %d hosts...\n", opts.hosts)
+		rep, err = mgr.SweepJournaled(fleet.SweepInside, opts.workers, tmp.Name())
+	}
+	if err != nil {
+		return exitError, err
+	}
+
+	infected := len(rep.Infected()) > 0
+	if opts.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return exitError, err
+		}
+		return verdictCode(infected, rep.Degraded(), rep.Aborted), nil
+	}
+	for _, hr := range rep.Results {
+		status := "clean"
+		switch {
+		case hr.Quarantined:
+			status = "QUARANTINED"
+		case hr.Err != "":
+			status = "error: " + hr.Err
+		case hr.Infected:
+			status = fmt.Sprintf("INFECTED (%d hidden)", hr.Hidden)
+		case hr.Degraded > 0:
+			status = fmt.Sprintf("degraded (%d units lost)", hr.Degraded)
+		}
+		replayed := ""
+		for _, h := range rep.Replayed {
+			if h == hr.Host {
+				replayed = "  [replayed from journal]"
+			}
+		}
+		fmt.Printf("  %-10s %-28s %s%s\n", hr.Host, status, vtime.String(hr.Elapsed), replayed)
+	}
+	if rep.Aborted {
+		fmt.Printf("\nSWEEP ABORTED: %s (unscanned: %s)\n", rep.AbortReason, strings.Join(rep.NotScanned, ", "))
+	}
+	fmt.Printf("report digest: %s\n", rep.Digest)
+	printVerdict(infected, rep.Degraded(), rep.Aborted)
+	return verdictCode(infected, rep.Degraded(), rep.Aborted), nil
+}
+
+// runVerifyReport checks a saved fleet report's tamper-evidence chain:
+// fleet digest, per-host result hashes, per-report digests.
+func runVerifyReport(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return exitError, err
+	}
+	var rep fleet.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return exitError, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if err := rep.Verify(); err != nil {
+		return exitError, fmt.Errorf("%s FAILS verification: %w", path, err)
+	}
+	fmt.Printf("%s verifies: %d hosts, digest %s\n", path, len(rep.Results), rep.Digest)
+	return exitClean, nil
+}
+
+func verdictCode(infected, degraded, aborted bool) int {
+	switch {
+	case aborted:
+		return exitAborted
+	case infected:
+		return exitFindings
+	case degraded:
+		return exitDegraded
+	default:
+		return exitClean
+	}
+}
+
+func printVerdict(infected, degraded, aborted bool) {
+	switch {
+	case aborted && infected:
+		fmt.Println("\nVERDICT: INFECTED (sweep aborted early — findings are a lower bound)")
+	case aborted:
+		fmt.Println("\nVERDICT: sweep aborted before completion — no verdict for unscanned hosts")
+	case infected:
+		fmt.Println("\nVERDICT: machine is INFECTED with resource-hiding software")
+	case degraded:
+		fmt.Println("\nVERDICT: no hidden resources detected, but the scan was degraded — absence of findings is not proof of absence")
+	default:
+		fmt.Println("\nVERDICT: no hidden resources detected")
+	}
 }
 
 func hideSummary(g ghostware.Ghostware) string {

@@ -1,29 +1,130 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ghostbuster/internal/fleet"
+)
 
 func TestListGhostware(t *testing.T) {
-	if err := run([]string{"-list-ghostware"}); err != nil {
-		t.Fatal(err)
+	if code, err := run([]string{"-list-ghostware"}); err != nil || code != exitClean {
+		t.Fatalf("code %d, err %v", code, err)
 	}
 }
 
 func TestCleanMachineScan(t *testing.T) {
-	// A clean machine never reaches the infected os.Exit path.
-	if err := run([]string{"-scan", "procs"}); err != nil {
+	if code, err := run([]string{"-scan", "procs"}); err != nil || code != exitClean {
+		t.Fatalf("clean machine: code %d, err %v", code, err)
+	}
+}
+
+func TestInfectedExitCode(t *testing.T) {
+	code, err := run([]string{"-infect", "FU", "-scan", "procs", "-advanced"})
+	if err != nil {
 		t.Fatal(err)
+	}
+	if code != exitFindings {
+		t.Fatalf("infected machine exit = %d, want %d", code, exitFindings)
 	}
 }
 
 func TestUnknownGhostwareErrors(t *testing.T) {
-	if err := run([]string{"-infect", "NotARootkit"}); err == nil {
+	if _, err := run([]string{"-infect", "NotARootkit"}); err == nil {
 		t.Fatal("unknown ghostware should error")
 	}
 }
 
 func TestUnknownScanKindErrors(t *testing.T) {
-	if err := run([]string{"-scan", "bogus"}); err == nil {
+	if _, err := run([]string{"-scan", "bogus"}); err == nil {
 		t.Fatal("unknown scan kind should error")
+	}
+}
+
+func TestResumeRequiresJournal(t *testing.T) {
+	if _, err := run([]string{"-fleet", "2", "-resume"}); err == nil {
+		t.Fatal("-resume without -journal should error")
+	}
+}
+
+// TestFleetSweepExitCodes: the documented contract — findings beat
+// degradation, clean fleet is 0 — through the real CLI path.
+func TestFleetSweepExitCodes(t *testing.T) {
+	code, err := run([]string{"-fleet", "2"})
+	if err != nil || code != exitClean {
+		t.Fatalf("clean fleet: code %d, err %v", code, err)
+	}
+	code, err = run([]string{"-fleet", "2", "-infect", "Hacker Defender 1.0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitFindings {
+		t.Fatalf("infected fleet exit = %d, want %d", code, exitFindings)
+	}
+}
+
+// TestFleetJournalAndResume: a journaled sweep leaves a resumable
+// journal; re-running with -resume replays it without error and agrees
+// on the verdict.
+func TestFleetJournalAndResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.gbj")
+	code, err := run([]string{"-fleet", "3", "-journal", path, "-infect", "Hacker Defender 1.0"})
+	if err != nil || code != exitFindings {
+		t.Fatalf("journaled sweep: code %d, err %v", code, err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("journal not written: %v", err)
+	}
+	// Resuming a completed sweep replays every host and re-reports.
+	code, err = run([]string{"-fleet", "3", "-journal", path, "-resume", "-infect", "Hacker Defender 1.0"})
+	if err != nil || code != exitFindings {
+		t.Fatalf("resume: code %d, err %v", code, err)
+	}
+}
+
+func TestVerifyReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "sweep.gbj")
+	report := filepath.Join(dir, "report.json")
+
+	// Capture the JSON report by swapping stdout for a file.
+	old := os.Stdout
+	f, err := os.Create(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = f
+	code, err := run([]string{"-fleet", "2", "-journal", journal, "-json"})
+	os.Stdout = old
+	f.Close()
+	if err != nil || code != exitClean {
+		t.Fatalf("json sweep: code %d, err %v", code, err)
+	}
+
+	if code, err := run([]string{"-verify-report", report}); err != nil || code != exitClean {
+		t.Fatalf("untouched report: code %d, err %v", code, err)
+	}
+	// Rewriting a verdict in the saved report must fail verification.
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep fleet.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	rep.Results[0].Infected = true
+	tampered, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(report, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run([]string{"-verify-report", report}); err == nil {
+		t.Fatal("tampered report verified")
 	}
 }
 

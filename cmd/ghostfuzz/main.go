@@ -13,6 +13,7 @@
 //	ghostfuzz -replay @testdata/ghostfuzz/corpus/1a2b3c4d.spec
 //	ghostfuzz -corpus testdata/ghostfuzz/corpus -n 500   # record shrunk repros
 //	ghostfuzz -fleet 16 -lanes 4              # fuzz across a fleet sweep
+//	ghostfuzz -crashed 5                      # kill/resume journaled sweeps
 package main
 
 import (
@@ -42,6 +43,7 @@ func run(args []string, out *os.File) error {
 	replay := fs.String("replay", "", "replay one spec line (or @file containing one) instead of generating")
 	corpus := fs.String("corpus", "", "directory to write shrunk failure specs into")
 	fleetN := fs.Int("fleet", 0, "fuzz across a fleet sweep with this many hosts instead of single cases")
+	crashed := fs.Int("crashed", 0, "crash mode: kill this many seeded journaled sweeps at varied offsets and check each resume against the uninterrupted run")
 	lanes := fs.Int("lanes", 1, "per-host scan lanes in fleet mode")
 	workers := fs.Int("workers", 4, "fleet scheduler worker pool size")
 	if err := fs.Parse(args); err != nil {
@@ -68,6 +70,26 @@ func run(args []string, out *os.File) error {
 			return err
 		}
 		if len(violations) > 0 {
+			os.Exit(2)
+		}
+		return nil
+	}
+
+	if *crashed > 0 {
+		var summaries []*ghostfuzz.CrashSummary
+		violations := 0
+		for i := 0; i < *crashed; i++ {
+			s, err := ghostfuzz.RunCrashResume(ghostfuzz.CaseSeed(*seed, i))
+			if err != nil {
+				return err
+			}
+			summaries = append(summaries, s)
+			violations += len(s.Violations)
+		}
+		if err := enc.Encode(summaries); err != nil {
+			return err
+		}
+		if violations > 0 {
 			os.Exit(2)
 		}
 		return nil

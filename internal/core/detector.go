@@ -124,7 +124,7 @@ func (d *Detector) ScanFiles() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Diff(high, low, d.Opts)
+	return SealedDiff(high, low, d.Opts)
 }
 
 // ScanASEPs runs the inside-the-box hidden-Registry detection (§3).
@@ -141,7 +141,7 @@ func (d *Detector) ScanASEPs() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Diff(high, low, d.Opts)
+	return SealedDiff(high, low, d.Opts)
 }
 
 // ScanProcesses runs the inside-the-box hidden-process detection (§4).
@@ -158,7 +158,7 @@ func (d *Detector) ScanProcesses() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Diff(high, low, d.Opts)
+	return SealedDiff(high, low, d.Opts)
 }
 
 // ScanModules runs the inside-the-box hidden-module detection (§4). The
@@ -181,7 +181,7 @@ func (d *Detector) ScanModules() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Diff(high, low, d.Opts)
+	return SealedDiff(high, low, d.Opts)
 }
 
 // ScanAll runs all four detections and returns the reports in the
@@ -435,6 +435,10 @@ func (d *Detector) assemble(snaps [numScanUnits]*Snapshot, errs [numScanUnits]er
 				Compared: comparedViews(high, low),
 			})
 		}
+		// Stub reports never went through Diff, and the demotion above
+		// rewrites findings after sealing — re-seal so every report the
+		// detector emits carries a digest matching its final content.
+		r.Seal()
 		if d.OnReport != nil {
 			d.OnReport(r)
 		}

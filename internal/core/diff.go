@@ -62,6 +62,18 @@ func Diff(high, low *Snapshot, opts DiffOptions) (*Report, error) {
 	return r, nil
 }
 
+// SealedDiff is Diff plus a digest seal — the form every emission path
+// (detector scan methods, outside-the-box checks) uses. Diff itself
+// stays allocation-lean for callers that diff snapshots in a loop.
+func SealedDiff(high, low *Snapshot, opts DiffOptions) (*Report, error) {
+	r, err := Diff(high, low, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.Seal()
+	return r, nil
+}
+
 func sortFindings(fs []Finding) {
 	if len(fs) < 2 {
 		return // skip the sort.Slice closure allocation for the common clean case

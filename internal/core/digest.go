@@ -1,0 +1,48 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// ComputeDigest returns the report's canonical-serialization digest:
+// SHA-256 over the report's JSON form with Elapsed and Digest zeroed,
+// hex-encoded. Virtual scan time is excluded deliberately — a warm
+// cache or a resumed sweep legitimately changes how long a scan took,
+// never what it found — so two scans that agree on every finding,
+// skipped count, and degraded unit share a digest, and any tampering
+// with the findings after the fact changes it.
+func (r *Report) ComputeDigest() string {
+	cp := *r
+	cp.Elapsed = 0
+	cp.Digest = ""
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		// Report marshaling cannot fail (plain structs and slices); a
+		// failure here means the type itself broke.
+		panic(fmt.Sprintf("core: report digest marshal: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Seal stamps the report with its canonical digest. Every report the
+// diff engine emits is sealed; consumers that mutate a report must
+// re-seal it or the digest check will, correctly, fail.
+func (r *Report) Seal() { r.Digest = r.ComputeDigest() }
+
+// VerifyDigest recomputes the canonical digest and checks it against
+// the sealed one. An unsealed report fails: absence of evidence is not
+// integrity.
+func (r *Report) VerifyDigest() error {
+	if r.Digest == "" {
+		return fmt.Errorf("core: %v report %s vs %s is unsealed (no digest)", r.Kind, r.HighView, r.LowView)
+	}
+	if got := r.ComputeDigest(); got != r.Digest {
+		return fmt.Errorf("core: %v report %s vs %s fails digest verification: sealed %s, content hashes %s — report altered after sealing",
+			r.Kind, r.HighView, r.LowView, r.Digest[:12], got[:12])
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Kind: KindFiles, HighView: ViewWin32Inside, LowView: ViewRawMFT,
+		Hidden:  []Finding{{Kind: KindFiles, ID: `C:\GHOST.EXE`, Display: `C:\ghost.exe`}},
+		Elapsed: 3 * time.Second,
+	}
+}
+
+func TestDigestSealAndVerify(t *testing.T) {
+	r := sampleReport()
+	if err := r.VerifyDigest(); err == nil {
+		t.Error("unsealed report verified")
+	}
+	r.Seal()
+	if r.Digest == "" {
+		t.Fatal("Seal left no digest")
+	}
+	if err := r.VerifyDigest(); err != nil {
+		t.Errorf("sealed report fails verification: %v", err)
+	}
+}
+
+// TestDigestExcludesElapsed: virtual scan time is timing, not content —
+// a warm-cache rescan that found the same things must share the digest.
+func TestDigestExcludesElapsed(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	b.Elapsed = 17 * time.Minute
+	a.Seal()
+	b.Seal()
+	if a.Digest != b.Digest {
+		t.Error("digest depends on Elapsed")
+	}
+}
+
+// TestDigestDetectsTamper: every content field must be covered.
+func TestDigestDetectsTamper(t *testing.T) {
+	tamper := map[string]func(*Report){
+		"drop finding":     func(r *Report) { r.Hidden = nil },
+		"rename finding":   func(r *Report) { r.Hidden[0].ID = `C:\INNOCENT.EXE` },
+		"add phantom":      func(r *Report) { r.Phantom = append(r.Phantom, Finding{ID: "X"}) },
+		"hide degradation": func(r *Report) { r.HighSkipped = 0 },
+		"drop unit loss":   func(r *Report) { r.DegradedUnits = nil },
+		"flip kind":        func(r *Report) { r.Kind = KindModules },
+	}
+	for name, mutate := range tamper {
+		r := sampleReport()
+		r.HighSkipped = 2
+		r.DegradedUnits = []DegradedUnit{{Unit: "files/low", Fault: "torn"}}
+		r.Seal()
+		mutate(r)
+		if err := r.VerifyDigest(); err == nil {
+			t.Errorf("%s: tampered report still verifies", name)
+		}
+	}
+}
+
+// TestScanReportsAreSealed: every report the detector emits — clean,
+// degraded stub, or demoted — carries a verifying digest.
+func TestScanReportsAreSealed(t *testing.T) {
+	m := mustMachine(t)
+	d := NewDetector(m)
+	d.Advanced = true
+	reports, err := d.ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if err := r.VerifyDigest(); err != nil {
+			t.Errorf("scan report not sealed: %v", err)
+		}
+	}
+	// Degraded stubs (deadline abandons every unit) are sealed too.
+	d2 := NewDetector(m)
+	d2.Contain = true
+	d2.Deadline = time.Nanosecond
+	reports, err = d2.ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if !r.Degraded() {
+			t.Fatalf("1ns deadline did not degrade %v", r.Kind)
+		}
+		if err := r.VerifyDigest(); err != nil {
+			t.Errorf("degraded stub not sealed: %v", err)
+		}
+	}
+}
+
+func TestVerifyDigestErrorNamesReport(t *testing.T) {
+	r := sampleReport()
+	r.Seal()
+	r.Hidden = nil
+	err := r.VerifyDigest()
+	if err == nil || !strings.Contains(err.Error(), "files") || !strings.Contains(err.Error(), "altered") {
+		t.Errorf("tamper error uninformative: %v", err)
+	}
+}

@@ -62,7 +62,7 @@ func (d *Detector) ScanDrivers() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Diff(high, low, d.Opts)
+	return SealedDiff(high, low, d.Opts)
 }
 
 // DeletedFile is one stale MFT record recovered forensically.

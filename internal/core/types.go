@@ -141,6 +141,11 @@ type Report struct {
 	// findings the surviving views support; absence-of-findings claims
 	// are not trustworthy for the degraded views.
 	DegradedUnits []DegradedUnit `json:"degradedUnits,omitempty"`
+	// Digest is the canonical-serialization digest sealing the report's
+	// content (everything above except Elapsed; see ComputeDigest). A
+	// report whose digest no longer verifies was altered after the scan
+	// — the tamper-evidence the operator-facing tools check end-to-end.
+	Digest string `json:"digest,omitempty"`
 }
 
 // DegradedUnit records one scan unit lost to a fault under containment.

@@ -32,7 +32,7 @@ func OutsideProcessCheck(m *machine.Machine, advanced bool) (*core.Report, error
 	if err != nil {
 		return nil, err
 	}
-	return core.Diff(high, low, core.DiffOptions{})
+	return core.SealedDiff(high, low, core.DiffOptions{})
 }
 
 // OutsideModuleCheck runs the outside-the-box hidden-module detection:
@@ -68,7 +68,7 @@ func OutsideModuleCheck(m *machine.Machine) (*core.Report, error) {
 			core.AddModuleEntry(low, p.Pid, mod.Path, mod.Base)
 		}
 	}
-	return core.Diff(high, low, core.DiffOptions{})
+	return core.SealedDiff(high, low, core.DiffOptions{})
 }
 
 // DumpSummary renders a short description of a dump's contents for

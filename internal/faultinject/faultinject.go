@@ -191,6 +191,13 @@ func (p Plan) Sources() []Source {
 	return out
 }
 
+// Mix is the seeded offset mixer shared by every fault seam: a
+// splitmix64 finalizer over a plan seed and a set of discriminators.
+// All injector offset choices flow through it, and external fault
+// seams (the sweep journal's torn/flip corruption) reuse it so their
+// "which byte breaks" decisions are deterministic the same way.
+func Mix(seed int64, vals ...uint64) uint64 { return mix(seed, vals...) }
+
 // mix is a splitmix64 finalizer over the plan seed and a set of
 // discriminators; all injector offset choices flow through it.
 func mix(seed int64, vals ...uint64) uint64 {

@@ -57,6 +57,14 @@ type HostResult struct {
 	// cost is not double-charged in benchmark aggregates; the total
 	// virtual cost of the host is Elapsed + RetryNs.
 	RetryNs time.Duration `json:"retryNs,omitempty"`
+	// Quarantined marks a host whose per-host circuit breaker opened:
+	// too many consecutive failed attempts (across resumes), so the
+	// sweep stopped burning retry budget on it. See Report.Quarantined.
+	Quarantined bool `json:"quarantined,omitempty"`
+	// Hash is the content hash of this result (see ResultHash), set by
+	// journaled sweeps; it excludes timing and attempt accounting, so a
+	// replayed result hashes identically to the run that committed it.
+	Hash string `json:"hash,omitempty"`
 }
 
 // SweepKind selects which detection flow a sweep runs on every host.
@@ -89,10 +97,34 @@ type Manager struct {
 	// HostDeadline bounds each inside scan attempt in virtual time
 	// (core.Detector Deadline); zero means no deadline.
 	HostDeadline time.Duration
+	// BreakerThreshold opens a per-host circuit breaker after this many
+	// consecutive hard-failed attempts (counted across resumes of a
+	// journaled sweep): the host is quarantined instead of retried
+	// forever. Zero disables the breaker.
+	BreakerThreshold int
+	// AbortAfterFailureFraction stops a sweep loudly once more than
+	// this fraction of the fleet has failed or been quarantined — a
+	// failure rate that high means the run itself is compromised, not
+	// the hosts. Zero disables the error budget. Only journaled sweeps
+	// (SweepJournaled/Resume) enforce it.
+	AbortAfterFailureFraction float64
 }
 
 // defaultRetryBackoff is the initial retry wait when RetryBackoff is 0.
 const defaultRetryBackoff = 2 * time.Second
+
+// maxRetryBackoff caps the doubling retry backoff. Without the cap a
+// large MaxRetries overflows time.Duration (2s doubled 62 times goes
+// negative) and Clock.Advance would walk the virtual clock backwards.
+const maxRetryBackoff = 5 * time.Minute
+
+// nextBackoff doubles the retry wait, saturating at maxRetryBackoff.
+func nextBackoff(cur time.Duration) time.Duration {
+	if cur >= maxRetryBackoff/2 {
+		return maxRetryBackoff
+	}
+	return cur * 2
+}
 
 // NewManager returns an empty fleet.
 func NewManager() *Manager { return &Manager{} }
@@ -189,14 +221,40 @@ func (h *Host) scanOnce(kind SweepKind, hostParallelism int, deadline time.Durat
 // vtime burned by abandoned attempts and backoff waits accumulates in
 // RetryNs so Elapsed never double-charges a host.
 func (mgr *Manager) runHost(h *Host, kind SweepKind) HostResult {
+	return mgr.runHostFrom(h, kind, 0, 0, nil)
+}
+
+// runHostFrom is runHost continuing from journaled history: attempt
+// numbering starts after priorAttempts and the circuit breaker counts
+// priorFailed dangling attempts from before the crash. onAttempt, when
+// set, commits each attempt start to the journal before it runs.
+func (mgr *Manager) runHostFrom(h *Host, kind SweepKind, priorAttempts, priorFailed int, onAttempt func(attempt int)) HostResult {
 	backoff := mgr.RetryBackoff
 	if backoff <= 0 {
 		backoff = defaultRetryBackoff
 	}
+	if backoff > maxRetryBackoff {
+		backoff = maxRetryBackoff
+	}
 	var retryNs time.Duration
-	for attempt := 1; ; attempt++ {
+	consecFailed := priorFailed
+	for local := 1; ; local++ {
+		attempt := priorAttempts + local
+		if onAttempt != nil {
+			onAttempt(attempt)
+		}
 		res := h.scanOnce(kind, mgr.HostParallelism, mgr.HostDeadline)
-		if (res.Err == "" && res.Degraded == 0) || attempt > mgr.MaxRetries {
+		if res.Err != "" {
+			consecFailed++
+		} else {
+			consecFailed = 0
+		}
+		done := (res.Err == "" && res.Degraded == 0) || local > mgr.MaxRetries
+		if mgr.BreakerThreshold > 0 && consecFailed >= mgr.BreakerThreshold {
+			res.Quarantined = true
+			done = true
+		}
+		if done {
 			if attempt > 1 {
 				res.Attempts = attempt
 				res.RetryNs = retryNs
@@ -205,7 +263,7 @@ func (mgr *Manager) runHost(h *Host, kind SweepKind) HostResult {
 		}
 		retryNs += res.Elapsed + backoff
 		h.M.Clock.Advance(backoff)
-		backoff *= 2
+		backoff = nextBackoff(backoff)
 	}
 }
 
@@ -223,11 +281,24 @@ type indexedResult struct {
 // host scan is captured as that host's error instead of tearing down the
 // whole sweep.
 func (mgr *Manager) schedule(workers int, scan func(*Host) HostResult) <-chan indexedResult {
+	indices := make([]int, len(mgr.hosts))
+	for i := range indices {
+		indices[i] = i
+	}
+	return mgr.scheduleHosts(workers, indices, nil, scan)
+}
+
+// scheduleHosts is the scheduler core: it fans scan over the given
+// host indices only, and stops issuing new hosts once stop is closed
+// (in-flight scans still complete and report). Journaled sweeps use
+// the subset form to skip hosts already committed in the journal, and
+// stop to enforce the fleet error budget.
+func (mgr *Manager) scheduleHosts(workers int, indices []int, stop <-chan struct{}, scan func(*Host) HostResult) <-chan indexedResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(mgr.hosts) {
-		workers = len(mgr.hosts)
+	if workers > len(indices) {
+		workers = len(indices)
 	}
 	jobs := make(chan int)
 	out := make(chan indexedResult)
@@ -242,10 +313,14 @@ func (mgr *Manager) schedule(workers int, scan func(*Host) HostResult) <-chan in
 		}()
 	}
 	go func() {
-		for i := range mgr.hosts {
-			jobs <- i
+		defer close(jobs)
+		for _, i := range indices {
+			select {
+			case jobs <- i:
+			case <-stop:
+				return
+			}
 		}
-		close(jobs)
 	}()
 	go func() {
 		wg.Wait()

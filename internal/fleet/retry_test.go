@@ -168,3 +168,54 @@ func TestRetriedSweepStillDetects(t *testing.T) {
 		t.Fatalf("infected = %v, want exactly %s", s.Infected, hostName(1))
 	}
 }
+
+// TestRetryNsDeadlineOnFinalAttempt: when the host deadline degrades
+// every attempt and the final permitted attempt still stands, the
+// abandoned attempts' cost lands in RetryNs and the conservation
+// invariant (clock delta = Elapsed + RetryNs) holds exactly.
+func TestRetryNsDeadlineOnFinalAttempt(t *testing.T) {
+	mgr := buildFleet(t, 1, nil)
+	mgr.MaxRetries = 1
+	mgr.RetryBackoff = time.Second
+	mgr.HostDeadline = time.Nanosecond
+	m := mgrHost(t, mgr, hostName(0))
+	clockStart := m.Clock.Now()
+
+	r := mgr.InsideSweep()[0]
+	if r.Err != "" {
+		t.Fatalf("deadline surfaced as host error: %q", r.Err)
+	}
+	if r.Degraded == 0 {
+		t.Fatal("1ns deadline degraded nothing on the final attempt")
+	}
+	if r.Attempts != 2 {
+		t.Errorf("attempts = %d, want MaxRetries+1 = 2", r.Attempts)
+	}
+	// RetryNs covers the abandoned first attempt plus the 1s backoff.
+	if r.RetryNs < time.Second {
+		t.Errorf("retryNs = %v, want >= the 1s backoff", r.RetryNs)
+	}
+	if total := m.Clock.Now() - clockStart; total != r.Elapsed+r.RetryNs {
+		t.Errorf("clock advanced %v, Elapsed %v + RetryNs %v = %v",
+			total, r.Elapsed, r.RetryNs, r.Elapsed+r.RetryNs)
+	}
+}
+
+// TestBackoffCapSaturates: doubling stops at maxRetryBackoff, so a
+// huge MaxRetries cannot overflow time.Duration into a negative wait.
+func TestBackoffCapSaturates(t *testing.T) {
+	b := defaultRetryBackoff
+	for i := 0; i < 200; i++ { // far past where naive doubling overflows int64
+		b = nextBackoff(b)
+		if b <= 0 || b > maxRetryBackoff {
+			t.Fatalf("backoff escaped [0, %v] after %d doublings: %v", maxRetryBackoff, i+1, b)
+		}
+	}
+	if b != maxRetryBackoff {
+		t.Errorf("backoff saturated at %v, want %v", b, maxRetryBackoff)
+	}
+	// A configured backoff above the cap is clamped, not honored.
+	if got := nextBackoff(48 * time.Hour); got != maxRetryBackoff {
+		t.Errorf("nextBackoff(48h) = %v, want cap %v", got, maxRetryBackoff)
+	}
+}

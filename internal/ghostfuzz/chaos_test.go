@@ -122,3 +122,31 @@ func TestEmptyFaultPlanByteIdentity(t *testing.T) {
 		t.Errorf("armed never-firing plan changed report bytes: %s", firstDiff(base, got))
 	}
 }
+
+// TestChaosCrashResume is the durability property suite: for each seed,
+// a journaled fleet sweep is killed at several offsets (scheduled-only,
+// mid-sweep, last record, torn tail) and its journal damaged (bit
+// flip), then resumed on a freshly rebuilt fleet. Every resume must
+// reproduce the uninterrupted run's verdicts, hashes, and fleet digest,
+// never re-scan a committed host, and refuse damaged journals loudly.
+func TestChaosCrashResume(t *testing.T) {
+	seeds := 5
+	if testing.Short() {
+		seeds = 1
+	}
+	variants := 0
+	for i := 0; i < seeds; i++ {
+		seed := CaseSeed(77, i)
+		s, err := RunCrashResume(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		variants += s.Variants
+		for _, v := range s.Violations {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+	}
+	if !testing.Short() && variants < 20 {
+		t.Errorf("crash suite ran %d variants, want >= 20", variants)
+	}
+}

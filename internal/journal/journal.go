@@ -1,0 +1,408 @@
+// Package journal implements the durable sweep journal: an append-only,
+// checksummed, crash-safe record of one fleet sweep's host state
+// transitions. A sweep that is killed or wedged mid-run loses only its
+// in-flight hosts; every committed terminal record survives, so a
+// resumed sweep replays the journal instead of re-paying the whole
+// fleet cost.
+//
+// The on-disk format is one framed record per line:
+//
+//	gbj1 <crc32c:8hex> <len> <payload-json>\n
+//
+// where the CRC and declared length cover the payload bytes. Recovery
+// on open distinguishes the two corruption classes a hostile or crashed
+// environment produces:
+//
+//   - A torn tail — trailing bytes after the last record terminator,
+//     the half-written record of an append cut short by a crash — is
+//     recovered by truncating to the last valid record. The dropped
+//     byte count is reported, never hidden.
+//   - Interior corruption — a complete record whose CRC, frame, or
+//     sequence number is wrong (a flipped bit, a spliced or deleted
+//     line) — is loud: Open fails. A journal whose committed history
+//     cannot be trusted must not silently seed a resumed sweep.
+//
+// Records carry a content hash of the serialized host result
+// (Record.ResultHash over Record.Result), so a resumed sweep verifies
+// that the results it replays are the results that were committed —
+// the journal is tamper-evident end-to-end, not just torn-tolerant.
+package journal
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strconv"
+	"sync"
+
+	"ghostbuster/internal/faultinject"
+)
+
+// magic prefixes every record line; the trailing 1 is the format
+// version.
+const magic = "gbj1"
+
+// State is a host's position in the sweep lifecycle. A host moves
+// scheduled -> running (once per attempt) -> one terminal state.
+type State string
+
+const (
+	// StateSweep is the header record: sweep kind and enrolled hosts.
+	StateSweep State = "sweep"
+	// StateScheduled commits that the sweep intends to scan the host.
+	StateScheduled State = "scheduled"
+	// StateRunning commits that attempt N on the host has started. A
+	// running record with no later terminal record marks an in-flight
+	// host the crash interrupted — it is re-run on resume, and the
+	// dangling attempt counts as failed for the circuit breaker.
+	StateRunning State = "running"
+	// StateDone is the clean terminal state.
+	StateDone State = "done"
+	// StateDegraded is terminal: the scan stood, but with degraded
+	// units (see core.Report.DegradedUnits).
+	StateDegraded State = "degraded"
+	// StateFailed is terminal: the final permitted attempt errored.
+	StateFailed State = "failed"
+	// StateQuarantined is terminal: the per-host circuit breaker
+	// opened after too many consecutive failed attempts.
+	StateQuarantined State = "quarantined"
+	// StateAborted is a sweep-level event: the fleet error budget was
+	// exceeded and the sweep stopped itself loudly.
+	StateAborted State = "aborted"
+)
+
+// Terminal reports whether the state commits a host's final outcome.
+// A resumed sweep skips hosts with a terminal record and re-runs the
+// rest.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateDegraded, StateFailed, StateQuarantined:
+		return true
+	}
+	return false
+}
+
+// Record is one journal entry. The header record (StateSweep) carries
+// Kind and Hosts; per-host records carry Host and, for terminal
+// states, the serialized result with its content hash and the
+// virtual-time charges.
+type Record struct {
+	Seq   int    `json:"seq"`
+	State State  `json:"state"`
+	Host  string `json:"host,omitempty"`
+	// Kind and Hosts describe the sweep (header record only).
+	Kind  string   `json:"kind,omitempty"`
+	Hosts []string `json:"hosts,omitempty"`
+	// Attempt is the cumulative attempt number (across resumes) for
+	// running and terminal records.
+	Attempt int `json:"attempt,omitempty"`
+	// ElapsedNs and RetryNs are the virtual-time charges committed with
+	// a terminal record, kept exact across the crash boundary.
+	ElapsedNs int64 `json:"elapsedNs,omitempty"`
+	RetryNs   int64 `json:"retryNs,omitempty"`
+	// ResultHash is the content hash of Result (see Hash); a resumed
+	// sweep re-verifies it before trusting the replayed result.
+	ResultHash string `json:"resultHash,omitempty"`
+	// Result is the serialized fleet.HostResult of a terminal record.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Reason annotates aborted and quarantined records.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Recovery describes what Open found while replaying the journal.
+type Recovery struct {
+	// Records is the committed history, in append order.
+	Records []Record
+	// DroppedBytes is the size of the torn tail truncated on open;
+	// zero means the journal ended exactly on a record boundary.
+	DroppedBytes int
+}
+
+// Journal is an open, appendable sweep journal. Appends are safe for
+// concurrent use by the sweep's worker pool.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	seq    int
+	closed bool
+}
+
+// Create starts a fresh journal at path, truncating any previous one.
+func Create(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: create: %w", err)
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Open replays an existing journal, recovers a torn tail by truncating
+// to the last valid record, and returns the journal positioned for
+// further appends. Interior corruption (a committed record that fails
+// its checksum or frame) is a loud error: no Journal is returned.
+func Open(path string) (*Journal, *Recovery, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: open: %w", err)
+	}
+	recs, dropped, err := parse(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if dropped > 0 {
+		if err := os.Truncate(path, int64(len(data)-dropped)); err != nil {
+			return nil, nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: reopen: %w", err)
+	}
+	return &Journal{f: f, path: path, seq: len(recs)}, &Recovery{Records: recs, DroppedBytes: dropped}, nil
+}
+
+// Read replays a journal without opening it for appends: the committed
+// records, the torn-tail byte count, and any interior-corruption error.
+func Read(path string) ([]Record, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: read: %w", err)
+	}
+	return parse(data)
+}
+
+// Append assigns the record its sequence number, frames and checksums
+// it, and writes it. Terminal and sweep-level records are synced to
+// stable storage before Append returns — a committed outcome must
+// survive the very crash the journal exists for.
+func (j *Journal) Append(rec Record) (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, fmt.Errorf("journal: append to closed journal %s", j.path)
+	}
+	rec.Seq = j.seq
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("journal: marshal record %d: %w", rec.Seq, err)
+	}
+	line := fmt.Sprintf("%s %08x %d %s\n", magic, crc32.ChecksumIEEE(payload), len(payload), payload)
+	if _, err := j.f.WriteString(line); err != nil {
+		return 0, fmt.Errorf("journal: append record %d: %w", rec.Seq, err)
+	}
+	if rec.State.Terminal() || rec.State == StateSweep || rec.State == StateAborted {
+		if err := j.f.Sync(); err != nil {
+			return 0, fmt.Errorf("journal: sync record %d: %w", rec.Seq, err)
+		}
+	}
+	j.seq++
+	return rec.Seq, nil
+}
+
+// Seq returns the next sequence number (= records committed so far).
+func (j *Journal) Seq() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return fmt.Errorf("journal: sync on close: %w", err)
+	}
+	return j.f.Close()
+}
+
+// parse validates the framed records in data. It returns the committed
+// records and the byte count of a torn tail (trailing bytes after the
+// last record terminator). Any complete record that fails validation
+// is interior corruption and errors loudly.
+func parse(data []byte) ([]Record, int, error) {
+	var recs []Record
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// Torn tail: an append cut short mid-record. Everything
+			// before it is intact; the fragment is recoverable loss.
+			return recs, len(data) - off, nil
+		}
+		rec, err := parseLine(data[off : off+nl])
+		if err != nil {
+			return nil, 0, fmt.Errorf("journal: record %d (byte offset %d): %w", len(recs), off, err)
+		}
+		if rec.Seq != len(recs) {
+			return nil, 0, fmt.Errorf("journal: record %d carries seq %d — journal spliced or records deleted", len(recs), rec.Seq)
+		}
+		recs = append(recs, rec)
+		off += nl + 1
+	}
+	return recs, 0, nil
+}
+
+// parseLine validates one complete record line (without its newline).
+func parseLine(line []byte) (Record, error) {
+	var rec Record
+	fields := bytes.SplitN(line, []byte{' '}, 4)
+	if len(fields) != 4 || string(fields[0]) != magic {
+		return rec, fmt.Errorf("bad frame %q", truncateForErr(line))
+	}
+	wantCRC, err := strconv.ParseUint(string(fields[1]), 16, 32)
+	if err != nil {
+		return rec, fmt.Errorf("bad checksum field: %v", err)
+	}
+	wantLen, err := strconv.Atoi(string(fields[2]))
+	if err != nil {
+		return rec, fmt.Errorf("bad length field: %v", err)
+	}
+	payload := fields[3]
+	if len(payload) != wantLen {
+		return rec, fmt.Errorf("payload is %d bytes, frame declares %d", len(payload), wantLen)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != uint32(wantCRC) {
+		return rec, fmt.Errorf("checksum mismatch: payload hashes %08x, frame declares %08x", got, uint32(wantCRC))
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, fmt.Errorf("payload not valid JSON: %v", err)
+	}
+	return rec, nil
+}
+
+func truncateForErr(b []byte) string {
+	if len(b) > 40 {
+		b = b[:40]
+	}
+	return string(b)
+}
+
+// Hash is the journal's content hash: SHA-256 over the serialized
+// bytes, hex-encoded. Used for Record.ResultHash and the report
+// digests built on top of it.
+func Hash(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Corrupt injects a journal-file fault for crash and tamper testing,
+// reusing the faultinject grammar and its seeded offset mixer so the
+// same seed corrupts the same bytes every run:
+//
+//   - KindTorn truncates the file mid-record (a crash during append);
+//     Open must recover by dropping the torn tail.
+//   - KindFlip flips one bit inside a committed record; Open must fail
+//     loudly (interior corruption is never silently absorbed).
+func Corrupt(path string, kind faultinject.Kind, seed int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("journal: corrupt: %w", err)
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("journal: corrupt: %s is empty", path)
+	}
+	switch kind {
+	case faultinject.KindTorn:
+		// Cut 1..80 bytes off the end, landing mid-record for any
+		// plausible record size.
+		cut := 1 + int(faultinject.Mix(seed, uint64(len(data)))%80)
+		if cut >= len(data) {
+			cut = len(data) - 1
+		}
+		return os.Truncate(path, int64(len(data)-cut))
+	case faultinject.KindFlip:
+		// Flip one bit inside a committed record's payload — the bytes
+		// the CRC covers, so the tamper is always detectable. (A flip in
+		// the frame prefix could land on a semantically equivalent
+		// encoding, e.g. a hex digit's case, and change nothing.)
+		starts := payloadRanges(data)
+		if len(starts) == 0 {
+			return fmt.Errorf("journal: corrupt: %s has no committed records to flip", path)
+		}
+		r := starts[faultinject.Mix(seed, uint64(len(data)))%uint64(len(starts))]
+		pos := r[0] + int(faultinject.Mix(seed, uint64(r[0]), 1)%uint64(r[1]-r[0]))
+		bit := faultinject.Mix(seed, uint64(pos), 2) % 8
+		data[pos] ^= 1 << bit
+		return os.WriteFile(path, data, 0o644)
+	default:
+		return fmt.Errorf("journal: corrupt: unsupported fault kind %q (want torn or flip)", kind)
+	}
+}
+
+// payloadRanges returns the [start, end) byte range of each complete
+// record line's payload (the region after the third frame field).
+func payloadRanges(data []byte) [][2]int {
+	var out [][2]int
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break
+		}
+		line := data[off : off+nl]
+		spaces, start := 0, -1
+		for i, b := range line {
+			if b == ' ' {
+				if spaces++; spaces == 3 {
+					start = i + 1
+					break
+				}
+			}
+		}
+		if start > 0 && start < len(line) {
+			out = append(out, [2]int{off + start, off + nl})
+		}
+		off += nl + 1
+	}
+	return out
+}
+
+// TruncateRecords rewrites the journal at path to keep only its first
+// n records — simulating a sweep killed after the nth append. With
+// torn set, a prefix of record n is left dangling as a half-written
+// tail (the crash landed mid-append). Returns the record count kept.
+func TruncateRecords(path string, n int, torn bool) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("journal: truncate: %w", err)
+	}
+	recs, _, err := parse(data)
+	if err != nil {
+		return 0, err
+	}
+	if n > len(recs) {
+		n = len(recs)
+	}
+	// Walk to the byte offset after record n-1.
+	off := 0
+	for i := 0; i < n; i++ {
+		off += bytes.IndexByte(data[off:], '\n') + 1
+	}
+	keep := data[:off]
+	if torn && n < len(recs) {
+		next := bytes.IndexByte(data[off:], '\n')
+		frag := next / 2
+		if frag < 1 {
+			frag = 1
+		}
+		keep = data[:off+frag]
+	}
+	if err := os.WriteFile(path, keep, 0o644); err != nil {
+		return 0, fmt.Errorf("journal: truncate: %w", err)
+	}
+	return n, nil
+}

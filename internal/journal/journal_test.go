@@ -1,0 +1,287 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ghostbuster/internal/faultinject"
+)
+
+func tmpJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "sweep.gbj")
+}
+
+// writeSample commits a small but representative history: header,
+// schedule, attempts, and terminal records.
+func writeSample(t *testing.T, path string) []Record {
+	t.Helper()
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := json.RawMessage(`{"host":"host-a","infected":false}`)
+	recs := []Record{
+		{State: StateSweep, Kind: "inside", Hosts: []string{"host-a", "host-b"}},
+		{State: StateScheduled, Host: "host-a"},
+		{State: StateScheduled, Host: "host-b"},
+		{State: StateRunning, Host: "host-a", Attempt: 1},
+		{State: StateDone, Host: "host-a", Attempt: 1, ElapsedNs: 42, ResultHash: Hash(result), Result: result},
+		{State: StateRunning, Host: "host-b", Attempt: 1},
+	}
+	for _, r := range recs {
+		if _, err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := tmpJournal(t)
+	want := writeSample(t, path)
+
+	got, dropped, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Errorf("clean journal reported %d dropped bytes", dropped)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, wrote %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if r.Seq != i {
+			t.Errorf("record %d has seq %d", i, r.Seq)
+		}
+		if r.State != want[i].State || r.Host != want[i].Host || r.Attempt != want[i].Attempt {
+			t.Errorf("record %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+	if got[4].ResultHash != Hash(got[4].Result) {
+		t.Error("terminal record's result hash does not verify after replay")
+	}
+}
+
+func TestOpenContinuesSequence(t *testing.T) {
+	path := tmpJournal(t)
+	writeSample(t, path)
+
+	j, rec, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 6 || rec.DroppedBytes != 0 {
+		t.Fatalf("recovery = %d records, %d dropped", len(rec.Records), rec.DroppedBytes)
+	}
+	seq, err := j.Append(Record{State: StateDone, Host: "host-b", Attempt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 6 {
+		t.Errorf("appended seq %d, want 6 (continuing the replayed history)", seq)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Errorf("journal has %d records after resume append, want 7", len(got))
+	}
+}
+
+// TestTornTailRecovered: a crash mid-append leaves a half-written
+// record; Open truncates to the last valid record and reports the loss.
+func TestTornTailRecovered(t *testing.T) {
+	path := tmpJournal(t)
+	writeSample(t, path)
+	if err := Corrupt(path, faultinject.KindTorn, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	j, rec, err := Open(path)
+	if err != nil {
+		t.Fatalf("torn tail must be recoverable: %v", err)
+	}
+	defer j.Close()
+	if rec.DroppedBytes == 0 {
+		t.Error("torn tail recovered with zero dropped bytes")
+	}
+	if len(rec.Records) >= 6 {
+		t.Errorf("torn journal still replays %d of 6 records", len(rec.Records))
+	}
+	// The file itself was repaired: a second open sees a clean journal.
+	if _, dropped, err := Read(path); err != nil || dropped != 0 {
+		t.Errorf("journal not repaired on open: dropped=%d err=%v", dropped, err)
+	}
+	// Appends continue from the recovered sequence.
+	if seq, err := j.Append(Record{State: StateRunning, Host: "host-b", Attempt: 2}); err != nil || seq != len(rec.Records) {
+		t.Errorf("append after recovery: seq=%d err=%v, want seq=%d", seq, err, len(rec.Records))
+	}
+}
+
+// TestBitFlipIsLoud: interior corruption must fail Open — a journal
+// whose committed records cannot be trusted must never silently seed a
+// resume.
+func TestBitFlipIsLoud(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		path := tmpJournal(t)
+		writeSample(t, path)
+		if err := Corrupt(path, faultinject.KindFlip, seed); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Open(path); err == nil {
+			t.Errorf("seed %d: bit-flipped journal opened without error", seed)
+		}
+	}
+}
+
+// TestInteriorTruncationIsLoud: deleting a whole record line breaks the
+// sequence contiguity check.
+func TestInteriorTruncationIsLoud(t *testing.T) {
+	path := tmpJournal(t)
+	writeSample(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	spliced := strings.Join(append(lines[:2], lines[3:]...), "")
+	if err := os.WriteFile(path, []byte(spliced), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path); err == nil || !strings.Contains(err.Error(), "seq") {
+		t.Errorf("spliced journal opened: err=%v, want seq contiguity failure", err)
+	}
+}
+
+func TestEmptyJournalOpens(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, rec, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(rec.Records) != 0 || rec.DroppedBytes != 0 {
+		t.Errorf("empty journal recovery = %+v", rec)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(Record{State: StateScheduled, Host: "x"}); err == nil {
+		t.Error("append after close succeeded")
+	}
+}
+
+func TestTerminalStates(t *testing.T) {
+	for s, want := range map[State]bool{
+		StateSweep: false, StateScheduled: false, StateRunning: false,
+		StateDone: true, StateDegraded: true, StateFailed: true,
+		StateQuarantined: true, StateAborted: false,
+	} {
+		if s.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v, want %v", s, s.Terminal(), want)
+		}
+	}
+}
+
+// TestTruncateRecords simulates the crash matrix's kill points: keep n
+// records, optionally with a torn fragment of the next.
+func TestTruncateRecords(t *testing.T) {
+	for _, tc := range []struct {
+		keep int
+		torn bool
+	}{{0, false}, {3, false}, {5, false}, {3, true}, {0, true}} {
+		path := tmpJournal(t)
+		writeSample(t, path)
+		kept, err := TruncateRecords(path, tc.keep, tc.torn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kept != tc.keep {
+			t.Errorf("keep=%d torn=%v: kept %d", tc.keep, tc.torn, kept)
+		}
+		recs, dropped, err := Read(path)
+		if err != nil {
+			t.Fatalf("keep=%d torn=%v: truncated journal unreadable: %v", tc.keep, tc.torn, err)
+		}
+		if len(recs) != tc.keep {
+			t.Errorf("keep=%d torn=%v: replayed %d records", tc.keep, tc.torn, len(recs))
+		}
+		if tc.torn && dropped == 0 {
+			t.Errorf("keep=%d torn=%v: no torn tail left behind", tc.keep, tc.torn)
+		}
+		if !tc.torn && dropped != 0 {
+			t.Errorf("keep=%d torn=%v: unexpected torn tail of %d bytes", tc.keep, tc.torn, dropped)
+		}
+	}
+}
+
+// TestConcurrentAppends: the sweep's worker pool appends from many
+// goroutines; every record must land exactly once with contiguous
+// sequence numbers.
+func TestConcurrentAppends(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			_, err := j.Append(Record{State: StateRunning, Host: "h", Attempt: i})
+			done <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, dropped, err := Read(path)
+	if err != nil || dropped != 0 {
+		t.Fatalf("replay: dropped=%d err=%v", dropped, err)
+	}
+	if len(recs) != n {
+		t.Fatalf("replayed %d records, appended %d", len(recs), n)
+	}
+	seen := map[int]bool{}
+	for i, r := range recs {
+		if r.Seq != i {
+			t.Errorf("record %d has seq %d", i, r.Seq)
+		}
+		seen[r.Attempt] = true
+	}
+	if len(seen) != n {
+		t.Errorf("%d distinct attempts recorded, want %d", len(seen), n)
+	}
+}

@@ -100,7 +100,7 @@ func OutsideFileCheck(m *machine.Machine, opts core.DiffOptions) (*core.Report, 
 	if opts.NoiseFilters == nil {
 		opts.NoiseFilters = core.StandardNoiseFilters()
 	}
-	report, err := core.Diff(inside, outside, opts)
+	report, err := core.SealedDiff(inside, outside, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +126,7 @@ func OutsideASEPCheck(m *machine.Machine, opts core.DiffOptions) (*core.Report, 
 	if err != nil {
 		return nil, err
 	}
-	report, err := core.Diff(inside, outside, opts)
+	report, err := core.SealedDiff(inside, outside, opts)
 	if err != nil {
 		return nil, err
 	}

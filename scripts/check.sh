@@ -18,8 +18,13 @@ go test -race ./...
 echo "==> chaos suite under -race (fault-injection property tests)"
 go test -race -run 'TestChaos|TestEmptyFaultPlanByteIdentity' ./internal/ghostfuzz/
 
+echo "==> crash-resume matrix under -race (kill at sched/mid/last offsets, torn tail, bit flip)"
+go test -race -run 'TestChaosCrashResume' ./internal/ghostfuzz/
+go test -race -run 'TestResumeReplaysCommittedHosts|TestResumeContinuesAttemptNumbering|TestResumeRejects|TestResumeInteriorCorruptionIsLoud|TestBreaker|TestAbortAfterFailureFraction' ./internal/fleet/
+go test -race -run 'TestTornTailRecovered|TestBitFlipIsLoud|TestInteriorTruncationIsLoud' ./internal/journal/
+
 echo "==> coverage floor (>= 70% on the detection core)"
-go test -cover ./internal/core/ ./internal/ntfs/ ./internal/hive/ ./internal/fleet/ |
+go test -cover ./internal/core/ ./internal/ntfs/ ./internal/hive/ ./internal/fleet/ ./internal/journal/ |
 	awk '
 		/coverage:/ {
 			pct = $5; sub(/%.*/, "", pct)
@@ -34,5 +39,8 @@ go run ./cmd/ghostfuzz -seed 1 -n 50 > /dev/null
 
 echo "==> ghostfuzz chaos smoke (fixed seed, 25 faulted cases)"
 go run ./cmd/ghostfuzz -seed 1 -n 25 -faulted > /dev/null
+
+echo "==> ghostfuzz crash-resume smoke (fixed seed, 2 killed sweeps)"
+go run ./cmd/ghostfuzz -seed 1 -crashed 2 > /dev/null
 
 echo "OK"
