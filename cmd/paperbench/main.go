@@ -34,10 +34,16 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	exp := fs.String("exp", "", "run a single experiment by id (e.g. fig3, scantime, linux)")
 	fig := fs.Int("fig", 0, "run a single figure by number (2-6)")
-	sweepbench := fs.Bool("sweepbench", false, "benchmark cold-vs-warm sweeps and the fleet scheduler, write JSON")
+	sweepbench := fs.Bool("sweepbench", false, "benchmark cold-vs-warm sweeps, the diff engines, and the fleet scheduler, write JSON")
 	out := fs.String("out", "BENCH_sweep.json", "output path for -sweepbench")
 	reps := fs.Int("reps", 5, "repetitions per -sweepbench timing")
 	hosts := fs.Int("hosts", 100, "fleet size for the -sweepbench fleet timing")
+	diffEntries := fs.Int("diffEntries", 1000000, "snapshot entry count for the -sweepbench diff microbench")
+	fleetLarge := fs.Int("fleetLarge", 1000, "host count for the -sweepbench large-fleet timing")
+	benchgate := fs.Bool("benchgate", false, "compare -candidate against -baseline, fail on >tolerance regression")
+	baseline := fs.String("baseline", "BENCH_sweep.json", "baseline JSON for -benchgate")
+	candidate := fs.String("candidate", "", "candidate JSON for -benchgate (a fresh -sweepbench output)")
+	tolerance := fs.Float64("tolerance", 0.15, "allowed fractional regression for -benchgate")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -68,8 +74,14 @@ func run(args []string) error {
 			}
 		}()
 	}
+	if *benchgate {
+		if *candidate == "" {
+			return fmt.Errorf("-benchgate needs -candidate (a fresh -sweepbench output)")
+		}
+		return runBenchGate(*baseline, *candidate, *tolerance)
+	}
 	if *sweepbench {
-		return runSweepBench(*out, *reps, *hosts)
+		return runSweepBench(*out, *reps, *hosts, *diffEntries, *fleetLarge)
 	}
 	if *list {
 		for _, e := range experiments.All() {

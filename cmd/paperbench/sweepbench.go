@@ -35,6 +35,19 @@ type sweepBenchResult struct {
 	// single-core host the speedups hover around 1x; the lanes only pay
 	// off with real hardware parallelism.
 	Parallel []parallelSweepResult `json:"parallel"`
+	// Diff microbench: retired map engine vs columnar merge-join.
+	Diff diffBenchResult `json:"diff"`
+	// Large fleet warm sweep through the bounded scheduler.
+	FleetLarge fleetBenchResult `json:"fleetLarge"`
+}
+
+// fleetBenchResult times one warm fleet sweep; VirtualNs sums per-host
+// virtual scan cost (Elapsed + RetryNs), which is deterministic for a
+// given fleet build and is what benchgate compares per host.
+type fleetBenchResult struct {
+	Hosts     int   `json:"hosts"`
+	SweepNs   int64 `json:"sweepNs"`
+	VirtualNs int64 `json:"virtualNs"`
 }
 
 // parallelSweepResult is one lane-count entry of the parallel section.
@@ -45,9 +58,46 @@ type parallelSweepResult struct {
 	Speedup     float64 `json:"speedup"` // vs the 1-lane cold sweep
 }
 
-// runSweepBench measures cold-vs-warm single-host sweeps plus one fleet
-// sweep and writes the JSON report to out.
-func runSweepBench(out string, reps, hosts int) error {
+// buildFleet assembles a fleet of small deterministic hosts and primes
+// their per-host caches with one sweep.
+func buildFleet(hosts int) (*fleet.Manager, error) {
+	mgr := fleet.NewManager()
+	for i := 0; i < hosts; i++ {
+		fp := machine.DefaultProfile()
+		fp.DiskUsedGB = 0.05
+		fp.Churn = nil
+		fp.Seed = int64(i + 1)
+		fp.MFTHeadroom = 64
+		fp.ClusterHeadroom = 64
+		fm, err := machine.New(fp)
+		if err != nil {
+			return nil, err
+		}
+		mgr.Add(fmt.Sprintf("host-%04d", i), fm)
+	}
+	mgr.ParallelInsideSweep() // prime per-host caches
+	return mgr, nil
+}
+
+// timeFleetSweep runs one warm sweep and reports wall time plus the
+// summed per-host virtual cost.
+func timeFleetSweep(mgr *fleet.Manager, hosts int) (fleetBenchResult, error) {
+	res := fleetBenchResult{Hosts: hosts}
+	start := time.Now()
+	results := mgr.ParallelInsideSweep()
+	res.SweepNs = int64(time.Since(start))
+	for _, r := range results {
+		if r.Err != "" {
+			return res, fmt.Errorf("fleet sweep: %s: %s", r.Host, r.Err)
+		}
+		res.VirtualNs += int64(r.Elapsed + r.RetryNs)
+	}
+	return res, nil
+}
+
+// runSweepBench measures cold-vs-warm single-host sweeps, the diff
+// microbench, and fleet sweeps, then writes the JSON report to out.
+func runSweepBench(out string, reps, hosts, diffEntries, largeHosts int) error {
 	p := workload.SmallProfile()
 	p.Churn = nil
 	p.MFTHeadroom = 32768 // size the MFT like a modest real disk
@@ -110,30 +160,28 @@ func runSweepBench(out string, reps, hosts int) error {
 	}
 	d.Parallelism = 0
 
-	mgr := fleet.NewManager()
-	for i := 0; i < hosts; i++ {
-		fp := machine.DefaultProfile()
-		fp.DiskUsedGB = 0.05
-		fp.Churn = nil
-		fp.Seed = int64(i + 1)
-		fp.MFTHeadroom = 64
-		fp.ClusterHeadroom = 64
-		fm, err := machine.New(fp)
-		if err != nil {
-			return err
-		}
-		mgr.Add(fmt.Sprintf("host-%04d", i), fm)
+	if res.Diff, err = runDiffBench(diffEntries, diffEntries/10000+8); err != nil {
+		return err
 	}
-	mgr.ParallelInsideSweep() // prime per-host caches
+
+	mgr, err := buildFleet(hosts)
+	if err != nil {
+		return err
+	}
 	res.FleetHosts = hosts
 	res.FleetParallelism = runtime.GOMAXPROCS(0)
-	start := time.Now()
-	results := mgr.ParallelInsideSweep()
-	res.FleetSweepNs = int64(time.Since(start))
-	for _, r := range results {
-		if r.Err != "" {
-			return fmt.Errorf("fleet sweep: %s: %s", r.Host, r.Err)
-		}
+	fr, err := timeFleetSweep(mgr, hosts)
+	if err != nil {
+		return err
+	}
+	res.FleetSweepNs = fr.SweepNs
+
+	largeMgr, err := buildFleet(largeHosts)
+	if err != nil {
+		return err
+	}
+	if res.FleetLarge, err = timeFleetSweep(largeMgr, largeHosts); err != nil {
+		return err
 	}
 
 	data, err := json.MarshalIndent(res, "", "  ")
@@ -150,5 +198,13 @@ func runSweepBench(out string, reps, hosts int) error {
 	for _, pr := range res.Parallel {
 		fmt.Printf("  parallel lanes=%d: cold %v (%.2fx)\n", pr.Lanes, time.Duration(pr.ColdSweepNs), pr.Speedup)
 	}
+	fmt.Printf("  diff %d entries: map %v / %d allocs, columnar %v / %d allocs (%.1fx fewer, %.1fx faster), warm %.2f allocs/op\n",
+		res.Diff.Entries,
+		time.Duration(res.Diff.MapBuildNs+res.Diff.MapDiffNs), res.Diff.MapAllocs,
+		time.Duration(res.Diff.ColBuildNs+res.Diff.ColDiffNs), res.Diff.ColAllocs,
+		res.Diff.AllocRatio, res.Diff.SpeedRatio, res.Diff.WarmDiffAllocsPerOp)
+	fmt.Printf("  fleet %d hosts: %v wall, %v virtual/host\n",
+		res.FleetLarge.Hosts, time.Duration(res.FleetLarge.SweepNs),
+		time.Duration(res.FleetLarge.VirtualNs/int64(max(res.FleetLarge.Hosts, 1))))
 	return nil
 }

@@ -47,22 +47,36 @@ const (
 // generation key is always read before the parse, so a mutation racing
 // a miss can only make the cached copy stale-keyed (forcing a reparse
 // next sweep), never mask a change.
+//
+// Ownership note for the columnar engine: cached snapshots index the
+// cache's own intern table (which the owning detector shares via
+// Detector.table), and everything a columnar snapshot references is
+// owned memory — the raw parses copy-on-retain at this boundary, so a
+// cached snapshot never borrows from the live device buffer it was
+// parsed from.
 type ScanCache struct {
-	m *machine.Machine
+	m      *machine.Machine
+	intern *InternTable
 
 	filesMu  sync.Mutex
-	files    *Snapshot
+	files    *ColumnarSnapshot
 	filesGen uint64
 
 	asepsMu  sync.Mutex
-	aseps    *Snapshot
+	aseps    *ColumnarSnapshot
 	asepsKey string
 
 	hits, misses atomic.Int64
 }
 
 // NewScanCache returns an empty cache bound to m.
-func NewScanCache(m *machine.Machine) *ScanCache { return &ScanCache{m: m} }
+func NewScanCache(m *machine.Machine) *ScanCache {
+	return &ScanCache{m: m, intern: NewInternTable()}
+}
+
+// table returns the cache's interning table; detectors with a cache
+// attached build all their snapshots over it.
+func (c *ScanCache) table() *InternTable { return c.intern }
 
 // Stats reports cache effectiveness counters.
 type CacheStats struct {
@@ -75,6 +89,9 @@ func (c *ScanCache) Stats() CacheStats {
 }
 
 // Invalidate drops all cached snapshots; the next scans reparse fully.
+// The intern table is retained: identities seen before the invalidation
+// keep their symbols, which is what makes the post-invalidation reparse
+// cheap.
 func (c *ScanCache) Invalidate() {
 	c.filesMu.Lock()
 	c.files = nil
@@ -84,10 +101,10 @@ func (c *ScanCache) Invalidate() {
 	c.asepsMu.Unlock()
 }
 
-// hitSnapshot stamps a cached snapshot for the current virtual time. The
-// entry map is shared with the cached copy — snapshots are never mutated
-// after construction, only diffed.
-func hitSnapshot(cached *Snapshot, clock *vtime.Clock, elapsed time.Duration) *Snapshot {
+// hitColumnar stamps a cached snapshot for the current virtual time. The
+// columns are shared with the cached copy — snapshots are never mutated
+// after Build, only diffed.
+func hitColumnar(cached *ColumnarSnapshot, clock *vtime.Clock, elapsed time.Duration) *ColumnarSnapshot {
 	snap := *cached
 	snap.Taken = clock.Now()
 	snap.Elapsed = elapsed
@@ -98,10 +115,14 @@ func hitSnapshot(cached *Snapshot, clock *vtime.Clock, elapsed time.Duration) *S
 // the memoized raw-MFT snapshot when the volume generation is unchanged,
 // charging only the verify pass.
 func (c *ScanCache) ScanFilesLow() (*Snapshot, error) {
-	return c.scanFilesLowOn(c.m.Clock, 1)
+	snap, err := c.scanFilesLowOn(c.m.Clock, 1)
+	if err != nil {
+		return nil, err
+	}
+	return snap.Snapshot(), nil
 }
 
-func (c *ScanCache) scanFilesLowOn(clk *vtime.Clock, workers int) (*Snapshot, error) {
+func (c *ScanCache) scanFilesLowOn(clk *vtime.Clock, workers int) (*ColumnarSnapshot, error) {
 	c.filesMu.Lock()
 	defer c.filesMu.Unlock()
 	gen := c.m.Disk.Generation()
@@ -110,11 +131,11 @@ func (c *ScanCache) scanFilesLowOn(clk *vtime.Clock, workers int) (*Snapshot, er
 		sw := vtime.NewStopwatch(clk)
 		clk.ChargeBytes(ntfs.BytesPerSector, diskBytesPerSecond(c.m.Profile))
 		clk.ChargeOps(1, costCacheVerifyDisk)
-		return hitSnapshot(c.files, clk, sw.Elapsed()), nil
+		return hitColumnar(c.files, clk, sw.Elapsed()), nil
 	}
 	c.misses.Add(1)
 	epoch := c.faultEpoch()
-	snap, err := scanFilesLowOn(c.m, clk, workers)
+	snap, err := scanFilesLowC(c.m, clk, workers, c.intern)
 	if err != nil {
 		return nil, err
 	}
@@ -142,10 +163,14 @@ func (c *ScanCache) faultEpoch() uint64 {
 // ScanASEPLow is the cached variant of core.ScanASEPLow, keyed on the
 // Registry mount table and every mounted hive's generation.
 func (c *ScanCache) ScanASEPLow() (*Snapshot, error) {
-	return c.scanASEPLowOn(c.m.Clock)
+	snap, err := c.scanASEPLowOn(c.m.Clock)
+	if err != nil {
+		return nil, err
+	}
+	return snap.Snapshot(), nil
 }
 
-func (c *ScanCache) scanASEPLowOn(clk *vtime.Clock) (*Snapshot, error) {
+func (c *ScanCache) scanASEPLowOn(clk *vtime.Clock) (*ColumnarSnapshot, error) {
 	c.asepsMu.Lock()
 	defer c.asepsMu.Unlock()
 	key := regCacheKey(c.m)
@@ -153,11 +178,11 @@ func (c *ScanCache) scanASEPLowOn(clk *vtime.Clock) (*Snapshot, error) {
 		c.hits.Add(1)
 		sw := vtime.NewStopwatch(clk)
 		clk.ChargeOps(int64(len(c.m.Reg.Roots())), costCacheVerifyHive)
-		return hitSnapshot(c.aseps, clk, sw.Elapsed()), nil
+		return hitColumnar(c.aseps, clk, sw.Elapsed()), nil
 	}
 	c.misses.Add(1)
 	epoch := c.faultEpoch()
-	snap, err := scanASEPLowOn(c.m, clk)
+	snap, err := scanASEPLowC(c.m, clk, c.intern)
 	if err != nil {
 		return nil, err
 	}

@@ -51,6 +51,13 @@ type Detector struct {
 	// assembled. Fleet sweeps use it to retain partial results when a
 	// later unit panics or the host scan is cut short.
 	OnReport func(*Report)
+
+	// intern is the detector's string-interning table: every snapshot the
+	// detector builds indexes it, so the two sides of each diff share
+	// symbols and the merge-join engine applies. Lazily created; when
+	// Cache is set the cache's table is used instead (cached snapshots
+	// must outlive any one sweep's table).
+	intern *InternTable
 }
 
 // NewDetector builds a detector with default settings on m: inside-the-
@@ -68,26 +75,31 @@ func NewCachedDetector(m *machine.Machine) *Detector {
 	return d
 }
 
-func (d *Detector) lowFiles() (*Snapshot, error) {
-	return d.lowFilesOn(d.M.Clock, 1)
+// table returns the interning table all of this detector's snapshots
+// share. Not safe to call first from concurrent goroutines — the sweep
+// paths resolve it once before forking lanes.
+func (d *Detector) table() *InternTable {
+	if d.Cache != nil {
+		return d.Cache.table()
+	}
+	if d.intern == nil {
+		d.intern = NewInternTable()
+	}
+	return d.intern
 }
 
-func (d *Detector) lowFilesOn(clk *vtime.Clock, workers int) (*Snapshot, error) {
+func (d *Detector) lowFilesC(clk *vtime.Clock, workers int, t *InternTable) (*ColumnarSnapshot, error) {
 	if d.Cache != nil {
 		return d.Cache.scanFilesLowOn(clk, workers)
 	}
-	return scanFilesLowOn(d.M, clk, workers)
+	return scanFilesLowC(d.M, clk, workers, t)
 }
 
-func (d *Detector) lowASEPs() (*Snapshot, error) {
-	return d.lowASEPsOn(d.M.Clock)
-}
-
-func (d *Detector) lowASEPsOn(clk *vtime.Clock) (*Snapshot, error) {
+func (d *Detector) lowASEPsC(clk *vtime.Clock, t *InternTable) (*ColumnarSnapshot, error) {
 	if d.Cache != nil {
 		return d.Cache.scanASEPLowOn(clk)
 	}
-	return scanASEPLowOn(d.M, clk)
+	return scanASEPLowC(d.M, clk, t)
 }
 
 func (d *Detector) call() (*winapi.Call, error) {
@@ -116,15 +128,16 @@ func (d *Detector) ScanFiles() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	high, err := ScanFilesHigh(d.M, call)
+	t := d.table()
+	high, err := scanFilesHighC(d.M, call, t)
 	if err != nil {
 		return nil, err
 	}
-	low, err := d.lowFiles()
+	low, err := d.lowFilesC(d.M.Clock, 1, t)
 	if err != nil {
 		return nil, err
 	}
-	return SealedDiff(high, low, d.Opts)
+	return sealedDiffColumnar(high, low, d.Opts)
 }
 
 // ScanASEPs runs the inside-the-box hidden-Registry detection (§3).
@@ -133,15 +146,16 @@ func (d *Detector) ScanASEPs() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	high, err := ScanASEPHigh(d.M, call)
+	t := d.table()
+	high, err := scanASEPHighC(d.M, call, t)
 	if err != nil {
 		return nil, err
 	}
-	low, err := d.lowASEPs()
+	low, err := d.lowASEPsC(d.M.Clock, t)
 	if err != nil {
 		return nil, err
 	}
-	return SealedDiff(high, low, d.Opts)
+	return sealedDiffColumnar(high, low, d.Opts)
 }
 
 // ScanProcesses runs the inside-the-box hidden-process detection (§4).
@@ -150,15 +164,16 @@ func (d *Detector) ScanProcesses() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	high, err := ScanProcsHigh(d.M, call)
+	t := d.table()
+	high, err := scanProcsHighC(d.M, call, t)
 	if err != nil {
 		return nil, err
 	}
-	low, err := ScanProcsLow(d.M, d.Advanced)
+	low, err := scanProcsLowC(d.M, d.Advanced, d.M.Clock, t)
 	if err != nil {
 		return nil, err
 	}
-	return SealedDiff(high, low, d.Opts)
+	return sealedDiffColumnar(high, low, d.Opts)
 }
 
 // ScanModules runs the inside-the-box hidden-module detection (§4). The
@@ -173,15 +188,16 @@ func (d *Detector) ScanModules() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	high, err := ScanModsHigh(d.M, call, pids)
+	t := d.table()
+	high, err := scanModsHighC(d.M, call, pids, t)
 	if err != nil {
 		return nil, err
 	}
-	low, err := ScanModsLow(d.M, pids)
+	low, err := scanModsLowC(d.M, pids, d.M.Clock, t)
 	if err != nil {
 		return nil, err
 	}
-	return SealedDiff(high, low, d.Opts)
+	return sealedDiffColumnar(high, low, d.Opts)
 }
 
 // ScanAll runs all four detections and returns the reports in the
@@ -225,31 +241,34 @@ func unitName(u int) string {
 var errDeadline = errors.New("core: scan deadline exceeded")
 
 // scanUnits builds the eight unit closures in report order, high before
-// low within each pair. pids resolves the truth pid list both module
-// units share: the parallel path precomputes it before forking (on the
-// machine clock, as before), the sequential path computes it lazily so
-// the call/pids charge order of the original ScanModules is preserved.
-func (d *Detector) scanUnits(workers int, pids func() ([]uint64, error)) [numScanUnits]func(*vtime.Clock) (*Snapshot, error) {
-	highUnit := func(scan func(*machine.Machine, *winapi.Call) (*Snapshot, error)) func(*vtime.Clock) (*Snapshot, error) {
-		return func(clk *vtime.Clock) (*Snapshot, error) {
+// low within each pair. Every unit interns into the shared table t
+// (resolved by the caller before any forking — the table itself is
+// concurrency-safe, but the lazy init in d.table is not). pids resolves
+// the truth pid list both module units share: the parallel path
+// precomputes it before forking (on the machine clock, as before), the
+// sequential path computes it lazily so the call/pids charge order of
+// the original ScanModules is preserved.
+func (d *Detector) scanUnits(workers int, t *InternTable, pids func() ([]uint64, error)) [numScanUnits]func(*vtime.Clock) (*ColumnarSnapshot, error) {
+	highUnit := func(scan func(*machine.Machine, *winapi.Call, *InternTable) (*ColumnarSnapshot, error)) func(*vtime.Clock) (*ColumnarSnapshot, error) {
+		return func(clk *vtime.Clock) (*ColumnarSnapshot, error) {
 			call, err := d.callOn(clk)
 			if err != nil {
 				return nil, err
 			}
-			return scan(d.M, call)
+			return scan(d.M, call, t)
 		}
 	}
 	// The raw-MFT unit dominates a cold sweep, so it additionally shards
 	// its record decode across the lane bound (the other lanes' units are
 	// small and finish early, freeing cores for the decode shards).
-	return [numScanUnits]func(*vtime.Clock) (*Snapshot, error){
-		highUnit(ScanFilesHigh),
-		func(clk *vtime.Clock) (*Snapshot, error) { return d.lowFilesOn(clk, workers) },
-		highUnit(ScanASEPHigh),
-		d.lowASEPsOn,
-		highUnit(ScanProcsHigh),
-		func(clk *vtime.Clock) (*Snapshot, error) { return scanProcsLowOn(d.M, d.Advanced, clk) },
-		func(clk *vtime.Clock) (*Snapshot, error) {
+	return [numScanUnits]func(*vtime.Clock) (*ColumnarSnapshot, error){
+		highUnit(scanFilesHighC),
+		func(clk *vtime.Clock) (*ColumnarSnapshot, error) { return d.lowFilesC(clk, workers, t) },
+		highUnit(scanASEPHighC),
+		func(clk *vtime.Clock) (*ColumnarSnapshot, error) { return d.lowASEPsC(clk, t) },
+		highUnit(scanProcsHighC),
+		func(clk *vtime.Clock) (*ColumnarSnapshot, error) { return scanProcsLowC(d.M, d.Advanced, clk, t) },
+		func(clk *vtime.Clock) (*ColumnarSnapshot, error) {
 			call, err := d.callOn(clk)
 			if err != nil {
 				return nil, err
@@ -258,14 +277,14 @@ func (d *Detector) scanUnits(workers int, pids func() ([]uint64, error)) [numSca
 			if err != nil {
 				return nil, err
 			}
-			return ScanModsHigh(d.M, call, p)
+			return scanModsHighC(d.M, call, p, t)
 		},
-		func(clk *vtime.Clock) (*Snapshot, error) {
+		func(clk *vtime.Clock) (*ColumnarSnapshot, error) {
 			p, err := pids()
 			if err != nil {
 				return nil, err
 			}
-			return scanModsLowOn(d.M, p, clk)
+			return scanModsLowC(d.M, p, clk, t)
 		},
 	}
 }
@@ -273,7 +292,7 @@ func (d *Detector) scanUnits(workers int, pids func() ([]uint64, error)) [numSca
 // runUnit executes one unit with panic recovery: a panicking scanner
 // becomes a unit error (degrading the pair under Contain) instead of
 // tearing down the whole sweep.
-func runUnit(name string, clk *vtime.Clock, run func(*vtime.Clock) (*Snapshot, error)) (snap *Snapshot, err error) {
+func runUnit(name string, clk *vtime.Clock, run func(*vtime.Clock) (*ColumnarSnapshot, error)) (snap *ColumnarSnapshot, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			snap, err = nil, fmt.Errorf("core: scan unit %s panicked: %v", name, r)
@@ -303,8 +322,8 @@ func (d *Detector) scanAllSequential(genStart uint64, sweepStart time.Duration) 
 		}
 		return pids, pidsErr
 	}
-	units := d.scanUnits(1, pidsOnce)
-	var snaps [numScanUnits]*Snapshot
+	units := d.scanUnits(1, d.table(), pidsOnce)
+	var snaps [numScanUnits]*ColumnarSnapshot
 	var errs [numScanUnits]error
 	for u := 0; u < numScanUnits; u++ {
 		if d.overDeadline(d.M.Clock, sweepStart) {
@@ -335,9 +354,9 @@ func (d *Detector) scanAllParallel(lanes int, genStart uint64, sweepStart time.D
 		return nil, fmt.Errorf("core: modules scan: %w", pidsErr)
 	}
 	pidsOnce := func() ([]uint64, error) { return pids, pidsErr }
-	units := d.scanUnits(lanes, pidsOnce)
+	units := d.scanUnits(lanes, d.table(), pidsOnce)
 	var (
-		snaps  [numScanUnits]*Snapshot
+		snaps  [numScanUnits]*ColumnarSnapshot
 		errs   [numScanUnits]error
 		region = d.M.Clock.Fork(lanes)
 		wg     sync.WaitGroup
@@ -391,7 +410,7 @@ func (d *Detector) nominalViews(pair int) (View, View) {
 // errors, and a files pair whose disk generation moved mid-sweep is
 // demoted: its findings may be mutation races, not hiding, so they are
 // dropped and the demotion is recorded.
-func (d *Detector) assemble(snaps [numScanUnits]*Snapshot, errs [numScanUnits]error, genStart uint64) ([]*Report, error) {
+func (d *Detector) assemble(snaps [numScanUnits]*ColumnarSnapshot, errs [numScanUnits]error, genStart uint64) ([]*Report, error) {
 	diskMoved := d.Contain && d.M.Disk.Generation() != genStart
 	out := make([]*Report, 0, len(pairNames))
 	for i, name := range pairNames {
@@ -400,7 +419,7 @@ func (d *Detector) assemble(snaps [numScanUnits]*Snapshot, errs [numScanUnits]er
 		var r *Report
 		if highErr == nil && lowErr == nil {
 			var err error
-			r, err = Diff(high, low, d.Opts)
+			r, err = DiffColumnar(high, low, d.Opts)
 			if err != nil {
 				if !d.Contain {
 					return nil, fmt.Errorf("core: %s scan: %w", name, err)
@@ -449,7 +468,7 @@ func (d *Detector) assemble(snaps [numScanUnits]*Snapshot, errs [numScanUnits]er
 
 // stubReport builds the degraded report for pair i from whatever
 // snapshots survived.
-func (d *Detector) stubReport(pair int, high, low *Snapshot) *Report {
+func (d *Detector) stubReport(pair int, high, low *ColumnarSnapshot) *Report {
 	hv, lv := d.nominalViews(pair)
 	r := &Report{Kind: pairKind(pair), HighView: hv, LowView: lv}
 	if high != nil {
@@ -479,7 +498,7 @@ func pairKind(pair int) ResourceKind {
 }
 
 // comparedViews lists the views that produced usable snapshots.
-func comparedViews(high, low *Snapshot) []View {
+func comparedViews(high, low *ColumnarSnapshot) []View {
 	var out []View
 	if high != nil {
 		out = append(out, high.View)

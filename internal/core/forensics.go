@@ -14,15 +14,30 @@ import (
 
 // ScanDriversHigh lists loaded drivers through the (hookable) API chain.
 func ScanDriversHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
+	c, err := scanDriversHighC(m, call, NewInternTable())
+	if err != nil {
+		return nil, err
+	}
+	return c.Snapshot(), nil
+}
+
+func scanDriversHighC(m *machine.Machine, call *winapi.Call, t *InternTable) (*ColumnarSnapshot, error) {
 	sw := vtime.NewStopwatch(m.Clock)
-	snap := newSnapshot(KindDrivers, ViewWin32Inside)
 	drvs, err := m.API.EnumDriversWin32(call)
 	if err != nil {
 		return nil, fmt.Errorf("core: high-level driver scan: %w", err)
 	}
+	// The "base 0x<hex>" detail matches the former fmt.Sprintf("base %#x")
+	// rendering byte-for-byte.
+	bld := NewColumnarBuilder(t, KindDrivers, ViewWin32Inside, len(drvs))
+	var idBuf, detBuf []byte
 	for _, d := range drvs {
-		snap.add(Entry{ID: fileID(d.Path), Display: d.Path, Detail: fmt.Sprintf("base %#x", d.Base)})
+		var sym Sym
+		sym, idBuf = internFileID(t, idBuf, d.Path)
+		detBuf = appendBaseDetail(detBuf, d.Base)
+		bld.AddRow(sym, d.Path, t.InternStrBytes(detBuf))
 	}
+	snap := bld.Build()
 	m.Clock.ChargeOps(int64(len(drvs)), costPerModule)
 	snap.Taken = m.Clock.Now()
 	snap.Elapsed = sw.Elapsed()
@@ -31,15 +46,28 @@ func ScanDriversHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
 
 // ScanDriversLow walks the kernel's loaded-module list directly.
 func ScanDriversLow(m *machine.Machine) (*Snapshot, error) {
+	c, err := scanDriversLowC(m, NewInternTable())
+	if err != nil {
+		return nil, err
+	}
+	return c.Snapshot(), nil
+}
+
+func scanDriversLowC(m *machine.Machine, t *InternTable) (*ColumnarSnapshot, error) {
 	sw := vtime.NewStopwatch(m.Clock)
-	snap := newSnapshot(KindDrivers, ViewKernelAPL)
 	drvs, err := m.Kern.Drivers()
 	if err != nil {
 		return nil, fmt.Errorf("core: low-level driver scan: %w", err)
 	}
+	bld := NewColumnarBuilder(t, KindDrivers, ViewKernelAPL, len(drvs))
+	var idBuf, detBuf []byte
 	for _, d := range drvs {
-		snap.add(Entry{ID: fileID(d.Path), Display: d.Path, Detail: fmt.Sprintf("base %#x", d.Base)})
+		var sym Sym
+		sym, idBuf = internFileID(t, idBuf, d.Path)
+		detBuf = appendBaseDetail(detBuf, d.Base)
+		bld.AddRow(sym, d.Path, t.InternStrBytes(detBuf))
 	}
+	snap := bld.Build()
 	m.Clock.ChargeOps(int64(len(drvs)), costPerModule)
 	snap.Taken = m.Clock.Now()
 	snap.Elapsed = sw.Elapsed()
@@ -54,15 +82,16 @@ func (d *Detector) ScanDrivers() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	high, err := ScanDriversHigh(d.M, call)
+	t := d.table()
+	high, err := scanDriversHighC(d.M, call, t)
 	if err != nil {
 		return nil, err
 	}
-	low, err := ScanDriversLow(d.M)
+	low, err := scanDriversLowC(d.M, t)
 	if err != nil {
 		return nil, err
 	}
-	return SealedDiff(high, low, d.Opts)
+	return sealedDiffColumnar(high, low, d.Opts)
 }
 
 // DeletedFile is one stale MFT record recovered forensically.

@@ -3,7 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -82,62 +82,90 @@ func fileID(path string) string {
 	return path
 }
 
-// pidUpperID builds the "PID <n>: <UPPER>" diff identity without the
-// fmt.Sprintf round trip the per-entry hot path used to pay.
-func pidUpperID(pid uint64, s string) string {
-	b := make([]byte, 0, 26+len(s))
-	b = append(b, "PID "...)
-	b = strconv.AppendUint(b, pid, 10)
-	b = append(b, ':', ' ')
-	return string(upperAppend(b, s))
+// internFileID interns the canonical (uppercase) form of path without
+// building an intermediate string: canonical paths intern directly, and
+// mixed-case paths upcase into the reusable scratch buffer first. The
+// returned buffer is the (possibly grown) scratch.
+func internFileID(t *InternTable, buf []byte, path string) (Sym, []byte) {
+	for i := 0; i < len(path); i++ {
+		c := path[i]
+		if c >= utf8.RuneSelf {
+			return t.Intern(strings.ToUpper(path)), buf
+		}
+		if 'a' <= c && c <= 'z' {
+			buf = append(buf[:0], path[:i]...)
+			buf = upperAppend(buf, path[i:])
+			return t.InternBytes(buf), buf
+		}
+	}
+	return t.Intern(path), buf
 }
 
-func procDisplay(name string, pid uint64) string {
-	b := make([]byte, 0, len(name)+27)
-	b = append(b, name...)
+// appendPidUpperID builds the "PID <n>: <UPPER>" diff identity into the
+// scratch buffer.
+func appendPidUpperID(b []byte, pid uint64, s string) []byte {
+	b = append(b[:0], "PID "...)
+	b = strconv.AppendUint(b, pid, 10)
+	b = append(b, ':', ' ')
+	return upperAppend(b, s)
+}
+
+// pidUpperID is the string form of appendPidUpperID, kept for the
+// map-backed compatibility paths.
+func pidUpperID(pid uint64, s string) string {
+	return string(appendPidUpperID(make([]byte, 0, 26+len(s)), pid, s))
+}
+
+func appendProcDisplay(b []byte, name string, pid uint64) []byte {
+	b = append(b[:0], name...)
 	b = append(b, " (pid "...)
 	b = strconv.AppendUint(b, pid, 10)
-	b = append(b, ')')
-	return string(b)
+	return append(b, ')')
 }
 
-func modDisplay(pid uint64, path string) string {
-	b := make([]byte, 0, 26+len(path))
-	b = append(b, "pid "...)
+func appendModDisplay(b []byte, pid uint64, path string) []byte {
+	b = append(b[:0], "pid "...)
 	b = strconv.AppendUint(b, pid, 10)
 	b = append(b, ':', ' ')
-	b = append(b, path...)
-	return string(b)
+	return append(b, path...)
 }
 
-func baseDetail(base uint64) string {
-	b := make([]byte, 0, 23)
-	b = append(b, "base 0x"...)
-	b = strconv.AppendUint(b, base, 16)
-	return string(b)
+func appendBaseDetail(b []byte, base uint64) []byte {
+	b = append(b[:0], "base 0x"...)
+	return strconv.AppendUint(b, base, 16)
 }
 
 // --- file scans -----------------------------------------------------------
 
 // ScanFilesHigh performs the inside-the-box high-level file scan: the
 // equivalent of "dir /s /b" issued by the given process through the
-// FindFirst(Next)File chain.
+// FindFirst(Next)File chain. It returns the map-backed adapter form;
+// the detector pipeline uses the columnar core directly.
 func ScanFilesHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
+	c, err := scanFilesHighC(m, call, NewInternTable())
+	if err != nil {
+		return nil, err
+	}
+	return c.Snapshot(), nil
+}
+
+func scanFilesHighC(m *machine.Machine, call *winapi.Call, t *InternTable) (*ColumnarSnapshot, error) {
 	clk := clockFor(m, call)
 	sw := vtime.NewStopwatch(clk)
-	snap := newSnapshot(KindFiles, ViewWin32Inside)
 	entries, err := m.API.WalkTreeWin32(call, machine.Drive)
 	if err != nil {
 		return nil, fmt.Errorf("core: high-level file scan: %w", err)
 	}
-	snap.grow(len(entries))
+	bld := NewColumnarBuilder(t, KindFiles, ViewWin32Inside, len(entries))
+	var idBuf, detBuf []byte
 	for _, e := range entries {
-		snap.add(Entry{
-			ID:      fileID(e.Path),
-			Display: e.Path,
-			Detail:  strconv.FormatUint(e.Size, 10) + " bytes",
-		})
+		var sym Sym
+		sym, idBuf = internFileID(t, idBuf, e.Path)
+		detBuf = strconv.AppendUint(detBuf[:0], e.Size, 10)
+		detBuf = append(detBuf, " bytes"...)
+		bld.AddRow(sym, e.Path, t.InternStrBytes(detBuf))
 	}
+	snap := bld.Build()
 	clk.ChargeOps(int64(float64(len(entries))*m.Profile.RepFileFactor()), costPerRepFileHigh)
 	snap.Taken = clk.Now()
 	snap.Elapsed = sw.Elapsed()
@@ -148,20 +176,26 @@ func ScanFilesHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
 // the live device bytes (the Master File Table) directly, bypassing
 // every API layer.
 func ScanFilesLow(m *machine.Machine) (*Snapshot, error) {
-	return scanFilesLowOn(m, m.Clock, 1)
+	c, err := scanFilesLowC(m, m.Clock, 1, NewInternTable())
+	if err != nil {
+		return nil, err
+	}
+	return c.Snapshot(), nil
 }
 
-// scanFilesLowOn is ScanFilesLow charging an explicit clock (a parallel
-// sweep lane). The raw parse holds the volume's read lock, so it sees a
-// consistent device image even while mutators run on other goroutines.
-// workers shards the MFT record decode (see ntfs.RawScanParallel); the
-// snapshot and its virtual-time charges are identical for any count.
-func scanFilesLowOn(m *machine.Machine, clk *vtime.Clock, workers int) (*Snapshot, error) {
+// scanFilesLowC is the columnar low-level file scan charging an
+// explicit clock (a parallel sweep lane). The raw parse holds the
+// volume's read lock, so it sees a consistent device image even while
+// mutators run on other goroutines, and the zero-copy record decode
+// never outlives the lock. workers shards the MFT record decode (see
+// ntfs.RawScanParallel); the snapshot and its virtual-time charges are
+// identical for any count.
+func scanFilesLowC(m *machine.Machine, clk *vtime.Clock, workers int, t *InternTable) (*ColumnarSnapshot, error) {
 	sw := vtime.NewStopwatch(clk)
-	var snap *Snapshot
+	var snap *ColumnarSnapshot
 	err := m.Disk.WithDevice(func(dev []byte) error {
 		var err error
-		snap, err = scanImageWorkers(dev, ViewRawMFT, workers)
+		snap, err = scanImageC(dev, ViewRawMFT, workers, t)
 		return err
 	})
 	if err != nil {
@@ -196,19 +230,16 @@ func chargeRawMFTRead(clock *vtime.Clock, p machine.Profile, entries int) {
 	clock.ChargeBytes(repBytes, diskBytesPerSecond(p))
 }
 
-// scanImage raw-parses a disk image into a file snapshot, labeling it
-// with the given view. Used by the inside low-level scan, the WinPE
-// outside scan, and the VM host scan.
-func scanImage(image []byte, view View) (*Snapshot, error) {
-	return scanImageWorkers(image, view, 1)
-}
-
-func scanImageWorkers(image []byte, view View, workers int) (*Snapshot, error) {
-	snap := newSnapshot(KindFiles, view)
+// scanImageC raw-parses a disk image into a columnar file snapshot,
+// labeling it with the given view. Used by the inside low-level scan,
+// the WinPE outside scan, and the VM host scan.
+func scanImageC(image []byte, view View, workers int, t *InternTable) (*ColumnarSnapshot, error) {
 	raw, stats, err := ntfs.RawScanParallel(image, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: raw MFT scan: %w", err)
 	}
+	bld := NewColumnarBuilder(t, KindFiles, view, len(raw))
+	snap := bld.Build() // placeholder; rebuilt below once rows are added
 	// On a damaged MFT, parent chains may be severed: an entry that looks
 	// orphaned could be an innocent file whose ancestor record was lost.
 	// Its reconstructed \$OrphanFiles path would differ from the
@@ -217,20 +248,28 @@ func scanImageWorkers(image []byte, view View, workers int) (*Snapshot, error) {
 	// corrupt records themselves) as skipped. On an undamaged MFT, orphan
 	// entries are kept: rootkit orphan-hiding must stay detectable.
 	dropOrphans := stats.CorruptRecords > 0
-	snap.Skipped += stats.CorruptRecords
-	snap.grow(len(raw))
+	skipped := stats.CorruptRecords
+	var idBuf, dispBuf, detBuf []byte
 	for _, e := range raw {
 		if dropOrphans && e.Orphan {
-			snap.Skipped++
+			skipped++
 			continue
 		}
-		full := machine.FullPath(e.Path)
-		detail := strconv.FormatUint(e.Size, 10) + " bytes, MFT record " + strconv.FormatUint(uint64(e.Record), 10)
+		dispBuf = append(dispBuf[:0], machine.Drive...)
+		dispBuf = append(dispBuf, e.Path...)
+		full := t.InternStrBytes(dispBuf)
+		detBuf = strconv.AppendUint(detBuf[:0], e.Size, 10)
+		detBuf = append(detBuf, " bytes, MFT record "...)
+		detBuf = strconv.AppendUint(detBuf, uint64(e.Record), 10)
 		if e.Orphan {
-			detail += " (orphaned parent chain)"
+			detBuf = append(detBuf, " (orphaned parent chain)"...)
 		}
-		snap.add(Entry{ID: fileID(full), Display: full, Detail: detail})
+		var sym Sym
+		sym, idBuf = internFileID(t, idBuf, full)
+		bld.AddRow(sym, full, t.InternStrBytes(detBuf))
 	}
+	snap = bld.Build()
+	snap.Skipped = skipped
 	return snap, nil
 }
 
@@ -239,14 +278,14 @@ func scanImageWorkers(image []byte, view View, workers int) (*Snapshot, error) {
 // virtual disk).
 func ScanFilesImage(image []byte, view View, clock *vtime.Clock, p machine.Profile) (*Snapshot, error) {
 	sw := vtime.NewStopwatch(clock)
-	snap, err := scanImage(image, view)
+	snap, err := scanImageC(image, view, 1, NewInternTable())
 	if err != nil {
 		return nil, err
 	}
 	chargeRawMFTRead(clock, p, snap.Len())
 	snap.Taken = clock.Now()
 	snap.Elapsed = sw.Elapsed()
-	return snap, nil
+	return snap.Snapshot(), nil
 }
 
 // --- ASEP hook scans ----------------------------------------------------------
@@ -254,9 +293,16 @@ func ScanFilesImage(image []byte, view View, clock *vtime.Clock, p machine.Profi
 // ScanASEPHigh collects ASEP hooks through the Win32 Registry chain
 // (what RegEdit shows).
 func ScanASEPHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
+	c, err := scanASEPHighC(m, call, NewInternTable())
+	if err != nil {
+		return nil, err
+	}
+	return c.Snapshot(), nil
+}
+
+func scanASEPHighC(m *machine.Machine, call *winapi.Call, t *InternTable) (*ColumnarSnapshot, error) {
 	clk := clockFor(m, call)
 	sw := vtime.NewStopwatch(clk)
-	snap := newSnapshot(KindASEPHooks, ViewWin32Inside)
 	// CollectHooks treats a failed query as "key absent from this view"
 	// and keeps going — correct for genuinely missing keys, but an
 	// injected API fault swallowed that way would silently shrink the
@@ -280,10 +326,11 @@ func ScanASEPHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: high-level ASEP scan: %w", err)
 	}
-	snap.grow(len(hooks))
+	bld := NewColumnarBuilder(t, KindASEPHooks, ViewWin32Inside, len(hooks))
 	for _, h := range hooks {
-		snap.add(Entry{ID: h.ID(), Display: h.String(), Detail: h.ASEP})
+		bld.Add(h.ID(), h.String(), h.ASEP)
 	}
+	snap := bld.Build()
 	clk.ChargeOps(int64(float64(len(hooks))*m.Profile.RepRegFactor()),
 		time.Duration(float64(costPerRepKeyHigh)*m.Profile.CPUScale()))
 	snap.Taken = clk.Now()
@@ -321,16 +368,19 @@ func win32DataString(v winapi.KeyValue) string {
 // parsing it directly — "truth approximation" (paper §3), since
 // sufficiently privileged ghostware could interfere with the copy.
 func ScanASEPLow(m *machine.Machine) (*Snapshot, error) {
-	return scanASEPLowOn(m, m.Clock)
+	c, err := scanASEPLowC(m, m.Clock, NewInternTable())
+	if err != nil {
+		return nil, err
+	}
+	return c.Snapshot(), nil
 }
 
-// scanASEPLowOn is ScanASEPLow charging an explicit clock. Each hive is
-// snapshot-copied under its own lock, so the offline parse is immune to
-// concurrent Registry commits.
-func scanASEPLowOn(m *machine.Machine, clk *vtime.Clock) (*Snapshot, error) {
+// scanASEPLowC is the columnar low-level ASEP scan charging an explicit
+// clock. Each hive is snapshot-copied under its own lock, so the
+// offline parse is immune to concurrent Registry commits.
+func scanASEPLowC(m *machine.Machine, clk *vtime.Clock, t *InternTable) (*ColumnarSnapshot, error) {
 	sw := vtime.NewStopwatch(clk)
 	images := map[string][]byte{}
-	totalParsedKeys := 0
 	for _, root := range m.Reg.Roots() {
 		h, ok := m.Reg.HiveAt(root)
 		if !ok {
@@ -338,26 +388,26 @@ func scanASEPLowOn(m *machine.Machine, clk *vtime.Clock) (*Snapshot, error) {
 		}
 		images[root] = h.Snapshot()
 	}
-	snap, parsed, err := scanASEPImages(images, ViewRawHive)
+	snap, parsed, err := scanASEPImagesC(images, ViewRawHive, t)
 	if err != nil {
 		return nil, err
 	}
-	totalParsedKeys += parsed
 	// The low-level pass walks every cell of every hive; parsing is
 	// CPU-bound, so the charge scales with the machine's CPU speed.
 	perKey := time.Duration(float64(costPerRepKeyParse) * m.Profile.CPUScale())
-	clk.ChargeOps(int64(float64(totalParsedKeys)*m.Profile.RepRegFactor()), perKey)
+	clk.ChargeOps(int64(float64(parsed)*m.Profile.RepRegFactor()), perKey)
 	snap.Taken = clk.Now()
 	snap.Elapsed = sw.Elapsed()
 	return snap, nil
 }
 
-// scanASEPImages parses hive images (root path -> file bytes) and
+// scanASEPImagesC parses hive images (root path -> file bytes) and
 // collects ASEP hooks from the recovered trees. Used by the inside
 // low-level scan and by the WinPE outside scan (which mounts the same
-// files under a clean OS).
-func scanASEPImages(images map[string][]byte, view View) (*Snapshot, int, error) {
-	snap := newSnapshot(KindASEPHooks, view)
+// files under a clean OS). The hive values are parsed zero-copy over
+// the image bytes (hive.ParseBorrowed): every retained string is built
+// here, so nothing borrowed escapes.
+func scanASEPImagesC(images map[string][]byte, view View, t *InternTable) (*ColumnarSnapshot, int, error) {
 	parsedKeys := 0
 	// Recover each hive tree into a path-indexed map.
 	type parsedHive struct {
@@ -365,7 +415,7 @@ func scanASEPImages(images map[string][]byte, view View) (*Snapshot, int, error)
 	}
 	trees := map[string]parsedHive{} // upper-cased root
 	for root, img := range images {
-		raw, stats, err := hive.Parse(img)
+		raw, stats, err := hive.ParseBorrowed(img)
 		if err != nil {
 			return nil, 0, fmt.Errorf("core: parsing hive %s: %w", root, err)
 		}
@@ -408,11 +458,11 @@ func scanASEPImages(images map[string][]byte, view View) (*Snapshot, int, error)
 			}
 			edges = append(edges, edge{parent, name})
 		}
-		sort.Slice(edges, func(i, j int) bool {
-			if edges[i].parent != edges[j].parent {
-				return edges[i].parent < edges[j].parent
+		slices.SortFunc(edges, func(a, b edge) int {
+			if a.parent != b.parent {
+				return strings.Compare(a.parent, b.parent)
 			}
-			return edges[i].name < edges[j].name
+			return strings.Compare(a.name, b.name)
 		})
 		names := make([]string, 0, len(edges))
 		for _, e := range edges {
@@ -453,24 +503,25 @@ func scanASEPImages(images map[string][]byte, view View) (*Snapshot, int, error)
 	if err != nil {
 		return nil, 0, err
 	}
+	bld := NewColumnarBuilder(t, KindASEPHooks, view, len(hooks))
 	for _, h := range hooks {
-		snap.add(Entry{ID: h.ID(), Display: h.String(), Detail: h.ASEP})
+		bld.Add(h.ID(), h.String(), h.ASEP)
 	}
-	return snap, parsedKeys, nil
+	return bld.Build(), parsedKeys, nil
 }
 
 // ScanASEPImages is the outside-the-box ASEP scan over hive files read
 // from the system drive under a clean OS.
 func ScanASEPImages(images map[string][]byte, view View, clock *vtime.Clock, p machine.Profile) (*Snapshot, error) {
 	sw := vtime.NewStopwatch(clock)
-	snap, parsed, err := scanASEPImages(images, view)
+	snap, parsed, err := scanASEPImagesC(images, view, NewInternTable())
 	if err != nil {
 		return nil, err
 	}
 	clock.ChargeOps(int64(float64(parsed)*p.RepRegFactor()), costPerRepKeyParse)
 	snap.Taken = clock.Now()
 	snap.Elapsed = sw.Elapsed()
-	return snap, nil
+	return snap.Snapshot(), nil
 }
 
 // --- process scans --------------------------------------------------------------
@@ -480,17 +531,28 @@ func procID(pid uint64, name string) string { return pidUpperID(pid, name) }
 // ScanProcsHigh lists processes through the full API chain (what Task
 // Manager and tlist see).
 func ScanProcsHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
+	c, err := scanProcsHighC(m, call, NewInternTable())
+	if err != nil {
+		return nil, err
+	}
+	return c.Snapshot(), nil
+}
+
+func scanProcsHighC(m *machine.Machine, call *winapi.Call, t *InternTable) (*ColumnarSnapshot, error) {
 	clk := clockFor(m, call)
 	sw := vtime.NewStopwatch(clk)
-	snap := newSnapshot(KindProcesses, ViewWin32Inside)
 	procs, err := m.API.EnumProcessesWin32(call)
 	if err != nil {
 		return nil, fmt.Errorf("core: high-level process scan: %w", err)
 	}
-	snap.grow(len(procs))
+	bld := NewColumnarBuilder(t, KindProcesses, ViewWin32Inside, len(procs))
+	var idBuf, dispBuf []byte
 	for _, p := range procs {
-		snap.add(Entry{ID: procID(p.Pid, p.Name), Display: procDisplay(p.Name, p.Pid), Detail: p.Path})
+		idBuf = appendPidUpperID(idBuf, p.Pid, p.Name)
+		dispBuf = appendProcDisplay(dispBuf, p.Name, p.Pid)
+		bld.AddRow(t.InternBytes(idBuf), t.InternStrBytes(dispBuf), p.Path)
 	}
+	snap := bld.Build()
 	clk.ChargeOps(int64(len(procs)), costPerProcess/8)
 	snap.Taken = clk.Now()
 	snap.Elapsed = sw.Elapsed()
@@ -502,10 +564,14 @@ func ScanProcsHigh(m *machine.Machine, call *winapi.Call) (*Snapshot, error) {
 // API-intercepting ghostware); in advanced mode it walks the CID table,
 // which also exposes DKOM-hidden processes.
 func ScanProcsLow(m *machine.Machine, advanced bool) (*Snapshot, error) {
-	return scanProcsLowOn(m, advanced, m.Clock)
+	c, err := scanProcsLowC(m, advanced, m.Clock, NewInternTable())
+	if err != nil {
+		return nil, err
+	}
+	return c.Snapshot(), nil
 }
 
-func scanProcsLowOn(m *machine.Machine, advanced bool, clk *vtime.Clock) (*Snapshot, error) {
+func scanProcsLowC(m *machine.Machine, advanced bool, clk *vtime.Clock, t *InternTable) (*ColumnarSnapshot, error) {
 	sw := vtime.NewStopwatch(clk)
 	view := ViewKernelAPL
 	walker := kernel.WalkActiveProcessList
@@ -513,18 +579,21 @@ func scanProcsLowOn(m *machine.Machine, advanced bool, clk *vtime.Clock) (*Snaps
 		view = ViewKernelCID
 		walker = kernel.WalkCidProcesses
 	}
-	snap := newSnapshot(KindProcesses, view)
 	procs, err := walker(m.Kern.ScanMem(), m.Kern.Layout())
 	if err != nil {
 		return nil, fmt.Errorf("core: low-level process scan: %w", err)
 	}
-	snap.grow(len(procs))
+	bld := NewColumnarBuilder(t, KindProcesses, view, len(procs))
+	var idBuf, dispBuf []byte
 	for _, p := range procs {
 		if p.Exited {
 			continue
 		}
-		snap.add(Entry{ID: procID(p.Pid, p.Name), Display: procDisplay(p.Name, p.Pid), Detail: p.ImagePath})
+		idBuf = appendPidUpperID(idBuf, p.Pid, p.Name)
+		dispBuf = appendProcDisplay(dispBuf, p.Name, p.Pid)
+		bld.AddRow(t.InternBytes(idBuf), t.InternStrBytes(dispBuf), p.ImagePath)
 	}
+	snap := bld.Build()
 	clk.ChargeOps(int64(len(procs)), costPerProcess)
 	snap.Taken = clk.Now()
 	snap.Elapsed = sw.Elapsed()
@@ -553,6 +622,18 @@ func ScanProcsFromDump(mem kmem.Reader, layout kernel.Layout, advanced bool) (*S
 	return snap, nil
 }
 
+func procDisplay(name string, pid uint64) string {
+	return string(appendProcDisplay(make([]byte, 0, len(name)+27), name, pid))
+}
+
+func modDisplay(pid uint64, path string) string {
+	return string(appendModDisplay(make([]byte, 0, 26+len(path)), pid, path))
+}
+
+func baseDetail(base uint64) string {
+	return string(appendBaseDetail(make([]byte, 0, 23), base))
+}
+
 // --- module scans ----------------------------------------------------------------
 
 func modID(pid uint64, path string) string { return pidUpperID(pid, path) }
@@ -563,10 +644,20 @@ func modID(pid uint64, path string) string { return pidUpperID(pid, path) }
 // a sweep that lost half its processes is distinguishable from a clean
 // one.
 func ScanModsHigh(m *machine.Machine, call *winapi.Call, pids []uint64) (*Snapshot, error) {
+	c, err := scanModsHighC(m, call, pids, NewInternTable())
+	if err != nil {
+		return nil, err
+	}
+	return c.Snapshot(), nil
+}
+
+func scanModsHighC(m *machine.Machine, call *winapi.Call, pids []uint64, t *InternTable) (*ColumnarSnapshot, error) {
 	clk := clockFor(m, call)
 	sw := vtime.NewStopwatch(clk)
-	snap := newSnapshot(KindModules, ViewWin32Inside)
+	bld := NewColumnarBuilder(t, KindModules, ViewWin32Inside, 0)
+	skipped := 0
 	total := 0
+	var idBuf, dispBuf, detBuf []byte
 	for _, pid := range pids {
 		mods, err := m.API.EnumModulesWin32(call, pid)
 		if err != nil {
@@ -576,14 +667,19 @@ func ScanModsHigh(m *machine.Machine, call *winapi.Call, pids []uint64) (*Snapsh
 			if errors.Is(err, winapi.ErrInjectedFault) {
 				return nil, fmt.Errorf("core: high-level module scan: %w", err)
 			}
-			snap.Skipped++
+			skipped++
 			continue
 		}
 		for _, mod := range mods {
-			snap.add(Entry{ID: modID(pid, mod.Path), Display: modDisplay(pid, mod.Path), Detail: baseDetail(mod.Base)})
+			idBuf = appendPidUpperID(idBuf, pid, mod.Path)
+			dispBuf = appendModDisplay(dispBuf, pid, mod.Path)
+			detBuf = appendBaseDetail(detBuf, mod.Base)
+			bld.AddRow(t.InternBytes(idBuf), t.InternStrBytes(dispBuf), t.InternStrBytes(detBuf))
 			total++
 		}
 	}
+	snap := bld.Build()
+	snap.Skipped = skipped
 	clk.ChargeOps(int64(total), costPerModule)
 	snap.Taken = clk.Now()
 	snap.Elapsed = sw.Elapsed()
@@ -594,24 +690,35 @@ func ScanModsHigh(m *machine.Machine, call *winapi.Call, pids []uint64) (*Snapsh
 // kernel's VAD image lists. Unreadable pids are skipped and counted,
 // mirroring ScanModsHigh.
 func ScanModsLow(m *machine.Machine, pids []uint64) (*Snapshot, error) {
-	return scanModsLowOn(m, pids, m.Clock)
+	c, err := scanModsLowC(m, pids, m.Clock, NewInternTable())
+	if err != nil {
+		return nil, err
+	}
+	return c.Snapshot(), nil
 }
 
-func scanModsLowOn(m *machine.Machine, pids []uint64, clk *vtime.Clock) (*Snapshot, error) {
+func scanModsLowC(m *machine.Machine, pids []uint64, clk *vtime.Clock, t *InternTable) (*ColumnarSnapshot, error) {
 	sw := vtime.NewStopwatch(clk)
-	snap := newSnapshot(KindModules, ViewKernelVAD)
+	bld := NewColumnarBuilder(t, KindModules, ViewKernelVAD, 0)
+	skipped := 0
 	total := 0
+	var idBuf, dispBuf, detBuf []byte
 	for _, pid := range pids {
 		mods, err := m.Kern.ModulesTruth(pid)
 		if err != nil {
-			snap.Skipped++
+			skipped++
 			continue
 		}
 		for _, mod := range mods {
-			snap.add(Entry{ID: modID(pid, mod.Path), Display: modDisplay(pid, mod.Path), Detail: baseDetail(mod.Base)})
+			idBuf = appendPidUpperID(idBuf, pid, mod.Path)
+			dispBuf = appendModDisplay(dispBuf, pid, mod.Path)
+			detBuf = appendBaseDetail(detBuf, mod.Base)
+			bld.AddRow(t.InternBytes(idBuf), t.InternStrBytes(dispBuf), t.InternStrBytes(detBuf))
 			total++
 		}
 	}
+	snap := bld.Build()
+	snap.Skipped = skipped
 	clk.ChargeOps(int64(total), costPerModule)
 	snap.Taken = clk.Now()
 	snap.Elapsed = sw.Elapsed()

@@ -67,13 +67,15 @@ type Entry struct {
 	Detail  string `json:"detail"`  // auxiliary information (size, pid, hook data)
 }
 
-// Snapshot is the result of one scan: a keyed set of entries.
+// Snapshot is the result of one scan: a keyed set of entries. This is
+// the serialization and interchange form; the detector hot path runs on
+// ColumnarSnapshot and materializes this adapter at API boundaries.
 type Snapshot struct {
-	Kind    ResourceKind
-	View    View
-	Taken   time.Duration // virtual time when the scan completed
-	Entries map[string]Entry
-	Elapsed time.Duration `json:"elapsedNs"` // virtual time the scan consumed
+	Kind    ResourceKind     `json:"kind"`
+	View    View             `json:"view"`
+	Taken   time.Duration    `json:"takenNs"` // virtual time when the scan completed
+	Entries map[string]Entry `json:"entries"`
+	Elapsed time.Duration    `json:"elapsedNs"` // virtual time the scan consumed
 	// Skipped counts scan targets the pass could not read (e.g. pids
 	// whose process exited mid-scan). A snapshot that skipped half its
 	// targets must not be mistaken for a clean one.

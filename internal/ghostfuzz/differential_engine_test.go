@@ -1,0 +1,133 @@
+package ghostfuzz
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/faultinject"
+	"ghostbuster/internal/machine"
+)
+
+// TestDiffEnginesAgreeAcrossCorpus is the columnar-migration
+// differential: for every spec in the committed corpus plus a spread of
+// generated ones (clean, faulted, and mass-hiding), the legacy map-probe
+// diff and the columnar merge-join diff must produce byte-identical
+// sealed Reports from the same pair of snapshots. The snapshots come
+// through the public scan API (map adapters), are re-encoded into one
+// shared intern table, and diffed by both engines.
+func TestDiffEnginesAgreeAcrossCorpus(t *testing.T) {
+	specs, err := LoadCorpus(filepath.Join("..", "..", "testdata", "ghostfuzz", "corpus"))
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		specs = append(specs, Generate(seed))
+	}
+	for seed := int64(1); seed <= 2; seed++ {
+		specs = append(specs, GenerateFaulted(seed))
+	}
+	mass, err := ParseSpec("ghostfuzz-v1 seed=7 atoms=file@ssdt/2/all;ads/1/all;decoy@filter/120/utils")
+	if err != nil {
+		t.Fatalf("mass-hiding spec: %v", err)
+	}
+	specs = append(specs, mass)
+
+	comparedPairs := 0
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.String(), func(t *testing.T) {
+			c, err := Build(spec)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if len(spec.Faults) > 0 {
+				// Armed faults exercise the engines over degraded inputs
+				// (skipped targets, partial views). Scans that error under
+				// a fault are skipped — there is nothing to diff.
+				inj, err := faultinject.New(c.M, faultinject.Plan{Seed: spec.Seed, Faults: spec.Faults})
+				if err != nil {
+					t.Fatalf("fault plan: %v", err)
+				}
+				inj.Arm()
+			}
+			comparedPairs += diffAllPairsBothEngines(t, c.M)
+		})
+	}
+	if comparedPairs == 0 {
+		t.Fatal("differential compared no snapshot pairs")
+	}
+	t.Logf("compared %d snapshot pairs across %d specs", comparedPairs, len(specs))
+}
+
+// diffAllPairsBothEngines gathers the four resource snapshot pairs via
+// the public scan API and asserts engine agreement on each; returns how
+// many pairs were actually compared.
+func diffAllPairsBothEngines(t *testing.T, m *machine.Machine) int {
+	t.Helper()
+	call := m.SystemCall()
+	type pair struct {
+		name      string
+		high, low func() (*core.Snapshot, error)
+	}
+	pids, pidsErr := core.TruthPids(m)
+	pairs := []pair{
+		{"files",
+			func() (*core.Snapshot, error) { return core.ScanFilesHigh(m, call) },
+			func() (*core.Snapshot, error) { return core.ScanFilesLow(m) }},
+		{"ASEPs",
+			func() (*core.Snapshot, error) { return core.ScanASEPHigh(m, call) },
+			func() (*core.Snapshot, error) { return core.ScanASEPLow(m) }},
+		{"processes",
+			func() (*core.Snapshot, error) { return core.ScanProcsHigh(m, call) },
+			func() (*core.Snapshot, error) { return core.ScanProcsLow(m, true) }},
+		{"modules",
+			func() (*core.Snapshot, error) {
+				if pidsErr != nil {
+					return nil, pidsErr
+				}
+				return core.ScanModsHigh(m, call, pids)
+			},
+			func() (*core.Snapshot, error) {
+				if pidsErr != nil {
+					return nil, pidsErr
+				}
+				return core.ScanModsLow(m, pids)
+			}},
+	}
+	opts := core.DiffOptions{NoiseFilters: core.BaselineNoiseFilters()}
+	compared := 0
+	for _, p := range pairs {
+		high, err := p.high()
+		if err != nil {
+			t.Logf("%s: high scan skipped under fault: %v", p.name, err)
+			continue
+		}
+		low, err := p.low()
+		if err != nil {
+			t.Logf("%s: low scan skipped under fault: %v", p.name, err)
+			continue
+		}
+		mapR, err := core.SealedDiff(high, low, opts)
+		if err != nil {
+			t.Fatalf("%s: map diff: %v", p.name, err)
+		}
+		tab := core.NewInternTable()
+		colR, err := core.DiffColumnar(core.SnapshotColumnar(high, tab), core.SnapshotColumnar(low, tab), opts)
+		if err != nil {
+			t.Fatalf("%s: columnar diff: %v", p.name, err)
+		}
+		colR.Seal()
+		mapJSON, _ := json.Marshal(mapR)
+		colJSON, _ := json.Marshal(colR)
+		if string(mapJSON) != string(colJSON) {
+			t.Errorf("%s: engines disagree: %s", p.name, firstDiff(string(mapJSON), string(colJSON)))
+		}
+		if mapR.Digest == "" || mapR.Digest != colR.Digest {
+			t.Errorf("%s: sealed digests differ: map %q columnar %q", p.name, mapR.Digest, colR.Digest)
+		}
+		compared++
+	}
+	return compared
+}

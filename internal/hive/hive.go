@@ -103,6 +103,10 @@ type Hive struct {
 	name  string
 	gen   uint64 // mutation generation, see Generation
 	fault SnapshotFault
+	// borrow marks a read-only hive opened over caller-owned bytes
+	// (OpenBorrowed): value reads return sub-slices of the image instead
+	// of defensive copies. Mutators must never run on a borrowed hive.
+	borrow bool
 }
 
 // SnapshotFault is a fault-injection hook over hive snapshots: it may
@@ -157,6 +161,21 @@ func Open(buf []byte) (*Hive, error) {
 	if _, err := h.readNK(root); err != nil {
 		return nil, err
 	}
+	return h, nil
+}
+
+// OpenBorrowed opens a read-only hive view directly over buf without
+// any defensive copying: Value.Data returned from reads aliases buf.
+// The caller owns buf and must keep it immutable and alive for as long
+// as any returned Value is retained (the raw-scan paths convert every
+// value to an owned string before the image goes out of scope). Calling
+// any mutator on a borrowed hive panics.
+func OpenBorrowed(buf []byte) (*Hive, error) {
+	h, err := Open(buf)
+	if err != nil {
+		return nil, err
+	}
+	h.borrow = true
 	return h, nil
 }
 
@@ -227,6 +246,9 @@ func (h *Hive) Generation() uint64 {
 
 // commit bumps both sequence numbers, marking a consistent state.
 func (h *Hive) commit() {
+	if h.borrow {
+		panic("hive: mutation on borrowed hive")
+	}
 	h.gen++
 	seq := binary.LittleEndian.Uint32(h.buf[hdrSeq1Off:]) + 1
 	binary.LittleEndian.PutUint32(h.buf[hdrSeq1Off:], seq)
@@ -259,6 +281,9 @@ func (h *Hive) cellPayload(off uint32) ([]byte, error) {
 // alloc finds or creates a free cell with at least payload bytes and
 // marks it allocated, returning its offset.
 func (h *Hive) alloc(payload int) uint32 {
+	if h.borrow {
+		panic("hive: mutation on borrowed hive")
+	}
 	need := (payload + 4 + 7) &^ 7
 	// First fit over existing bins.
 	for binStart := headerSize; binStart+binSize <= len(h.buf); binStart += binSize {

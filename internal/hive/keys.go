@@ -180,7 +180,7 @@ func (h *Hive) readVK(off uint32) (Value, uint32, error) {
 		if n > 4 {
 			return v, invalidOffset, fmt.Errorf("%w: inline data length %d", ErrCorrupt, n)
 		}
-		v.Data = append([]byte(nil), p[vkDataOff:vkDataOff+n]...)
+		v.Data = h.retainData(p[vkDataOff : vkDataOff+n : vkDataOff+n])
 		return v, invalidOffset, nil
 	}
 	dataOff := binary.LittleEndian.Uint32(p[vkDataOff:])
@@ -191,8 +191,21 @@ func (h *Hive) readVK(off uint32) (Value, uint32, error) {
 	if int(dataLen) > len(dp) {
 		return v, invalidOffset, fmt.Errorf("%w: vk data overruns cell %#x", ErrCorrupt, dataOff)
 	}
-	v.Data = append([]byte(nil), dp[:dataLen]...)
+	v.Data = h.retainData(dp[:dataLen:dataLen])
 	return v, dataOff, nil
+}
+
+// retainData applies the hive's ownership discipline to value bytes
+// about to escape a read: a borrowed (read-only, caller-owned image)
+// hive returns the sub-slice as-is — the raw-parse hot path never pays
+// the copy — while a live hive keeps the historical defensive copy,
+// since its buffer is mutated and reallocated in place by SetValue and
+// friends.
+func (h *Hive) retainData(b []byte) []byte {
+	if h.borrow {
+		return b
+	}
+	return append([]byte(nil), b...)
 }
 
 // --- path-level operations ---------------------------------------------------

@@ -20,13 +20,32 @@ type ParseStats struct {
 
 // Parse walks an entire hive image and returns every key with its
 // values. Individual corrupt subtrees are skipped rather than aborting
-// the scan, since the tool must survive hostile hives.
+// the scan, since the tool must survive hostile hives. Value data is
+// defensively copied out of the image; use ParseBorrowed when the
+// caller can uphold the borrow contract.
 func Parse(image []byte) ([]RawKey, ParseStats, error) {
-	var stats ParseStats
 	h, err := Open(image)
 	if err != nil {
-		return nil, stats, err
+		return nil, ParseStats{}, err
 	}
+	return parseAll(h, image)
+}
+
+// ParseBorrowed is Parse without the per-value defensive copy: every
+// returned Value.Data aliases image. The caller must keep image
+// immutable and alive while any returned value is retained — the
+// GhostBuster ASEP scans satisfy this by converting each value to an
+// owned string before the image is released.
+func ParseBorrowed(image []byte) ([]RawKey, ParseStats, error) {
+	h, err := OpenBorrowed(image)
+	if err != nil {
+		return nil, ParseStats{}, err
+	}
+	return parseAll(h, image)
+}
+
+func parseAll(h *Hive, image []byte) ([]RawKey, ParseStats, error) {
+	var stats ParseStats
 	stats.BytesRead = int64(len(image))
 	var out []RawKey
 	var walk func(off uint32, path string, depth int)

@@ -187,19 +187,42 @@ func (r *Record) Encode() ([]byte, error) {
 
 // DecodeRecord parses one RecordSize-byte FILE record. Records that were
 // never written (all zero) decode as not-in-use with no attributes.
+// Resident attribute Content is defensively copied out of b, so the
+// record stays valid after b is reused or mutated — the contract the
+// Volume mutators (which decode, edit, and re-encode records while the
+// device buffer moves underneath) rely on.
 func DecodeRecord(b []byte, num uint32) (*Record, error) {
-	if len(b) < RecordSize {
-		return nil, fmt.Errorf("%w: short record %d", ErrCorrupt, num)
+	r := &Record{}
+	if err := decodeRecordInto(r, b, num, false); err != nil {
+		return nil, err
 	}
-	r := &Record{Num: num}
+	return r, nil
+}
+
+// DecodeRecordBorrowed decodes into rec, reusing rec's attribute slice
+// capacity, with resident attribute Content *borrowing* b instead of
+// copying. The caller owns b and must keep it immutable while rec (or
+// anything aliasing its Content) is alive. The raw-scan hot path uses
+// this: it decodes under the volume's device lock and converts every
+// retained datum to an owned string before the lock is released, so
+// nothing borrowed escapes.
+func DecodeRecordBorrowed(rec *Record, b []byte, num uint32) error {
+	return decodeRecordInto(rec, b, num, true)
+}
+
+func decodeRecordInto(r *Record, b []byte, num uint32, borrow bool) error {
+	if len(b) < RecordSize {
+		return fmt.Errorf("%w: short record %d", ErrCorrupt, num)
+	}
+	*r = Record{Num: num, Attrs: r.Attrs[:0]}
 	if string(b[0:4]) != "FILE" {
 		// Unused slot: all zeros is normal; anything else is corruption.
 		for _, c := range b[:recHdrSize] {
 			if c != 0 {
-				return nil, fmt.Errorf("%w: record %d has bad magic", ErrCorrupt, num)
+				return fmt.Errorf("%w: record %d has bad magic", ErrCorrupt, num)
 			}
 		}
-		return r, nil
+		return nil
 	}
 	r.Seq = binary.LittleEndian.Uint16(b[recSeqOff:])
 	flags := binary.LittleEndian.Uint16(b[recFlagsOff:])
@@ -207,55 +230,59 @@ func DecodeRecord(b []byte, num uint32) (*Record, error) {
 	r.Dir = flags&flagDirectory != 0
 	used := int(binary.LittleEndian.Uint32(b[recUsedOff:]))
 	if used > RecordSize {
-		return nil, fmt.Errorf("%w: record %d used size %d", ErrCorrupt, num, used)
+		return fmt.Errorf("%w: record %d used size %d", ErrCorrupt, num, used)
 	}
 	off := int(binary.LittleEndian.Uint16(b[recFirstAttOff:]))
 	for {
 		if off+4 > RecordSize {
-			return nil, fmt.Errorf("%w: record %d attribute overrun", ErrCorrupt, num)
+			return fmt.Errorf("%w: record %d attribute overrun", ErrCorrupt, num)
 		}
 		typ := binary.LittleEndian.Uint32(b[off:])
 		if typ == attrEnd {
 			break
 		}
 		if off+attrResHdr > RecordSize {
-			return nil, fmt.Errorf("%w: record %d attribute header overrun", ErrCorrupt, num)
+			return fmt.Errorf("%w: record %d attribute header overrun", ErrCorrupt, num)
 		}
 		recLen := int(binary.LittleEndian.Uint32(b[off+4:]))
 		if recLen < attrResHdr || off+recLen > RecordSize {
-			return nil, fmt.Errorf("%w: record %d attribute length %d", ErrCorrupt, num, recLen)
+			return fmt.Errorf("%w: record %d attribute length %d", ErrCorrupt, num, recLen)
 		}
 		a := Attribute{Type: typ, NonResident: b[off+8] == 1}
 		nameBytes := 2 * int(b[off+9])
 		if a.NonResident {
 			if recLen < attrNonResHdr+nameBytes {
-				return nil, fmt.Errorf("%w: record %d non-resident attr too short", ErrCorrupt, num)
+				return fmt.Errorf("%w: record %d non-resident attr too short", ErrCorrupt, num)
 			}
 			rlLen := int(binary.LittleEndian.Uint32(b[off+12:]))
 			a.RealSize = binary.LittleEndian.Uint64(b[off+16:])
 			a.Name = decodeUTF16(b[off+attrNonResHdr : off+attrNonResHdr+nameBytes])
 			rlStart := off + attrNonResHdr + nameBytes
 			if attrNonResHdr+nameBytes+rlLen > recLen {
-				return nil, fmt.Errorf("%w: record %d runlist overrun", ErrCorrupt, num)
+				return fmt.Errorf("%w: record %d runlist overrun", ErrCorrupt, num)
 			}
 			runs, _, err := decodeRunlist(b[rlStart : rlStart+rlLen])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			a.Runs = runs
 		} else {
 			cl := int(binary.LittleEndian.Uint32(b[off+12:]))
 			if attrResHdr+nameBytes+cl > recLen {
-				return nil, fmt.Errorf("%w: record %d content overrun", ErrCorrupt, num)
+				return fmt.Errorf("%w: record %d content overrun", ErrCorrupt, num)
 			}
 			a.Name = decodeUTF16(b[off+attrResHdr : off+attrResHdr+nameBytes])
 			start := off + attrResHdr + nameBytes
-			a.Content = append([]byte(nil), b[start:start+cl]...)
+			if borrow {
+				a.Content = b[start : start+cl : start+cl]
+			} else {
+				a.Content = append([]byte(nil), b[start:start+cl]...)
+			}
 		}
 		r.Attrs = append(r.Attrs, a)
 		off += recLen
 	}
-	return r, nil
+	return nil
 }
 
 // attr returns the first *unnamed* attribute of the given type, or nil.

@@ -49,6 +49,7 @@ type rawNode struct {
 	name    string
 	parent  uint32
 	dir     bool
+	used    bool // record decoded to an in-use file (slot is live)
 	size    uint64
 	si      StandardInformation
 	seq     uint16
@@ -82,13 +83,21 @@ func RawScanParallel(image []byte, workers int) ([]RawEntry, RawScanStats, error
 	if mftBase+nRec*RecordSize > len(image) {
 		return nil, stats, fmt.Errorf("%w: MFT extends past image", ErrCorrupt)
 	}
-	nodes := make([]*rawNode, nRec)
+	// One flat node arena instead of a slice of per-record heap nodes:
+	// workers write disjoint index ranges in place, and the path pass
+	// walks it without pointer chasing.
+	nodes := make([]rawNode, nRec)
 	decodeRange := func(lo, hi int) RawScanStats {
 		var st RawScanStats
+		// The scratch record is reused across the shard (attribute slice
+		// capacity carries over), and resident attribute content borrows
+		// the image bytes — the caller holds the device immutable for the
+		// duration, and everything retained below (names, stream names)
+		// is converted to owned strings by the UTF-16 decode.
+		var rec Record
 		for i := lo; i < hi; i++ {
 			off := mftBase + i*RecordSize
-			rec, err := DecodeRecord(image[off:off+RecordSize], uint32(i))
-			if err != nil {
+			if err := DecodeRecordBorrowed(&rec, image[off:off+RecordSize], uint32(i)); err != nil {
 				// A single mangled record should not abort the scan; the
 				// paper's tool must keep going over hostile disks. Blank
 				// (free) records are expected; anything else is damage.
@@ -109,7 +118,9 @@ func RawScanParallel(image []byte, workers int) ([]RawEntry, RawScanStats, error
 			}
 			si, _ := rec.StandardInformation()
 			pnum, _ := SplitRef(fn.ParentRef)
-			node := &rawNode{name: fn.Name, parent: pnum, dir: rec.Dir, size: fn.RealSize, si: si, seq: rec.Seq}
+			node := &nodes[i]
+			node.name, node.parent, node.dir, node.used = fn.Name, pnum, rec.Dir, true
+			node.size, node.si, node.seq = fn.RealSize, si, rec.Seq
 			for _, a := range rec.NamedStreams() {
 				size := uint64(len(a.Content))
 				if a.NonResident {
@@ -117,7 +128,6 @@ func RawScanParallel(image []byte, workers int) ([]RawEntry, RawScanStats, error
 				}
 				node.streams = append(node.streams, StreamInfo{Name: a.Name, Size: size})
 			}
-			nodes[i] = node
 		}
 		return st
 	}
@@ -155,8 +165,8 @@ func RawScanParallel(image []byte, workers int) ([]RawEntry, RawScanStats, error
 	}
 
 	live := 0
-	for _, n := range nodes {
-		if n != nil {
+	for i := range nodes {
+		if nodes[i].used {
 			live++
 		}
 	}
@@ -171,10 +181,10 @@ func RawScanParallel(image []byte, workers int) ([]RawEntry, RawScanStats, error
 		if p, ok := memo[num]; ok {
 			return p, !strings.HasPrefix(p, orphanPrefix)
 		}
-		if int(num) >= len(nodes) || nodes[num] == nil || depth > 512 {
+		if int(num) >= len(nodes) || !nodes[num].used || depth > 512 {
 			return orphanPrefix, false
 		}
-		n := nodes[num]
+		n := &nodes[num]
 		parentPath, rooted := pathOf(n.parent, depth+1)
 		p := parentPath + "\\" + n.name
 		if !rooted {
@@ -186,8 +196,8 @@ func RawScanParallel(image []byte, workers int) ([]RawEntry, RawScanStats, error
 
 	out := make([]RawEntry, 0, live)
 	for num := firstUserRec; num < len(nodes); num++ {
-		n := nodes[num]
-		if n == nil {
+		n := &nodes[num]
+		if !n.used {
 			continue
 		}
 		p, rooted := pathOf(uint32(num), 0)
@@ -230,13 +240,15 @@ func ScanDeleted(image []byte) ([]DeletedEntry, error) {
 	}
 	var out []DeletedEntry
 	mftBase := int(geo.MFTStart) * ClusterSize
+	// Borrowed decode with a reused scratch record: everything retained
+	// below (names, sizes) is owned, so nothing aliases image on return.
+	var rec Record
 	for i := uint32(firstUserRec); uint64(i) < geo.MFTRecords; i++ {
 		off := mftBase + int(i)*RecordSize
 		if off+RecordSize > len(image) {
 			break
 		}
-		rec, err := DecodeRecord(image[off:off+RecordSize], i)
-		if err != nil || rec.InUse || len(rec.Attrs) == 0 {
+		if err := DecodeRecordBorrowed(&rec, image[off:off+RecordSize], i); err != nil || rec.InUse || len(rec.Attrs) == 0 {
 			continue
 		}
 		fn, err := rec.FileName()

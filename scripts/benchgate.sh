@@ -1,0 +1,15 @@
+#!/bin/sh
+# Perf-regression gate: re-measure the sweep benchmark and compare it
+# against the committed baseline (BENCH_sweep.json), failing on >15%
+# regression. Only deterministic metrics are gated — virtual-time sweep
+# costs and per-entry allocation counts — so the gate is hardware- and
+# load-independent. The diff microbench and fleet run at a lighter scale
+# than the committed baseline; the gated metrics are scale-invariant.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp /tmp/bench_candidate.XXXXXX.json)
+trap 'rm -f "$tmp"' EXIT
+
+go run ./cmd/paperbench -sweepbench -reps 2 -hosts 20 -fleetLarge 100 -diffEntries 200000 -out "$tmp"
+go run ./cmd/paperbench -benchgate -baseline BENCH_sweep.json -candidate "$tmp"

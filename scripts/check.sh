@@ -34,6 +34,9 @@ go test -cover ./internal/core/ ./internal/ntfs/ ./internal/hive/ ./internal/fle
 		END { exit bad }
 	'
 
+echo "==> perf gate (sweepbench vs committed BENCH_sweep.json, deterministic metrics)"
+sh scripts/benchgate.sh
+
 echo "==> ghostfuzz smoke (fixed seed, 50 cases)"
 go run ./cmd/ghostfuzz -seed 1 -n 50 > /dev/null
 
