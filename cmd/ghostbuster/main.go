@@ -14,6 +14,8 @@
 //	ghostbuster -infect Vanquish -inject          # scan from inside every process
 //	ghostbuster -fleet 8 -journal sweep.gbj -json # durable fleet sweep
 //	ghostbuster -fleet 8 -journal sweep.gbj -resume
+//	ghostbuster -fleet 64 -shards 4 -shard-journal-dir sweepdir  # fleet of fleets
+//	ghostbuster -fleet 64 -shards 4 -shard-journal-dir sweepdir -resume
 //	ghostbuster -verify-report report.json        # check tamper evidence
 //
 // Exit codes (stable, for scripted callers):
@@ -33,9 +35,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ghostbuster/internal/core"
 	"ghostbuster/internal/fleet"
+	"ghostbuster/internal/fleetshard"
 	"ghostbuster/internal/ghostware"
 	"ghostbuster/internal/injection"
 	"ghostbuster/internal/machine"
@@ -86,6 +90,8 @@ func run(args []string) (int, error) {
 	breaker := fs.Int("breaker", 0, "fleet mode: quarantine a host after this many consecutive failed attempts")
 	abortFraction := fs.Float64("abort-fraction", 0, "fleet mode: abort the sweep when more than this fraction of hosts fail")
 	maxRetries := fs.Int("max-retries", 0, "fleet mode: extra scan attempts per failed or degraded host")
+	shards := fs.Int("shards", 0, "fleet mode: consistent-hash the hosts across this many sweeper shards (the fleet-of-fleets control plane)")
+	shardJournalDir := fs.String("shard-journal-dir", "", "sharded fleet mode: directory holding one journal per shard plus the coordinator manifest; enables -resume after losing any subset of shards")
 	verifyReport := fs.String("verify-report", "", "verify a saved fleet report's tamper-evidence chain and exit")
 	if err := fs.Parse(args); err != nil {
 		return exitError, err
@@ -100,16 +106,24 @@ func run(args []string) (int, error) {
 	if *verifyReport != "" {
 		return runVerifyReport(*verifyReport)
 	}
-	if *resume && *journalPath == "" {
-		return exitError, fmt.Errorf("-resume requires -journal")
+	if *resume && *journalPath == "" && *shardJournalDir == "" {
+		return exitError, fmt.Errorf("-resume requires -journal (or -shards with -shard-journal-dir)")
+	}
+	if *shards > 0 && *fleetN <= 0 {
+		return exitError, fmt.Errorf("-shards requires -fleet")
 	}
 	if *fleetN > 0 {
-		return runFleet(fleetOptions{
+		opts := fleetOptions{
 			hosts: *fleetN, workers: *workers, infect: *infect,
 			journal: *journalPath, resume: *resume,
 			breaker: *breaker, abortFraction: *abortFraction, maxRetries: *maxRetries,
 			jsonOut: *jsonOut,
-		})
+			shards:  *shards, shardJournalDir: *shardJournalDir,
+		}
+		if *shards > 0 {
+			return runShardedFleet(opts)
+		}
+		return runFleet(opts)
 	}
 
 	p := workload.SmallProfile()
@@ -269,6 +283,8 @@ type fleetOptions struct {
 	infect, journal                     string
 	resume, jsonOut                     bool
 	abortFraction                       float64
+	shards                              int
+	shardJournalDir                     string
 }
 
 // buildCLIFleet assembles the simulated fleet deterministically: host i
@@ -364,6 +380,130 @@ func runFleet(opts fleetOptions) (int, error) {
 	if rep.Aborted {
 		fmt.Printf("\nSWEEP ABORTED: %s (unscanned: %s)\n", rep.AbortReason, strings.Join(rep.NotScanned, ", "))
 	}
+	fmt.Printf("report digest: %s\n", rep.Digest)
+	printVerdict(infected, rep.Degraded(), rep.Aborted)
+	return verdictCode(infected, rep.Degraded(), rep.Aborted), nil
+}
+
+// cliHostSource builds CLI fleet hosts on demand for the sharded
+// control plane: the same deterministic construction as buildCLIFleet
+// (host i seeded with i+1), so a -resume after losing shards rebuilds
+// hosts whose scans hash identically to the journaled ones.
+type cliHostSource struct {
+	n      int
+	infect string
+}
+
+func (s cliHostSource) Len() int { return s.n }
+
+func (s cliHostSource) Name(i int) string { return fmt.Sprintf("host-%03d", i) }
+
+func (s cliHostSource) Build(i int) (*machine.Machine, error) {
+	p := machine.DefaultProfile()
+	p.DiskUsedGB = 1
+	p.Churn = nil
+	p.Seed = int64(i + 1)
+	m, err := machine.New(p)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range []string{`C:\Private\diary.txt`, `C:\Shared\docs.txt`} {
+		if err := m.DropFile(f, []byte("user data")); err != nil {
+			return nil, err
+		}
+	}
+	if i == 0 && s.infect != "" {
+		e, ok := ghostware.Lookup(s.infect)
+		if !ok {
+			return nil, fmt.Errorf("unknown ghostware %q (try -list-ghostware)", s.infect)
+		}
+		g := e.New()
+		if err := g.Install(m); err != nil {
+			return nil, err
+		}
+		if e.Arm != nil {
+			if err := e.Arm(m, g); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// runShardedFleet sweeps the fleet through the fleet-of-fleets control
+// plane: hosts consistent-hashed across -shards sweeper shards, results
+// streamed and folded shard by shard, the merged report sealed with the
+// cross-shard digest layer.
+func runShardedFleet(opts fleetOptions) (int, error) {
+	src := cliHostSource{n: opts.hosts, infect: opts.infect}
+	coord, err := fleetshard.New(fleetshard.Config{
+		Shards:                    opts.shards,
+		ShardWorkers:              opts.workers,
+		JournalDir:                opts.shardJournalDir,
+		MaxRetries:                opts.maxRetries,
+		BreakerThreshold:          opts.breaker,
+		AbortAfterFailureFraction: opts.abortFraction,
+	}, src)
+	if err != nil {
+		return exitError, err
+	}
+	var rep *fleetshard.Report
+	if opts.resume {
+		if opts.shardJournalDir == "" {
+			return exitError, fmt.Errorf("-resume with -shards requires -shard-journal-dir")
+		}
+		fmt.Fprintf(os.Stderr, "resuming sharded sweep from %s...\n", opts.shardJournalDir)
+		rep, err = coord.Resume()
+	} else {
+		fmt.Fprintf(os.Stderr, "sweeping %d hosts across %d shards...\n", opts.hosts, opts.shards)
+		rep, err = coord.Sweep()
+	}
+	if err != nil {
+		return exitError, err
+	}
+
+	infected := rep.Infected > 0
+	if opts.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return exitError, err
+		}
+		return verdictCode(infected, rep.Degraded(), rep.Aborted), nil
+	}
+	for _, sr := range rep.ShardResults {
+		status := "clean"
+		switch {
+		case sr.Lost:
+			status = "LOST (hosts re-hashed to survivors)"
+		case sr.Quarantined:
+			status = "QUARANTINED"
+		case sr.Err != "":
+			status = "error: " + sr.Err
+		case sr.Summary != nil && sr.Summary.Infected > 0:
+			status = fmt.Sprintf("INFECTED (%d hosts, %d hidden)", sr.Summary.Infected, sr.Summary.HiddenTotal)
+		case sr.Summary != nil && sr.Summary.Failed+sr.Summary.DegradedHosts > 0:
+			status = "degraded"
+		}
+		extra := ""
+		if sr.Resumed {
+			extra += "  [resumed]"
+		}
+		if sr.Adopted > 0 {
+			extra += fmt.Sprintf("  [+%d adopted]", sr.Adopted)
+		}
+		scanned := 0
+		if sr.Summary != nil {
+			scanned = sr.Summary.Scanned
+		}
+		fmt.Printf("  shard %03d  %4d hosts  %4d scanned  %-36s%s\n", sr.Shard, sr.Hosts, scanned, status, extra)
+	}
+	if rep.Aborted {
+		fmt.Printf("\nSWEEP ABORTED: %s (%d hosts unscanned)\n", rep.AbortReason, rep.NotScanned)
+	}
+	fmt.Printf("virtual makespan: %s (total scan cost %s, peak resident results %d)\n",
+		vtime.String(time.Duration(rep.MakespanNs)), vtime.String(time.Duration(rep.VirtualNs)), rep.PeakResident)
+	fmt.Printf("merged digest: %s\n", rep.MergedDigest)
 	fmt.Printf("report digest: %s\n", rep.Digest)
 	printVerdict(infected, rep.Degraded(), rep.Aborted)
 	return verdictCode(infected, rep.Degraded(), rep.Aborted), nil

@@ -14,6 +14,7 @@
 //	ghostfuzz -corpus testdata/ghostfuzz/corpus -n 500   # record shrunk repros
 //	ghostfuzz -fleet 16 -lanes 4              # fuzz across a fleet sweep
 //	ghostfuzz -crashed 5                      # kill/resume journaled sweeps
+//	ghostfuzz -crashed 5 -shards 4            # sharded: kill K of N shard journals
 package main
 
 import (
@@ -44,6 +45,7 @@ func run(args []string, out *os.File) error {
 	corpus := fs.String("corpus", "", "directory to write shrunk failure specs into")
 	fleetN := fs.Int("fleet", 0, "fuzz across a fleet sweep with this many hosts instead of single cases")
 	crashed := fs.Int("crashed", 0, "crash mode: kill this many seeded journaled sweeps at varied offsets and check each resume against the uninterrupted run")
+	shards := fs.Int("shards", 0, "with -crashed: sweep each seeded fleet across this many journaled shards and kill subsets of shard journals instead of single-journal offsets")
 	lanes := fs.Int("lanes", 1, "per-host scan lanes in fleet mode")
 	workers := fs.Int("workers", 4, "fleet scheduler worker pool size")
 	if err := fs.Parse(args); err != nil {
@@ -79,7 +81,13 @@ func run(args []string, out *os.File) error {
 		var summaries []*ghostfuzz.CrashSummary
 		violations := 0
 		for i := 0; i < *crashed; i++ {
-			s, err := ghostfuzz.RunCrashResume(ghostfuzz.CaseSeed(*seed, i))
+			var s *ghostfuzz.CrashSummary
+			var err error
+			if *shards > 0 {
+				s, err = ghostfuzz.RunShardCrashResume(ghostfuzz.CaseSeed(*seed, i), *shards)
+			} else {
+				s, err = ghostfuzz.RunCrashResume(ghostfuzz.CaseSeed(*seed, i))
+			}
 			if err != nil {
 				return err
 			}

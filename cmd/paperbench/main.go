@@ -40,6 +40,8 @@ func run(args []string) error {
 	hosts := fs.Int("hosts", 100, "fleet size for the -sweepbench fleet timing")
 	diffEntries := fs.Int("diffEntries", 1000000, "snapshot entry count for the -sweepbench diff microbench")
 	fleetLarge := fs.Int("fleetLarge", 1000, "host count for the -sweepbench large-fleet timing")
+	shardHosts := fs.Int("shardHosts", 1000, "host count for the -sweepbench 1→64 shard-scaling curve")
+	megaHosts := fs.Int("megaHosts", 1000000, "host count for the -sweepbench bounded-memory mega sweep")
 	benchgate := fs.Bool("benchgate", false, "compare -candidate against -baseline, fail on >tolerance regression")
 	baseline := fs.String("baseline", "BENCH_sweep.json", "baseline JSON for -benchgate")
 	candidate := fs.String("candidate", "", "candidate JSON for -benchgate (a fresh -sweepbench output)")
@@ -81,7 +83,7 @@ func run(args []string) error {
 		return runBenchGate(*baseline, *candidate, *tolerance)
 	}
 	if *sweepbench {
-		return runSweepBench(*out, *reps, *hosts, *diffEntries, *fleetLarge)
+		return runSweepBench(*out, *reps, *hosts, *diffEntries, *fleetLarge, *shardHosts, *megaHosts)
 	}
 	if *list {
 		for _, e := range experiments.All() {

@@ -39,6 +39,13 @@ type sweepBenchResult struct {
 	Diff diffBenchResult `json:"diff"`
 	// Large fleet warm sweep through the bounded scheduler.
 	FleetLarge fleetBenchResult `json:"fleetLarge"`
+	// Shard-scaling curve: the same synthetic fleet swept at 1→64
+	// shards through the fleet-of-fleets control plane; makespan and
+	// speedup are virtual-time, deterministic on any hardware.
+	ShardScaling []shardScaleResult `json:"shardScaling,omitempty"`
+	// Million-host simulated sweep with the bounded-memory invariant
+	// pinned (peak resident results ≤ shard parallelism × (workers+1)).
+	MegaSweep megaSweepResult `json:"megaSweep,omitempty"`
 }
 
 // fleetBenchResult times one warm fleet sweep; VirtualNs sums per-host
@@ -97,7 +104,7 @@ func timeFleetSweep(mgr *fleet.Manager, hosts int) (fleetBenchResult, error) {
 
 // runSweepBench measures cold-vs-warm single-host sweeps, the diff
 // microbench, and fleet sweeps, then writes the JSON report to out.
-func runSweepBench(out string, reps, hosts, diffEntries, largeHosts int) error {
+func runSweepBench(out string, reps, hosts, diffEntries, largeHosts, shardHosts, megaHosts int) error {
 	p := workload.SmallProfile()
 	p.Churn = nil
 	p.MFTHeadroom = 32768 // size the MFT like a modest real disk
@@ -184,6 +191,13 @@ func runSweepBench(out string, reps, hosts, diffEntries, largeHosts int) error {
 		return err
 	}
 
+	if res.ShardScaling, err = runShardScaling(shardHosts); err != nil {
+		return err
+	}
+	if res.MegaSweep, err = runMegaSweep(megaHosts); err != nil {
+		return err
+	}
+
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
@@ -206,5 +220,13 @@ func runSweepBench(out string, reps, hosts, diffEntries, largeHosts int) error {
 	fmt.Printf("  fleet %d hosts: %v wall, %v virtual/host\n",
 		res.FleetLarge.Hosts, time.Duration(res.FleetLarge.SweepNs),
 		time.Duration(res.FleetLarge.VirtualNs/int64(max(res.FleetLarge.Hosts, 1))))
+	for _, sr := range res.ShardScaling {
+		fmt.Printf("  shards=%-3d makespan %12v  speedup %6.2fx  peak resident %d\n",
+			sr.Shards, time.Duration(sr.MakespanNs), sr.Speedup, sr.PeakResident)
+	}
+	mg := res.MegaSweep
+	fmt.Printf("  mega %d hosts / %d shards: %v wall, makespan %v (%.1fx over serial), %d infected, peak resident %d (bound %d), %.1f allocs/host\n",
+		mg.Hosts, mg.Shards, time.Duration(mg.WallNs), time.Duration(mg.MakespanNs),
+		mg.Speedup, mg.Infected, mg.PeakResident, mg.ResidentBound, mg.AllocsPerHost)
 	return nil
 }

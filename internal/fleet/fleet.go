@@ -35,6 +35,38 @@ type Host struct {
 	// only touched by the worker scanning this host; the scheduler never
 	// hands one host to two workers at once.
 	cache *core.ScanCache
+
+	// build constructs the host's machine on demand (AddLazy). A lazy
+	// host is materialized when its scan starts and released after its
+	// result is committed in a streaming sweep, so a million-host shard
+	// never holds more than its in-flight machines resident.
+	build func() (*machine.Machine, error)
+}
+
+// materialize builds a lazy host's machine if it is not resident.
+func (h *Host) materialize() error {
+	if h.M != nil {
+		return nil
+	}
+	if h.build == nil {
+		return fmt.Errorf("fleet: host %s has no machine and no builder", h.Name)
+	}
+	m, err := h.build()
+	if err != nil {
+		return fmt.Errorf("fleet: building host %s: %w", h.Name, err)
+	}
+	h.M = m
+	h.cache = core.NewScanCache(m)
+	return nil
+}
+
+// release drops a lazy host's machine and cache; the builder can
+// re-materialize it if the host is ever re-scanned. Eager hosts (Add)
+// are never released — their warm caches are the point.
+func (h *Host) release() {
+	if h.build != nil {
+		h.M, h.cache = nil, nil
+	}
 }
 
 // HostResult is the scan outcome for one host.
@@ -79,6 +111,10 @@ const (
 // Manager coordinates scans across hosts.
 type Manager struct {
 	hosts []*Host
+	// sorted tracks whether hosts is in name order; Add/AddLazy mark it
+	// dirty and every sweep entry point re-sorts lazily, so enrolling a
+	// million hosts is O(n log n) total instead of O(n² log n).
+	sorted bool
 	// Parallelism bounds the scheduler's worker pool for the parallel
 	// sweeps. Zero or negative means runtime.GOMAXPROCS(0).
 	Parallelism int
@@ -108,6 +144,17 @@ type Manager struct {
 	// the hosts. Zero disables the error budget. Only journaled sweeps
 	// (SweepJournaled/Resume) enforce it.
 	AbortAfterFailureFraction float64
+	// ScanHost, when set, replaces the real per-host scan body. It is
+	// the control-plane simulation seam: shard-scaling and million-host
+	// benchmarks exercise the scheduler, journal, and digest machinery
+	// against deterministic synthetic results without paying a full
+	// machine build per host. Production sweeps leave it nil.
+	ScanHost func(h *Host, kind SweepKind) HostResult
+	// Resident, when set, tracks how many host results are in flight or
+	// awaiting aggregation at once — the bounded-memory gauge streaming
+	// sweeps pin in tests and benchmarks. A fleetshard coordinator
+	// shares one gauge across every shard manager it drives.
+	Resident *ResidentGauge
 }
 
 // defaultRetryBackoff is the initial retry wait when RetryBackoff is 0.
@@ -118,13 +165,24 @@ const defaultRetryBackoff = 2 * time.Second
 // negative) and Clock.Advance would walk the virtual clock backwards.
 const maxRetryBackoff = 5 * time.Minute
 
-// nextBackoff doubles the retry wait, saturating at maxRetryBackoff.
-func nextBackoff(cur time.Duration) time.Duration {
+// MaxRetryBackoff is the saturation ceiling for every doubling retry
+// backoff in the control plane — per-host retries here and shard-level
+// retries in the fleetshard coordinator share it through NextBackoff.
+const MaxRetryBackoff = maxRetryBackoff
+
+// NextBackoff doubles a retry wait, saturating at MaxRetryBackoff.
+// This is the single saturation rule for retry backoff at every level:
+// duplicating the doubling logic is how a coordinator ends up with an
+// uncapped wait that overflows time.Duration.
+func NextBackoff(cur time.Duration) time.Duration {
 	if cur >= maxRetryBackoff/2 {
 		return maxRetryBackoff
 	}
 	return cur * 2
 }
+
+// nextBackoff is the package-internal alias retained for the retry loop.
+func nextBackoff(cur time.Duration) time.Duration { return NextBackoff(cur) }
 
 // NewManager returns an empty fleet.
 func NewManager() *Manager { return &Manager{} }
@@ -132,11 +190,30 @@ func NewManager() *Manager { return &Manager{} }
 // Add enrolls a host.
 func (mgr *Manager) Add(name string, m *machine.Machine) {
 	mgr.hosts = append(mgr.hosts, &Host{Name: name, M: m, cache: core.NewScanCache(m)})
+	mgr.sorted = false
+}
+
+// AddLazy enrolls a host whose machine is built on demand when its scan
+// starts. Streaming sweeps release the machine again after the result
+// is committed, so enrolling a huge shard costs one small descriptor
+// per host, not one simulated machine per host.
+func (mgr *Manager) AddLazy(name string, build func() (*machine.Machine, error)) {
+	mgr.hosts = append(mgr.hosts, &Host{Name: name, build: build})
+	mgr.sorted = false
+}
+
+// ensureSorted restores the name-order invariant every sweep relies on.
+func (mgr *Manager) ensureSorted() {
+	if mgr.sorted {
+		return
+	}
 	sort.Slice(mgr.hosts, func(i, j int) bool { return mgr.hosts[i].Name < mgr.hosts[j].Name })
+	mgr.sorted = true
 }
 
 // Hosts returns the enrolled host names.
 func (mgr *Manager) Hosts() []string {
+	mgr.ensureSorted()
 	out := make([]string, len(mgr.hosts))
 	for i, h := range mgr.hosts {
 		out[i] = h.Name
@@ -215,6 +292,19 @@ func (h *Host) scanOnce(kind SweepKind, hostParallelism int, deadline time.Durat
 	return h.insideScan(hostParallelism, deadline)
 }
 
+// scanHost runs one scan attempt on a host: the ScanHost simulation
+// seam if set, otherwise the real scan on a (possibly just
+// materialized) machine.
+func (mgr *Manager) scanHost(h *Host, kind SweepKind) HostResult {
+	if mgr.ScanHost != nil {
+		return mgr.ScanHost(h, kind)
+	}
+	if err := h.materialize(); err != nil {
+		return HostResult{Host: h.Name, Kind: kind, Err: err.Error()}
+	}
+	return h.scanOnce(kind, mgr.HostParallelism, mgr.HostDeadline)
+}
+
 // runHost scans one host with bounded retry: a failed or degraded
 // attempt is retried after a doubling virtual-time backoff, up to
 // MaxRetries extra attempts. The returned result is the final attempt's;
@@ -243,7 +333,7 @@ func (mgr *Manager) runHostFrom(h *Host, kind SweepKind, priorAttempts, priorFai
 		if onAttempt != nil {
 			onAttempt(attempt)
 		}
-		res := h.scanOnce(kind, mgr.HostParallelism, mgr.HostDeadline)
+		res := mgr.scanHost(h, kind)
 		if res.Err != "" {
 			consecFailed++
 		} else {
@@ -262,7 +352,9 @@ func (mgr *Manager) runHostFrom(h *Host, kind SweepKind, priorAttempts, priorFai
 			return res
 		}
 		retryNs += res.Elapsed + backoff
-		h.M.Clock.Advance(backoff)
+		if h.M != nil { // synthetic hosts have no machine clock to wait on
+			h.M.Clock.Advance(backoff)
+		}
 		backoff = nextBackoff(backoff)
 	}
 }
@@ -281,6 +373,7 @@ type indexedResult struct {
 // host scan is captured as that host's error instead of tearing down the
 // whole sweep.
 func (mgr *Manager) schedule(workers int, scan func(*Host) HostResult) <-chan indexedResult {
+	mgr.ensureSorted()
 	indices := make([]int, len(mgr.hosts))
 	for i := range indices {
 		indices[i] = i

@@ -10,6 +10,7 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -17,6 +18,13 @@ import (
 	"ghostbuster/internal/core"
 	"ghostbuster/internal/journal"
 )
+
+// ErrEmptyJournal marks a journal with no committed records — the
+// process died before the sweep header reached disk (or a torn tail
+// swallowed it). Nothing in such a journal can be trusted or replayed;
+// callers that own the host assignment (the shard coordinator) recover
+// by starting that sweep over.
+var ErrEmptyJournal = errors.New("fleet: journal has no committed records — nothing to resume (start a fresh sweep)")
 
 // Report is the merged outcome of a journaled sweep: the fleet-level
 // artifact an operator acts on, carrying enough evidence to prove it
@@ -213,7 +221,7 @@ func (mgr *Manager) Resume(kind SweepKind, workers int, path string) (*Report, e
 // and folds its records into per-host replay state.
 func (mgr *Manager) analyzeJournal(kind SweepKind, recs []journal.Record) (map[string]*hostReplay, error) {
 	if len(recs) == 0 {
-		return nil, fmt.Errorf("fleet: journal has no committed records — nothing to resume (start a fresh sweep)")
+		return nil, ErrEmptyJournal
 	}
 	head := recs[0]
 	if head.State != journal.StateSweep {
@@ -295,6 +303,7 @@ func terminalState(res HostResult) journal.State {
 // every host without a committed terminal record, journal transitions,
 // enforce the error budget, and merge the halves into a sealed report.
 func (mgr *Manager) sweepJournaled(kind SweepKind, workers int, j *journal.Journal, replay map[string]*hostReplay) (*Report, error) {
+	mgr.ensureSorted()
 	rep := &Report{Kind: kind}
 	results := make([]HostResult, len(mgr.hosts))
 	scanned := make([]bool, len(mgr.hosts))

@@ -1,0 +1,198 @@
+package fleet
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ghostbuster/internal/ghostware"
+	"ghostbuster/internal/journal"
+	"ghostbuster/internal/machine"
+)
+
+// TestStreamedSweepMatchesJournaled: the bounded-memory streaming sweep
+// must reach exactly the verdicts (and the same host-content
+// accumulator) as the classic journaled sweep over an identical fleet.
+func TestStreamedSweepMatchesJournaled(t *testing.T) {
+	infections := map[int]ghostware.Ghostware{1: ghostware.NewHackerDefender()}
+	dir := t.TempDir()
+
+	classic, err := buildFleet(t, 3, infections).SweepJournaled(SweepInside, 2, filepath.Join(dir, "classic.gbj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAcc, err := AccumulateReport(classic)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[string]int{}
+	sum, err := buildFleet(t, 3, infections).SweepJournaledStream(SweepInside, 2, filepath.Join(dir, "stream.gbj"),
+		func(res HostResult) { seen[res.Host]++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Hosts != 3 || sum.Scanned != 3 || sum.Infected != 1 || sum.Failed != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("sink saw %d hosts, want 3", len(seen))
+	}
+	for h, n := range seen {
+		if n != 1 {
+			t.Errorf("host %s streamed %d times", h, n)
+		}
+	}
+	if sum.Acc.Sum() != wantAcc.Sum() {
+		t.Errorf("streamed accumulator %.12s != classic %.12s", sum.Acc.Sum(), wantAcc.Sum())
+	}
+	if err := sum.VerifyDigest(); err != nil {
+		t.Errorf("summary fails its own seal: %v", err)
+	}
+}
+
+// TestStreamedResumeReproducesSummaryDigest: kill a streamed sweep
+// mid-journal, resume on a rebuilt fleet, and the sealed summary must
+// match the uninterrupted run's digest exactly.
+func TestStreamedResumeReproducesSummaryDigest(t *testing.T) {
+	infections := map[int]ghostware.Ghostware{2: ghostware.NewUrbin()}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.gbj")
+
+	ref, err := buildFleet(t, 3, infections).SweepJournaledStream(SweepInside, 1, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill after the first host's commit (the scheduler pipelines, so
+	// the second host's running record precedes the first's done): one
+	// committed, one dangling mid-attempt, one unvisited.
+	if _, err := journal.TruncateRecords(path, 1+3+3, false); err != nil {
+		t.Fatal(err)
+	}
+	replayed := 0
+	resumed, err := buildFleet(t, 3, infections).ResumeStream(SweepInside, 1, path,
+		func(res HostResult) { _ = res })
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed = resumed.Replayed
+	if replayed == 0 {
+		t.Error("resume replayed nothing — committed work was re-scanned or lost")
+	}
+	if resumed.Digest != ref.Digest {
+		t.Errorf("resumed summary digest %.12s != uninterrupted %.12s", resumed.Digest, ref.Digest)
+	}
+	if resumed.Acc.Sum() != ref.Acc.Sum() {
+		t.Errorf("resumed accumulator diverged")
+	}
+}
+
+// TestLazyHostsBuildOnceAndRelease: a lazy host's machine is built when
+// its scan starts and dropped after its result commits in a streamed
+// sweep.
+func TestLazyHostsBuildOnceAndRelease(t *testing.T) {
+	mgr := NewManager()
+	builds := map[string]int{}
+	for i := 0; i < 4; i++ {
+		name := hostName(i)
+		seed := int64(i + 1)
+		mgr.AddLazy(name, func() (*machine.Machine, error) {
+			builds[name]++
+			p := machine.DefaultProfile()
+			p.DiskUsedGB = 0.05
+			p.Churn = nil
+			p.Seed = seed
+			p.MFTHeadroom = 64
+			p.ClusterHeadroom = 64
+			return machine.New(p)
+		})
+	}
+	sum, err := mgr.SweepStreamed(SweepInside, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Scanned != 4 || sum.Failed != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	for i := 0; i < 4; i++ {
+		if n := builds[hostName(i)]; n != 1 {
+			t.Errorf("host %s built %d times, want 1", hostName(i), n)
+		}
+	}
+	for _, h := range mgr.hosts {
+		if h.M != nil || h.cache != nil {
+			t.Errorf("host %s still resident after streamed sweep", h.Name)
+		}
+	}
+}
+
+// TestResidentGaugeBoundsStreamedSweep: with w workers, no more than
+// w+1 results may ever be resident (in flight plus one crossing the
+// aggregation channel), regardless of fleet size.
+func TestResidentGaugeBoundsStreamedSweep(t *testing.T) {
+	const hosts, workers = 200, 3
+	mgr := NewManager()
+	for i := 0; i < hosts; i++ {
+		mgr.AddLazy(hostName(i%26)+string(rune('0'+i/26%10))+string(rune('0'+i/260)), nil)
+	}
+	mgr.ScanHost = func(h *Host, kind SweepKind) HostResult {
+		time.Sleep(50 * time.Microsecond)
+		return HostResult{Host: h.Name, Kind: kind, Elapsed: time.Millisecond}
+	}
+	gauge := &ResidentGauge{}
+	mgr.Resident = gauge
+	sum, err := mgr.SweepStreamed(SweepInside, workers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Scanned != hosts {
+		t.Fatalf("scanned %d of %d", sum.Scanned, hosts)
+	}
+	if peak := gauge.Peak(); peak > workers+1 {
+		t.Errorf("peak resident results %d, bound is workers+1 = %d", peak, workers+1)
+	}
+	if gauge.Current() != 0 {
+		t.Errorf("gauge not drained: %d still resident", gauge.Current())
+	}
+	if sum.PeakResident == 0 {
+		t.Error("summary did not record the resident peak")
+	}
+}
+
+// TestSweepSummaryDigestDetectsTamper: the third-layer seal must catch
+// any post-hoc edit to the summary's verdict fields.
+func TestSweepSummaryDigestDetectsTamper(t *testing.T) {
+	sum, err := buildFleet(t, 2, map[int]ghostware.Ghostware{0: ghostware.NewBerbew()}).
+		SweepStreamed(SweepInside, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.VerifyDigest(); err != nil {
+		t.Fatalf("fresh summary fails verification: %v", err)
+	}
+	tampered := *sum
+	tampered.Infected = 0
+	if err := tampered.VerifyDigest(); err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+		t.Errorf("tampered summary verified: %v", err)
+	}
+}
+
+// TestNextBackoffSharedSaturation: the exported saturation rule is the
+// same one the per-host retry loop uses — doubling stops exactly at
+// MaxRetryBackoff from any starting point.
+func TestNextBackoffSharedSaturation(t *testing.T) {
+	b := 2 * time.Second
+	for i := 0; i < 100; i++ {
+		b = NextBackoff(b)
+		if b <= 0 || b > MaxRetryBackoff {
+			t.Fatalf("backoff escaped (0, %v] after %d doublings: %v", MaxRetryBackoff, i+1, b)
+		}
+	}
+	if b != MaxRetryBackoff {
+		t.Errorf("backoff saturated at %v, want %v", b, MaxRetryBackoff)
+	}
+	if got := NextBackoff(48 * time.Hour); got != MaxRetryBackoff {
+		t.Errorf("NextBackoff(48h) = %v, want cap %v", got, MaxRetryBackoff)
+	}
+}

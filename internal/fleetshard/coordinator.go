@@ -1,0 +1,632 @@
+// The Coordinator: tier two of the fleet-of-fleets control plane. It
+// partitions hosts across sweeper shards with the consistent-hash ring,
+// drives each shard's journaled fleet.Manager with bounded shard
+// parallelism, folds the shards' streamed summaries into one merged
+// report, and applies the shard-level reliability controls — retry with
+// the shared saturating backoff, a per-shard circuit breaker, and a
+// fleet-of-fleets error budget — one level above the per-host versions
+// in internal/fleet.
+package fleetshard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ghostbuster/internal/fleet"
+	"ghostbuster/internal/machine"
+)
+
+// HostSource names and (lazily) builds the fleet's hosts. Sources must
+// be deterministic: Resume rebuilds lost hosts from scratch and their
+// re-scanned results must hash identically to the uninterrupted run's.
+type HostSource interface {
+	// Len is the total host count.
+	Len() int
+	// Name returns host i's stable name. Names must be unique.
+	Name(i int) string
+	// Build constructs host i's machine. Called on demand when the
+	// host's scan starts; the shard releases the machine afterwards.
+	Build(i int) (*machine.Machine, error)
+}
+
+// Config tunes a Coordinator. The host-level knobs are forwarded to
+// every shard's fleet.Manager; the shard-level knobs mirror them one
+// tier up.
+type Config struct {
+	// Kind is the sweep flavor; empty means fleet.SweepInside.
+	Kind fleet.SweepKind
+	// Shards is the sweeper shard count (required, >= 1).
+	Shards int
+	// VNodes is the consistent-hash virtual-node count per shard;
+	// 0 means the package default.
+	VNodes int
+	// ShardParallelism bounds how many shards sweep concurrently;
+	// 0 means runtime.GOMAXPROCS(0).
+	ShardParallelism int
+	// ShardWorkers is each shard manager's worker-pool size; 0 means 1
+	// (a shard models one sweeper process).
+	ShardWorkers int
+	// JournalDir, when set, holds one journal per shard plus the
+	// coordinator manifest; sweeps are then resumable after losing any
+	// subset of shards. Empty disables journaling (and resume).
+	JournalDir string
+
+	// Host-level knobs, forwarded verbatim to each shard manager.
+	HostParallelism           int
+	MaxRetries                int
+	RetryBackoff              time.Duration
+	HostDeadline              time.Duration
+	BreakerThreshold          int
+	AbortAfterFailureFraction float64
+
+	// ShardMaxRetries re-runs a failed shard sweep this many extra
+	// times, with a doubling backoff capped by the same saturation rule
+	// as host retries (fleet.NextBackoff).
+	ShardMaxRetries int
+	// ShardRetryBackoff is the first shard retry wait; 0 means 2s.
+	ShardRetryBackoff time.Duration
+	// ShardBreakerThreshold quarantines a shard after this many
+	// consecutive failed sweep attempts — BreakerThreshold one level
+	// up. Zero disables it.
+	ShardBreakerThreshold int
+	// AbortAfterShardFailureFraction aborts the whole run once more
+	// than this fraction of shards has failed or been quarantined —
+	// AbortAfterFailureFraction one level up. Zero disables it.
+	AbortAfterShardFailureFraction float64
+
+	// ScanHost is the simulation seam forwarded to shard managers (see
+	// fleet.Manager.ScanHost). Production sweeps leave it nil.
+	ScanHost func(h *fleet.Host, kind fleet.SweepKind) fleet.HostResult
+	// OnResult streams every committed host result (shard id attached)
+	// to the caller as it happens; the coordinator itself never retains
+	// results. May be nil.
+	OnResult func(shard int, res fleet.HostResult)
+	// ShardFault injects an infrastructure failure into a shard sweep
+	// attempt (chaos/testing seam): a non-nil error fails the attempt
+	// before any host is scanned.
+	ShardFault func(shard, attempt int) error
+	// Resident, when set, is the shared bounded-memory gauge; the
+	// coordinator creates one per run otherwise.
+	Resident *fleet.ResidentGauge
+}
+
+// defaultShardRetryBackoff mirrors the fleet manager's default.
+const defaultShardRetryBackoff = 2 * time.Second
+
+// manifestName is the coordinator manifest file inside JournalDir.
+const manifestName = "coordinator.json"
+
+// manifest records the sweep topology so Resume can validate that the
+// rebuilt fleet matches the journaled one. Host names are not listed —
+// at a million hosts that would defeat the bounded-memory point; the
+// per-shard journal headers carry each shard's exact host set.
+type manifest struct {
+	Version int    `json:"version"`
+	Kind    string `json:"kind"`
+	Shards  int    `json:"shards"`
+	VNodes  int    `json:"vnodes"`
+	Hosts   int    `json:"hosts"`
+}
+
+// ShardResult is one shard's row in the fleet-of-fleets report.
+type ShardResult struct {
+	Shard int `json:"shard"`
+	// Hosts is how many hosts the shard was responsible for this run
+	// (primary assignment plus adopted hosts).
+	Hosts int `json:"hosts"`
+	// Summary is the shard's streamed sweep summary (nil if the shard
+	// never produced one: lost, quarantined, failed, or unvisited).
+	Summary *fleet.SweepSummary `json:"summary,omitempty"`
+	// Adopted counts hosts re-hashed onto this shard from lost shards.
+	Adopted int `json:"adopted,omitempty"`
+	// Lost marks a shard whose journal did not survive; its hosts were
+	// re-hashed across the survivors.
+	Lost bool `json:"lost,omitempty"`
+	// Resumed marks a shard that replayed its own journal.
+	Resumed bool `json:"resumed,omitempty"`
+	// Quarantined marks a shard whose circuit breaker opened.
+	Quarantined bool   `json:"quarantined,omitempty"`
+	Err         string `json:"error,omitempty"`
+	// Attempts and RetryNs account shard-level retries; like the host
+	// versions they are bookkeeping, excluded from every digest.
+	Attempts int   `json:"attempts,omitempty"`
+	RetryNs  int64 `json:"retryNs,omitempty"`
+}
+
+// Report is the merged fleet-of-fleets outcome. Per-shard digests are
+// the fourth layer of the verification chain (scan report -> host
+// result -> shard summary -> cross-shard report), and MergedDigest is
+// the topology-independent seal: any shard count, completion order, or
+// resume-after-loss re-hashing yields the same MergedDigest as long as
+// every host contributed the same verdict exactly once.
+type Report struct {
+	Kind   fleet.SweepKind `json:"kind"`
+	Shards int             `json:"shards"`
+	Hosts  int             `json:"hosts"`
+
+	ShardResults []ShardResult `json:"shardResults"`
+	// LostShards lists shards whose journals did not survive the crash,
+	// sorted. Provenance, excluded from digests.
+	LostShards []int `json:"lostShards,omitempty"`
+	// QuarantinedShards lists shards whose breaker opened, sorted.
+	QuarantinedShards []int `json:"quarantinedShards,omitempty"`
+
+	// Aggregated host verdicts across every shard summary.
+	Scanned          int `json:"scanned"`
+	Infected         int `json:"infected"`
+	HiddenTotal      int `json:"hiddenTotal"`
+	Failed           int `json:"failed"`
+	DegradedHosts    int `json:"degradedHosts"`
+	QuarantinedHosts int `json:"quarantinedHosts"`
+	Replayed         int `json:"replayed,omitempty"`
+	NotScanned       int `json:"notScanned,omitempty"`
+
+	Aborted     bool   `json:"aborted,omitempty"`
+	AbortReason string `json:"abortReason,omitempty"`
+
+	// VirtualNs is the fleet's total virtual scan cost; MakespanNs is
+	// the sweep's virtual completion time — shards sweep in parallel,
+	// so the makespan is the max over shards (plus that shard's retry
+	// backoff), the quantity the 1→64 scaling curve tracks.
+	VirtualNs  int64 `json:"virtualNs"`
+	MakespanNs int64 `json:"makespanNs"`
+	// PeakResident is the bounded-memory high-water mark: the most host
+	// results in flight or awaiting aggregation at any instant, across
+	// all shards.
+	PeakResident int `json:"peakResident"`
+
+	// Acc is the merged host-contribution accumulator.
+	Acc fleet.Accumulator `json:"acc"`
+	// MergedDigest seals the aggregate verdict + accumulator (fourth
+	// layer, topology-independent).
+	MergedDigest string `json:"mergedDigest"`
+	// Digest seals the full report including the per-shard breakdown.
+	Digest string `json:"digest"`
+}
+
+// Coordinator drives one sharded fleet.
+type Coordinator struct {
+	cfg  Config
+	src  HostSource
+	ring *Ring
+}
+
+// New builds a coordinator over the source's hosts.
+func New(cfg Config, src HostSource) (*Coordinator, error) {
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("fleetshard: Config.Shards must be >= 1 (got %d)", cfg.Shards)
+	}
+	if cfg.Kind == "" {
+		cfg.Kind = fleet.SweepInside
+	}
+	ring, err := NewRing(cfg.Shards, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{cfg: cfg, src: src, ring: ring}, nil
+}
+
+// partition assigns every host index to its shard on the given ring.
+// O(hosts) ints — host descriptors, machines, and results stay lazy.
+func (c *Coordinator) partition(r *Ring) map[int][]int {
+	out := make(map[int][]int, c.cfg.Shards)
+	for i, n := 0, c.src.Len(); i < n; i++ {
+		s := r.Assign(c.src.Name(i))
+		out[s] = append(out[s], i)
+	}
+	return out
+}
+
+// shardTask is one journal-scoped unit of a shard's work: its primary
+// assignment or a recovery pass over hosts adopted from a lost shard.
+type shardTask struct {
+	indices []int
+	path    string // "" = unjournaled
+	resume  bool
+}
+
+// shardJob is everything one shard must sweep this run.
+type shardJob struct {
+	shard   int
+	tasks   []shardTask
+	adopted int
+}
+
+func (j *shardJob) hostCount() int {
+	n := 0
+	for _, t := range j.tasks {
+		n += len(t.indices)
+	}
+	return n
+}
+
+// shardJournalPath is shard i's primary journal; recoveryJournalPath
+// the journal for hosts it adopts from lost shards.
+func shardJournalPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.gbj", shard))
+}
+
+func recoveryJournalPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.recover.gbj", shard))
+}
+
+// Sweep runs a fresh sharded sweep.
+func (c *Coordinator) Sweep() (*Report, error) {
+	dir := c.cfg.JournalDir
+	if dir != "" {
+		if err := c.writeManifest(dir); err != nil {
+			return nil, err
+		}
+	}
+	parts := c.partition(c.ring)
+	jobs := make([]shardJob, 0, c.cfg.Shards)
+	for s := 0; s < c.cfg.Shards; s++ {
+		path := ""
+		if dir != "" {
+			path = shardJournalPath(dir, s)
+		}
+		jobs = append(jobs, shardJob{shard: s, tasks: []shardTask{{indices: parts[s], path: path}}})
+	}
+	return c.run(jobs, nil)
+}
+
+// Resume continues an interrupted sharded sweep from JournalDir.
+// Shards whose journal survived replay it; shards whose journal is gone
+// are lost — their hosts are re-hashed across the surviving shards
+// (consistent hashing keeps every surviving assignment in place) and
+// re-run under recovery journals. Committed results are never
+// re-scanned, and the merged digest of a completed resume equals the
+// uninterrupted run's.
+func (c *Coordinator) Resume() (*Report, error) {
+	dir := c.cfg.JournalDir
+	if dir == "" {
+		return nil, fmt.Errorf("fleetshard: Resume requires Config.JournalDir")
+	}
+	if err := c.readManifest(dir); err != nil {
+		return nil, err
+	}
+	lost := map[int]bool{}
+	var lostIDs []int
+	for s := 0; s < c.cfg.Shards; s++ {
+		if _, err := os.Stat(shardJournalPath(dir, s)); err != nil {
+			lost[s] = true
+			lostIDs = append(lostIDs, s)
+		}
+	}
+	if len(lost) == c.cfg.Shards {
+		// Every journal is gone: nothing to replay; start over under the
+		// original topology.
+		return c.Sweep()
+	}
+
+	parts := c.partition(c.ring)
+	jobs := make([]shardJob, 0, c.cfg.Shards)
+	if len(lost) == 0 {
+		for s := 0; s < c.cfg.Shards; s++ {
+			jobs = append(jobs, shardJob{shard: s, tasks: []shardTask{
+				{indices: parts[s], path: shardJournalPath(dir, s), resume: true},
+			}})
+		}
+		return c.run(jobs, nil)
+	}
+
+	survivorRing, err := c.ring.Without(lost)
+	if err != nil {
+		return nil, err
+	}
+	// Adopted assignment: deterministic given the lost set, so a resume
+	// of a resume recovers the same recovery journals.
+	adopted := map[int][]int{}
+	for s := range lost {
+		for _, i := range parts[s] {
+			a := survivorRing.Assign(c.src.Name(i))
+			adopted[a] = append(adopted[a], i)
+		}
+	}
+	for s := 0; s < c.cfg.Shards; s++ {
+		if lost[s] {
+			continue
+		}
+		job := shardJob{shard: s, tasks: []shardTask{
+			{indices: parts[s], path: shardJournalPath(dir, s), resume: true},
+		}}
+		if ad := adopted[s]; len(ad) > 0 {
+			rp := recoveryJournalPath(dir, s)
+			_, statErr := os.Stat(rp)
+			job.tasks = append(job.tasks, shardTask{indices: ad, path: rp, resume: statErr == nil})
+			job.adopted = len(ad)
+		}
+		jobs = append(jobs, job)
+	}
+	return c.run(jobs, lostIDs)
+}
+
+// run executes the shard jobs with bounded shard parallelism, shard
+// retry/breaker, the fleet-of-fleets error budget, and streaming
+// aggregation, then seals the merged report.
+func (c *Coordinator) run(jobs []shardJob, lostIDs []int) (*Report, error) {
+	rep := &Report{Kind: c.cfg.Kind, Shards: c.cfg.Shards, Hosts: c.src.Len(), LostShards: lostIDs}
+	gauge := c.cfg.Resident
+	if gauge == nil {
+		gauge = &fleet.ResidentGauge{}
+	}
+
+	workers := c.cfg.ShardParallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		mu          sync.Mutex
+		failed      int
+		stop        = make(chan struct{})
+		stopOnce    sync.Once
+		wg          sync.WaitGroup
+		jobCh       = make(chan int)
+		totalShards = len(jobs)
+	)
+	rep.ShardResults = make([]ShardResult, len(jobs))
+	for i, job := range jobs {
+		rep.ShardResults[i] = ShardResult{Shard: job.shard, Hosts: job.hostCount(), Adopted: job.adopted}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobCh {
+				job := jobs[idx]
+				sr := &rep.ShardResults[idx]
+				sum, attempts, retryNs, quarantined, err := c.runShardWithRetry(job, gauge)
+				mu.Lock()
+				sr.Summary = sum
+				sr.Attempts = attempts
+				sr.RetryNs = retryNs
+				sr.Quarantined = quarantined
+				sr.Resumed = len(job.tasks) > 0 && job.tasks[0].resume
+				if err != nil {
+					sr.Err = err.Error()
+				}
+				if err != nil || quarantined {
+					failed++
+					if f := c.cfg.AbortAfterShardFailureFraction; f > 0 &&
+						float64(failed) > f*float64(totalShards) && !rep.Aborted {
+						rep.Aborted = true
+						rep.AbortReason = fmt.Sprintf(
+							"shard error budget exceeded: %d of %d shards failed (budget %.0f%%) — aborting sweep",
+							failed, totalShards, f*100)
+						stopOnce.Do(func() { close(stop) })
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	go func() {
+		defer close(jobCh)
+		for i := range jobs {
+			select {
+			case jobCh <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Lost shards get explicit rows: their hosts are accounted inside
+	// the adopters' summaries, so the row carries provenance only.
+	for _, id := range lostIDs {
+		rep.ShardResults = append(rep.ShardResults, ShardResult{Shard: id, Lost: true})
+	}
+	sort.Slice(rep.ShardResults, func(i, j int) bool {
+		return rep.ShardResults[i].Shard < rep.ShardResults[j].Shard
+	})
+
+	// Fold: aggregate every summary; unvisited and summary-less shards
+	// contribute their host counts to NotScanned, never silently vanish.
+	for i := range rep.ShardResults {
+		sr := &rep.ShardResults[i]
+		if sr.Quarantined {
+			rep.QuarantinedShards = append(rep.QuarantinedShards, sr.Shard)
+		}
+		if sr.Summary == nil {
+			// A lost shard's hosts are accounted by their adopters; any
+			// other summary-less shard leaves its hosts unscanned.
+			rep.NotScanned += sr.Hosts
+			continue
+		}
+		s := sr.Summary
+		rep.Scanned += s.Scanned
+		rep.Infected += s.Infected
+		rep.HiddenTotal += s.HiddenTotal
+		rep.Failed += s.Failed
+		rep.DegradedHosts += s.DegradedHosts
+		rep.QuarantinedHosts += s.Quarantined
+		rep.Replayed += s.Replayed
+		rep.NotScanned += s.NotScanned
+		if s.Aborted && !rep.Aborted {
+			rep.Aborted = true
+			rep.AbortReason = fmt.Sprintf("shard %d: %s", sr.Shard, s.AbortReason)
+		}
+		rep.VirtualNs += s.VirtualNs
+		if span := s.VirtualNs + sr.RetryNs; span > rep.MakespanNs {
+			rep.MakespanNs = span
+		}
+	}
+	sort.Ints(rep.QuarantinedShards)
+	rep.PeakResident = gauge.Peak()
+	rep.Acc = mergedAcc(rep)
+	rep.Seal()
+	return rep, nil
+}
+
+// runShardWithRetry runs one shard's tasks with the shard-level retry
+// loop: doubling backoff capped by the shared fleet.NextBackoff rule, a
+// consecutive-failure circuit breaker, and journal-aware retries (a
+// retried journaled task resumes the journal its failed attempt left
+// behind instead of re-scanning committed hosts).
+func (c *Coordinator) runShardWithRetry(job shardJob, gauge *fleet.ResidentGauge) (sum *fleet.SweepSummary, attempts int, retryNs int64, quarantined bool, err error) {
+	backoff := c.cfg.ShardRetryBackoff
+	if backoff <= 0 {
+		backoff = defaultShardRetryBackoff
+	}
+	if backoff > fleet.MaxRetryBackoff {
+		backoff = fleet.MaxRetryBackoff
+	}
+	consecFailed := 0
+	for attempt := 1; ; attempt++ {
+		attempts = attempt
+		sum, err = c.runShardOnce(job, attempt, gauge)
+		if err == nil {
+			return sum, attempts, retryNs, false, nil
+		}
+		consecFailed++
+		if t := c.cfg.ShardBreakerThreshold; t > 0 && consecFailed >= t {
+			return nil, attempts, retryNs, true, err
+		}
+		if attempt > c.cfg.ShardMaxRetries {
+			return nil, attempts, retryNs, false, err
+		}
+		// Virtual wait: the coordinator has no machine clock; the backoff
+		// is charged to the shard's retry accounting.
+		retryNs += int64(backoff)
+		backoff = fleet.NextBackoff(backoff)
+		// A failed journaled attempt may have committed progress; resume
+		// what it left rather than re-scanning it.
+		for i := range job.tasks {
+			if job.tasks[i].path != "" {
+				if _, statErr := os.Stat(job.tasks[i].path); statErr == nil {
+					job.tasks[i].resume = true
+				}
+			}
+		}
+	}
+}
+
+// runShardOnce executes one attempt of a shard's tasks and merges the
+// per-task summaries into one sealed shard summary.
+func (c *Coordinator) runShardOnce(job shardJob, attempt int, gauge *fleet.ResidentGauge) (*fleet.SweepSummary, error) {
+	if c.cfg.ShardFault != nil {
+		if err := c.cfg.ShardFault(job.shard, attempt); err != nil {
+			return nil, fmt.Errorf("fleetshard: shard %d attempt %d: %w", job.shard, attempt, err)
+		}
+	}
+	var combined *fleet.SweepSummary
+	for _, t := range job.tasks {
+		mgr := c.newShardManager(t.indices, gauge)
+		var sink func(fleet.HostResult)
+		if c.cfg.OnResult != nil {
+			shard := job.shard
+			sink = func(res fleet.HostResult) { c.cfg.OnResult(shard, res) }
+		}
+		var (
+			sum *fleet.SweepSummary
+			err error
+		)
+		switch {
+		case t.path == "":
+			sum, err = mgr.SweepStreamed(c.cfg.Kind, c.shardWorkers(), sink)
+		case t.resume:
+			sum, err = mgr.ResumeStream(c.cfg.Kind, c.shardWorkers(), t.path, sink)
+			if errors.Is(err, fleet.ErrEmptyJournal) {
+				// The shard died before its journal header committed:
+				// nothing in the file is trusted or replayable, and this
+				// coordinator owns the shard's host assignment, so restart
+				// the task's sweep from scratch (Create truncates the husk).
+				sum, err = mgr.SweepJournaledStream(c.cfg.Kind, c.shardWorkers(), t.path, sink)
+			}
+		default:
+			sum, err = mgr.SweepJournaledStream(c.cfg.Kind, c.shardWorkers(), t.path, sink)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fleetshard: shard %d: %w", job.shard, err)
+		}
+		if combined == nil {
+			combined = sum
+		} else {
+			combined.Merge(sum)
+		}
+	}
+	if combined == nil {
+		combined = &fleet.SweepSummary{Kind: c.cfg.Kind}
+	}
+	combined.Seal()
+	return combined, nil
+}
+
+func (c *Coordinator) shardWorkers() int {
+	if c.cfg.ShardWorkers <= 0 {
+		return 1
+	}
+	return c.cfg.ShardWorkers
+}
+
+// newShardManager builds the fleet.Manager for one task's host subset,
+// forwarding the host-level knobs and lazy-building every host.
+func (c *Coordinator) newShardManager(indices []int, gauge *fleet.ResidentGauge) *fleet.Manager {
+	mgr := fleet.NewManager()
+	mgr.Parallelism = c.shardWorkers()
+	mgr.HostParallelism = c.cfg.HostParallelism
+	mgr.MaxRetries = c.cfg.MaxRetries
+	mgr.RetryBackoff = c.cfg.RetryBackoff
+	mgr.HostDeadline = c.cfg.HostDeadline
+	mgr.BreakerThreshold = c.cfg.BreakerThreshold
+	mgr.AbortAfterFailureFraction = c.cfg.AbortAfterFailureFraction
+	mgr.ScanHost = c.cfg.ScanHost
+	mgr.Resident = gauge
+	for _, i := range indices {
+		i := i
+		mgr.AddLazy(c.src.Name(i), func() (*machine.Machine, error) { return c.src.Build(i) })
+	}
+	return mgr
+}
+
+// writeManifest records the sweep topology at the start of a journaled
+// sweep; readManifest validates it on resume.
+func (c *Coordinator) writeManifest(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("fleetshard: journal dir: %w", err)
+	}
+	m := manifest{Version: 1, Kind: string(c.cfg.Kind), Shards: c.cfg.Shards,
+		VNodes: c.cfg.VNodes, Hosts: c.src.Len()}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, manifestName), append(data, '\n'), 0o644)
+}
+
+func (c *Coordinator) readManifest(dir string) error {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return fmt.Errorf("fleetshard: reading coordinator manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("fleetshard: coordinator manifest unparseable: %w", err)
+	}
+	if m.Shards != c.cfg.Shards {
+		return fmt.Errorf("fleetshard: manifest records %d shards, resuming with %d — shard topology must match", m.Shards, c.cfg.Shards)
+	}
+	if m.Kind != string(c.cfg.Kind) {
+		return fmt.Errorf("fleetshard: manifest records a %q sweep, resuming as %q", m.Kind, c.cfg.Kind)
+	}
+	if m.VNodes != c.cfg.VNodes {
+		return fmt.Errorf("fleetshard: manifest records vnodes=%d, resuming with %d — ring geometry must match", m.VNodes, c.cfg.VNodes)
+	}
+	if m.Hosts != c.src.Len() {
+		return fmt.Errorf("fleetshard: manifest records %d hosts, source has %d", m.Hosts, c.src.Len())
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package ghostfuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ghostbuster/internal/faultinject"
+	"ghostbuster/internal/fleet"
+	"ghostbuster/internal/fleetshard"
+	"ghostbuster/internal/journal"
+	"ghostbuster/internal/machine"
+)
+
+// The sharded crash-resume oracle: the fleet-of-fleets version of
+// RunCrashResume. A coordinator sweeps a generated fleet across N
+// journaled shards to completion as the reference, then each variant
+// destroys K of the N shard journals (and optionally wounds a
+// survivor), resumes on a freshly rebuilt coordinator, and demands the
+// merged (topology-independent) digest equal the uninterrupted run's —
+// lost hosts re-hashed across survivors, committed work never
+// re-scanned, damage never accepted silently.
+
+// shardCrashSeedBase offsets sharded-crash host seeds away from every
+// other ghostfuzz seed space.
+const shardCrashSeedBase = 1 << 22
+
+// shardCrashHostsPerShard sizes the fleet so every shard owns a few
+// hosts: losing one shard leaves committed, adopted, and replayed
+// hosts all in play.
+const shardCrashHostsPerShard = 3
+
+// shardCrashSource lazily builds the generated fleet; deterministic per
+// (seed, index) so every resume's rebuilt hosts hash identically.
+type shardCrashSource struct {
+	seed int64
+	n    int
+}
+
+func (s shardCrashSource) Len() int { return s.n }
+
+func (s shardCrashSource) Name(i int) string { return fmt.Sprintf("crash-%03d", i) }
+
+func (s shardCrashSource) Build(i int) (*machine.Machine, error) {
+	c, err := Build(Generate(CaseSeed(s.seed, shardCrashSeedBase+i)))
+	if err != nil {
+		return nil, err
+	}
+	return c.M, nil
+}
+
+// shardCrashVariant is one way to wreck the shard journal set.
+type shardCrashVariant struct {
+	name string
+	// kill lists shard ids whose journals the crash destroyed.
+	kill []int
+	// torn additionally tears the last record off the busiest surviving
+	// journal — that shard died mid-commit.
+	torn bool
+	// flip corrupts a committed record inside the busiest surviving
+	// journal; the resume must surface the damage, never absorb it.
+	flip bool
+}
+
+func shardCrashVariants(shards int) []shardCrashVariant {
+	half := make([]int, 0, shards/2)
+	for s := 0; s < shards/2; s++ {
+		half = append(half, s)
+	}
+	all := make([]int, shards)
+	for s := range all {
+		all[s] = s
+	}
+	return []shardCrashVariant{
+		{name: "lose-one", kill: []int{shards - 1}},
+		{name: "lose-half", kill: half},
+		{name: "lose-all", kill: all},
+		{name: "lose-one+torn", kill: []int{shards - 1}, torn: true},
+		{name: "flip-survivor", flip: true},
+	}
+}
+
+// busiestJournal returns the surviving shard journal with the most
+// records — torn/flip damage must land on a journal that actually
+// committed work, or the variant degenerates (a host-poor shard's
+// journal can be header-only).
+func busiestJournal(dir string, shards int, killed map[string]bool) (string, int, error) {
+	best, bestRecs := "", 0
+	for s := 0; s < shards; s++ {
+		name := shardJournalName(s)
+		if killed[name] {
+			continue
+		}
+		recs, _, err := journal.Read(filepath.Join(dir, name))
+		if err != nil {
+			return "", 0, err
+		}
+		if len(recs) > bestRecs {
+			best, bestRecs = filepath.Join(dir, name), len(recs)
+		}
+	}
+	if bestRecs < 3 {
+		return "", 0, fmt.Errorf("ghostfuzz: no surviving shard journal has committed records to damage")
+	}
+	return best, bestRecs, nil
+}
+
+// RunShardCrashResume runs the sharded crash-resume oracle for one
+// seed. Journals live under private temp directories, removed before
+// return; the summary is deterministic for a given (seed, shards).
+func RunShardCrashResume(seed int64, shards int) (*CrashSummary, error) {
+	if shards < 2 {
+		return nil, fmt.Errorf("ghostfuzz: sharded crash-resume needs at least 2 shards (got %d)", shards)
+	}
+	s := &CrashSummary{Seed: seed}
+	dir, err := os.MkdirTemp("", "ghostfuzz-shardcrash-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	src := shardCrashSource{seed: seed, n: shards * shardCrashHostsPerShard}
+	cfg := fleetshard.Config{Shards: shards}
+
+	// Expected infections, computed from the generators' own ledgers.
+	expected := map[string]int{}
+	for i := 0; i < src.n; i++ {
+		c, err := Build(Generate(CaseSeed(seed, shardCrashSeedBase+i)))
+		if err != nil {
+			return nil, err
+		}
+		expected[src.Name(i)] = c.Expect.HiddenTotal()
+	}
+
+	refDir := filepath.Join(dir, "reference")
+	refCfg := cfg
+	refCfg.JournalDir = refDir
+	infected := map[string]bool{}
+	refCfg.OnResult = func(shard int, res fleet.HostResult) {
+		if res.Infected {
+			infected[res.Host] = true
+		}
+	}
+	refCoord, err := fleetshard.New(refCfg, src)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := refCoord.Sweep()
+	if err != nil {
+		return nil, fmt.Errorf("ghostfuzz: reference sharded sweep: %w", err)
+	}
+	if err := ref.Verify(); err != nil {
+		s.Violations = append(s.Violations, Violation{InvDurability, "shardcrash/reference", err.Error()})
+		return s, nil
+	}
+	for host, want := range expected {
+		if want > 0 && !infected[host] {
+			s.Violations = append(s.Violations, Violation{InvCoverage, "shardcrash/reference",
+				fmt.Sprintf("host %s not reported infected (planted %d)", host, want)})
+		}
+	}
+
+	refFiles, err := os.ReadDir(refDir)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, v := range shardCrashVariants(shards) {
+		s.Variants++
+		mode := "shardcrash/" + v.name
+		vdir := filepath.Join(dir, v.name)
+		if err := os.MkdirAll(vdir, 0o755); err != nil {
+			return nil, err
+		}
+		killed := map[string]bool{}
+		for _, k := range v.kill {
+			killed[shardJournalName(k)] = true
+		}
+		for _, f := range refFiles {
+			if killed[f.Name()] {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(refDir, f.Name()))
+			if err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(filepath.Join(vdir, f.Name()), data, 0o644); err != nil {
+				return nil, err
+			}
+		}
+		if v.torn {
+			path, recs, err := busiestJournal(vdir, shards, killed)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := journal.TruncateRecords(path, recs-1, true); err != nil {
+				return nil, err
+			}
+		}
+		if v.flip {
+			path, _, err := busiestJournal(vdir, shards, killed)
+			if err != nil {
+				return nil, err
+			}
+			if err := journal.Corrupt(path, faultinject.KindFlip, seed); err != nil {
+				return nil, err
+			}
+		}
+
+		vcfg := cfg
+		vcfg.JournalDir = vdir
+		coord, err := fleetshard.New(vcfg, src)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := coord.Resume()
+		if v.flip {
+			// The damaged survivor must fail its sweep, not resume
+			// quietly: either the resume itself errors or the shard is
+			// reported failed with its hosts left unscanned.
+			if err == nil && !anyShardErr(rep) && rep.NotScanned == 0 {
+				s.Violations = append(s.Violations, Violation{InvDurability, mode,
+					"bit-flipped shard journal resumed without any reported damage"})
+			}
+			continue
+		}
+		if err != nil {
+			s.Violations = append(s.Violations, Violation{InvDurability, mode,
+				fmt.Sprintf("resume failed: %v", err)})
+			continue
+		}
+		s.Violations = append(s.Violations, checkShardResumed(mode, ref, rep, vdir, len(v.kill), shards)...)
+	}
+	return s, nil
+}
+
+// checkShardResumed compares a resumed fleet-of-fleets report against
+// the uninterrupted reference and deep-audits the final journal set.
+func checkShardResumed(mode string, ref, resumed *fleetshard.Report, dir string, lost, shards int) []Violation {
+	var out []Violation
+	if err := resumed.Verify(); err != nil {
+		out = append(out, Violation{InvDurability, mode, "resumed report: " + err.Error()})
+	}
+	if resumed.Scanned != ref.Scanned {
+		out = append(out, Violation{InvDurability, mode,
+			fmt.Sprintf("%d hosts scanned after resume, reference scanned %d", resumed.Scanned, ref.Scanned)})
+	}
+	if resumed.MergedDigest != ref.MergedDigest {
+		out = append(out, Violation{InvDurability, mode,
+			fmt.Sprintf("merged digest %.12s != reference %.12s", resumed.MergedDigest, ref.MergedDigest)})
+	}
+	if resumed.Infected != ref.Infected || resumed.HiddenTotal != ref.HiddenTotal {
+		out = append(out, Violation{InvConsistency, mode,
+			fmt.Sprintf("verdicts diverged: %d infected/%d hidden vs reference %d/%d",
+				resumed.Infected, resumed.HiddenTotal, ref.Infected, ref.HiddenTotal)})
+	}
+	if lost < shards && resumed.Replayed == 0 {
+		out = append(out, Violation{InvDurability, mode,
+			"surviving shards replayed nothing — committed work was re-scanned or lost"})
+	}
+	if lost > 0 && lost < shards && len(resumed.LostShards) != lost {
+		out = append(out, Violation{InvDurability, mode,
+			fmt.Sprintf("report names %d lost shards, crash destroyed %d", len(resumed.LostShards), lost)})
+	}
+	// The deep audit re-verifies every committed result down the chain
+	// and rejects any host committed in two journals.
+	if err := resumed.VerifyJournals(dir); err != nil {
+		out = append(out, Violation{InvDurability, mode, "journal audit: " + err.Error()})
+	}
+	return out
+}
+
+// shardJournalName mirrors the coordinator's journal naming so the
+// oracle can destroy specific shards' journals.
+func shardJournalName(shard int) string {
+	return fmt.Sprintf("shard-%03d.gbj", shard)
+}
+
+func anyShardErr(rep *fleetshard.Report) bool {
+	for _, sr := range rep.ShardResults {
+		if sr.Err != "" {
+			return true
+		}
+	}
+	return false
+}

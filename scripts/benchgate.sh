@@ -5,6 +5,9 @@
 # costs and per-entry allocation counts — so the gate is hardware- and
 # load-independent. The diff microbench and fleet run at a lighter scale
 # than the committed baseline; the gated metrics are scale-invariant.
+# The shard-scaling curve and the million-host mega sweep run at full
+# scale (they are synthetic and finish in seconds) so their virtual
+# makespans match the baseline's (hosts, shards) keys exactly.
 set -eu
 cd "$(dirname "$0")/.."
 

@@ -23,8 +23,11 @@ go test -race -run 'TestChaosCrashResume' ./internal/ghostfuzz/
 go test -race -run 'TestResumeReplaysCommittedHosts|TestResumeContinuesAttemptNumbering|TestResumeRejects|TestResumeInteriorCorruptionIsLoud|TestBreaker|TestAbortAfterFailureFraction' ./internal/fleet/
 go test -race -run 'TestTornTailRecovered|TestBitFlipIsLoud|TestInteriorTruncationIsLoud' ./internal/journal/
 
+echo "==> sharded control-plane matrix under -race (shard loss, topology independence, bounded residency)"
+go test -race -run 'TestShardCrashResumeReproducesMergedDigest|TestResumeAfterTotalLoss|TestResumeRestartsHeaderlessShardJournal|TestMergedDigestIndependentOfShardTopology|TestBoundedResidentResults|TestShardBreakerQuarantines|TestShardErrorBudgetAborts' ./internal/fleetshard/
+
 echo "==> coverage floor (>= 70% on the detection core)"
-go test -cover ./internal/core/ ./internal/ntfs/ ./internal/hive/ ./internal/fleet/ ./internal/journal/ |
+go test -cover ./internal/core/ ./internal/ntfs/ ./internal/hive/ ./internal/fleet/ ./internal/fleetshard/ ./internal/journal/ |
 	awk '
 		/coverage:/ {
 			pct = $5; sub(/%.*/, "", pct)
@@ -45,5 +48,8 @@ go run ./cmd/ghostfuzz -seed 1 -n 25 -faulted > /dev/null
 
 echo "==> ghostfuzz crash-resume smoke (fixed seed, 2 killed sweeps)"
 go run ./cmd/ghostfuzz -seed 1 -crashed 2 > /dev/null
+
+echo "==> ghostfuzz sharded crash-resume smoke (fixed seed, 2 sweeps, 3 shards)"
+go run ./cmd/ghostfuzz -seed 1 -crashed 2 -shards 3 > /dev/null
 
 echo "OK"
