@@ -16,6 +16,8 @@
 //	ghostbuster -fleet 8 -journal sweep.gbj -resume
 //	ghostbuster -fleet 64 -shards 4 -shard-journal-dir sweepdir  # fleet of fleets
 //	ghostbuster -fleet 64 -shards 4 -shard-journal-dir sweepdir -resume
+//	ghostbuster -list-profiles
+//	ghostbuster -fleet 8 -profile paranoid -lock-profile          # scan-policy profile
 //	ghostbuster -verify-report report.json        # check tamper evidence
 //
 // Exit codes (stable, for scripted callers):
@@ -24,9 +26,12 @@
 //	1  findings — hidden resources detected
 //	2  degraded but clean — no findings, but some scan units or hosts
 //	   were lost (faults, deadlines, quarantine), so absence of findings
-//	   is not proof of absence
+//	   is not proof of absence; OR a usage error — invalid flags or a
+//	   locked-profile violation rejected before any scan started. The
+//	   two cannot be confused: a usage error prints to stderr and emits
+//	   no report, a degraded sweep emits a full report.
 //	3  sweep aborted — the fleet error budget stopped the sweep early
-//	4  usage or runtime error
+//	4  runtime error
 package main
 
 import (
@@ -43,6 +48,7 @@ import (
 	"ghostbuster/internal/ghostware"
 	"ghostbuster/internal/injection"
 	"ghostbuster/internal/machine"
+	"ghostbuster/internal/profile"
 	"ghostbuster/internal/vtime"
 	"ghostbuster/internal/workload"
 )
@@ -55,13 +61,19 @@ const (
 	exitDegraded = 2
 	exitAborted  = 3
 	exitError    = 4
+	// exitUsage shares 2 with exitDegraded deliberately: a usage error
+	// is rejected before any scan starts, so there is never a report to
+	// confuse it with (see the package comment's exit-code table).
+	exitUsage = 2
 )
 
 func main() {
 	code, err := run(os.Args[1:])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ghostbuster:", err)
-		os.Exit(exitError)
+		if code == exitClean {
+			code = exitError
+		}
 	}
 	os.Exit(code)
 }
@@ -93,8 +105,83 @@ func run(args []string) (int, error) {
 	shards := fs.Int("shards", 0, "fleet mode: consistent-hash the hosts across this many sweeper shards (the fleet-of-fleets control plane)")
 	shardJournalDir := fs.String("shard-journal-dir", "", "sharded fleet mode: directory holding one journal per shard plus the coordinator manifest; enables -resume after losing any subset of shards")
 	verifyReport := fs.String("verify-report", "", "verify a saved fleet report's tamper-evidence chain and exit")
+	profName := fs.String("profile", "", "scan-policy profile: quick|standard|paranoid|forensic or an imported name")
+	profDir := fs.String("profile-dir", "", "directory of imported custom profiles (checksummed JSON)")
+	lockProfile := fs.Bool("lock-profile", false, "lock the profile: overrides that would weaken it are rejected")
+	listProfiles := fs.Bool("list-profiles", false, "list the resolvable scan-policy profiles and exit")
 	if err := fs.Parse(args); err != nil {
-		return exitError, err
+		return exitUsage, err
+	}
+
+	// Flag-value validation: rejected before any scan starts, so the
+	// caller gets a usage error, not a half-run sweep.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["shards"] && *shards < 1 {
+		return exitUsage, fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	}
+	if explicit["workers"] && *workers < 1 {
+		return exitUsage, fmt.Errorf("-workers must be >= 1, got %d", *workers)
+	}
+	if *abortFraction < 0 || *abortFraction > 1 {
+		return exitUsage, fmt.Errorf("-abort-fraction must be within [0,1], got %v", *abortFraction)
+	}
+
+	if *listProfiles {
+		ps, err := profile.NewStore(*profDir).List()
+		if err != nil {
+			return exitError, err
+		}
+		for _, p := range ps {
+			lock := ""
+			if p.Locked {
+				lock = "  [locked]"
+			}
+			fmt.Printf("  %-12s rank %d  %s%s\n", p.Name, p.Rank, p.Description, lock)
+		}
+		return exitClean, nil
+	}
+
+	// Resolve the scan-policy profile and fold the explicit tuning flags
+	// into it as overrides — the same profile.Apply path the daemon API
+	// uses, so a locked profile rejects weakening identically here.
+	var prof *profile.Profile
+	if *profName != "" || *lockProfile {
+		name := *profName
+		if name == "" {
+			name = "standard"
+		}
+		p, err := profile.NewStore(*profDir).Resolve(name)
+		if err != nil {
+			return exitUsage, err
+		}
+		if *lockProfile {
+			p.Locked = true
+		}
+		var ov profile.Override
+		if explicit["advanced"] {
+			ov.Advanced = advanced
+		}
+		if explicit["contain"] {
+			ov.Contain = contain
+		}
+		if explicit["workers"] {
+			ov.Workers = workers
+		}
+		if explicit["max-retries"] {
+			ov.MaxRetries = maxRetries
+		}
+		if explicit["breaker"] {
+			ov.BreakerThreshold = breaker
+		}
+		if explicit["abort-fraction"] {
+			ov.AbortAfterFailureFraction = abortFraction
+		}
+		p, err = p.Apply(ov)
+		if err != nil {
+			return exitUsage, err
+		}
+		prof = &p
 	}
 
 	if *listGW {
@@ -119,6 +206,7 @@ func run(args []string) (int, error) {
 			breaker: *breaker, abortFraction: *abortFraction, maxRetries: *maxRetries,
 			jsonOut: *jsonOut,
 			shards:  *shards, shardJournalDir: *shardJournalDir,
+			prof: prof,
 		}
 		if *shards > 0 {
 			return runShardedFleet(opts)
@@ -148,7 +236,7 @@ func run(args []string) (int, error) {
 	if *inject {
 		return runInjected(m, *verbose)
 	}
-	return runPlain(m, *scan, *advanced, *contain, *verbose, *jsonOut)
+	return runPlain(m, *scan, *advanced, *contain, *verbose, *jsonOut, prof)
 }
 
 func installGhostware(m *machine.Machine, name string) error {
@@ -170,10 +258,16 @@ func installGhostware(m *machine.Machine, name string) error {
 	return nil
 }
 
-func runPlain(m *machine.Machine, scan string, advanced, contain, verbose, jsonOut bool) (int, error) {
+func runPlain(m *machine.Machine, scan string, advanced, contain, verbose, jsonOut bool, prof *profile.Profile) (int, error) {
 	d := core.NewDetector(m)
 	d.Advanced = advanced
 	d.Contain = contain
+	if prof != nil {
+		// The explicit flags were already folded into the profile as
+		// overrides (through the locked-profile check), so the profile
+		// is the single source of truth for the detector.
+		prof.ConfigureDetector(d)
+	}
 	var reports []*core.Report
 	runScan := func(name string, f func() (*core.Report, error)) error {
 		r, err := f()
@@ -285,6 +379,9 @@ type fleetOptions struct {
 	abortFraction                       float64
 	shards                              int
 	shardJournalDir                     string
+	// prof, when set, is the resolved scan policy (flag overrides
+	// already folded in); it configures the sweep end to end.
+	prof *profile.Profile
 }
 
 // buildCLIFleet assembles the simulated fleet deterministically: host i
@@ -324,14 +421,19 @@ func runFleet(opts fleetOptions) (int, error) {
 	if err != nil {
 		return exitError, err
 	}
+	workers := opts.workers
+	if opts.prof != nil {
+		opts.prof.ConfigureManager(mgr)
+		workers = opts.prof.Workers
+	}
 	var rep *fleet.Report
 	switch {
 	case opts.resume:
 		fmt.Fprintf(os.Stderr, "resuming journaled sweep from %s...\n", opts.journal)
-		rep, err = mgr.Resume(fleet.SweepInside, opts.workers, opts.journal)
+		rep, err = mgr.Resume(fleet.SweepInside, workers, opts.journal)
 	case opts.journal != "":
 		fmt.Fprintf(os.Stderr, "sweeping %d hosts (journal: %s)...\n", opts.hosts, opts.journal)
-		rep, err = mgr.SweepJournaled(fleet.SweepInside, opts.workers, opts.journal)
+		rep, err = mgr.SweepJournaled(fleet.SweepInside, workers, opts.journal)
 	default:
 		// Unjournaled sweeps reuse the durable path against a throwaway
 		// journal in the OS temp dir, so every fleet run is sealed.
@@ -342,7 +444,7 @@ func runFleet(opts fleetOptions) (int, error) {
 		tmp.Close()
 		defer os.Remove(tmp.Name())
 		fmt.Fprintf(os.Stderr, "sweeping %d hosts...\n", opts.hosts)
-		rep, err = mgr.SweepJournaled(fleet.SweepInside, opts.workers, tmp.Name())
+		rep, err = mgr.SweepJournaled(fleet.SweepInside, workers, tmp.Name())
 	}
 	if err != nil {
 		return exitError, err
@@ -436,14 +538,25 @@ func (s cliHostSource) Build(i int) (*machine.Machine, error) {
 // cross-shard digest layer.
 func runShardedFleet(opts fleetOptions) (int, error) {
 	src := cliHostSource{n: opts.hosts, infect: opts.infect}
-	coord, err := fleetshard.New(fleetshard.Config{
+	cfg := fleetshard.Config{
 		Shards:                    opts.shards,
 		ShardWorkers:              opts.workers,
 		JournalDir:                opts.shardJournalDir,
 		MaxRetries:                opts.maxRetries,
 		BreakerThreshold:          opts.breaker,
 		AbortAfterFailureFraction: opts.abortFraction,
-	}, src)
+	}
+	if p := opts.prof; p != nil {
+		cfg.ShardWorkers = p.Workers
+		cfg.HostParallelism = p.HostParallelism
+		cfg.MaxRetries = p.MaxRetries
+		cfg.RetryBackoff = p.RetryBackoff
+		cfg.HostDeadline = p.Deadline
+		cfg.BreakerThreshold = p.BreakerThreshold
+		cfg.AbortAfterFailureFraction = p.AbortAfterFailureFraction
+		cfg.ConfigureDetector = p.ConfigureDetector
+	}
+	coord, err := fleetshard.New(cfg, src)
 	if err != nil {
 		return exitError, err
 	}

@@ -1,0 +1,176 @@
+// Command ghostbusterd is the resident GhostBuster monitoring daemon:
+// the long-running form of the one-shot scanner. Hosts register (and
+// deregister) at runtime, a priority scheduler re-sweeps them when
+// their substrate generation counters move (incremental delta scans)
+// and on the active profile's jittered interval, every sweep is
+// journaled for crash resume, and results stream over a JSON/HTTP API
+// while sweeps run.
+//
+// Usage:
+//
+//	ghostbusterd -state /var/lib/ghostbusterd
+//	ghostbusterd -state dir -listen 127.0.0.1:8099 -profile paranoid -lock-profile
+//	ghostbusterd -state dir -fleet 8 -infect "Hacker Defender 1.0" -poll 2s
+//	ghostbusterd -state dir -shards 4            # sharded sweep backend
+//
+// The API (see internal/daemon): GET/POST /v1/hosts, DELETE
+// /v1/hosts/{name}, GET/POST /v1/sweeps, GET /v1/results (SSE stream),
+// GET/POST /v1/profile, GET /v1/healthz, GET /v1/metrics.
+//
+// Exit codes:
+//
+//	0  clean shutdown (SIGINT/SIGTERM drained gracefully)
+//	2  usage error — bad flags or flag values; nothing was started
+//	4  runtime error — startup or serve failure
+//
+// SIGTERM/SIGINT drain gracefully: the scheduler stops, the in-flight
+// sweep completes and seals its journal, streams close, then the
+// process exits. kill -9 mid-sweep is the crash-resume path: the next
+// start finds the unsealed journal and resumes it.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ghostbuster/internal/daemon"
+)
+
+const (
+	exitClean = 0
+	exitUsage = 2
+	exitError = 4
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], nil, nil))
+}
+
+// run is the testable body: ready (if set) receives the bound listen
+// address once the API is serving, and closing stop triggers the same
+// graceful drain a SIGTERM does.
+func run(args []string, ready func(addr string), stop <-chan struct{}) int {
+	fs := flag.NewFlagSet("ghostbusterd", flag.ContinueOnError)
+	stateDir := fs.String("state", "", "state directory: host registry, active profile, sweep journals (required)")
+	listen := fs.String("listen", "127.0.0.1:8099", "HTTP API listen address")
+	profName := fs.String("profile", "", "initial scan-policy profile (quick|standard|paranoid|forensic or imported); persisted state wins")
+	profDir := fs.String("profile-dir", "", "directory of imported custom profiles")
+	lockProfile := fs.Bool("lock-profile", false, "lock the active profile: no override or API call can weaken it (one-way)")
+	shards := fs.Int("shards", 0, "route sweeps through this many consistent-hash shards (>= 2; 0 = single-node)")
+	poll := fs.Duration("poll", 5*time.Second, "scheduler cadence; 0 disables the background loop (API-triggered sweeps only)")
+	seed := fs.Int64("seed", 1, "scheduler jitter/shuffle seed")
+	fleetN := fs.Int("fleet", 0, "pre-register this many deterministic simulated hosts (host-000...)")
+	infect := fs.String("infect", "", "infect the first pre-registered host with the named ghostware")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	// Flag validation is a usage error (exit 2): nothing has started,
+	// no scan is owed a verdict.
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(os.Stderr, "ghostbusterd: %s\n", fmt.Sprintf(format, a...))
+		return exitUsage
+	}
+	if *stateDir == "" {
+		return fail("-state is required")
+	}
+	if *shards < 0 || *shards == 1 {
+		return fail("-shards must be 0 (single-node) or >= 2, got %d", *shards)
+	}
+	if *poll < 0 {
+		return fail("-poll must be >= 0, got %s", *poll)
+	}
+	if *fleetN < 0 {
+		return fail("-fleet must be >= 0, got %d", *fleetN)
+	}
+	if *infect != "" && *fleetN == 0 {
+		return fail("-infect requires -fleet")
+	}
+
+	logger := log.New(os.Stderr, "ghostbusterd: ", log.LstdFlags)
+	d, err := daemon.New(daemon.Config{
+		StateDir:    *stateDir,
+		ProfileDir:  *profDir,
+		Profile:     *profName,
+		LockProfile: *lockProfile,
+		Shards:      *shards,
+		Poll:        *poll,
+		Seed:        *seed,
+		Logf:        logger.Printf,
+	})
+	if err != nil {
+		logger.Print(err)
+		return exitError
+	}
+
+	for i := 0; i < *fleetN; i++ {
+		spec := daemon.HostSpec{Name: fmt.Sprintf("host-%03d", i), Seed: int64(i + 1)}
+		if i == 0 {
+			spec.Infect = *infect
+		}
+		err := d.Register(spec)
+		if err != nil && !errors.Is(err, daemon.ErrDuplicateHost) {
+			logger.Print(err)
+			return exitError
+		}
+	}
+
+	resumed, err := d.Start()
+	for _, info := range resumed {
+		logger.Printf("resumed sweep %d: %d hosts, %d infected, digest %.12s",
+			info.ID, len(info.Hosts), len(info.Infected), info.Digest)
+	}
+	if err != nil {
+		logger.Print(err)
+		return exitError
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Print(err)
+		return exitError
+	}
+	srv := &http.Server{Handler: d.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	p := d.ActiveProfile()
+	logger.Printf("serving on %s (profile %s, locked=%v, shards=%d, poll=%s)",
+		ln.Addr(), p.Name, p.Locked, *shards, *poll)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case s := <-sig:
+		logger.Printf("received %s, draining...", s)
+	case <-stop:
+		logger.Print("stop requested, draining...")
+	case err := <-serveErr:
+		logger.Print(err)
+		return exitError
+	}
+
+	// Graceful drain: finish the in-flight sweep and seal its journal,
+	// close every subscriber stream, then stop accepting requests.
+	d.Shutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Print(err)
+		return exitError
+	}
+	logger.Print("drained, exiting")
+	return exitClean
+}

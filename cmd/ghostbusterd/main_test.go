@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunSmoke boots the daemon end to end on an ephemeral port, drives
+// the API, and drains it via the stop channel — the same path a SIGTERM
+// takes. Run under -race in CI (scripts/check.sh).
+func TestRunSmoke(t *testing.T) {
+	state := t.TempDir()
+	addrc := make(chan string, 1)
+	stop := make(chan struct{})
+	exitc := make(chan int, 1)
+	go func() {
+		exitc <- run(
+			[]string{"-state", state, "-listen", "127.0.0.1:0", "-fleet", "2", "-infect", "Urbin", "-poll", "0"},
+			func(addr string) { addrc <- addr }, stop)
+	}()
+
+	var base string
+	select {
+	case addr := <-addrc:
+		base = "http://" + addr
+	case code := <-exitc:
+		t.Fatalf("daemon exited early with code %d", code)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/v1/healthz"); code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	if code, body := get("/v1/hosts"); code != 200 || !strings.Contains(body, "host-001") {
+		t.Fatalf("hosts: %d %s", code, body)
+	}
+
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	var info struct {
+		Infected []string `json:"infected"`
+		Digest   string   `json:"digest"`
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatalf("sweep response: %v (%s)", err, body)
+	}
+	if len(info.Infected) != 1 || info.Infected[0] != "host-000" || info.Digest == "" {
+		t.Fatalf("sweep did not flag the infected host: %s", body)
+	}
+
+	close(stop)
+	select {
+	case code := <-exitc:
+		if code != exitClean {
+			t.Fatalf("drain exit code %d, want %d", code, exitClean)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain after stop")
+	}
+}
+
+// TestRunFlagValidation: every bad invocation is exit 2 and starts
+// nothing (no ready callback fires).
+func TestRunFlagValidation(t *testing.T) {
+	state := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"missing state", []string{}},
+		{"unknown flag", []string{"-state", state, "-bogus"}},
+		{"shards one", []string{"-state", state, "-shards", "1"}},
+		{"shards negative", []string{"-state", state, "-shards", "-3"}},
+		{"negative poll", []string{"-state", state, "-poll", "-1s"}},
+		{"negative fleet", []string{"-state", state, "-fleet", "-1"}},
+		{"infect without fleet", []string{"-state", state, "-infect", "Urbin"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ready := func(addr string) { t.Errorf("daemon started with bad flags %v (addr %s)", tc.args, addr) }
+			if code := run(tc.args, ready, nil); code != exitUsage {
+				t.Errorf("args %v: exit %d, want %d", tc.args, code, exitUsage)
+			}
+		})
+	}
+}
+
+// TestRunStartupFailureIsRuntimeError: valid flags, but the daemon
+// cannot start (corrupt persisted profile) — exit 4, not 2 and not a
+// silent fallback.
+func TestRunStartupFailureIsRuntimeError(t *testing.T) {
+	state := t.TempDir()
+	stop := make(chan struct{})
+	close(stop)
+	if code := run([]string{"-state", state, "-listen", "127.0.0.1:0", "-poll", "0"}, nil, stop); code != exitClean {
+		t.Fatalf("seed run exit %d", code)
+	}
+	corruptProfile(t, state)
+	if code := run([]string{"-state", state, "-listen", "127.0.0.1:0", "-poll", "0"}, nil, stop); code != exitError {
+		t.Fatalf("corrupt state exit %d, want %d", code, exitError)
+	}
+}
+
+func corruptProfile(t *testing.T, state string) {
+	t.Helper()
+	path := filepath.Join(state, "profile.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -196,6 +196,17 @@ func (c *ScanCache) scanASEPLowOn(clk *vtime.Clock) (*ColumnarSnapshot, error) {
 	return snap, nil
 }
 
+// GenerationKey folds a machine's byte-level substrate generations into
+// one comparable key: the disk volume's mutation generation plus the
+// registry mount-table/hive key the ASEP cache is keyed on. Anything
+// that could change what the truth-side parses see moves the key, and
+// nothing else does — the resident daemon polls it to decide whether a
+// registered host needs an incremental re-sweep or is quiet. Reading
+// the key costs a few counter loads, no parsing.
+func GenerationKey(m *machine.Machine) string {
+	return strconv.FormatUint(m.Disk.Generation(), 10) + "/" + regCacheKey(m)
+}
+
 // regCacheKey folds the mount-table generation and each mounted hive's
 // root and generation into one comparable key. A plain sum would be
 // ambiguous (unmounting a gen-1 hive bumps the mount generation by one,

@@ -1,0 +1,239 @@
+// The JSON/HTTP control-plane API. Routes (Go 1.22 method+path mux):
+//
+//	GET    /v1/healthz        liveness + active profile
+//	GET    /v1/metrics        counters snapshot
+//	GET    /v1/hosts          registered hosts with delta/interval state
+//	POST   /v1/hosts          register {name, seed, diskUsedGB, infect}
+//	DELETE /v1/hosts/{name}   deregister
+//	GET    /v1/sweeps         sweep history
+//	POST   /v1/sweeps         trigger a manual sweep of the whole fleet
+//	GET    /v1/results        live result stream (SSE); ?replay=1 first
+//	                          replays the retained event ring
+//	GET    /v1/profile        active profile + diagnostics
+//	POST   /v1/profile        {"switch": name} | {"override": {...}} |
+//	                          {"import": {...}} — a locked profile
+//	                          rejects weakening with 409 Conflict
+//
+// The API never weakens a locked profile: every mutation funnels
+// through profile.Apply/Switch, the single enforcement point.
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"ghostbuster/internal/profile"
+)
+
+// Handler returns the daemon's HTTP API.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", d.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", d.handleMetrics)
+	mux.HandleFunc("GET /v1/hosts", d.handleHostsGet)
+	mux.HandleFunc("POST /v1/hosts", d.handleHostsPost)
+	mux.HandleFunc("DELETE /v1/hosts/{name}", d.handleHostDelete)
+	mux.HandleFunc("GET /v1/sweeps", d.handleSweepsGet)
+	mux.HandleFunc("POST /v1/sweeps", d.handleSweepsPost)
+	mux.HandleFunc("GET /v1/results", d.handleResults)
+	mux.HandleFunc("GET /v1/profile", d.handleProfileGet)
+	mux.HandleFunc("POST /v1/profile", d.handleProfilePost)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// errStatus maps a daemon error to its HTTP status: locked-profile
+// violations are 409 Conflict (the request was well-formed; the
+// policy forbids it), everything else 400.
+func errStatus(err error) int {
+	if strings.Contains(err.Error(), "is locked") {
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
+}
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	p := d.ActiveProfile()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"profile":       p.Name,
+		"profileLocked": p.Locked,
+	})
+}
+
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.Snapshot())
+}
+
+func (d *Daemon) handleHostsGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.Hosts())
+}
+
+func (d *Daemon) handleHostsPost(w http.ResponseWriter, r *http.Request) {
+	var spec HostSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("daemon: bad host spec: %w", err))
+		return
+	}
+	if err := d.Register(spec); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"registered": spec.Name})
+}
+
+func (d *Daemon) handleHostDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := d.Deregister(name); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deregistered": name})
+}
+
+func (d *Daemon) handleSweepsGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.Sweeps())
+}
+
+func (d *Daemon) handleSweepsPost(w http.ResponseWriter, r *http.Request) {
+	info, err := d.SweepNow()
+	if err != nil {
+		status := http.StatusBadRequest
+		if info != nil { // the sweep ran and failed, not a bad request
+			status = http.StatusInternalServerError
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleResults streams sweep events as server-sent events: one
+// `data: {...}` JSON frame per committed host result and per finished
+// sweep, flushed as they happen — an operator watches detections land
+// while the sweep is still running. `?replay=1` first replays the
+// retained ring so late subscribers see recent history.
+func (d *Daemon) handleResults(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, errors.New("daemon: streaming unsupported"))
+		return
+	}
+	ch, cancel := d.Subscribe()
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush() // headers must reach the client before the first event
+	send := func(ev Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	if r.URL.Query().Get("replay") != "" {
+		for _, ev := range d.Events() {
+			if !send(ev) {
+				return
+			}
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return // daemon shutting down: end the stream cleanly
+			}
+			if !send(ev) {
+				return
+			}
+		}
+	}
+}
+
+func (d *Daemon) handleProfileGet(w http.ResponseWriter, r *http.Request) {
+	p := d.ActiveProfile()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"profile":  p,
+		"diagnose": profile.Diagnose(p),
+	})
+}
+
+// profileRequest is the POST /v1/profile body: exactly one action.
+type profileRequest struct {
+	Switch   string            `json:"switch,omitempty"`
+	Override *profile.Override `json:"override,omitempty"`
+	Import   json.RawMessage   `json:"import,omitempty"`
+}
+
+func (d *Daemon) handleProfilePost(w http.ResponseWriter, r *http.Request) {
+	var req profileRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("daemon: bad profile request: %w", err))
+		return
+	}
+	actions := 0
+	for _, set := range []bool{req.Switch != "", req.Override != nil, len(req.Import) > 0} {
+		if set {
+			actions++
+		}
+	}
+	if actions != 1 {
+		writeErr(w, http.StatusBadRequest,
+			errors.New(`daemon: profile request needs exactly one of "switch", "override", "import"`))
+		return
+	}
+	switch {
+	case req.Switch != "":
+		p, err := d.SwitchProfile(req.Switch)
+		if err != nil {
+			writeErr(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"profile": p})
+	case req.Override != nil:
+		p, err := d.OverrideProfile(*req.Override)
+		if err != nil {
+			writeErr(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"profile": p})
+	default:
+		p, err := d.store.Import(req.Import)
+		if err != nil {
+			writeErr(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]any{"imported": p.Name})
+	}
+}

@@ -1,0 +1,269 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ghostbuster/internal/profile"
+)
+
+func newServer(t *testing.T, cfg Config) (*Daemon, *httptest.Server) {
+	t.Helper()
+	d := newDaemon(t, cfg)
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+	return d, srv
+}
+
+func doJSON(t *testing.T, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	_, srv := newServer(t, Config{Seed: 1})
+
+	resp, body := doJSON(t, "GET", srv.URL+"/v1/healthz", nil)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body = doJSON(t, "POST", srv.URL+"/v1/hosts", HostSpec{Name: "host-a", Seed: 1, Infect: "Urbin"})
+	if resp.StatusCode != 201 {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	if resp, body = doJSON(t, "POST", srv.URL+"/v1/hosts", HostSpec{Name: "../evil"}); resp.StatusCode != 400 {
+		t.Fatalf("hostile host name over API: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body = doJSON(t, "GET", srv.URL+"/v1/hosts", nil)
+	var hosts []HostStatus
+	if err := json.Unmarshal(body, &hosts); err != nil || len(hosts) != 1 {
+		t.Fatalf("hosts: %d %s (%v)", resp.StatusCode, body, err)
+	}
+	if !hosts[0].Dirty {
+		t.Fatal("never-swept host not marked dirty")
+	}
+
+	resp, body = doJSON(t, "POST", srv.URL+"/v1/sweeps", nil)
+	var info SweepInfo
+	if err := json.Unmarshal(body, &info); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("sweep: %d %s (%v)", resp.StatusCode, body, err)
+	}
+	if info.Trigger != "manual" || len(info.Infected) != 1 {
+		t.Fatalf("sweep info: %+v", info)
+	}
+
+	resp, body = doJSON(t, "GET", srv.URL+"/v1/sweeps", nil)
+	var sweeps []SweepInfo
+	if err := json.Unmarshal(body, &sweeps); err != nil || len(sweeps) != 1 {
+		t.Fatalf("sweeps: %d %s (%v)", resp.StatusCode, body, err)
+	}
+
+	resp, body = doJSON(t, "GET", srv.URL+"/v1/metrics", nil)
+	var m Metrics
+	if err := json.Unmarshal(body, &m); err != nil || m.Hosts != 1 || m.Sweeps != 1 || m.InfectedResults != 1 {
+		t.Fatalf("metrics: %d %s (%v)", resp.StatusCode, body, err)
+	}
+
+	resp, body = doJSON(t, "DELETE", srv.URL+"/v1/hosts/host-a", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("deregister: %d %s", resp.StatusCode, body)
+	}
+	if resp, _ = doJSON(t, "DELETE", srv.URL+"/v1/hosts/host-a", nil); resp.StatusCode != 404 {
+		t.Fatalf("double deregister: %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPResultStream: results arrive over the SSE stream while the
+// sweep runs; ?replay=1 serves the retained ring to late subscribers.
+func TestHTTPResultStream(t *testing.T) {
+	d, srv := newServer(t, Config{Seed: 2})
+	if err := d.Register(HostSpec{Name: "host-a", Seed: 1, Infect: "Urbin"}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	if _, err := d.SweepNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	types := readSSETypes(t, resp, 2)
+	if !types["result"] || !types["sweep"] {
+		t.Fatalf("stream events: %v", types)
+	}
+
+	// Late subscriber replays the ring.
+	resp2, err := http.Get(srv.URL + "/v1/results?replay=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	types = readSSETypes(t, resp2, 2)
+	if !types["result"] || !types["sweep"] {
+		t.Fatalf("replayed events: %v", types)
+	}
+}
+
+// readSSETypes reads SSE frames until n distinct event types were seen
+// (or the deadline passes) and returns the set.
+func readSSETypes(t *testing.T, resp *http.Response, n int) map[string]bool {
+	t.Helper()
+	types := map[string]bool{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if ev, ok := strings.CutPrefix(line, "event: "); ok {
+				types[ev] = true
+				if len(types) >= n {
+					return
+				}
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream timed out")
+	}
+	return types
+}
+
+// TestHTTPLockedProfileRejectsWeakening is the locked-API acceptance:
+// every weakening route 409s with an explicit error; strengthening and
+// reads still work.
+func TestHTTPLockedProfileRejectsWeakening(t *testing.T) {
+	_, srv := newServer(t, Config{Seed: 3, Profile: "paranoid", LockProfile: true})
+
+	resp, body := doJSON(t, "GET", srv.URL+"/v1/profile", nil)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"paranoid"`) {
+		t.Fatalf("profile get: %d %s", resp.StatusCode, body)
+	}
+
+	weakening := []map[string]any{
+		{"override": map[string]any{"advanced": false}},
+		{"override": map[string]any{"noiseFilter": "standard"}},
+		{"override": map[string]any{"maxRetries": 0}},
+		{"override": map[string]any{"lock": false}},
+		{"switch": "quick"},
+	}
+	for _, req := range weakening {
+		resp, body := doJSON(t, "POST", srv.URL+"/v1/profile", req)
+		if resp.StatusCode != http.StatusConflict {
+			t.Errorf("weakening %v: status %d (want 409), body %s", req, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), "locked") {
+			t.Errorf("weakening %v: error does not explain the lock: %s", req, body)
+		}
+	}
+
+	// Strengthening is allowed and persists.
+	resp, body = doJSON(t, "POST", srv.URL+"/v1/profile", map[string]any{
+		"override": map[string]any{"maxRetries": 5},
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("strengthening rejected: %d %s", resp.StatusCode, body)
+	}
+	// Upgrade switch carries the lock.
+	resp, body = doJSON(t, "POST", srv.URL+"/v1/profile", map[string]any{"switch": "forensic"})
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"locked": true`) {
+		t.Fatalf("upgrade switch: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestHTTPProfileImport(t *testing.T) {
+	dir := t.TempDir()
+	d, srv := newServer(t, Config{Seed: 4, ProfileDir: dir})
+
+	custom, _ := profile.Builtin("standard")
+	custom.Name = "site-policy"
+	custom.Interval = 2 * time.Hour
+	resp, body := doJSON(t, "POST", srv.URL+"/v1/profile",
+		map[string]any{"import": json.RawMessage(profile.Encode(custom))})
+	if resp.StatusCode != 201 {
+		t.Fatalf("import: %d %s", resp.StatusCode, body)
+	}
+	if _, err := d.SwitchProfile("site-policy"); err != nil {
+		t.Fatalf("switch to imported: %v", err)
+	}
+
+	// Built-in collision is refused over the API too.
+	collide, _ := profile.Builtin("standard")
+	collide.Advanced = false
+	resp, body = doJSON(t, "POST", srv.URL+"/v1/profile",
+		map[string]any{"import": json.RawMessage(profile.Encode(collide))})
+	if resp.StatusCode != 400 || !strings.Contains(string(body), "built-in") {
+		t.Fatalf("builtin collision import: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestHTTPProfileRequestValidation(t *testing.T) {
+	_, srv := newServer(t, Config{Seed: 5})
+	for _, req := range []string{
+		`{}`,
+		`{"switch":"quick","override":{"workers":2}}`,
+		`{"unknown":"field"}`,
+	} {
+		resp, body := doJSON(t, "POST", srv.URL+"/v1/profile", json.RawMessage(req))
+		if resp.StatusCode != 400 {
+			t.Errorf("request %s: status %d, body %s", req, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestHTTPSweepWithNoHosts(t *testing.T) {
+	_, srv := newServer(t, Config{Seed: 6})
+	resp, _ := doJSON(t, "POST", srv.URL+"/v1/sweeps", nil)
+	if resp.StatusCode != 400 {
+		t.Fatalf("empty-fleet sweep: %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPHostSpecStrictDecode(t *testing.T) {
+	_, srv := newServer(t, Config{Seed: 7})
+	resp, body := doJSON(t, "POST", srv.URL+"/v1/hosts",
+		json.RawMessage(`{"name":"h","disableScans":true}`))
+	if resp.StatusCode != 400 {
+		t.Fatalf("unknown host-spec field accepted: %d %s", resp.StatusCode, body)
+	}
+}

@@ -144,6 +144,20 @@ type Manager struct {
 	// the hosts. Zero disables the error budget. Only journaled sweeps
 	// (SweepJournaled/Resume) enforce it.
 	AbortAfterFailureFraction float64
+	// ConfigureDetector, when set, customizes each inside scan's
+	// detector after the sweep defaults (Advanced, Contain, Cache,
+	// Parallelism, Deadline) are applied — the seam scan-policy
+	// profiles reach per-host scans through: a quick profile turns the
+	// CID-table traversal off, a forensic one turns containment off and
+	// swaps the noise-filter set. Must be safe for concurrent calls;
+	// profile method values are.
+	ConfigureDetector func(d *core.Detector)
+	// OnResult, when set, receives every host result a journaled sweep
+	// commits, the moment it commits — fresh scans and hash-verified
+	// journal replays alike. Calls are serialized. The resident daemon
+	// streams these to its API subscribers while the sweep is still
+	// running.
+	OnResult func(HostResult)
 	// ScanHost, when set, replaces the real per-host scan body. It is
 	// the control-plane simulation seam: shard-scaling and million-host
 	// benchmarks exercise the scheduler, journal, and digest machinery
@@ -193,6 +207,21 @@ func (mgr *Manager) Add(name string, m *machine.Machine) {
 	mgr.sorted = false
 }
 
+// AddWithCache enrolls a host with a caller-owned scan cache. The cache
+// must have been built on m (core.NewScanCache(m)). This is how the
+// resident daemon keeps incremental scans warm across sweeps: it builds
+// a short-lived Manager per sweep over just the due hosts, but owns one
+// long-lived cache per registration, so a quiet host's re-scan charges
+// only the generation-check verify passes no matter how many managers
+// have come and gone. A nil cache behaves like Add.
+func (mgr *Manager) AddWithCache(name string, m *machine.Machine, cache *core.ScanCache) {
+	if cache == nil {
+		cache = core.NewScanCache(m)
+	}
+	mgr.hosts = append(mgr.hosts, &Host{Name: name, M: m, cache: cache})
+	mgr.sorted = false
+}
+
 // AddLazy enrolls a host whose machine is built on demand when its scan
 // starts. Streaming sweeps release the machine again after the result
 // is committed, so enrolling a huge shard costs one small descriptor
@@ -229,7 +258,7 @@ func (mgr *Manager) Hosts() []string {
 // they degrade the affected report instead of failing the host. If the
 // scan panics outside a contained unit, the reports assembled so far are
 // still attached to the result, so a degraded host stays reportable.
-func (h *Host) insideScan(parallelism int, deadline time.Duration) (res HostResult) {
+func (h *Host) insideScan(parallelism int, deadline time.Duration, configure func(*core.Detector)) (res HostResult) {
 	res = HostResult{Host: h.Name, Kind: SweepInside}
 	start := h.M.Clock.Now()
 	var partial []*core.Report
@@ -245,6 +274,9 @@ func (h *Host) insideScan(parallelism int, deadline time.Duration) (res HostResu
 	d.Parallelism = parallelism
 	d.Contain = true
 	d.Deadline = deadline
+	if configure != nil {
+		configure(d)
+	}
 	d.OnReport = func(r *core.Report) { partial = append(partial, r) }
 	reports, err := d.ScanAll()
 	if reports == nil {
@@ -285,11 +317,11 @@ func (h *Host) finish(res *HostResult, reports []*core.Report, err error, start 
 	res.Elapsed = h.M.Clock.Now() - start
 }
 
-func (h *Host) scanOnce(kind SweepKind, hostParallelism int, deadline time.Duration) HostResult {
+func (h *Host) scanOnce(kind SweepKind, hostParallelism int, deadline time.Duration, configure func(*core.Detector)) HostResult {
 	if kind == SweepOutside {
 		return h.outsideScan()
 	}
-	return h.insideScan(hostParallelism, deadline)
+	return h.insideScan(hostParallelism, deadline, configure)
 }
 
 // scanHost runs one scan attempt on a host: the ScanHost simulation
@@ -302,7 +334,7 @@ func (mgr *Manager) scanHost(h *Host, kind SweepKind) HostResult {
 	if err := h.materialize(); err != nil {
 		return HostResult{Host: h.Name, Kind: kind, Err: err.Error()}
 	}
-	return h.scanOnce(kind, mgr.HostParallelism, mgr.HostDeadline)
+	return h.scanOnce(kind, mgr.HostParallelism, mgr.HostDeadline, mgr.ConfigureDetector)
 }
 
 // runHost scans one host with bounded retry: a failed or degraded

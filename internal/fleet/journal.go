@@ -318,6 +318,9 @@ func (mgr *Manager) sweepJournaled(kind SweepKind, workers int, j *journal.Journ
 			if results[i].Err != "" || results[i].Quarantined {
 				failed++
 			}
+			if mgr.OnResult != nil {
+				mgr.OnResult(results[i])
+			}
 			continue
 		}
 		toRun = append(toRun, i)
@@ -362,6 +365,9 @@ func (mgr *Manager) sweepJournaled(kind SweepKind, workers int, j *journal.Journ
 		res.Hash = ResultHash(res)
 		results[ir.i] = res
 		scanned[ir.i] = true
+		if mgr.OnResult != nil {
+			mgr.OnResult(res)
+		}
 		state := terminalState(res)
 		resJSON, err := json.Marshal(res)
 		if err != nil {

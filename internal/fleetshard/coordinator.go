@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"ghostbuster/internal/core"
 	"ghostbuster/internal/fleet"
 	"ghostbuster/internal/machine"
 )
@@ -81,6 +82,10 @@ type Config struct {
 	// AbortAfterFailureFraction one level up. Zero disables it.
 	AbortAfterShardFailureFraction float64
 
+	// ConfigureDetector is forwarded to every shard manager (see
+	// fleet.Manager.ConfigureDetector): the seam scan-policy profiles
+	// reach sharded per-host scans through. May be nil.
+	ConfigureDetector func(d *core.Detector)
 	// ScanHost is the simulation seam forwarded to shard managers (see
 	// fleet.Manager.ScanHost). Production sweeps leave it nil.
 	ScanHost func(h *fleet.Host, kind fleet.SweepKind) fleet.HostResult
@@ -583,6 +588,7 @@ func (c *Coordinator) newShardManager(indices []int, gauge *fleet.ResidentGauge)
 	mgr.HostDeadline = c.cfg.HostDeadline
 	mgr.BreakerThreshold = c.cfg.BreakerThreshold
 	mgr.AbortAfterFailureFraction = c.cfg.AbortAfterFailureFraction
+	mgr.ConfigureDetector = c.cfg.ConfigureDetector
 	mgr.ScanHost = c.cfg.ScanHost
 	mgr.Resident = gauge
 	for _, i := range indices {

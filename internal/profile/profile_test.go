@@ -1,0 +1,183 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBuiltinsValidateAndRankOrder(t *testing.T) {
+	bs := Builtins()
+	if len(bs) != 4 {
+		t.Fatalf("want 4 built-ins, got %d", len(bs))
+	}
+	wantOrder := []string{"quick", "standard", "paranoid", "forensic"}
+	for i, p := range bs {
+		if p.Name != wantOrder[i] {
+			t.Errorf("builtin %d = %q, want %q", i, p.Name, wantOrder[i])
+		}
+		if p.Rank != i {
+			t.Errorf("builtin %q rank = %d, want %d", p.Name, p.Rank, i)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("builtin %q fails validation: %v", p.Name, err)
+		}
+	}
+}
+
+// TestValidateNameRejectsHostileNames is the path-traversal gate: none
+// of these may ever reach filepath.Join.
+func TestValidateNameRejectsHostileNames(t *testing.T) {
+	hostile := []string{
+		"", "../evil", "..", "a/b", `a\b`, "./x", "a..b",
+		"evil\x00name", "UPPER", "Standard", "-lead", "trail-",
+		"has space", "dots.json", "~root", "a" + strings.Repeat("b", 32),
+		"профиль", "..-", "con/..",
+	}
+	for _, name := range hostile {
+		if err := ValidateName(name); err == nil {
+			t.Errorf("ValidateName(%q) accepted a hostile name", name)
+		}
+	}
+	for _, name := range []string{"a", "quick", "my-profile", "a2-b3", "x" + strings.Repeat("y", 31)} {
+		if err := ValidateName(name); err != nil {
+			t.Errorf("ValidateName(%q) rejected a legal name: %v", name, err)
+		}
+	}
+}
+
+func locked(t *testing.T, name string) Profile {
+	t.Helper()
+	p, ok := Builtin(name)
+	if !ok {
+		t.Fatalf("no builtin %q", name)
+	}
+	p.Locked = true
+	return p
+}
+
+func boolp(b bool) *bool                  { return &b }
+func intp(i int) *int                     { return &i }
+func strp(s string) *string               { return &s }
+func durp(d time.Duration) *time.Duration { return &d }
+
+// TestLockedProfileRejectsEveryWeakening walks each security-critical
+// field: the weakening direction errors, the strengthening direction
+// applies.
+func TestLockedProfileRejectsEveryWeakening(t *testing.T) {
+	cases := []struct {
+		field  string
+		base   string
+		weaken Override
+	}{
+		{"advanced", "paranoid", Override{Advanced: boolp(false)}},
+		{"noiseFilter", "paranoid", Override{NoiseFilter: strp(NoiseStandard)}},
+		{"deadline introduced", "paranoid", Override{Deadline: durp(time.Second)}},
+		{"deadline shortened", "standard", Override{Deadline: durp(time.Second)}},
+		{"maxRetries", "paranoid", Override{MaxRetries: intp(0)}},
+		{"journal", "paranoid", Override{Journal: boolp(false)}},
+		{"interval", "paranoid", Override{Interval: durp(48 * time.Hour)}},
+		{"contain", "forensic", Override{Contain: boolp(true)}},
+		{"unlock", "paranoid", Override{Lock: boolp(false)}},
+	}
+	for _, tc := range cases {
+		p := locked(t, tc.base)
+		if _, err := p.Apply(tc.weaken); err == nil {
+			t.Errorf("%s: locked %q accepted weakening override", tc.field, tc.base)
+		} else if !strings.Contains(err.Error(), "is locked") {
+			t.Errorf("%s: error does not name the lock: %v", tc.field, err)
+		}
+	}
+
+	// Strengthening a locked profile is always allowed.
+	p := locked(t, "standard")
+	got, err := p.Apply(Override{
+		Advanced:    boolp(true),
+		NoiseFilter: strp(NoiseBaseline),
+		Deadline:    durp(0),
+		MaxRetries:  intp(5),
+		Interval:    durp(time.Minute),
+	})
+	if err != nil {
+		t.Fatalf("strengthening a locked profile rejected: %v", err)
+	}
+	if got.NoiseFilter != NoiseBaseline || got.Deadline != 0 || got.MaxRetries != 5 {
+		t.Fatalf("strengthening not applied: %+v", got)
+	}
+	if !got.Locked {
+		t.Fatal("lock dropped by Apply")
+	}
+}
+
+func TestLockedApplyCollectsAllViolations(t *testing.T) {
+	p := locked(t, "paranoid")
+	_, err := p.Apply(Override{Advanced: boolp(false), Journal: boolp(false), Lock: boolp(false)})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, want := range []string{"advanced", "journal", "locked"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("violation list missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestUnlockedProfileAcceptsOverrides(t *testing.T) {
+	p, _ := Builtin("paranoid")
+	got, err := p.Apply(Override{Advanced: boolp(false), Workers: intp(16)})
+	if err != nil {
+		t.Fatalf("unlocked override rejected: %v", err)
+	}
+	if got.Advanced || got.Workers != 16 {
+		t.Fatalf("override not applied: %+v", got)
+	}
+}
+
+func TestOverrideValidatesResult(t *testing.T) {
+	p, _ := Builtin("standard")
+	if _, err := p.Apply(Override{Workers: intp(0)}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := p.Apply(Override{AbortAfterFailureFraction: float64p(1.5)}); err == nil {
+		t.Fatal("abort fraction 1.5 accepted")
+	}
+}
+
+func float64p(f float64) *float64 { return &f }
+
+func TestSwitchLockedRefusesDowngradeAndCarriesLock(t *testing.T) {
+	active := locked(t, "paranoid")
+	quick, _ := Builtin("quick")
+	if _, err := Switch(active, quick); err == nil {
+		t.Fatal("locked paranoid switched down to quick")
+	}
+	forensic, _ := Builtin("forensic")
+	got, err := Switch(active, forensic)
+	if err != nil {
+		t.Fatalf("upgrade rejected: %v", err)
+	}
+	if !got.Locked {
+		t.Fatal("lock did not carry over to the switched-to profile")
+	}
+	// Unlocked switches go anywhere.
+	std, _ := Builtin("standard")
+	if _, err := Switch(std, quick); err != nil {
+		t.Fatalf("unlocked downgrade rejected: %v", err)
+	}
+}
+
+func TestDiagnoseCoversEveryKnob(t *testing.T) {
+	p := locked(t, "paranoid")
+	d := Diagnose(p)
+	for _, key := range DiagnoseKeys(d) {
+		if d[key] == "" {
+			t.Errorf("diagnose key %q empty", key)
+		}
+	}
+	if d["profile-locked"] != "true" {
+		t.Errorf("profile-locked = %q, want true", d["profile-locked"])
+	}
+	if d["profile-name"] != "paranoid" {
+		t.Errorf("profile-name = %q", d["profile-name"])
+	}
+}

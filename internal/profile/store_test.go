@@ -1,0 +1,235 @@
+package profile
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ghostbuster/internal/faultinject"
+)
+
+func custom(name string) Profile {
+	p, _ := Builtin("standard")
+	p.Name = name
+	p.Description = "site policy"
+	p.Interval = 2 * time.Hour
+	return p
+}
+
+func TestStoreImportResolveExportRoundtrip(t *testing.T) {
+	s := NewStore(t.TempDir())
+	want := custom("site-policy")
+	if _, err := s.Import(Encode(want)); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	got, err := s.Resolve("site-policy")
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if got != want {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	exported, err := s.Export("site-policy")
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	reimported, err := Decode(exported)
+	if err != nil {
+		t.Fatalf("decode export: %v", err)
+	}
+	if reimported != want {
+		t.Fatal("export is not re-importable")
+	}
+}
+
+func TestImportWithoutChecksumGetsOne(t *testing.T) {
+	s := NewStore(t.TempDir())
+	// A hand-written profile (no checksum field) imports fine; the
+	// store adds the checksum on write.
+	data, _ := json.Marshal(custom("hand-written"))
+	if _, err := s.Import(data); err != nil {
+		t.Fatalf("import without checksum: %v", err)
+	}
+	onDisk, _ := os.ReadFile(filepath.Join(s.Dir, "hand-written.json"))
+	if !strings.Contains(string(onDisk), `"checksum"`) {
+		t.Fatal("store file missing content checksum")
+	}
+}
+
+// TestImportRefusesBuiltinCollision: the built-in namespace cannot be
+// shadowed — "paranoid" must always mean the built-in paranoid.
+func TestImportRefusesBuiltinCollision(t *testing.T) {
+	s := NewStore(t.TempDir())
+	for _, name := range BuiltinNames() {
+		if _, err := s.Import(Encode(custom(name))); err == nil {
+			t.Errorf("import shadowing built-in %q accepted", name)
+		} else if !strings.Contains(err.Error(), "built-in") {
+			t.Errorf("collision error unclear: %v", err)
+		}
+	}
+	// Even a file smuggled into the store directory cannot shadow:
+	// built-ins resolve first.
+	path := filepath.Join(s.Dir, "paranoid.json")
+	weak := custom("paranoid")
+	weak.Advanced = false
+	if err := os.WriteFile(path, Encode(weak), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Resolve("paranoid")
+	if err != nil {
+		t.Fatalf("resolve paranoid: %v", err)
+	}
+	if !got.Advanced {
+		t.Fatal("smuggled store file shadowed the built-in paranoid")
+	}
+}
+
+// TestResolveRefusesTraversalNames: hostile names fail validation
+// before they ever become paths, so nothing outside the store dir is
+// readable (or deletable) through the profile API.
+func TestResolveRefusesTraversalNames(t *testing.T) {
+	dir := t.TempDir()
+	outside := filepath.Join(dir, "escape.json")
+	if err := os.WriteFile(outside, Encode(custom("escape")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(filepath.Join(dir, "store"))
+	for _, name := range []string{"../escape", "..", "x/../../escape", `..\escape`} {
+		if _, err := s.Resolve(name); err == nil {
+			t.Errorf("Resolve(%q) accepted a traversal name", name)
+		}
+		if err := s.Delete(name); err == nil {
+			t.Errorf("Delete(%q) accepted a traversal name", name)
+		}
+	}
+	if _, err := os.Stat(outside); err != nil {
+		t.Fatal("traversal name deleted a file outside the store")
+	}
+}
+
+// TestCorruptedStoreFilesFailLoudly: truncated, bit-flipped, trailing
+// garbage, unknown fields, renamed — every corruption is a loud,
+// distinct error; resolution never falls back to another profile.
+func TestCorruptedStoreFilesFailLoudly(t *testing.T) {
+	newStoreWith := func(t *testing.T, name string) (*Store, string) {
+		t.Helper()
+		s := NewStore(t.TempDir())
+		if _, err := s.Import(Encode(custom(name))); err != nil {
+			t.Fatal(err)
+		}
+		return s, filepath.Join(s.Dir, name+".json")
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		s, path := newStoreWith(t, "trunc")
+		data, _ := os.ReadFile(path)
+		for _, keep := range []int{0, 1, len(data) / 2, len(data) - 2} {
+			if err := os.WriteFile(path, data[:keep], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Resolve("trunc"); err == nil {
+				t.Errorf("truncation to %d bytes resolved silently", keep)
+			}
+		}
+	})
+
+	t.Run("bit-flipped", func(t *testing.T) {
+		s, path := newStoreWith(t, "flip")
+		orig, _ := os.ReadFile(path)
+		// Deterministic fault-injection mixing picks the flip sites —
+		// every single-bit flip anywhere in the file must surface as an
+		// error (parse failure or checksum mismatch), never resolve.
+		for seed := int64(1); seed <= 64; seed++ {
+			data := append([]byte(nil), orig...)
+			pick := faultinject.Mix(seed, uint64(len(data)))
+			data[pick%uint64(len(data))] ^= 1 << (pick % 8)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Resolve("flip"); err == nil {
+				t.Fatalf("seed %d: bit flip at byte %d resolved silently",
+					seed, pick%uint64(len(data)))
+			}
+		}
+	})
+
+	t.Run("trailing-garbage", func(t *testing.T) {
+		s, path := newStoreWith(t, "trail")
+		data, _ := os.ReadFile(path)
+		if err := os.WriteFile(path, append(data, []byte(`{"name":"evil"}`)...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Resolve("trail"); err == nil {
+			t.Error("trailing garbage resolved silently")
+		}
+	})
+
+	t.Run("unknown-field", func(t *testing.T) {
+		s := NewStore(t.TempDir())
+		if _, err := s.Import([]byte(`{"name":"sneaky","noiseFilter":"baseline","workers":1,"intervalNs":60000000000,"disableAllScans":true}`)); err == nil {
+			t.Error("unknown field imported silently")
+		}
+	})
+
+	t.Run("renamed", func(t *testing.T) {
+		s, path := newStoreWith(t, "original")
+		if err := os.Rename(path, filepath.Join(s.Dir, "renamed.json")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Resolve("renamed"); err == nil {
+			t.Error("renamed store file resolved under the wrong name")
+		}
+	})
+
+	t.Run("checksum-stripped", func(t *testing.T) {
+		s, path := newStoreWith(t, "stripped")
+		data, _ := json.Marshal(custom("stripped")) // no checksum field
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Resolve("stripped"); err == nil {
+			t.Error("store file without checksum resolved")
+		}
+	})
+}
+
+func TestListFailsLoudlyOnCorruptFile(t *testing.T) {
+	s := NewStore(t.TempDir())
+	if _, err := s.Import(Encode(custom("good"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.Dir, "bad.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.List(); err == nil {
+		t.Fatal("List over a store with a corrupt file succeeded")
+	}
+}
+
+func TestDeleteProtectsBuiltins(t *testing.T) {
+	s := NewStore(t.TempDir())
+	if err := s.Delete("paranoid"); err == nil {
+		t.Fatal("deleted a built-in")
+	}
+	if _, err := s.Import(Encode(custom("mine"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("mine"); err != nil {
+		t.Fatalf("deleting own import: %v", err)
+	}
+	if _, err := s.Resolve("mine"); err == nil {
+		t.Fatal("resolved a deleted profile")
+	}
+}
+
+func TestUnknownProfileNeverFallsBack(t *testing.T) {
+	s := NewStore("")
+	if _, err := s.Resolve("no-such-profile"); err == nil {
+		t.Fatal("unknown profile resolved")
+	} else if !strings.Contains(err.Error(), "no-such-profile") {
+		t.Fatalf("error does not name the missing profile: %v", err)
+	}
+}

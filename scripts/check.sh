@@ -26,8 +26,12 @@ go test -race -run 'TestTornTailRecovered|TestBitFlipIsLoud|TestInteriorTruncati
 echo "==> sharded control-plane matrix under -race (shard loss, topology independence, bounded residency)"
 go test -race -run 'TestShardCrashResumeReproducesMergedDigest|TestResumeAfterTotalLoss|TestResumeRestartsHeaderlessShardJournal|TestMergedDigestIndependentOfShardTopology|TestBoundedResidentResults|TestShardBreakerQuarantines|TestShardErrorBudgetAborts' ./internal/fleetshard/
 
-echo "==> coverage floor (>= 70% on the detection core)"
-go test -cover ./internal/core/ ./internal/ntfs/ ./internal/hive/ ./internal/fleet/ ./internal/fleetshard/ ./internal/journal/ |
+echo "==> daemon smoke under -race (boot, API sweep, graceful drain; locked-profile API rejections)"
+go test -race -run 'TestRunSmoke|TestRunFlagValidation' ./cmd/ghostbusterd/
+go test -race -run 'TestHTTPLockedProfileRejectsWeakening|TestCrashResumeDigestEquality|TestGracefulShutdownDrainsInFlightSweep' ./internal/daemon/
+
+echo "==> coverage floor (>= 70% on the detection core, daemon, and profile store)"
+go test -cover ./internal/core/ ./internal/ntfs/ ./internal/hive/ ./internal/fleet/ ./internal/fleetshard/ ./internal/journal/ ./internal/daemon/ ./internal/profile/ |
 	awk '
 		/coverage:/ {
 			pct = $5; sub(/%.*/, "", pct)
