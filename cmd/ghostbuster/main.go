@@ -12,6 +12,11 @@
 //	ghostbuster -infect FU -scan procs            # shows the normal-mode miss
 //	ghostbuster -infect FU -scan procs -advanced  # and the advanced-mode catch
 //	ghostbuster -infect Vanquish -inject          # scan from inside every process
+//	ghostbuster -infect Chameleon -scan all -advanced             # adaptive evasion: fixed order misses
+//	ghostbuster -infect Chameleon -scan all -advanced -order-seed 2   # randomized order catches
+//	ghostbuster -infect PhantomProc -profile paranoid             # memory-only: kmem pool carve
+//	ghostbuster -infect BootViper -profile paranoid               # bootkit: boot-chain pair
+//	ghostbuster -infect USBcat -profile standard                  # removable-device truth source
 //	ghostbuster -fleet 8 -journal sweep.gbj -json # durable fleet sweep
 //	ghostbuster -fleet 8 -journal sweep.gbj -resume
 //	ghostbuster -fleet 64 -shards 4 -shard-journal-dir sweepdir  # fleet of fleets
@@ -91,6 +96,7 @@ func run(args []string) (int, error) {
 	infect := fs.String("infect", "", "install the named ghostware before scanning (fleet mode: on the first host)")
 	scan := fs.String("scan", "all", "what to scan: files|aseps|procs|mods|drivers|all")
 	advanced := fs.Bool("advanced", false, "use the CID-table traversal for the process low-level scan (catches DKOM)")
+	orderSeed := fs.Int64("order-seed", 0, "randomize scan-unit execution order with this seed (0 = the paper's fixed order); defeats scan-detecting adversaries")
 	inject := fs.Bool("inject", false, "run the scans from inside every process (the §5 DLL-injection extension)")
 	contain := fs.Bool("contain", false, "contain per-unit faults as degraded reports instead of failing the scan")
 	jsonOut := fs.Bool("json", false, "emit reports as JSON instead of text")
@@ -236,7 +242,7 @@ func run(args []string) (int, error) {
 	if *inject {
 		return runInjected(m, *verbose)
 	}
-	return runPlain(m, *scan, *advanced, *contain, *verbose, *jsonOut, prof)
+	return runPlain(m, *scan, *advanced, *contain, *verbose, *jsonOut, *orderSeed, prof)
 }
 
 func installGhostware(m *machine.Machine, name string) error {
@@ -258,7 +264,7 @@ func installGhostware(m *machine.Machine, name string) error {
 	return nil
 }
 
-func runPlain(m *machine.Machine, scan string, advanced, contain, verbose, jsonOut bool, prof *profile.Profile) (int, error) {
+func runPlain(m *machine.Machine, scan string, advanced, contain, verbose, jsonOut bool, orderSeed int64, prof *profile.Profile) (int, error) {
 	d := core.NewDetector(m)
 	d.Advanced = advanced
 	d.Contain = contain
@@ -267,6 +273,11 @@ func runPlain(m *machine.Machine, scan string, advanced, contain, verbose, jsonO
 		// overrides (through the locked-profile check), so the profile
 		// is the single source of truth for the detector.
 		prof.ConfigureDetector(d)
+	}
+	// An explicit -order-seed wins over the profile's auto-drawn seed:
+	// the operator is pinning a reproducible execution order.
+	if orderSeed != 0 {
+		d.OrderSeed = orderSeed
 	}
 	var reports []*core.Report
 	runScan := func(name string, f func() (*core.Report, error)) error {

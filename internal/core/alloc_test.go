@@ -65,3 +65,47 @@ func TestDiffInnerLoopAllocs(t *testing.T) {
 		t.Errorf("clean diff allocs = %v, want <= 3", got)
 	}
 }
+
+// TestScanOrderAllocs pins that drawing a randomized execution order is
+// allocation-free when the permutation lives in the detector's
+// fixed-size stack array.
+func TestScanOrderAllocs(t *testing.T) {
+	if got := testing.AllocsPerRun(100, func() {
+		var perm [maxScanUnits]int
+		scanOrder(perm[:], 12345)
+	}); got != 0 {
+		t.Errorf("scanOrder allocs = %v, want 0", got)
+	}
+}
+
+// TestOrderedWarmSweepAllocs is the benchgate guard for randomized
+// ordering: on the warm cached diff path, a nonzero OrderSeed must add
+// only a constant number of allocations per sweep — nothing per entry.
+// The machine carries thousands of files, so a per-entry regression
+// would blow the slack by orders of magnitude.
+func TestOrderedWarmSweepAllocs(t *testing.T) {
+	measure := func(seed int64) float64 {
+		m := mustMachine(t)
+		d := NewCachedDetector(m)
+		d.Advanced = true
+		d.Units = UnitCrossMem | UnitBootChain | UnitRemovable
+		d.OrderSeed = seed
+		if _, err := d.ScanAll(); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(10, func() {
+			if _, err := d.ScanAll(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	fixed := measure(0)
+	ordered := measure(12345)
+	// A per-entry regression would add thousands of allocations (one per
+	// snapshot entry); the slack only absorbs scheduler/GC jitter, which
+	// the race detector amplifies.
+	slack := fixed/20 + 32
+	if ordered > fixed+slack {
+		t.Errorf("warm ordered sweep allocs = %v, fixed order = %v (slack %v); randomized ordering must not add per-entry allocations", ordered, fixed, slack)
+	}
+}

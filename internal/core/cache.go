@@ -66,6 +66,10 @@ type ScanCache struct {
 	aseps    *ColumnarSnapshot
 	asepsKey string
 
+	remMu  sync.Mutex
+	rem    *ColumnarSnapshot
+	remKey string
+
 	hits, misses atomic.Int64
 }
 
@@ -99,6 +103,9 @@ func (c *ScanCache) Invalidate() {
 	c.asepsMu.Lock()
 	c.aseps = nil
 	c.asepsMu.Unlock()
+	c.remMu.Lock()
+	c.rem = nil
+	c.remMu.Unlock()
 }
 
 // hitColumnar stamps a cached snapshot for the current virtual time. The
@@ -196,15 +203,48 @@ func (c *ScanCache) scanASEPLowOn(clk *vtime.Clock) (*ColumnarSnapshot, error) {
 	return snap, nil
 }
 
+// scanRemovableLowOn is the cached removable truth scan, keyed on the
+// machine's removable key (hot-plug event count + volume generation).
+// Attaching, detaching, or writing the stick all move the key, so a
+// cached parse of the previous stick can never stand in for the current
+// one.
+func (c *ScanCache) scanRemovableLowOn(clk *vtime.Clock) (*ColumnarSnapshot, error) {
+	c.remMu.Lock()
+	defer c.remMu.Unlock()
+	key := c.m.RemovableKey()
+	if c.rem != nil && c.remKey == key {
+		c.hits.Add(1)
+		sw := vtime.NewStopwatch(clk)
+		clk.ChargeBytes(ntfs.BytesPerSector, diskBytesPerSecond(c.m.Profile))
+		clk.ChargeOps(1, costCacheVerifyDisk)
+		return hitColumnar(c.rem, clk, sw.Elapsed()), nil
+	}
+	c.misses.Add(1)
+	epoch := c.faultEpoch()
+	snap, err := scanRemovableLowC(c.m, clk, c.intern)
+	if err != nil {
+		return nil, err
+	}
+	if c.faultEpoch() != epoch {
+		// See scanFilesLowOn: a parse that raced a fired fault is served
+		// once but never memoized.
+		return snap, nil
+	}
+	c.rem = snap
+	c.remKey = key
+	return snap, nil
+}
+
 // GenerationKey folds a machine's byte-level substrate generations into
-// one comparable key: the disk volume's mutation generation plus the
-// registry mount-table/hive key the ASEP cache is keyed on. Anything
-// that could change what the truth-side parses see moves the key, and
-// nothing else does — the resident daemon polls it to decide whether a
-// registered host needs an incremental re-sweep or is quiet. Reading
-// the key costs a few counter loads, no parsing.
+// one comparable key: the disk volume's mutation generation, the
+// registry mount-table/hive key the ASEP cache is keyed on, and the
+// removable drive's hot-plug key. Anything that could change what the
+// truth-side parses see moves the key, and nothing else does — the
+// resident daemon polls it to decide whether a registered host needs an
+// incremental re-sweep or is quiet. Reading the key costs a few counter
+// loads, no parsing.
 func GenerationKey(m *machine.Machine) string {
-	return strconv.FormatUint(m.Disk.Generation(), 10) + "/" + regCacheKey(m)
+	return strconv.FormatUint(m.Disk.Generation(), 10) + "/" + regCacheKey(m) + "/rem=" + m.RemovableKey()
 }
 
 // regCacheKey folds the mount-table generation and each mounted hive's

@@ -51,6 +51,17 @@ type Detector struct {
 	// assembled. Fleet sweeps use it to retain partial results when a
 	// later unit panics or the host scan is cut short.
 	OnReport func(*Report)
+	// Units enables next-generation scan units beyond the paper's eight
+	// (see nextgen.go). Their reports follow the paper's four, in
+	// UnitCrossMem, UnitBootChain, UnitRemovable order.
+	Units UnitSet
+	// OrderSeed, when nonzero, permutes the EXECUTION order of the scan
+	// units (Fisher-Yates keyed on the seed). Report order and content
+	// are unchanged for honest machines — but adaptive ghostware that
+	// watches for scan-shaped API traffic and unhides mid-sweep can only
+	// win against a predictable order, so randomized sweeps deny it the
+	// timing oracle. Zero keeps the paper's fixed order.
+	OrderSeed int64
 
 	// intern is the detector's string-interning table: every snapshot the
 	// detector builds indexes it, so the two sides of each diff share
@@ -211,29 +222,100 @@ func (d *Detector) ScanAll() ([]*Report, error) {
 	sweepStart := d.M.Clock.Now()
 	if d.Parallelism > 1 {
 		lanes := d.Parallelism
-		if lanes > numScanUnits {
-			lanes = numScanUnits
+		if max := 2 * len(d.pairSpecs()); lanes > max {
+			lanes = max
 		}
 		return d.scanAllParallel(lanes, genStart, sweepStart)
 	}
 	return d.scanAllSequential(genStart, sweepStart)
 }
 
-// numScanUnits is the number of independent scan units in one sweep:
-// the high and low scan of each of the four resource detections.
+// numScanUnits is the number of always-on scan units in one sweep: the
+// high and low scan of each of the paper's four resource detections.
+// Detector.Units can enable up to three more pairs.
 const numScanUnits = 8
 
-// pairNames are the resource pairs in the paper's report order; unit
-// 2i is pair i's high scan, unit 2i+1 its low scan.
-var pairNames = [numScanUnits / 2]string{"files", "ASEPs", "processes", "modules"}
+// maxScanUnits bounds one sweep's unit count: the paper eight plus the
+// three next-generation pairs. Execution-order permutations live in a
+// fixed-size array of this bound, so randomized ordering allocates
+// nothing.
+const maxScanUnits = numScanUnits + 6
+
+// pairSpec describes one resource pair of a sweep: unit 2i is pair i's
+// high scan, unit 2i+1 its low scan.
+type pairSpec struct {
+	name     string
+	kind     ResourceKind
+	highView View
+	lowView  View
+}
+
+// pairSpecs lists the sweep's pairs in report order: the paper's four,
+// then the enabled next-generation pairs.
+func (d *Detector) pairSpecs() []pairSpec {
+	procLow := ViewKernelAPL
+	if d.Advanced {
+		procLow = ViewKernelCID
+	}
+	specs := make([]pairSpec, 0, maxScanUnits/2)
+	specs = append(specs,
+		pairSpec{"files", KindFiles, ViewWin32Inside, ViewRawMFT},
+		pairSpec{"ASEPs", KindASEPHooks, ViewWin32Inside, ViewRawHive},
+		pairSpec{"processes", KindProcesses, ViewWin32Inside, procLow},
+		pairSpec{"modules", KindModules, ViewWin32Inside, ViewKernelVAD},
+	)
+	if d.Units.Has(UnitCrossMem) {
+		specs = append(specs, pairSpec{"kmem-carve", KindProcesses, ViewKernelCID, ViewKernelCarve})
+	}
+	if d.Units.Has(UnitBootChain) {
+		specs = append(specs, pairSpec{"boot-chain", KindBootChain, ViewBootAPI, ViewBootRaw})
+	}
+	if d.Units.Has(UnitRemovable) {
+		specs = append(specs, pairSpec{"removable", KindFiles, ViewWin32Inside, ViewRawRemovable})
+	}
+	return specs
+}
 
 // unitName labels unit u for errors and DegradedUnits entries.
-func unitName(u int) string {
+func unitName(specs []pairSpec, u int) string {
 	side := "high"
 	if u%2 == 1 {
 		side = "low"
 	}
-	return pairNames[u/2] + "/" + side
+	return specs[u/2].name + "/" + side
+}
+
+// scanOrder fills perm with the unit execution order: identity for seed
+// zero, a seeded Fisher-Yates shuffle otherwise (splitmix64 steps, so
+// the order is a pure function of the seed and unit count).
+func scanOrder(perm []int, seed int64) {
+	for i := range perm {
+		perm[i] = i
+	}
+	if seed == 0 {
+		return
+	}
+	x := uint64(seed)
+	for i := len(perm) - 1; i > 0; i-- {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		z ^= z >> 31
+		j := int(z % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+}
+
+// ScanOrder returns the execution order a sweep of n units runs under
+// the given seed. Exposed so tests and oracles can pick seeds that put
+// chosen units ahead of the evasion trigger.
+func ScanOrder(seed int64, n int) []int {
+	perm := make([]int, n)
+	scanOrder(perm, seed)
+	return perm
 }
 
 // errDeadline marks units abandoned because the sweep's virtual-time
@@ -248,7 +330,7 @@ var errDeadline = errors.New("core: scan deadline exceeded")
 // precomputes it before forking (on the machine clock, as before), the
 // sequential path computes it lazily so the call/pids charge order of
 // the original ScanModules is preserved.
-func (d *Detector) scanUnits(workers int, t *InternTable, pids func() ([]uint64, error)) [numScanUnits]func(*vtime.Clock) (*ColumnarSnapshot, error) {
+func (d *Detector) scanUnits(workers int, t *InternTable, pids func() ([]uint64, error), specs []pairSpec) []func(*vtime.Clock) (*ColumnarSnapshot, error) {
 	highUnit := func(scan func(*machine.Machine, *winapi.Call, *InternTable) (*ColumnarSnapshot, error)) func(*vtime.Clock) (*ColumnarSnapshot, error) {
 		return func(clk *vtime.Clock) (*ColumnarSnapshot, error) {
 			call, err := d.callOn(clk)
@@ -261,7 +343,8 @@ func (d *Detector) scanUnits(workers int, t *InternTable, pids func() ([]uint64,
 	// The raw-MFT unit dominates a cold sweep, so it additionally shards
 	// its record decode across the lane bound (the other lanes' units are
 	// small and finish early, freeing cores for the decode shards).
-	return [numScanUnits]func(*vtime.Clock) (*ColumnarSnapshot, error){
+	units := make([]func(*vtime.Clock) (*ColumnarSnapshot, error), 0, 2*len(specs))
+	units = append(units,
 		highUnit(scanFilesHighC),
 		func(clk *vtime.Clock) (*ColumnarSnapshot, error) { return d.lowFilesC(clk, workers, t) },
 		highUnit(scanASEPHighC),
@@ -286,7 +369,36 @@ func (d *Detector) scanUnits(workers int, t *InternTable, pids func() ([]uint64,
 			}
 			return scanModsLowC(d.M, p, clk, t)
 		},
+	)
+	for _, s := range specs[numScanUnits/2:] {
+		switch s.name {
+		case "kmem-carve":
+			units = append(units,
+				func(clk *vtime.Clock) (*ColumnarSnapshot, error) { return scanCrossMemHighC(d.M, clk, t) },
+				func(clk *vtime.Clock) (*ColumnarSnapshot, error) { return scanCrossMemLowC(d.M, clk, t) },
+			)
+		case "boot-chain":
+			units = append(units,
+				highUnit(scanBootHighC),
+				func(clk *vtime.Clock) (*ColumnarSnapshot, error) { return scanBootLowC(d.M, clk, t) },
+			)
+		case "removable":
+			units = append(units,
+				highUnit(scanRemovableHighC),
+				func(clk *vtime.Clock) (*ColumnarSnapshot, error) { return d.lowRemovableC(clk, t) },
+			)
+		}
 	}
+	return units
+}
+
+// lowRemovableC routes the removable truth scan through the cache when
+// one is attached.
+func (d *Detector) lowRemovableC(clk *vtime.Clock, t *InternTable) (*ColumnarSnapshot, error) {
+	if d.Cache != nil {
+		return d.Cache.scanRemovableLowOn(clk)
+	}
+	return scanRemovableLowC(d.M, clk, t)
 }
 
 // runUnit executes one unit with panic recovery: a panicking scanner
@@ -322,20 +434,24 @@ func (d *Detector) scanAllSequential(genStart uint64, sweepStart time.Duration) 
 		}
 		return pids, pidsErr
 	}
-	units := d.scanUnits(1, d.table(), pidsOnce)
-	var snaps [numScanUnits]*ColumnarSnapshot
-	var errs [numScanUnits]error
-	for u := 0; u < numScanUnits; u++ {
+	specs := d.pairSpecs()
+	units := d.scanUnits(1, d.table(), pidsOnce, specs)
+	snaps := make([]*ColumnarSnapshot, len(units))
+	errs := make([]error, len(units))
+	var permBuf [maxScanUnits]int
+	perm := permBuf[:len(units)]
+	scanOrder(perm, d.OrderSeed)
+	for _, u := range perm {
 		if d.overDeadline(d.M.Clock, sweepStart) {
 			errs[u] = errDeadline
 		} else {
-			snaps[u], errs[u] = runUnit(unitName(u), d.M.Clock, units[u])
+			snaps[u], errs[u] = runUnit(unitName(specs, u), d.M.Clock, units[u])
 		}
 		if errs[u] != nil && !d.Contain {
-			return nil, fmt.Errorf("core: %s scan: %w", pairNames[u/2], errs[u])
+			return nil, fmt.Errorf("core: %s scan: %w", specs[u/2].name, errs[u])
 		}
 	}
-	return d.assemble(snaps, errs, genStart)
+	return d.assemble(specs, snaps, errs, genStart)
 }
 
 // scanAllParallel is the fan-out sweep. The eight scan units are
@@ -354,10 +470,14 @@ func (d *Detector) scanAllParallel(lanes int, genStart uint64, sweepStart time.D
 		return nil, fmt.Errorf("core: modules scan: %w", pidsErr)
 	}
 	pidsOnce := func() ([]uint64, error) { return pids, pidsErr }
-	units := d.scanUnits(lanes, d.table(), pidsOnce)
+	specs := d.pairSpecs()
+	units := d.scanUnits(lanes, d.table(), pidsOnce, specs)
+	var permBuf [maxScanUnits]int
+	perm := permBuf[:len(units)]
+	scanOrder(perm, d.OrderSeed)
 	var (
-		snaps  [numScanUnits]*ColumnarSnapshot
-		errs   [numScanUnits]error
+		snaps  = make([]*ColumnarSnapshot, len(units))
+		errs   = make([]error, len(units))
 		region = d.M.Clock.Fork(lanes)
 		wg     sync.WaitGroup
 	)
@@ -366,54 +486,38 @@ func (d *Detector) scanAllParallel(lanes int, genStart uint64, sweepStart time.D
 		go func(lane int) {
 			defer wg.Done()
 			clk := region.Lane(lane)
-			for u := lane; u < numScanUnits; u += lanes {
+			for k := lane; k < len(units); k += lanes {
+				u := perm[k]
 				if d.overDeadline(clk, sweepStart) {
 					errs[u] = errDeadline
 					continue
 				}
-				snaps[u], errs[u] = runUnit(unitName(u), clk, units[u])
+				snaps[u], errs[u] = runUnit(unitName(specs, u), clk, units[u])
 			}
 		}(lane)
 	}
 	wg.Wait()
 	region.Join()
 	if !d.Contain {
-		for u := 0; u < numScanUnits; u++ {
+		for u := range units {
 			if errs[u] != nil {
-				return nil, fmt.Errorf("core: %s scan: %w", pairNames[u/2], errs[u])
+				return nil, fmt.Errorf("core: %s scan: %w", specs[u/2].name, errs[u])
 			}
 		}
 	}
-	return d.assemble(snaps, errs, genStart)
+	return d.assemble(specs, snaps, errs, genStart)
 }
 
-// nominalViews returns the expected (high, low) views of pair i, used
-// to label stub reports whose snapshots never materialized.
-func (d *Detector) nominalViews(pair int) (View, View) {
-	switch pair {
-	case 0:
-		return ViewWin32Inside, ViewRawMFT
-	case 1:
-		return ViewWin32Inside, ViewRawHive
-	case 2:
-		if d.Advanced {
-			return ViewWin32Inside, ViewKernelCID
-		}
-		return ViewWin32Inside, ViewKernelAPL
-	default:
-		return ViewWin32Inside, ViewKernelVAD
-	}
-}
-
-// assemble diffs the unit snapshots into the four reports. Under
+// assemble diffs the unit snapshots into the per-pair reports. Under
 // Contain, pairs with failed units yield degraded reports instead of
 // errors, and a files pair whose disk generation moved mid-sweep is
 // demoted: its findings may be mutation races, not hiding, so they are
 // dropped and the demotion is recorded.
-func (d *Detector) assemble(snaps [numScanUnits]*ColumnarSnapshot, errs [numScanUnits]error, genStart uint64) ([]*Report, error) {
+func (d *Detector) assemble(specs []pairSpec, snaps []*ColumnarSnapshot, errs []error, genStart uint64) ([]*Report, error) {
 	diskMoved := d.Contain && d.M.Disk.Generation() != genStart
-	out := make([]*Report, 0, len(pairNames))
-	for i, name := range pairNames {
+	out := make([]*Report, 0, len(specs))
+	for i, spec := range specs {
+		name := spec.name
 		high, low := snaps[2*i], snaps[2*i+1]
 		highErr, lowErr := errs[2*i], errs[2*i+1]
 		var r *Report
@@ -424,13 +528,13 @@ func (d *Detector) assemble(snaps [numScanUnits]*ColumnarSnapshot, errs [numScan
 				if !d.Contain {
 					return nil, fmt.Errorf("core: %s scan: %w", name, err)
 				}
-				r = d.stubReport(i, high, low)
+				r = stubReport(spec, high, low)
 				r.DegradedUnits = append(r.DegradedUnits, DegradedUnit{
 					Unit: name + "/pair", Fault: err.Error(), Compared: comparedViews(high, low),
 				})
 			}
 		} else {
-			r = d.stubReport(i, high, low)
+			r = stubReport(spec, high, low)
 			if highErr != nil {
 				r.DegradedUnits = append(r.DegradedUnits, DegradedUnit{
 					Unit: name + "/high", Fault: highErr.Error(), Compared: comparedViews(high, low),
@@ -466,11 +570,11 @@ func (d *Detector) assemble(snaps [numScanUnits]*ColumnarSnapshot, errs [numScan
 	return out, nil
 }
 
-// stubReport builds the degraded report for pair i from whatever
-// snapshots survived.
-func (d *Detector) stubReport(pair int, high, low *ColumnarSnapshot) *Report {
-	hv, lv := d.nominalViews(pair)
-	r := &Report{Kind: pairKind(pair), HighView: hv, LowView: lv}
+// stubReport builds the degraded report for a pair from whatever
+// snapshots survived; the spec supplies the nominal kind and views for
+// snapshots that never materialized.
+func stubReport(spec pairSpec, high, low *ColumnarSnapshot) *Report {
+	r := &Report{Kind: spec.kind, HighView: spec.highView, LowView: spec.lowView}
 	if high != nil {
 		r.HighView = high.View
 		r.HighSkipped = high.Skipped
@@ -482,19 +586,6 @@ func (d *Detector) stubReport(pair int, high, low *ColumnarSnapshot) *Report {
 		r.Elapsed += low.Elapsed
 	}
 	return r
-}
-
-func pairKind(pair int) ResourceKind {
-	switch pair {
-	case 0:
-		return KindFiles
-	case 1:
-		return KindASEPHooks
-	case 2:
-		return KindProcesses
-	default:
-		return KindModules
-	}
 }
 
 // comparedViews lists the views that produced usable snapshots.

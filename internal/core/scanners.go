@@ -234,6 +234,12 @@ func chargeRawMFTRead(clock *vtime.Clock, p machine.Profile, entries int) {
 // labeling it with the given view. Used by the inside low-level scan,
 // the WinPE outside scan, and the VM host scan.
 func scanImageC(image []byte, view View, workers int, t *InternTable) (*ColumnarSnapshot, error) {
+	return scanImageDriveC(image, view, machine.Drive, workers, t)
+}
+
+// scanImageDriveC is scanImageC with an explicit drive prefix, so the
+// removable-device scan reconstructs E:\ paths instead of C:\ ones.
+func scanImageDriveC(image []byte, view View, drive string, workers int, t *InternTable) (*ColumnarSnapshot, error) {
 	raw, stats, err := ntfs.RawScanParallel(image, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: raw MFT scan: %w", err)
@@ -255,7 +261,7 @@ func scanImageC(image []byte, view View, workers int, t *InternTable) (*Columnar
 			skipped++
 			continue
 		}
-		dispBuf = append(dispBuf[:0], machine.Drive...)
+		dispBuf = append(dispBuf[:0], drive...)
 		dispBuf = append(dispBuf, e.Path...)
 		full := t.InternStrBytes(dispBuf)
 		detBuf = strconv.AppendUint(detBuf[:0], e.Size, 10)

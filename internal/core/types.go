@@ -23,6 +23,10 @@ const (
 	// KindDrivers extends the paper's four types with loaded-driver
 	// diffing (see forensics.go).
 	KindDrivers
+	// KindBootChain extends the resource kinds with boot-sector regions:
+	// the next-generation bootkit family hides under the NTFS boot
+	// sector, below every file (see nextgen.go).
+	KindBootChain
 )
 
 // String names the resource kind.
@@ -38,6 +42,8 @@ func (k ResourceKind) String() string {
 		return "modules"
 	case KindDrivers:
 		return "drivers"
+	case KindBootChain:
+		return "boot chain"
 	default:
 		return "unknown"
 	}
@@ -58,6 +64,12 @@ const (
 	ViewWinPE        View = "outside/winpe"      // clean CD boot
 	ViewCrashDump    View = "outside/crash-dump" // blue-screen memory dump
 	ViewVMHost       View = "outside/vm-host"    // powered-down virtual disk
+
+	// Next-generation scan vantage points (see nextgen.go).
+	ViewKernelCarve  View = "inside-low/pool-carve"    // pool-tag sweep of kernel memory
+	ViewBootAPI      View = "inside-high/boot-read"    // sector 0 through the hooked read path
+	ViewBootRaw      View = "inside-low/raw-boot"      // sector 0 straight off the device
+	ViewRawRemovable View = "inside-low/raw-removable" // raw parse of the removable device
 )
 
 // Entry is one scanned resource instance.

@@ -100,6 +100,25 @@ func Compare(before, after *Checkpoint) *Report {
 	return r
 }
 
+// PathsMatching returns every changed path (added, removed, or
+// modified) whose upper-cased form contains frag. This is the
+// cross-time counter to adaptive evasion: a ghost can lie to any
+// point-in-time enumeration it can see coming, but its payload's
+// arrival is still a difference between two raw checkpoints.
+func (r *Report) PathsMatching(frag string) []string {
+	frag = strings.ToUpper(frag)
+	var out []string
+	for _, set := range [][]Change{r.Added, r.Removed, r.Modified} {
+		for _, c := range set {
+			if strings.Contains(c.Path, frag) {
+				out = append(out, c.Path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 func sortChanges(cs []Change) {
 	sort.Slice(cs, func(i, j int) bool { return cs[i].Path < cs[j].Path })
 }

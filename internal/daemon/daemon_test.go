@@ -476,3 +476,72 @@ func TestDeregisterStopsScheduling(t *testing.T) {
 		t.Fatal("double deregister succeeded")
 	}
 }
+
+// TestRemovableHotplugTriggersDeltaSweep: plugging in (or pulling) a
+// removable stick moves the host's substrate generation key, so the
+// scheduler's next pass is delta-due — and the warm incremental sweep
+// of the hot-plugged, USBcat-infected host seals the same digest as a
+// cold one-shot sweep of an identically built-and-infected machine.
+func TestRemovableHotplugTriggersDeltaSweep(t *testing.T) {
+	d := newDaemon(t, Config{Seed: 9})
+	m, err := BuildHost(HostSpec{Name: "u", Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RegisterMachine("u", m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Tick(time.Now()); err != nil {
+		t.Fatalf("baseline sweep: %v", err)
+	}
+
+	// Hot-plug: USBcat attaches a stick, drops payloads on it, and
+	// hides them from the Win32 view. The attach bumps the removable
+	// generation, so this is a delta, not an interval wait.
+	infest(t, m, "USBcat")
+	info, err := d.Tick(time.Now())
+	if err != nil {
+		t.Fatalf("hot-plug sweep: %v", err)
+	}
+	if info == nil || info.Trigger != "delta" {
+		t.Fatalf("removable attach did not trigger a delta sweep: %+v", info)
+	}
+	if len(info.Infected) != 1 || info.Infected[0] != "u" {
+		t.Fatalf("infected = %v, want [u]", info.Infected)
+	}
+
+	// Cold reference: same spec, infection included at build time, one
+	// fresh journaled sweep under the same profile. The warm cache (and
+	// the different randomized unit order the cold sweep draws) may only
+	// save work, never change the verdict.
+	cold, err := BuildHost(HostSpec{Name: "u", Seed: 6, Infect: "USBcat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := fleet.NewManager()
+	prof := d.ActiveProfile()
+	prof.ConfigureManager(mgr)
+	mgr.Add("u", cold)
+	rep, err := mgr.SweepJournaled(fleet.SweepInside, prof.Workers, filepath.Join(t.TempDir(), "cold.gbj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Digest != info.Digest {
+		t.Fatalf("hot-plug incremental digest %s != cold one-shot digest %s", info.Digest, rep.Digest)
+	}
+
+	// Detach: the stick leaves with the payloads. Another generation
+	// bump, another delta — and with no media the removable pair goes
+	// quiet, so the host scans clean again.
+	m.DetachRemovable()
+	info, err = d.Tick(time.Now())
+	if err != nil {
+		t.Fatalf("detach sweep: %v", err)
+	}
+	if info == nil || info.Trigger != "delta" {
+		t.Fatalf("removable detach did not trigger a delta sweep: %+v", info)
+	}
+	if len(info.Infected) != 0 {
+		t.Fatalf("detached host still reported infected: %v", info.Infected)
+	}
+}

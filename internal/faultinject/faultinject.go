@@ -32,6 +32,9 @@ const (
 	SourceKmem Source = "kmem"
 	// SourceAPI faults Win32 API calls made by the high-level scanners.
 	SourceAPI Source = "api"
+	// SourceRemovable faults raw reads of the removable (E:) volume's
+	// device image — flaky media, the common failure mode of real sticks.
+	SourceRemovable Source = "removable"
 )
 
 // Kind names the failure mode a fault injects.
@@ -60,10 +63,11 @@ const (
 // (device reads have no reachable lane clock) and only disk supports
 // mid-scan mutation.
 var allowedKinds = map[Source]map[Kind]bool{
-	SourceDisk: {KindErr: true, KindTorn: true, KindFlip: true, KindMut: true},
-	SourceHive: {KindErr: true, KindTorn: true, KindFlip: true},
-	SourceKmem: {KindErr: true, KindTorn: true, KindFlip: true},
-	SourceAPI:  {KindErr: true, KindLag: true},
+	SourceDisk:      {KindErr: true, KindTorn: true, KindFlip: true, KindMut: true},
+	SourceHive:      {KindErr: true, KindTorn: true, KindFlip: true},
+	SourceKmem:      {KindErr: true, KindTorn: true, KindFlip: true},
+	SourceAPI:       {KindErr: true, KindLag: true},
+	SourceRemovable: {KindErr: true, KindTorn: true, KindFlip: true},
 }
 
 // Fault is one injectable failure: starting at the After-th access to

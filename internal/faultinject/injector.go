@@ -31,12 +31,13 @@ type Injector struct {
 	plan Plan
 	m    *machine.Machine
 
-	mu      sync.Mutex
-	counts  map[Source]int // accesses seen per source
-	fires   []int          // per plan fault: times fired
-	fired   []string       // human-readable fire log
-	pending *pendingDisk   // disk corruption chosen in BeforeRead, applied in CorruptImage
-	armed   bool
+	mu         sync.Mutex
+	counts     map[Source]int // accesses seen per source
+	fires      []int          // per plan fault: times fired
+	fired      []string       // human-readable fire log
+	pending    *pendingDisk   // disk corruption chosen in BeforeRead, applied in CorruptImage
+	pendingRem *pendingDisk   // same, for the removable volume's reads
+	armed      bool
 
 	epoch atomic.Uint64
 }
@@ -87,6 +88,8 @@ func (i *Injector) Arm() {
 			i.m.Kern.SetScanFault((*kmemFault)(i))
 		case SourceAPI:
 			i.m.API.SetCallFault(i.callFault)
+		case SourceRemovable:
+			i.m.SetRemovableFault((*removableFault)(i))
 		}
 	}
 }
@@ -97,6 +100,7 @@ func (i *Injector) Disarm() {
 	i.mu.Lock()
 	i.armed = false
 	i.pending = nil
+	i.pendingRem = nil
 	i.mu.Unlock()
 
 	i.m.FaultEpoch = nil
@@ -108,6 +112,7 @@ func (i *Injector) Disarm() {
 	}
 	i.m.Kern.SetScanFault(nil)
 	i.m.API.SetCallFault(nil)
+	i.m.SetRemovableFault(nil)
 }
 
 // Reset rewinds access counters and fire state so the same armed plan
@@ -119,6 +124,7 @@ func (i *Injector) Reset() {
 	i.fires = make([]int, len(i.plan.Faults))
 	i.fired = nil
 	i.pending = nil
+	i.pendingRem = nil
 }
 
 // Epoch returns a counter that advances on every fired fault. Cache
@@ -231,6 +237,13 @@ func (d *diskFault) CorruptImage(op string, dev []byte) []byte {
 	p := i.pending
 	i.pending = nil
 	i.mu.Unlock()
+	return i.corruptRecord(p, dev)
+}
+
+// corruptRecord applies a pending torn/flip fault to a copy of a volume
+// image (the system disk's or the removable stick's) by damaging one
+// user MFT record structurally.
+func (i *Injector) corruptRecord(p *pendingDisk, dev []byte) []byte {
 	if p == nil {
 		return nil
 	}
@@ -258,6 +271,44 @@ func (d *diskFault) CorruptImage(op string, dev []byte) []byte {
 		cp[off] ^= 0x01
 	}
 	return cp
+}
+
+// ---------------------------------------------------------------------
+// Removable volume: ntfs.DeviceFault on the hot-pluggable stick
+
+type removableFault Injector
+
+func (d *removableFault) inj() *Injector { return (*Injector)(d) }
+
+// BeforeRead mirrors the disk fault for the removable volume's raw
+// reads: KindErr models the stick dropping off the bus mid-read,
+// torn/flip stash record damage for CorruptImage. The machine re-applies
+// this hook to every freshly attached stick, so a plan armed before the
+// hot-plug still fires.
+func (d *removableFault) BeforeRead(op string) error {
+	i := d.inj()
+	i.mu.Lock()
+	f, n, ok := i.fireLocked(SourceRemovable)
+	if ok && (f.Kind == KindTorn || f.Kind == KindFlip) {
+		i.pendingRem = &pendingDisk{fault: f, n: n}
+	}
+	i.mu.Unlock()
+	if ok && f.Kind == KindErr {
+		return fmt.Errorf("%w: removable device read error on %s access %d", ErrInjected, op, n)
+	}
+	return nil
+}
+
+// CorruptImage applies a pending torn/flip fault to a copy of the
+// stick's image, damaging one user record structurally (loud, never a
+// silently altered name).
+func (d *removableFault) CorruptImage(op string, dev []byte) []byte {
+	i := d.inj()
+	i.mu.Lock()
+	p := i.pendingRem
+	i.pendingRem = nil
+	i.mu.Unlock()
+	return i.corruptRecord(p, dev)
 }
 
 // ---------------------------------------------------------------------

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"ghostbuster/internal/core"
+	"ghostbuster/internal/crosstime"
 	"ghostbuster/internal/ghostware"
 	"ghostbuster/internal/machine"
 	"ghostbuster/internal/workload"
@@ -26,6 +27,20 @@ type Expectation struct {
 	Mods []string
 	// MassHiding is whether file reports must flag the §5 anomaly.
 	MassHiding bool
+	// Evasive holds adaptive-evasion process image names. They stay
+	// hidden only until the ghostware's scan watcher trips, so the naive
+	// fixed-order sweep must miss them while randomized ordering and the
+	// cross-time diff must catch them (RunCaseEvasive).
+	Evasive []string
+	// MemOnly holds memory-only process image names, visible only to
+	// the kernel-vs-pool-carve cross-view unit (report index 4).
+	MemOnly []string
+	// Boot holds tampered boot-sector region names ("CODE"); boot-chain
+	// finding IDs are "NAME:STATUS" (report index 5).
+	Boot []string
+	// USB holds exact uppercase finding IDs of hidden removable-volume
+	// payloads — full E:\ paths (report index 6).
+	USB []string
 }
 
 // Case is one built fuzz case: a populated machine infected with the
@@ -35,6 +50,10 @@ type Case struct {
 	M      *machine.Machine
 	G      *ghostware.Composite
 	Expect Expectation
+	// Baseline is a pre-infection cross-time checkpoint, taken only for
+	// specs with evasive atoms: the cross-time counter needs a before
+	// image that predates the payload drop.
+	Baseline *crosstime.Checkpoint
 }
 
 // Build realizes a spec: derive the machine profile from the seed,
@@ -45,6 +64,13 @@ func Build(spec CaseSpec) (*Case, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ghostfuzz: building machine: %w", err)
 	}
+	var baseline *crosstime.Checkpoint
+	if hasEvasive(spec.Atoms) {
+		baseline, err = crosstime.TakeCheckpoint(m)
+		if err != nil {
+			return nil, fmt.Errorf("ghostfuzz: baseline checkpoint: %w", err)
+		}
+	}
 	g := ghostware.NewComposite(fmt.Sprintf("s%d", uint64(spec.Seed)%100000), spec.Atoms)
 	if err := g.Install(m); err != nil {
 		return nil, fmt.Errorf("ghostfuzz: installing %s: %w", spec, err)
@@ -54,7 +80,7 @@ func Build(spec CaseSpec) (*Case, error) {
 	if err := m.RunChurn(5); err != nil {
 		return nil, fmt.Errorf("ghostfuzz: churn: %w", err)
 	}
-	return &Case{Spec: spec, M: m, G: g, Expect: expectationFor(g)}, nil
+	return &Case{Spec: spec, M: m, G: g, Expect: expectationFor(g), Baseline: baseline}, nil
 }
 
 func expectationFor(g *ghostware.Composite) Expectation {
@@ -66,11 +92,21 @@ func expectationFor(g *ghostware.Composite) Expectation {
 	e.Procs = g.HiddenProcs()
 	e.Mods = g.HiddenModules()
 	e.MassHiding = len(e.Files) > core.DefaultMassHidingThreshold
+	e.Evasive = g.EvasiveProcs()
+	e.MemOnly = g.MemOnlyProcs()
+	e.Boot = g.BootRegions()
+	for _, f := range g.RemovableFiles() {
+		e.USB = append(e.USB, strings.ToUpper(f))
+	}
 	return e
 }
 
-// HiddenTotal is the non-noise hidden finding count an inside sweep
-// must report: one finding per planted artifact.
+// HiddenTotal is the non-noise hidden finding count a paper-order
+// (four-report) inside sweep must report: one finding per planted
+// artifact on the four paper surfaces. Next-gen artifacts (memory-only,
+// boot, removable) are excluded by construction — they produce zero
+// findings without their dedicated scan units, which is exactly what
+// fleet sweeps run.
 func (e Expectation) HiddenTotal() int {
 	return len(e.Files) + len(e.ASEPs) + len(e.Procs) + len(e.Mods)
 }

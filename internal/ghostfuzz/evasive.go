@@ -1,0 +1,104 @@
+package ghostfuzz
+
+import (
+	"ghostbuster/internal/core"
+	"ghostbuster/internal/crosstime"
+)
+
+// The evasive oracle is order-sensitive, so it names units by their
+// fixed sweep positions: unit 2i is pair i's high scan, and a full
+// sweep with every next-gen unit enabled runs seven pairs.
+const (
+	unitFileHigh  = 0
+	unitProcHigh  = 4
+	fullUnitCount = 14
+)
+
+// evasiveSeed returns the smallest positive order seed whose
+// permutation draws the process high scan before the file high walk —
+// the order that beats a scan-detecting adversary. A pure function of
+// the unit count, so every run picks the same seed.
+func evasiveSeed(n int) int64 {
+	for seed := int64(1); ; seed++ {
+		procAt, fileAt := 0, 0
+		for at, u := range core.ScanOrder(seed, n) {
+			switch u {
+			case unitProcHigh:
+				procAt = at
+			case unitFileHigh:
+				fileAt = at
+			}
+		}
+		if procAt < fileAt {
+			return seed
+		}
+	}
+}
+
+// RunCaseEvasive is the differential oracle for adaptive-evasion
+// specs. The adversary watches for file enumeration of the system
+// drive's root — the tell of a sweep starting in the paper's fixed
+// order — and un-hides its processes for an evasion window, so both
+// views of the process pair agree and the cross-view diff is clean.
+// Three sequential configurations pin the family's contract:
+//
+//  1. evasive-naive: the fixed-order sweep must MISS — checkInside's
+//     innocence rule doubles as the assertion, since any evasive
+//     finding would be flagged (Expect.Procs excludes those names);
+//  2. evasive-crosstime: a cross-time diff against the case's
+//     pre-infection checkpoint must name every payload image, whatever
+//     the hooks say at scan time;
+//  3. evasive-ordered: on a fresh machine (the first build's watcher
+//     stays tripped for the whole evasion window), a randomized order
+//     that draws the process pair before any file walk must catch the
+//     still-hiding payload like any other hidden process.
+//
+// Parallel lanes run the file walk and the process pair concurrently,
+// racing the watcher in host time, so the evasive oracle is
+// sequential-only; clean and chaos specs keep lane coverage.
+func RunCaseEvasive(spec CaseSpec) []Violation {
+	var out []Violation
+
+	c, err := Build(spec)
+	if err != nil {
+		return []Violation{{InvError, "evasive-naive", "build: " + err.Error()}}
+	}
+	d := core.NewDetector(c.M)
+	d.Advanced = true
+	d.Units = allUnits
+	if reports, err := d.ScanAll(); err != nil {
+		out = append(out, Violation{InvError, "evasive-naive", err.Error()})
+	} else {
+		out = append(out, checkInside(c, "evasive-naive", reports)...)
+	}
+
+	if c.Baseline == nil {
+		out = append(out, Violation{InvError, "evasive-crosstime", "no pre-infection baseline checkpoint"})
+	} else if after, err := crosstime.TakeCheckpoint(c.M); err != nil {
+		out = append(out, Violation{InvError, "evasive-crosstime", err.Error()})
+	} else {
+		diff := crosstime.Compare(c.Baseline, after)
+		for _, name := range c.Expect.Evasive {
+			if len(diff.PathsMatching(name)) == 0 {
+				out = append(out, Violation{InvCoverage, "evasive-crosstime", "cross-time diff missed evasive payload: " + name})
+			}
+		}
+	}
+
+	c2, err := Build(spec)
+	if err != nil {
+		out = append(out, Violation{InvError, "evasive-ordered", "build: " + err.Error()})
+		return out
+	}
+	c2.Expect.Procs = append(c2.Expect.Procs, c2.Expect.Evasive...)
+	d2 := core.NewDetector(c2.M)
+	d2.Advanced = true
+	d2.Units = allUnits
+	d2.OrderSeed = evasiveSeed(fullUnitCount)
+	if reports, err := d2.ScanAll(); err != nil {
+		out = append(out, Violation{InvError, "evasive-ordered", err.Error()})
+	} else {
+		out = append(out, checkInside(c2, "evasive-ordered", reports)...)
+	}
+	return out
+}

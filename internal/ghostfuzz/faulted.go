@@ -44,6 +44,13 @@ var faultedModes = []faultedMode{
 func RunCaseFaulted(spec CaseSpec) []Violation {
 	var out []Violation
 	for _, mode := range faultedModes {
+		// Parallel lanes run the file walk and the process pair
+		// concurrently, racing an evasive atom's scan watcher in host
+		// time; chaos specs with evasive atoms keep only the
+		// deterministic sequential configurations.
+		if mode.parallelism > 1 && hasEvasive(spec.Atoms) {
+			continue
+		}
 		out = append(out, runFaultedMode(spec, mode)...)
 	}
 	return out
@@ -66,6 +73,7 @@ func runFaultedMode(spec CaseSpec, mode faultedMode) []Violation {
 			d = core.NewCachedDetector(c.M)
 		}
 		d.Advanced = true
+		d.Units = allUnits
 		d.Parallelism = mode.parallelism
 		d.Contain = true
 		return d
@@ -119,8 +127,8 @@ func damaged(r *core.Report) bool {
 // while coverage and the mass-hiding anomaly are only required of
 // reports whose units all survived undamaged.
 func checkFaulted(c *Case, mode string, reports []*core.Report) []Violation {
-	if len(reports) != 4 {
-		return []Violation{{InvError, mode, fmt.Sprintf("%d reports, want 4", len(reports))}}
+	if len(reports) != 7 {
+		return []Violation{{InvError, mode, fmt.Sprintf("%d reports, want 7", len(reports))}}
 	}
 	var out []Violation
 	for i, r := range reports {
@@ -135,6 +143,12 @@ func checkFaulted(c *Case, mode string, reports []*core.Report) []Violation {
 				out = append(out, checkProcs(c, mode, r)...)
 			case 3:
 				out = append(out, checkMods(c, mode, r)...)
+			case 4:
+				out = append(out, checkMemOnly(c, mode, r)...)
+			case 5:
+				out = append(out, checkBootChain(c, mode, r)...)
+			case 6:
+				out = append(out, checkRemovable(c, mode, r)...)
 			}
 			continue
 		}
@@ -146,8 +160,9 @@ func checkFaulted(c *Case, mode string, reports []*core.Report) []Violation {
 }
 
 // unmatchedHidden returns the hidden finding IDs of report index idx
-// (paper order: files, ASEPs, processes, modules) that match no planted
-// artifact — the fault-induced false positives.
+// (sweep order: files, ASEPs, processes, modules, kmem carve, boot
+// chain, removable) that match no planted artifact — the fault-induced
+// false positives.
 func unmatchedHidden(c *Case, idx int, r *core.Report) map[string]bool {
 	found := hiddenIDs(r)
 	switch idx {
@@ -165,15 +180,7 @@ func unmatchedHidden(c *Case, idx int, r *core.Report) map[string]bool {
 			}
 		}
 	case 2:
-		for _, name := range c.Expect.Procs {
-			suffix := ": " + strings.ToUpper(name)
-			for id := range found {
-				if strings.HasSuffix(id, suffix) {
-					delete(found, id)
-					break
-				}
-			}
-		}
+		deleteProcMatches(found, c.Expect.Procs)
 	case 3:
 		for _, frag := range c.Expect.Mods {
 			for id := range found {
@@ -183,6 +190,35 @@ func unmatchedHidden(c *Case, idx int, r *core.Report) map[string]bool {
 				}
 			}
 		}
+	case 4:
+		deleteProcMatches(found, c.Expect.MemOnly)
+	case 5:
+		for _, region := range c.Expect.Boot {
+			for id := range found {
+				if strings.HasPrefix(id, region+":") {
+					delete(found, id)
+					break
+				}
+			}
+		}
+	case 6:
+		for _, want := range c.Expect.USB {
+			delete(found, want)
+		}
 	}
 	return found
+}
+
+// deleteProcMatches removes at most one finding per planted process
+// name (IDs end with ": NAME" uppercased).
+func deleteProcMatches(found map[string]bool, names []string) {
+	for _, name := range names {
+		suffix := ": " + strings.ToUpper(name)
+		for id := range found {
+			if strings.HasSuffix(id, suffix) {
+				delete(found, id)
+				break
+			}
+		}
+	}
 }

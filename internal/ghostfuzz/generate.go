@@ -23,10 +23,14 @@ var hookLevels = []winapi.Level{
 	winapi.LevelSSDT, winapi.LevelFilter,
 }
 
+// atomKinds is the random-composition lattice. AtomEvasive is
+// deliberately absent: evasive specs need the order-sensitive
+// sequential oracle (RunCaseEvasive) and enter only via the corpus.
 var atomKinds = []ghostware.AtomKind{
 	ghostware.AtomFileHide, ghostware.AtomWin32Name, ghostware.AtomADS,
 	ghostware.AtomRegHide, ghostware.AtomRegNul, ghostware.AtomProcHide,
 	ghostware.AtomProcDKOM, ghostware.AtomModHide, ghostware.AtomDecoy,
+	ghostware.AtomMemOnly, ghostware.AtomBootkit, ghostware.AtomUSBHide,
 }
 
 // Generate composes a random adversary for the given case seed: 1–4
@@ -52,6 +56,12 @@ func Generate(seed int64) CaseSpec {
 			a.Count = 1 + rng.Intn(2)
 		case ghostware.AtomProcDKOM:
 			a.Count = 1
+		case ghostware.AtomMemOnly:
+			a.Count = 1 + rng.Intn(2)
+		case ghostware.AtomBootkit:
+			a.Count = 1
+		case ghostware.AtomUSBHide:
+			a.Count = 1 + rng.Intn(3)
 		case ghostware.AtomDecoy:
 			// 5–124 innocents: above ~95 the atom alone (innocents + dir
 			// + payload) crosses the default mass-hiding threshold, so
@@ -94,6 +104,9 @@ var faultMenu = []struct {
 	{faultinject.SourceKmem, faultinject.KindFlip, 300},
 	{faultinject.SourceAPI, faultinject.KindErr, 40},
 	{faultinject.SourceAPI, faultinject.KindLag, 40},
+	{faultinject.SourceRemovable, faultinject.KindErr, 2},
+	{faultinject.SourceRemovable, faultinject.KindTorn, 2},
+	{faultinject.SourceRemovable, faultinject.KindFlip, 2},
 }
 
 // GenerateFaulted composes the same adversary Generate would for this

@@ -100,6 +100,11 @@ var insideModes = []insideMode{
 	{name: "inside-cached-warm", cached: true, warmup: true, zeroElapsed: true},
 }
 
+// allUnits enables every next-gen scan unit: the oracle always judges
+// the full 7-report sweep (four paper pairs plus kmem carve, boot
+// chain, and the removable volume).
+const allUnits = core.UnitCrossMem | core.UnitBootChain | core.UnitRemovable
+
 // RunCase runs every detection configuration against the case and
 // returns all invariant violations (nil means the case passed). The
 // breaker, when non-nil, sabotages reports before checking — used only
@@ -118,6 +123,7 @@ func RunCase(c *Case, b *Breaker) []Violation {
 			d = core.NewCachedDetector(c.M)
 		}
 		d.Advanced = true
+		d.Units = allUnits
 		d.Parallelism = mode.parallelism
 		if mode.warmup {
 			if _, err := d.ScanAll(); err != nil {
@@ -180,11 +186,12 @@ func RunCase(c *Case, b *Breaker) []Violation {
 	return out
 }
 
-// checkInside verifies coverage + innocence for all four inside reports
-// (paper order: files, ASEPs, processes, modules).
+// checkInside verifies coverage + innocence for a full-unit inside
+// sweep (paper order: files, ASEPs, processes, modules, then the
+// next-gen units: kmem carve, boot chain, removable).
 func checkInside(c *Case, mode string, reports []*core.Report) []Violation {
-	if len(reports) != 4 {
-		return []Violation{{InvError, mode, fmt.Sprintf("%d reports, want 4", len(reports))}}
+	if len(reports) != 7 {
+		return []Violation{{InvError, mode, fmt.Sprintf("%d reports, want 7", len(reports))}}
 	}
 	var out []Violation
 	out = append(out, checkFiles(c, mode, reports[0])...)
@@ -192,6 +199,9 @@ func checkInside(c *Case, mode string, reports []*core.Report) []Violation {
 	out = append(out, checkASEPs(c, mode, reports[1])...)
 	out = append(out, checkProcs(c, mode, reports[2])...)
 	out = append(out, checkMods(c, mode, reports[3])...)
+	out = append(out, checkMemOnly(c, mode, reports[4])...)
+	out = append(out, checkBootChain(c, mode, reports[5])...)
+	out = append(out, checkRemovable(c, mode, reports[6])...)
 	return out
 }
 
@@ -252,9 +262,20 @@ func checkASEPs(c *Case, mode string, r *core.Report) []Violation {
 // checkProcs: process finding IDs end with ": NAME"; one per planted
 // process.
 func checkProcs(c *Case, mode string, r *core.Report) []Violation {
+	return checkProcNames(mode, r, c.Expect.Procs, "process")
+}
+
+// checkMemOnly: the kernel-vs-pool-carve unit reports exactly the
+// memory-only processes. Every other hider class stays visible to the
+// CID handle table, so the carve diff is empty for them.
+func checkMemOnly(c *Case, mode string, r *core.Report) []Violation {
+	return checkProcNames(mode, r, c.Expect.MemOnly, "memory-only process")
+}
+
+func checkProcNames(mode string, r *core.Report, want []string, what string) []Violation {
 	var out []Violation
 	found := hiddenIDs(r)
-	for _, name := range c.Expect.Procs {
+	for _, name := range want {
 		suffix := ": " + strings.ToUpper(name)
 		matched := ""
 		for id := range found {
@@ -264,13 +285,62 @@ func checkProcs(c *Case, mode string, r *core.Report) []Violation {
 			}
 		}
 		if matched == "" {
-			out = append(out, Violation{InvCoverage, mode, "hidden process not reported: " + name})
+			out = append(out, Violation{InvCoverage, mode, "hidden " + what + " not reported: " + name})
 			continue
 		}
 		delete(found, matched)
 	}
 	for _, id := range sortedKeys(found) {
-		out = append(out, Violation{InvInnocent, mode, "innocent process flagged: " + id})
+		out = append(out, Violation{InvInnocent, mode, "innocent " + what + " flagged: " + id})
+	}
+	return out
+}
+
+// checkBootChain: boot-region finding IDs are "NAME:STATUS"; the raw
+// view of a tampered region surfaces as hidden ("CODE:tampered@...")
+// while the sanitizer's pristine lie becomes phantom. Several bootkit
+// atoms patch the same CODE region, so expectations dedupe by name.
+func checkBootChain(c *Case, mode string, r *core.Report) []Violation {
+	var out []Violation
+	found := hiddenIDs(r)
+	want := map[string]bool{}
+	for _, region := range c.Expect.Boot {
+		want[region] = true
+	}
+	for _, region := range sortedKeys(want) {
+		matched := ""
+		for id := range found {
+			if strings.HasPrefix(id, region+":") {
+				matched = id
+				break
+			}
+		}
+		if matched == "" {
+			out = append(out, Violation{InvCoverage, mode, "tampered boot region not reported: " + region})
+			continue
+		}
+		delete(found, matched)
+	}
+	for _, id := range sortedKeys(found) {
+		out = append(out, Violation{InvInnocent, mode, "innocent boot region flagged: " + id})
+	}
+	return out
+}
+
+// checkRemovable: the hidden set must equal the planted removable
+// payload paths exactly (full uppercase E:\ finding IDs).
+func checkRemovable(c *Case, mode string, r *core.Report) []Violation {
+	var out []Violation
+	found := hiddenIDs(r)
+	for _, want := range c.Expect.USB {
+		if !found[want] {
+			out = append(out, Violation{InvCoverage, mode, "hidden removable file not reported: " + printable(want)})
+			continue
+		}
+		delete(found, want)
+	}
+	for _, id := range sortedKeys(found) {
+		out = append(out, Violation{InvInnocent, mode, "innocent removable file flagged: " + printable(id)})
 	}
 	return out
 }

@@ -86,11 +86,16 @@ func Run(opts Options) (*Summary, error) {
 
 // runSpec builds and checks one spec; a build error is itself an
 // invariant violation (the generator must only emit installable specs).
-// A spec carrying a fault plan routes to the chaos oracle, which builds
-// per mode itself.
+// A spec carrying a fault plan routes to the chaos oracle, and one with
+// adaptive-evasion atoms to the order-sensitive evasive oracle; both
+// build per mode themselves and ignore the breaker (their sabotage is
+// the adversary itself).
 func runSpec(spec CaseSpec, b *Breaker) []Violation {
 	if len(spec.Faults) > 0 {
 		return RunCaseFaulted(spec)
+	}
+	if hasEvasive(spec.Atoms) {
+		return RunCaseEvasive(spec)
 	}
 	c, err := Build(spec)
 	if err != nil {

@@ -53,7 +53,9 @@ var kindTokens = map[string]ghostware.AtomKind{
 	"ads": ghostware.AtomADS, "reg": ghostware.AtomRegHide,
 	"regnul": ghostware.AtomRegNul, "proc": ghostware.AtomProcHide,
 	"dkom": ghostware.AtomProcDKOM, "mod": ghostware.AtomModHide,
-	"decoy": ghostware.AtomDecoy,
+	"decoy": ghostware.AtomDecoy, "evasive": ghostware.AtomEvasive,
+	"memonly": ghostware.AtomMemOnly, "bootkit": ghostware.AtomBootkit,
+	"usbhide": ghostware.AtomUSBHide,
 }
 
 // String renders the one-line corpus form:
@@ -143,6 +145,17 @@ func ParseSpec(line string) (CaseSpec, error) {
 		s.Faults = faults
 	}
 	return s, nil
+}
+
+// hasEvasive reports whether the atom list contains the adaptive-evasion
+// kind, which routes the spec to the order-sensitive evasive oracle.
+func hasEvasive(atoms []ghostware.Atom) bool {
+	for _, a := range atoms {
+		if a.Kind == ghostware.AtomEvasive {
+			return true
+		}
+	}
+	return false
 }
 
 func parseAtom(tok string) (ghostware.Atom, error) {

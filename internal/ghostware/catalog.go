@@ -75,6 +75,10 @@ func Extensions() []CatalogEntry {
 		ext(CatalogEntry{Name: "DriverHider", Class: "driver-hiding rootkit (extension)", New: func() Ghostware { return NewDriverHider() }}),
 		ext(CatalogEntry{Name: "Targeted", Class: "targeting ghostware (§5)", New: func() Ghostware { return NewTargeted(HideFromUtilities) }}),
 		ext(CatalogEntry{Name: "Decoy", Class: "mass-hiding attacker (§5)", New: func() Ghostware { return NewDecoy([]string{`C:\Shared`}) }}),
+		ext(CatalogEntry{Name: "Chameleon", Class: "adaptive-evasion ghostware (next-gen)", New: func() Ghostware { return NewChameleon() }}),
+		ext(CatalogEntry{Name: "PhantomProc", Class: "memory-only ghostware (next-gen)", New: func() Ghostware { return NewPhantomProc() }}),
+		ext(CatalogEntry{Name: "BootViper", Class: "bootkit (next-gen)", New: func() Ghostware { return NewBootViper() }}),
+		ext(CatalogEntry{Name: "USBcat", Class: "removable-device ghostware (next-gen)", New: func() Ghostware { return NewUSBcat() }}),
 	}
 }
 

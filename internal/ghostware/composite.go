@@ -3,9 +3,12 @@ package ghostware
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"time"
 
 	"ghostbuster/internal/kernel"
 	"ghostbuster/internal/machine"
+	"ghostbuster/internal/ntfs"
 	"ghostbuster/internal/winapi"
 )
 
@@ -50,6 +53,28 @@ const (
 	// AtomDecoy hides Count innocent files together with its payload
 	// (the §5 mass-hiding attack) at the atom's Level.
 	AtomDecoy
+	// AtomEvasive starts processes and hides them with an ADAPTIVE
+	// process filter: a companion watcher hook observes directory
+	// enumeration, and when it sees a scan-shaped signature (an
+	// enumeration of the volume root — every full file walk starts
+	// there), the filter unhides for a window so a cross-view diff that
+	// walked files first sees nothing. Countered by randomized scan-unit
+	// ordering and cross-time diffing.
+	AtomEvasive
+	// AtomMemOnly starts processes and scrubs them from the Active
+	// Process List AND the CID handle table, keeping zero file/Registry
+	// footprint of its own. Only a pool-tag carve of kernel memory (live
+	// or crash dump) sees the EPROCESS allocation.
+	AtomMemOnly
+	// AtomBootkit writes its payload into the boot sector's bootstrap-
+	// code slack (below every file) and hooks the boot-sector read API to
+	// hand back the pristine pre-infection sector. Countered by the
+	// boot-chain truth source: inside read vs raw device bytes.
+	AtomBootkit
+	// AtomUSBHide drops payloads on the removable E: volume and hides
+	// them with an enumeration filter at the atom's Level (the USBcat
+	// pattern). Countered by the removable-device truth source.
+	AtomUSBHide
 )
 
 // kindCodes maps atom kinds to the one-letter code used in artifact
@@ -59,6 +84,8 @@ var kindCodes = map[AtomKind]string{
 	AtomRegHide: "k", AtomRegNul: "r",
 	AtomProcHide: "p", AtomProcDKOM: "q",
 	AtomModHide: "m", AtomDecoy: "d",
+	AtomEvasive: "v", AtomMemOnly: "y",
+	AtomBootkit: "b", AtomUSBHide: "u",
 }
 
 // String names the atom kind as spec lines spell it.
@@ -82,6 +109,14 @@ func (k AtomKind) String() string {
 		return "mod"
 	case AtomDecoy:
 		return "decoy"
+	case AtomEvasive:
+		return "evasive"
+	case AtomMemOnly:
+		return "memonly"
+	case AtomBootkit:
+		return "bootkit"
+	case AtomUSBHide:
+		return "usbhide"
 	default:
 		return "unknown"
 	}
@@ -91,7 +126,8 @@ func (k AtomKind) String() string {
 // has a meaningful Level and Scope).
 func (k AtomKind) Hooked() bool {
 	switch k {
-	case AtomFileHide, AtomRegHide, AtomProcHide, AtomModHide, AtomDecoy:
+	case AtomFileHide, AtomRegHide, AtomProcHide, AtomModHide, AtomDecoy,
+		AtomEvasive, AtomBootkit, AtomUSBHide:
 		return true
 	}
 	return false
@@ -173,7 +209,32 @@ type Composite struct {
 	atoms      []Atom
 	hiddenMods []string // uppercase DLL base-name fragments
 	loaderExe  string
+
+	// Next-generation ground truth, kept out of the classic fields
+	// because the paper's four pairs do NOT see these artifacts — each
+	// has its own counter-unit.
+	hiddenEvasive   []string // evasive process image names
+	hiddenMemOnly   []string // memory-only process image names
+	hiddenBoot      []string // tampered boot-sector region names
+	hiddenRemovable []string // full E:\ paths of hidden removable payloads
 }
+
+// EvasiveProcs returns image names of adaptive-evasion processes: hidden
+// from a fixed-order sweep, exposed by randomized ordering or cross-time
+// diffing.
+func (c *Composite) EvasiveProcs() []string { return append([]string(nil), c.hiddenEvasive...) }
+
+// MemOnlyProcs returns image names of memory-only processes, visible
+// solely to the pool-carve scan.
+func (c *Composite) MemOnlyProcs() []string { return append([]string(nil), c.hiddenMemOnly...) }
+
+// BootRegions returns boot-sector region names the composite tampers
+// with ("CODE").
+func (c *Composite) BootRegions() []string { return append([]string(nil), c.hiddenBoot...) }
+
+// RemovableFiles returns full paths of hidden payloads on the removable
+// volume.
+func (c *Composite) RemovableFiles() []string { return append([]string(nil), c.hiddenRemovable...) }
 
 // Atoms returns the technique list (copies).
 func (c *Composite) Atoms() []Atom { return append([]Atom(nil), c.atoms...) }
@@ -267,6 +328,24 @@ func (c *Composite) declare(i int, a Atom) {
 			c.hiddenFiles = append(c.hiddenFiles, fmt.Sprintf(`%s\doc%04d.txt`, dir, j))
 		}
 		c.hiddenFiles = append(c.hiddenFiles, decoyPayload(tag))
+	case AtomEvasive:
+		c.techniques = append(c.techniques, Technique{API: winapi.APIProcEnum, Level: a.Level, Label: fmt.Sprintf("adaptive evasion: unhides during scan-shaped enumeration (atom %d)", i)})
+		for j := 0; j < n; j++ {
+			c.hiddenEvasive = append(c.hiddenEvasive, fmt.Sprintf("%s%d.exe", tag, j))
+		}
+	case AtomMemOnly:
+		c.techniques = append(c.techniques, Technique{API: winapi.APIProcEnum, Level: winapi.LevelNone, Label: "memory-only: scrubbed from the APL and the CID handle table, zero disk footprint"})
+		for j := 0; j < n; j++ {
+			c.hiddenMemOnly = append(c.hiddenMemOnly, fmt.Sprintf("%s%d.exe", tag, j))
+		}
+	case AtomBootkit:
+		c.techniques = append(c.techniques, Technique{API: winapi.APIBootRead, Level: a.Level, Label: fmt.Sprintf("bootkit: payload in boot-sector code slack, sanitized inside reads (atom %d)", i)})
+		c.hiddenBoot = append(c.hiddenBoot, "CODE")
+	case AtomUSBHide:
+		c.techniques = append(c.techniques, Technique{API: winapi.APIFileEnum, Level: a.Level, Label: fmt.Sprintf("removable-device payload hidden from enumeration (atom %d)", i)})
+		for j := 0; j < n; j++ {
+			c.hiddenRemovable = append(c.hiddenRemovable, fmt.Sprintf(`%s\%s%d.sys`, machine.RemovableDrive, tag, j))
+		}
 	}
 }
 
@@ -374,7 +453,7 @@ func (c *Composite) installPersistent(m *machine.Machine, i int, a Atom) error {
 				return err
 			}
 		}
-	case AtomProcHide, AtomProcDKOM:
+	case AtomProcHide, AtomProcDKOM, AtomEvasive:
 		for j := 0; j < n; j++ {
 			if err := m.DropFile(fmt.Sprintf(`%s\%s%d.exe`, compositeDir, tag, j), []byte("MZ gfz proc")); err != nil {
 				return err
@@ -394,6 +473,25 @@ func (c *Composite) installPersistent(m *machine.Machine, i int, a Atom) error {
 		}
 		if err := m.DropFile(decoyPayload(tag), []byte("MZ gfz decoy payload")); err != nil {
 			return err
+		}
+	case AtomMemOnly:
+		// Deliberately nothing: the whole point is zero file and Registry
+		// footprint. The (visible) composite loader re-runs the activation
+		// at every boot, which is how real memory-only malware persists —
+		// through some other component, not through its own artifacts.
+	case AtomBootkit:
+		payload := []byte("GFZBOOT " + tag)
+		off := ntfs.BootCodeOff + (i*31)%(ntfs.BootCodeLen-len(payload))
+		if err := m.WriteDeviceBytes(off, payload); err != nil {
+			return err
+		}
+	case AtomUSBHide:
+		m.EnsureRemovable()
+		for j := 0; j < n; j++ {
+			full := fmt.Sprintf(`%s\%s%d.sys`, machine.RemovableDrive, tag, j)
+			if err := m.DropRemovableFile(full, []byte("MZ gfz usb payload")); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -479,6 +577,88 @@ func activateAtom(m *machine.Machine, owner string, i int, a Atom) error {
 				}
 				return pathMatches(e.Path, tag+"PAY")
 			}))
+	case AtomEvasive:
+		// Two cooperating hooks share one trigger: the watcher observes
+		// directory enumeration and fires on the scan signature (an
+		// enumeration of the system volume root — every full file walk
+		// starts there); the process filter lies only while the trigger is
+		// cold. A sweep that walks files before processes therefore sees
+		// the process in BOTH views (clean diff); only an ordering the
+		// ghost cannot predict catches the hide in the act.
+		watch := &evasiveState{window: evasiveWindow}
+		m.API.Install(winapi.NewFileEnumWatchHook(owner, a.Level, "scan-signature watcher",
+			func(call *winapi.Call, dir string) {
+				if strings.EqualFold(strings.TrimSuffix(dir, `\`), machine.Drive) {
+					watch.trigger(callNow(m, call))
+				}
+			}))
+		m.API.Install(winapi.NewProcHideHook(owner, a.Level, "adaptive process filter", applies,
+			func(call *winapi.Call, p winapi.ProcEntry) bool {
+				if watch.active(callNow(m, call)) {
+					return false // scan-shaped activity seen: act innocent
+				}
+				return strings.Contains(strings.ToUpper(p.Name), tag)
+			}))
+		for j := 0; j < n; j++ {
+			name := fmt.Sprintf("%s%d.exe", lower, j)
+			if _, err := m.StartProcess(name, compositeDir+`\`+name); err != nil {
+				return err
+			}
+		}
+	case AtomMemOnly:
+		// Empty image path: the process has no on-disk backing at all.
+		for j := 0; j < n; j++ {
+			pid, err := m.StartProcess(fmt.Sprintf("%s%d.exe", lower, j), "")
+			if err != nil {
+				return err
+			}
+			if err := m.Kern.ConcealProcess(pid); err != nil {
+				return err
+			}
+		}
+	case AtomBootkit:
+		m.API.Install(winapi.NewBootSanitizeHook(owner, a.Level, "boot-read sanitizer", applies, m.BootBaseline()))
+	case AtomUSBHide:
+		m.API.Install(winapi.NewFileHideHook(owner, a.Level, "removable payload filter", applies,
+			func(call *winapi.Call, e winapi.DirEntry) bool { return pathMatches(e.Path, tag) }))
 	}
 	return nil
+}
+
+// evasiveWindow is how long an evasive atom stays unhidden after seeing
+// scan-shaped activity. Long enough to outlast any one sweep; the
+// counter is ordering the ghost cannot predict, not outwaiting it.
+const evasiveWindow = 2 * time.Hour
+
+// evasiveState is the trigger shared between an evasive atom's watcher
+// and its process filter. Virtual-time based: "now" comes from the
+// calling sweep's clock, so the window is deterministic under replay.
+type evasiveState struct {
+	mu     sync.Mutex
+	until  time.Duration
+	window time.Duration
+}
+
+func (s *evasiveState) trigger(now time.Duration) {
+	s.mu.Lock()
+	if t := now + s.window; t > s.until {
+		s.until = t
+	}
+	s.mu.Unlock()
+}
+
+func (s *evasiveState) active(now time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return now < s.until
+}
+
+// callNow returns the current virtual time as hook code sees it: the
+// calling sweep's clock when one is attached, the machine wall clock
+// otherwise.
+func callNow(m *machine.Machine, call *winapi.Call) time.Duration {
+	if call != nil && call.Clock != nil {
+		return call.Clock.Now()
+	}
+	return m.Clock.Now()
 }

@@ -1,0 +1,69 @@
+package ghostware
+
+import "ghostbuster/internal/winapi"
+
+// This file names the four next-generation families the detection
+// matrix tracks. Each is a thin wrapper over the Composite atom lattice
+// — the atoms are the reusable mechanism, the named entries are the
+// corpus identities that -infect, the figures, and the docs refer to.
+// Each family defeats a naive scanner configuration and is caught by
+// exactly one counter:
+//
+//	Chameleon    adaptive evasion   → randomized ordering + cross-time
+//	PhantomProc  memory-only        → kmem pool carve (live or dump)
+//	BootViper    bootkit            → boot-chain inside-vs-raw diff
+//	USBcat       removable payload  → removable-device truth source
+//
+// Construction is deterministic (no machine RNG), so repeated installs
+// produce byte-identical artifacts — a property the corpus replay and
+// the differential oracle both lean on.
+
+// NewChameleon returns the adaptive-evasion family: two SSDT-hidden
+// processes plus a watcher that unhides them whenever scan-shaped
+// enumeration (a walk of the volume root) is observed. A fixed-order
+// sweep that scans files before processes sees a clean process diff.
+func NewChameleon() *Composite {
+	c := NewComposite("cham", []Atom{
+		{Kind: AtomEvasive, Level: winapi.LevelSSDT, Count: 2},
+	})
+	c.name = "Chameleon"
+	c.class = "adaptive-evasion ghostware (next-gen)"
+	return c
+}
+
+// NewPhantomProc returns the memory-only family: a process with no
+// image file, scrubbed from the Active Process List and the CID handle
+// table. No file, ASEP, or process pair sees it; the pool-tag carve of
+// kernel memory (live or crash dump) does.
+func NewPhantomProc() *Composite {
+	c := NewComposite("phan", []Atom{
+		{Kind: AtomMemOnly, Count: 1},
+	})
+	c.name = "PhantomProc"
+	c.class = "memory-only ghostware (next-gen)"
+	return c
+}
+
+// NewBootViper returns the bootkit family: a payload in the boot
+// sector's bootstrap-code slack plus a filter-level sanitizer that
+// hands inside readers the pristine pre-infection sector.
+func NewBootViper() *Composite {
+	c := NewComposite("bvip", []Atom{
+		{Kind: AtomBootkit, Level: winapi.LevelFilter},
+	})
+	c.name = "BootViper"
+	c.class = "bootkit (next-gen)"
+	return c
+}
+
+// NewUSBcat returns the removable-device family: driver payloads
+// dropped on the hot-pluggable E: volume and hidden from enumeration
+// with a filter-level hook, after the USBcat pattern.
+func NewUSBcat() *Composite {
+	c := NewComposite("ucat", []Atom{
+		{Kind: AtomUSBHide, Level: winapi.LevelFilter, Count: 2},
+	})
+	c.name = "USBcat"
+	c.class = "removable-device ghostware (next-gen)"
+	return c
+}

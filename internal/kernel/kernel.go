@@ -205,6 +205,9 @@ func (k *Kernel) createProcess(name, imagePath string, parent uint64) (uint64, e
 	if err := k.Mem.WriteU64(eproc+EprocPid, pid); err != nil {
 		return 0, err
 	}
+	if err := k.Mem.WriteU32(eproc+EprocPoolTag, PoolTagProc); err != nil {
+		return 0, err
+	}
 	if err := k.Mem.WriteCString(eproc+EprocImageName, name, eprocNameCap); err != nil {
 		return 0, err
 	}
@@ -317,7 +320,51 @@ func (k *Kernel) ExitProcess(pid uint64) error {
 	if err := k.cidRemove(pid, CidProcess); err != nil {
 		return err
 	}
+	// Clear the pool tag so memory carving never resurrects freed
+	// residue, then mark the object exited.
+	if err := k.Mem.WriteU32(eproc+EprocPoolTag, 0); err != nil {
+		return err
+	}
 	return k.Mem.WriteU64(eproc+EprocFlags, flagsExited)
+}
+
+// ConcealProcess is the memory-only hiding primitive: it unlinks a live
+// process from the Active Process List AND retires its CID entries
+// (process and threads), so neither the normal nor the advanced
+// process walk can see it. The threads stay on the process's own thread
+// list and the object keeps its pool tag and live flags — the process
+// is still running, and only a pool-tag carve of kernel memory (or a
+// crash dump) finds it. Removing the thread CID entries together with
+// the process entry keeps the table self-consistent: WalkCidProcesses
+// treats a thread whose owner is absent as corruption and fails loudly.
+func (k *Kernel) ConcealProcess(pid uint64) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if pid == SystemPid {
+		return fmt.Errorf("kernel: refusing to conceal the System process")
+	}
+	eproc, err := k.EprocessByPid(pid)
+	if err != nil {
+		return err
+	}
+	threads, err := k.Mem.ListWalk(eproc+EprocThreadHead, maxWalk)
+	if err != nil {
+		return err
+	}
+	for _, t := range threads {
+		eth := t - EthreadListEntry
+		tid, err := k.Mem.ReadU64(eth + EthreadTid)
+		if err != nil {
+			return err
+		}
+		if err := k.cidRemove(tid, CidThread); err != nil {
+			return err
+		}
+	}
+	if err := k.Mem.ListRemove(eproc + EprocActiveLinks); err != nil {
+		return err
+	}
+	return k.cidRemove(pid, CidProcess)
 }
 
 // LoadModule maps a module into a process: it appends an entry to the

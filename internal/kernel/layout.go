@@ -37,9 +37,16 @@ const (
 	EprocFlags       = 0x60 // u64, bit 0 = exited
 	EprocImagePath   = 0x68 // u64 pointer to a string cell (full path)
 	EprocVadHead     = 0x70 // LIST_ENTRY: head of the VAD image list
-	EprocSize        = 0x80
+	EprocPoolTag     = 0x80 // u32 'Proc' allocation tag (cleared on exit)
+	EprocSize        = 0x88
 
 	eprocNameCap = 32
+
+	// PoolTagProc is the little-endian u32 of the ASCII bytes "Proc" —
+	// the allocation tag every live EPROCESS carries, and the needle a
+	// pool-carving scan sweeps the arena for. ExitProcess clears it, so
+	// carving never resurrects freed pool residue.
+	PoolTagProc uint32 = 0x636F7250
 )
 
 // ETHREAD field offsets.
@@ -239,6 +246,55 @@ func WalkCidProcesses(r kmem.Reader, layout Layout) ([]ProcView, error) {
 			continue // no schedulable thread: not a live process
 		}
 		p, err := readProc(r, addr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	sortProcs(out)
+	return out, nil
+}
+
+// CarveProcesses sweeps the first limit bytes of kernel memory for live
+// EPROCESS allocations by their pool tag, the way memory-forensics
+// tools enumerate processes without trusting any list: a process
+// unlinked from both the Active Process List and the CID table (the
+// memory-only family) still occupies tagged pool. ExitProcess clears
+// the tag, so freed residue is never resurrected. The walk reads
+// nothing through kernel bookkeeping — only the Reader — so the same
+// code carves live memory and crash dumps.
+func CarveProcesses(r kmem.Reader, limit int) ([]ProcView, error) {
+	out := []ProcView{}
+	// The arena burns its first 64 bytes; a tag sits at EprocPoolTag
+	// inside an 8-aligned allocation, so candidate tag offsets are
+	// 8-aligned too.
+	tail := EprocSize - EprocPoolTag
+	for off := uint64(64 + EprocPoolTag); int(off)+tail <= limit; off += 8 {
+		tag, err := r.ReadU32(kmem.Base + off)
+		if err != nil {
+			return nil, err
+		}
+		if tag != PoolTagProc {
+			continue
+		}
+		eproc := kmem.Base + off - EprocPoolTag
+		// Structural sanity before decoding: a stray "Proc" in string
+		// bytes will not also carry a plausible flags word and pid.
+		flags, err := r.ReadU64(eproc + EprocFlags)
+		if err != nil {
+			return nil, err
+		}
+		if flags&^uint64(flagsExited) != 0 || flags&flagsExited != 0 {
+			continue
+		}
+		pid, err := r.ReadU64(eproc + EprocPid)
+		if err != nil {
+			return nil, err
+		}
+		if pid == 0 || pid%4 != 0 || pid > maxWalk {
+			continue
+		}
+		p, err := readProc(r, eproc)
 		if err != nil {
 			return nil, err
 		}

@@ -302,6 +302,11 @@ type ImageReader struct {
 // NewImageReader wraps a raw arena image.
 func NewImageReader(img []byte) *ImageReader { return &ImageReader{img: img} }
 
+// Size returns the image length in bytes, so pool-carving scans can
+// bound their sweep over a dump the same way they bound it over the
+// live arena.
+func (r *ImageReader) Size() int { return len(r.img) }
+
 var _ Reader = (*ImageReader)(nil)
 
 func (r *ImageReader) offset(addr uint64, size int) (uint64, error) {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"time"
 
 	"ghostbuster/internal/kernel"
@@ -120,6 +121,23 @@ type Machine struct {
 	// may have consumed damaged bytes.
 	FaultEpoch func() uint64
 
+	// bootBaseline is the pristine boot sector captured at format time,
+	// before any software (ghost or honest) ran. It is the trust anchor
+	// for the boot-chain scan: a bootkit can lie about the current sector
+	// but cannot rewrite what the sector held before it arrived.
+	bootBaseline []byte
+
+	// removable is the optional hot-pluggable volume at RemovableDrive
+	// (nil when no media is attached). removableEvents counts attach and
+	// detach transitions so cache layers can tell "same stick, new
+	// writes" from "different stick with coincidentally equal
+	// generation". Guarded by remMu: scan units read the pointer in
+	// parallel while tests hot-plug from another goroutine.
+	remMu           sync.Mutex
+	removable       *ntfs.Volume
+	removableEvents uint64
+	removableFault  ntfs.DeviceFault // re-applied to each attached stick
+
 	images    map[string]Activation // upper-cased image path -> activation
 	churn     []*churnState
 	bootCount int
@@ -157,6 +175,10 @@ func New(p Profile) (*Machine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("machine: formatting disk: %w", err)
 	}
+	baseline, err := vol.ReadDeviceRange(0, ntfs.BytesPerSector)
+	if err != nil {
+		return nil, fmt.Errorf("machine: capturing boot baseline: %w", err)
+	}
 	reg, err := registry.New()
 	if err != nil {
 		return nil, fmt.Errorf("machine: building registry: %w", err)
@@ -166,13 +188,14 @@ func New(p Profile) (*Machine, error) {
 		return nil, fmt.Errorf("machine: booting kernel: %w", err)
 	}
 	m := &Machine{
-		Profile: p,
-		Clock:   clock,
-		Disk:    vol,
-		Reg:     reg,
-		Kern:    kern,
-		Rand:    rand.New(rand.NewSource(p.Seed)),
-		images:  map[string]Activation{},
+		Profile:      p,
+		Clock:        clock,
+		Disk:         vol,
+		Reg:          reg,
+		Kern:         kern,
+		Rand:         rand.New(rand.NewSource(p.Seed)),
+		bootBaseline: baseline,
+		images:       map[string]Activation{},
 	}
 	m.API = winapi.NewStack(m.bases(), clock, m.costModel())
 	if err := m.buildSkeleton(); err != nil {
@@ -223,24 +246,28 @@ func FullPath(volPath string) string {
 func (m *Machine) bases() winapi.Bases {
 	return winapi.Bases{
 		FileEnum: func(call *winapi.Call, dir string) ([]winapi.DirEntry, error) {
+			if strings.HasPrefix(strings.ToUpper(dir), RemovableDrive) {
+				vol := m.RemovableVolume()
+				if vol == nil {
+					return nil, fmt.Errorf("%w: %s", ErrNoMedia, dir)
+				}
+				vp, err := drivePath(RemovableDrive, dir)
+				if err != nil {
+					return nil, err
+				}
+				return enumVolume(vol, dir, vp)
+			}
 			vp, err := VolumePath(dir)
 			if err != nil {
 				return nil, err
 			}
-			infos, err := m.Disk.ReadDir(vp)
-			if err != nil {
-				return nil, err
-			}
-			out := make([]winapi.DirEntry, 0, len(infos))
-			prefix := strings.TrimSuffix(dir, `\`)
-			for _, inf := range infos {
-				out = append(out, winapi.DirEntry{
-					Name: inf.Name, Path: prefix + `\` + inf.Name,
-					Size: inf.Size, Dir: inf.Dir,
-					Created: inf.Created, Modified: inf.Modified, Attrs: inf.Attrs,
-				})
-			}
-			return out, nil
+			return enumVolume(m.Disk, dir, vp)
+		},
+		BootRead: func(call *winapi.Call) ([]byte, error) {
+			// The inside-the-box read of sector 0: the filesystem driver
+			// reading its own disk. Bootkits hook this API level to hand
+			// back the pristine pre-infection sector.
+			return m.Disk.ReadDeviceRange(0, ntfs.BytesPerSector)
 		},
 		RegQuery: func(call *winapi.Call, keyPath string) (winapi.KeySnapshot, error) {
 			subs, err := m.Reg.EnumKeys(keyPath)
@@ -291,6 +318,31 @@ func (m *Machine) bases() winapi.Bases {
 			return out, nil
 		},
 	}
+}
+
+// enumVolume lists a directory on vol and shapes the result as Win32
+// directory entries whose paths keep the caller's drive prefix.
+func enumVolume(vol *ntfs.Volume, dir, vp string) ([]winapi.DirEntry, error) {
+	infos, err := vol.ReadDir(vp)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]winapi.DirEntry, 0, len(infos))
+	prefix := strings.TrimSuffix(dir, `\`)
+	for _, inf := range infos {
+		out = append(out, winapi.DirEntry{
+			Name: inf.Name, Path: prefix + `\` + inf.Name,
+			Size: inf.Size, Dir: inf.Dir,
+			Created: inf.Created, Modified: inf.Modified, Attrs: inf.Attrs,
+		})
+	}
+	return out, nil
+}
+
+// BootBaseline returns a copy of the pristine boot sector captured at
+// format time.
+func (m *Machine) BootBaseline() []byte {
+	return append([]byte(nil), m.bootBaseline...)
 }
 
 // Now returns the current virtual time as FILETIME-style ticks for

@@ -1,0 +1,86 @@
+package ntfs
+
+import "fmt"
+
+// Boot-chain truth source. A bootkit lives in the slack space of the
+// boot sector (the bytes between the BPB geometry fields and the 0x55AA
+// signature, where real NTFS keeps its bootstrap code) and sanitizes
+// inside-the-box reads of sector 0. GhostBuster diffs the boot sector
+// the API returns against the raw device bytes, region by region: a
+// region that is clean in the high view but tampered in the low view is
+// the bootkit.
+
+// Boot-chain region boundaries. The four regions partition the sector:
+// the jump+OEM header, the BPB geometry fields, the bootstrap code area
+// (bootkit payload space), and the 0x55AA signature.
+const (
+	BootCodeOff = bootBitmapLenOff + 8 // 80: first byte after the geometry fields
+	BootCodeLen = bootSigOff - BootCodeOff
+)
+
+// bootRegions names the sector's regions and their byte ranges.
+var bootRegions = []struct {
+	name     string
+	off, end int
+}{
+	{"OEM", 0, bootBytesPerSecOff},
+	{"GEOMETRY", bootBytesPerSecOff, BootCodeOff},
+	{"CODE", BootCodeOff, bootSigOff},
+	{"SIG", bootSigOff, BytesPerSector},
+}
+
+// BootRegion is the decoded status of one boot-sector region.
+type BootRegion struct {
+	Name   string // OEM | GEOMETRY | CODE | SIG
+	Status string // "clean", or "tampered@<hash>" when it departs the baseline
+}
+
+// ID is the region's cross-view identity: regions that hold different
+// bytes get different IDs, so the columnar diff surfaces a region the
+// API sanitizes but the device holds tampered.
+func (r BootRegion) ID() string { return r.Name + ":" + r.Status }
+
+// DecodeBootRegions splits a boot sector into its regions and labels
+// each against the pristine baseline captured at machine build time. A
+// nil baseline labels every region with its content hash instead (both
+// views of an untampered machine still agree). A sector shorter than
+// BytesPerSector is a torn read and fails loudly.
+func DecodeBootRegions(sector, baseline []byte) ([]BootRegion, error) {
+	if len(sector) < BytesPerSector {
+		return nil, fmt.Errorf("%w: boot sector read returned %d bytes, want %d", ErrCorrupt, len(sector), BytesPerSector)
+	}
+	out := make([]BootRegion, 0, len(bootRegions))
+	for _, reg := range bootRegions {
+		got := sector[reg.off:reg.end]
+		status := fmt.Sprintf("tampered@%08x", bootHash(got))
+		if baseline == nil {
+			status = fmt.Sprintf("content@%08x", bootHash(got))
+		} else if len(baseline) >= reg.end && bytesEqual(got, baseline[reg.off:reg.end]) {
+			status = "clean"
+		}
+		out = append(out, BootRegion{Name: reg.name, Status: status})
+	}
+	return out, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bootHash is FNV-1a over a region's bytes, for stable tamper labels.
+func bootHash(b []byte) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -203,14 +203,21 @@ func (v *Volume) deviceFault() DeviceFault {
 // goroutines mutate the volume. f must not retain the slice or call
 // volume mutators (that would self-deadlock).
 func (v *Volume) WithDevice(f func(dev []byte) error) error {
+	return v.WithDeviceOp("raw-scan", f)
+}
+
+// WithDeviceOp is WithDevice with an explicit operation label passed to
+// the fault hook, so fault plans can target one raw-read path (e.g. the
+// boot-chain scan) without firing on every MFT parse.
+func (v *Volume) WithDeviceOp(op string, f func(dev []byte) error) error {
 	if fh := v.deviceFault(); fh != nil {
-		if err := fh.BeforeRead("raw-scan"); err != nil {
+		if err := fh.BeforeRead(op); err != nil {
 			return err
 		}
 		v.mu.RLock()
 		defer v.mu.RUnlock()
 		dev := v.dev
-		if c := fh.CorruptImage("raw-scan", dev); c != nil {
+		if c := fh.CorruptImage(op, dev); c != nil {
 			dev = c
 		}
 		return f(dev)
@@ -218,6 +225,21 @@ func (v *Volume) WithDevice(f func(dev []byte) error) error {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
 	return f(v.dev)
+}
+
+// ReadDeviceRange copies n device bytes at off under the read lock.
+// This is the *driver-side* raw read (the filesystem reading its own
+// disk): it does not pass through the device fault hook, which models
+// scanner-facing reads only.
+func (v *Volume) ReadDeviceRange(off, n int) ([]byte, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if off < 0 || n < 0 || off+n > len(v.dev) {
+		return nil, fmt.Errorf("%w: device read [%d,%d) outside device of %d bytes", ErrCorrupt, off, off+n, len(v.dev))
+	}
+	out := make([]byte, n)
+	copy(out, v.dev[off:])
+	return out, nil
 }
 
 // PatchDevice overwrites device bytes at off, bypassing the filesystem

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"ghostbuster/internal/core"
@@ -80,6 +81,20 @@ type Profile struct {
 	// failing the scan. Turning containment ON where the profile has it
 	// off masks faults and weakens (forensic runs fail-loud).
 	Contain bool `json:"contain"`
+	// ScanCrossMem enables the kmem pool-carve scan unit (catches
+	// memory-only ghostware scrubbed from every kernel list). Disabling
+	// it weakens.
+	ScanCrossMem bool `json:"scanCrossMem"`
+	// ScanBootChain enables the boot-chain scan unit (catches bootkits
+	// that sanitize inside boot-sector reads). Disabling it weakens.
+	ScanBootChain bool `json:"scanBootChain"`
+	// ScanRemovable enables the removable-device scan unit (the USBcat
+	// counter). Disabling it weakens.
+	ScanRemovable bool `json:"scanRemovable"`
+	// RandomizeOrder randomizes the execution order of a sweep's scan
+	// units, denying adaptive ghostware the timing oracle a fixed order
+	// hands it. Disabling it weakens.
+	RandomizeOrder bool `json:"randomizeOrder"`
 
 	// --- operational (freely overridable) ---
 
@@ -116,45 +131,56 @@ func Builtins() []Profile {
 			Workers:     8, HostParallelism: 8,
 		},
 		{
-			Name:        "standard",
-			Description: "the default monitoring posture: advanced scans, journaled, retried",
-			Rank:        1,
-			Advanced:    true,
-			NoiseFilter: NoiseStandard,
-			Deadline:    2 * time.Minute,
-			MaxRetries:  1,
-			Journal:     true,
-			Interval:    6 * time.Hour,
-			Contain:     true,
-			Workers:     4, HostParallelism: 4,
+			Name:           "standard",
+			Description:    "the default monitoring posture: advanced scans, journaled, retried",
+			Rank:           1,
+			Advanced:       true,
+			NoiseFilter:    NoiseStandard,
+			Deadline:       2 * time.Minute,
+			MaxRetries:     1,
+			Journal:        true,
+			Interval:       6 * time.Hour,
+			Contain:        true,
+			ScanCrossMem:   true,
+			ScanRemovable:  true,
+			RandomizeOrder: true,
+			Workers:        4, HostParallelism: 4,
 			BreakerThreshold: 3,
 		},
 		{
-			Name:        "paranoid",
-			Description: "unbounded advanced scans with raw findings, hourly",
-			Rank:        2,
-			Advanced:    true,
-			NoiseFilter: NoiseBaseline,
-			Deadline:    0,
-			MaxRetries:  2,
-			Journal:     true,
-			Interval:    time.Hour,
-			Contain:     true,
-			Workers:     2, HostParallelism: 8,
+			Name:           "paranoid",
+			Description:    "unbounded advanced scans with raw findings, hourly",
+			Rank:           2,
+			Advanced:       true,
+			NoiseFilter:    NoiseBaseline,
+			Deadline:       0,
+			MaxRetries:     2,
+			Journal:        true,
+			Interval:       time.Hour,
+			Contain:        true,
+			ScanCrossMem:   true,
+			ScanBootChain:  true,
+			ScanRemovable:  true,
+			RandomizeOrder: true,
+			Workers:        2, HostParallelism: 8,
 			BreakerThreshold: 5,
 		},
 		{
-			Name:        "forensic",
-			Description: "evidence-grade: sequential, fail-loud, every fault is an error",
-			Rank:        3,
-			Advanced:    true,
-			NoiseFilter: NoiseBaseline,
-			Deadline:    0,
-			MaxRetries:  3,
-			Journal:     true,
-			Interval:    15 * time.Minute,
-			Contain:     false,
-			Workers:     1, HostParallelism: 1,
+			Name:           "forensic",
+			Description:    "evidence-grade: sequential, fail-loud, every fault is an error",
+			Rank:           3,
+			Advanced:       true,
+			NoiseFilter:    NoiseBaseline,
+			Deadline:       0,
+			MaxRetries:     3,
+			Journal:        true,
+			Interval:       15 * time.Minute,
+			Contain:        false,
+			ScanCrossMem:   true,
+			ScanBootChain:  true,
+			ScanRemovable:  true,
+			RandomizeOrder: true,
+			Workers:        1, HostParallelism: 1,
 		},
 	}
 }
@@ -257,6 +283,11 @@ type Override struct {
 	Interval    *time.Duration `json:"intervalNs,omitempty"`
 	Contain     *bool          `json:"contain,omitempty"`
 
+	ScanCrossMem   *bool `json:"scanCrossMem,omitempty"`
+	ScanBootChain  *bool `json:"scanBootChain,omitempty"`
+	ScanRemovable  *bool `json:"scanRemovable,omitempty"`
+	RandomizeOrder *bool `json:"randomizeOrder,omitempty"`
+
 	Workers                   *int           `json:"workers,omitempty"`
 	HostParallelism           *int           `json:"hostParallelism,omitempty"`
 	RetryBackoff              *time.Duration `json:"retryBackoffNs,omitempty"`
@@ -340,6 +371,34 @@ func (p Profile) Apply(o Override) (Profile, error) {
 			next.Contain = *o.Contain
 		}
 	}
+	if o.ScanCrossMem != nil {
+		if p.Locked && p.ScanCrossMem && !*o.ScanCrossMem {
+			weak("scanCrossMem", "disables the pool carve that catches memory-only ghostware")
+		} else {
+			next.ScanCrossMem = *o.ScanCrossMem
+		}
+	}
+	if o.ScanBootChain != nil {
+		if p.Locked && p.ScanBootChain && !*o.ScanBootChain {
+			weak("scanBootChain", "disables the boot-chain truth source that catches bootkits")
+		} else {
+			next.ScanBootChain = *o.ScanBootChain
+		}
+	}
+	if o.ScanRemovable != nil {
+		if p.Locked && p.ScanRemovable && !*o.ScanRemovable {
+			weak("scanRemovable", "disables the removable-device truth source")
+		} else {
+			next.ScanRemovable = *o.ScanRemovable
+		}
+	}
+	if o.RandomizeOrder != nil {
+		if p.Locked && p.RandomizeOrder && !*o.RandomizeOrder {
+			weak("randomizeOrder", "a fixed scan order hands adaptive ghostware a timing oracle")
+		} else {
+			next.RandomizeOrder = *o.RandomizeOrder
+		}
+	}
 	if o.Lock != nil {
 		if !*o.Lock && p.Locked {
 			weak("locked", "a locked profile cannot be unlocked at runtime")
@@ -405,7 +464,35 @@ func (p Profile) ConfigureDetector(d *core.Detector) {
 	d.Contain = p.Contain
 	d.Deadline = p.Deadline
 	d.Opts.NoiseFilters = p.Filters()
+	d.Units = p.Units()
+	if p.RandomizeOrder {
+		d.OrderSeed = nextOrderSeed()
+	}
 }
+
+// Units maps the profile's scan-unit switches to the detector bitmask.
+func (p Profile) Units() core.UnitSet {
+	var u core.UnitSet
+	if p.ScanCrossMem {
+		u |= core.UnitCrossMem
+	}
+	if p.ScanBootChain {
+		u |= core.UnitBootChain
+	}
+	if p.ScanRemovable {
+		u |= core.UnitRemovable
+	}
+	return u
+}
+
+// orderSeedCounter feeds nextOrderSeed. A process-local counter keeps
+// runs reproducible (the Nth configured detector always draws seed N)
+// while giving every sweep a different unit order — the property that
+// matters is that ghostware on the scanned machine cannot predict the
+// order, and it never sees this counter.
+var orderSeedCounter atomic.Int64
+
+func nextOrderSeed() int64 { return orderSeedCounter.Add(1) }
 
 // ConfigureManager applies the profile to a fleet manager — the sweep
 // path both the CLI fleet mode and the resident daemon run.
@@ -435,6 +522,10 @@ func Diagnose(p Profile) map[string]string {
 		"profile-journal":        strconv.FormatBool(p.Journal),
 		"profile-interval":       p.Interval.String(),
 		"profile-contain":        strconv.FormatBool(p.Contain),
+		"profile-scan-crossmem":  strconv.FormatBool(p.ScanCrossMem),
+		"profile-scan-bootchain": strconv.FormatBool(p.ScanBootChain),
+		"profile-scan-removable": strconv.FormatBool(p.ScanRemovable),
+		"profile-random-order":   strconv.FormatBool(p.RandomizeOrder),
 		"profile-workers":        strconv.Itoa(p.Workers),
 		"profile-host-lanes":     strconv.Itoa(p.HostParallelism),
 		"profile-breaker":        strconv.Itoa(p.BreakerThreshold),

@@ -69,6 +69,8 @@ var storedKeys = map[string]bool{
 	"advanced": true, "noiseFilter": true, "deadlineNs": true,
 	"maxRetries": true, "journal": true, "intervalNs": true,
 	"contain": true, "workers": true, "hostParallelism": true,
+	"scanCrossMem": true, "scanBootChain": true, "scanRemovable": true,
+	"randomizeOrder": true,
 	"retryBackoffNs": true, "breakerThreshold": true,
 	"abortAfterFailureFraction": true, "checksum": true,
 }

@@ -129,6 +129,41 @@ func NewDriverHideHook(owner string, level Level, technique string, appliesTo fu
 	}
 }
 
+// NewBootSanitizeHook builds a boot-read hook that substitutes its own
+// sector bytes for the real ones — the bootkit lie: inside-the-box reads
+// of sector 0 see the pristine pre-infection image while the device
+// holds the patched one.
+func NewBootSanitizeHook(owner string, level Level, technique string, appliesTo func(Proc) bool, pristine []byte) *Hook {
+	return &Hook{
+		Owner: owner, API: APIBootRead, Level: level, Technique: technique, AppliesTo: appliesTo,
+		WrapBootRead: func(next BootReadHandler) BootReadHandler {
+			return func(call *Call) ([]byte, error) {
+				if _, err := next(call); err != nil {
+					return nil, err
+				}
+				return append([]byte(nil), pristine...), nil
+			}
+		},
+	}
+}
+
+// NewFileEnumWatchHook builds an observe-only file-enumeration hook that
+// calls observe on every enumerated directory before passing the query
+// through unmodified. Evasive ghostware uses it to fingerprint
+// scan-shaped API traffic (a full-volume walk always starts at the
+// drive root) and change its hiding behaviour mid-sweep.
+func NewFileEnumWatchHook(owner string, level Level, technique string, observe func(call *Call, dir string)) *Hook {
+	return &Hook{
+		Owner: owner, API: APIFileEnum, Level: level, Technique: technique,
+		WrapFileEnum: func(next FileEnumHandler) FileEnumHandler {
+			return func(call *Call, dir string) ([]DirEntry, error) {
+				observe(call, dir)
+				return next(call, dir)
+			}
+		},
+	}
+}
+
 // NewPassthroughFileHook builds a hook that observes but does not
 // filter. Legitimate software (in-memory patchers, fault-tolerance
 // wrappers, AV real-time shims) installs hooks like this; they are the

@@ -232,6 +232,31 @@ func (s *Stack) WalkTreeWin32(call *Call, root string) ([]DirEntry, error) {
 	return out, nil
 }
 
+// --- boot sector -------------------------------------------------------------
+
+// ReadBootSectorWin32 reads sector 0 of the system drive the way an
+// inside-the-box tool would: by opening the physical drive through the
+// hooked API chain. A bootkit's filter hook can substitute the pristine
+// sector here; the raw device scan bypasses the chain and sees the
+// infected truth.
+func (s *Stack) ReadBootSectorWin32(call *Call) ([]byte, error) {
+	if s.bases.BootRead == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoBase, APIBootRead)
+	}
+	if err := s.callFault(APIBootRead, call); err != nil {
+		return nil, err
+	}
+	handler := s.bases.BootRead
+	for _, h := range s.chainHooks(APIBootRead, LevelIAT, call) {
+		if h.WrapBootRead != nil {
+			handler = h.WrapBootRead(handler)
+		}
+	}
+	out, err := handler(call)
+	s.charge(call, 1)
+	return out, err
+}
+
 // --- Registry ----------------------------------------------------------------
 
 func (s *Stack) queryKey(call *Call, keyPath string, entry Level) (KeySnapshot, error) {

@@ -64,6 +64,7 @@ const (
 	APIProcEnum   API = "ProcEnum"   // Process32First → NtQuerySystemInformation
 	APIModEnum    API = "ModEnum"    // Module32First → NtQueryInformationProcess
 	APIDriverEnum API = "DriverEnum" // EnumDeviceDrivers
+	APIBootRead   API = "BootRead"   // ReadFile on \\.\PhysicalDrive0, sector 0
 )
 
 // Proc is the identity of the process issuing a query; hooks use it to
@@ -139,6 +140,10 @@ type (
 	ModEnumHandler func(call *Call, pid uint64) ([]ModEntry, error)
 	// DriverEnumHandler lists loaded drivers.
 	DriverEnumHandler func(call *Call) ([]ModEntry, error)
+	// BootReadHandler reads the volume's boot sector as a user-mode
+	// program opening the physical drive would see it. Bootkits hook this
+	// read to return the pristine pre-infection sector.
+	BootReadHandler func(call *Call) ([]byte, error)
 )
 
 // Bases are the bottom-of-chain implementations, wired up by the machine
@@ -150,6 +155,7 @@ type Bases struct {
 	ProcEnum   ProcEnumHandler
 	ModEnum    ModEnumHandler
 	DriverEnum DriverEnumHandler
+	BootRead   BootReadHandler
 }
 
 // Hook is one installed interception. Exactly one Wrap* field should be
@@ -170,6 +176,7 @@ type Hook struct {
 	WrapProcEnum   func(next ProcEnumHandler) ProcEnumHandler
 	WrapModEnum    func(next ModEnumHandler) ModEnumHandler
 	WrapDriverEnum func(next DriverEnumHandler) DriverEnumHandler
+	WrapBootRead   func(next BootReadHandler) BootReadHandler
 
 	installSeq int
 }

@@ -30,8 +30,15 @@ echo "==> daemon smoke under -race (boot, API sweep, graceful drain; locked-prof
 go test -race -run 'TestRunSmoke|TestRunFlagValidation' ./cmd/ghostbusterd/
 go test -race -run 'TestHTTPLockedProfileRejectsWeakening|TestCrashResumeDigestEquality|TestGracefulShutdownDrainsInFlightSweep' ./internal/daemon/
 
-echo "==> coverage floor (>= 70% on the detection core, daemon, and profile store)"
-go test -cover ./internal/core/ ./internal/ntfs/ ./internal/hive/ ./internal/fleet/ ./internal/fleetshard/ ./internal/journal/ ./internal/daemon/ ./internal/profile/ |
+echo "==> next-gen family matrix under -race (evasive differential, naive-miss/counter-catch, boot+removable chaos, removable delta scheduling)"
+go test -race -run 'TestEvasive|TestNextGenNaiveMissCounterCatch|TestChaosBootRemovableLoudNeverSilent' ./internal/ghostfuzz/
+go test -race -run 'TestRemovableHotplugTriggersDeltaSweep' ./internal/daemon/
+
+echo "==> randomized-order alloc gate (nonzero OrderSeed adds nothing per entry to the warm diff path)"
+go test -run 'TestScanOrderAllocs|TestOrderedWarmSweepAllocs' ./internal/core/
+
+echo "==> coverage floor (>= 70% on the detection core, cross-time/kmem truth sources, daemon, and profile store)"
+go test -cover ./internal/core/ ./internal/ntfs/ ./internal/hive/ ./internal/crosstime/ ./internal/kmem/ ./internal/fleet/ ./internal/fleetshard/ ./internal/journal/ ./internal/daemon/ ./internal/profile/ |
 	awk '
 		/coverage:/ {
 			pct = $5; sub(/%.*/, "", pct)
