@@ -21,6 +21,8 @@
 //	ghostbuster -fleet 8 -journal sweep.gbj -resume
 //	ghostbuster -fleet 64 -shards 4 -shard-journal-dir sweepdir  # fleet of fleets
 //	ghostbuster -fleet 64 -shards 4 -shard-journal-dir sweepdir -resume
+//	ghostbuster -fleet 64 -shards 4 -watchdog 2s  # wedged shards fail over mid-sweep
+//	ghostbuster -fleet 64 -hedge 500ms            # stragglers get a duplicate scan
 //	ghostbuster -list-profiles
 //	ghostbuster -fleet 8 -profile paranoid -lock-profile          # scan-policy profile
 //	ghostbuster -verify-report report.json        # check tamper evidence
@@ -54,6 +56,7 @@ import (
 	"ghostbuster/internal/injection"
 	"ghostbuster/internal/machine"
 	"ghostbuster/internal/profile"
+	"ghostbuster/internal/supervise"
 	"ghostbuster/internal/vtime"
 	"ghostbuster/internal/workload"
 )
@@ -110,6 +113,8 @@ func run(args []string) (int, error) {
 	maxRetries := fs.Int("max-retries", 0, "fleet mode: extra scan attempts per failed or degraded host")
 	shards := fs.Int("shards", 0, "fleet mode: consistent-hash the hosts across this many sweeper shards (the fleet-of-fleets control plane)")
 	shardJournalDir := fs.String("shard-journal-dir", "", "sharded fleet mode: directory holding one journal per shard plus the coordinator manifest; enables -resume after losing any subset of shards")
+	watchdog := fs.Duration("watchdog", 0, "sharded fleet mode: declare a shard wedged after this much heartbeat silence and fail its unfinished hosts over to surviving shards mid-sweep (0 disables)")
+	hedge := fs.Duration("hedge", 0, "fleet mode: launch a duplicate scan for any host still running this far past the fleet's observed latency; the first sealed result wins (0 disables)")
 	verifyReport := fs.String("verify-report", "", "verify a saved fleet report's tamper-evidence chain and exit")
 	profName := fs.String("profile", "", "scan-policy profile: quick|standard|paranoid|forensic or an imported name")
 	profDir := fs.String("profile-dir", "", "directory of imported custom profiles (checksummed JSON)")
@@ -131,6 +136,15 @@ func run(args []string) (int, error) {
 	}
 	if *abortFraction < 0 || *abortFraction > 1 {
 		return exitUsage, fmt.Errorf("-abort-fraction must be within [0,1], got %v", *abortFraction)
+	}
+	if *watchdog < 0 {
+		return exitUsage, fmt.Errorf("-watchdog must be >= 0, got %s", *watchdog)
+	}
+	if *watchdog > 0 && *shards < 2 {
+		return exitUsage, fmt.Errorf("-watchdog requires -shards >= 2 (the watchdog supervises shard heartbeats)")
+	}
+	if *hedge < 0 {
+		return exitUsage, fmt.Errorf("-hedge must be >= 0, got %s", *hedge)
 	}
 
 	if *listProfiles {
@@ -212,6 +226,7 @@ func run(args []string) (int, error) {
 			breaker: *breaker, abortFraction: *abortFraction, maxRetries: *maxRetries,
 			jsonOut: *jsonOut,
 			shards:  *shards, shardJournalDir: *shardJournalDir,
+			watchdog: *watchdog, hedge: *hedge,
 			prof: prof,
 		}
 		if *shards > 0 {
@@ -390,6 +405,10 @@ type fleetOptions struct {
 	abortFraction                       float64
 	shards                              int
 	shardJournalDir                     string
+	// watchdog is the heartbeat-silence budget before a shard is
+	// declared wedged and failed over (sharded mode only); hedge is the
+	// straggler floor past which a duplicate scan launches.
+	watchdog, hedge time.Duration
 	// prof, when set, is the resolved scan policy (flag overrides
 	// already folded in); it configures the sweep end to end.
 	prof *profile.Profile
@@ -397,34 +416,32 @@ type fleetOptions struct {
 
 // buildCLIFleet assembles the simulated fleet deterministically: host i
 // is seeded with i+1, so -resume on a new process rebuilds the same
-// hosts the crashed sweep journaled.
+// hosts the crashed sweep journaled. Hosts enroll lazily (the same
+// on-demand construction the sharded control plane uses), which also
+// makes them hedge-capable: a straggler's duplicate scan gets its own
+// clean rebuild instead of racing the original's machine.
 func buildCLIFleet(opts fleetOptions) (*fleet.Manager, error) {
 	mgr := fleet.NewManager()
 	mgr.MaxRetries = opts.maxRetries
 	mgr.BreakerThreshold = opts.breaker
 	mgr.AbortAfterFailureFraction = opts.abortFraction
+	if opts.hedge > 0 {
+		mgr.Hedge = hedgePolicy(opts.hedge)
+	}
+	src := cliHostSource{n: opts.hosts, infect: opts.infect}
 	for i := 0; i < opts.hosts; i++ {
-		p := machine.DefaultProfile()
-		p.DiskUsedGB = 1
-		p.Churn = nil
-		p.Seed = int64(i + 1)
-		m, err := machine.New(p)
-		if err != nil {
-			return nil, err
-		}
-		for _, f := range []string{`C:\Private\diary.txt`, `C:\Shared\docs.txt`} {
-			if err := m.DropFile(f, []byte("user data")); err != nil {
-				return nil, err
-			}
-		}
-		if i == 0 && opts.infect != "" {
-			if err := installGhostware(m, opts.infect); err != nil {
-				return nil, err
-			}
-		}
-		mgr.Add(fmt.Sprintf("host-%03d", i), m)
+		i := i
+		mgr.AddLazy(src.Name(i), func() (*machine.Machine, error) { return src.Build(i) })
 	}
 	return mgr, nil
+}
+
+// hedgePolicy maps the -hedge floor onto the straggler policy: after a
+// few observed completions, any scan running past max(floor, 2x the
+// fleet's median latency) gets a duplicate; the first sealed result
+// wins.
+func hedgePolicy(floor time.Duration) *fleet.HedgePolicy {
+	return &fleet.HedgePolicy{MinSamples: 3, Multiplier: 2, Floor: floor}
 }
 
 func runFleet(opts fleetOptions) (int, error) {
@@ -556,6 +573,14 @@ func runShardedFleet(opts fleetOptions) (int, error) {
 		MaxRetries:                opts.maxRetries,
 		BreakerThreshold:          opts.breaker,
 		AbortAfterFailureFraction: opts.abortFraction,
+	}
+	if opts.watchdog > 0 {
+		// Three missed beacons on a one-third cadence: a shard gets the
+		// full -watchdog window of silence before failover fires.
+		cfg.Watchdog = supervise.Policy{Deadline: opts.watchdog / 3, Misses: 3}
+	}
+	if opts.hedge > 0 {
+		cfg.Hedge = hedgePolicy(opts.hedge)
 	}
 	if p := opts.prof; p != nil {
 		cfg.ShardWorkers = p.Workers

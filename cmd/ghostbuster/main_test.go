@@ -144,3 +144,25 @@ func TestCorpusIsComplete(t *testing.T) {
 		}
 	}
 }
+
+// TestSupervisionFlags: -hedge runs a normal sweep (idle hedging is
+// digest- and verdict-invisible), -watchdog composes with the sharded
+// control plane, and -watchdog without shards is a usage error.
+func TestSupervisionFlags(t *testing.T) {
+	code, err := run([]string{"-fleet", "3", "-hedge", "500ms", "-infect", "Hacker Defender 1.0"})
+	if err != nil || code != exitFindings {
+		t.Fatalf("hedged fleet: code %d, err %v", code, err)
+	}
+	dir := t.TempDir()
+	code, err = run([]string{"-fleet", "8", "-shards", "2", "-shard-journal-dir", dir,
+		"-watchdog", "2s", "-hedge", "500ms", "-infect", "Hacker Defender 1.0"})
+	if err != nil || code != exitFindings {
+		t.Fatalf("supervised sharded fleet: code %d, err %v", code, err)
+	}
+	if code, err := run([]string{"-fleet", "3", "-watchdog", "1s"}); err == nil || code != exitUsage {
+		t.Fatalf("-watchdog without shards: code %d, err %v", code, err)
+	}
+	if code, err := run([]string{"-fleet", "3", "-hedge", "-1s"}); err == nil || code != exitUsage {
+		t.Fatalf("negative -hedge: code %d, err %v", code, err)
+	}
+}

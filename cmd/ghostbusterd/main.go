@@ -12,10 +12,15 @@
 //	ghostbusterd -state dir -listen 127.0.0.1:8099 -profile paranoid -lock-profile
 //	ghostbusterd -state dir -fleet 8 -infect "Hacker Defender 1.0" -poll 2s
 //	ghostbusterd -state dir -shards 4            # sharded sweep backend
+//	ghostbusterd -state dir -shards 4 -watchdog 2s   # wedged shards fail over mid-sweep
+//	ghostbusterd -state dir -admit-queue 8 -request-deadline 30s
 //
 // The API (see internal/daemon): GET/POST /v1/hosts, DELETE
 // /v1/hosts/{name}, GET/POST /v1/sweeps, GET /v1/results (SSE stream),
-// GET/POST /v1/profile, GET /v1/healthz, GET /v1/metrics.
+// GET/POST /v1/profile, GET /v1/healthz, GET /v1/readyz, GET
+// /v1/metrics. POST /v1/sweeps is admission-gated: past the bounded
+// queue it sheds with 429 + Retry-After; while draining it returns 503
+// and /v1/readyz flips unready so load balancers route away.
 //
 // Exit codes:
 //
@@ -43,6 +48,7 @@ import (
 	"time"
 
 	"ghostbuster/internal/daemon"
+	"ghostbuster/internal/supervise"
 )
 
 const (
@@ -70,6 +76,10 @@ func run(args []string, ready func(addr string), stop <-chan struct{}) int {
 	seed := fs.Int64("seed", 1, "scheduler jitter/shuffle seed")
 	fleetN := fs.Int("fleet", 0, "pre-register this many deterministic simulated hosts (host-000...)")
 	infect := fs.String("infect", "", "infect the first pre-registered host with the named ghostware")
+	watchdog := fs.Duration("watchdog", 0, "sharded sweeps: declare a shard wedged after missing heartbeats for this long and fail its hosts over mid-sweep (0 disables)")
+	jitterSeed := fs.Int64("jitter-seed", 0, "deterministic full jitter on retry backoff (0 keeps the doubling schedule)")
+	admitQueue := fs.Int("admit-queue", 4, "sweep requests allowed to wait behind the running sweep; overflow gets 429 + Retry-After")
+	reqDeadline := fs.Duration("request-deadline", 2*time.Minute, "max time a sweep request may wait in the admission queue (0 = client-controlled)")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -95,18 +105,39 @@ func run(args []string, ready func(addr string), stop <-chan struct{}) int {
 	if *infect != "" && *fleetN == 0 {
 		return fail("-infect requires -fleet")
 	}
+	if *watchdog < 0 {
+		return fail("-watchdog must be >= 0, got %s", *watchdog)
+	}
+	if *watchdog > 0 && *shards == 0 {
+		return fail("-watchdog requires -shards >= 2 (heartbeats supervise shard workers)")
+	}
+	if *admitQueue < 0 {
+		return fail("-admit-queue must be >= 0, got %d", *admitQueue)
+	}
+	if *reqDeadline < 0 {
+		return fail("-request-deadline must be >= 0, got %s", *reqDeadline)
+	}
 
 	logger := log.New(os.Stderr, "ghostbusterd: ", log.LstdFlags)
-	d, err := daemon.New(daemon.Config{
-		StateDir:    *stateDir,
-		ProfileDir:  *profDir,
-		Profile:     *profName,
-		LockProfile: *lockProfile,
-		Shards:      *shards,
-		Poll:        *poll,
-		Seed:        *seed,
-		Logf:        logger.Printf,
-	})
+	cfg := daemon.Config{
+		StateDir:          *stateDir,
+		ProfileDir:        *profDir,
+		Profile:           *profName,
+		LockProfile:       *lockProfile,
+		Shards:            *shards,
+		Poll:              *poll,
+		Seed:              *seed,
+		BackoffJitterSeed: *jitterSeed,
+		AdmitQueue:        *admitQueue,
+		RequestDeadline:   *reqDeadline,
+		Logf:              logger.Printf,
+	}
+	if *watchdog > 0 {
+		// Three missed beacons on a one-third cadence: the shard gets the
+		// full -watchdog window of silence before failover fires.
+		cfg.Watchdog = supervise.Policy{Deadline: *watchdog / 3, Misses: 3}
+	}
+	d, err := daemon.New(cfg)
 	if err != nil {
 		logger.Print(err)
 		return exitError
@@ -139,7 +170,17 @@ func run(args []string, ready func(addr string), stop <-chan struct{}) int {
 		logger.Print(err)
 		return exitError
 	}
-	srv := &http.Server{Handler: d.Handler()}
+	// Hardened server: slow-loris headers, stalled reads, and dead
+	// keep-alives all get bounded. The SSE result stream clears its own
+	// write deadline per-connection (see daemon.Handler), so WriteTimeout
+	// can stay strict for every other route.
+	srv := &http.Server{
+		Handler:           d.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	p := d.ActiveProfile()

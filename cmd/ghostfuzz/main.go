@@ -15,6 +15,7 @@
 //	ghostfuzz -fleet 16 -lanes 4              # fuzz across a fleet sweep
 //	ghostfuzz -crashed 5                      # kill/resume journaled sweeps
 //	ghostfuzz -crashed 5 -shards 4            # sharded: kill K of N shard journals
+//	ghostfuzz -supervised 3 -shards 4         # wedge/straggle sharded sweeps and check self-healing
 package main
 
 import (
@@ -46,6 +47,7 @@ func run(args []string, out *os.File) error {
 	fleetN := fs.Int("fleet", 0, "fuzz across a fleet sweep with this many hosts instead of single cases")
 	crashed := fs.Int("crashed", 0, "crash mode: kill this many seeded journaled sweeps at varied offsets and check each resume against the uninterrupted run")
 	shards := fs.Int("shards", 0, "with -crashed: sweep each seeded fleet across this many journaled shards and kill subsets of shard journals instead of single-journal offsets")
+	supervised := fs.Int("supervised", 0, "supervision chaos: run this many seeded sharded sweeps through the wedge/straggler/jitter matrix and check every healed run reproduces the uninterrupted digest")
 	lanes := fs.Int("lanes", 1, "per-host scan lanes in fleet mode")
 	workers := fs.Int("workers", 4, "fleet scheduler worker pool size")
 	if err := fs.Parse(args); err != nil {
@@ -72,6 +74,30 @@ func run(args []string, out *os.File) error {
 			return err
 		}
 		if len(violations) > 0 {
+			os.Exit(2)
+		}
+		return nil
+	}
+
+	if *supervised > 0 {
+		sh := *shards
+		if sh == 0 {
+			sh = 3
+		}
+		var summaries []*ghostfuzz.CrashSummary
+		violations := 0
+		for i := 0; i < *supervised; i++ {
+			s, err := ghostfuzz.RunSupervisionChaos(ghostfuzz.CaseSeed(*seed, i), sh)
+			if err != nil {
+				return err
+			}
+			summaries = append(summaries, s)
+			violations += len(s.Violations)
+		}
+		if err := enc.Encode(summaries); err != nil {
+			return err
+		}
+		if violations > 0 {
 			os.Exit(2)
 		}
 		return nil

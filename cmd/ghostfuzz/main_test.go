@@ -41,6 +41,16 @@ func TestReplayInlineSpec(t *testing.T) {
 	}
 }
 
+func TestSupervisedModeRunsMatrix(t *testing.T) {
+	out := capture(t, []string{"-seed", "131", "-supervised", "1", "-shards", "3"})
+	if !strings.Contains(out, `"variants": 5`) {
+		t.Errorf("supervised mode did not run the 5-variant matrix: %s", out)
+	}
+	if strings.Contains(out, `"violations"`) {
+		t.Errorf("supervised mode reported violations: %s", out)
+	}
+}
+
 func TestReplayBadSpecErrors(t *testing.T) {
 	f, err := os.CreateTemp(t.TempDir(), "out")
 	if err != nil {

@@ -115,6 +115,24 @@ func runBenchGate(baselinePath, candidatePath string, tol float64) error {
 		floor("megaSweep.residentBound-peak", 0,
 			float64(cand.MegaSweep.ResidentBound-cand.MegaSweep.PeakResident))
 	}
+	if cs := cand.Supervision; cs != nil {
+		// Idle-supervision invariants are machine-local: armed watchdog +
+		// hedging that never fire must not move virtual time or digests.
+		digestMatch := 0.0
+		if cs.DigestMatch {
+			digestMatch = 1
+		}
+		floor("supervision.digestMatch", 1, digestMatch)
+		delta := cs.VirtualDeltaNs
+		if delta < 0 {
+			delta = -delta
+		}
+		floor("supervision.zeroVirtualDelta", 0, float64(-delta))
+		if bs := base.Supervision; bs != nil && bs.Hosts == cs.Hosts && bs.Shards == cs.Shards {
+			ceiling("supervision.allocsPerHost", bs.AllocsPerHost, cs.AllocsPerHost)
+			ceiling("supervision.makespanNs", float64(bs.MakespanNs), float64(cs.MakespanNs))
+		}
+	}
 	if len(fails) > 0 {
 		return fmt.Errorf("benchgate: %d metric(s) regressed: %v", len(fails), fails)
 	}

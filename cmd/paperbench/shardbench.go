@@ -11,7 +11,9 @@ import (
 	"runtime"
 	"time"
 
+	"ghostbuster/internal/fleet"
 	"ghostbuster/internal/fleetshard"
+	"ghostbuster/internal/supervise"
 )
 
 // shardScaleResult is one shard-count entry of the scaling curve.
@@ -48,6 +50,92 @@ type megaSweepResult struct {
 	ResidentBound int     `json:"residentBound"`
 	AllocsPerHost float64 `json:"allocsPerHost"`
 	MergedDigest  string  `json:"mergedDigest"`
+}
+
+// supervisionBenchResult is the idle-supervision section: the same
+// sharded synthetic sweep run bare and with the full supervision layer
+// armed (watchdog heartbeats, hedging, jittered backoff) but never
+// firing. Supervision is wall-clock-only machinery, so the virtual
+// makespan and merged digest must be identical; the gated metrics are
+// that equality plus the supervised run's allocation cost.
+type supervisionBenchResult struct {
+	Hosts  int `json:"hosts"`
+	Shards int `json:"shards"`
+	// Wall times are informational (noisy on shared runners); the
+	// overhead ratio is printed, never gated.
+	BareWallNs       int64   `json:"bareWallNs"`
+	SupervisedWallNs int64   `json:"supervisedWallNs"`
+	WallOverhead     float64 `json:"wallOverhead"`
+	// VirtualDeltaNs is supervised makespan minus bare makespan; idle
+	// supervision must hold it at exactly zero.
+	MakespanNs     int64   `json:"makespanNs"`
+	VirtualDeltaNs int64   `json:"virtualDeltaNs"`
+	DigestMatch    bool    `json:"digestMatch"`
+	AllocsPerHost  float64 `json:"allocsPerHost"`
+}
+
+// runSupervisionBench measures what an armed-but-idle supervision layer
+// costs: heartbeat beacons, watchdog timers, and the hedge tracker all
+// run, but nothing wedges or straggles, so the sweep must be
+// byte-identical to the bare run.
+func runSupervisionBench(hosts int) (supervisionBenchResult, error) {
+	const shards = 8
+	res := supervisionBenchResult{Hosts: hosts, Shards: shards}
+	bare := fleetshard.Config{
+		Shards: shards, ShardParallelism: runtime.GOMAXPROCS(0),
+		ScanHost: fleetshard.SyntheticScan(1),
+	}
+	src := fleetshard.SyntheticSource{N: hosts}
+	run := func(cfg fleetshard.Config) (*fleetshard.Report, int64, uint64, error) {
+		coord, err := fleetshard.New(cfg, src)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		rep, err := coord.Sweep()
+		wall := int64(time.Since(start))
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if rep.Scanned != hosts {
+			return nil, 0, 0, fmt.Errorf("supervision bench scanned %d of %d hosts", rep.Scanned, hosts)
+		}
+		if err := rep.Verify(); err != nil {
+			return nil, 0, 0, fmt.Errorf("supervision bench: %w", err)
+		}
+		return rep, wall, after.Mallocs - before.Mallocs, nil
+	}
+
+	bareRep, bareWall, _, err := run(bare)
+	if err != nil {
+		return res, err
+	}
+	sup := bare
+	sup.Watchdog = supervise.Policy{Deadline: 30 * time.Second, Misses: 3}
+	sup.Hedge = &fleet.HedgePolicy{Floor: time.Hour} // armed, never triggers
+	sup.BackoffJitterSeed = 1
+	supRep, supWall, supAllocs, err := run(sup)
+	if err != nil {
+		return res, err
+	}
+
+	res.BareWallNs, res.SupervisedWallNs = bareWall, supWall
+	if bareWall > 0 {
+		res.WallOverhead = float64(supWall) / float64(bareWall)
+	}
+	res.MakespanNs = supRep.MakespanNs
+	res.VirtualDeltaNs = supRep.MakespanNs - bareRep.MakespanNs
+	res.DigestMatch = supRep.MergedDigest == bareRep.MergedDigest
+	res.AllocsPerHost = float64(supAllocs) / float64(hosts)
+	if !res.DigestMatch {
+		return res, fmt.Errorf("supervision bench: idle supervision changed the merged digest (%.12s vs %.12s)",
+			supRep.MergedDigest, bareRep.MergedDigest)
+	}
+	return res, nil
 }
 
 // shardScaleCounts is the 1→64 curve the acceptance criteria name.

@@ -46,6 +46,9 @@ type sweepBenchResult struct {
 	// Million-host simulated sweep with the bounded-memory invariant
 	// pinned (peak resident results ≤ shard parallelism × (workers+1)).
 	MegaSweep megaSweepResult `json:"megaSweep,omitempty"`
+	// Idle-supervision cost: watchdog + hedging armed but never firing
+	// must leave the virtual makespan and digest untouched.
+	Supervision *supervisionBenchResult `json:"supervision,omitempty"`
 }
 
 // fleetBenchResult times one warm fleet sweep; VirtualNs sums per-host
@@ -197,6 +200,11 @@ func runSweepBench(out string, reps, hosts, diffEntries, largeHosts, shardHosts,
 	if res.MegaSweep, err = runMegaSweep(megaHosts); err != nil {
 		return err
 	}
+	sup, err := runSupervisionBench(shardHosts)
+	if err != nil {
+		return err
+	}
+	res.Supervision = &sup
 
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -228,5 +236,9 @@ func runSweepBench(out string, reps, hosts, diffEntries, largeHosts, shardHosts,
 	fmt.Printf("  mega %d hosts / %d shards: %v wall, makespan %v (%.1fx over serial), %d infected, peak resident %d (bound %d), %.1f allocs/host\n",
 		mg.Hosts, mg.Shards, time.Duration(mg.WallNs), time.Duration(mg.MakespanNs),
 		mg.Speedup, mg.Infected, mg.PeakResident, mg.ResidentBound, mg.AllocsPerHost)
+	if s := res.Supervision; s != nil {
+		fmt.Printf("  supervision idle (%d hosts / %d shards): wall %.2fx, virtual delta %dns, digest match %v, %.1f allocs/host\n",
+			s.Hosts, s.Shards, s.WallOverhead, s.VirtualDeltaNs, s.DigestMatch, s.AllocsPerHost)
+	}
 	return nil
 }

@@ -47,6 +47,14 @@ type Detector struct {
 	// Units not yet started when the budget is exhausted are abandoned:
 	// degraded under Contain, an error otherwise.
 	Deadline time.Duration
+	// Cancel, when non-nil, is an external abort seam checked at every
+	// unit boundary: once the channel closes, units not yet started are
+	// abandoned (degraded under Contain, an error otherwise), exactly
+	// like a spent Deadline but on a wall-clock trigger. A unit already
+	// inside a wedged read is not interrupted — the watchdog layer
+	// abandons the whole scan instead, the same way an OS cannot unstick
+	// a D-state thread.
+	Cancel <-chan struct{}
 	// OnReport, when set, receives each report as soon as it is
 	// assembled. Fleet sweeps use it to retain partial results when a
 	// later unit panics or the host scan is cut short.
@@ -322,6 +330,13 @@ func ScanOrder(seed int64, n int) []int {
 // budget ran out before they started.
 var errDeadline = errors.New("core: scan deadline exceeded")
 
+// ErrCancelled marks units abandoned because the sweep's Cancel channel
+// closed before they started. Exported so the fleet layer can recognize
+// a cancellation casualty (its text survives both the fail-fast error
+// and a contained unit's DegradedUnit fault) and discard it instead of
+// committing a partial verdict.
+var ErrCancelled = errors.New("core: scan cancelled")
+
 // scanUnits builds the eight unit closures in report order, high before
 // low within each pair. Every unit interns into the shared table t
 // (resolved by the caller before any forking — the table itself is
@@ -419,6 +434,23 @@ func (d *Detector) overDeadline(clk *vtime.Clock, sweepStart time.Duration) bool
 	return d.Deadline > 0 && clk.Now()-sweepStart > d.Deadline
 }
 
+// abandonUnit reports whether the next unit should be abandoned rather
+// than started, and with which marker error: virtual-time budget spent,
+// or external cancellation.
+func (d *Detector) abandonUnit(clk *vtime.Clock, sweepStart time.Duration) error {
+	if d.overDeadline(clk, sweepStart) {
+		return errDeadline
+	}
+	if d.Cancel != nil {
+		select {
+		case <-d.Cancel:
+			return ErrCancelled
+		default:
+		}
+	}
+	return nil
+}
+
 // scanAllSequential runs the eight units in order on the machine clock.
 // Without Contain it fails fast — the first unit error aborts the sweep
 // before later units charge any time, exactly as the historical
@@ -442,8 +474,8 @@ func (d *Detector) scanAllSequential(genStart uint64, sweepStart time.Duration) 
 	perm := permBuf[:len(units)]
 	scanOrder(perm, d.OrderSeed)
 	for _, u := range perm {
-		if d.overDeadline(d.M.Clock, sweepStart) {
-			errs[u] = errDeadline
+		if abandon := d.abandonUnit(d.M.Clock, sweepStart); abandon != nil {
+			errs[u] = abandon
 		} else {
 			snaps[u], errs[u] = runUnit(unitName(specs, u), d.M.Clock, units[u])
 		}
@@ -488,8 +520,8 @@ func (d *Detector) scanAllParallel(lanes int, genStart uint64, sweepStart time.D
 			clk := region.Lane(lane)
 			for k := lane; k < len(units); k += lanes {
 				u := perm[k]
-				if d.overDeadline(clk, sweepStart) {
-					errs[u] = errDeadline
+				if abandon := d.abandonUnit(clk, sweepStart); abandon != nil {
+					errs[u] = abandon
 					continue
 				}
 				snaps[u], errs[u] = runUnit(unitName(specs, u), clk, units[u])

@@ -39,6 +39,7 @@ import (
 	"ghostbuster/internal/ghostware"
 	"ghostbuster/internal/machine"
 	"ghostbuster/internal/profile"
+	"ghostbuster/internal/supervise"
 )
 
 // Config tunes a Daemon.
@@ -73,6 +74,30 @@ type Config struct {
 	// randomness is adversarial (evasive ghostware must not predict
 	// scan times), but a fixed seed keeps tests reproducible.
 	Seed int64
+	// Watchdog, when enabled, arms heartbeat supervision on sharded
+	// sweeps: a shard missing its progress beacons is cancelled and its
+	// unfinished hosts re-homed onto surviving shards mid-sweep.
+	Watchdog supervise.Policy
+	// Hedge, when set, duplicates straggling scans in sharded sweeps.
+	// WARNING: the daemon serves its *live* registered machines to the
+	// shard coordinator, so a hedged duplicate scans the same resident
+	// machine concurrently with the straggler. That is only sound for
+	// fleets without evasive scan-watchers (concurrent scans can trip
+	// watcher state and diverge digests). Leave nil unless the fleet is
+	// known passive.
+	Hedge *fleet.HedgePolicy
+	// BackoffJitterSeed enables deterministic full jitter on shard/host
+	// retry backoff (0 keeps the legacy doubling schedule).
+	BackoffJitterSeed int64
+	// AdmitQueue bounds how many sweep-triggering API requests may wait
+	// behind the in-flight sweep; requests past the bound are shed with
+	// 429 + Retry-After instead of piling up behind the sweep mutex.
+	// Only one sweep runs at a time, so the gate has a single slot.
+	AdmitQueue int
+	// RequestDeadline caps how long a sweep request may wait in the
+	// admission queue before timing out (503). Zero waits as long as
+	// the client does.
+	RequestDeadline time.Duration
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -211,15 +236,23 @@ type Metrics struct {
 	LockedRejections int            `json:"lockedRejections"`
 	ProfileSwitches  int            `json:"profileSwitches"`
 	DroppedEvents    int            `json:"droppedEvents"`
-	Profile          string         `json:"profile"`
-	ProfileLocked    bool           `json:"profileLocked"`
-	UptimeSeconds    float64        `json:"uptimeSeconds"`
+	// Admission-gate counters for sweep-triggering requests.
+	SweepRequestsAdmitted int64   `json:"sweepRequestsAdmitted"`
+	SweepRequestsShed     int64   `json:"sweepRequestsShed"`
+	SweepRequestsTimedOut int64   `json:"sweepRequestsTimedOut"`
+	Profile               string  `json:"profile"`
+	ProfileLocked         bool    `json:"profileLocked"`
+	UptimeSeconds         float64 `json:"uptimeSeconds"`
 }
 
 // Daemon is the resident monitoring service.
 type Daemon struct {
 	cfg   Config
 	store *profile.Store
+	// admit is the overload valve for sweep-triggering API requests:
+	// one slot (sweeps are serialized anyway), a bounded wait queue,
+	// and fast 429s past the bound.
+	admit *supervise.Admission
 
 	mu     sync.Mutex
 	hosts  map[string]*host
@@ -277,6 +310,7 @@ func New(cfg Config) (*Daemon, error) {
 	d := &Daemon{
 		cfg:     cfg,
 		store:   profile.NewStore(cfg.ProfileDir),
+		admit:   supervise.NewAdmission(1, cfg.AdmitQueue),
 		hosts:   map[string]*host{},
 		subs:    map[chan Event]struct{}{},
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
@@ -685,7 +719,31 @@ func (d *Daemon) Snapshot() Metrics {
 		m.CacheHits += s.Hits
 		m.CacheMisses += s.Misses
 	}
+	as := d.admit.Stats()
+	m.SweepRequestsAdmitted, m.SweepRequestsShed, m.SweepRequestsTimedOut =
+		as.Admitted, as.Shed, as.TimedOut
 	return m
+}
+
+// Readiness is the /v1/readyz snapshot: Live while the process serves
+// requests at all, Ready while the admission gate accepts new sweep
+// work, Draining once shutdown has begun.
+type Readiness struct {
+	Live     bool `json:"live"`
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+}
+
+// Readiness reports the daemon's admission state.
+func (d *Daemon) Readiness() Readiness {
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	return Readiness{
+		Live:     !closed,
+		Ready:    !closed && d.admit.Ready(),
+		Draining: d.admit.Draining(),
+	}
 }
 
 // --- lifecycle ------------------------------------------------------------
@@ -706,10 +764,12 @@ func (d *Daemon) Start() ([]SweepInfo, error) {
 	return resumed, nil
 }
 
-// Shutdown drains gracefully: the scheduler stops, the in-flight sweep
-// (if any) completes and seals its journal, and every subscriber
-// stream is closed. Idempotent.
+// Shutdown drains gracefully: new sweep requests are refused (503 via
+// the admission gate), the scheduler stops, the in-flight sweep (if
+// any) completes and seals its journal, and every subscriber stream is
+// closed. Idempotent.
 func (d *Daemon) Shutdown() {
+	d.admit.Drain()
 	d.stopOnce.Do(func() { close(d.stopc) })
 	d.wg.Wait()
 	// Drain a manual (API-triggered) sweep still in flight.

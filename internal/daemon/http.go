@@ -1,12 +1,17 @@
 // The JSON/HTTP control-plane API. Routes (Go 1.22 method+path mux):
 //
 //	GET    /v1/healthz        liveness + active profile
+//	GET    /v1/readyz         admission state: live/ready/draining
+//	                          (503 once draining — load balancers stop
+//	                          routing before shutdown completes)
 //	GET    /v1/metrics        counters snapshot
 //	GET    /v1/hosts          registered hosts with delta/interval state
 //	POST   /v1/hosts          register {name, seed, diskUsedGB, infect}
 //	DELETE /v1/hosts/{name}   deregister
 //	GET    /v1/sweeps         sweep history
 //	POST   /v1/sweeps         trigger a manual sweep of the whole fleet
+//	                          (admission-gated: 429 + Retry-After when
+//	                          the bounded queue is full, 503 draining)
 //	GET    /v1/results        live result stream (SSE); ?replay=1 first
 //	                          replays the retained event ring
 //	GET    /v1/profile        active profile + diagnostics
@@ -19,19 +24,28 @@
 package daemon
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"ghostbuster/internal/profile"
+	"ghostbuster/internal/supervise"
 )
+
+// maxBodyBytes caps JSON POST bodies: a host spec or profile document
+// is a few KB; anything near a megabyte is abuse or an accident.
+const maxBodyBytes = 1 << 20
 
 // Handler returns the daemon's HTTP API.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", d.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", d.handleReadyz)
 	mux.HandleFunc("GET /v1/metrics", d.handleMetrics)
 	mux.HandleFunc("GET /v1/hosts", d.handleHostsGet)
 	mux.HandleFunc("POST /v1/hosts", d.handleHostsPost)
@@ -79,6 +93,18 @@ func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is the load-balancer contract: 200 while the admission
+// gate accepts sweep work, 503 once saturated or draining — traffic
+// stops routing here before shutdown completes.
+func (d *Daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rd := d.Readiness()
+	status := http.StatusOK
+	if !rd.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rd)
+}
+
 func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, d.Snapshot())
 }
@@ -89,7 +115,7 @@ func (d *Daemon) handleHostsGet(w http.ResponseWriter, r *http.Request) {
 
 func (d *Daemon) handleHostsPost(w http.ResponseWriter, r *http.Request) {
 	var spec HostSpec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("daemon: bad host spec: %w", err))
@@ -115,7 +141,37 @@ func (d *Daemon) handleSweepsGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, d.Sweeps())
 }
 
+// handleSweepsPost runs a manual sweep through the admission gate:
+// one sweep runs at a time, a bounded queue waits behind it, and
+// overflow is shed immediately — 429 with a Retry-After estimate when
+// saturated, 503 while draining, 503 when the per-request deadline
+// expires in the queue. Degrading into fast rejections (instead of an
+// unbounded goroutine pileup behind the sweep mutex) is the overload
+// contract.
 func (d *Daemon) handleSweepsPost(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if d.cfg.RequestDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.cfg.RequestDeadline)
+		defer cancel()
+	}
+	release, err := d.admit.Acquire(ctx)
+	if err != nil {
+		retry := strconv.Itoa(int(d.admit.RetryAfter() / time.Second))
+		switch {
+		case errors.Is(err, supervise.ErrSaturated):
+			w.Header().Set("Retry-After", retry)
+			writeErr(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, supervise.ErrDraining):
+			writeErr(w, http.StatusServiceUnavailable, err)
+		default: // deadline or client disconnect while queued
+			w.Header().Set("Retry-After", retry)
+			writeErr(w, http.StatusServiceUnavailable,
+				fmt.Errorf("daemon: sweep request expired in admission queue: %w", err))
+		}
+		return
+	}
+	defer release()
 	info, err := d.SweepNow()
 	if err != nil {
 		status := http.StatusBadRequest
@@ -141,6 +197,11 @@ func (d *Daemon) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 	ch, cancel := d.Subscribe()
 	defer cancel()
+
+	// The stream is long-lived by design: lift the server's WriteTimeout
+	// for this response only, so ghostbusterd can keep a strict deadline
+	// on every other route.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -196,7 +257,7 @@ type profileRequest struct {
 
 func (d *Daemon) handleProfilePost(w http.ResponseWriter, r *http.Request) {
 	var req profileRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("daemon: bad profile request: %w", err))

@@ -244,7 +244,13 @@ func (d *Daemon) shardConfig(id int, prof profile.Profile, info *SweepInfo) flee
 		BreakerThreshold:          prof.BreakerThreshold,
 		AbortAfterFailureFraction: prof.AbortAfterFailureFraction,
 		ConfigureDetector:         prof.ConfigureDetector,
-		OnResult:                  func(_ int, res fleet.HostResult) { sink(res) },
+		// Supervision knobs pass through verbatim; see the Config doc
+		// comments (Hedge in particular duplicates scans of the same
+		// resident machine).
+		Watchdog:          d.cfg.Watchdog,
+		Hedge:             d.cfg.Hedge,
+		BackoffJitterSeed: d.cfg.BackoffJitterSeed,
+		OnResult:          func(_ int, res fleet.HostResult) { sink(res) },
 	}
 }
 

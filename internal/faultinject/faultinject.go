@@ -51,19 +51,24 @@ const (
 	// magic, out-of-bounds root cell, wild kernel pointer) rather than
 	// content, so parsers fail instead of reading wrong values.
 	KindFlip Kind = "flip"
-	// KindLag injects a latency spike: the access succeeds but charges a
-	// large burst of virtual time (API source only).
+	// KindLag injects a latency spike. On the API source the access
+	// succeeds but charges a large burst of virtual time. On the disk
+	// source it is a *wall-clock* stall seam instead: device reads have
+	// no reachable lane clock, so the read blocks in the injector's
+	// stall gate (see Injector.SetStall) the way a dying spindle or a
+	// wedged fsync blocks a real scanner — which is exactly what the
+	// supervision watchdogs exist to detect.
 	KindLag Kind = "lag"
 	// KindMut mutates the filesystem mid-scan — a file appears between
 	// the high-level walk and the raw MFT pass (disk source only).
 	KindMut Kind = "mut"
 )
 
-// allowedKinds is the per-source fault matrix. Disk has no lag fault
-// (device reads have no reachable lane clock) and only disk supports
-// mid-scan mutation.
+// allowedKinds is the per-source fault matrix. Only disk supports
+// mid-scan mutation; disk lag is the wall-clock stall seam (no virtual
+// charge — device reads have no reachable lane clock).
 var allowedKinds = map[Source]map[Kind]bool{
-	SourceDisk:      {KindErr: true, KindTorn: true, KindFlip: true, KindMut: true},
+	SourceDisk:      {KindErr: true, KindTorn: true, KindFlip: true, KindMut: true, KindLag: true},
 	SourceHive:      {KindErr: true, KindTorn: true, KindFlip: true},
 	SourceKmem:      {KindErr: true, KindTorn: true, KindFlip: true},
 	SourceAPI:       {KindErr: true, KindLag: true},

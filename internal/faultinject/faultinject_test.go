@@ -94,7 +94,7 @@ func TestValidateEnforcesMatrix(t *testing.T) {
 		}
 	}
 	for _, f := range []Fault{
-		{SourceDisk, KindLag, 1, 1},
+		{SourceRemovable, KindMut, 1, 1},
 		{SourceHive, KindMut, 1, 1},
 		{SourceKmem, KindLag, 1, 1},
 		{SourceAPI, KindTorn, 1, 1},

@@ -38,6 +38,7 @@ type Injector struct {
 	pending    *pendingDisk   // disk corruption chosen in BeforeRead, applied in CorruptImage
 	pendingRem *pendingDisk   // same, for the removable volume's reads
 	armed      bool
+	stall      func(Source)   // wall-clock stall gate for disk KindLag fires
 
 	epoch atomic.Uint64
 }
@@ -127,6 +128,17 @@ func (i *Injector) Reset() {
 	i.pendingRem = nil
 }
 
+// SetStall installs the wall-clock stall gate invoked (outside the
+// injector lock) when a disk KindLag fault fires. Supervision chaos
+// tests hand in a closure that blocks on a channel until released —
+// a deterministic stand-in for a wedged device read. A nil gate makes
+// disk lag fires no-ops beyond the fire log and epoch.
+func (i *Injector) SetStall(fn func(Source)) {
+	i.mu.Lock()
+	i.stall = fn
+	i.mu.Unlock()
+}
+
 // Epoch returns a counter that advances on every fired fault. Cache
 // layers compare epochs around a parse: a change means the parse may
 // have consumed damaged bytes and must not be memoized.
@@ -205,11 +217,21 @@ func (d *diskFault) BeforeRead(op string) error {
 	if ok && (f.Kind == KindTorn || f.Kind == KindFlip) {
 		i.pending = &pendingDisk{fault: f, n: n}
 	}
+	stall := i.stall
 	i.mu.Unlock()
 	if !ok {
 		return nil
 	}
 	switch f.Kind {
+	case KindLag:
+		// Wall-clock stall: block in the gate (outside the injector lock
+		// so other sources keep firing) and then let the read succeed.
+		// No virtual charge — the point is that virtual time STOPS while
+		// real time runs on, which is what the watchdogs key on.
+		if stall != nil {
+			stall(SourceDisk)
+		}
+		return nil
 	case KindErr:
 		return fmt.Errorf("%w: device read error on %s access %d", ErrInjected, op, n)
 	case KindMut:

@@ -18,10 +18,12 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"ghostbuster/internal/core"
+	"ghostbuster/internal/faultinject"
 	"ghostbuster/internal/machine"
 	"ghostbuster/internal/winpe"
 )
@@ -169,6 +171,26 @@ type Manager struct {
 	// sweeps pin in tests and benchmarks. A fleetshard coordinator
 	// shares one gauge across every shard manager it drives.
 	Resident *ResidentGauge
+	// Cancel, when non-nil, aborts a streaming sweep from outside once
+	// the channel closes: no new hosts are issued, in-flight scans are
+	// abandoned (their results discarded, never journaled), and the
+	// sweep returns a partial summary marked Interrupted with the
+	// journal sealed at the last committed record. This is the seam the
+	// fleetshard watchdog cancels a wedged shard through.
+	Cancel <-chan struct{}
+	// Hedge, when set, enables straggler hedging in streaming sweeps: a
+	// host scan that outlives the policy threshold gets a duplicate scan
+	// on a clone of the host, and the first result to seal wins. See
+	// HedgePolicy for the digest-equality rules.
+	Hedge *HedgePolicy
+	// BackoffJitterSeed, when nonzero, applies deterministic full jitter
+	// to every retry backoff wait: the wait becomes a splitmix64-seeded
+	// uniform sample in [1, backoff] (per host and attempt), so a fleet
+	// of hosts that all failed together does not retry in lockstep. The
+	// doubling-and-saturating schedule still bounds every wait. Zero is
+	// the explicit zero-jitter mode: waits are the exact NextBackoff
+	// schedule, as before.
+	BackoffJitterSeed int64
 }
 
 // defaultRetryBackoff is the initial retry wait when RetryBackoff is 0.
@@ -197,6 +219,33 @@ func NextBackoff(cur time.Duration) time.Duration {
 
 // nextBackoff is the package-internal alias retained for the retry loop.
 func nextBackoff(cur time.Duration) time.Duration { return NextBackoff(cur) }
+
+// JitteredBackoff maps a deterministic backoff wait to its full-jitter
+// form: a uniform sample in [1, cur] drawn from the shared splitmix64
+// mixer over (seed, tags). The doubling schedule (NextBackoff) still
+// governs the *ceiling*, so the cap is preserved — jitter only spreads
+// waits below it, which is what breaks retry thundering herds. Seed 0
+// is the explicit zero-jitter mode and returns cur unchanged.
+func JitteredBackoff(cur time.Duration, seed int64, tags ...uint64) time.Duration {
+	if cur > maxRetryBackoff {
+		cur = maxRetryBackoff
+	}
+	if seed == 0 || cur <= 1 {
+		return cur
+	}
+	return 1 + time.Duration(faultinject.Mix(seed, tags...)%uint64(cur))
+}
+
+// backoffTag folds a host name into a mixer discriminator so two hosts
+// retrying after the same failure wave jitter independently.
+func backoffTag(name string) uint64 {
+	var h uint64 = 14695981039346656037 // FNV-1a
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
 
 // NewManager returns an empty fleet.
 func NewManager() *Manager { return &Manager{} }
@@ -334,7 +383,55 @@ func (mgr *Manager) scanHost(h *Host, kind SweepKind) HostResult {
 	if err := h.materialize(); err != nil {
 		return HostResult{Host: h.Name, Kind: kind, Err: err.Error()}
 	}
-	return h.scanOnce(kind, mgr.HostParallelism, mgr.HostDeadline, mgr.ConfigureDetector)
+	configure := mgr.ConfigureDetector
+	if mgr.Cancel != nil {
+		// Thread the sweep's cancel seam into the detector: a cancelled
+		// in-flight scan abandons its remaining units at the next unit
+		// boundary instead of running the sweep to completion.
+		cancel, inner := mgr.Cancel, configure
+		configure = func(d *core.Detector) {
+			d.Cancel = cancel
+			if inner != nil {
+				inner(d)
+			}
+		}
+	}
+	return h.scanOnce(kind, mgr.HostParallelism, mgr.HostDeadline, configure)
+}
+
+// cancelFired reports whether the sweep's Cancel channel has closed.
+func (mgr *Manager) cancelFired() bool {
+	if mgr.Cancel == nil {
+		return false
+	}
+	select {
+	case <-mgr.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// resultCancelled reports whether a host result is a cancellation
+// casualty: a scan that abandoned units because Manager.Cancel closed
+// mid-flight. The detector's ErrCancelled text survives both the
+// fail-fast error and a contained unit's DegradedUnit fault, so either
+// surface marks the result partial by construction — the collector
+// discards it rather than committing a weaker verdict than the host
+// would earn from a full scan.
+func resultCancelled(res *HostResult) bool {
+	marker := core.ErrCancelled.Error()
+	if strings.Contains(res.Err, marker) {
+		return true
+	}
+	for _, r := range res.Reports {
+		for _, du := range r.DegradedUnits {
+			if strings.Contains(du.Fault, marker) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // runHost scans one host with bounded retry: a failed or degraded
@@ -366,6 +463,12 @@ func (mgr *Manager) runHostFrom(h *Host, kind SweepKind, priorAttempts, priorFai
 			onAttempt(attempt)
 		}
 		res := mgr.scanHost(h, kind)
+		if resultCancelled(&res) {
+			// The sweep is being torn down; retrying would spin against
+			// the closed channel. Return the casualty as-is — the
+			// collector discards it and the host stays unfinished.
+			return res
+		}
 		if res.Err != "" {
 			consecFailed++
 		} else {
@@ -383,9 +486,13 @@ func (mgr *Manager) runHostFrom(h *Host, kind SweepKind, priorAttempts, priorFai
 			}
 			return res
 		}
-		retryNs += res.Elapsed + backoff
+		wait := backoff
+		if mgr.BackoffJitterSeed != 0 {
+			wait = JitteredBackoff(backoff, mgr.BackoffJitterSeed, backoffTag(h.Name), uint64(attempt))
+		}
+		retryNs += res.Elapsed + wait
 		if h.M != nil { // synthetic hosts have no machine clock to wait on
-			h.M.Clock.Advance(backoff)
+			h.M.Clock.Advance(wait)
 		}
 		backoff = nextBackoff(backoff)
 	}

@@ -71,6 +71,18 @@ type SweepSummary struct {
 	NotScanned  int    `json:"notScanned,omitempty"`
 	Aborted     bool   `json:"aborted,omitempty"`
 	AbortReason string `json:"abortReason,omitempty"`
+	// Interrupted marks a sweep cut short through Manager.Cancel: the
+	// journal is sealed at the last committed record and NotScanned
+	// counts the abandoned hosts. Provenance (like Replayed), excluded
+	// from the digest — a wedged shard's committed work must merge into
+	// the same cross-shard digest an uninterrupted run produces.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Hedged counts duplicate scans launched for stragglers; HedgeWins
+	// how many of those beat the primary. Provenance, excluded from the
+	// digest: hedging may only change who computed a result, never the
+	// result.
+	Hedged    int64 `json:"hedged,omitempty"`
+	HedgeWins int64 `json:"hedgeWins,omitempty"`
 	// VirtualNs sums every host's Elapsed + RetryNs: the shard's total
 	// virtual scan cost. A shard models one sweeper process scanning
 	// its hosts, so this is also the shard's virtual makespan.
@@ -179,6 +191,11 @@ func (s *SweepSummary) Merge(o *SweepSummary) {
 			s.AbortReason = o.AbortReason
 		}
 	}
+	if o.Interrupted {
+		s.Interrupted = true
+	}
+	s.Hedged += o.Hedged
+	s.HedgeWins += o.HedgeWins
 	s.VirtualNs += o.VirtualNs
 	if o.PeakResident > s.PeakResident {
 		s.PeakResident = o.PeakResident
@@ -292,11 +309,21 @@ func (mgr *Manager) sweepStream(kind SweepKind, workers int, j *journal.Journal,
 		}
 	}
 
+	hg := newHedger(mgr.Hedge)
 	scan := func(h *Host) HostResult {
 		gauge.Inc() // raised for the whole in-flight window, dec'd after fold
 		var prior hostReplay
 		if hr := replay[h.Name]; hr != nil {
 			prior = *hr
+		}
+		if hg != nil && mgr.hedgeable(h) {
+			// Hedge-capable hosts journal no attempt records; see the
+			// dedupe rules in hedge.go.
+			return hg.hedgedRun(h, func(hh *Host) HostResult {
+				r := mgr.runHostFrom(hh, kind, prior.attempts, prior.dangling, nil)
+				hh.release()
+				return r
+			})
 		}
 		res := mgr.runHostFrom(h, kind, prior.attempts, prior.dangling, func(attempt int) {
 			append_(journal.Record{State: journal.StateRunning, Host: h.Name, Attempt: attempt})
@@ -305,8 +332,42 @@ func (mgr *Manager) sweepStream(kind SweepKind, workers int, j *journal.Journal,
 		return res
 	}
 
-	for ir := range mgr.scheduleHosts(workers, toRun, stop, scan) {
+	results := mgr.scheduleHosts(workers, toRun, stop, scan)
+collect:
+	for {
+		var ir indexedResult
+		var ok bool
+		// A nil Cancel channel never fires; the select degenerates to a
+		// plain receive.
+		select {
+		case <-mgr.Cancel:
+			// Wedged-shard abandonment: stop issuing hosts, discard any
+			// results still in flight (they were never journaled or
+			// folded, so the committed set stays exactly the journal's),
+			// and return the partial summary. Terminal records are only
+			// ever appended by this loop, so breaking out of it IS the
+			// seal at the last committed record.
+			sum.Interrupted = true
+			stopOnce.Do(func() { close(stop) })
+			go func() {
+				for range results {
+				}
+			}()
+			break collect
+		case ir, ok = <-results:
+			if !ok {
+				break collect
+			}
+		}
 		res := ir.r
+		if mgr.cancelFired() && resultCancelled(&res) {
+			// A scan the cancellation caught mid-flight: partial by
+			// construction, never committed. The host stays unfinished
+			// (its journal record, if any, is a dangling attempt) and is
+			// re-scanned in full by whoever adopts it.
+			gauge.Dec()
+			continue
+		}
 		if res.Kind == "" {
 			res.Kind = kind // panic-captured results carry only Host and Err
 		}
@@ -345,8 +406,51 @@ func (mgr *Manager) sweepStream(kind SweepKind, workers int, j *journal.Journal,
 	if appendErr != nil {
 		return nil, appendErr
 	}
+	if hg != nil {
+		sum.Hedged = hg.hedged.Load()
+		sum.HedgeWins = hg.wins.Load()
+	}
 	sum.NotScanned = total - sum.Scanned
 	sum.PeakResident = gauge.Peak()
+	sum.Seal()
+	return sum, nil
+}
+
+// ReplayStream folds a sealed (possibly partial) journal's committed
+// results without re-running anything. This is how a coordinator
+// resuming after a crash accounts for a shard that had already been
+// declared wedged: its journal is replay-only — the unfinished hosts
+// belong to the survivors that adopted them, so re-scanning them here
+// would commit them twice. The manager must enroll the shard's full
+// original assignment (the journal header is validated against it);
+// the summary comes back Interrupted with NotScanned counting the
+// adopted hosts.
+func (mgr *Manager) ReplayStream(kind SweepKind, path string, sink func(HostResult)) (*SweepSummary, error) {
+	j, rec, err := journal.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	replay, err := mgr.analyzeJournal(kind, rec.Records)
+	if err != nil {
+		return nil, err
+	}
+	mgr.ensureSorted()
+	sum := &SweepSummary{Kind: kind, Hosts: len(mgr.hosts), Interrupted: true}
+	for _, h := range mgr.hosts {
+		hr := replay[h.Name]
+		if hr == nil || hr.committed == nil {
+			continue
+		}
+		res := *hr.committed
+		hr.committed = nil
+		sum.Replayed++
+		sum.fold(res)
+		if sink != nil {
+			sink(res)
+		}
+	}
+	sum.NotScanned = len(mgr.hosts) - sum.Scanned
 	sum.Seal()
 	return sum, nil
 }

@@ -16,12 +16,15 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"ghostbuster/internal/core"
 	"ghostbuster/internal/fleet"
+	"ghostbuster/internal/journal"
 	"ghostbuster/internal/machine"
+	"ghostbuster/internal/supervise"
 )
 
 // HostSource names and (lazily) builds the fleet's hosts. Sources must
@@ -100,6 +103,24 @@ type Config struct {
 	// Resident, when set, is the shared bounded-memory gauge; the
 	// coordinator creates one per run otherwise.
 	Resident *fleet.ResidentGauge
+
+	// Watchdog, when enabled (nonzero Deadline), supervises every shard
+	// job with progress beacons: each committed host result beats the
+	// job's watch, and a job silent past Deadline × Misses of wall time
+	// is declared wedged — its shard manager is cancelled (journal
+	// sealed at the last committed record) and its unfinished hosts are
+	// re-hashed onto the surviving shards mid-sweep. The final
+	// MergedDigest equals the uninterrupted run's. Tune Deadline well
+	// above the slowest single host scan's wall time: beacons only fire
+	// when a host commits.
+	Watchdog supervise.Policy
+	// Hedge enables straggler hedging inside every shard manager (see
+	// fleet.HedgePolicy).
+	Hedge *fleet.HedgePolicy
+	// BackoffJitterSeed applies deterministic full jitter to host- and
+	// shard-level retry backoff waits (see fleet.JitteredBackoff). Zero
+	// keeps the exact doubling schedule.
+	BackoffJitterSeed int64
 }
 
 // defaultShardRetryBackoff mirrors the fleet manager's default.
@@ -136,6 +157,15 @@ type ShardResult struct {
 	Lost bool `json:"lost,omitempty"`
 	// Resumed marks a shard that replayed its own journal.
 	Resumed bool `json:"resumed,omitempty"`
+	// Wedged marks a shard job the watchdog cancelled mid-sweep: its
+	// journal is sealed at the last committed record and its unfinished
+	// hosts were re-hashed onto survivors in flight. Provenance,
+	// excluded from the merged digest.
+	Wedged bool `json:"wedged,omitempty"`
+	// Failover marks a row created by mid-sweep wedge failover: the
+	// shard adopting another's unfinished hosts while the sweep was
+	// still running.
+	Failover bool `json:"failover,omitempty"`
 	// Quarantined marks a shard whose circuit breaker opened.
 	Quarantined bool   `json:"quarantined,omitempty"`
 	Err         string `json:"error,omitempty"`
@@ -235,6 +265,11 @@ type shardTask struct {
 	indices []int
 	path    string // "" = unjournaled
 	resume  bool
+	// replayOnly folds the journal's committed results without running
+	// anything: how a resume accounts for a journal whose owner was
+	// declared wedged — the unfinished hosts belong to the shards that
+	// adopted them, so re-scanning them here would commit them twice.
+	replayOnly bool
 }
 
 // shardJob is everything one shard must sweep this run.
@@ -262,6 +297,31 @@ func recoveryJournalPath(dir string, shard int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%03d.recover.gbj", shard))
 }
 
+// failoverJournalPath is the n-th recovery journal for a shard: wedge
+// failover can hand one adopter several distinct host sets over a run's
+// lifetime (and a later resume may add more), and each needs its own
+// journal so analyzeJournal's exact-host-set check keeps holding.
+func failoverJournalPath(dir string, shard, n int) string {
+	if n == 0 {
+		return recoveryJournalPath(dir, shard)
+	}
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.recover-%d.gbj", shard, n+1))
+}
+
+// wedgeMarkerPath is the sidecar recording a journal's wedge: written
+// before any failover job is enqueued, so a crash mid-failover can
+// reconstruct which hosts left the journal's ownership. The suffix is
+// not .gbj, so VerifyJournals' glob never reads markers as journals.
+func wedgeMarkerPath(journalPath string) string { return journalPath + ".wedged" }
+
+// wedgeMarker is the marker's JSON body.
+type wedgeMarker struct {
+	Shard int `json:"shard"`
+	// Unfinished lists the hosts that had no terminal record when the
+	// watchdog fired — the ones adopted by survivors.
+	Unfinished []string `json:"unfinished"`
+}
+
 // Sweep runs a fresh sharded sweep.
 func (c *Coordinator) Sweep() (*Report, error) {
 	dir := c.cfg.JournalDir
@@ -279,16 +339,19 @@ func (c *Coordinator) Sweep() (*Report, error) {
 		}
 		jobs = append(jobs, shardJob{shard: s, tasks: []shardTask{{indices: parts[s], path: path}}})
 	}
-	return c.run(jobs, nil)
+	return c.run(jobs, nil, nil)
 }
 
 // Resume continues an interrupted sharded sweep from JournalDir.
 // Shards whose journal survived replay it; shards whose journal is gone
 // are lost — their hosts are re-hashed across the surviving shards
 // (consistent hashing keeps every surviving assignment in place) and
-// re-run under recovery journals. Committed results are never
-// re-scanned, and the merged digest of a completed resume equals the
-// uninterrupted run's.
+// re-run under recovery journals. Shards a watchdog had declared wedged
+// before the crash (wedge marker present) are replay-only: their
+// journals' committed results are folded without re-scanning, and the
+// marker's unfinished hosts re-hash exactly as the live failover did.
+// Committed results are never re-scanned, and the merged digest of a
+// completed resume equals the uninterrupted run's.
 func (c *Coordinator) Resume() (*Report, error) {
 	dir := c.cfg.JournalDir
 	if dir == "" {
@@ -311,52 +374,343 @@ func (c *Coordinator) Resume() (*Report, error) {
 		return c.Sweep()
 	}
 
-	parts := c.partition(c.ring)
-	jobs := make([]shardJob, 0, c.cfg.Shards)
-	if len(lost) == 0 {
-		for s := 0; s < c.cfg.Shards; s++ {
-			jobs = append(jobs, shardJob{shard: s, tasks: []shardTask{
-				{indices: parts[s], path: shardJournalPath(dir, s), resume: true},
-			}})
-		}
-		return c.run(jobs, nil)
-	}
-
-	survivorRing, err := c.ring.Without(lost)
+	// Wedge markers: journals whose owner was cancelled mid-sweep before
+	// the crash. A marker whose journal is itself gone is stale — the
+	// shard is simply lost and its whole assignment re-hashes.
+	markers, err := readWedgeMarkers(dir)
 	if err != nil {
 		return nil, err
 	}
-	// Adopted assignment: deterministic given the lost set, so a resume
-	// of a resume recovers the same recovery journals.
+	unavailable := map[int]bool{}
+	for s := range lost {
+		unavailable[s] = true
+	}
+	for path, m := range markers {
+		if _, err := os.Stat(path); err != nil {
+			delete(markers, path)
+			continue
+		}
+		if lost[m.Shard] {
+			delete(markers, path)
+			continue
+		}
+		unavailable[m.Shard] = true
+	}
+
+	parts := c.partition(c.ring)
+	nameIdx := make(map[string]int, c.src.Len())
+	for i, n := 0, c.src.Len(); i < n; i++ {
+		nameIdx[c.src.Name(i)] = i
+	}
+	if len(unavailable) == 0 {
+		jobs := make([]shardJob, 0, c.cfg.Shards)
+		for s := 0; s < c.cfg.Shards; s++ {
+			job := shardJob{shard: s, tasks: []shardTask{
+				{indices: parts[s], path: shardJournalPath(dir, s), resume: true},
+			}}
+			if err := c.appendRecoveryTasks(&job, dir, markers, nil, nameIdx); err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, job)
+		}
+		return c.run(jobs, nil, nil)
+	}
+
+	survivorRing, err := c.ring.Without(unavailable)
+	if err != nil {
+		return nil, err
+	}
+	committed, err := journalCommittedHosts(dir)
+	if err != nil {
+		return nil, err
+	}
+	// The adoption pool: every host needing a (re)scan — lost shards'
+	// full assignments plus every marker's unfinished hosts. A host can
+	// reach the pool through several routes (unfinished when its owner
+	// wedged, then again when its adopter wedged), so entries dedupe; a
+	// pooled host already committed in some sealed journal folds from
+	// there instead, and one uncommitted but owned by a survivor's
+	// recovery journal is claimed back by that journal's resume task
+	// (appendRecoveryTasks marks it covered). Assignment over the final
+	// unavailable set is deterministic, and consistent-hash monotonicity
+	// makes it agree with whatever per-wedge-event assignments the live
+	// run already journaled.
 	adopted := map[int][]int{}
+	pooled := map[int]bool{}
+	assign := func(i int) {
+		if pooled[i] {
+			return
+		}
+		pooled[i] = true
+		name := c.src.Name(i)
+		if committed[name] {
+			return
+		}
+		a := survivorRing.Assign(name)
+		adopted[a] = append(adopted[a], i)
+	}
 	for s := range lost {
 		for _, i := range parts[s] {
-			a := survivorRing.Assign(c.src.Name(i))
-			adopted[a] = append(adopted[a], i)
+			assign(i)
 		}
 	}
+	for _, m := range markers {
+		for _, name := range m.Unfinished {
+			i, ok := nameIdx[name]
+			if !ok {
+				return nil, fmt.Errorf("fleetshard: wedge marker for shard %d names unknown host %q", m.Shard, name)
+			}
+			assign(i)
+		}
+	}
+
+	jobs := make([]shardJob, 0, c.cfg.Shards)
 	for s := 0; s < c.cfg.Shards; s++ {
 		if lost[s] {
 			continue
 		}
-		job := shardJob{shard: s, tasks: []shardTask{
-			{indices: parts[s], path: shardJournalPath(dir, s), resume: true},
-		}}
-		if ad := adopted[s]; len(ad) > 0 {
-			rp := recoveryJournalPath(dir, s)
-			_, statErr := os.Stat(rp)
-			job.tasks = append(job.tasks, shardTask{indices: ad, path: rp, resume: statErr == nil})
-			job.adopted = len(ad)
+		primary := shardTask{indices: parts[s], path: shardJournalPath(dir, s), resume: true}
+		if _, wedged := markers[primary.path]; wedged {
+			primary.replayOnly = true
+		}
+		job := shardJob{shard: s, tasks: []shardTask{primary}}
+		if err := c.appendRecoveryTasks(&job, dir, markers, adopted[s], nameIdx); err != nil {
+			return nil, err
 		}
 		jobs = append(jobs, job)
 	}
-	return c.run(jobs, lostIDs)
+	return c.run(jobs, lostIDs, unavailable)
 }
 
-// run executes the shard jobs with bounded shard parallelism, shard
-// retry/breaker, the fleet-of-fleets error budget, and streaming
-// aggregation, then seals the merged report.
-func (c *Coordinator) run(jobs []shardJob, lostIDs []int) (*Report, error) {
+// journalCommittedHosts scans every journal under dir for terminal
+// records and returns the committed host set — the hosts Resume must
+// never hand to a fresh recovery task, whatever markers claim.
+func journalCommittedHosts(dir string) (map[string]bool, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.gbj"))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	for _, p := range paths {
+		recs, _, err := journal.Read(p)
+		if err != nil {
+			continue // husk or torn head: nothing committed in it
+		}
+		for _, rec := range recs {
+			if rec.State.Terminal() {
+				out[rec.Host] = true
+			}
+		}
+	}
+	return out, nil
+}
+
+// readWedgeMarkers loads every wedge marker under dir, keyed by the
+// journal path it marks.
+func readWedgeMarkers(dir string) (map[string]wedgeMarker, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.gbj.wedged"))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]wedgeMarker, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("fleetshard: reading wedge marker %s: %w", filepath.Base(p), err)
+		}
+		var m wedgeMarker
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("fleetshard: wedge marker %s unparseable: %w", filepath.Base(p), err)
+		}
+		out[strings.TrimSuffix(p, ".wedged")] = m
+	}
+	return out, nil
+}
+
+// appendRecoveryTasks rebuilds a shard's recovery work at resume time:
+// every existing recovery journal becomes its own task (host set read
+// from the journal header — the set the live run assigned it), and
+// adopted hosts not yet covered by one get a fresh recovery journal.
+// A headerless husk (the shard died before its recovery journal's
+// header committed) is reused for the fresh task, or removed: nothing
+// in it is trusted or replayable, and leaving it would trip
+// VerifyJournals after the sweep completes.
+func (c *Coordinator) appendRecoveryTasks(job *shardJob, dir string, markers map[string]wedgeMarker, adoptedIdx []int, nameIdx map[string]int) error {
+	paths, err := filepath.Glob(filepath.Join(dir, fmt.Sprintf("shard-%03d.recover*.gbj", job.shard)))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	covered := map[string]bool{}
+	var husks []string
+	for _, p := range paths {
+		names, readable := journalHeaderHosts(p)
+		if !readable {
+			husks = append(husks, p)
+			continue
+		}
+		var indices []int
+		for _, name := range names {
+			i, ok := nameIdx[name]
+			if !ok {
+				return fmt.Errorf("fleetshard: recovery journal %s names unknown host %q", filepath.Base(p), name)
+			}
+			indices = append(indices, i)
+			covered[name] = true
+		}
+		t := shardTask{indices: indices, path: p, resume: true}
+		if _, wedged := markers[p]; wedged {
+			t.replayOnly = true
+		}
+		job.tasks = append(job.tasks, t)
+		job.adopted += len(indices)
+	}
+	var fresh []int
+	for _, i := range adoptedIdx {
+		if !covered[c.src.Name(i)] {
+			fresh = append(fresh, i)
+		}
+	}
+	if len(fresh) > 0 {
+		path := ""
+		if len(husks) > 0 {
+			path, husks = husks[0], husks[1:]
+		} else {
+			for n := 0; ; n++ {
+				p := failoverJournalPath(dir, job.shard, n)
+				if _, err := os.Stat(p); err != nil {
+					path = p
+					break
+				}
+			}
+		}
+		job.tasks = append(job.tasks, shardTask{indices: fresh, path: path})
+		job.adopted += len(fresh)
+	}
+	for _, husk := range husks {
+		if err := os.Remove(husk); err != nil {
+			return fmt.Errorf("fleetshard: removing headerless recovery journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// journalHeaderHosts reads a journal's header host list; readable is
+// false for husks that never committed a header.
+func journalHeaderHosts(path string) (names []string, readable bool) {
+	recs, _, err := journal.Read(path)
+	if err != nil || len(recs) == 0 || recs[0].State != journal.StateSweep {
+		return nil, false
+	}
+	return recs[0].Hosts, true
+}
+
+// liveJob is a shardJob in flight: its report row, the hosts it has
+// committed terminal results for (fed by the manager sink), and the
+// failover generation it belongs to. Rows are pointers so failover can
+// add rows while earlier ones are still being filled in.
+type liveJob struct {
+	job shardJob
+	row *ShardResult
+	seq int
+
+	mu        sync.Mutex
+	committed map[string]bool
+}
+
+func (lj *liveJob) commit(name string) {
+	lj.mu.Lock()
+	lj.committed[name] = true
+	lj.mu.Unlock()
+}
+
+func (lj *liveJob) done(name string) bool {
+	lj.mu.Lock()
+	defer lj.mu.Unlock()
+	return lj.committed[name]
+}
+
+// jobQueue is the dynamic shard work queue: mid-sweep failover pushes
+// adopter jobs while workers are draining it, so the queue is done only
+// when it is empty AND nothing in flight could push more.
+type jobQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []*liveJob
+	active  int
+	stopped bool
+}
+
+func newJobQueue(initial []*liveJob) *jobQueue {
+	q := &jobQueue{items: initial}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// pop blocks until a job is available; false means drained or stopped.
+func (q *jobQueue) pop() (*liveJob, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.stopped {
+			return nil, false
+		}
+		if len(q.items) > 0 {
+			lj := q.items[0]
+			q.items = q.items[1:]
+			q.active++
+			return lj, true
+		}
+		if q.active == 0 {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *jobQueue) push(lj *liveJob) {
+	q.mu.Lock()
+	q.items = append(q.items, lj)
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// finish retires one popped job. Call it after any failover pushes the
+// job makes: active stays >0 across the handoff, so idle workers never
+// see a momentary empty-and-inactive queue and drain early.
+func (q *jobQueue) finish() {
+	q.mu.Lock()
+	q.active--
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *jobQueue) stop() {
+	q.mu.Lock()
+	q.stopped = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// sweepState is the run-scoped mutable state shared by shard workers:
+// the report rows, which shards are unavailable for adoption (lost at
+// resume, wedged in flight), which journal paths are spoken for, and
+// the failover generation counter. One mutex serializes all of it —
+// every access is O(shards), far off the per-host hot path.
+type sweepState struct {
+	mu          sync.Mutex
+	rows        []*ShardResult
+	unavailable map[int]bool
+	claimed     map[string]bool
+	seq         int
+	failed      int
+}
+
+// run executes the shard jobs with bounded shard parallelism, watchdog
+// supervision with mid-sweep failover, shard retry/breaker, the
+// fleet-of-fleets error budget, and streaming aggregation, then seals
+// the merged report.
+func (c *Coordinator) run(jobs []shardJob, lostIDs []int, unavailable map[int]bool) (*Report, error) {
 	rep := &Report{Kind: c.cfg.Kind, Shards: c.cfg.Shards, Hosts: c.src.Len(), LostShards: lostIDs}
 	gauge := c.cfg.Resident
 	if gauge == nil {
@@ -371,72 +725,96 @@ func (c *Coordinator) run(jobs []shardJob, lostIDs []int) (*Report, error) {
 		workers = len(jobs)
 	}
 
-	var (
-		mu          sync.Mutex
-		failed      int
-		stop        = make(chan struct{})
-		stopOnce    sync.Once
-		wg          sync.WaitGroup
-		jobCh       = make(chan int)
-		totalShards = len(jobs)
-	)
-	rep.ShardResults = make([]ShardResult, len(jobs))
-	for i, job := range jobs {
-		rep.ShardResults[i] = ShardResult{Shard: job.shard, Hosts: job.hostCount(), Adopted: job.adopted}
+	var sup *supervise.Supervisor
+	if c.cfg.Watchdog.Enabled() {
+		sup = supervise.New(c.cfg.Watchdog)
+		sup.Start()
+		defer sup.Stop()
 	}
 
+	st := &sweepState{unavailable: map[int]bool{}, claimed: map[string]bool{}}
+	for s := range unavailable {
+		st.unavailable[s] = true
+	}
+	initial := make([]*liveJob, 0, len(jobs))
+	for _, job := range jobs {
+		row := &ShardResult{Shard: job.shard, Hosts: job.hostCount(), Adopted: job.adopted}
+		st.rows = append(st.rows, row)
+		initial = append(initial, &liveJob{job: job, row: row, committed: map[string]bool{}})
+		for _, t := range job.tasks {
+			if t.path != "" {
+				st.claimed[t.path] = true
+			}
+		}
+	}
+	queue := newJobQueue(initial)
+
+	var wg sync.WaitGroup
+	totalShards := len(jobs)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for idx := range jobCh {
-				job := jobs[idx]
-				sr := &rep.ShardResults[idx]
-				sum, attempts, retryNs, quarantined, err := c.runShardWithRetry(job, gauge)
-				mu.Lock()
-				sr.Summary = sum
-				sr.Attempts = attempts
-				sr.RetryNs = retryNs
-				sr.Quarantined = quarantined
-				sr.Resumed = len(job.tasks) > 0 && job.tasks[0].resume
-				if err != nil {
-					sr.Err = err.Error()
+			for {
+				lj, ok := queue.pop()
+				if !ok {
+					return
 				}
-				if err != nil || quarantined {
-					failed++
+				sum, attempts, retryNs, quarantined, wedged, err := c.runShardWithRetry(lj, sup, gauge)
+				var failoverErr error
+				if wedged {
+					failoverErr = c.failoverWedged(lj, sum, st, queue)
+				}
+				st.mu.Lock()
+				lj.row.Summary = sum
+				lj.row.Attempts = attempts
+				lj.row.RetryNs = retryNs
+				lj.row.Quarantined = quarantined
+				lj.row.Resumed = len(lj.job.tasks) > 0 && lj.job.tasks[0].resume
+				lj.row.Wedged = wedged
+				if err != nil {
+					lj.row.Err = err.Error()
+				} else if failoverErr != nil {
+					lj.row.Err = failoverErr.Error()
+				}
+				// A cleanly failed-over wedge does not spend the shard error
+				// budget: its work completed elsewhere. A wedge that could
+				// not fail over does.
+				if err != nil || quarantined || failoverErr != nil {
+					st.failed++
 					if f := c.cfg.AbortAfterShardFailureFraction; f > 0 &&
-						float64(failed) > f*float64(totalShards) && !rep.Aborted {
+						float64(st.failed) > f*float64(totalShards) && !rep.Aborted {
 						rep.Aborted = true
 						rep.AbortReason = fmt.Sprintf(
 							"shard error budget exceeded: %d of %d shards failed (budget %.0f%%) — aborting sweep",
-							failed, totalShards, f*100)
-						stopOnce.Do(func() { close(stop) })
+							st.failed, totalShards, f*100)
+						queue.stop()
 					}
 				}
-				mu.Unlock()
+				st.mu.Unlock()
+				queue.finish()
 			}
 		}()
 	}
-	go func() {
-		defer close(jobCh)
-		for i := range jobs {
-			select {
-			case jobCh <- i:
-			case <-stop:
-				return
-			}
-		}
-	}()
 	wg.Wait()
 
 	// Lost shards get explicit rows: their hosts are accounted inside
 	// the adopters' summaries, so the row carries provenance only.
 	for _, id := range lostIDs {
-		rep.ShardResults = append(rep.ShardResults, ShardResult{Shard: id, Lost: true})
+		st.rows = append(st.rows, &ShardResult{Shard: id, Lost: true})
 	}
-	sort.Slice(rep.ShardResults, func(i, j int) bool {
-		return rep.ShardResults[i].Shard < rep.ShardResults[j].Shard
+	// Stable: primary rows sort before a shard's failover rows, and
+	// failover rows keep their enqueue order.
+	sort.SliceStable(st.rows, func(i, j int) bool {
+		if st.rows[i].Shard != st.rows[j].Shard {
+			return st.rows[i].Shard < st.rows[j].Shard
+		}
+		return !st.rows[i].Failover && st.rows[j].Failover
 	})
+	rep.ShardResults = make([]ShardResult, len(st.rows))
+	for i, row := range st.rows {
+		rep.ShardResults[i] = *row
+	}
 
 	// Fold: aggregate every summary; unvisited and summary-less shards
 	// contribute their host counts to NotScanned, never silently vanish.
@@ -448,7 +826,9 @@ func (c *Coordinator) run(jobs []shardJob, lostIDs []int) (*Report, error) {
 		if sr.Summary == nil {
 			// A lost shard's hosts are accounted by their adopters; any
 			// other summary-less shard leaves its hosts unscanned.
-			rep.NotScanned += sr.Hosts
+			if !sr.Lost {
+				rep.NotScanned += sr.Hosts
+			}
 			continue
 		}
 		s := sr.Summary
@@ -476,12 +856,127 @@ func (c *Coordinator) run(jobs []shardJob, lostIDs []int) (*Report, error) {
 	return rep, nil
 }
 
+// failoverWedged re-homes a wedged job's unfinished hosts onto the
+// surviving shards while the sweep is still running. The wedged job's
+// journals are already sealed at their last committed records (the
+// collector loop that owns terminal appends has exited); this method
+// writes the wedge markers first (crash consistency: a resume that
+// finds no marker simply resumes the journal, which is still correct —
+// the failover jobs have not run yet), then shrinks the wedged summary
+// to exactly the hosts it committed, then enqueues one failover job per
+// adopting shard. An error means nothing was adopted: the summary keeps
+// its NotScanned accounting and the unfinished hosts stay loudly
+// unscanned in the merged report.
+func (c *Coordinator) failoverWedged(lj *liveJob, sum *fleet.SweepSummary, st *sweepState, queue *jobQueue) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.unavailable[lj.job.shard] = true
+
+	var unfinished []int
+	for _, t := range lj.job.tasks {
+		for _, i := range t.indices {
+			if !lj.done(c.src.Name(i)) {
+				unfinished = append(unfinished, i)
+			}
+		}
+	}
+	if len(unfinished) == 0 {
+		// The watchdog fired between the last commit and the seal; there
+		// is nothing to move.
+		return nil
+	}
+	ring, err := c.ring.Without(st.unavailable)
+	if err != nil {
+		return fmt.Errorf("fleetshard: shard %d wedged with no survivors to adopt %d hosts: %w",
+			lj.job.shard, len(unfinished), err)
+	}
+
+	// Markers before failover jobs: the adopters must never run before
+	// the disk records that these hosts left the wedged journals.
+	if c.cfg.JournalDir != "" {
+		names := make([]string, 0, len(unfinished))
+		for _, i := range unfinished {
+			names = append(names, c.src.Name(i))
+		}
+		for ti, t := range lj.job.tasks {
+			if t.path == "" {
+				continue
+			}
+			if _, statErr := os.Stat(t.path); statErr != nil {
+				continue // task never started; its hosts ride the first marker
+			}
+			m := wedgeMarker{Shard: lj.job.shard}
+			if ti == 0 {
+				m.Unfinished = names // the job's full unfinished set
+			}
+			data, err := json.Marshal(m)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(wedgeMarkerPath(t.path), append(data, '\n'), 0o644); err != nil {
+				return fmt.Errorf("fleetshard: writing wedge marker: %w", err)
+			}
+		}
+	}
+
+	adopted := map[int][]int{}
+	for _, i := range unfinished {
+		a := ring.Assign(c.src.Name(i))
+		adopted[a] = append(adopted[a], i)
+	}
+	st.seq++
+	shards := make([]int, 0, len(adopted))
+	for s := range adopted {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	for _, s := range shards {
+		idx := adopted[s]
+		path := ""
+		if dir := c.cfg.JournalDir; dir != "" {
+			for n := 0; ; n++ {
+				p := failoverJournalPath(dir, s, n)
+				if st.claimed[p] {
+					continue
+				}
+				if _, statErr := os.Stat(p); statErr == nil {
+					st.claimed[p] = true
+					continue
+				}
+				path = p
+				st.claimed[p] = true
+				break
+			}
+		}
+		row := &ShardResult{Shard: s, Hosts: len(idx), Adopted: len(idx), Failover: true}
+		st.rows = append(st.rows, row)
+		queue.push(&liveJob{
+			job:       shardJob{shard: s, tasks: []shardTask{{indices: idx, path: path}}, adopted: len(idx)},
+			row:       row,
+			seq:       st.seq,
+			committed: map[string]bool{},
+		})
+	}
+	// Shrink the wedged summary to the hosts it actually accounts: the
+	// adopters account the rest, so the fold counts every host exactly
+	// once and the merged digest matches the uninterrupted run's.
+	sum.Hosts = sum.Scanned
+	sum.NotScanned = 0
+	sum.Seal()
+	return nil
+}
+
 // runShardWithRetry runs one shard's tasks with the shard-level retry
-// loop: doubling backoff capped by the shared fleet.NextBackoff rule, a
-// consecutive-failure circuit breaker, and journal-aware retries (a
-// retried journaled task resumes the journal its failed attempt left
-// behind instead of re-scanning committed hosts).
-func (c *Coordinator) runShardWithRetry(job shardJob, gauge *fleet.ResidentGauge) (sum *fleet.SweepSummary, attempts int, retryNs int64, quarantined bool, err error) {
+// loop: doubling backoff capped by the shared fleet.NextBackoff rule
+// (with deterministic full jitter when Config.BackoffJitterSeed is
+// set), a consecutive-failure circuit breaker, and journal-aware
+// retries (a retried journaled task resumes the journal its failed
+// attempt left behind instead of re-scanning committed hosts). A wedged
+// attempt returns immediately, never retried: its unfinished work is
+// failing over to other shards, and re-running it here would commit
+// those hosts twice.
+func (c *Coordinator) runShardWithRetry(lj *liveJob, sup *supervise.Supervisor, gauge *fleet.ResidentGauge) (sum *fleet.SweepSummary, attempts int, retryNs int64, quarantined, wedged bool, err error) {
+	job := lj.job
 	backoff := c.cfg.ShardRetryBackoff
 	if backoff <= 0 {
 		backoff = defaultShardRetryBackoff
@@ -492,20 +987,24 @@ func (c *Coordinator) runShardWithRetry(job shardJob, gauge *fleet.ResidentGauge
 	consecFailed := 0
 	for attempt := 1; ; attempt++ {
 		attempts = attempt
-		sum, err = c.runShardOnce(job, attempt, gauge)
+		sum, wedged, err = c.runShardOnce(lj, attempt, sup, gauge)
 		if err == nil {
-			return sum, attempts, retryNs, false, nil
+			return sum, attempts, retryNs, false, wedged, nil
 		}
 		consecFailed++
 		if t := c.cfg.ShardBreakerThreshold; t > 0 && consecFailed >= t {
-			return nil, attempts, retryNs, true, err
+			return nil, attempts, retryNs, true, false, err
 		}
 		if attempt > c.cfg.ShardMaxRetries {
-			return nil, attempts, retryNs, false, err
+			return nil, attempts, retryNs, false, false, err
 		}
 		// Virtual wait: the coordinator has no machine clock; the backoff
 		// is charged to the shard's retry accounting.
-		retryNs += int64(backoff)
+		wait := backoff
+		if c.cfg.BackoffJitterSeed != 0 {
+			wait = fleet.JitteredBackoff(backoff, c.cfg.BackoffJitterSeed, uint64(job.shard), uint64(attempt))
+		}
+		retryNs += int64(wait)
 		backoff = fleet.NextBackoff(backoff)
 		// A failed journaled attempt may have committed progress; resume
 		// what it left rather than re-scanning it.
@@ -520,26 +1019,54 @@ func (c *Coordinator) runShardWithRetry(job shardJob, gauge *fleet.ResidentGauge
 }
 
 // runShardOnce executes one attempt of a shard's tasks and merges the
-// per-task summaries into one sealed shard summary.
-func (c *Coordinator) runShardOnce(job shardJob, attempt int, gauge *fleet.ResidentGauge) (*fleet.SweepSummary, error) {
+// per-task summaries into one sealed shard summary. With a supervisor,
+// each task runs under a watch beaten by every committed host result;
+// when the watch expires the task's manager is cancelled through its
+// Cancel channel, the task returns its partial (Interrupted) summary,
+// and the remaining tasks are skipped — their hosts join the failover
+// pool with the interrupted task's unfinished ones.
+func (c *Coordinator) runShardOnce(lj *liveJob, attempt int, sup *supervise.Supervisor, gauge *fleet.ResidentGauge) (*fleet.SweepSummary, bool, error) {
+	job := lj.job
 	if c.cfg.ShardFault != nil {
 		if err := c.cfg.ShardFault(job.shard, attempt); err != nil {
-			return nil, fmt.Errorf("fleetshard: shard %d attempt %d: %w", job.shard, attempt, err)
+			return nil, false, fmt.Errorf("fleetshard: shard %d attempt %d: %w", job.shard, attempt, err)
 		}
 	}
 	var combined *fleet.SweepSummary
-	for _, t := range job.tasks {
-		mgr := c.newShardManager(t.indices, gauge)
-		var sink func(fleet.HostResult)
-		if c.cfg.OnResult != nil {
-			shard := job.shard
-			sink = func(res fleet.HostResult) { c.cfg.OnResult(shard, res) }
+	wedged := false
+	for ti, t := range job.tasks {
+		var cancel chan struct{}
+		watchID := ""
+		if sup != nil {
+			ch := make(chan struct{})
+			cancel = ch
+			watchID = fmt.Sprintf("shard-%03d#%d.%d.%d", job.shard, lj.seq, attempt, ti)
+			sup.Watch(watchID, func() { close(ch) })
+		}
+		mgr := c.newShardManager(t.indices, gauge, cancel)
+		shard := job.shard
+		sink := func(res fleet.HostResult) {
+			lj.commit(res.Host)
+			if sup != nil {
+				sup.Beat(watchID)
+			}
+			if c.cfg.OnResult != nil {
+				c.cfg.OnResult(shard, res)
+			}
 		}
 		var (
 			sum *fleet.SweepSummary
 			err error
 		)
 		switch {
+		case t.replayOnly:
+			sum, err = mgr.ReplayStream(c.cfg.Kind, t.path, sink)
+			if err == nil {
+				// The journal's unfinished hosts belong to the shards that
+				// adopted them; this summary accounts only what it replayed.
+				sum.Hosts = sum.Scanned
+				sum.NotScanned = 0
+			}
 		case t.path == "":
 			sum, err = mgr.SweepStreamed(c.cfg.Kind, c.shardWorkers(), sink)
 		case t.resume:
@@ -554,20 +1081,29 @@ func (c *Coordinator) runShardOnce(job shardJob, attempt int, gauge *fleet.Resid
 		default:
 			sum, err = mgr.SweepJournaledStream(c.cfg.Kind, c.shardWorkers(), t.path, sink)
 		}
+		if sup != nil {
+			sup.Done(watchID)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("fleetshard: shard %d: %w", job.shard, err)
+			return nil, false, fmt.Errorf("fleetshard: shard %d: %w", job.shard, err)
 		}
 		if combined == nil {
 			combined = sum
 		} else {
 			combined.Merge(sum)
 		}
+		if sum.Interrupted && !t.replayOnly {
+			// Watchdog cancellation. Skip the remaining tasks: their hosts
+			// are unfinished too and fail over with this task's.
+			wedged = true
+			break
+		}
 	}
 	if combined == nil {
 		combined = &fleet.SweepSummary{Kind: c.cfg.Kind}
 	}
 	combined.Seal()
-	return combined, nil
+	return combined, wedged, nil
 }
 
 func (c *Coordinator) shardWorkers() int {
@@ -578,8 +1114,10 @@ func (c *Coordinator) shardWorkers() int {
 }
 
 // newShardManager builds the fleet.Manager for one task's host subset,
-// forwarding the host-level knobs and lazy-building every host.
-func (c *Coordinator) newShardManager(indices []int, gauge *fleet.ResidentGauge) *fleet.Manager {
+// forwarding the host-level knobs (including the supervision trio:
+// cancel channel, hedge policy, jitter seed) and lazy-building every
+// host.
+func (c *Coordinator) newShardManager(indices []int, gauge *fleet.ResidentGauge, cancel <-chan struct{}) *fleet.Manager {
 	mgr := fleet.NewManager()
 	mgr.Parallelism = c.shardWorkers()
 	mgr.HostParallelism = c.cfg.HostParallelism
@@ -591,6 +1129,9 @@ func (c *Coordinator) newShardManager(indices []int, gauge *fleet.ResidentGauge)
 	mgr.ConfigureDetector = c.cfg.ConfigureDetector
 	mgr.ScanHost = c.cfg.ScanHost
 	mgr.Resident = gauge
+	mgr.Cancel = cancel
+	mgr.Hedge = c.cfg.Hedge
+	mgr.BackoffJitterSeed = c.cfg.BackoffJitterSeed
 	for _, i := range indices {
 		i := i
 		mgr.AddLazy(c.src.Name(i), func() (*machine.Machine, error) { return c.src.Build(i) })

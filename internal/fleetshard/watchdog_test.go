@@ -1,0 +1,309 @@
+package fleetshard
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ghostbuster/internal/fleet"
+	"ghostbuster/internal/supervise"
+)
+
+// wedgeOnce wraps a scan body so the victim host's first scan blocks on
+// a gate until the test releases it — a wall-clock stall the watchdog
+// must detect. Later scans of the same host (the failover re-scan on an
+// adopter, or a resume) pass straight through, so the re-homed work
+// produces the exact result an unwedged run would.
+func wedgeOnce(victim string, base func(*fleet.Host, fleet.SweepKind) fleet.HostResult) (scan func(*fleet.Host, fleet.SweepKind) fleet.HostResult, release func()) {
+	gate := make(chan struct{})
+	var once, releaseOnce sync.Once
+	scan = func(h *fleet.Host, kind fleet.SweepKind) fleet.HostResult {
+		if h.Name == victim {
+			first := false
+			once.Do(func() { first = true })
+			if first {
+				<-gate
+			}
+		}
+		return base(h, kind)
+	}
+	return scan, func() { releaseOnce.Do(func() { close(gate) }) }
+}
+
+func testWatchdog() supervise.Policy {
+	return supervise.Policy{Deadline: 50 * time.Millisecond, Misses: 2}
+}
+
+// TestWatchdogFailoverPreservesMergedDigest is the tentpole invariant:
+// a sweep with one shard wedged mid-flight (its only worker stuck in a
+// scan that never returns) completes without restart — the watchdog
+// cancels the wedged shard, survivors adopt its unfinished hosts while
+// the sweep is still running, and the final merged digest is
+// byte-identical to an uninterrupted run's, with every verification
+// layer passing.
+func TestWatchdogFailoverPreservesMergedDigest(t *testing.T) {
+	const shards = 4
+	src := SyntheticSource{N: 400}
+	base := SyntheticScan(1)
+
+	clean, err := New(Config{Shards: shards, ScanHost: base}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := clean.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scan, release := wedgeOnce(src.Name(7), base)
+	defer release()
+	dir := t.TempDir()
+	coord, err := New(Config{
+		Shards: shards, JournalDir: dir, ScanHost: scan,
+		Watchdog: testWatchdog(),
+	}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coord.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wedgedRows, failoverRows := 0, 0
+	for _, sr := range rep.ShardResults {
+		if sr.Wedged {
+			wedgedRows++
+			if sr.Err != "" {
+				t.Errorf("wedged shard %d carries an error: %q", sr.Shard, sr.Err)
+			}
+			if sr.Summary == nil || !sr.Summary.Interrupted {
+				t.Errorf("wedged shard %d summary not marked Interrupted", sr.Shard)
+			}
+		}
+		if sr.Failover {
+			failoverRows++
+			if sr.Adopted == 0 {
+				t.Errorf("failover row for shard %d adopted nothing", sr.Shard)
+			}
+		}
+	}
+	if wedgedRows != 1 {
+		t.Fatalf("wedged rows = %d, want exactly 1", wedgedRows)
+	}
+	if failoverRows == 0 {
+		t.Fatal("no failover rows — the wedged shard's hosts were never adopted")
+	}
+	if rep.Aborted {
+		t.Errorf("wedge failover aborted the run: %s", rep.AbortReason)
+	}
+	if rep.Scanned != src.N || rep.NotScanned != 0 {
+		t.Fatalf("scanned %d, not scanned %d — every host must complete", rep.Scanned, rep.NotScanned)
+	}
+	if rep.MergedDigest != want.MergedDigest {
+		t.Errorf("wedged run sealed %.12s, uninterrupted run %.12s", rep.MergedDigest, want.MergedDigest)
+	}
+	if err := rep.Verify(); err != nil {
+		t.Errorf("wedged run fails verification: %v", err)
+	}
+	release() // let the stuck scan finish before auditing journals
+	if err := rep.VerifyJournals(dir); err != nil {
+		t.Errorf("journal audit after wedge failover: %v", err)
+	}
+
+	// The wedge markers must be on disk for a later resume.
+	markers, err := filepath.Glob(filepath.Join(dir, "*.gbj.wedged"))
+	if err != nil || len(markers) == 0 {
+		t.Errorf("no wedge markers written (err=%v)", err)
+	}
+}
+
+// TestWatchdogFailoverUnjournaled: supervision works without journals —
+// a wedged shard in an unjournaled sweep still fails over mid-flight
+// and seals the reference digest.
+func TestWatchdogFailoverUnjournaled(t *testing.T) {
+	src := SyntheticSource{N: 300}
+	base := SyntheticScan(1)
+	clean, err := New(Config{Shards: 3, ScanHost: base}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := clean.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scan, release := wedgeOnce(src.Name(11), base)
+	defer release()
+	coord, err := New(Config{Shards: 3, ScanHost: scan, Watchdog: testWatchdog()}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coord.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != src.N || rep.MergedDigest != want.MergedDigest {
+		t.Errorf("unjournaled wedge: scanned %d, digest %.12s (want %d, %.12s)",
+			rep.Scanned, rep.MergedDigest, src.N, want.MergedDigest)
+	}
+	if err := rep.Verify(); err != nil {
+		t.Errorf("report fails verification: %v", err)
+	}
+}
+
+// TestWedgeCrashResumeReproducesMergedDigest: crash after a wedge but
+// before (or while) the adopters ran — simulated by completing a wedged
+// sweep and deleting every recovery journal. Resume must read the wedge
+// markers: the wedged journal replays without re-scanning its committed
+// hosts, the marker's unfinished hosts re-hash onto the same survivors,
+// and the final digest equals the uninterrupted run's.
+func TestWedgeCrashResumeReproducesMergedDigest(t *testing.T) {
+	const shards = 4
+	src := SyntheticSource{N: 400}
+	base := SyntheticScan(1)
+
+	clean, err := New(Config{Shards: shards, ScanHost: base}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := clean.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scan, release := wedgeOnce(src.Name(7), base)
+	dir := t.TempDir()
+	coord, err := New(Config{
+		Shards: shards, JournalDir: dir, ScanHost: scan,
+		Watchdog: testWatchdog(),
+	}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	release()
+
+	// The crash: every recovery journal the live failover created is
+	// lost; only the sealed primaries and the wedge markers survive.
+	recov, err := filepath.Glob(filepath.Join(dir, "*.recover*.gbj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recov) == 0 {
+		t.Fatal("wedged sweep left no recovery journals — nothing to crash")
+	}
+	for _, p := range recov {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resumed, err := New(Config{Shards: shards, JournalDir: dir, ScanHost: base}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := resumed.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != src.N || rep.NotScanned != 0 {
+		t.Fatalf("resume scanned %d, not scanned %d", rep.Scanned, rep.NotScanned)
+	}
+	if rep.Replayed == 0 {
+		t.Error("resume replayed nothing — sealed journals were ignored")
+	}
+	if rep.MergedDigest != want.MergedDigest {
+		t.Errorf("resumed digest %.12s != uninterrupted %.12s", rep.MergedDigest, want.MergedDigest)
+	}
+	if err := rep.Verify(); err != nil {
+		t.Errorf("resumed report fails verification: %v", err)
+	}
+	if err := rep.VerifyJournals(dir); err != nil {
+		t.Errorf("journal audit after wedge-crash resume: %v", err)
+	}
+}
+
+// TestResumeOfCompletedWedgeRunReplaysEverything: resuming a journal
+// dir whose wedge failover already completed must not re-scan anything
+// — every journal (wedged primaries replay-only, survivors and recovery
+// journals in full) replays, and the digest still matches.
+func TestResumeOfCompletedWedgeRunReplaysEverything(t *testing.T) {
+	src := SyntheticSource{N: 300}
+	base := SyntheticScan(1)
+	scan, release := wedgeOnce(src.Name(3), base)
+	dir := t.TempDir()
+	coord, err := New(Config{
+		Shards: 3, JournalDir: dir, ScanHost: scan, Watchdog: testWatchdog(),
+	}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := coord.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+
+	rescanned := 0
+	resumed, err := New(Config{
+		Shards: 3, JournalDir: dir,
+		ScanHost: func(h *fleet.Host, kind fleet.SweepKind) fleet.HostResult {
+			rescanned++
+			return base(h, kind)
+		},
+	}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := resumed.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rescanned != 0 {
+		t.Errorf("resume of a completed run re-scanned %d hosts", rescanned)
+	}
+	if rep.Scanned != src.N || rep.MergedDigest != first.MergedDigest {
+		t.Errorf("full replay: scanned %d, digest %.12s (want %d, %.12s)",
+			rep.Scanned, rep.MergedDigest, src.N, first.MergedDigest)
+	}
+}
+
+// TestWedgeWithNoSurvivorsStaysLoud: a single-shard fleet has nowhere
+// to fail over — the wedged shard's unfinished hosts must stay visibly
+// NotScanned (never silently dropped) and the row must carry the error.
+func TestWedgeWithNoSurvivorsStaysLoud(t *testing.T) {
+	src := SyntheticSource{N: 40}
+	scan, release := wedgeOnce(src.Name(0), SyntheticScan(1))
+	defer release()
+	coord, err := New(Config{Shards: 1, ScanHost: scan, Watchdog: testWatchdog()}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coord.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NotScanned == 0 {
+		t.Error("wedge with no survivors reported nothing NotScanned")
+	}
+	if rep.Scanned+rep.NotScanned != src.N {
+		t.Errorf("scanned %d + not scanned %d != %d", rep.Scanned, rep.NotScanned, src.N)
+	}
+	found := false
+	for _, sr := range rep.ShardResults {
+		if sr.Wedged && sr.Err != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no wedged row carries the no-survivors error")
+	}
+	if err := rep.Verify(); err != nil {
+		t.Errorf("report fails verification: %v", err)
+	}
+}

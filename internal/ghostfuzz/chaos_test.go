@@ -66,7 +66,7 @@ func TestGenerateFaultedDeterministic(t *testing.T) {
 func TestParseSpecRejectsBadFaults(t *testing.T) {
 	for _, line := range []string{
 		"ghostfuzz-v1 seed=1 atoms=ads/1/all faults=",
-		"ghostfuzz-v1 seed=1 atoms=ads/1/all faults=disk:lag@1",    // disk has no lag
+		"ghostfuzz-v1 seed=1 atoms=ads/1/all faults=hive:lag@1",    // hive has no lag
 		"ghostfuzz-v1 seed=1 atoms=ads/1/all faults=api:mut@1",     // api has no mut
 		"ghostfuzz-v1 seed=1 atoms=ads/1/all faults=disk:torn@0",   // after < 1
 		"ghostfuzz-v1 seed=1 atoms=ads/1/all faults=disk:torn@1x0", // count < 1

@@ -1,0 +1,306 @@
+package ghostfuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"ghostbuster/internal/faultinject"
+	"ghostbuster/internal/fleet"
+	"ghostbuster/internal/fleetshard"
+	"ghostbuster/internal/machine"
+	"ghostbuster/internal/supervise"
+)
+
+// The supervision chaos oracle: wedges and stragglers injected into a
+// real-machine sharded sweep, healed live by the supervision layer, and
+// judged by one invariant — the merged digest (and every verification
+// layer under it) must be byte-identical to the uninterrupted run's.
+// The wedge is a faultinject disk:lag fault whose stall gate blocks in
+// wall-clock time with no virtual charge, exactly the failure shape
+// (dying spindle, wedged fsync) the watchdog exists to catch: virtual
+// time stops while real time runs on.
+
+// supervisionSeedBase offsets supervision-chaos host seeds away from
+// every other ghostfuzz seed space.
+const supervisionSeedBase = 1 << 23
+
+// supervisionHostsPerShard sizes the fleet so the wedged shard has
+// committed work to seal AND unfinished hosts to re-home.
+const supervisionHostsPerShard = 4
+
+// supervisionSource builds the generated fleet; the victim host's
+// FIRST build (and only the first — the failover or hedge rebuild must
+// come up clean) arms a one-shot disk:lag fault whose stall gate is the
+// oracle's wedge.
+type supervisionSource struct {
+	seed   int64
+	n      int
+	victim int // index whose first build stalls; -1 for a clean source
+	armed  *atomic.Bool
+	stall  func()
+}
+
+func cleanSupervisionSource(seed int64, n int) supervisionSource {
+	return supervisionSource{seed: seed, n: n, victim: -1}
+}
+
+func stalledSupervisionSource(seed int64, n, victim int, stall func()) supervisionSource {
+	return supervisionSource{seed: seed, n: n, victim: victim, armed: &atomic.Bool{}, stall: stall}
+}
+
+func (s supervisionSource) Len() int { return s.n }
+
+func (s supervisionSource) Name(i int) string { return fmt.Sprintf("chaos-%03d", i) }
+
+func (s supervisionSource) Build(i int) (*machine.Machine, error) {
+	c, err := Build(Generate(CaseSeed(s.seed, supervisionSeedBase+i)))
+	if err != nil {
+		return nil, err
+	}
+	if i == s.victim && s.armed.CompareAndSwap(false, true) {
+		inj, err := faultinject.New(c.M, faultinject.Plan{Seed: s.seed, Faults: []faultinject.Fault{
+			{Source: faultinject.SourceDisk, Kind: faultinject.KindLag, After: 1, Count: 1},
+		}})
+		if err != nil {
+			return nil, err
+		}
+		inj.SetStall(func(faultinject.Source) { s.stall() })
+		inj.Arm()
+	}
+	return c.M, nil
+}
+
+// chaosWatchdog is deliberately tight: the victim stalls forever, every
+// healthy host scan takes single-digit milliseconds of wall time, and a
+// spurious wedge of a slow-but-healthy shard is correctness-preserving
+// by design — the digest checks below hold either way.
+func chaosWatchdog() supervise.Policy {
+	return supervise.Policy{Deadline: 150 * time.Millisecond, Misses: 2}
+}
+
+// RunSupervisionChaos runs the supervision chaos matrix for one seed:
+// a live wedge healed mid-sweep (journaled and unjournaled), a crash
+// after the wedge resumed from the wedge markers, a straggler covered
+// by a hedged duplicate, and a jittered shard retry — each compared
+// against the same uninterrupted reference.
+func RunSupervisionChaos(seed int64, shards int) (*CrashSummary, error) {
+	if shards < 2 {
+		return nil, fmt.Errorf("ghostfuzz: supervision chaos needs at least 2 shards (got %d)", shards)
+	}
+	s := &CrashSummary{Seed: seed}
+	dir, err := os.MkdirTemp("", "ghostfuzz-supervise-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	n := shards * supervisionHostsPerShard
+	victim := n - 1 // last in sorted scan order: its shard commits beats first
+	cfg := fleetshard.Config{Shards: shards}
+
+	refCoord, err := fleetshard.New(cfg, cleanSupervisionSource(seed, n))
+	if err != nil {
+		return nil, err
+	}
+	ref, err := refCoord.Sweep()
+	if err != nil {
+		return nil, fmt.Errorf("ghostfuzz: reference sweep: %w", err)
+	}
+	if err := ref.Verify(); err != nil {
+		s.Violations = append(s.Violations, Violation{InvDurability, "supervise/reference", err.Error()})
+		return s, nil
+	}
+
+	// --- wedge-live: watchdog cancels the stuck shard, survivors adopt
+	// its unfinished hosts mid-sweep, journals audit clean.
+	s.Variants++
+	{
+		mode := "supervise/wedge-live"
+		vdir := filepath.Join(dir, "wedge")
+		gate := make(chan struct{})
+		wcfg := cfg
+		wcfg.JournalDir = vdir
+		wcfg.Watchdog = chaosWatchdog()
+		coord, err := fleetshard.New(wcfg, stalledSupervisionSource(seed, n, victim, func() { <-gate }))
+		if err != nil {
+			return nil, err
+		}
+		rep, err := coord.Sweep()
+		close(gate) // free the stuck scan; its result is discarded
+		if err != nil {
+			s.Violations = append(s.Violations, Violation{InvDurability, mode, "sweep failed: " + err.Error()})
+		} else {
+			if !anyWedged(rep) {
+				s.Violations = append(s.Violations, Violation{InvDurability, mode,
+					"victim shard stalled forever yet no shard was declared wedged"})
+			}
+			s.Violations = append(s.Violations, checkSupervised(mode, ref, rep)...)
+			if err := rep.VerifyJournals(vdir); err != nil {
+				s.Violations = append(s.Violations, Violation{InvDurability, mode, "journal audit: " + err.Error()})
+			}
+		}
+	}
+
+	// --- wedge-resume: crash after the wedge (the recovery journals the
+	// live failover wrote are lost); resume must honor the wedge markers.
+	s.Variants++
+	{
+		mode := "supervise/wedge-resume"
+		vdir := filepath.Join(dir, "wedge")
+		recov, err := filepath.Glob(filepath.Join(vdir, "*.recover*.gbj"))
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range recov {
+			if err := os.Remove(p); err != nil {
+				return nil, err
+			}
+		}
+		rcfg := cfg
+		rcfg.JournalDir = vdir
+		coord, err := fleetshard.New(rcfg, cleanSupervisionSource(seed, n))
+		if err != nil {
+			return nil, err
+		}
+		rep, err := coord.Resume()
+		if err != nil {
+			s.Violations = append(s.Violations, Violation{InvDurability, mode, "resume failed: " + err.Error()})
+		} else {
+			if rep.Replayed == 0 {
+				s.Violations = append(s.Violations, Violation{InvDurability, mode,
+					"resume replayed nothing — the sealed wedge journals were ignored"})
+			}
+			s.Violations = append(s.Violations, checkSupervised(mode, ref, rep)...)
+			if err := rep.VerifyJournals(vdir); err != nil {
+				s.Violations = append(s.Violations, Violation{InvDurability, mode, "journal audit: " + err.Error()})
+			}
+		}
+	}
+
+	// --- wedge-unjournaled: supervision must not depend on journaling.
+	s.Variants++
+	{
+		mode := "supervise/wedge-unjournaled"
+		gate := make(chan struct{})
+		wcfg := cfg
+		wcfg.Watchdog = chaosWatchdog()
+		coord, err := fleetshard.New(wcfg, stalledSupervisionSource(seed, n, victim, func() { <-gate }))
+		if err != nil {
+			return nil, err
+		}
+		rep, err := coord.Sweep()
+		close(gate)
+		if err != nil {
+			s.Violations = append(s.Violations, Violation{InvDurability, mode, "sweep failed: " + err.Error()})
+		} else {
+			if !anyWedged(rep) {
+				s.Violations = append(s.Violations, Violation{InvDurability, mode,
+					"victim shard stalled forever yet no shard was declared wedged"})
+			}
+			s.Violations = append(s.Violations, checkSupervised(mode, ref, rep)...)
+		}
+	}
+
+	// --- hedge: the victim straggles (bounded stall) instead of dying;
+	// a duplicate scan on a clean rebuild must win without double-commit.
+	s.Variants++
+	{
+		mode := "supervise/hedge"
+		hcfg := cfg
+		hcfg.Hedge = &fleet.HedgePolicy{MinSamples: 1, Multiplier: 1, Floor: 30 * time.Millisecond}
+		coord, err := fleetshard.New(hcfg, stalledSupervisionSource(seed, n, victim,
+			func() { time.Sleep(400 * time.Millisecond) }))
+		if err != nil {
+			return nil, err
+		}
+		rep, err := coord.Sweep()
+		if err != nil {
+			s.Violations = append(s.Violations, Violation{InvDurability, mode, "sweep failed: " + err.Error()})
+		} else {
+			if hedgedCount(rep) == 0 {
+				s.Violations = append(s.Violations, Violation{InvDurability, mode,
+					"victim straggled 400ms yet no hedge was launched"})
+			}
+			s.Violations = append(s.Violations, checkSupervised(mode, ref, rep)...)
+		}
+	}
+
+	// --- jitter-retry: a transient shard-infrastructure fault retried
+	// under deterministic full jitter must not perturb the digest.
+	s.Variants++
+	{
+		mode := "supervise/jitter-retry"
+		faulted := &atomic.Bool{}
+		jcfg := cfg
+		jcfg.BackoffJitterSeed = seed | 1
+		jcfg.ShardMaxRetries = 2
+		jcfg.ShardFault = func(shard, attempt int) error {
+			if attempt == 1 && faulted.CompareAndSwap(false, true) {
+				return fmt.Errorf("injected transient shard fault")
+			}
+			return nil
+		}
+		coord, err := fleetshard.New(jcfg, cleanSupervisionSource(seed, n))
+		if err != nil {
+			return nil, err
+		}
+		rep, err := coord.Sweep()
+		if err != nil {
+			s.Violations = append(s.Violations, Violation{InvDurability, mode, "sweep failed: " + err.Error()})
+		} else {
+			s.Violations = append(s.Violations, checkSupervised(mode, ref, rep)...)
+		}
+	}
+
+	return s, nil
+}
+
+// checkSupervised is the shared digest-equality judgment: whatever the
+// supervision layer did — wedge failover, hedged duplicates, jittered
+// retries — the healed run must be indistinguishable from the
+// uninterrupted one at every verification layer.
+func checkSupervised(mode string, ref, rep *fleetshard.Report) []Violation {
+	var out []Violation
+	if rep.Aborted {
+		out = append(out, Violation{InvDurability, mode, "run aborted: " + rep.AbortReason})
+	}
+	if rep.Scanned != ref.Scanned || rep.NotScanned != 0 {
+		out = append(out, Violation{InvDurability, mode,
+			fmt.Sprintf("%d scanned / %d unscanned, reference scanned %d", rep.Scanned, rep.NotScanned, ref.Scanned)})
+	}
+	if rep.Infected != ref.Infected || rep.HiddenTotal != ref.HiddenTotal {
+		out = append(out, Violation{InvConsistency, mode,
+			fmt.Sprintf("verdicts diverged: %d infected/%d hidden vs reference %d/%d",
+				rep.Infected, rep.HiddenTotal, ref.Infected, ref.HiddenTotal)})
+	}
+	if rep.MergedDigest != ref.MergedDigest {
+		out = append(out, Violation{InvDurability, mode,
+			fmt.Sprintf("merged digest %.12s != reference %.12s", rep.MergedDigest, ref.MergedDigest)})
+	}
+	if err := rep.Verify(); err != nil {
+		out = append(out, Violation{InvDurability, mode, "report verification: " + err.Error()})
+	}
+	return out
+}
+
+func anyWedged(rep *fleetshard.Report) bool {
+	for _, sr := range rep.ShardResults {
+		if sr.Wedged {
+			return true
+		}
+	}
+	return false
+}
+
+func hedgedCount(rep *fleetshard.Report) int64 {
+	var total int64
+	for _, sr := range rep.ShardResults {
+		if sr.Summary != nil {
+			total += sr.Summary.Hedged
+		}
+	}
+	return total
+}

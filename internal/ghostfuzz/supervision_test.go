@@ -1,0 +1,31 @@
+package ghostfuzz
+
+import "testing"
+
+// TestSupervisionChaos is the self-healing property suite: for each
+// seed, a sharded real-machine sweep is wedged (a disk:lag stall gate
+// that blocks in wall-clock time), crashed after the wedge, straggled,
+// and fault-retried under jitter — and every healed run must reproduce
+// the uninterrupted run's merged digest with all verification layers
+// passing.
+func TestSupervisionChaos(t *testing.T) {
+	seeds := 3
+	if testing.Short() {
+		seeds = 1
+	}
+	variants := 0
+	for i := 0; i < seeds; i++ {
+		seed := CaseSeed(131, i)
+		s, err := RunSupervisionChaos(seed, 3)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		variants += s.Variants
+		for _, v := range s.Violations {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+	}
+	if want := seeds * 5; variants != want {
+		t.Errorf("supervision suite ran %d variants, want %d", variants, want)
+	}
+}

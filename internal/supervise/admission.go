@@ -1,0 +1,189 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrSaturated is returned by Acquire when the wait queue is full: the
+// caller should shed the request (HTTP 429) rather than park it.
+var ErrSaturated = errors.New("supervise: admission queue saturated")
+
+// ErrDraining is returned by Acquire once Drain has been called: the
+// gate accepts no new work while shutting down (HTTP 503).
+var ErrDraining = errors.New("supervise: admission gate draining")
+
+// Admission is a bounded admission gate: up to `slots` requests run
+// concurrently, up to `queue` more wait their turn, and everything past
+// that is rejected immediately with ErrSaturated. It is the daemon's
+// overload valve — a stampede of sweep requests degrades into fast 429s
+// instead of an unbounded goroutine pileup behind the sweep mutex.
+type Admission struct {
+	mu       sync.Mutex
+	slots    int
+	queue    int
+	active   int
+	waiting  int
+	draining bool
+	// avgHold is an EWMA of how long admitted requests held their slot,
+	// used to estimate Retry-After for shed callers.
+	avgHold time.Duration
+
+	admitted int64
+	shed     int64
+	timedOut int64
+
+	// waitc is closed and replaced whenever a slot frees, waking queued
+	// waiters to re-contend.
+	waitc chan struct{}
+}
+
+// NewAdmission builds a gate with the given concurrency and queue
+// bounds. slots < 1 is clamped to 1; queue < 0 to 0.
+func NewAdmission(slots, queue int) *Admission {
+	if slots < 1 {
+		slots = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Admission{slots: slots, queue: queue, waitc: make(chan struct{})}
+}
+
+// Acquire claims a slot, waiting in the bounded queue if necessary.
+// On success it returns a release func that must be called exactly
+// once. It fails fast with ErrSaturated when the queue is full,
+// ErrDraining once Drain has begun, or ctx.Err() when the caller's
+// deadline expires while queued.
+func (a *Admission) Acquire(ctx context.Context) (func(), error) {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if a.active < a.slots {
+		a.active++
+		a.admitted++
+		start := time.Now()
+		a.mu.Unlock()
+		return func() { a.release(start) }, nil
+	}
+	if a.waiting >= a.queue {
+		a.shed++
+		a.mu.Unlock()
+		return nil, ErrSaturated
+	}
+	a.waiting++
+	for {
+		wait := a.waitc
+		a.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			a.mu.Lock()
+			a.waiting--
+			a.timedOut++
+			a.mu.Unlock()
+			return nil, ctx.Err()
+		case <-wait:
+		}
+		a.mu.Lock()
+		if a.draining {
+			a.waiting--
+			a.mu.Unlock()
+			return nil, ErrDraining
+		}
+		if a.active < a.slots {
+			a.active++
+			a.waiting--
+			a.admitted++
+			start := time.Now()
+			a.mu.Unlock()
+			return func() { a.release(start) }, nil
+		}
+	}
+}
+
+func (a *Admission) release(start time.Time) {
+	held := time.Since(start)
+	a.mu.Lock()
+	a.active--
+	if a.avgHold == 0 {
+		a.avgHold = held
+	} else {
+		a.avgHold = (a.avgHold*3 + held) / 4
+	}
+	close(a.waitc)
+	a.waitc = make(chan struct{})
+	a.mu.Unlock()
+}
+
+// Drain flips the gate into draining mode: every queued waiter and all
+// future Acquire calls fail with ErrDraining. Requests already admitted
+// keep their slots until they release.
+func (a *Admission) Drain() {
+	a.mu.Lock()
+	a.draining = true
+	close(a.waitc)
+	a.waitc = make(chan struct{})
+	a.mu.Unlock()
+}
+
+// Ready reports whether the gate is accepting new work (not draining
+// and not saturated past its queue bound).
+func (a *Admission) Ready() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return !a.draining && (a.active < a.slots || a.waiting < a.queue)
+}
+
+// Draining reports whether Drain has been called.
+func (a *Admission) Draining() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.draining
+}
+
+// RetryAfter estimates how long a shed caller should wait before
+// retrying: roughly the time for the queue ahead of it to drain, based
+// on observed slot hold times. Never less than one second, so the
+// Retry-After header stays meaningful.
+func (a *Admission) RetryAfter() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	hold := a.avgHold
+	if hold <= 0 {
+		hold = time.Second
+	}
+	depth := a.waiting + 1
+	est := hold * time.Duration(depth) / time.Duration(a.slots)
+	if est < time.Second {
+		est = time.Second
+	}
+	return est
+}
+
+// AdmissionStats is a point-in-time snapshot of gate activity.
+type AdmissionStats struct {
+	Active   int
+	Waiting  int
+	Admitted int64
+	Shed     int64
+	TimedOut int64
+	Draining bool
+}
+
+// Stats returns current counters.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		Active:   a.active,
+		Waiting:  a.waiting,
+		Admitted: a.admitted,
+		Shed:     a.shed,
+		TimedOut: a.timedOut,
+		Draining: a.draining,
+	}
+}

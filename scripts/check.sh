@@ -30,6 +30,14 @@ echo "==> daemon smoke under -race (boot, API sweep, graceful drain; locked-prof
 go test -race -run 'TestRunSmoke|TestRunFlagValidation' ./cmd/ghostbusterd/
 go test -race -run 'TestHTTPLockedProfileRejectsWeakening|TestCrashResumeDigestEquality|TestGracefulShutdownDrainsInFlightSweep' ./internal/daemon/
 
+echo "==> supervision matrix under -race (wedge failover, wedge-crash resume, hedged stragglers, jittered retries, cancel-seal)"
+go test -race -run 'TestSupervisionChaos' ./internal/ghostfuzz/
+go test -race -run 'TestWatchdog|TestWedge|TestResumeOfCompletedWedgeRun' ./internal/fleetshard/
+go test -race -run 'TestHedged|TestCancelSealsPartialSummaryAndResumes|TestJittered|TestResultCancelledDetectsCasualties' ./internal/fleet/
+
+echo "==> daemon overload control under -race (admission 429/Retry-After, readyz draining, slow SSE consumers never stall sweeps)"
+go test -race -run 'TestSweepAdmission|TestReadyzTracksDraining|TestSlowSubscriberDropsWithoutStallingSweeps|TestSubscriberChurnDuringSweeps' ./internal/daemon/
+
 echo "==> next-gen family matrix under -race (evasive differential, naive-miss/counter-catch, boot+removable chaos, removable delta scheduling)"
 go test -race -run 'TestEvasive|TestNextGenNaiveMissCounterCatch|TestChaosBootRemovableLoudNeverSilent' ./internal/ghostfuzz/
 go test -race -run 'TestRemovableHotplugTriggersDeltaSweep' ./internal/daemon/
@@ -37,8 +45,8 @@ go test -race -run 'TestRemovableHotplugTriggersDeltaSweep' ./internal/daemon/
 echo "==> randomized-order alloc gate (nonzero OrderSeed adds nothing per entry to the warm diff path)"
 go test -run 'TestScanOrderAllocs|TestOrderedWarmSweepAllocs' ./internal/core/
 
-echo "==> coverage floor (>= 70% on the detection core, cross-time/kmem truth sources, daemon, and profile store)"
-go test -cover ./internal/core/ ./internal/ntfs/ ./internal/hive/ ./internal/crosstime/ ./internal/kmem/ ./internal/fleet/ ./internal/fleetshard/ ./internal/journal/ ./internal/daemon/ ./internal/profile/ |
+echo "==> coverage floor (>= 70% on the detection core, cross-time/kmem truth sources, daemon, supervision, and profile store)"
+go test -cover ./internal/core/ ./internal/ntfs/ ./internal/hive/ ./internal/crosstime/ ./internal/kmem/ ./internal/fleet/ ./internal/fleetshard/ ./internal/journal/ ./internal/daemon/ ./internal/profile/ ./internal/supervise/ |
 	awk '
 		/coverage:/ {
 			pct = $5; sub(/%.*/, "", pct)
@@ -62,5 +70,8 @@ go run ./cmd/ghostfuzz -seed 1 -crashed 2 > /dev/null
 
 echo "==> ghostfuzz sharded crash-resume smoke (fixed seed, 2 sweeps, 3 shards)"
 go run ./cmd/ghostfuzz -seed 1 -crashed 2 -shards 3 > /dev/null
+
+echo "==> ghostfuzz supervision chaos smoke (fixed seed, wedge/straggler/jitter matrix, 3 shards)"
+go run ./cmd/ghostfuzz -seed 131 -supervised 1 -shards 3 > /dev/null
 
 echo "OK"
